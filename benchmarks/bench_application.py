@@ -1,0 +1,77 @@
+"""Experiment E1 harness: the cost of Application.
+
+Series: single-key application through the XST image pipeline
+(restriction then domain) vs the classical frozenset image vs a naive
+full-scan interpretation, over growing relation sizes.  The paper
+reports no absolute numbers; the reproduced shape is that image cost
+scales with the relation (all three are linear scans here -- indexes
+enter in bench_set_vs_record) and that the XST pipeline's constant
+factor buys its generality.
+"""
+
+import pytest
+
+from repro.core.process import Process
+from repro.core.sigma import Sigma
+from repro.cst.relations import image as classical_image
+from repro.workloads import pair_relation
+from repro.xst.builders import xset, xtuple
+
+SIZES = (100, 400, 1600)
+
+
+def xst_relation(size: int):
+    return pair_relation(size, seed=13)
+
+
+def classical_relation(size: int):
+    return frozenset(
+        member.as_tuple() for member, _ in xst_relation(size).pairs()
+    )
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_xst_application_single_key(benchmark, size):
+    process = Process(xst_relation(size), Sigma.columns([1], [2]))
+    key = xset([xtuple([size // 2])])
+    result = benchmark(process.apply, key)
+    assert result is not None
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_cst_image_single_key(benchmark, size):
+    relation = classical_relation(size)
+    keys = {size // 2}
+    benchmark(classical_image, relation, keys)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_naive_scan_single_key(benchmark, size):
+    """Element-at-a-time interpretation: loop, test, collect."""
+    relation = [member.as_tuple() for member, _ in xst_relation(size).pairs()]
+    wanted = size // 2
+
+    def scan():
+        out = []
+        for first, second in relation:
+            if first == wanted:
+                out.append(second)
+        return out
+
+    benchmark(scan)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_xst_application_bulk_keys(benchmark, size):
+    """Sets-to-sets: one application carrying 10% of the key space."""
+    process = Process(xst_relation(size), Sigma.columns([1], [2]))
+    keys = xset([xtuple([key]) for key in range(0, size, 10)])
+    benchmark(process.apply, keys)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_inverse_application(benchmark, size):
+    """Example 8.1's tau direction: image under the swapped sigma."""
+    process = Process(xst_relation(size), Sigma.columns([1], [2])).inverse()
+    key = xset([xtuple([0])])
+    benchmark(process.apply, key)

@@ -1,0 +1,92 @@
+"""Recursive set processing: transitive closure and reachability.
+
+Series: semi-naive vs naive closure fixpoints over chain, grid and
+random graphs, and frontier reachability vs full-closure-then-filter.
+Reproduced shape: semi-naive wins by a factor that grows with path
+length (it joins deltas, not the accumulated closure), and frontier
+iteration beats materializing the closure when one source is asked.
+"""
+
+import pytest
+
+from repro.xst.builders import xpair, xset
+from repro.xst.closure import (
+    node_set,
+    reachable_from,
+    transitive_closure,
+    transitive_closure_naive,
+)
+
+
+def chain_graph(length: int):
+    return xset(xpair(index, index + 1) for index in range(length))
+
+
+def grid_graph(side: int):
+    edges = []
+    for row in range(side):
+        for column in range(side):
+            node = row * side + column
+            if column + 1 < side:
+                edges.append(xpair(node, node + 1))
+            if row + 1 < side:
+                edges.append(xpair(node, node + side))
+    return xset(edges)
+
+
+def random_graph(nodes: int, edges: int, seed: int = 3):
+    import random
+
+    rng = random.Random(seed)
+    return xset(
+        xpair(rng.randrange(nodes), rng.randrange(nodes))
+        for _ in range(edges)
+    )
+
+
+@pytest.mark.parametrize("length", (16, 32, 64))
+def test_seminaive_closure_chain(benchmark, length):
+    graph = chain_graph(length)
+    result = benchmark(transitive_closure, graph)
+    assert len(result) == length * (length + 1) // 2
+
+
+@pytest.mark.parametrize("length", (16, 32))
+def test_naive_closure_chain(benchmark, length):
+    graph = chain_graph(length)
+    result = benchmark(transitive_closure_naive, graph)
+    assert len(result) == length * (length + 1) // 2
+
+
+@pytest.mark.parametrize("side", (3, 5))
+def test_seminaive_closure_grid(benchmark, side):
+    benchmark(transitive_closure, grid_graph(side))
+
+
+@pytest.mark.parametrize("edges", (50, 150))
+def test_seminaive_closure_random(benchmark, edges):
+    benchmark(transitive_closure, random_graph(60, edges))
+
+
+@pytest.mark.parametrize("length", (64, 256))
+def test_reachability_frontier(benchmark, length):
+    graph = chain_graph(length)
+    sources = node_set([0])
+    result = benchmark(reachable_from, graph, sources)
+    assert len(result) == length
+
+
+@pytest.mark.parametrize("length", (64,))
+def test_reachability_via_full_closure(benchmark, length):
+    """The wasteful alternative: close everything, then filter."""
+    graph = chain_graph(length)
+
+    def closure_then_filter():
+        closure = transitive_closure(graph)
+        return [
+            member for member, _ in closure.pairs()
+            if member.elements_at(1) == (0,)
+        ]
+
+    result = benchmark(closure_then_filter)
+    assert len(result) == length

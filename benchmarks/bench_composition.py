@@ -1,0 +1,59 @@
+"""Experiment E16 harness: fused composition vs staged execution.
+
+Series: per-query latency of a depth-d lookup pipeline executed staged
+(d image operations, d-1 materialized intermediates) vs fused into one
+process by Def 11.1 composition, plus the one-time fusion cost.
+Reproduced shape: staged latency grows linearly with depth, fused
+latency is flat, so fusion wins past trivial depth and the one-time
+cost amortizes across queries -- section 12's optimization claim.
+"""
+
+import pytest
+
+from repro.core.composition import compose_chain, staged_apply
+from repro.workloads import pipeline_stages
+from repro.xst.builders import xset, xtuple
+
+DEPTHS = (2, 4, 8)
+SIZE = 200
+
+
+def stages_for(depth: int):
+    return pipeline_stages(depth, SIZE, seed=77)
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_staged_pipeline_single_key(benchmark, depth):
+    stages = stages_for(depth)
+    key = xset([xtuple([SIZE // 3])])
+    benchmark(staged_apply, stages, key)
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_fused_pipeline_single_key(benchmark, depth):
+    stages = stages_for(depth)
+    fused = compose_chain(stages)
+    key = xset([xtuple([SIZE // 3])])
+    assert fused.apply(key) == staged_apply(stages, key)
+    benchmark(fused.apply, key)
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_fusion_one_time_cost(benchmark, depth):
+    stages = stages_for(depth)
+    benchmark(compose_chain, stages)
+
+
+@pytest.mark.parametrize("depth", (2, 8))
+def test_staged_pipeline_bulk_keys(benchmark, depth):
+    stages = stages_for(depth)
+    keys = xset([xtuple([key]) for key in range(0, SIZE, 4)])
+    benchmark(staged_apply, stages, keys)
+
+
+@pytest.mark.parametrize("depth", (2, 8))
+def test_fused_pipeline_bulk_keys(benchmark, depth):
+    stages = stages_for(depth)
+    fused = compose_chain(stages)
+    keys = xset([xtuple([key]) for key in range(0, SIZE, 4)])
+    benchmark(fused.apply, keys)

@@ -1,0 +1,97 @@
+"""Distributed execution strategies and their shipping costs.
+
+Series: routed vs broadcast selection, co-partitioned vs shuffled
+join, and partial-aggregate pushdown vs scan -- over node counts.
+Reproduced shape: routing touches one node regardless of cluster
+size; co-partitioned joins ship only results while shuffles ship an
+entire input; aggregation summaries are an order of magnitude smaller
+than row shipping.
+"""
+
+import pytest
+
+from repro.relational.distributed import Cluster
+from repro.workloads import department_relation, employee_relation
+
+EMP_COUNT = 600
+DEPT_COUNT = 24
+
+
+def co_partitioned_cluster(nodes: int) -> Cluster:
+    cluster = Cluster(nodes)
+    cluster.create_table(
+        "emp", employee_relation(EMP_COUNT, DEPT_COUNT, seed=71), "dept"
+    )
+    cluster.create_table(
+        "dept", department_relation(DEPT_COUNT, seed=71), "dept"
+    )
+    return cluster
+
+
+def misaligned_cluster(nodes: int) -> Cluster:
+    cluster = Cluster(nodes)
+    cluster.create_table(
+        "emp", employee_relation(EMP_COUNT, DEPT_COUNT, seed=71), "dept"
+    )
+    cluster.create_table(
+        "dept", department_relation(DEPT_COUNT, seed=71), "dname"
+    )
+    return cluster
+
+
+@pytest.mark.parametrize("nodes", (2, 4, 8))
+def test_routed_selection(benchmark, nodes):
+    cluster = co_partitioned_cluster(nodes)
+    result = benchmark(cluster.select_eq, "emp", {"dept": 5})
+    assert result.cardinality() > 0
+
+
+@pytest.mark.parametrize("nodes", (2, 4, 8))
+def test_broadcast_selection(benchmark, nodes):
+    cluster = co_partitioned_cluster(nodes)
+    benchmark(cluster.select_eq, "emp", {"name": "ada-0"})
+
+
+@pytest.mark.parametrize("nodes", (2, 4))
+def test_copartitioned_join(benchmark, nodes):
+    cluster = co_partitioned_cluster(nodes)
+    result = benchmark(cluster.join, "emp", "dept")
+    assert result.cardinality() == EMP_COUNT
+
+
+@pytest.mark.parametrize("nodes", (2, 4))
+def test_shuffled_join(benchmark, nodes):
+    cluster = misaligned_cluster(nodes)
+    result = benchmark(cluster.join, "emp", "dept")
+    assert result.cardinality() == EMP_COUNT
+
+
+def test_shuffle_ships_an_input_copartition_does_not():
+    """Assert the shipping shape itself (bytes, not time)."""
+    co = co_partitioned_cluster(4)
+    co.join("emp", "dept")
+    shuffled = misaligned_cluster(4)
+    shuffled.join("emp", "dept")
+    assert shuffled.network.bytes_shipped > co.network.bytes_shipped
+
+
+@pytest.mark.parametrize("nodes", (2, 4, 8))
+def test_distributed_aggregation(benchmark, nodes):
+    cluster = co_partitioned_cluster(nodes)
+    result = benchmark(
+        cluster.aggregate,
+        "emp",
+        ["dept"],
+        {"n": ("count", "emp"), "pay": ("sum", "salary")},
+    )
+    assert result.cardinality() == DEPT_COUNT
+
+
+def test_aggregation_ships_less_than_scan():
+    cluster = co_partitioned_cluster(4)
+    cluster.network.reset()
+    cluster.aggregate("emp", ["dept"], {"n": ("count", "emp")})
+    summary_bytes = cluster.network.bytes_shipped
+    cluster.network.reset()
+    cluster.scan("emp")
+    assert summary_bytes * 5 < cluster.network.bytes_shipped

@@ -1,0 +1,64 @@
+"""Access paths: scan vs hash index vs sorted index.
+
+Series: equality and range selection through the three access paths
+over growing relations, plus index build cost.  Reproduced shape:
+scans are linear; hash equality and bisect ranges are flat after an
+O(n log n) build -- the access-path trade every backend makes.
+"""
+
+import pytest
+
+from repro.relational import select, select_eq
+from repro.relational.index import IndexedRelation
+from repro.workloads import employee_relation
+
+SIZES = (200, 800, 3200)
+
+
+def relation_of(size: int):
+    return employee_relation(size, max(4, size // 40), seed=29)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_equality_by_scan(benchmark, size):
+    relation = relation_of(size)
+    benchmark(select_eq, relation, {"dept": 3})
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_equality_by_hash_index(benchmark, size):
+    indexed = IndexedRelation(relation_of(size))
+    indexed.where_equal("dept", 3)  # build outside the timed region
+    benchmark(indexed.where_equal, "dept", 3)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_range_by_scan(benchmark, size):
+    relation = relation_of(size)
+    benchmark(
+        select, relation, lambda row: 40000 <= row["salary"] < 45000
+    )
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_range_by_sorted_index(benchmark, size):
+    indexed = IndexedRelation(relation_of(size))
+    indexed.sorted_index("salary")
+    benchmark(indexed.where_between, "salary", 40000, 45000)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_sorted_index_build_cost(benchmark, size):
+    relation = relation_of(size)
+
+    def build():
+        return IndexedRelation(relation).sorted_index("salary")
+
+    benchmark(build)
+
+
+@pytest.mark.parametrize("size", (800,))
+def test_top_k(benchmark, size):
+    indexed = IndexedRelation(relation_of(size))
+    indexed.sorted_index("salary")
+    benchmark(indexed.top_k, "salary", 10)

@@ -1,0 +1,80 @@
+"""Experiments E5-E8 harness: kernel micro-operations.
+
+Series: construction, re-scoping, sigma-domain, sigma-restriction and
+Boolean algebra over growing extended sets -- the constant factors
+every higher layer inherits.
+"""
+
+import pytest
+
+from repro.workloads import pair_relation
+from repro.xst.builders import xset, xtuple
+from repro.xst.domain import sigma_domain
+from repro.xst.rescope import rescope_by_scope
+from repro.xst.restrict import sigma_restrict
+from repro.xst.xset import XSet
+
+SIZES = (100, 400, 1600)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_construction_from_pairs(benchmark, size):
+    pairs = [(index, index % 7) for index in range(size)]
+    benchmark(XSet, pairs)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_construction_nested_tuples(benchmark, size):
+    rows = [(index, "name-%d" % index) for index in range(size)]
+
+    def build():
+        return xset(xtuple(row) for row in rows)
+
+    benchmark(build)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_rescope_by_scope(benchmark, size):
+    wide = XSet((index, index % 10 + 1) for index in range(size))
+    sigma = XSet((scope, scope * 100) for scope in range(1, 11))
+    benchmark(rescope_by_scope, wide, sigma)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_sigma_domain_projection(benchmark, size):
+    relation = pair_relation(size, seed=9)
+    sigma = xtuple([1])
+    benchmark(sigma_domain, relation, sigma)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_sigma_restrict_single_key(benchmark, size):
+    relation = pair_relation(size, seed=9)
+    keys = xset([xtuple([size // 2])])
+    benchmark(sigma_restrict, relation, keys, xtuple([1]))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_union(benchmark, size):
+    left = pair_relation(size, seed=1)
+    right = pair_relation(size, seed=2)
+    benchmark(left.union, right)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_intersection(benchmark, size):
+    left = pair_relation(size, seed=1)
+    right = left | pair_relation(size // 2, seed=3)
+    benchmark(left.intersection, right)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_hash_and_equality(benchmark, size):
+    left = pair_relation(size, seed=4)
+    right = XSet(left.pairs())
+
+    def compare():
+        return hash(left) == hash(right) and left == right
+
+    assert compare()
+    benchmark(compare)

@@ -1,0 +1,45 @@
+"""Experiments E14/E15 harness: regenerating the lattice figures.
+
+Series: exhaustive census cost over universe size (the enumeration is
+2^(|A||B|), so the curve is the figure's price tag) and the Hasse
+cover computation over both spec families.
+"""
+
+import pytest
+
+from repro.core.lattice import census, hasse_edges
+from repro.core.spaces import basic_specs, refined_specs
+
+UNIVERSES = [
+    (["a", "b"], ["x"]),
+    (["a", "b"], ["x", "y"]),
+    (["a", "b", "c"], ["x", "y"]),
+]
+
+
+@pytest.mark.parametrize(
+    "a_atoms,b_atoms", UNIVERSES, ids=["2x1", "2x2", "3x2"]
+)
+def test_basic_census(benchmark, a_atoms, b_atoms):
+    report = benchmark(census, a_atoms, b_atoms)
+    assert len(report.specs) == 16
+    assert report.function_space_count() == 8
+
+
+@pytest.mark.parametrize(
+    "a_atoms,b_atoms", UNIVERSES[:2], ids=["2x1", "2x2"]
+)
+def test_refined_census(benchmark, a_atoms, b_atoms):
+    report = benchmark(census, a_atoms, b_atoms, True)
+    assert len(report.specs) == 29
+    assert report.function_space_count() == 12
+
+
+def test_basic_hasse_edges(benchmark):
+    edges = benchmark(hasse_edges, basic_specs())
+    assert edges
+
+
+def test_refined_hasse_edges(benchmark):
+    edges = benchmark(hasse_edges, refined_specs())
+    assert edges

@@ -1,0 +1,76 @@
+"""Physical layouts: where rows win, where columns win.
+
+Series: selection, narrow projection and single-column aggregation
+over row-major vs column-major layouts, plus the canonicalization
+cost that buys representation-independence.  Reproduced shape: rows
+win whole-row selection, columns win narrow projection and
+single-column aggregation -- the §12 point being that either layout
+is *valid* because both share the extended-set identity.
+"""
+
+import pytest
+
+from repro.relational.representations import (
+    ColumnRepresentation,
+    RowRepresentation,
+    same_identity,
+)
+from repro.workloads import employee_relation
+
+SIZES = (400, 1600)
+
+
+def representations(size: int):
+    relation = employee_relation(size, max(4, size // 40), seed=83)
+    return (
+        RowRepresentation.from_relation(relation),
+        ColumnRepresentation.from_relation(relation),
+    )
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_row_layout_selection(benchmark, size):
+    rows, _ = representations(size)
+    benchmark(rows.select, "dept", 3)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_column_layout_selection(benchmark, size):
+    _, columns = representations(size)
+    benchmark(columns.select, "dept", 3)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_row_layout_narrow_projection(benchmark, size):
+    rows, _ = representations(size)
+    benchmark(rows.project, ["dept"])
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_column_layout_narrow_projection(benchmark, size):
+    _, columns = representations(size)
+    benchmark(columns.project, ["dept"])
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_column_native_aggregation(benchmark, size):
+    _, columns = representations(size)
+    benchmark(columns.aggregate_column, "salary", sum)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_row_layout_aggregation(benchmark, size):
+    rows, _ = representations(size)
+    position = rows.heading.names.index("salary")
+
+    def row_sum():
+        return sum(row[position] for row in rows._rows)
+
+    benchmark(row_sum)
+
+
+@pytest.mark.parametrize("size", (400,))
+def test_canonicalization_cost(benchmark, size):
+    rows, columns = representations(size)
+    result = benchmark(same_identity, rows, columns)
+    assert result

@@ -1,0 +1,42 @@
+"""Experiment E3 harness: bracketing-interpretation growth (section 4).
+
+Series: enumerating and evaluating all Catalan(n) readings of an
+application chain for n = 2..6.  Reproduced shape: the paper's note --
+2, 5, 14, 42 readings -- continued one step (132), with evaluation
+cost tracking the count.
+"""
+
+import pytest
+
+from repro.core.process import Process
+from repro.core.sequences import count_interpretations, interpretations
+from repro.core.sigma import Sigma
+from repro.workloads import functional_pairs
+from repro.xst.builders import xset, xtuple
+
+CHAIN_LENGTHS = (2, 3, 4, 5)
+EXPECTED = {2: 2, 3: 5, 4: 14, 5: 42, 6: 132}
+
+
+def chain_of(length: int):
+    return [
+        Process(functional_pairs(12, seed=index), Sigma.columns([1], [2]))
+        for index in range(length)
+    ]
+
+
+@pytest.mark.parametrize("length", CHAIN_LENGTHS)
+def test_enumerate_and_evaluate_all_readings(benchmark, length):
+    processes = chain_of(length)
+    x = xset([xtuple([3])])
+    readings = benchmark(interpretations, processes, x)
+    assert len(readings) == EXPECTED[length]
+
+
+def test_counting_alone_is_cheap(benchmark):
+    def count_all():
+        count_interpretations.cache_clear()
+        return [count_interpretations(n) for n in range(2, 7)]
+
+    counts = benchmark(count_all)
+    assert counts == [EXPECTED[n] for n in range(2, 7)]

@@ -1,0 +1,51 @@
+"""Canonical serialization: the price of representation independence.
+
+Series: encode, decode and digest over growing relations and nesting
+depths.  Reproduced shape: all three are linear in total membership
+count; digesting costs one encode plus a hash; nesting depth adds only
+recursion constants, not asymptotics.
+"""
+
+import pytest
+
+from repro.workloads import employee_relation, pair_relation
+from repro.xst.builders import xset
+from repro.xst.serialization import digest, dumps, loads
+
+SIZES = (100, 400, 1600)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_encode_pair_relation(benchmark, size):
+    relation = pair_relation(size, seed=53)
+    payload = benchmark(dumps, relation)
+    assert payload
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_decode_pair_relation(benchmark, size):
+    relation = pair_relation(size, seed=53)
+    payload = dumps(relation)
+    decoded = benchmark(loads, payload)
+    assert decoded == relation
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_digest_pair_relation(benchmark, size):
+    relation = pair_relation(size, seed=53)
+    benchmark(digest, relation)
+
+
+@pytest.mark.parametrize("size", (100, 400))
+def test_encode_record_relation(benchmark, size):
+    relation = employee_relation(size, max(2, size // 20), seed=53)
+    benchmark(dumps, relation.rows)
+
+
+@pytest.mark.parametrize("depth", (2, 8, 32))
+def test_encode_nested_sets(benchmark, depth):
+    value = xset(["leaf"])
+    for _ in range(depth):
+        value = xset([value, "padding"])
+    payload = benchmark(dumps, value)
+    assert loads(payload) == value

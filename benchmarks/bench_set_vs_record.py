@@ -1,0 +1,96 @@
+"""Experiment E16 harness: set processing vs record processing (ref [4]).
+
+Series: equality lookup, projection and equijoin under the two storage
+disciplines at three scales.  Reproduced shape: record processing is
+linear-per-query in relation size; set processing pays once to build
+an index (dynamic restructuring) and then answers lookups in constant
+time, winning by a growing factor -- except for one-shot scans, where
+prestructured record storage is competitive.
+"""
+
+import pytest
+
+from repro.relational.storage import RecordStore, SetStore
+
+HEADING = ["emp", "name", "dept", "salary"]
+DEPT_HEADING = ["dept", "dname", "budget"]
+SIZES = (100, 400, 1600)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_record_lookup(benchmark, employee_rows, size):
+    store = RecordStore(HEADING, employee_rows[size])
+    benchmark(store.lookup, "dept", 1)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_set_lookup_indexed(benchmark, employee_rows, size):
+    store = SetStore(HEADING, employee_rows[size])
+    store.lookup("dept", 1)  # build the index outside the timed region
+    benchmark(store.lookup, "dept", 1)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_set_lookup_including_restructure(benchmark, employee_rows, size):
+    """Dynamic restructuring charged to the query: build + probe."""
+
+    def build_and_probe():
+        store = SetStore(HEADING, employee_rows[size])
+        return store.lookup("dept", 1)
+
+    benchmark(build_and_probe)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_record_project(benchmark, employee_rows, size):
+    store = RecordStore(HEADING, employee_rows[size])
+    benchmark(store.project, ["dept"])
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_set_project(benchmark, employee_rows, size):
+    store = SetStore(HEADING, employee_rows[size])
+    benchmark(store.project, ["dept"])
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_record_equijoin_nested_loop(benchmark, employee_rows,
+                                     department_rows, size):
+    left = RecordStore(HEADING, employee_rows[size])
+    right = RecordStore(DEPT_HEADING, department_rows[size])
+    benchmark(left.equijoin_count, right, "dept")
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_set_equijoin_indexed(benchmark, employee_rows,
+                              department_rows, size):
+    left = SetStore(HEADING, employee_rows[size])
+    right = SetStore(DEPT_HEADING, department_rows[size])
+    left.lookup("dept", 0)   # warm both indexes
+    right.lookup("dept", 0)
+    benchmark(left.equijoin_count, right, "dept")
+
+
+@pytest.mark.parametrize("repeat", (1, 10, 100))
+def test_record_repeated_lookups(benchmark, employee_rows, repeat):
+    """The crossover axis: how many queries amortize restructuring?"""
+    rows = employee_rows[400]
+    store = RecordStore(HEADING, rows)
+
+    def run():
+        for key in range(repeat):
+            store.lookup("dept", key % 20)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("repeat", (1, 10, 100))
+def test_set_repeated_lookups(benchmark, employee_rows, repeat):
+    rows = employee_rows[400]
+
+    def run():
+        store = SetStore(HEADING, rows)  # index built once, inside
+        for key in range(repeat):
+            store.lookup("dept", key % 20)
+
+    benchmark(run)

@@ -1,0 +1,72 @@
+"""The storage hierarchy: memory engines vs the paged disk store.
+
+Series: store/load/scan/lookup against the disk store across segment
+sizes and cache capacities, with the in-memory SetStore as the upper
+bound.  Reproduced shape: disk scans are linear with a serialization
+constant; cache capacity >= segment count turns repeat scans into
+memory scans; equality lookup without a secondary index pays the full
+scan, unlike the indexed SetStore.
+"""
+
+import pytest
+
+from repro.relational.disk import DiskRelationStore
+from repro.relational.storage import SetStore
+from repro.workloads import employee_relation, employees
+
+SIZE = 800
+DEPTS = 20
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return employee_relation(SIZE, DEPTS, seed=91)
+
+
+@pytest.mark.parametrize("rows_per_segment", (64, 256))
+def test_store_to_disk(benchmark, tmp_path, relation, rows_per_segment):
+    store = DiskRelationStore(str(tmp_path), rows_per_segment=rows_per_segment)
+    benchmark(store.store, "emp", relation)
+
+
+@pytest.mark.parametrize("rows_per_segment", (64, 256))
+def test_load_from_disk(benchmark, tmp_path, relation, rows_per_segment):
+    store = DiskRelationStore(str(tmp_path), rows_per_segment=rows_per_segment)
+    store.store("emp", relation)
+    result = benchmark(store.load, "emp")
+    assert result == relation
+
+
+@pytest.mark.parametrize("cache_pages", (1, 4, 64))
+def test_repeated_scan_vs_cache_capacity(benchmark, tmp_path, relation,
+                                         cache_pages):
+    store = DiskRelationStore(
+        str(tmp_path), rows_per_segment=64, cache_pages=cache_pages
+    )
+    store.store("emp", relation)
+    list(store.scan("emp"))  # first pass populates whatever fits
+
+    def rescan():
+        return sum(1 for _ in store.scan("emp"))
+
+    count = benchmark(rescan)
+    assert count == SIZE
+
+
+def test_disk_lookup_full_scan(benchmark, tmp_path, relation):
+    store = DiskRelationStore(str(tmp_path), rows_per_segment=64,
+                              cache_pages=64)
+    store.store("emp", relation)
+    list(store.scan("emp"))  # warm the cache: isolate the scan cost
+    rows = benchmark(store.lookup, "emp", "dept", 7)
+    assert rows
+
+
+def test_memory_lookup_reference_point(benchmark, relation):
+    store = SetStore(
+        ["emp", "name", "dept", "salary"],
+        employees(SIZE, DEPTS, seed=91),
+    )
+    store.lookup("dept", 7)
+    rows = benchmark(store.lookup, "dept", 7)
+    assert rows

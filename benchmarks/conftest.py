@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+Workloads are module-scoped and seeded so every run measures identical
+data; see DESIGN.md section 4 for the experiment each file regenerates
+and EXPERIMENTS.md for recorded results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_report_header(config):
+    return "xst-repro benchmark harness (see DESIGN.md section 4)"
+
+
+@pytest.fixture(scope="session")
+def employee_rows():
+    from repro.workloads import employees
+
+    return {
+        size: employees(size, max(2, size // 20), seed=101)
+        for size in (100, 400, 1600)
+    }
+
+
+@pytest.fixture(scope="session")
+def department_rows():
+    from repro.workloads import departments
+
+    return {
+        size: departments(max(2, size // 20), seed=101)
+        for size in (100, 400, 1600)
+    }

@@ -1,0 +1,74 @@
+"""Quickstart: extended sets, scoped membership, and set behavior.
+
+Walks the paper's running Example 8.1 end to end using the public API:
+build a relation, read it as a process, apply it, invert it, and watch
+functionhood appear and disappear.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Process, Sigma, parse, xpair, xset, xtuple
+
+
+def main() -> None:
+    print("=" * 64)
+    print("1. Extended sets: membership carries a scope")
+    print("=" * 64)
+
+    # A classical set, a tuple (Def 9.1), and a record differ only in
+    # their scope alphabets.
+    classical = xset(["a", "b", "c"])
+    triple = xtuple(["a", "b", "c"])
+    print("classical set      :", classical)
+    print("3-tuple (Def 9.1)  :", triple)
+    print("the tuple's pairs  :", triple.pairs())
+    print("tuple arity        :", triple.tuple_length())
+
+    # The paper's notation parses directly.
+    parsed = parse("{<a, x>, <b, y>, <c, x>}")
+    print("parsed notation    :", parsed)
+
+    print()
+    print("=" * 64)
+    print("2. Example 8.1: one set, two behaviors")
+    print("=" * 64)
+
+    f = xset([xpair("a", "x"), xpair("b", "y"), xpair("c", "x")])
+    sigma = Sigma.columns([1], [2])   # <<1>, <2>>: key col 1, emit col 2
+    forward = Process(f, sigma)
+
+    print("f                  :", f)
+    print("f_(sigma)({<a>})   :", forward(xset([xtuple(["a"])])))
+    print("f_(sigma)({<c>})   :", forward(xset([xtuple(["c"])])))
+    print("domain  D_s1(f)    :", forward.domain())
+    print("codomain D_s2(f)   :", forward.codomain())
+    print("is a function?     :", forward.is_function())
+
+    # Same set, swapped sigma: the inverse behavior.
+    backward = forward.inverse()
+    print()
+    print("f_(tau)({<x>})     :", backward(xset([xtuple(["x"])])))
+    print("inverse a function?:", backward.is_function(),
+          " (x maps back to both a and c)")
+
+    print()
+    print("=" * 64)
+    print("3. XST functions take SETS to sets")
+    print("=" * 64)
+    keys = xset([xtuple(["a"]), xtuple(["c"])])
+    print("f_(sigma)({<a>,<c>}):", forward(keys),
+          " (both keys map to x; the set collapses)")
+
+    print()
+    print("=" * 64)
+    print("4. Applying a process to a process gives a process (Def 4.1)")
+    print("=" * 64)
+    nested = forward(forward)
+    print("type(f(f))         :", type(nested).__name__)
+    print("f(f).graph         :", nested.graph)
+    print("...which can then be applied to a set:",
+          nested(xset([xtuple(["a"])])))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Recursive set processing: org charts, reachability, iterated behavior.
+
+Three recursive workloads that record-at-a-time systems handle with
+custom traversal code and XST handles with fixpoints of kernel
+operations: management chains (transitive closure), impact analysis
+(frontier reachability), and the long-run behavior of a process
+iterated on itself (powers and periods, Appendix B's theme).
+
+Run:  python examples/recursive_queries.py
+"""
+
+from repro.core import Process, STAGE_SIGMA
+from repro.core.iteration import fixed_points, iteration_period, power
+from repro.xst import (
+    node_set,
+    reachable_from,
+    transitive_closure,
+    xpair,
+    xset,
+    xtuple,
+)
+
+
+def banner(text: str) -> None:
+    print()
+    print("=" * 64)
+    print(text)
+    print("=" * 64)
+
+
+REPORTS_TO = [
+    ("grace", "ada"),        # grace reports to ada
+    ("alan", "ada"),
+    ("barbara", "grace"),
+    ("claude", "grace"),
+    ("donald", "alan"),
+    ("edsger", "donald"),
+]
+
+
+def main() -> None:
+    banner("1. Management chains = transitive closure of reports-to")
+    reports = xset(xpair(low, high) for low, high in REPORTS_TO)
+    chain = transitive_closure(reports)
+    print("direct edges   :", len(reports))
+    print("closure pairs  :", len(chain))
+    under_ada = sorted(
+        member.as_tuple()[0]
+        for member, _ in chain.pairs()
+        if member.as_tuple()[1] == "ada"
+    )
+    print("everyone under ada:", under_ada)
+
+    banner("2. Impact analysis = frontier reachability (no full closure)")
+    depends_on = xset(
+        xpair(*edge)
+        for edge in [
+            ("api", "core"), ("web", "api"), ("cli", "api"),
+            ("batch", "core"), ("report", "batch"), ("core", "kernel"),
+        ]
+    )
+    # Who is impacted if 'kernel' changes?  Reverse the edges and walk.
+    impacted_by = xset(
+        xpair(member.as_tuple()[1], member.as_tuple()[0])
+        for member, _ in depends_on.pairs()
+    )
+    blast_radius = reachable_from(impacted_by, node_set(["kernel"]))
+    print("a change to 'kernel' rebuilds:",
+          sorted(m.as_tuple()[0] for m, _ in blast_radius.pairs()))
+
+    banner("3. Iterated behavior: powers, periods and fixed points")
+    shift = xset(
+        xpair(*edge)
+        for edge in [("mon", "tue"), ("tue", "wed"), ("wed", "thu"),
+                     ("thu", "fri"), ("fri", "mon")]
+    )
+    rotate = Process(shift, STAGE_SIGMA)
+    today = xset([xtuple(["mon"])])
+    print("one application    :", rotate(today))
+    print("power(shift, 5)    :", power(shift, 5)(today),
+          " (a full week is the identity)")
+    tail, period = iteration_period(shift)
+    print("period of the shift: tail=%d period=%d" % (tail, period))
+    print("fixed points       :", fixed_points(shift),
+          " (a 5-cycle fixes nothing)")
+
+    lazy = xset(xpair(day, "sun") for day in
+                ["mon", "tue", "wed", "thu", "fri", "sun"])
+    print()
+    print("a 'collapse to sunday' process instead:")
+    print("  fixed points:", fixed_points(lazy))
+    tail, period = iteration_period(lazy)
+    print("  tail=%d period=%d (idempotent after one step)" % (tail, period))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Appendix B live: four behaviors from one set via self-application.
+
+One five-column set f, two sigmas, and repeated application of the
+process to itself produce all four unary functions on a two-element
+set -- g1 (identity), g2 (constant-ish), g3 (swap), g4 (the other
+constant-ish).  Every intermediate graph printed here matches the
+paper's derivation lines.
+
+Run:  python examples/self_application.py
+"""
+
+from repro import Process, Sigma, xpair, xset, xtuple
+
+
+def show(label: str, process: Process, inputs) -> None:
+    results = "  ".join(
+        "%s -> %s" % (x, process(x)) for x in inputs
+    )
+    print("%-28s graph=%s" % (label, process.graph))
+    print("%-28s %s" % ("", results))
+
+
+def main() -> None:
+    f = xset(
+        [xtuple(["a", "a", "a", "b", "b"]), xtuple(["b", "b", "a", "a", "b"])]
+    )
+    sigma = Sigma.columns([1], [2])
+    omega = Sigma.columns([1], [1, 3, 4, 5, 2])
+
+    p_sigma = Process(f, sigma)
+    p_omega = Process(f, omega)
+
+    singleton_a = xset([xtuple(["a"])])
+    singleton_b = xset([xtuple(["b"])])
+    inputs = [singleton_a, singleton_b]
+
+    print("f =", f)
+    print("sigma = <<1>, <2>>        omega = <<1>, <1,3,4,5,2>>")
+    print()
+
+    print("The omega behavior shuffles whole rows:")
+    print("  f_(omega)({<a>}) =", p_omega(singleton_a))
+    print("  f_(omega)({<b>}) =", p_omega(singleton_b))
+    print()
+
+    print("Self-application ladder (Appendix B):")
+    ladder = {
+        "g1 = f_(sigma)": p_sigma,
+        "g2 = f_(om)(f_(sig))": p_omega(p_sigma),
+        "g3 = f_(om)(f_(om))(f_(sig))": p_omega(p_omega)(p_sigma),
+        "g4 = f_(om)^3(f_(sig))": p_omega(p_omega)(p_omega)(p_sigma),
+    }
+    for label, process in ladder.items():
+        show(label, process, inputs)
+        print()
+
+    print("Pairwise distinct behaviors out of ONE stored set:")
+    names = list(ladder)
+    for i, left in enumerate(names):
+        for right in names[i + 1 :]:
+            same = ladder[left].equivalent_on(ladder[right], inputs)
+            print("  %-30s vs %-30s equal=%s" % (left, right, same))
+
+    print()
+    print("And the base behavior is the identity on A = {<a>, <b>}:")
+    from repro import identity_process
+
+    a = xset([xtuple(["a"]), xtuple(["b"])])
+    print("  f_(sigma) == I_A :",
+          p_sigma.equivalent_on(identity_process(a), inputs))
+
+    print()
+    print("Bonus (Example 8.1): a function whose inverse is not one.")
+    g = xset([xpair("a", "x"), xpair("b", "y"), xpair("c", "x")])
+    forward = Process(g, sigma)
+    print("  forward is_function :", forward.is_function())
+    print("  inverse is_function :", forward.inverse().is_function())
+
+
+if __name__ == "__main__":
+    main()

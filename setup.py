@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file exists so
+that ``pip install -e .`` can fall back to the legacy editable-install
+path on offline machines where PEP 517 builds cannot fetch build
+dependencies.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,113 @@
+"""xst-repro: Extended Set Theory / Extended Set Processing.
+
+A from-scratch reproduction of D L Childs' Extended Set Theory (XST)
+programme: the scoped-membership kernel, functions-as-set-behavior
+(processes), and the data-management layer the theory was proposed to
+found.
+
+Quick tour::
+
+    >>> from repro import xset, xtuple, xpair, Process, Sigma
+    >>> f = xset([xpair("a", "x"), xpair("b", "y"), xpair("c", "x")])
+    >>> p = Process(f, Sigma.columns([1], [2]))      # f_(<<1>,<2>>)
+    >>> p(xset([xtuple(["a"])]))                     # f_(sigma)({<a>})
+    {<x>}
+    >>> p.inverse()(xset([xtuple(["x"])]))
+    {<a>, <c>}
+
+Subpackages:
+
+* :mod:`repro.xst` -- the kernel: XSet, re-scoping, domain,
+  restriction, image, tuples, products, values, relative product.
+* :mod:`repro.core` -- processes: application, nested application,
+  composition, process/function spaces, the sub-space lattice.
+* :mod:`repro.cst` -- the classical baseline everything is validated
+  against.
+* :mod:`repro.relational` -- relations, algebra, query plans, the
+  composition-theorem optimizer and the two storage disciplines.
+* :mod:`repro.workloads` -- seeded synthetic workload generators.
+* :mod:`repro.notation` -- parse/print the paper's notation.
+"""
+
+from repro.core.composition import (
+    FINAL_SIGMA,
+    STAGE_SIGMA,
+    compose,
+    compose_chain,
+    staged_apply,
+    verify_composition,
+)
+from repro.core.process import Process, identity_process
+from repro.core.sigma import Sigma
+from repro.errors import (
+    AmbiguousValueError,
+    CompositionError,
+    InvalidAtomError,
+    NotAFunctionError,
+    NotAProcessError,
+    NotATupleError,
+    NotationError,
+    SchemaError,
+    XSTError,
+)
+from repro.notation import parse, render
+from repro.xst import (
+    EMPTY,
+    XSet,
+    cartesian,
+    concat,
+    cross,
+    cst_image,
+    image,
+    relative_product,
+    sigma_domain,
+    sigma_restrict,
+    xpair,
+    xrecord,
+    xset,
+    xtuple,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # kernel
+    "XSet",
+    "EMPTY",
+    "xset",
+    "xtuple",
+    "xpair",
+    "xrecord",
+    "sigma_domain",
+    "sigma_restrict",
+    "image",
+    "cst_image",
+    "relative_product",
+    "cross",
+    "cartesian",
+    "concat",
+    # core
+    "Sigma",
+    "Process",
+    "identity_process",
+    "compose",
+    "compose_chain",
+    "staged_apply",
+    "verify_composition",
+    "STAGE_SIGMA",
+    "FINAL_SIGMA",
+    # notation
+    "parse",
+    "render",
+    # errors
+    "XSTError",
+    "InvalidAtomError",
+    "NotATupleError",
+    "NotAProcessError",
+    "NotAFunctionError",
+    "AmbiguousValueError",
+    "CompositionError",
+    "SchemaError",
+    "NotationError",
+]

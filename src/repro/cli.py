@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four small commands that make the library usable from a shell:
+
+``eval EXPR``
+    Parse paper notation and print the canonical rendering, e.g.
+    ``python -m repro eval "{b^2, a^1}"`` prints ``<a, b>``.
+
+``image RELATION KEYS``
+    Apply the CST-shaped image: both operands in paper notation,
+    RELATION a set of pairs, KEYS a set of 1-tuples.
+
+``query CSVDIR XQL``
+    Load every ``*.csv`` in a directory as a relation (named by file
+    stem) and run an XQL query against them.
+
+``closure CSVFILE FROM TO``
+    Read an edge list from a CSV with the given source/target columns
+    and print its transitive closure as CSV.
+
+Every command writes to stdout and exits non-zero with a message on
+stderr for malformed input, so the tool composes in pipelines.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import List, Optional
+
+from repro.errors import XSTError
+from repro.notation import parse, render
+from repro.relational.csvio import dumps_csv, read_csv
+from repro.relational.query import Database
+from repro.relational.relation import Relation
+from repro.relational.sql import run as run_xql
+from repro.xst.closure import transitive_closure
+from repro.xst.builders import xpair, xset
+from repro.xst.image import cst_image
+from repro.xst.xset import XSet
+
+__all__ = ["main"]
+
+_USAGE = """\
+usage: python -m repro <command> [args]
+
+commands:
+  eval EXPR              parse paper notation, print canonical form
+  image RELATION KEYS    CST-shaped image of KEYS under RELATION
+  query CSVDIR XQL       run an XQL query over a directory of CSVs
+  closure CSV FROM TO    transitive closure of an edge-list CSV
+"""
+
+
+def _fail(message: str) -> int:
+    print("repro: %s" % message, file=sys.stderr)
+    return 2
+
+
+def _command_eval(args: List[str]) -> int:
+    if len(args) != 1:
+        return _fail("eval takes exactly one expression")
+    value = parse(args[0])
+    if isinstance(value, XSet):
+        print(render(value))
+    else:
+        print(value)
+    return 0
+
+
+def _command_image(args: List[str]) -> int:
+    if len(args) != 2:
+        return _fail("image takes RELATION and KEYS")
+    relation = parse(args[0])
+    keys = parse(args[1])
+    if not isinstance(relation, XSet) or not isinstance(keys, XSet):
+        return _fail("both operands must be sets")
+    print(render(cst_image(relation, keys)))
+    return 0
+
+
+def _command_query(args: List[str]) -> int:
+    if len(args) != 2:
+        return _fail("query takes CSVDIR and an XQL string")
+    directory, text = args
+    if not os.path.isdir(directory):
+        return _fail("%r is not a directory" % directory)
+    db = Database()
+    loaded = 0
+    for entry in sorted(os.listdir(directory)):
+        if entry.endswith(".csv"):
+            name = entry[: -len(".csv")]
+            db.add(name, read_csv(os.path.join(directory, entry)))
+            loaded += 1
+    if not loaded:
+        return _fail("no .csv files in %r" % directory)
+    result = run_xql(db, text)
+    sys.stdout.write(dumps_csv(result))
+    return 0
+
+
+def _command_closure(args: List[str]) -> int:
+    if len(args) != 3:
+        return _fail("closure takes CSVFILE, FROM column, TO column")
+    path, source_column, target_column = args
+    edges = read_csv(path)
+    edges.heading.require([source_column, target_column])
+    graph = xset(
+        xpair(row[source_column], row[target_column])
+        for row in edges.iter_dicts()
+    )
+    closed = transitive_closure(graph)
+    rows = sorted(
+        (member.as_tuple() for member, _ in closed.pairs()), key=repr
+    )
+    result = Relation.from_tuples([source_column, target_column], rows)
+    sys.stdout.write(dumps_csv(result))
+    return 0
+
+
+_COMMANDS = {
+    "eval": _command_eval,
+    "image": _command_image,
+    "query": _command_query,
+    "closure": _command_closure,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if not arguments or arguments[0] in ("-h", "--help"):
+        print(_USAGE, end="")
+        return 0
+    command_name, *rest = arguments
+    command = _COMMANDS.get(command_name)
+    if command is None:
+        return _fail("unknown command %r\n%s" % (command_name, _USAGE))
+    try:
+        return command(rest)
+    except XSTError as error:
+        return _fail(str(error))
+    except FileNotFoundError as error:
+        return _fail(str(error))

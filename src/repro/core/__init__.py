@@ -1,0 +1,119 @@
+"""Processes: the paper's primary contribution, sections 2-8 and 11.
+
+===================  ================================================
+module               contents
+===================  ================================================
+``sigma``            :class:`Sigma` scope-specification pairs
+``process``          :class:`Process`, application, Defs 2.1-4.1, 8.1-8.2
+``sequences``        section 4 bracketing interpretations (Catalan)
+``composition``      Def 11.1 / Theorem 11.2, pipeline fusion
+``spaces``           Defs 5.1-6.8 process/function spaces
+``lattice``          Appendix D/E lattice census and rendering
+``laws``             Consequences 7.1 / 8.1 / C.1 / B.1 as predicates
+===================  ================================================
+"""
+
+from repro.core.arrows import Arrow, arrow_from_pairs, identity_arrow
+from repro.core.composition import (
+    FINAL_SIGMA,
+    STAGE_SIGMA,
+    compose,
+    compose_chain,
+    staged_apply,
+    verify_composition,
+)
+from repro.core.iteration import (
+    fixed_points,
+    is_idempotent,
+    iteration_period,
+    orbit,
+    power,
+)
+from repro.core.lattice import (
+    CensusReport,
+    census,
+    hasse_edges,
+    iter_relations,
+    lift_domain,
+    render_lattice,
+)
+from repro.core.process import Process, identity_process
+from repro.core.sequences import (
+    Interpretation,
+    count_interpretations,
+    distinct_results,
+    interpretations,
+)
+from repro.core.sigma import Sigma
+from repro.core.spaces import (
+    MANY_TO_ONE,
+    ONE_TO_MANY,
+    ONE_TO_ONE,
+    BehaviorProfile,
+    SpaceSpec,
+    basic_specs,
+    behavior_profile,
+    in_function_space,
+    in_function_space_on,
+    in_function_space_one_one,
+    in_function_space_onto,
+    in_process_space,
+    is_bijective_member,
+    is_injective_member,
+    is_surjective_member,
+    refined_specs,
+    satisfies,
+)
+
+__all__ = [
+    "Sigma",
+    "Process",
+    "identity_process",
+    # arrows
+    "Arrow",
+    "identity_arrow",
+    "arrow_from_pairs",
+    # iteration
+    "power",
+    "orbit",
+    "fixed_points",
+    "is_idempotent",
+    "iteration_period",
+    # composition
+    "STAGE_SIGMA",
+    "FINAL_SIGMA",
+    "compose",
+    "compose_chain",
+    "staged_apply",
+    "verify_composition",
+    # sequences
+    "Interpretation",
+    "interpretations",
+    "count_interpretations",
+    "distinct_results",
+    # spaces
+    "MANY_TO_ONE",
+    "ONE_TO_ONE",
+    "ONE_TO_MANY",
+    "BehaviorProfile",
+    "behavior_profile",
+    "in_process_space",
+    "in_function_space",
+    "in_function_space_on",
+    "in_function_space_onto",
+    "in_function_space_one_one",
+    "is_injective_member",
+    "is_surjective_member",
+    "is_bijective_member",
+    "SpaceSpec",
+    "basic_specs",
+    "refined_specs",
+    "satisfies",
+    # lattice
+    "census",
+    "CensusReport",
+    "hasse_edges",
+    "render_lattice",
+    "lift_domain",
+    "iter_relations",
+]

@@ -1,0 +1,152 @@
+"""Typed arrows: Defs 6.7 / 6.8 and the category of pair processes.
+
+The paper closes section 6 with the arrow notation --
+``f_(sigma): A -> B  iff  f in_sigma P(A, B)`` -- and motivates
+composition (section 11) by "its categorical relevance for studying
+equivalent system behaviors".  This module makes the category
+explicit for the pipeline coordinates of
+:mod:`repro.core.composition`:
+
+* an :class:`Arrow` is a process *with declared endpoints*, validated
+  against Def 5.1 membership at construction;
+* ``>>`` composes arrows with endpoint checking (``f: A -> B`` then
+  ``g: B -> C`` gives ``g o f : A -> C`` by Theorem 11.2);
+* :func:`identity_arrow` gives ``id_A``, and the category laws --
+  identity absorption and associativity, up to behavioral equality --
+  are verified by the test suite over generated arrows.
+
+Arrows use :data:`~repro.core.composition.STAGE_SIGMA` coordinates
+internally and compare behaviorally on their declared domain, which
+is the equality a category of behaviors wants (Def 2.2), not
+structural graph identity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import CompositionError, NotAProcessError
+from repro.core.composition import FINAL_SIGMA, STAGE_SIGMA, compose
+from repro.core.process import Process
+from repro.core.sigma import Sigma
+from repro.xst.builders import xpair, xset, xtuple
+from repro.xst.xset import XSet
+
+__all__ = ["Arrow", "identity_arrow", "arrow_from_pairs"]
+
+
+class Arrow:
+    """A process with declared domain and codomain: ``f_(sigma): A -> B``.
+
+    ``a`` and ``b`` are classical sets of 1-tuples (the shape
+    ``D_{sigma1}`` produces for pair relations).  Construction checks
+    Def 5.1 membership: the graph's domain must sit inside ``A`` and
+    its outputs inside ``B``.
+    """
+
+    __slots__ = ("_process", "_a", "_b")
+
+    def __init__(self, graph: XSet, a: XSet, b: XSet,
+                 sigma: Optional[Sigma] = None):
+        process = Process(graph, sigma or STAGE_SIGMA)
+        domain = process.domain()
+        codomain = process.codomain()
+        if not domain.issubset(a):
+            raise NotAProcessError(
+                "arrow domain %r escapes its declared A %r" % (domain, a)
+            )
+        if not codomain.issubset(b):
+            raise NotAProcessError(
+                "arrow outputs %r escape the declared B %r" % (codomain, b)
+            )
+        object.__setattr__(self, "_process", process)
+        object.__setattr__(self, "_a", a)
+        object.__setattr__(self, "_b", b)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Arrow instances are immutable")
+
+    @property
+    def process(self) -> Process:
+        return self._process
+
+    @property
+    def a(self) -> XSet:
+        """The declared domain object."""
+        return self._a
+
+    @property
+    def b(self) -> XSet:
+        """The declared codomain object."""
+        return self._b
+
+    def __call__(self, x: XSet) -> XSet:
+        return self._process.apply(x)
+
+    # ------------------------------------------------------------------
+    # Composition (the category structure)
+    # ------------------------------------------------------------------
+
+    def then(self, other: "Arrow") -> "Arrow":
+        """``self ; other`` -- diagram order: first self, then other.
+
+        Def 11.1 needs the outer stage in output-preserving (FINAL)
+        coordinates so the joined member ``{in^1, out^2}`` does not
+        collide; the composed graph is then an ordered-pair relation
+        again and re-enters the standard stage coordinates, keeping
+        arrows closed under composition.
+        """
+        if self._b != other._a:
+            raise CompositionError(
+                "endpoint mismatch: %r then %r" % (self, other)
+            )
+        outer = Process(other._process.graph, FINAL_SIGMA)
+        composed = compose(outer, self._process)
+        return Arrow(composed.graph, self._a, other._b)
+
+    def __rshift__(self, other: "Arrow") -> "Arrow":
+        return self.then(other)
+
+    # ------------------------------------------------------------------
+    # Behavioral equality on the declared domain
+    # ------------------------------------------------------------------
+
+    def behaves_like(self, other: "Arrow") -> bool:
+        """Def 2.2 equality over singletons of the shared domain."""
+        if self._a != other._a or self._b != other._b:
+            return False
+        family = [XSet([pair]) for pair in self._a.pairs()]
+        family.append(self._a)
+        return self._process.equivalent_on(other._process, family)
+
+    def is_total(self) -> bool:
+        """Defined ON all of A (Def 6.1's condition)."""
+        return self._process.domain() == self._a
+
+    def __repr__(self) -> str:
+        return "Arrow(%d pairs: |A|=%d -> |B|=%d)" % (
+            len(self._process.graph), len(self._a), len(self._b)
+        )
+
+
+def identity_arrow(a: XSet) -> Arrow:
+    """``id_A`` in stage coordinates: the diagonal pair relation."""
+    pairs = []
+    for member, _ in a.pairs():
+        if not isinstance(member, XSet) or member.tuple_length() != 1:
+            raise NotAProcessError(
+                "identity_arrow expects a set of 1-tuples; got %r" % (member,)
+            )
+        (atom,) = member.as_tuple()
+        pairs.append(xpair(atom, atom))
+    if not pairs:
+        raise NotAProcessError("identity_arrow on the empty object")
+    return Arrow(xset(pairs), a, a)
+
+
+def arrow_from_pairs(mapping, a_atoms, b_atoms) -> Arrow:
+    """Convenience: an arrow from ``(x, y)`` pairs over atom universes."""
+    graph = xset(xpair(x, y) for x, y in mapping)
+    a = xset(xtuple([atom]) for atom in a_atoms)
+    b = xset(xtuple([atom]) for atom in b_atoms)
+    return Arrow(graph, a, b)

@@ -1,0 +1,129 @@
+"""Composition of processes: Def 11.1 and Theorem 11.2.
+
+Composition aggregates the interactive behavior of two processes into
+one process, with the relative product doing the set-level work::
+
+    g_(omega) o f_(sigma)
+        = ( f /_{<sigma1,sigma2>}^{<omega1,omega2>} g )_(<sigma1, omega2>)
+
+The composed process keeps ``f``'s input steering (sigma1) and ``g``'s
+output steering (omega2); the join inside the relative product matches
+``f``'s sigma2 extraction against ``g``'s omega1 extraction.
+
+**Compositability.**  The definition is total, but the result behaves
+as "g after f" only when the two processes are expressed in *aligned*
+coordinates: ``f``'s sigma2 and ``g``'s omega1 must extract the shared
+intermediate values into the same shape, and the scope ranges of
+sigma1 and omega2 must not collide inside the unioned member
+``z = x^{/sigma1/} union y^{/omega2/}``.  The paper's section 10 picks
+such parameters by hand (its case 1 is the classical one); this module
+packages the choice for the ubiquitous pair-relation case:
+
+* :data:`STAGE_SIGMA` -- ``<{1^1}, {2^1}>``: key on position 1, emit
+  the output as a 1-tuple.  Use it for every stage that feeds another.
+* :data:`FINAL_SIGMA` -- ``<{1^1}, {2^2}>``: key on position 1, emit
+  the output at scope 2.  Use it for the outermost stage, so the
+  composed member ``{in^1, out^2}`` is again an ordered pair and
+  composition is closed under chaining.
+
+With those two shapes, ``compose(g, f)`` satisfies the extensional law
+``(g o f)(x) = g(f(x))`` for every input (verified property-style in
+the tests), and Theorem 11.2's constructive content -- the composed
+process exists, is a set-plus-sigma like any other, and lands in
+``F[A, C)`` -- is checked in ``tests/core/test_composition.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import CompositionError
+from repro.core.process import Process
+from repro.core.sigma import Sigma
+from repro.xst.relative_product import relative_product
+from repro.xst.xset import XSet
+
+__all__ = [
+    "STAGE_SIGMA",
+    "FINAL_SIGMA",
+    "compose",
+    "compose_chain",
+    "staged_apply",
+    "verify_composition",
+]
+
+#: Sigma for inner pipeline stages over pair relations: ``<{1^1}, {2^1}>``.
+STAGE_SIGMA = Sigma(XSet([(1, 1)]), XSet([(2, 1)]))
+
+#: Sigma for the outermost pipeline stage: ``<{1^1}, {2^2}>``.  Keeps the
+#: output at scope 2 so composed members are ordered pairs again.
+FINAL_SIGMA = Sigma(XSet([(1, 1)]), XSet([(2, 2)]))
+
+
+def compose(outer: Process, inner: Process) -> Process:
+    """Def 11.1: ``outer o inner`` as a single constructed process."""
+    graph = relative_product(
+        inner.graph, outer.graph, inner.sigma, outer.sigma
+    )
+    tau = Sigma(inner.sigma.sigma1, outer.sigma.sigma2)
+    return Process(graph, tau)
+
+
+def compose_chain(stages: Sequence[XSet]) -> Process:
+    """Fuse a pipeline of pair relations into one composed process.
+
+    ``stages`` lists the relations in application order (``stages[0]``
+    acts first).  Every stage but the last is wrapped with
+    :data:`STAGE_SIGMA`, the last with :data:`FINAL_SIGMA`, and the
+    chain is folded left-to-right with :func:`compose` -- each
+    intermediate composite is an ordered-pair relation again, which is
+    what makes the fold type-correct.
+
+    The result applied to ``{<a>}`` emits ``{out^2}`` singletons,
+    matching what :func:`staged_apply` produces stage-by-stage.
+    """
+    if not stages:
+        raise CompositionError("compose_chain needs at least one stage")
+    if len(stages) == 1:
+        return Process(stages[0], FINAL_SIGMA)
+    composed = stages[0]
+    for stage in stages[1:]:
+        composed = compose(
+            Process(stage, FINAL_SIGMA), Process(composed, STAGE_SIGMA)
+        ).graph
+    return Process(composed, FINAL_SIGMA)
+
+
+def staged_apply(stages: Sequence[XSet], x: XSet) -> XSet:
+    """Run a pipeline of pair relations stage-at-a-time (unfused).
+
+    The executable baseline Theorem 11.2's optimization claim is
+    benchmarked against: every intermediate result set is materialized
+    and fed to the next stage.  Extensionally equal to
+    ``compose_chain(stages)(x)``.
+    """
+    if not stages:
+        raise CompositionError("staged_apply needs at least one stage")
+    current = x
+    for stage in stages[:-1]:
+        current = Process(stage, STAGE_SIGMA).apply(current)
+    return Process(stages[-1], FINAL_SIGMA).apply(current)
+
+
+def verify_composition(
+    outer: Process, inner: Process, inputs: Optional[Iterable[XSet]] = None
+) -> bool:
+    """Extensional check ``(outer o inner)(x) == outer(inner(x))``.
+
+    Defaults to the canonical family of ``inner``'s domain singletons
+    plus ``inner``'s full domain.  Returns False rather than raising,
+    so callers can probe whether two processes are compositable in
+    their current coordinates.
+    """
+    composed = compose(outer, inner)
+    if inputs is None:
+        family: List[XSet] = list(inner.domain_singletons())
+        family.append(inner.domain())
+    else:
+        family = list(inputs)
+    return all(composed.apply(x) == outer.apply(inner.apply(x)) for x in family)

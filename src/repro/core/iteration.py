@@ -1,0 +1,127 @@
+"""Iterated behavior: powers, orbits and fixed points of processes.
+
+Appendix B builds new behaviors by applying a process to itself a few
+times; this module systematizes the construction for the pair-process
+coordinates of :mod:`repro.core.composition`:
+
+* :func:`power` -- ``f^n = f o f o ... o f`` (n-fold Def 11.1
+  composition, fused into one process);
+* :func:`orbit` -- the trajectory ``x, f(x), f(f(x)), ...`` of a set
+  under repeated application, stopping at a cycle or a fixpoint;
+* :func:`fixed_points` -- the domain singletons mapped to themselves;
+* :func:`is_idempotent`, :func:`iteration_period` -- behavior
+  classification of the power sequence (every finite functional
+  process's power sequence is eventually periodic; the period is what
+  the paper's g1...g4 ladder cycles through).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import CompositionError
+from repro.core.composition import FINAL_SIGMA, STAGE_SIGMA, compose
+from repro.core.process import Process
+from repro.xst.xset import XSet
+
+__all__ = [
+    "power",
+    "orbit",
+    "fixed_points",
+    "is_idempotent",
+    "iteration_period",
+]
+
+
+def power(graph: XSet, exponent: int) -> Process:
+    """The n-fold composition of a pair relation with itself.
+
+    ``power(f, 1)`` is ``f`` in FINAL coordinates; higher exponents
+    fuse with Def 11.1, so the result is one process whose single
+    application equals n staged applications.
+    """
+    if exponent < 1:
+        raise CompositionError("power() needs a positive exponent")
+    composed = graph
+    for _ in range(exponent - 1):
+        composed = compose(
+            Process(graph, FINAL_SIGMA), Process(composed, STAGE_SIGMA)
+        ).graph
+    return Process(composed, FINAL_SIGMA)
+
+
+def orbit(
+    process: Process, start: XSet, max_steps: int = 1000
+) -> Tuple[List[XSet], Optional[int]]:
+    """The trajectory of ``start`` under repeated application.
+
+    Returns ``(states, cycle_start)`` where ``states`` begins with
+    ``start`` and each next state is the process applied to the
+    previous; iteration stops when a state repeats (``cycle_start`` is
+    its first index) or the image empties (``cycle_start`` is None).
+    Raises after ``max_steps`` to keep runaway processes bounded.
+    """
+    states = [start]
+    seen = {start: 0}
+    current = start
+    for _ in range(max_steps):
+        current = process.apply(current)
+        if current.is_empty:
+            states.append(current)
+            return states, None
+        if current in seen:
+            return states, seen[current]
+        seen[current] = len(states)
+        states.append(current)
+    raise CompositionError(
+        "orbit did not close within %d steps" % max_steps
+    )
+
+
+def fixed_points(graph: XSet) -> XSet:
+    """Domain memberships whose singleton maps back to itself.
+
+    Takes the pair relation directly and reads it in STAGE coordinates
+    (outputs as 1-tuples), which is the only shape where "maps to
+    itself" is a set equality between input and output.
+    """
+    process = Process(graph, STAGE_SIGMA)
+    pairs = []
+    for pair in process.domain().pairs():
+        singleton = XSet([pair])
+        if process.apply(singleton) == singleton:
+            pairs.append(pair)
+    return XSet(pairs)
+
+
+def is_idempotent(graph: XSet) -> bool:
+    """``f o f`` behaves like ``f`` (over f's own domain singletons)."""
+    once = Process(graph, FINAL_SIGMA)
+    twice = power(graph, 2)
+    family = [XSet([pair]) for pair in Process(graph, STAGE_SIGMA).domain().pairs()]
+    return all(once.apply(x) == twice.apply(x) for x in family)
+
+
+def iteration_period(graph: XSet, max_exponent: int = 64) -> Tuple[int, int]:
+    """The (tail, period) of the power sequence ``f, f^2, f^3, ...``.
+
+    Compares powers by their graphs (composition in FINAL coordinates
+    is canonical for pair relations): returns the first index ``t``
+    (1-based) and period ``p`` with ``f^(t+p) == f^t``.  Every total
+    function on a finite set has such a pair; raises if none appears
+    within ``max_exponent``.
+    """
+    seen = {}
+    composed = graph
+    for exponent in range(1, max_exponent + 1):
+        if composed in seen:
+            tail = seen[composed]
+            return tail, exponent - tail
+        seen[composed] = exponent
+        composed = compose(
+            Process(graph, FINAL_SIGMA), Process(composed, STAGE_SIGMA)
+        ).graph
+    raise CompositionError(
+        "power sequence did not become periodic within %d steps"
+        % max_exponent
+    )

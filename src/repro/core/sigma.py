@@ -1,0 +1,167 @@
+"""Sigma: the scope-specification pair that turns a set into behavior.
+
+Throughout the paper a process is written ``f_(sigma)`` with
+``sigma = <sigma1, sigma2>``: ``sigma1`` steers the restriction (which
+inputs trigger which members) and ``sigma2`` steers the domain
+extraction (which parts of triggered members come out).  Both halves
+are themselves extended sets read as scope mappings (Defs 7.3/7.5).
+
+:class:`Sigma` is the structured carrier for that pair, with builders
+for the shapes that appear constantly:
+
+* ``Sigma.columns([1], [2])`` -- the CST function sigma
+  ``<<1>, <2>>``: key on position 1, emit position 2;
+* ``Sigma.columns([1], [1, 3, 4, 5, 2])`` -- Appendix B's omega;
+* ``Sigma.attributes(["dept"], ["name", "salary"])`` -- the relational
+  shape, keying and emitting by attribute name (identity mapping);
+* ``Sigma.identity(n)`` -- pass an n-tuple through unchanged.
+
+A ``Sigma`` is interchangeable with a plain ``(sigma1, sigma2)`` tuple
+everywhere in the kernel; it exists for readability, for its
+conversion to/from the Def 7.2 ordered-pair encoding (a sigma *is* a
+set, ``<sigma1, sigma2> = {sigma1^1, sigma2^2}``), and for the inverse
+and composition helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.xst.builders import xpair, xtuple
+from repro.xst.rescope import rescope_by_scope
+from repro.xst.xset import XSet
+
+__all__ = ["Sigma"]
+
+
+class Sigma:
+    """An immutable ``<sigma1, sigma2>`` scope-specification pair."""
+
+    __slots__ = ("_sigma1", "_sigma2")
+
+    def __init__(self, sigma1: XSet, sigma2: XSet):
+        if not isinstance(sigma1, XSet) or not isinstance(sigma2, XSet):
+            raise TypeError("Sigma halves must be extended sets")
+        object.__setattr__(self, "_sigma1", sigma1)
+        object.__setattr__(self, "_sigma2", sigma2)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Sigma instances are immutable")
+
+    @property
+    def sigma1(self) -> XSet:
+        """The restriction half (input key specification)."""
+        return self._sigma1
+
+    @property
+    def sigma2(self) -> XSet:
+        """The domain half (output part specification)."""
+        return self._sigma2
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def columns(
+        cls, key_positions: Sequence[int], out_positions: Sequence[int]
+    ) -> "Sigma":
+        """Positional sigma: ``<<k1,..>, <o1,..>>`` as tuple scope maps.
+
+        ``Sigma.columns([1], [2])`` keys member tuples on position 1
+        and emits position 2 (renumbered from 1); it is the sigma of
+        every CST-flavoured example in the paper.
+        """
+        return cls(xtuple(list(key_positions)), xtuple(list(out_positions)))
+
+    @classmethod
+    def identity(cls, arity: int) -> "Sigma":
+        """Key on, and emit, all of an ``arity``-tuple unchanged."""
+        positions = list(range(1, arity + 1))
+        return cls.columns(positions, positions)
+
+    @classmethod
+    def attributes(
+        cls,
+        key_attrs: Iterable[str],
+        out_attrs: Optional[Iterable[str]] = None,
+    ) -> "Sigma":
+        """Attribute-name sigma for record-shaped members.
+
+        Scopes map to themselves (``{attr^attr, ...}``), so keys and
+        outputs keep their attribute names -- the natural shape for the
+        relational layer.  ``out_attrs`` defaults to ``key_attrs``.
+        """
+        keys = list(key_attrs)
+        outs = keys if out_attrs is None else list(out_attrs)
+        return cls(
+            XSet((attr, attr) for attr in keys),
+            XSet((attr, attr) for attr in outs),
+        )
+
+    @classmethod
+    def renaming(
+        cls,
+        key_mapping: Iterable[Tuple[object, object]],
+        out_mapping: Iterable[Tuple[object, object]],
+    ) -> "Sigma":
+        """Fully general sigma from explicit old->new scope pairs."""
+        return cls(
+            XSet((old, new) for old, new in key_mapping),
+            XSet((old, new) for old, new in out_mapping),
+        )
+
+    @classmethod
+    def from_xset(cls, pair: XSet) -> "Sigma":
+        """Decode the Def 7.2 ordered-pair encoding ``{sigma1^1, sigma2^2}``."""
+        sigma1, sigma2 = pair.as_tuple()
+        if not isinstance(sigma1, XSet) or not isinstance(sigma2, XSet):
+            raise TypeError("encoded sigma halves must be extended sets")
+        return cls(sigma1, sigma2)
+
+    # ------------------------------------------------------------------
+    # Derived sigmas
+    # ------------------------------------------------------------------
+
+    def inverted(self) -> "Sigma":
+        """Swap the halves: the sigma of the paper's Example 8.1 inverse."""
+        return Sigma(self._sigma2, self._sigma1)
+
+    def fused_output(self, later: "Sigma") -> "Sigma":
+        """Fuse two *output* re-scopings into one sigma2.
+
+        If a pipeline re-scopes by ``self.sigma2`` and then by
+        ``later.sigma2``, the single equivalent output map sends
+        ``s -> w`` whenever ``s ->_{self} m`` and ``m ->_{later} w``;
+        that is ``self.sigma2`` re-scoped by ``later.sigma2`` on its
+        scope side.  Used by the relational optimizer to collapse
+        projection/rename chains.
+        """
+        fused = rescope_by_scope(self._sigma2, later.sigma2)
+        return Sigma(self._sigma1, fused)
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+
+    def to_xset(self) -> XSet:
+        """Encode as the Def 7.2 ordered pair ``{sigma1^1, sigma2^2}``."""
+        return xpair(self._sigma1, self._sigma2)
+
+    def __iter__(self) -> Iterator[XSet]:
+        return iter((self._sigma1, self._sigma2))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Sigma):
+            return NotImplemented
+        return self._sigma1 == other._sigma1 and self._sigma2 == other._sigma2
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        return hash(("repro.Sigma", self._sigma1, self._sigma2))
+
+    def __repr__(self) -> str:
+        return "Sigma(%r, %r)" % (self._sigma1, self._sigma2)

@@ -1,0 +1,363 @@
+"""Process spaces and function spaces: sections 5 and 6.
+
+A process space ``P(A, B)`` collects every process from domain ``A``
+to codomain ``B`` (Def 5.1); a function space ``F(A, B)`` is the
+sub-collection whose members never take one input to many outputs
+(Def 5.2).  Sub-spaces arise from five refinements, written in the
+paper's Appendix E with five marks::
+
+    on            "["   D_{sigma1}(f) = A          (Def 6.1)
+    onto          "]"   D_{sigma2}(f) = B          (Def 6.2)
+    many-to-one   ">"   distinct inputs may share an output
+    one-to-one    "-"   no two inputs share an output (Def 6.3)
+    one-to-many   "<"   one input may yield several outputs
+
+This module provides:
+
+* membership predicates for the named spaces of Defs 5.1 - 6.6
+  (``P(A,B)``, ``F(A,B)``, ``F[A,B)``, ``F(A,B]``, ``F*(A,B)`` and the
+  injective/surjective/bijective triple);
+* :class:`SpaceSpec`, a declarative space description (on? onto? which
+  association kinds are permitted?) with the 16-element *basic* family
+  of Appendix D and the 29-element *refined* family of Appendix E;
+* :func:`behavior_profile`, which observes how a process actually
+  behaves over a domain and returns the properties the specs test.
+
+Reconstruction note.  The source text of Appendix E is partially
+garbled; the counts it states are 29 refined process spaces and 12
+non-empty function spaces.  Modeling an association constraint as a
+*non-empty subset* of ``{>, -, <}`` gives 7 x 4 = 28 constraint
+combinations, and exactly 3 x 4 = 12 of them are function spaces
+(those excluding ``<``) -- matching the stated function-space count
+precisely.  We therefore take the refined family to be those 28 plus
+the degenerate empty space, total 29, and record the reconstruction
+here and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.core.process import Process
+from repro.xst.xset import XSet
+
+__all__ = [
+    "MANY_TO_ONE",
+    "ONE_TO_ONE",
+    "ONE_TO_MANY",
+    "BehaviorProfile",
+    "behavior_profile",
+    "in_process_space",
+    "in_function_space",
+    "in_function_space_on",
+    "in_function_space_onto",
+    "in_function_space_one_one",
+    "is_injective_member",
+    "is_surjective_member",
+    "is_bijective_member",
+    "SpaceSpec",
+    "EMPTY_SPACE",
+    "basic_specs",
+    "refined_specs",
+    "satisfies",
+]
+
+#: Association kind marks, as written in Appendix E.
+MANY_TO_ONE = ">"
+ONE_TO_ONE = "-"
+ONE_TO_MANY = "<"
+
+_ALL_KINDS = frozenset({MANY_TO_ONE, ONE_TO_ONE, ONE_TO_MANY})
+
+
+class BehaviorProfile:
+    """Observed behavior of a process over a (domain, codomain) pair.
+
+    Produced by :func:`behavior_profile`; consumed by the space
+    predicates and by :func:`satisfies`.
+    """
+
+    __slots__ = (
+        "in_space",
+        "on",
+        "onto",
+        "functional",
+        "one_one",
+        "associations",
+    )
+
+    def __init__(
+        self,
+        in_space: bool,
+        on: bool,
+        onto: bool,
+        functional: bool,
+        one_one: bool,
+        associations: FrozenSet[str],
+    ):
+        self.in_space = in_space
+        self.on = on
+        self.onto = onto
+        self.functional = functional
+        self.one_one = one_one
+        self.associations = associations
+
+    def __repr__(self) -> str:
+        marks = "".join(sorted(self.associations))
+        return (
+            "BehaviorProfile(in_space=%s, on=%s, onto=%s, functional=%s, "
+            "one_one=%s, associations=%r)"
+            % (self.in_space, self.on, self.onto, self.functional, self.one_one, marks)
+        )
+
+
+def behavior_profile(process: Process, a: XSet, b: XSet) -> BehaviorProfile:
+    """Observe a process's input/output associations over ``A``.
+
+    The process is applied to every singleton of ``A``; the outcomes
+    determine functionality (Def 5.2), the on/onto equalities
+    (Defs 6.1/6.2), injectivity (Def 6.3) and which association kinds
+    (many-to-one / one-to-one / one-to-many) actually occur.
+    """
+    domain = process.domain()
+    codomain = process.codomain()
+    in_space = (
+        domain.is_nonempty_subset(a)
+        and codomain.is_nonempty_subset(b)
+    )
+    outcomes: List[Tuple[XSet, XSet]] = []
+    for pair in a.pairs():
+        singleton = XSet([pair])
+        result = process.apply(singleton)
+        if not result.is_empty:
+            outcomes.append((singleton, result))
+    functional = all(len(result) == 1 for _, result in outcomes)
+    by_result: Dict[XSet, List[XSet]] = {}
+    for singleton, result in outcomes:
+        by_result.setdefault(result, []).append(singleton)
+    one_one = all(len(inputs) == 1 for inputs in by_result.values())
+    kinds = set()
+    for singleton, result in outcomes:
+        if len(result) > 1:
+            kinds.add(ONE_TO_MANY)
+    for result, inputs in by_result.items():
+        if len(inputs) > 1:
+            kinds.add(MANY_TO_ONE)
+        elif len(result) == 1:
+            kinds.add(ONE_TO_ONE)
+    return BehaviorProfile(
+        in_space=in_space,
+        on=domain == a,
+        onto=codomain == b,
+        functional=functional,
+        one_one=one_one,
+        associations=frozenset(kinds),
+    )
+
+
+# ----------------------------------------------------------------------
+# Named spaces, Defs 5.1 - 6.6
+# ----------------------------------------------------------------------
+
+
+def in_process_space(process: Process, a: XSet, b: XSet) -> bool:
+    """Def 5.1: ``f in_sigma P(A, B)``."""
+    return behavior_profile(process, a, b).in_space
+
+
+def in_function_space(process: Process, a: XSet, b: XSet) -> bool:
+    """Def 5.2: in ``P(A,B)`` and singletons map to singletons."""
+    profile = behavior_profile(process, a, b)
+    return profile.in_space and profile.functional
+
+
+def in_function_space_on(process: Process, a: XSet, b: XSet) -> bool:
+    """Def 6.1: ``F[A, B)`` -- a function space member defined ON all of A."""
+    profile = behavior_profile(process, a, b)
+    return profile.in_space and profile.functional and profile.on
+
+
+def in_function_space_onto(process: Process, a: XSet, b: XSet) -> bool:
+    """Def 6.2: ``F(A, B]`` -- a function space member ONTO all of B."""
+    profile = behavior_profile(process, a, b)
+    return profile.in_space and profile.functional and profile.onto
+
+
+def in_function_space_one_one(process: Process, a: XSet, b: XSet) -> bool:
+    """Def 6.3: ``F*(A, B)`` -- one-to-one members of ``F(A, B)``."""
+    profile = behavior_profile(process, a, b)
+    return profile.in_space and profile.functional and profile.one_one
+
+
+def is_injective_member(process: Process, a: XSet, b: XSet) -> bool:
+    """Def 6.4: ``F*[A, B)`` -- one-to-one and on A."""
+    profile = behavior_profile(process, a, b)
+    return (
+        profile.in_space and profile.functional and profile.one_one and profile.on
+    )
+
+
+def is_surjective_member(process: Process, a: XSet, b: XSet) -> bool:
+    """Def 6.5: ``F[A, B]`` -- on A and onto B."""
+    profile = behavior_profile(process, a, b)
+    return (
+        profile.in_space and profile.functional and profile.on and profile.onto
+    )
+
+
+def is_bijective_member(process: Process, a: XSet, b: XSet) -> bool:
+    """Def 6.6: ``F*[A, B]`` -- one-to-one, on A, onto B."""
+    profile = behavior_profile(process, a, b)
+    return (
+        profile.in_space
+        and profile.functional
+        and profile.one_one
+        and profile.on
+        and profile.onto
+    )
+
+
+# ----------------------------------------------------------------------
+# Declarative space specifications (Appendices D and E)
+# ----------------------------------------------------------------------
+
+
+class SpaceSpec:
+    """A sub-space description: on?, onto?, permitted association kinds.
+
+    ``allowed`` is a subset of ``{'>', '-', '<'}``; a process satisfies
+    the spec when every association kind it exhibits is permitted.  The
+    empty ``allowed`` set is the degenerate empty space (no process can
+    exhibit no associations and still be well-formed over a non-empty
+    domain), kept as the 29th refined space.
+    """
+
+    __slots__ = ("on", "onto", "allowed")
+
+    def __init__(self, on: bool, onto: bool, allowed: Iterable[str]):
+        self.on = on
+        self.onto = onto
+        self.allowed = frozenset(allowed)
+        if not self.allowed <= _ALL_KINDS:
+            raise ValueError("unknown association marks: %r" % (self.allowed,))
+
+    # -- identity ------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SpaceSpec):
+            return NotImplemented
+        return (
+            self.on == other.on
+            and self.onto == other.onto
+            and self.allowed == other.allowed
+        )
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        return hash(("repro.SpaceSpec", self.on, self.onto, self.allowed))
+
+    # -- taxonomy ------------------------------------------------------
+
+    @property
+    def is_function_space(self) -> bool:
+        """Function spaces forbid one-to-many (Def 5.2) and are non-degenerate."""
+        return bool(self.allowed) and ONE_TO_MANY not in self.allowed
+
+    def refines(self, other: "SpaceSpec") -> bool:
+        """Spec inclusion: every member of ``self`` is a member of ``other``.
+
+        Constraints only ever *narrow*, so inclusion is componentwise:
+        ``self`` is at least as on/onto-restricted and permits no
+        association kind that ``other`` forbids.  This is the partial
+        order of the Appendix D/E lattice figures and of the paper's
+        Consequence 6.1.
+        """
+        on_ok = self.on or not other.on
+        onto_ok = self.onto or not other.onto
+        return on_ok and onto_ok and self.allowed <= other.allowed
+
+    def label(self) -> str:
+        """Appendix E-style mark string, e.g. ``'[>-)'`` or ``'(<]'``."""
+        left = "[" if self.on else "("
+        right = "]" if self.onto else ")"
+        marks = "".join(
+            kind for kind in (MANY_TO_ONE, ONE_TO_ONE, ONE_TO_MANY)
+            if kind in self.allowed
+        )
+        return "%s%s%s" % (left, marks or "0", right)
+
+    def __repr__(self) -> str:
+        return "SpaceSpec(%r)" % self.label()
+
+
+#: The degenerate space permitting no associations at all.
+EMPTY_SPACE = SpaceSpec(on=False, onto=False, allowed=())
+
+
+def basic_specs() -> List[SpaceSpec]:
+    """Appendix D's 16 basic process spaces.
+
+    Four association constraints (unrestricted, many-to-one,
+    one-to-one, one-to-many) crossed with on/off for each of on and
+    onto.  Exactly 8 of the 16 qualify as function spaces (those whose
+    constraint excludes one-to-many).
+    """
+    constraints = [
+        _ALL_KINDS,
+        frozenset({MANY_TO_ONE, ONE_TO_ONE}),
+        frozenset({ONE_TO_ONE}),
+        frozenset({ONE_TO_ONE, ONE_TO_MANY}),
+    ]
+    return [
+        SpaceSpec(on=on, onto=onto, allowed=allowed)
+        for allowed in constraints
+        for on in (False, True)
+        for onto in (False, True)
+    ]
+
+
+def refined_specs() -> List[SpaceSpec]:
+    """Appendix E's 29 refined process spaces.
+
+    Every non-empty subset of the three association kinds (7) crossed
+    with on/onto (4) gives 28, plus the degenerate empty space -- see
+    the module docstring for the reconstruction argument.  Exactly 12
+    are (non-empty) function spaces.
+    """
+    specs = []
+    kinds = sorted(_ALL_KINDS)
+    for mask in range(1, 8):
+        allowed = frozenset(
+            kind for position, kind in enumerate(kinds) if mask & (1 << position)
+        )
+        for on in (False, True):
+            for onto in (False, True):
+                specs.append(SpaceSpec(on=on, onto=onto, allowed=allowed))
+    specs.append(EMPTY_SPACE)
+    return specs
+
+
+def satisfies(
+    process: Process,
+    a: XSet,
+    b: XSet,
+    spec: SpaceSpec,
+    profile: Optional[BehaviorProfile] = None,
+) -> bool:
+    """Does a process inhabit a spec's sub-space of ``P(A, B)``?
+
+    A precomputed :func:`behavior_profile` may be passed to avoid
+    re-observing the process during census enumeration.
+    """
+    if profile is None:
+        profile = behavior_profile(process, a, b)
+    if not profile.in_space:
+        return False
+    if spec.on and not profile.on:
+        return False
+    if spec.onto and not profile.onto:
+        return False
+    return profile.associations <= spec.allowed

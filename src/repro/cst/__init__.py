@@ -1,0 +1,52 @@
+"""The classical (CST) baseline layer.
+
+Everything the paper attributes to classical set theory, implemented
+on plain Python sets so the XST kernel has an independent ground truth
+to be validated against:
+
+* :mod:`repro.cst.pairs` -- Kuratowski ordered pairs (and their
+  operand problems, per Skolem / reference [5]);
+* :mod:`repro.cst.relations` -- Defs 3.1-3.6: restriction, 1-/2-domain
+  and both image constructions over pair relations;
+* :mod:`repro.cst.functions` -- Defs 3.2/3.9 element functions and the
+  Theorem 9.10 bridge into XST processes.
+"""
+
+from repro.cst.functions import CSTFunction
+from repro.cst.pairs import is_kpair, kfirst, kpair, ksecond, ktuple, kunpair
+from repro.cst.relations import (
+    Relation,
+    domain_1,
+    domain_2,
+    image,
+    image_constructive,
+    inverse,
+    is_function,
+    is_injective,
+    is_onto,
+    is_total_on,
+    relative_product,
+    restriction,
+)
+
+__all__ = [
+    "CSTFunction",
+    "kpair",
+    "kunpair",
+    "kfirst",
+    "ksecond",
+    "is_kpair",
+    "ktuple",
+    "Relation",
+    "restriction",
+    "domain_1",
+    "domain_2",
+    "image",
+    "image_constructive",
+    "inverse",
+    "relative_product",
+    "is_function",
+    "is_injective",
+    "is_total_on",
+    "is_onto",
+]

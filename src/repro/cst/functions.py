@@ -1,0 +1,121 @@
+"""Classical functions (Defs 3.2 / 3.9) and the CST <-> XST bridge.
+
+A CST function is a single-valued relation used element-at-a-time:
+``f(a) = b  <=>  f[{a}] = {b}`` (Def 3.2).  :class:`CSTFunction` wraps
+that reading with dict-backed evaluation, classical composition, and
+conversions to and from the XST encodings, realizing Theorem 9.10's
+claim that every CST element function is representable as an XST
+set-based function.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Tuple
+
+from repro.errors import NotAFunctionError
+from repro.cst.relations import image, is_function
+from repro.core.process import Process
+from repro.core.sigma import Sigma
+from repro.xst.builders import xpair, xset
+from repro.xst.values import classical_call
+from repro.xst.xset import XSet
+
+__all__ = ["CSTFunction"]
+
+
+class CSTFunction:
+    """An element-to-element function over a finite graph."""
+
+    __slots__ = ("_mapping",)
+
+    def __init__(self, graph: Iterable[Tuple[Any, Any]]):
+        pairs = list(graph)
+        if not is_function(pairs):
+            raise NotAFunctionError(
+                "graph maps some element to several values; not a CST function"
+            )
+        object.__setattr__(self, "_mapping", dict(pairs))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("CSTFunction instances are immutable")
+
+    # -- evaluation ----------------------------------------------------
+
+    def __call__(self, argument: Any) -> Any:
+        """Def 3.2: ``f(a) = b  <=>  f[{a}] = {b}``."""
+        try:
+            return self._mapping[argument]
+        except KeyError:
+            raise NotAFunctionError(
+                "%r is outside this function's domain" % (argument,)
+            ) from None
+
+    def image(self, arguments: Iterable[Any]) -> frozenset:
+        """Def 3.1 image of a set of arguments."""
+        return image(self._mapping.items(), set(arguments))
+
+    # -- structure -----------------------------------------------------
+
+    @property
+    def graph(self) -> frozenset:
+        return frozenset(self._mapping.items())
+
+    def domain(self) -> frozenset:
+        return frozenset(self._mapping)
+
+    def codomain(self) -> frozenset:
+        return frozenset(self._mapping.values())
+
+    def compose(self, inner: "CSTFunction") -> "CSTFunction":
+        """Classical ``self o inner`` (defined where the chain is)."""
+        pairs = []
+        for x, middle in inner._mapping.items():
+            if middle in self._mapping:
+                pairs.append((x, self._mapping[middle]))
+        return CSTFunction(pairs)
+
+    # -- the Theorem 9.10 bridge ----------------------------------------
+
+    def to_xst(self) -> Process:
+        """Encode as the XST process ``f_(<<1>, <2>>)`` over pair tuples."""
+        graph = xset(xpair(x, y) for x, y in self._mapping.items())
+        return Process(graph, Sigma.columns([1], [2]))
+
+    def call_via_xst(self, argument: Any) -> Any:
+        """Theorem 9.10: ``f(x) = V( f_(sigma)({<x>}) )``.
+
+        Evaluates through the full XST pipeline (restriction, domain,
+        value extraction); tests assert it agrees with ``__call__`` on
+        every domain element.
+        """
+        return classical_call(self.to_xst().graph, argument)
+
+    @classmethod
+    def from_xst(cls, process: Process) -> "CSTFunction":
+        """Decode a pair-relation process back to an element function."""
+        pairs = []
+        for member, _ in process.graph.pairs():
+            if not isinstance(member, XSet) or member.tuple_length() != 2:
+                raise NotAFunctionError(
+                    "process graph member %r is not an ordered pair" % (member,)
+                )
+            pairs.append(member.as_tuple())
+        return cls(pairs)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CSTFunction):
+            return NotImplemented
+        return self._mapping == other._mapping
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        return hash(("repro.CSTFunction", self.graph))
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __repr__(self) -> str:
+        return "CSTFunction(%d pairs)" % len(self._mapping)

@@ -1,0 +1,78 @@
+"""Classical ordered pairs, the Kuratowski way.
+
+CST builds the ordered pair as nested unordered sets::
+
+    <x, y> = { {x}, {x, y} }
+
+This module implements that encoding over ``frozenset`` so the library
+can demonstrate, concretely, the operand problems Skolem raised and
+the paper cites (reference [5]): the encoding is not *flat* (pair
+components live two membership levels down), tuples-as-nested-pairs
+are not associative, and ``<x, x>`` degenerates to ``{{x}}``.  The XST
+tuple (Def 9.1) removes all three wrinkles, and the tests compare the
+two encodings side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Tuple
+
+from repro.errors import NotATupleError
+
+__all__ = ["kpair", "kfirst", "ksecond", "kunpair", "is_kpair", "ktuple"]
+
+
+def kpair(x: Any, y: Any) -> FrozenSet:
+    """The Kuratowski pair ``{{x}, {x, y}}``."""
+    return frozenset({frozenset({x}), frozenset({x, y})})
+
+
+def is_kpair(candidate: Any) -> bool:
+    """Recognize the Kuratowski pair shape."""
+    if not isinstance(candidate, frozenset) or not 1 <= len(candidate) <= 2:
+        return False
+    if not all(isinstance(part, frozenset) for part in candidate):
+        return False
+    parts = sorted(candidate, key=len)
+    if len(candidate) == 1:
+        # <x, x> collapses to {{x}}.
+        return len(parts[0]) == 1
+    if len(parts[0]) != 1 or len(parts[1]) != 2:
+        return False
+    return parts[0] <= parts[1]
+
+
+def kunpair(pair: FrozenSet) -> Tuple[Any, Any]:
+    """Recover ``(x, y)`` from a Kuratowski pair."""
+    if not is_kpair(pair):
+        raise NotATupleError("%r is not a Kuratowski pair" % (pair,))
+    parts = sorted(pair, key=len)
+    if len(parts) == 1:
+        (x,) = parts[0]
+        return (x, x)
+    (x,) = parts[0]
+    (y,) = parts[1] - parts[0]
+    return (x, y)
+
+
+def kfirst(pair: FrozenSet) -> Any:
+    return kunpair(pair)[0]
+
+
+def ksecond(pair: FrozenSet) -> Any:
+    return kunpair(pair)[1]
+
+
+def ktuple(items: Tuple) -> Any:
+    """An n-tuple as right-nested Kuratowski pairs.
+
+    ``ktuple((a, b, c)) = kpair(a, kpair(b, c))`` -- the classical
+    encoding whose non-associativity motivates Def 9.1.  A 1-tuple is
+    its bare item; the empty tuple is rejected, as CST has no
+    canonical 0-tuple.
+    """
+    if not items:
+        raise NotATupleError("CST has no canonical empty tuple")
+    if len(items) == 1:
+        return items[0]
+    return kpair(items[0], ktuple(items[1:]))

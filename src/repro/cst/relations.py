@@ -1,0 +1,109 @@
+"""Classical relations: the CST baseline of Definitions 3.1 - 3.6.
+
+A relation here is a ``frozenset`` of 2-tuples -- the pragmatic
+classical encoding (Kuratowski pairs are available in
+:mod:`repro.cst.pairs` for the foundational comparisons; using them
+for bulk operations would only obscure the algorithms).
+
+These operations are the paper's *own* baseline: Defs 3.1-3.6 define
+the classical Image as the 2-Domain of the Restriction, and the XST
+versions must collapse to these when sigma is ``<<1>, <2>>``.  The
+test suite cross-validates every XST kernel operation against this
+module, and the benchmarks use it as the element-at-a-time comparison
+point.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, List, Tuple
+
+__all__ = [
+    "Relation",
+    "restriction",
+    "domain_1",
+    "domain_2",
+    "image",
+    "image_constructive",
+    "inverse",
+    "relative_product",
+    "is_function",
+    "is_injective",
+    "is_total_on",
+    "is_onto",
+]
+
+Relation = FrozenSet[Tuple[Any, Any]]
+
+
+def restriction(r: Iterable[Tuple[Any, Any]], a: Set) -> Relation:
+    """Def 3.3: ``R | A`` -- pairs whose first component lies in ``A``."""
+    return frozenset(pair for pair in r if pair[0] in a)
+
+
+def domain_1(r: Iterable[Tuple[Any, Any]]) -> FrozenSet:
+    """Def 3.4: the set of first components."""
+    return frozenset(x for x, _ in r)
+
+
+def domain_2(r: Iterable[Tuple[Any, Any]]) -> FrozenSet:
+    """Def 3.5: the set of second components."""
+    return frozenset(y for _, y in r)
+
+
+def image(r: Iterable[Tuple[Any, Any]], a: Set) -> FrozenSet:
+    """Def 3.1: ``R[A] = { y : exists x in A with (x, y) in R }``."""
+    return frozenset(y for x, y in r if x in a)
+
+
+def image_constructive(r: Iterable[Tuple[Any, Any]], a: Set) -> FrozenSet:
+    """Def 3.6: ``R[A] = D_2(R | A)`` -- the two-step construction.
+
+    Extensionally identical to :func:`image`; kept separate so tests
+    can assert Def 3.1 == Def 3.6 and benchmarks can weigh the
+    two-pass cost.
+    """
+    return domain_2(restriction(r, a))
+
+
+def inverse(r: Iterable[Tuple[Any, Any]]) -> Relation:
+    """The converse relation ``{ (y, x) : (x, y) in R }``."""
+    return frozenset((y, x) for x, y in r)
+
+
+def relative_product(
+    r: Iterable[Tuple[Any, Any]], s: Iterable[Tuple[Any, Any]]
+) -> Relation:
+    """CST relative product: ``{<a,b>}/{<b,c>} = {<a,c>}`` (section 10)."""
+    by_first: Dict[Any, List[Any]] = {}
+    for x, y in s:
+        by_first.setdefault(x, []).append(y)
+    out = set()
+    for a, b in r:
+        for c in by_first.get(b, ()):
+            out.add((a, c))
+    return frozenset(out)
+
+
+def is_function(r: Iterable[Tuple[Any, Any]]) -> bool:
+    """No first component maps to two distinct second components."""
+    seen: Dict[Any, Any] = {}
+    for x, y in r:
+        if x in seen and seen[x] != y:
+            return False
+        seen[x] = y
+    return True
+
+
+def is_injective(r: Iterable[Tuple[Any, Any]]) -> bool:
+    """A function whose converse is also a function."""
+    return is_function(r) and is_function(inverse(r))
+
+
+def is_total_on(r: Iterable[Tuple[Any, Any]], a: Set) -> bool:
+    """Defined ON ``A``: first components cover ``A`` exactly."""
+    return domain_1(r) == frozenset(a)
+
+
+def is_onto(r: Iterable[Tuple[Any, Any]], b: Set) -> bool:
+    """ONTO ``B``: second components cover ``B`` exactly."""
+    return domain_2(r) == frozenset(b)

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the XST reproduction.
+
+Every error raised by this library derives from :class:`XSTError`, so
+callers can catch one type to guard against any library failure.  The
+subclasses mirror the layers of the system:
+
+* :class:`InvalidAtomError` -- a value that cannot participate in an
+  extended set was used as an element or scope (kernel layer).
+* :class:`NotATupleError` -- an operation that requires Def 9.1 n-tuples
+  (consecutive integer scopes ``1..n``) received a non-tuple.
+* :class:`NotAProcessError` -- a (set, sigma) pair fails the Def 2.1
+  well-formedness condition for processes.
+* :class:`NotAFunctionError` -- a process violates the Def 8.2
+  single-valuedness requirement where a function is demanded.
+* :class:`AmbiguousValueError` -- Def 9.8/9.9 value extraction found
+  zero or several candidate values.
+* :class:`CompositionError` -- Def 11.1 composition was requested for
+  processes that are not compositable.
+* :class:`SchemaError` -- relational layer: rows do not match the
+  declared heading, or an operation references unknown attributes.
+* :class:`NotationError` -- the paper-notation parser rejected its
+  input.
+"""
+
+from __future__ import annotations
+
+
+class XSTError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InvalidAtomError(XSTError, TypeError):
+    """An unusable (unhashable or reserved) value was offered as an atom."""
+
+
+class NotATupleError(XSTError, ValueError):
+    """An extended set without Def 9.1 tuple shape was used as a tuple."""
+
+
+class NotAProcessError(XSTError, ValueError):
+    """A (set, sigma) pair violates Def 2.1 process well-formedness."""
+
+
+class NotAFunctionError(XSTError, ValueError):
+    """A process violates Def 8.2 where functional behavior is required."""
+
+
+class AmbiguousValueError(XSTError, ValueError):
+    """Def 9.8/9.9 value extraction has no unique answer."""
+
+
+class CompositionError(XSTError, ValueError):
+    """Two processes cannot be composed under Def 11.1."""
+
+
+class SchemaError(XSTError, ValueError):
+    """Relational-layer schema violation."""
+
+
+class NotationError(XSTError, ValueError):
+    """Paper-notation source text could not be parsed."""

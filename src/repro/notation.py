@@ -1,0 +1,156 @@
+"""Parse and print the paper's surface notation.
+
+The paper writes extended sets as ``{a^1, b^2}``, tuples as
+``<a, b, c>`` (equal, by Defs 7.2/9.1, to ``{a^1, b^2, c^3}``), and
+scoped membership with the caret.  This module turns that notation
+into :class:`~repro.xst.xset.XSet` values and back, so examples,
+doctests and debugging sessions can speak the paper's language::
+
+    >>> from repro.notation import parse
+    >>> parse("{<a, x>, <b, y>}")
+    {<a, x>, <b, y>}
+    >>> parse("{a^x, b^y}") == parse("{ b^y , a^x }")
+    True
+
+Grammar (whitespace insensitive)::
+
+    value  := set | tuple | atom
+    set    := '{' [ member (',' member)* ] '}'
+    member := value [ '^' value ]
+    tuple  := '<' [ value (',' value)* ] '>'
+    atom   := number | 'quoted string' | identifier
+
+Bare identifiers parse as strings, numbers as int/float (with optional
+sign), and members without a caret get the empty (classical) scope.
+Rendering is the inverse: :func:`render` is re-exported from the
+kernel and round-trips through :func:`parse` for every set built from
+parseable atoms.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Tuple
+
+from repro.errors import NotationError
+from repro.xst.xset import EMPTY, XSet, render
+
+__all__ = ["parse", "render", "tokens"]
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<lbrace>\{) | (?P<rbrace>\}) |
+    (?P<langle><)  | (?P<rangle>>)  |
+    (?P<comma>,)   | (?P<caret>\^)  |
+    (?P<number>-?\d+\.\d+|-?\d+)    |
+    (?P<string>'[^']*'|"[^"]*")     |
+    (?P<name>[A-Za-z_][A-Za-z_0-9]*[+\-]?|[+\-]) |
+    (?P<space>\s+) |
+    (?P<bad>.)
+    """,
+    re.VERBOSE,
+)
+
+
+#: Bare keywords the renderer prints for Python constants; the parser
+#: reads them back as the constants so render/parse round-trips.
+_KEYWORDS = {"None": None, "True": True, "False": False}
+
+
+def tokens(text: str) -> List[Tuple[str, str]]:
+    """Tokenize paper notation into ``(kind, lexeme)`` pairs."""
+    out = []
+    for match in _TOKEN_PATTERN.finditer(text):
+        kind = match.lastgroup
+        if kind == "space":
+            continue
+        if kind == "bad":
+            raise NotationError(
+                "unexpected character %r at position %d"
+                % (match.group(), match.start())
+            )
+        out.append((kind, match.group()))
+    return out
+
+
+class _Parser:
+    def __init__(self, stream: List[Tuple[str, str]]):
+        self._stream = stream
+        self._position = 0
+
+    def _peek(self) -> Tuple[str, str]:
+        if self._position >= len(self._stream):
+            raise NotationError("unexpected end of input")
+        return self._stream[self._position]
+
+    def _take(self, expected: str) -> str:
+        kind, lexeme = self._peek()
+        if kind != expected:
+            raise NotationError(
+                "expected %s but found %r" % (expected, lexeme)
+            )
+        self._position += 1
+        return lexeme
+
+    def at_end(self) -> bool:
+        return self._position >= len(self._stream)
+
+    def value(self) -> Any:
+        kind, lexeme = self._peek()
+        if kind == "lbrace":
+            return self._set()
+        if kind == "langle":
+            return self._tuple()
+        if kind == "number":
+            self._position += 1
+            return float(lexeme) if "." in lexeme else int(lexeme)
+        if kind == "string":
+            self._position += 1
+            return lexeme[1:-1]
+        if kind == "name":
+            self._position += 1
+            return _KEYWORDS.get(lexeme, lexeme)
+        raise NotationError("cannot start a value with %r" % (lexeme,))
+
+    def _set(self) -> XSet:
+        self._take("lbrace")
+        pairs = []
+        if self._peek()[0] != "rbrace":
+            while True:
+                element = self.value()
+                scope: Any = EMPTY
+                if not self.at_end() and self._peek()[0] == "caret":
+                    self._take("caret")
+                    scope = self.value()
+                pairs.append((element, scope))
+                if self._peek()[0] != "comma":
+                    break
+                self._take("comma")
+        self._take("rbrace")
+        return XSet(pairs)
+
+    def _tuple(self) -> XSet:
+        self._take("langle")
+        items = []
+        if self._peek()[0] != "rangle":
+            while True:
+                items.append(self.value())
+                if self._peek()[0] != "comma":
+                    break
+                self._take("comma")
+        self._take("rangle")
+        return XSet((item, index) for index, item in enumerate(items, start=1))
+
+
+def parse(text: str) -> Any:
+    """Parse one value written in the paper's notation.
+
+    The top-level value may be a set, a tuple or a bare atom.  Raises
+    :class:`~repro.errors.NotationError` on malformed input or
+    trailing garbage.
+    """
+    parser = _Parser(tokens(text))
+    value = parser.value()
+    if not parser.at_end():
+        raise NotationError("trailing input after %r" % (value,))
+    return value

@@ -1,0 +1,139 @@
+"""Data management on extended sets: the VLDB-1977 substrate.
+
+======================  =============================================
+module                  contents
+======================  =============================================
+``schema``              :class:`Heading` -- attribute alphabets
+``relation``            :class:`Relation` -- rows as scoped records
+``algebra``             select / project / rename / join / semijoin /
+                        product / union / difference / intersection,
+                        each one kernel call
+``query``               plan AST, :class:`Database`, set-at-a-time and
+                        record-at-a-time executors
+``optimizer``           composition-theorem plan rewrites
+``storage``             :class:`SetStore` vs :class:`RecordStore`
+                        (the ref [4] comparison)
+======================  =============================================
+"""
+
+from repro.relational.aggregate import AGGREGATES, aggregate, group_by
+from repro.relational.algebra import (
+    difference,
+    intersection,
+    join,
+    product,
+    project,
+    rename,
+    select,
+    select_eq,
+    semijoin,
+    union,
+)
+from repro.relational.constraints import (
+    CheckConstraint,
+    ForeignKeyConstraint,
+    IntegrityError,
+    KeyConstraint,
+    Table,
+)
+from repro.relational.csvio import dumps_csv, loads_csv, read_csv, write_csv
+from repro.relational.index import IndexedRelation, SortedIndex
+from repro.relational.views import View, ViewCatalog
+from repro.relational.disk import DiskRelationStore, PageCache
+from repro.relational.distributed import Cluster, NetworkStats, Node
+from repro.relational.optimizer import estimate_rows, optimize
+from repro.relational.query import (
+    Database,
+    Difference,
+    Join,
+    Plan,
+    Project,
+    Rename,
+    Scan,
+    SelectEq,
+    SelectPred,
+    Union,
+)
+from repro.relational.profile import NodeProfile, execute_profiled
+from repro.relational.relation import Relation
+from repro.relational.representations import (
+    ColumnRepresentation,
+    RowRepresentation,
+    same_identity,
+)
+from repro.relational.schema import Heading
+from repro.relational.sql import compile_query, parse_query, run, run_rows
+from repro.relational.tx import TransactionManager
+from repro.relational.storage import RecordStore, SetStore
+
+__all__ = [
+    "Heading",
+    "Relation",
+    # algebra
+    "select_eq",
+    "select",
+    "project",
+    "rename",
+    "join",
+    "semijoin",
+    "product",
+    "union",
+    "difference",
+    "intersection",
+    # query
+    "Plan",
+    "Scan",
+    "SelectEq",
+    "SelectPred",
+    "Project",
+    "Rename",
+    "Join",
+    "Union",
+    "Difference",
+    "Database",
+    # optimizer
+    "optimize",
+    "estimate_rows",
+    # storage
+    "RecordStore",
+    "SetStore",
+    "DiskRelationStore",
+    "PageCache",
+    # aggregation
+    "group_by",
+    "aggregate",
+    "AGGREGATES",
+    # constraints
+    "Table",
+    "KeyConstraint",
+    "ForeignKeyConstraint",
+    "CheckConstraint",
+    "IntegrityError",
+    # sql
+    "run",
+    "run_rows",
+    "parse_query",
+    "compile_query",
+    # transactions
+    "TransactionManager",
+    # distributed
+    "Cluster",
+    "Node",
+    "NetworkStats",
+    # csv
+    "read_csv",
+    "write_csv",
+    "loads_csv",
+    "dumps_csv",
+    # indexes & views
+    "SortedIndex",
+    "IndexedRelation",
+    "View",
+    "ViewCatalog",
+    # representations & profiling
+    "RowRepresentation",
+    "ColumnRepresentation",
+    "same_identity",
+    "execute_profiled",
+    "NodeProfile",
+]

@@ -1,0 +1,267 @@
+"""Integrity constraints and a transactional table.
+
+Section 1 of the paper claims extended set processing "allows building
+intrinsically reliable systems".  The executable content of that claim
+is that integrity rules are *set equations* checked by the same kernel
+operations that run queries:
+
+* a **key constraint** holds when projecting onto the key loses no
+  rows -- ``|D_key(R)| == |R|``;
+* a **foreign-key constraint** holds when the referencing rows survive
+  a semijoin (Def 7.6 restriction) against the referenced relation --
+  the violating rows are literally ``R ~ (R |_key S)``;
+* a **check constraint** is separation by predicate.
+
+:class:`Table` wraps a relation with declared constraints and applies
+every mutation copy-on-write: the new row set is validated *before*
+the table's pointer moves, so a failed insert/delete/update leaves the
+visible state untouched (all-or-nothing at statement granularity).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError, XSTError
+from repro.relational.relation import Relation
+from repro.relational.schema import Heading
+from repro.xst.builders import xrecord, xset
+from repro.xst.domain import sigma_domain
+from repro.xst.restrict import sigma_restrict
+from repro.xst.xset import XSet
+
+__all__ = [
+    "IntegrityError",
+    "KeyConstraint",
+    "ForeignKeyConstraint",
+    "CheckConstraint",
+    "Table",
+]
+
+
+class IntegrityError(XSTError, ValueError):
+    """A mutation would violate a declared constraint."""
+
+
+def _attribute_identity(attrs: Sequence[str]) -> XSet:
+    return XSet((attr, attr) for attr in attrs)
+
+
+class KeyConstraint:
+    """Attributes that must determine rows uniquely."""
+
+    def __init__(self, attrs: Sequence[str], name: str = ""):
+        self.attrs = tuple(attrs)
+        self.name = name or "key(%s)" % ", ".join(self.attrs)
+
+    def check(self, relation: Relation) -> None:
+        relation.heading.require(self.attrs)
+        keys = sigma_domain(relation.rows, _attribute_identity(self.attrs))
+        if len(keys) != len(relation.rows):
+            raise IntegrityError(
+                "%s violated: %d rows share %d distinct keys"
+                % (self.name, len(relation.rows), len(keys))
+            )
+
+    def __repr__(self) -> str:
+        return "KeyConstraint(%s)" % ", ".join(self.attrs)
+
+
+class ForeignKeyConstraint:
+    """Referencing attributes must resolve in a referenced table.
+
+    ``referenced`` is a callable returning the current referenced
+    :class:`Relation`, so the constraint always checks against live
+    state rather than a snapshot.
+    """
+
+    def __init__(
+        self,
+        attrs: Sequence[str],
+        referenced: Callable[[], Relation],
+        referenced_attrs: Optional[Sequence[str]] = None,
+        name: str = "",
+    ):
+        self.attrs = tuple(attrs)
+        self.referenced = referenced
+        self.referenced_attrs = tuple(referenced_attrs or attrs)
+        if len(self.attrs) != len(self.referenced_attrs):
+            raise SchemaError("foreign key attribute lists differ in length")
+        self.name = name or "fk(%s)" % ", ".join(self.attrs)
+
+    def violations(self, relation: Relation) -> Relation:
+        """The referencing rows with no partner: ``R ~ (R |_key S)``."""
+        relation.heading.require(self.attrs)
+        target = self.referenced()
+        target.heading.require(self.referenced_attrs)
+        # Re-scope the referenced keys into the referencing alphabet.
+        key_sigma = XSet(zip(self.referenced_attrs, self.attrs))
+        target_keys = sigma_domain(target.rows, key_sigma)
+        surviving = sigma_restrict(
+            relation.rows, target_keys, _attribute_identity(self.attrs)
+        )
+        return Relation(relation.heading, relation.rows - surviving)
+
+    def check(self, relation: Relation) -> None:
+        dangling = self.violations(relation)
+        if dangling:
+            example = next(iter(dangling.iter_dicts()))
+            raise IntegrityError(
+                "%s violated by %d rows, e.g. %r"
+                % (self.name, dangling.cardinality(), example)
+            )
+
+    def __repr__(self) -> str:
+        return "ForeignKeyConstraint(%s -> %s)" % (
+            ", ".join(self.attrs),
+            ", ".join(self.referenced_attrs),
+        )
+
+
+class CheckConstraint:
+    """A row predicate every row must satisfy."""
+
+    def __init__(self, predicate: Callable[[Dict[str, Any]], bool], name: str):
+        self.predicate = predicate
+        self.name = name
+
+    def check(self, relation: Relation) -> None:
+        for row in relation.iter_dicts():
+            if not self.predicate(row):
+                raise IntegrityError(
+                    "check %r violated by %r" % (self.name, row)
+                )
+
+    def __repr__(self) -> str:
+        return "CheckConstraint(%s)" % self.name
+
+
+class Table:
+    """A mutable, constraint-guarded view over immutable relations.
+
+    Every mutation builds a candidate relation, validates it against
+    all constraints, and only then replaces the current state -- a
+    failed statement changes nothing.  The underlying relations remain
+    immutable values, so old states can be held, compared or diffed
+    for free (:meth:`snapshot`).
+    """
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        rows: Iterable[Mapping[str, Any]] = (),
+        constraints: Sequence[object] = (),
+    ):
+        self._heading = names if isinstance(names, Heading) else Heading(names)
+        self._constraints: List[object] = list(constraints)
+        self._deferred = False
+        candidate = Relation.from_dicts(self._heading, rows)
+        self._validate(candidate)
+        self._current = candidate
+
+    # -- constraint plumbing --------------------------------------------
+
+    def add_constraint(self, constraint: object) -> None:
+        """Declare a constraint; current rows must already satisfy it."""
+        constraint.check(self._current)
+        self._constraints.append(constraint)
+
+    def _validate(self, candidate: Relation) -> None:
+        if self._deferred:
+            return
+        for constraint in self._constraints:
+            constraint.check(candidate)
+
+    def defer_validation(self, deferred: bool) -> None:
+        """Suspend/resume per-statement checking (transactions use this).
+
+        While deferred, mutations apply without constraint checks;
+        call :meth:`check_now` (or let the transaction manager do it
+        at commit) to validate the accumulated state.
+        """
+        self._deferred = bool(deferred)
+
+    def check_now(self) -> None:
+        """Validate the current state against every constraint."""
+        for constraint in self._constraints:
+            constraint.check(self._current)
+
+    @property
+    def constraints(self) -> Tuple[object, ...]:
+        return tuple(self._constraints)
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def heading(self) -> Heading:
+        return self._heading
+
+    def snapshot(self) -> Relation:
+        """The current state as an immutable relation value."""
+        return self._current
+
+    def __len__(self) -> int:
+        return self._current.cardinality()
+
+    # -- mutations ----------------------------------------------------------
+
+    def insert(self, row: Mapping[str, Any]) -> None:
+        new_row = Relation.from_dicts(self._heading, [row])
+        candidate = Relation(self._heading, self._current.rows | new_row.rows)
+        if candidate.cardinality() == self._current.cardinality():
+            raise IntegrityError("row already present: %r" % (dict(row),))
+        self._validate(candidate)
+        self._current = candidate
+
+    def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> int:
+        """All-or-nothing bulk insert; returns the number added."""
+        addition = Relation.from_dicts(self._heading, rows)
+        candidate = Relation(self._heading, self._current.rows | addition.rows)
+        added = candidate.cardinality() - self._current.cardinality()
+        self._validate(candidate)
+        self._current = candidate
+        return added
+
+    def delete(self, conditions: Mapping[str, Any]) -> int:
+        """Delete rows matching attribute equalities; returns the count."""
+        attrs = self._heading.require(conditions)
+        key = xset([xrecord({attr: conditions[attr] for attr in attrs})])
+        doomed = sigma_restrict(
+            self._current.rows, key, _attribute_identity(attrs)
+        )
+        candidate = Relation(self._heading, self._current.rows - doomed)
+        self._validate(candidate)
+        removed = self._current.cardinality() - candidate.cardinality()
+        self._current = candidate
+        return removed
+
+    def update(
+        self,
+        conditions: Mapping[str, Any],
+        changes: Mapping[str, Any],
+    ) -> int:
+        """Set attributes on matching rows; returns rows changed."""
+        self._heading.require(changes)
+        attrs = self._heading.require(conditions)
+        key = xset([xrecord({attr: conditions[attr] for attr in attrs})])
+        matched = sigma_restrict(
+            self._current.rows, key, _attribute_identity(attrs)
+        )
+        if not matched:
+            return 0
+        rewritten = []
+        for row, _ in matched.pairs():
+            record = dict(row.as_record())
+            record.update(changes)
+            rewritten.append(xrecord(record))
+        candidate_rows = (self._current.rows - matched) | xset(rewritten)
+        candidate = Relation(self._heading, candidate_rows)
+        self._validate(candidate)
+        changed = len(matched)
+        self._current = candidate
+        return changed
+
+    def __repr__(self) -> str:
+        return "Table(%r, %d rows, %d constraints)" % (
+            self._heading, len(self), len(self._constraints)
+        )

@@ -1,0 +1,303 @@
+"""A simulated distributed backend: partitioned XST relations.
+
+The VLDB-1977 title promises "very large, distributed, backend
+information systems".  Real cluster hardware is out of scope for this
+reproduction (see DESIGN.md's substitution table), so this module
+simulates the distribution layer faithfully enough to measure its
+algebra: a :class:`Cluster` of in-process :class:`Node` objects, hash
+partitioning on a chosen attribute, and query execution that ships
+*sets* between nodes -- with every shipment priced in real serialized
+bytes via :func:`repro.xst.serialization.dumps`.
+
+What the simulation preserves from the paper's programme:
+
+* relations partition *by scope value* -- the partitioning key is an
+  attribute scope, and each node holds an ordinary XST relation, so
+  every local operation is the unmodified kernel;
+* distributed selection routes by key when the predicate covers the
+  partition attribute (one node touched) and broadcasts otherwise;
+* distributed join is co-partitioned when both sides share a partition
+  attribute, and otherwise *re-shuffles* one side -- shipping costs
+  are visible in :class:`NetworkStats`, so the benchmark suite can
+  show the co-partitioned vs shuffled gap;
+* distributed aggregation pushes partial aggregates (count/sum/min/
+  max) to the nodes and combines, shipping summaries instead of rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.relational.aggregate import aggregate as local_aggregate
+from repro.relational.algebra import join as local_join
+from repro.relational.algebra import select_eq as local_select_eq
+from repro.relational.algebra import union as local_union
+from repro.relational.relation import Relation
+from repro.relational.schema import Heading
+from repro.xst.builders import xset
+from repro.xst.serialization import dumps
+from repro.xst.xset import XSet
+
+__all__ = ["NetworkStats", "Node", "Cluster"]
+
+
+class NetworkStats:
+    """Counters for simulated shipments between nodes."""
+
+    def __init__(self):
+        self.messages = 0
+        self.bytes_shipped = 0
+
+    def ship(self, payload: XSet) -> None:
+        self.messages += 1
+        self.bytes_shipped += len(dumps(payload))
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.bytes_shipped = 0
+
+    def __repr__(self) -> str:
+        return "NetworkStats(messages=%d, bytes=%d)" % (
+            self.messages, self.bytes_shipped
+        )
+
+
+class Node:
+    """One backend node: a name and its local partitions."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._partitions: Dict[str, Relation] = {}
+
+    def store(self, table: str, partition: Relation) -> None:
+        self._partitions[table] = partition
+
+    def partition(self, table: str) -> Relation:
+        try:
+            return self._partitions[table]
+        except KeyError:
+            raise SchemaError(
+                "node %s holds no partition of %r" % (self.name, table)
+            ) from None
+
+    def holds(self, table: str) -> bool:
+        return table in self._partitions
+
+    def __repr__(self) -> str:
+        return "Node(%s, %d tables)" % (self.name, len(self._partitions))
+
+
+def _partition_index(value: Any, node_count: int) -> int:
+    """Deterministic placement: hash of the canonical serialization."""
+    if isinstance(value, int) and not isinstance(value, bool):
+        return value % node_count
+    return sum(dumps(value)) % node_count
+
+
+class Cluster:
+    """A set of nodes plus the distributed execution strategies."""
+
+    def __init__(self, node_count: int = 4):
+        if node_count < 1:
+            raise ValueError("a cluster needs at least one node")
+        self.nodes = [Node("node-%d" % index) for index in range(node_count)]
+        self.network = NetworkStats()
+        self._partition_attrs: Dict[str, str] = {}
+        self._headings: Dict[str, Heading] = {}
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def create_table(
+        self, name: str, relation: Relation, partition_attr: str
+    ) -> None:
+        """Hash-partition a relation across the nodes by one attribute."""
+        relation.heading.require([partition_attr])
+        buckets: List[List] = [[] for _ in self.nodes]
+        for row, _ in relation.rows.pairs():
+            (value,) = row.elements_at(partition_attr)
+            buckets[_partition_index(value, len(self.nodes))].append(row)
+        for node, bucket in zip(self.nodes, buckets):
+            node.store(name, Relation(relation.heading, xset(bucket)))
+        self._partition_attrs[name] = partition_attr
+        self._headings[name] = relation.heading
+
+    def partition_attr(self, name: str) -> str:
+        try:
+            return self._partition_attrs[name]
+        except KeyError:
+            raise SchemaError("unknown distributed table %r" % (name,)) from None
+
+    def heading(self, name: str) -> Heading:
+        self.partition_attr(name)
+        return self._headings[name]
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def scan(self, name: str) -> Relation:
+        """Gather every partition to the coordinator (ships all rows)."""
+        heading = self.heading(name)
+        gathered = Relation(heading, xset([]))
+        for node in self.nodes:
+            part = node.partition(name)
+            self.network.ship(part.rows)
+            gathered = local_union(gathered, part)
+        return gathered
+
+    def select_eq(self, name: str, conditions: Mapping[str, Any]) -> Relation:
+        """Distributed selection: routed when the key is covered.
+
+        If the partition attribute appears in the conditions, exactly
+        one node is consulted; otherwise the selection broadcasts and
+        each node ships only its matching rows.
+        """
+        heading = self.heading(name)
+        heading.require(conditions)
+        attr = self.partition_attr(name)
+        if attr in conditions:
+            index = _partition_index(conditions[attr], len(self.nodes))
+            node = self.nodes[index]
+            result = local_select_eq(node.partition(name), conditions)
+            self.network.ship(result.rows)
+            return result
+        gathered = Relation(heading, xset([]))
+        for node in self.nodes:
+            local = local_select_eq(node.partition(name), conditions)
+            self.network.ship(local.rows)
+            gathered = local_union(gathered, local)
+        return gathered
+
+    # ------------------------------------------------------------------
+    # Join
+    # ------------------------------------------------------------------
+
+    def join(self, left: str, right: str) -> Relation:
+        """Distributed natural join.
+
+        Co-partitioned (both tables partitioned on a shared join
+        attribute): each node joins locally and ships only results.
+        Otherwise the right table is re-shuffled on the left's
+        partition attribute first -- every shipped row is priced.
+        """
+        left_heading = self.heading(left)
+        right_heading = self.heading(right)
+        shared = left_heading.common(right_heading)
+        if not shared:
+            raise SchemaError(
+                "distributed join of %r and %r has no shared attribute"
+                % (left, right)
+            )
+        left_attr = self.partition_attr(left)
+        right_attr = self.partition_attr(right)
+        if left_attr == right_attr and left_attr in shared:
+            partials = []
+            for node in self.nodes:
+                local = local_join(node.partition(left), node.partition(right))
+                self.network.ship(local.rows)
+                partials.append(local)
+            return self._gathered(partials)
+        if left_attr not in shared:
+            raise SchemaError(
+                "cannot shuffle: left partition attribute %r is not a join "
+                "attribute" % (left_attr,)
+            )
+        shuffled = self._shuffle(right, left_attr)
+        partials = []
+        for node, right_part in zip(self.nodes, shuffled):
+            local = local_join(node.partition(left), right_part)
+            self.network.ship(local.rows)
+            partials.append(local)
+        return self._gathered(partials)
+
+    def _shuffle(self, name: str, attr: str) -> List[Relation]:
+        """Repartition a table by a new attribute, shipping every row."""
+        heading = self.heading(name)
+        heading.require([attr])
+        buckets: List[List] = [[] for _ in self.nodes]
+        for node in self.nodes:
+            part = node.partition(name)
+            self.network.ship(part.rows)  # rows leave their home node
+            for row, _ in part.rows.pairs():
+                (value,) = row.elements_at(attr)
+                buckets[_partition_index(value, len(self.nodes))].append(row)
+        return [Relation(heading, xset(bucket)) for bucket in buckets]
+
+    def _gathered(self, partials: Sequence[Relation]) -> Relation:
+        result: Optional[Relation] = None
+        for partial in partials:
+            result = partial if result is None else local_union(result, partial)
+        assert result is not None
+        return result
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    _COMBINABLE = {"count", "sum", "min", "max"}
+
+    def aggregate(
+        self,
+        name: str,
+        group_attrs: Sequence[str],
+        aggregations: Mapping[str, Tuple[str, str]],
+    ) -> Relation:
+        """Distributed group-by with partial-aggregate pushdown.
+
+        Nodes compute local aggregates and ship the (small) summaries;
+        the coordinator combines: counts and sums add, mins and maxes
+        fold.  ``avg`` is rewritten as sum+count automatically.
+        """
+        rewritten: Dict[str, Tuple[str, str]] = {}
+        averages: Dict[str, Tuple[str, str]] = {}
+        for out_name, (fn_name, source) in aggregations.items():
+            if fn_name == "avg":
+                averages[out_name] = ("__sum_" + out_name, "__cnt_" + out_name)
+                rewritten["__sum_" + out_name] = ("sum", source)
+                rewritten["__cnt_" + out_name] = ("count", source)
+            elif fn_name in self._COMBINABLE:
+                rewritten[out_name] = (fn_name, source)
+            else:
+                raise SchemaError(
+                    "aggregate %r is not distributable" % (fn_name,)
+                )
+        partial_rows: Dict[tuple, Dict[str, Any]] = {}
+        for node in self.nodes:
+            partition = node.partition(name)
+            if not partition:
+                continue
+            local = local_aggregate(partition, group_attrs, rewritten)
+            self.network.ship(local.rows)
+            for row in local.iter_dicts():
+                key = tuple(row[attr] for attr in group_attrs)
+                merged = partial_rows.get(key)
+                if merged is None:
+                    partial_rows[key] = dict(row)
+                    continue
+                for out_name, (fn_name, _) in rewritten.items():
+                    if fn_name in ("count", "sum"):
+                        merged[out_name] += row[out_name]
+                    elif fn_name == "min":
+                        merged[out_name] = min(merged[out_name], row[out_name])
+                    elif fn_name == "max":
+                        merged[out_name] = max(merged[out_name], row[out_name])
+        final_rows = []
+        for merged in partial_rows.values():
+            row = {attr: merged[attr] for attr in group_attrs}
+            for out_name in aggregations:
+                if out_name in averages:
+                    sum_name, count_name = averages[out_name]
+                    row[out_name] = merged[sum_name] / merged[count_name]
+                else:
+                    row[out_name] = merged[out_name]
+            final_rows.append(row)
+        heading = list(group_attrs) + list(aggregations)
+        return Relation.from_dicts(heading, final_rows)
+
+    def __repr__(self) -> str:
+        return "Cluster(%d nodes, tables=%s)" % (
+            len(self.nodes), sorted(self._partition_attrs)
+        )

@@ -1,0 +1,168 @@
+"""Secondary indexes over relations: hash for equality, sorted for ranges.
+
+The SetStore's on-demand hash indexes answer equality probes; range
+predicates (``salary < 50000``) need an *ordered* access path.  A
+:class:`SortedIndex` keeps one bisect-searchable array of (value, row)
+entries per attribute; an :class:`IndexedRelation` bundles a relation
+with lazily-built indexes of both kinds and answers equality, range
+and top-k queries without scanning.
+
+Indexes are derived data: they are built *from* the canonical row set
+and carry its digest, so staleness is detectable (the same mechanism
+:mod:`repro.relational.views` uses).  This is "dynamic data
+restructuring" in ref [4]'s vocabulary -- the stored set never
+changes; access paths come and go.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+from repro.xst.builders import xset
+from repro.xst.serialization import digest
+from repro.xst.xset import XSet
+
+__all__ = ["SortedIndex", "IndexedRelation"]
+
+
+class SortedIndex:
+    """A bisect-searchable (value, row) array for one attribute."""
+
+    def __init__(self, relation: Relation, attr: str):
+        relation.heading.require([attr])
+        entries: List[Tuple[Any, XSet]] = []
+        for row, _ in relation.rows.pairs():
+            for value in row.elements_at(attr):
+                entries.append((value, row))
+        try:
+            entries.sort(key=lambda entry: entry[0])
+        except TypeError as exc:
+            raise SchemaError(
+                "attribute %r holds incomparable values; a sorted index "
+                "needs a totally ordered column" % (attr,)
+            ) from exc
+        self._attr = attr
+        self._values = [value for value, _ in entries]
+        self._rows = [row for _, row in entries]
+        self.source_digest = digest(relation.rows)
+
+    @property
+    def attr(self) -> str:
+        return self._attr
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def equal(self, value: Any) -> List[XSet]:
+        low = bisect_left(self._values, value)
+        high = bisect_right(self._values, value)
+        return self._rows[low:high]
+
+    def range(
+        self,
+        low: Optional[Any] = None,
+        high: Optional[Any] = None,
+        include_low: bool = True,
+        include_high: bool = False,
+    ) -> List[XSet]:
+        """Rows with ``low <= value < high`` (bounds optional/tunable)."""
+        if low is None:
+            start = 0
+        elif include_low:
+            start = bisect_left(self._values, low)
+        else:
+            start = bisect_right(self._values, low)
+        if high is None:
+            stop = len(self._values)
+        elif include_high:
+            stop = bisect_right(self._values, high)
+        else:
+            stop = bisect_left(self._values, high)
+        return self._rows[start:stop]
+
+    def smallest(self, count: int) -> List[XSet]:
+        """The rows holding the ``count`` smallest values."""
+        return self._rows[:count]
+
+    def largest(self, count: int) -> List[XSet]:
+        """The rows holding the ``count`` largest values (descending)."""
+        if count <= 0:
+            return []
+        return list(reversed(self._rows[-count:]))
+
+
+class IndexedRelation:
+    """A relation plus lazily-built equality and range access paths."""
+
+    def __init__(self, relation: Relation):
+        self._relation = relation
+        self._sorted: Dict[str, SortedIndex] = {}
+        self._hash: Dict[str, Dict[Any, List[XSet]]] = {}
+
+    @property
+    def relation(self) -> Relation:
+        return self._relation
+
+    @property
+    def heading(self):
+        return self._relation.heading
+
+    def __len__(self) -> int:
+        return self._relation.cardinality()
+
+    # -- access-path construction ---------------------------------------
+
+    def sorted_index(self, attr: str) -> SortedIndex:
+        index = self._sorted.get(attr)
+        if index is None:
+            index = SortedIndex(self._relation, attr)
+            self._sorted[attr] = index
+        return index
+
+    def _hash_index(self, attr: str) -> Dict[Any, List[XSet]]:
+        self._relation.heading.require([attr])
+        index = self._hash.get(attr)
+        if index is None:
+            index = {}
+            for row, _ in self._relation.rows.pairs():
+                for value in row.elements_at(attr):
+                    index.setdefault(value, []).append(row)
+            self._hash[attr] = index
+        return index
+
+    def indexed_attrs(self) -> Sequence[str]:
+        return sorted(set(self._sorted) | set(self._hash))
+
+    # -- queries ------------------------------------------------------------
+
+    def where_equal(self, attr: str, value: Any) -> Relation:
+        rows = self._hash_index(attr).get(value, [])
+        return Relation(self._relation.heading, xset(rows))
+
+    def where_between(
+        self,
+        attr: str,
+        low: Optional[Any] = None,
+        high: Optional[Any] = None,
+        include_low: bool = True,
+        include_high: bool = False,
+    ) -> Relation:
+        rows = self.sorted_index(attr).range(
+            low, high, include_low=include_low, include_high=include_high
+        )
+        return Relation(self._relation.heading, xset(rows))
+
+    def top_k(self, attr: str, count: int, largest: bool = True) -> Relation:
+        index = self.sorted_index(attr)
+        rows = index.largest(count) if largest else index.smallest(count)
+        return Relation(self._relation.heading, xset(rows))
+
+    def is_fresh(self) -> bool:
+        """Every built sorted index still matches the row set's digest."""
+        current = digest(self._relation.rows)
+        return all(
+            index.source_digest == current for index in self._sorted.values()
+        )

@@ -1,0 +1,315 @@
+"""Query plans with set-at-a-time and record-at-a-time executors.
+
+A plan is a small algebraic AST over named base relations.  One plan,
+two execution disciplines:
+
+* **set mode** (:meth:`Database.execute`) -- each node is one XST
+  kernel call over whole relations, via
+  :mod:`repro.relational.algebra`.  This is Extended Set Processing.
+* **record mode** (:meth:`Database.execute_records`) -- the classical
+  record-processing discipline the paper's reference [4] compares
+  against: Python iterators pull one row dict at a time through the
+  plan, selections test rows individually, and joins run as nested
+  loops over the probe side.
+
+Both executors produce the same :class:`~repro.relational.relation.
+Relation` for every plan (asserted property-style in the tests), so
+benchmark differences between them are purely the processing
+discipline -- which is exactly the experiment ref [4] describes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.relational import algebra
+from repro.relational.relation import Relation
+from repro.relational.schema import Heading
+
+__all__ = [
+    "Plan",
+    "Scan",
+    "SelectEq",
+    "SelectPred",
+    "Project",
+    "Rename",
+    "Join",
+    "Union",
+    "Difference",
+    "Database",
+]
+
+
+class Plan:
+    """Base class for plan nodes; subclasses are immutable records."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["Plan", ...]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line operator description (used by explain output)."""
+        raise NotImplementedError
+
+    def explain(self, indent: int = 0) -> str:
+        """Indented operator-tree rendering."""
+        lines = ["%s%s" % ("  " * indent, self.describe())]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+class Scan(Plan):
+    """Read a named base relation."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("plan nodes are immutable")
+
+    def children(self) -> Tuple[Plan, ...]:
+        return ()
+
+    def describe(self) -> str:
+        return "Scan(%s)" % self.name
+
+
+class _Unary(Plan):
+    __slots__ = ("child",)
+
+    def __init__(self, child: Plan):
+        object.__setattr__(self, "child", child)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("plan nodes are immutable")
+
+    def children(self) -> Tuple[Plan, ...]:
+        return (self.child,)
+
+
+class SelectEq(_Unary):
+    """Equality selection; eligible for restriction-based execution."""
+
+    __slots__ = ("conditions",)
+
+    def __init__(self, child: Plan, conditions: Mapping[str, Any]):
+        super().__init__(child)
+        object.__setattr__(self, "conditions", dict(conditions))
+
+    def describe(self) -> str:
+        conditions = ", ".join(
+            "%s=%r" % item for item in sorted(self.conditions.items())
+        )
+        return "SelectEq(%s)" % conditions
+
+
+class SelectPred(_Unary):
+    """General predicate selection (record-level in both modes)."""
+
+    __slots__ = ("predicate", "label")
+
+    def __init__(
+        self,
+        child: Plan,
+        predicate: Callable[[Dict[str, Any]], bool],
+        label: str = "<predicate>",
+    ):
+        super().__init__(child)
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "label", label)
+
+    def describe(self) -> str:
+        return "SelectPred(%s)" % self.label
+
+
+class Project(_Unary):
+    __slots__ = ("attrs",)
+
+    def __init__(self, child: Plan, attrs: Sequence[str]):
+        super().__init__(child)
+        object.__setattr__(self, "attrs", tuple(attrs))
+
+    def describe(self) -> str:
+        return "Project(%s)" % ", ".join(self.attrs)
+
+
+class Rename(_Unary):
+    __slots__ = ("mapping",)
+
+    def __init__(self, child: Plan, mapping: Mapping[str, str]):
+        super().__init__(child)
+        object.__setattr__(self, "mapping", dict(mapping))
+
+    def describe(self) -> str:
+        renames = ", ".join(
+            "%s->%s" % item for item in sorted(self.mapping.items())
+        )
+        return "Rename(%s)" % renames
+
+
+class _Binary(Plan):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Plan, right: Plan):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("plan nodes are immutable")
+
+    def children(self) -> Tuple[Plan, ...]:
+        return (self.left, self.right)
+
+
+class Join(_Binary):
+    """Natural join on shared attributes."""
+
+    def describe(self) -> str:
+        return "Join"
+
+
+class Union(_Binary):
+    def describe(self) -> str:
+        return "Union"
+
+
+class Difference(_Binary):
+    def describe(self) -> str:
+        return "Difference"
+
+
+class Database:
+    """A catalog of named relations plus the two executors."""
+
+    def __init__(self, relations: Optional[Mapping[str, Relation]] = None):
+        self._relations: Dict[str, Relation] = dict(relations or {})
+
+    def add(self, name: str, relation: Relation) -> None:
+        self._relations[name] = relation
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError("unknown relation %r" % (name,)) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._relations)
+
+    # ------------------------------------------------------------------
+    # Set-at-a-time execution (Extended Set Processing)
+    # ------------------------------------------------------------------
+
+    def execute(self, plan: Plan) -> Relation:
+        """Evaluate bottom-up with one kernel call per node."""
+        if isinstance(plan, Scan):
+            return self.relation(plan.name)
+        if isinstance(plan, SelectEq):
+            return algebra.select_eq(self.execute(plan.child), plan.conditions)
+        if isinstance(plan, SelectPred):
+            return algebra.select(self.execute(plan.child), plan.predicate)
+        if isinstance(plan, Project):
+            return algebra.project(self.execute(plan.child), plan.attrs)
+        if isinstance(plan, Rename):
+            return algebra.rename(self.execute(plan.child), plan.mapping)
+        if isinstance(plan, Join):
+            return algebra.join(self.execute(plan.left), self.execute(plan.right))
+        if isinstance(plan, Union):
+            return algebra.union(self.execute(plan.left), self.execute(plan.right))
+        if isinstance(plan, Difference):
+            return algebra.difference(
+                self.execute(plan.left), self.execute(plan.right)
+            )
+        raise TypeError("unknown plan node %r" % (plan,))
+
+    # ------------------------------------------------------------------
+    # Record-at-a-time execution (the ref [4] baseline)
+    # ------------------------------------------------------------------
+
+    def execute_records(self, plan: Plan) -> Relation:
+        """Pull rows one dict at a time through the plan, then re-relate."""
+        heading = self._heading_of(plan)
+        rows = list(self._iterate(plan))
+        return Relation.from_dicts(heading, _dedup(rows))
+
+    def _heading_of(self, plan: Plan) -> Heading:
+        if isinstance(plan, Scan):
+            return self.relation(plan.name).heading
+        if isinstance(plan, (SelectEq, SelectPred)):
+            return self._heading_of(plan.child)
+        if isinstance(plan, Project):
+            return self._heading_of(plan.child).project(plan.attrs)
+        if isinstance(plan, Rename):
+            return self._heading_of(plan.child).rename(plan.mapping)
+        if isinstance(plan, Join):
+            return self._heading_of(plan.left).union(self._heading_of(plan.right))
+        if isinstance(plan, (Union, Difference)):
+            return self._heading_of(plan.left)
+        raise TypeError("unknown plan node %r" % (plan,))
+
+    def _iterate(self, plan: Plan) -> Iterator[Dict[str, Any]]:
+        if isinstance(plan, Scan):
+            yield from self.relation(plan.name).iter_dicts()
+        elif isinstance(plan, SelectEq):
+            conditions = plan.conditions
+            for row in self._iterate(plan.child):
+                if all(row[attr] == value for attr, value in conditions.items()):
+                    yield row
+        elif isinstance(plan, SelectPred):
+            for row in self._iterate(plan.child):
+                if plan.predicate(row):
+                    yield row
+        elif isinstance(plan, Project):
+            for row in self._iterate(plan.child):
+                yield {attr: row[attr] for attr in plan.attrs}
+        elif isinstance(plan, Rename):
+            mapping = plan.mapping
+            for row in self._iterate(plan.child):
+                yield {mapping.get(attr, attr): value for attr, value in row.items()}
+        elif isinstance(plan, Join):
+            # Classical record processing: materialize the left side,
+            # then nested-loop probe with each right row.
+            left_rows = list(self._iterate(plan.left))
+            left_heading = self._heading_of(plan.left)
+            right_heading = self._heading_of(plan.right)
+            shared = left_heading.common(right_heading)
+            for right_row in self._iterate(plan.right):
+                for left_row in left_rows:
+                    if all(left_row[attr] == right_row[attr] for attr in shared):
+                        merged = dict(left_row)
+                        merged.update(right_row)
+                        yield merged
+        elif isinstance(plan, Union):
+            yield from self._iterate(plan.left)
+            yield from self._iterate(plan.right)
+        elif isinstance(plan, Difference):
+            right_rows = [
+                tuple(sorted(row.items(), key=lambda item: item[0]))
+                for row in self._iterate(plan.right)
+            ]
+            right_set = set(right_rows)
+            for row in self._iterate(plan.left):
+                key = tuple(sorted(row.items(), key=lambda item: item[0]))
+                if key not in right_set:
+                    yield row
+        else:
+            raise TypeError("unknown plan node %r" % (plan,))
+
+
+def _dedup(rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    seen = set()
+    unique = []
+    for row in rows:
+        key = tuple(sorted(row.items(), key=lambda item: item[0]))
+        if key not in seen:
+            seen.add(key)
+            unique.append(row)
+    return unique

@@ -1,0 +1,155 @@
+"""Relations as extended sets of attribute-scoped rows.
+
+A :class:`Relation` pairs a :class:`~repro.relational.schema.Heading`
+with a classical extended set of rows, each row the record shape
+``{value^'attr', ...}``.  Nothing here is a new data structure: the
+rows *are* kernel :class:`~repro.xst.xset.XSet` values, so every
+relational operation in :mod:`repro.relational.algebra` is a direct
+kernel call -- restriction for selection, sigma-domain for projection,
+re-scoping for renaming, relative product for join.  That is the
+paper's section 12 claim ("all data representations can be managed as
+mathematical operands") made literal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.core.process import Process
+from repro.core.sigma import Sigma
+from repro.relational.schema import Heading
+from repro.xst.builders import xrecord, xset
+from repro.xst.xset import XSet
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """An immutable relation: a heading plus a set of record rows."""
+
+    __slots__ = ("_heading", "_rows")
+
+    def __init__(self, heading: Heading, rows: XSet):
+        for row, scope in rows.pairs():
+            if not (isinstance(scope, XSet) and scope.is_empty):
+                raise SchemaError("relation rows must be classical members")
+            if not isinstance(row, XSet) or not row.is_record():
+                raise SchemaError("row %r is not record-shaped" % (row,))
+            row_attrs = frozenset(row.scopes())
+            if row_attrs != frozenset(heading.names):
+                raise SchemaError(
+                    "row attributes %s do not match heading %r"
+                    % (sorted(row_attrs), heading)
+                )
+        object.__setattr__(self, "_heading", heading)
+        object.__setattr__(self, "_rows", rows)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Relation instances are immutable")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dicts(
+        cls, names: Sequence[str], rows: Iterable[Mapping[str, Any]]
+    ) -> "Relation":
+        """Build from mappings; every row must supply every attribute."""
+        heading = names if isinstance(names, Heading) else Heading(names)
+        records = []
+        for row in rows:
+            if frozenset(row) != frozenset(heading.names):
+                raise SchemaError(
+                    "row keys %s do not match heading %r" % (sorted(row), heading)
+                )
+            records.append(xrecord(row))
+        return cls(heading, xset(records))
+
+    @classmethod
+    def from_tuples(
+        cls, names: Sequence[str], rows: Iterable[Sequence[Any]]
+    ) -> "Relation":
+        """Build from positional rows matching the heading's order."""
+        heading = names if isinstance(names, Heading) else Heading(names)
+        records = []
+        for row in rows:
+            values = tuple(row)
+            if len(values) != len(heading):
+                raise SchemaError(
+                    "row %r has %d values for %d attributes"
+                    % (values, len(values), len(heading))
+                )
+            records.append(xrecord(dict(zip(heading.names, values))))
+        return cls(heading, xset(records))
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def heading(self) -> Heading:
+        return self._heading
+
+    @property
+    def rows(self) -> XSet:
+        """The underlying extended set of rows."""
+        return self._rows
+
+    def cardinality(self) -> int:
+        return len(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def iter_dicts(self) -> Iterator[Dict[str, Any]]:
+        """Rows as plain dicts (deterministic canonical order)."""
+        for row, _ in self._rows.pairs():
+            yield dict(row.as_record())
+
+    def to_rows(self) -> List[Tuple[Any, ...]]:
+        """Rows as positional tuples in heading order, sorted."""
+        out = [
+            tuple(record[name] for name in self._heading.names)
+            for record in self.iter_dicts()
+        ]
+        out.sort(key=repr)
+        return out
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._heading == other._heading and self._rows == other._rows
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        return hash(("repro.Relation", self._heading, self._rows))
+
+    def __repr__(self) -> str:
+        return "Relation(%r, %d rows)" % (self._heading, len(self._rows))
+
+    # ------------------------------------------------------------------
+    # Process view
+    # ------------------------------------------------------------------
+
+    def as_process(
+        self, key_attrs: Sequence[str], out_attrs: Sequence[str]
+    ) -> Process:
+        """Read the relation as the behavior keyed/emitting by attributes.
+
+        ``employees.as_process(["dept"], ["name"])`` is the process
+        that, applied to a set of ``{dept-fragment}`` records, yields
+        the matching name fragments -- relations *are* processes under
+        a chosen sigma, which is how the query layer and the core
+        layer meet.
+        """
+        self._heading.require(key_attrs)
+        self._heading.require(out_attrs)
+        return Process(self._rows, Sigma.attributes(key_attrs, out_attrs))

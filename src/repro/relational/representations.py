@@ -1,0 +1,201 @@
+"""Many physical representations, one mathematical identity.
+
+The XSP programme's sharpest systems claim (paper §12, refs [3]/[4])
+is that *data representations* -- row layouts, column layouts,
+whatever the hardware likes -- all have a mathematical identity as
+extended sets, so the system can change representation freely and
+prove it changed nothing.  This module demonstrates the claim
+executably:
+
+* :class:`RowRepresentation` -- tuples in row-major order (the record
+  layout);
+* :class:`ColumnRepresentation` -- one array per attribute (the
+  column layout);
+* both implement the same operations natively in their own layout
+  (selection walks rows; column projection slices one array), and
+
+* both *canonicalize* to the same :class:`~repro.xst.xset.XSet` --
+  ``representation.canonical()`` -- so equality of representations is
+  set equality, and :func:`same_identity` decides "are these two
+  physical layouts the same data?" by content digest.
+
+The benchmark suite measures the layouts' complementary strengths
+(row selection vs column projection); the tests assert that every
+operation result, canonicalized, is identical across layouts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import Heading
+from repro.xst.builders import xrecord, xset
+from repro.xst.serialization import digest
+from repro.xst.xset import XSet
+
+__all__ = [
+    "RowRepresentation",
+    "ColumnRepresentation",
+    "same_identity",
+]
+
+
+class RowRepresentation:
+    """Row-major physical layout: a list of value tuples."""
+
+    def __init__(self, names: Sequence[str], rows: Sequence[Sequence[Any]]):
+        self._heading = names if isinstance(names, Heading) else Heading(names)
+        width = len(self._heading)
+        self._rows: List[Tuple[Any, ...]] = []
+        for row in rows:
+            values = tuple(row)
+            if len(values) != width:
+                raise SchemaError(
+                    "row %r has %d values for %d attributes"
+                    % (values, len(values), width)
+                )
+            self._rows.append(values)
+
+    @property
+    def heading(self) -> Heading:
+        return self._heading
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # -- native operations (row-at-a-time over the row layout) -----------
+
+    def select(self, attr: str, value: Any) -> "RowRepresentation":
+        position = self._heading.names.index(
+            self._heading.require([attr])[0]
+        )
+        kept = [row for row in self._rows if row[position] == value]
+        return RowRepresentation(self._heading, kept)
+
+    def project(self, attrs: Sequence[str]) -> "RowRepresentation":
+        wanted = self._heading.require(attrs)
+        positions = [self._heading.names.index(attr) for attr in wanted]
+        seen = set()
+        kept = []
+        for row in self._rows:
+            projected = tuple(row[position] for position in positions)
+            if projected not in seen:
+                seen.add(projected)
+                kept.append(projected)
+        return RowRepresentation(Heading(wanted), kept)
+
+    # -- identity -----------------------------------------------------------
+
+    def canonical(self) -> XSet:
+        """The mathematical identity: the set of attribute-scoped rows."""
+        return xset(
+            xrecord(dict(zip(self._heading.names, row))) for row in self._rows
+        )
+
+    def to_relation(self) -> Relation:
+        return Relation(self._heading, self.canonical())
+
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "RowRepresentation":
+        return cls(relation.heading, relation.to_rows())
+
+
+class ColumnRepresentation:
+    """Column-major physical layout: one parallel array per attribute."""
+
+    def __init__(self, columns: Dict[str, Sequence[Any]]):
+        self._heading = Heading(columns)
+        lengths = {name: len(values) for name, values in columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise SchemaError(
+                "ragged columns: %s" % sorted(lengths.items())
+            )
+        self._columns: Dict[str, List[Any]] = {
+            name: list(values) for name, values in columns.items()
+        }
+        self._length = next(iter(lengths.values())) if lengths else 0
+
+    @property
+    def heading(self) -> Heading:
+        return self._heading
+
+    def __len__(self) -> int:
+        return self._length
+
+    def column(self, attr: str) -> List[Any]:
+        self._heading.require([attr])
+        return list(self._columns[attr])
+
+    # -- native operations (array-at-a-time over the column layout) ------
+
+    def select(self, attr: str, value: Any) -> "ColumnRepresentation":
+        self._heading.require([attr])
+        keep = [
+            index
+            for index, cell in enumerate(self._columns[attr])
+            if cell == value
+        ]
+        return ColumnRepresentation(
+            {
+                name: [values[index] for index in keep]
+                for name, values in self._columns.items()
+            }
+        )
+
+    def project(self, attrs: Sequence[str]) -> "ColumnRepresentation":
+        """Column projection: slice the arrays, then deduplicate."""
+        wanted = self._heading.require(attrs)
+        seen = set()
+        keep = []
+        arrays = [self._columns[attr] for attr in wanted]
+        for index in range(self._length):
+            key = tuple(array[index] for array in arrays)
+            if key not in seen:
+                seen.add(key)
+                keep.append(index)
+        return ColumnRepresentation(
+            {
+                attr: [self._columns[attr][index] for index in keep]
+                for attr in wanted
+            }
+        )
+
+    def aggregate_column(self, attr: str, fn: Callable[[List[Any]], Any]) -> Any:
+        """Single-column aggregation without touching other columns."""
+        return fn(self.column(attr))
+
+    # -- identity -----------------------------------------------------------
+
+    def canonical(self) -> XSet:
+        names = self._heading.names
+        return xset(
+            xrecord(
+                {name: self._columns[name][index] for name in names}
+            )
+            for index in range(self._length)
+        )
+
+    def to_relation(self) -> Relation:
+        return Relation(self._heading, self.canonical())
+
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "ColumnRepresentation":
+        names = relation.heading.names
+        columns: Dict[str, List[Any]] = {name: [] for name in names}
+        for record in relation.iter_dicts():
+            for name in names:
+                columns[name].append(record[name])
+        return cls(columns)
+
+
+def same_identity(*representations) -> bool:
+    """Do these physical layouts denote the same extended set?
+
+    Decided by content digest of the canonical form -- the executable
+    version of "all data representations have a mathematical identity"
+    (§12).
+    """
+    digests = {digest(rep.canonical()) for rep in representations}
+    return len(digests) <= 1

@@ -1,0 +1,345 @@
+"""XQL: a small SQL-flavoured surface over the plan algebra.
+
+The 1977 pitch is that a backend's *query language* can compile to
+set-theoretic operations whose behavior is provable.  XQL is the
+demonstration: a deliberately small SELECT dialect that parses to the
+exact plan nodes of :mod:`repro.relational.query`, so every XQL query
+runs under both executors and through the optimizer unchanged.
+
+Grammar::
+
+    query   :=  SELECT columns FROM source (JOIN source)*
+                [WHERE condition (AND condition)*]
+                [GROUP BY names]
+                [ORDER BY name [ASC | DESC]]
+                [LIMIT number]
+    columns :=  '*' | column (',' column)*
+    column  :=  name | name AS name | agg '(' name ')' AS name
+    agg     :=  COUNT | SUM | AVG | MIN | MAX
+    source  :=  relation_name
+    condition := name ('=' | '!=' | '<' | '<=' | '>' | '>=') literal
+
+Restrictions (on purpose): joins are natural joins; aggregates require
+GROUP BY; literals are integers, floats and quoted strings.  Keywords
+are case-insensitive; names are case-sensitive.
+
+Usage::
+
+    from repro.relational.sql import run
+    run(db, "SELECT name, dname FROM emp JOIN dept WHERE dept = 3")
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import NotationError, SchemaError
+from repro.relational.aggregate import aggregate
+from repro.relational.optimizer import optimize
+from repro.relational.query import (
+    Database,
+    Join,
+    Plan,
+    Project,
+    Rename,
+    Scan,
+    SelectEq,
+    SelectPred,
+)
+from repro.relational.relation import Relation
+
+__all__ = ["parse_query", "compile_query", "run", "run_rows", "Query"]
+
+_TOKEN = re.compile(
+    r"""
+    (?P<name>[A-Za-z_][A-Za-z_0-9]*) |
+    (?P<number>-?\d+\.\d+|-?\d+)     |
+    (?P<string>'[^']*')              |
+    (?P<op><=|>=|!=|=|<|>)           |
+    (?P<punct>[(),*])                |
+    (?P<space>\s+)                   |
+    (?P<bad>.)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "from", "join", "where", "and", "group", "by", "as",
+    "count", "sum", "avg", "min", "max", "order", "asc", "desc", "limit",
+}
+
+_AGGREGATES = {"count", "sum", "avg", "min", "max"}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    out = []
+    for match in _TOKEN.finditer(text):
+        kind = match.lastgroup
+        lexeme = match.group()
+        if kind == "space":
+            continue
+        if kind == "bad":
+            raise NotationError(
+                "XQL: unexpected character %r at %d" % (lexeme, match.start())
+            )
+        if kind == "name" and lexeme.lower() in _KEYWORDS:
+            out.append(("kw", lexeme.lower()))
+        else:
+            out.append((kind, lexeme))
+    return out
+
+
+class Query:
+    """A parsed XQL query: columns, sources, conditions, grouping."""
+
+    def __init__(self):
+        self.star = False
+        self.columns: List[Tuple[str, Optional[str]]] = []       # (name, alias)
+        self.aggregates: List[Tuple[str, str, str]] = []         # (fn, src, alias)
+        self.sources: List[str] = []
+        self.conditions: List[Tuple[str, str, Any]] = []          # (attr, op, value)
+        self.group_by: List[str] = []
+        self.order_by: Optional[Tuple[str, bool]] = None          # (attr, descending)
+        self.limit: Optional[int] = None
+
+    def __repr__(self) -> str:
+        return "Query(sources=%s, columns=%s, aggregates=%s)" % (
+            self.sources, self.columns, self.aggregates
+        )
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self._stream = _tokenize(text)
+        self._position = 0
+
+    def _peek(self) -> Optional[Tuple[str, str]]:
+        if self._position >= len(self._stream):
+            return None
+        return self._stream[self._position]
+
+    def _next(self) -> Tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise NotationError("XQL: unexpected end of query")
+        self._position += 1
+        return token
+
+    def _expect_kw(self, word: str) -> None:
+        kind, lexeme = self._next()
+        if kind != "kw" or lexeme != word:
+            raise NotationError("XQL: expected %s, found %r" % (word.upper(), lexeme))
+
+    def _expect_name(self) -> str:
+        kind, lexeme = self._next()
+        if kind != "name":
+            raise NotationError("XQL: expected a name, found %r" % (lexeme,))
+        return lexeme
+
+    def _at_kw(self, word: str) -> bool:
+        token = self._peek()
+        return token is not None and token == ("kw", word)
+
+    def parse(self) -> Query:
+        query = Query()
+        self._expect_kw("select")
+        self._columns(query)
+        self._expect_kw("from")
+        query.sources.append(self._expect_name())
+        while self._at_kw("join"):
+            self._next()
+            query.sources.append(self._expect_name())
+        if self._at_kw("where"):
+            self._next()
+            query.conditions.append(self._condition())
+            while self._at_kw("and"):
+                self._next()
+                query.conditions.append(self._condition())
+        if self._at_kw("group"):
+            self._next()
+            self._expect_kw("by")
+            query.group_by.append(self._expect_name())
+            while self._peek() == ("punct", ","):
+                self._next()
+                query.group_by.append(self._expect_name())
+        if self._at_kw("order"):
+            self._next()
+            self._expect_kw("by")
+            attr = self._expect_name()
+            descending = False
+            if self._at_kw("desc"):
+                self._next()
+                descending = True
+            elif self._at_kw("asc"):
+                self._next()
+            query.order_by = (attr, descending)
+        if self._at_kw("limit"):
+            self._next()
+            kind, literal = self._next()
+            if kind != "number" or "." in literal or int(literal) < 0:
+                raise NotationError(
+                    "XQL: LIMIT needs a non-negative integer, found %r"
+                    % (literal,)
+                )
+            query.limit = int(literal)
+        leftover = self._peek()
+        if leftover is not None:
+            raise NotationError("XQL: trailing input at %r" % (leftover[1],))
+        if query.aggregates and not query.group_by:
+            raise NotationError("XQL: aggregates require GROUP BY")
+        return query
+
+    def _columns(self, query: Query) -> None:
+        if self._peek() == ("punct", "*"):
+            self._next()
+            query.star = True
+            return
+        self._column(query)
+        while self._peek() == ("punct", ","):
+            self._next()
+            self._column(query)
+
+    def _column(self, query: Query) -> None:
+        kind, lexeme = self._next()
+        if kind == "kw" and lexeme in _AGGREGATES:
+            fn_name = lexeme
+            if self._next() != ("punct", "("):
+                raise NotationError("XQL: expected ( after %s" % fn_name.upper())
+            source = self._expect_name()
+            if self._next() != ("punct", ")"):
+                raise NotationError("XQL: expected ) in aggregate")
+            self._expect_kw("as")
+            alias = self._expect_name()
+            query.aggregates.append((fn_name, source, alias))
+            return
+        if kind != "name":
+            raise NotationError("XQL: expected a column, found %r" % (lexeme,))
+        alias = None
+        if self._at_kw("as"):
+            self._next()
+            alias = self._expect_name()
+        query.columns.append((lexeme, alias))
+
+    def _condition(self) -> Tuple[str, str, Any]:
+        attr = self._expect_name()
+        kind, operator = self._next()
+        if kind != "op":
+            raise NotationError("XQL: expected an operator, found %r" % (operator,))
+        kind, literal = self._next()
+        if kind == "number":
+            value: Any = float(literal) if "." in literal else int(literal)
+        elif kind == "string":
+            value = literal[1:-1]
+        else:
+            raise NotationError("XQL: expected a literal, found %r" % (literal,))
+        return (attr, operator, value)
+
+
+def parse_query(text: str) -> Query:
+    """Parse XQL text into a :class:`Query` description."""
+    return _Parser(text).parse()
+
+
+_PREDICATES = {
+    "=": lambda left, right: left == right,
+    "!=": lambda left, right: left != right,
+    "<": lambda left, right: left < right,
+    "<=": lambda left, right: left <= right,
+    ">": lambda left, right: left > right,
+    ">=": lambda left, right: left >= right,
+}
+
+
+def compile_query(query: Query) -> Plan:
+    """Lower a parsed query to plan nodes (aggregation handled by run)."""
+    plan: Plan = Scan(query.sources[0])
+    for source in query.sources[1:]:
+        plan = Join(plan, Scan(source))
+    equalities = {}
+    for attr, operator, value in query.conditions:
+        if operator == "=" and attr not in equalities:
+            equalities[attr] = value
+        else:
+            test = _PREDICATES[operator]
+            plan = SelectPred(
+                plan,
+                lambda row, a=attr, t=test, v=value: t(row[a], v),
+                label="%s %s %r" % (attr, operator, value),
+            )
+    if equalities:
+        plan = SelectEq(plan, equalities)
+    if query.aggregates or query.group_by:
+        return plan  # projection/aggregation applied after grouping
+    if not query.star:
+        renames = {
+            name: alias for name, alias in query.columns if alias
+        }
+        plan = Project(plan, [name for name, _ in query.columns])
+        if renames:
+            plan = Rename(plan, renames)
+    return plan
+
+
+def run(db: Database, text: str, optimized: bool = True) -> Relation:
+    """Parse, compile, (optionally) optimize and execute an XQL query."""
+    query = parse_query(text)
+    plan = compile_query(query)
+    if optimized:
+        plan = optimize(plan, db)
+    result = db.execute(plan)
+    if query.aggregates:
+        aggregations = {
+            alias: (fn_name, source)
+            for fn_name, source, alias in query.aggregates
+        }
+        result = aggregate(result, query.group_by, aggregations)
+        if query.columns:
+            wanted = [name for name, _ in query.columns] + list(aggregations)
+            missing = [
+                name for name in (n for n, _ in query.columns)
+                if name not in query.group_by
+            ]
+            if missing:
+                raise SchemaError(
+                    "XQL: non-grouped columns in aggregate query: %s" % missing
+                )
+            from repro.relational.algebra import project
+
+            result = project(result, wanted)
+    elif query.group_by:
+        from repro.relational.algebra import project
+
+        result = project(result, query.group_by)
+    if query.limit is not None:
+        rows = _ordered_rows(result, query)[: query.limit]
+        result = Relation.from_dicts(result.heading, rows)
+    return result
+
+
+def _ordered_rows(relation: Relation, query: Query) -> List[Dict[str, Any]]:
+    """Rows as dicts in the query's order (canonical order otherwise)."""
+    rows = list(relation.iter_dicts())
+    if query.order_by is not None:
+        attr, descending = query.order_by
+        relation.heading.require([attr])
+        rows.sort(key=lambda row: row[attr], reverse=descending)
+    return rows
+
+
+def run_rows(
+    db: Database, text: str, optimized: bool = True
+) -> List[Dict[str, Any]]:
+    """Like :func:`run`, but returns an ordered list of row dicts.
+
+    A relation is a set and cannot carry row order; when a query says
+    ORDER BY, this is the entry point that honors it end to end
+    (including LIMIT).  Without ORDER BY the canonical row order is
+    used, which is deterministic but not meaningful.
+    """
+    query = parse_query(text)
+    relation = run(db, text, optimized=optimized)
+    rows = _ordered_rows(relation, query)
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return rows

@@ -1,0 +1,112 @@
+"""Multi-table transactions over constraint-guarded tables.
+
+:class:`~repro.relational.constraints.Table` makes each *statement*
+all-or-nothing; a :class:`TransactionManager` extends the guarantee to
+*groups* of statements across tables.  Immutability makes this almost
+free: beginning a transaction records each table's current relation
+value (a pointer copy), and rollback restores the pointers.  Deferred
+constraint checking re-validates every enrolled table at commit, so
+mutually-referential updates (insert the department and its employees
+in one transaction) order-independently succeed or fail as a unit.
+
+Usage::
+
+    manager = TransactionManager({"emp": emp_table, "dept": dept_table})
+    with manager.transaction():
+        dept_table.insert({...})
+        emp_table.insert({...})
+    # both applied; any exception inside the block rolled both back
+
+Nested transactions are supported as savepoints: the inner context
+restores to its own begin-state on failure without disturbing the
+outer transaction.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Mapping
+
+from repro.errors import SchemaError
+from repro.relational.constraints import Table
+
+__all__ = ["TransactionManager"]
+
+
+class TransactionManager:
+    """Groups mutations on several tables into atomic units."""
+
+    def __init__(self, tables: Mapping[str, Table]):
+        if not tables:
+            raise SchemaError("a transaction manager needs at least one table")
+        self._tables: Dict[str, Table] = dict(tables)
+        self._savepoints: List[Dict[str, object]] = []
+
+    @property
+    def tables(self) -> Dict[str, Table]:
+        return dict(self._tables)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError("unknown table %r" % (name,)) from None
+
+    # ------------------------------------------------------------------
+    # Savepoint mechanics
+    # ------------------------------------------------------------------
+
+    def _capture(self) -> Dict[str, object]:
+        return {name: table.snapshot() for name, table in self._tables.items()}
+
+    def _restore(self, savepoint: Dict[str, object]) -> None:
+        # Restoring a previously-captured state needs no re-checking:
+        # it was the live state when the transaction began.
+        for name, relation in savepoint.items():
+            self._tables[name]._current = relation
+
+    def in_transaction(self) -> bool:
+        return bool(self._savepoints)
+
+    @property
+    def depth(self) -> int:
+        return len(self._savepoints)
+
+    # ------------------------------------------------------------------
+    # The transaction context
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def transaction(self, deferred: bool = False) -> Iterator["TransactionManager"]:
+        """Atomic scope: exceptions roll every table back.
+
+        With ``deferred=True``, per-statement constraint checking is
+        suspended for the enrolled tables inside the scope and every
+        table is validated at commit instead -- so cross-table
+        invariants may be transiently broken (insert the employee
+        before its department) as long as the commit state is
+        consistent.  A failed commit restores the begin-state and
+        re-raises.
+        """
+        savepoint = self._capture()
+        self._savepoints.append(savepoint)
+        if deferred:
+            for table in self._tables.values():
+                table.defer_validation(True)
+        try:
+            yield self
+        except BaseException:
+            self._restore(savepoint)
+            raise
+        else:
+            try:
+                for table in self._tables.values():
+                    table.check_now()
+            except Exception:
+                self._restore(savepoint)
+                raise
+        finally:
+            if deferred:
+                for table in self._tables.values():
+                    table.defer_validation(False)
+            self._savepoints.pop()

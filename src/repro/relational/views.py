@@ -1,0 +1,210 @@
+"""Views: named queries, optionally materialized with digest tracking.
+
+A view is a plan over base relations.  A *virtual* view re-executes on
+every read; a *materialized* view caches its result together with the
+content digests of the base relations it read, so staleness is a pure
+set-level comparison -- no invalidation hooks, no dirty flags, just
+"do the inputs still hash to what I saw?"  (Canonical serialization
+makes the digest order-insensitive; see
+:mod:`repro.xst.serialization`.)
+
+:class:`ViewCatalog` extends a :class:`~repro.relational.query.
+Database` with view definitions; views can reference earlier views,
+and reads resolve through the chain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import SchemaError
+from repro.relational.optimizer import optimize
+from repro.relational.query import Database, Plan, Scan
+from repro.relational.relation import Relation
+from repro.xst.serialization import digest
+
+__all__ = ["View", "ViewCatalog"]
+
+
+def _base_relations(plan: Plan) -> List[str]:
+    """The Scan names a plan reads, in discovery order, deduplicated."""
+    names: List[str] = []
+
+    def walk(node: Plan) -> None:
+        if isinstance(node, Scan):
+            if node.name not in names:
+                names.append(node.name)
+            return
+        for child in node.children():
+            walk(child)
+
+    walk(plan)
+    return names
+
+
+class View:
+    """A named plan with optional materialization state."""
+
+    def __init__(self, name: str, plan: Plan, materialized: bool):
+        self.name = name
+        self.plan = plan
+        self.materialized = materialized
+        self._cache: Optional[Relation] = None
+        self._input_digests: Optional[Dict[str, str]] = None
+
+    def __repr__(self) -> str:
+        kind = "materialized" if self.materialized else "virtual"
+        return "View(%s, %s)" % (self.name, kind)
+
+
+class ViewCatalog:
+    """A database plus named views (virtual or materialized)."""
+
+    def __init__(self, db: Database):
+        self._db = db
+        self._views: Dict[str, View] = {}
+
+    @property
+    def database(self) -> Database:
+        return self._db
+
+    # ------------------------------------------------------------------
+    # Definition
+    # ------------------------------------------------------------------
+
+    def define(self, name: str, plan: Plan, materialized: bool = False) -> View:
+        """Register a view; names may not shadow base relations."""
+        if name in self._views:
+            raise SchemaError("view %r already defined" % (name,))
+        try:
+            self._db.relation(name)
+        except SchemaError:
+            pass
+        else:
+            raise SchemaError(
+                "view %r would shadow a base relation" % (name,)
+            )
+        for base in _base_relations(plan):
+            if base not in self._views:
+                self._db.relation(base)  # raises for unknown names
+        view = View(name, plan, materialized)
+        self._views[name] = view
+        return view
+
+    def names(self) -> List[str]:
+        return sorted(self._views)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def _resolve_plan(self, plan: Plan) -> Plan:
+        """Inline view references by materializing them into the db.
+
+        Views referencing views resolve recursively; each referenced
+        view's current rows are installed as a shadow base relation
+        for the duration of execution.
+        """
+        for base in _base_relations(plan):
+            if base in self._views:
+                self._db.add("__view__" + base, self.read(base))
+        return _rewrite_scans(
+            plan,
+            {base: "__view__" + base for base in _base_relations(plan)
+             if base in self._views},
+        )
+
+    def read(self, name: str) -> Relation:
+        """The view's current contents (cached if materialized+fresh)."""
+        view = self._views.get(name)
+        if view is None:
+            raise SchemaError("unknown view %r" % (name,))
+        if view.materialized and view._cache is not None and not self.is_stale(
+            name
+        ):
+            return view._cache
+        plan = optimize(self._resolve_plan(view.plan), self._db)
+        result = self._db.execute(plan)
+        if view.materialized:
+            view._cache = result
+            view._input_digests = self._current_digests(view)
+        return result
+
+    # ------------------------------------------------------------------
+    # Staleness
+    # ------------------------------------------------------------------
+
+    def _current_digests(self, view: View) -> Dict[str, str]:
+        digests = {}
+        for base in _base_relations(view.plan):
+            if base in self._views:
+                digests[base] = digest(self.read(base).rows)
+            else:
+                digests[base] = digest(self._db.relation(base).rows)
+        return digests
+
+    def is_stale(self, name: str) -> bool:
+        """True when a materialized view's inputs have changed.
+
+        Virtual views are never stale (they always recompute); an
+        unmaterialized-yet materialized view is considered stale.
+        """
+        view = self._views.get(name)
+        if view is None:
+            raise SchemaError("unknown view %r" % (name,))
+        if not view.materialized:
+            return False
+        if view._input_digests is None:
+            return True
+        return self._current_digests(view) != view._input_digests
+
+    def refresh(self, name: str) -> Relation:
+        """Force recomputation of a materialized view."""
+        view = self._views.get(name)
+        if view is None:
+            raise SchemaError("unknown view %r" % (name,))
+        view._cache = None
+        view._input_digests = None
+        return self.read(name)
+
+
+def _rewrite_scans(plan: Plan, mapping: Dict[str, str]) -> Plan:
+    """Rebuild a plan with Scan names substituted."""
+    from repro.relational.query import (
+        Difference,
+        Join,
+        Project,
+        Rename,
+        SelectEq,
+        SelectPred,
+        Union,
+    )
+
+    if isinstance(plan, Scan):
+        return Scan(mapping.get(plan.name, plan.name))
+    if isinstance(plan, SelectEq):
+        return SelectEq(_rewrite_scans(plan.child, mapping), plan.conditions)
+    if isinstance(plan, SelectPred):
+        return SelectPred(
+            _rewrite_scans(plan.child, mapping), plan.predicate, plan.label
+        )
+    if isinstance(plan, Project):
+        return Project(_rewrite_scans(plan.child, mapping), plan.attrs)
+    if isinstance(plan, Rename):
+        return Rename(_rewrite_scans(plan.child, mapping), plan.mapping)
+    if isinstance(plan, Join):
+        return Join(
+            _rewrite_scans(plan.left, mapping),
+            _rewrite_scans(plan.right, mapping),
+        )
+    if isinstance(plan, Union):
+        return Union(
+            _rewrite_scans(plan.left, mapping),
+            _rewrite_scans(plan.right, mapping),
+        )
+    if isinstance(plan, Difference):
+        return Difference(
+            _rewrite_scans(plan.left, mapping),
+            _rewrite_scans(plan.right, mapping),
+        )
+    raise TypeError("unknown plan node %r" % (plan,))

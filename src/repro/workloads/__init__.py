@@ -1,0 +1,23 @@
+"""Deterministic synthetic workload generators (see DESIGN.md)."""
+
+from repro.workloads.generators import (
+    department_relation,
+    departments,
+    employee_relation,
+    employees,
+    functional_pairs,
+    pair_relation,
+    pipeline_stages,
+    skewed_values,
+)
+
+__all__ = [
+    "pair_relation",
+    "functional_pairs",
+    "pipeline_stages",
+    "employees",
+    "departments",
+    "employee_relation",
+    "department_relation",
+    "skewed_values",
+]

@@ -1,0 +1,172 @@
+"""Seeded synthetic workloads for tests and benchmarks.
+
+The 1977 evaluation environment (backend hardware, proprietary data)
+is unavailable; these generators are the documented substitute (see
+DESIGN.md).  Every generator takes an explicit ``seed`` and is fully
+deterministic, so benchmark runs are comparable across machines and
+repeated runs -- the claims under test are comparative (who wins, by
+what shape), which synthetic data preserves.
+
+Shapes provided:
+
+* flat pair relations (for image/application/composition benches),
+  with controllable fan-out so functional and non-functional graphs
+  can both be produced;
+* pipeline stages (chains of composable pair relations);
+* employee/department style relational schemas with a key/foreign-key
+  join and skewable value distributions (for the set-vs-record and
+  join benches).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List
+
+from repro.relational.relation import Relation
+from repro.xst.builders import xpair, xset
+from repro.xst.xset import XSet
+
+__all__ = [
+    "pair_relation",
+    "functional_pairs",
+    "pipeline_stages",
+    "employees",
+    "departments",
+    "employee_relation",
+    "department_relation",
+    "skewed_values",
+]
+
+
+def pair_relation(
+    size: int, seed: int = 0, key_space: int = 0, fanout: int = 1
+) -> XSet:
+    """A pair relation ``{<k, v>}`` with ``size`` members.
+
+    ``key_space`` bounds the distinct keys (0 means ``size``, i.e. all
+    keys distinct); ``fanout`` > 1 lets single keys map to several
+    values, producing one-to-many graphs.
+    """
+    rng = random.Random(seed)
+    keys = key_space or size
+    pairs = set()
+    attempts = 0
+    while len(pairs) < size and attempts < size * 20:
+        key = rng.randrange(keys)
+        value = rng.randrange(max(1, size // max(1, fanout)))
+        pairs.add((key, value))
+        attempts += 1
+    return xset(xpair(key, value) for key, value in pairs)
+
+
+def functional_pairs(size: int, seed: int = 0) -> XSet:
+    """A *functional* pair relation: a seeded permutation of ``0..size-1``.
+
+    Keys are distinct and values cover the same space, so stages built
+    this way compose totally -- stage N's outputs are always valid
+    stage N+1 keys.
+    """
+    rng = random.Random(seed)
+    values = list(range(size))
+    rng.shuffle(values)
+    return xset(xpair(key, value) for key, value in enumerate(values))
+
+
+def pipeline_stages(depth: int, size: int, seed: int = 0) -> List[XSet]:
+    """``depth`` composable functional stages over the key space ``0..size-1``.
+
+    Each stage is a seeded permutation of the key space, so any prefix
+    composition is total and functional -- the ideal shape for the
+    Theorem 11.2 fusion benchmarks.
+    """
+    return [
+        functional_pairs(size, seed=seed + stage_index)
+        for stage_index in range(depth)
+    ]
+
+
+def skewed_values(count: int, distinct: int, seed: int = 0, skew: float = 1.1) -> List[int]:
+    """``count`` draws from ``0..distinct-1`` with Zipf-like skew.
+
+    ``skew`` near 1.0 is mildly skewed; larger values concentrate mass
+    on low keys.  Used to stress hash-join bucket imbalance.
+    """
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** skew for rank in range(distinct)]
+    total = sum(weights)
+    cumulative = []
+    running = 0.0
+    for weight in weights:
+        running += weight / total
+        cumulative.append(running)
+    out = []
+    for _ in range(count):
+        point = rng.random()
+        low, high = 0, distinct - 1
+        while low < high:
+            mid = (low + high) // 2
+            if cumulative[mid] < point:
+                low = mid + 1
+            else:
+                high = mid
+        out.append(low)
+    return out
+
+
+_FIRST_NAMES = (
+    "ada", "alan", "barbara", "claude", "donald", "edsger", "grace",
+    "john", "kathleen", "niklaus",
+)
+
+
+def employees(
+    count: int, departments_count: int, seed: int = 0, skew: float = 0.0
+) -> List[Dict[str, Any]]:
+    """Employee rows: ``emp`` key, ``name``, ``dept`` foreign key, ``salary``."""
+    rng = random.Random(seed)
+    if skew:
+        dept_draws = skewed_values(count, departments_count, seed=seed, skew=skew)
+    else:
+        dept_draws = [rng.randrange(departments_count) for _ in range(count)]
+    rows = []
+    for emp_id in range(count):
+        rows.append(
+            {
+                "emp": emp_id,
+                "name": "%s-%d" % (_FIRST_NAMES[emp_id % len(_FIRST_NAMES)], emp_id),
+                "dept": dept_draws[emp_id],
+                "salary": 30000 + rng.randrange(70000),
+            }
+        )
+    return rows
+
+
+def departments(count: int, seed: int = 0) -> List[Dict[str, Any]]:
+    """Department rows: ``dept`` key, ``dname``, ``budget``."""
+    rng = random.Random(seed + 1)
+    return [
+        {
+            "dept": dept_id,
+            "dname": "dept-%d" % dept_id,
+            "budget": 100000 + rng.randrange(900000),
+        }
+        for dept_id in range(count)
+    ]
+
+
+def employee_relation(
+    count: int, departments_count: int, seed: int = 0, skew: float = 0.0
+) -> Relation:
+    """The employee workload as a :class:`Relation`."""
+    return Relation.from_dicts(
+        ["emp", "name", "dept", "salary"],
+        employees(count, departments_count, seed=seed, skew=skew),
+    )
+
+
+def department_relation(count: int, seed: int = 0) -> Relation:
+    """The department workload as a :class:`Relation`."""
+    return Relation.from_dicts(
+        ["dept", "dname", "budget"], departments(count, seed=seed)
+    )

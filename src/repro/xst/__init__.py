@@ -1,0 +1,165 @@
+"""The XST kernel: extended sets and the operations of the paper.
+
+This subpackage is the set-theoretic substrate everything else builds
+on.  Import the common names directly::
+
+    from repro.xst import XSet, EMPTY, xset, xtuple, xpair, xrecord
+    from repro.xst import sigma_domain, sigma_restrict, image
+    from repro.xst import relative_product
+
+Layer map (bottom-up):
+
+=====================  ==================================================
+module                 contents
+=====================  ==================================================
+``ordering``           canonical total order over heterogeneous values
+``xset``               :class:`XSet`, scoped membership, tuple/record shape
+``builders``           classical sets, tuples, pairs, records, conversion
+``algebra``            Boolean algebra, powerset, separation, replacement
+``rescope``            Defs 7.3 / 7.5 re-scoping
+``domain``             Def 7.4 sigma-Domain (+ CST 1-/2-Domain shapes)
+``restrict``           Def 7.6 sigma-Restriction (+ CST restriction shape)
+``image``              Defs 3.10 / 7.1 Image
+``tuples``             Defs 9.1 / 9.2 / 7.2 tuples and concatenation
+``products``           Defs 9.3 - 9.7 cross product, tag, Cartesian
+``values``             Defs 9.8 / 9.9 value extraction, Thm 9.10 bridge
+``relative_product``   Def 10.1 parameterized join
+=====================  ==================================================
+"""
+
+from repro.xst.algebra import (
+    big_intersection,
+    big_union,
+    difference,
+    disjoint,
+    intersection,
+    iter_subsets,
+    map_pairs,
+    powerset,
+    select_pairs,
+    symmetric_difference,
+    union,
+)
+from repro.xst.closure import (
+    compose_step,
+    node_set,
+    reachable_from,
+    reflexive_transitive_closure,
+    symmetric_closure,
+    transitive_closure,
+    transitive_closure_naive,
+)
+from repro.xst.builders import (
+    from_python,
+    relation,
+    scoped,
+    singleton,
+    xpair,
+    xrecord,
+    xset,
+    xtuple,
+)
+from repro.xst.domain import component_domain, domain_1, domain_2, sigma_domain
+from repro.xst.image import cst_image, image
+from repro.xst.ordering import canonical_key
+from repro.xst.products import cartesian, cross, nfold_cartesian, tag
+from repro.xst.relative_product import (
+    cst_relative_product,
+    relative_product,
+    relative_product_nested_loop,
+)
+from repro.xst.rescope import (
+    identity_sigma_for,
+    rescope_by_element,
+    rescope_by_scope,
+    rescope_value_by_element,
+    rescope_value_by_scope,
+)
+from repro.xst.restrict import restrict_1, sigma_restrict
+from repro.xst.serialization import digest, dump_stream, dumps, load_stream, loads
+from repro.xst.tuples import (
+    concat,
+    ordered_pair,
+    reverse_tuple,
+    shift_positions,
+    tup,
+    tuple_slice,
+)
+from repro.xst.values import classical_call, sigma_value, value
+from repro.xst.xset import EMPTY, XSet, render
+
+__all__ = [
+    "XSet",
+    "EMPTY",
+    "render",
+    "canonical_key",
+    # builders
+    "xset",
+    "xtuple",
+    "xpair",
+    "xrecord",
+    "scoped",
+    "singleton",
+    "relation",
+    "from_python",
+    # algebra
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+    "big_union",
+    "big_intersection",
+    "powerset",
+    "iter_subsets",
+    "select_pairs",
+    "map_pairs",
+    "disjoint",
+    # rescoping
+    "rescope_by_scope",
+    "rescope_by_element",
+    "rescope_value_by_scope",
+    "rescope_value_by_element",
+    "identity_sigma_for",
+    # domain / restriction / image
+    "sigma_domain",
+    "domain_1",
+    "domain_2",
+    "component_domain",
+    "sigma_restrict",
+    "restrict_1",
+    "image",
+    "cst_image",
+    # tuples & products
+    "tup",
+    "concat",
+    "shift_positions",
+    "ordered_pair",
+    "tuple_slice",
+    "reverse_tuple",
+    "cross",
+    "tag",
+    "cartesian",
+    "nfold_cartesian",
+    # values
+    "sigma_value",
+    "value",
+    "classical_call",
+    # relative product
+    "relative_product",
+    "relative_product_nested_loop",
+    "cst_relative_product",
+    # serialization
+    "dumps",
+    "loads",
+    "digest",
+    "dump_stream",
+    "load_stream",
+    # closures
+    "compose_step",
+    "transitive_closure",
+    "transitive_closure_naive",
+    "reflexive_transitive_closure",
+    "symmetric_closure",
+    "reachable_from",
+    "node_set",
+]

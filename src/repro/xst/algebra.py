@@ -1,0 +1,132 @@
+"""Set algebra over extended sets.
+
+The paper leans on the familiar Boolean operations -- Consequences 7.1,
+8.1 and C.1 all relate scoped operations to plain union, intersection
+and difference -- so the kernel provides them as free functions (the
+operator forms live on :class:`~repro.xst.xset.XSet` itself) together
+with the second-order operations a set-theory library is expected to
+carry: generalized union/intersection, powerset, separation and
+replacement.
+
+All operations act on the full ``(element, scope)`` pair structure:
+``union(A, B)`` contains ``x`` under scope ``s`` exactly when one of
+its operands does.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.xst.xset import EMPTY, XSet
+
+__all__ = [
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+    "big_union",
+    "big_intersection",
+    "powerset",
+    "select_pairs",
+    "map_pairs",
+    "disjoint",
+]
+
+
+def union(*sets: XSet) -> XSet:
+    """Pairwise union of any number of extended sets."""
+    if not sets:
+        return EMPTY
+    head, *rest = sets
+    return head.union(*rest)
+
+
+def intersection(*sets: XSet) -> XSet:
+    """Pairwise intersection of one or more extended sets."""
+    if not sets:
+        raise ValueError("intersection() of no sets is undefined")
+    head, *rest = sets
+    return head.intersection(*rest)
+
+
+def difference(left: XSet, right: XSet) -> XSet:
+    """Pairs of ``left`` absent from ``right`` (the paper's ``~``)."""
+    return left.difference(right)
+
+
+def symmetric_difference(left: XSet, right: XSet) -> XSet:
+    return left.symmetric_difference(right)
+
+
+def big_union(family: XSet) -> XSet:
+    """Union of every *element* of ``family`` that is itself a set.
+
+    Atom elements contribute nothing; scopes on the family's own
+    memberships are ignored, matching the classical reading of the
+    union axiom lifted to XST.
+    """
+    pairs = []
+    for element, _ in family.pairs():
+        if isinstance(element, XSet):
+            pairs.extend(element.pairs())
+    return XSet(pairs)
+
+
+def big_intersection(family: XSet) -> XSet:
+    """Intersection of every XSet element of a non-empty family."""
+    members = [element for element, _ in family.pairs() if isinstance(element, XSet)]
+    if not members:
+        raise ValueError("big_intersection() needs at least one set element")
+    return intersection(*members)
+
+
+def powerset(xs: XSet) -> XSet:
+    """The classical set of all pair-subsets of ``xs``.
+
+    The result holds each subset as a member under the empty scope.
+    Exponential in ``len(xs)``; guarded for accidental misuse on large
+    inputs.
+    """
+    pairs = xs.pairs()
+    if len(pairs) > 16:
+        raise ValueError(
+            "powerset of a set with %d memberships (> 2**16 subsets) refused;"
+            " enumerate lazily with iter_subsets() instead" % len(pairs)
+        )
+    subsets = []
+    for size in range(len(pairs) + 1):
+        for combo in combinations(pairs, size):
+            subsets.append((XSet(combo), EMPTY))
+    return XSet(subsets)
+
+
+def iter_subsets(xs: XSet) -> Iterator[XSet]:
+    """Lazily enumerate every pair-subset of ``xs``."""
+    pairs = xs.pairs()
+    for size in range(len(pairs) + 1):
+        for combo in combinations(pairs, size):
+            yield XSet(combo)
+
+
+def select_pairs(xs: XSet, predicate: Callable[[Any, Any], bool]) -> XSet:
+    """Separation: the sub-XSet of pairs satisfying ``predicate(e, s)``."""
+    return XSet(pair for pair in xs.pairs() if predicate(*pair))
+
+
+def map_pairs(xs: XSet, transform: Callable[[Any, Any], Iterable]) -> XSet:
+    """Replacement: rebuild from ``transform(element, scope)`` pair streams.
+
+    ``transform`` returns an iterable of ``(element, scope)`` pairs for
+    each input pair, allowing one membership to become zero, one or
+    many memberships.
+    """
+    out = []
+    for element, scope in xs.pairs():
+        out.extend(transform(element, scope))
+    return XSet(out)
+
+
+def disjoint(left: XSet, right: XSet) -> bool:
+    """True when the two sets share no membership pair."""
+    return not (left & right)

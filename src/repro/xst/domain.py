@@ -1,0 +1,75 @@
+"""The sigma-Domain operation (Def 7.4) and its CST specializations.
+
+The sigma-Domain collects, from a set of structured members, the
+sigma-re-scoped part of every member *and* of that member's own scope::
+
+    D_sigma(R) = { x^s : exists z, w ( z in_w R
+                                       and x = z^{/sigma/} != {}
+                                       and s = w^{/sigma/} ) }
+
+Intuitively: ``R`` is a collection of records, sigma names which parts
+of each record to keep (and where to put them), and the result is the
+collection of kept parts.  CST's 1-Domain and 2-Domain (Defs 3.4 / 3.5)
+fall out by taking sigma = <1> and sigma = <2> over a set of ordered
+pairs -- except that XST's answers are 1-tuples ``<a>`` rather than
+bare elements, preserving position information (the paper's Example 8.1
+shows exactly this shape).
+
+Members of ``R`` that are atoms re-scope to the empty set and are
+dropped (the ``x != {}`` guard).  A member whose re-scope is non-empty
+is kept even when its *scope's* re-scope is empty; the scope then
+becomes the empty scope, i.e. a classical membership.
+"""
+
+from __future__ import annotations
+
+from repro.xst.builders import xset
+from repro.xst.xset import XSet
+from repro.xst.rescope import rescope_value_by_scope
+
+__all__ = ["sigma_domain", "domain_1", "domain_2", "component_domain"]
+
+
+def sigma_domain(r: XSet, sigma: XSet) -> XSet:
+    """Def 7.4: ``D_sigma(R)``."""
+    pairs = []
+    for member, member_scope in r.pairs():
+        kept = rescope_value_by_scope(member, sigma)
+        if kept.is_empty:
+            continue
+        pairs.append((kept, rescope_value_by_scope(member_scope, sigma)))
+    return XSet(pairs)
+
+
+def _column_sigma(position: int) -> XSet:
+    """The sigma ``<position>`` = ``{position^1}`` selecting one column."""
+    return XSet([(position, 1)])
+
+
+def domain_1(r: XSet) -> XSet:
+    """XST counterpart of CST 1-Domain: 1-tuples of first components.
+
+    ``domain_1({<a,x>, <b,y>}) == {<a>, <b>}``.  Use
+    :func:`component_domain` for bare classical components.
+    """
+    return sigma_domain(r, _column_sigma(1))
+
+
+def domain_2(r: XSet) -> XSet:
+    """XST counterpart of CST 2-Domain: 1-tuples of second components."""
+    return sigma_domain(r, _column_sigma(2))
+
+
+def component_domain(r: XSet, position: int) -> XSet:
+    """CST-flavoured domain: the classical set of bare components.
+
+    ``component_domain({<a,x>, <b,y>}, 1) == {a, b}`` -- the shape
+    Defs 3.4/3.5 produce.  Non-tuple members, and tuple members without
+    the requested position, are skipped.
+    """
+    members = []
+    for member, _ in r.pairs():
+        if isinstance(member, XSet):
+            components = member.elements_at(position)
+            members.extend(components)
+    return xset(members)

@@ -1,0 +1,52 @@
+"""The Image operation: Defs 3.10 / 7.1 (XST) and 3.1 / 3.6 (CST).
+
+Image is the two-step composite the paper builds Application on::
+
+    R[A]_{<sigma1, sigma2>} = D_{sigma2}( R |_{sigma1} A )
+
+-- "the sigma2-Domain of the sigma1-Restriction": first keep the
+members of ``R`` triggered by ``A`` (restriction), then extract their
+sigma2 parts (domain).  With ``sigma = <<1>, <2>>`` over a set of
+pairs this is the classical image ``R[A]`` of Def 3.1, modulo XST's
+tuple-shaped answers (``{<x>}`` rather than ``{x}``).
+
+The pair ``(sigma1, sigma2)`` travels together throughout the library;
+:class:`repro.core.sigma.Sigma` is the structured carrier, and this
+module accepts either a ``Sigma`` or a plain 2-tuple of extended sets.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from repro.xst.domain import sigma_domain
+from repro.xst.restrict import sigma_restrict
+from repro.xst.xset import XSet
+
+__all__ = ["image", "cst_image"]
+
+SigmaLike = Union[Tuple[XSet, XSet], "object"]
+
+
+def _split_sigma(sigma: SigmaLike) -> Tuple[XSet, XSet]:
+    """Accept a ``Sigma`` object or a plain ``(sigma1, sigma2)`` pair."""
+    if hasattr(sigma, "sigma1") and hasattr(sigma, "sigma2"):
+        return sigma.sigma1, sigma.sigma2
+    sigma1, sigma2 = sigma
+    return sigma1, sigma2
+
+
+def image(r: XSet, a: XSet, sigma: SigmaLike) -> XSet:
+    """Defs 3.10/7.1: ``R[A]_{<sigma1, sigma2>}``."""
+    sigma1, sigma2 = _split_sigma(sigma)
+    return sigma_domain(sigma_restrict(r, a, sigma1), sigma2)
+
+
+def cst_image(r: XSet, a: XSet) -> XSet:
+    """The classical image shape over a relation of pairs.
+
+    ``cst_image({<a,x>, <b,y>, <c,x>}, {<a>, <c>}) == {<x>}`` -- the
+    standard ``R[A]`` of Def 3.1 realized as
+    ``R[A]_{<<1>, <2>>}`` (Def 3.6), with 1-tuple members.
+    """
+    return image(r, a, (XSet([(1, 1)]), XSet([(2, 1)])))

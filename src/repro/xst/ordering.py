@@ -1,0 +1,81 @@
+"""Canonical total ordering over heterogeneous XST values.
+
+Extended sets may contain atoms of unrelated Python types alongside
+nested extended sets, and Python refuses to compare such values
+directly (``3 < "a"`` raises ``TypeError``).  The kernel nevertheless
+needs *one* deterministic order so that every :class:`~repro.xst.xset.XSet`
+has a single canonical pair sequence.  Canonical order buys us:
+
+* structural equality and hashing that are independent of insertion
+  order,
+* a stable, reproducible ``repr`` (important for doctests and for
+  diffing benchmark output),
+* deterministic iteration, which keeps every algorithm in the library
+  reproducible run-to-run.
+
+The order sorts first by a small *rank* assigned to each value family
+and then by a payload that is guaranteed comparable within the rank.
+The ordering is consistent with equality for the values the library
+admits: equal values produce equal keys (e.g. ``1`` and ``1.0`` or
+``True``), and unequal values of the same rank produce distinct,
+comparable payloads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+#: Rank constants; lower ranks sort first.
+_RANK_NONE = 0
+_RANK_NUMBER = 1
+_RANK_STRING = 2
+_RANK_BYTES = 3
+_RANK_OTHER = 4
+_RANK_XSET = 5
+
+
+def canonical_key(value: Any) -> Tuple:
+    """Return a sort key giving a total order over admissible values.
+
+    The key is a tuple ``(rank, payload)``.  Payloads are constructed so
+    that any two values of equal rank have comparable payloads, and so
+    that ``a == b`` implies ``canonical_key(a) == canonical_key(b)``.
+
+    ``XSet`` instances are ordered structurally: first by cardinality,
+    then lexicographically by the canonical keys of their (element,
+    scope) pairs.  This makes the order well-founded on the nesting
+    depth of the set.
+    """
+    # Imported lazily to avoid a circular import at module load time;
+    # the attribute lookup is cached by the interpreter after first use.
+    from repro.xst.xset import XSet
+
+    if value is None:
+        return (_RANK_NONE, 0)
+    if isinstance(value, bool):
+        # bool is a subclass of int; fold into the number rank so that
+        # True == 1 keeps a key equal to canonical_key(1).
+        return (_RANK_NUMBER, float(value))
+    if isinstance(value, (int, float)):
+        return (_RANK_NUMBER, float(value))
+    if isinstance(value, complex):
+        return (_RANK_NUMBER + 0.5, (value.real, value.imag))
+    if isinstance(value, str):
+        return (_RANK_STRING, value)
+    if isinstance(value, bytes):
+        return (_RANK_BYTES, value)
+    if isinstance(value, XSet):
+        pair_keys = tuple(
+            (canonical_key(element), canonical_key(scope))
+            for element, scope in value.pairs()
+        )
+        return (_RANK_XSET, len(pair_keys), pair_keys)
+    # Any other hashable atom: order by type name, then by repr.  repr
+    # ties are acceptable because such atoms are opaque to the kernel.
+    return (_RANK_OTHER, type(value).__name__, repr(value))
+
+
+def pair_key(pair: Tuple[Any, Any]) -> Tuple:
+    """Sort key for an ``(element, scope)`` pair: element, then scope."""
+    element, scope = pair
+    return (canonical_key(element), canonical_key(scope))

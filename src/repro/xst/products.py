@@ -1,0 +1,127 @@
+"""Products and tagging: Defs 9.3 - 9.7.
+
+The XST cross product concatenates tuple members *and* tuple scopes::
+
+    A (x) B = { (x . y)^(s . t) : x in_s A  and  y in_t B }   (Def 9.3)
+
+Because concatenation is associative up to renumbering, the cross
+product is associative outright (Theorem 9.4) -- unlike the classical
+Cartesian product, for which ``A x (B x C) != (A x B) x C``.
+
+Tagging (Defs 9.5/9.6) pushes a mark into both the element and its
+scope::
+
+    A^(a) = { {x^a}^{s^a} : x in_s A }    for s != {}
+    A^(a) = { {x^a}       : x in_s A }    for s  = {}
+
+and the classical Cartesian product is recovered as
+``A x B = A^(1) (x) B^(2)`` (Def 9.7).  Reading the ``.`` in that
+expansion over tagged singletons as scope-disjoint union -- which is
+what concatenation does once positions are distinct -- gives the
+familiar ``{ <a, b> : a in A, b in B }``, and that is how
+:func:`cartesian` computes it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import NotATupleError
+from repro.xst.tuples import concat, tup
+from repro.xst.xset import EMPTY, XSet
+
+__all__ = ["cross", "tag", "cartesian", "nfold_cartesian"]
+
+
+def _concat_scopes(s: Any, t: Any) -> Any:
+    """Concatenate member scopes, which are tuples when not empty."""
+    s_set = s if isinstance(s, XSet) else None
+    t_set = t if isinstance(t, XSet) else None
+    if s_set is None or t_set is None:
+        raise NotATupleError(
+            "cross product needs tuple-shaped member scopes; got %r and %r"
+            % (s, t)
+        )
+    return concat(s_set, t_set)
+
+
+def cross(a: XSet, b: XSet) -> XSet:
+    """Def 9.3: the XST cross product ``A (x) B``.
+
+    Every member of both operands must be an n-tuple, and every member
+    scope must be an n-tuple as well (the empty scope is the 0-tuple).
+    """
+    pairs = []
+    for x, s in a.pairs():
+        if not isinstance(x, XSet):
+            raise NotATupleError("cross product member %r is not a tuple" % (x,))
+        tup(x)
+        for y, t in b.pairs():
+            if not isinstance(y, XSet):
+                raise NotATupleError(
+                    "cross product member %r is not a tuple" % (y,)
+                )
+            tup(y)
+            pairs.append((concat(x, y), _concat_scopes(s, t)))
+    return XSet(pairs)
+
+
+def tag(a: XSet, mark: Any) -> XSet:
+    """Defs 9.5/9.6: ``A^(mark)``, tagging members and their scopes."""
+    pairs = []
+    for x, s in a.pairs():
+        tagged_element = XSet([(x, mark)])
+        if isinstance(s, XSet) and s.is_empty:
+            pairs.append((tagged_element, EMPTY))
+        else:
+            pairs.append((tagged_element, XSet([(s, mark)])))
+    return XSet(pairs)
+
+
+def cartesian(a: XSet, b: XSet) -> XSet:
+    """Def 9.7: the classical Cartesian product ``A x B`` as pairs.
+
+    ``cartesian({a, b}, {x})`` is ``{<a,x>, <b,x>}``.  Computed by
+    lifting each member into a 1-tuple and concatenating, which
+    coincides with the Def 9.7 expansion ``A^(1) (x) B^(2)`` once the
+    tag marks are read as positions.
+    """
+    pairs = []
+    for x, s in a.pairs():
+        left = XSet([(x, 1)])
+        left_scope = s if isinstance(s, XSet) and s.is_empty else XSet([(s, 1)])
+        for y, t in b.pairs():
+            element = left.union(XSet([(y, 2)]))
+            if left_scope.is_empty and isinstance(t, XSet) and t.is_empty:
+                scope: Any = EMPTY
+            else:
+                right_scope = (
+                    t if isinstance(t, XSet) and t.is_empty else XSet([(t, 2)])
+                )
+                scope = left_scope.union(right_scope)
+            pairs.append((element, scope))
+    return XSet(pairs)
+
+
+def nfold_cartesian(*sets: XSet) -> XSet:
+    """``A1 x A2 x ... x An`` flattened to n-tuples (not nested pairs).
+
+    The XST tuple model makes the n-fold product associative, so a
+    single flat operation is well-defined; this is the working shape
+    for relations of arity n.
+    """
+    if not sets:
+        return EMPTY
+    result = None
+    for current in sets:
+        lifted = []
+        for x, s in current.pairs():
+            if not (isinstance(s, XSet) and s.is_empty):
+                raise NotATupleError(
+                    "nfold_cartesian expects classical operands; member %r "
+                    "has scope %r" % (x, s)
+                )
+            lifted.append((XSet([(x, 1)]), EMPTY))
+        lifted_set = XSet(lifted)
+        result = lifted_set if result is None else cross(result, lifted_set)
+    return result if result is not None else EMPTY

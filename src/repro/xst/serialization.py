@@ -1,0 +1,190 @@
+"""Serialization of extended sets: canonical bytes, stable digests.
+
+A backend information system has to put its sets on disk and ship
+them between nodes.  This module gives every admissible XST value a
+canonical byte encoding with three properties the rest of the library
+leans on:
+
+* **lossless** -- ``loads(dumps(v)) == v`` for every value built from
+  admissible atoms (None, bool, int, float, complex, str, bytes) and
+  nested :class:`~repro.xst.xset.XSet`;
+* **canonical** -- equal values encode to identical bytes (pairs are
+  emitted in the kernel's canonical order), so ``digest`` is a usable
+  content address;
+* **self-delimiting** -- streams of values concatenate, which the
+  page-based store (:mod:`repro.relational.disk`) relies on.
+
+One caveat inherited from Python equality: ``1``, ``1.0`` and ``True``
+are equal as set members (an XSet keeps whichever arrived first) but
+encode with their own types, so two XSets that compare equal while
+holding differently-typed numeric twins can produce different digests.
+Sets built from consistently-typed data -- every relation in this
+library -- are unaffected.
+
+Format (one byte tag + payload):
+
+====  =======================================================
+tag   payload
+====  =======================================================
+``N``  None
+``T``  True  /  ``F``  False
+``I``  signed int: 8-byte big-endian length + decimal ASCII
+``D``  float: 8-byte IEEE-754 big-endian
+``C``  complex: two 8-byte IEEE-754 doubles
+``S``  str: u32 byte length + UTF-8 bytes
+``B``  bytes: u32 length + raw bytes
+``X``  XSet: u32 pair count + (element, scope) encodings
+====  =======================================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Any, Iterator
+
+from repro.errors import InvalidAtomError
+from repro.xst.xset import XSet
+
+__all__ = ["dumps", "loads", "digest", "dump_stream", "load_stream"]
+
+_U32 = struct.Struct(">I")
+_F64 = struct.Struct(">d")
+
+
+def _encode(value: Any, out: bytearray) -> None:
+    if value is None:
+        out += b"N"
+    elif isinstance(value, bool):
+        out += b"T" if value else b"F"
+    elif isinstance(value, int):
+        text = b"%d" % value
+        out += b"I"
+        out += _U32.pack(len(text))
+        out += text
+    elif isinstance(value, float):
+        out += b"D"
+        out += _F64.pack(value)
+    elif isinstance(value, complex):
+        out += b"C"
+        out += _F64.pack(value.real)
+        out += _F64.pack(value.imag)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out += b"S"
+        out += _U32.pack(len(raw))
+        out += raw
+    elif isinstance(value, bytes):
+        out += b"B"
+        out += _U32.pack(len(value))
+        out += value
+    elif isinstance(value, XSet):
+        pairs = value.pairs()
+        out += b"X"
+        out += _U32.pack(len(pairs))
+        for element, scope in pairs:
+            _encode(element, out)
+            _encode(scope, out)
+    else:
+        raise InvalidAtomError(
+            "cannot serialize %r: admissible atoms are None, bool, int, "
+            "float, complex, str, bytes and nested XSets" % (value,)
+        )
+
+
+def dumps(value: Any) -> bytes:
+    """Canonical byte encoding of one admissible value."""
+    out = bytearray()
+    _encode(value, out)
+    return bytes(out)
+
+
+class _Reader:
+    __slots__ = ("_data", "position")
+
+    def __init__(self, data: bytes, position: int = 0):
+        self._data = data
+        self.position = position
+
+    def take(self, count: int) -> bytes:
+        end = self.position + count
+        if end > len(self._data):
+            raise InvalidAtomError("truncated XST serialization")
+        chunk = self._data[self.position : end]
+        self.position = end
+        return chunk
+
+    def at_end(self) -> bool:
+        return self.position >= len(self._data)
+
+
+def _decode(reader: _Reader) -> Any:
+    tag = reader.take(1)
+    if tag == b"N":
+        return None
+    if tag == b"T":
+        return True
+    if tag == b"F":
+        return False
+    if tag == b"I":
+        (length,) = _U32.unpack(reader.take(4))
+        return int(reader.take(length))
+    if tag == b"D":
+        (value,) = _F64.unpack(reader.take(8))
+        return value
+    if tag == b"C":
+        (real,) = _F64.unpack(reader.take(8))
+        (imag,) = _F64.unpack(reader.take(8))
+        return complex(real, imag)
+    if tag == b"S":
+        (length,) = _U32.unpack(reader.take(4))
+        return reader.take(length).decode("utf-8")
+    if tag == b"B":
+        (length,) = _U32.unpack(reader.take(4))
+        return reader.take(length)
+    if tag == b"X":
+        (count,) = _U32.unpack(reader.take(4))
+        pairs = []
+        for _ in range(count):
+            element = _decode(reader)
+            scope = _decode(reader)
+            pairs.append((element, scope))
+        return XSet(pairs)
+    raise InvalidAtomError("unknown serialization tag %r" % (tag,))
+
+
+def loads(data: bytes) -> Any:
+    """Decode one value; rejects trailing bytes."""
+    reader = _Reader(data)
+    value = _decode(reader)
+    if not reader.at_end():
+        raise InvalidAtomError(
+            "trailing bytes after value (%d unread)"
+            % (len(data) - reader.position)
+        )
+    return value
+
+
+def digest(value: Any) -> str:
+    """Stable content address: SHA-256 of the canonical encoding.
+
+    Equal extended sets -- regardless of construction order -- share a
+    digest, which is what makes set-level change detection and
+    distributed shipping cheap.
+    """
+    return hashlib.sha256(dumps(value)).hexdigest()
+
+
+def dump_stream(values) -> bytes:
+    """Concatenate the encodings of many values (self-delimiting)."""
+    out = bytearray()
+    for value in values:
+        _encode(value, out)
+    return bytes(out)
+
+
+def load_stream(data: bytes) -> Iterator[Any]:
+    """Decode a concatenated stream back into its values, lazily."""
+    reader = _Reader(data)
+    while not reader.at_end():
+        yield _decode(reader)

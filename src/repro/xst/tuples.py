@@ -1,0 +1,84 @@
+"""Tuples as flat scoped sets: Defs 9.1 / 9.2 and the Def 7.2 pair.
+
+Classical set theory encodes n-tuples as nested pairs, which Skolem
+(the paper's reference [5]) observed behave badly as operands.  XST
+instead makes an n-tuple a *flat* set whose scopes are the positions::
+
+    tup(x) = n  <=>  x = {x1^1, x2^2, ..., xn^n}          (Def 9.1)
+
+Concatenation (Def 9.2) renumbers the right operand past the left's
+length, so ``tup(x . y) = tup(x) + tup(y)``.  The ordered pair of
+Def 7.2 is just the 2-tuple.
+
+The shape predicates themselves (``is_tuple`` / ``tuple_length`` /
+``as_tuple``) live on :class:`~repro.xst.xset.XSet`; this module adds
+the operations.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import NotATupleError
+from repro.xst.builders import xpair, xtuple
+from repro.xst.xset import XSet
+
+__all__ = [
+    "tup",
+    "concat",
+    "shift_positions",
+    "ordered_pair",
+    "tuple_slice",
+    "reverse_tuple",
+]
+
+
+def tup(x: Any) -> int:
+    """Def 9.1's ``tup``: the arity of an n-tuple.
+
+    Raises :class:`NotATupleError` for atoms and non-tuple sets; the
+    empty set is the 0-tuple.
+    """
+    if not isinstance(x, XSet):
+        raise NotATupleError("%r is an atom, not an n-tuple" % (x,))
+    n = x.tuple_length()
+    if n is None:
+        raise NotATupleError("%r is not an n-tuple (Def 9.1)" % (x,))
+    return n
+
+
+def shift_positions(x: XSet, offset: int) -> XSet:
+    """Re-number a tuple's positions by ``offset`` (used by concat)."""
+    n = tup(x)
+    del n
+    return XSet((element, scope + offset) for element, scope in x.pairs())
+
+
+def concat(x: XSet, y: XSet) -> XSet:
+    """Def 9.2: tuple concatenation ``x . y``.
+
+    ``concat(<a,b>, <w,x>) == <a,b,w,x>`` and arities add.
+    """
+    n = tup(x)
+    return x.union(shift_positions(y, n))
+
+
+def ordered_pair(first: Any, second: Any) -> XSet:
+    """Def 7.2: ``<x, y> = {x^1, y^2}`` (alias of the builder)."""
+    return xpair(first, second)
+
+
+def tuple_slice(x: XSet, start: int, stop: int) -> XSet:
+    """The tuple of positions ``start..stop-1`` (1-based), renumbered."""
+    items = tup(x)
+    if not (1 <= start <= stop <= items + 1):
+        raise NotATupleError(
+            "slice [%d:%d) out of range for a %d-tuple" % (start, stop, items)
+        )
+    return xtuple(x.as_tuple()[start - 1 : stop - 1])
+
+
+def reverse_tuple(x: XSet) -> XSet:
+    """The tuple with positions reversed: ``<a,b,c>`` -> ``<c,b,a>``."""
+    tup(x)
+    return xtuple(tuple(reversed(x.as_tuple())))

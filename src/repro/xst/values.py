@@ -1,0 +1,87 @@
+"""Value extraction: Defs 9.8 / 9.9 and the Theorem 9.10 bridge.
+
+XST functions take sets to sets; classical functions take elements to
+elements.  The Value operations mediate: given a result set whose
+members are 1-tuples, they extract *the* underlying element::
+
+    V_sigma(x) = b  <=>  forall y ( <y> in_<sigma> x  ->  y = b )  (Def 9.8)
+    V(x)       = b  <=>  forall y ( <y> in x          ->  y = b )  (Def 9.9)
+
+Def 9.8 consults only members held at scope ``<sigma>`` (a 1-tuple of
+the given mark), which is how the paper's Example 9.1 reads the four
+square roots of 16 out of one extended set.  Def 9.9 consults classical
+members.
+
+Read literally, the definitions leave ``V`` unconstrained when *no*
+member matches (the implication is vacuous); we raise
+:class:`~repro.errors.AmbiguousValueError` for both the no-candidate
+and the many-candidate case, which is the only safe executable reading.
+
+Theorem 9.10 -- every CST element function is representable -- is
+provided as :func:`classical_call`:  for a relation of pairs ``f`` and
+``sigma = <<1>, <2>>``, ``f(x) = V( f_(sigma)({<x>}) )``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import AmbiguousValueError
+from repro.xst.builders import xset, xtuple
+from repro.xst.image import image
+from repro.xst.xset import XSet
+
+__all__ = ["sigma_value", "value", "classical_call"]
+
+
+def _unique(candidates: list, context: str) -> Any:
+    distinct = []
+    for candidate in candidates:
+        if candidate not in distinct:
+            distinct.append(candidate)
+    if not distinct:
+        raise AmbiguousValueError("no %s-candidate value present" % context)
+    if len(distinct) > 1:
+        raise AmbiguousValueError(
+            "%d distinct %s-candidate values present: %r"
+            % (len(distinct), context, distinct)
+        )
+    return distinct[0]
+
+
+def sigma_value(x: XSet, mark: Any) -> Any:
+    """Def 9.8: ``V_sigma(x)`` -- the element of the ``<mark>``-scoped 1-tuple."""
+    wanted_scope = xtuple([mark])
+    candidates = [
+        member.as_tuple()[0]
+        for member, scope in x.pairs()
+        if scope == wanted_scope
+        and isinstance(member, XSet)
+        and member.tuple_length() == 1
+    ]
+    return _unique(candidates, "scope %r" % (mark,))
+
+
+def value(x: XSet) -> Any:
+    """Def 9.9: ``V(x)`` -- the element of the unique classical 1-tuple."""
+    candidates = [
+        member.as_tuple()[0]
+        for member, scope in x.pairs()
+        if isinstance(scope, XSet)
+        and scope.is_empty
+        and isinstance(member, XSet)
+        and member.tuple_length() == 1
+    ]
+    return _unique(candidates, "classical")
+
+
+def classical_call(f: XSet, argument: Any) -> Any:
+    """Theorem 9.10: evaluate a relation-of-pairs as an element function.
+
+    ``classical_call({<1,10>, <2,20>}, 2) == 20``.  Raises
+    :class:`AmbiguousValueError` if the argument is absent from the
+    function's domain or maps to several values.
+    """
+    sigma = (XSet([(1, 1)]), XSet([(2, 1)]))
+    result = image(f, xset([xtuple([argument])]), sigma)
+    return value(result)

@@ -1,0 +1,111 @@
+"""Shared fixtures and hypothesis strategies for the test suite.
+
+The strategies build *small* extended sets on purpose: the laws under
+test are universally quantified, so breadth of shape matters far more
+than size, and small shapes keep shrinking fast and failures readable.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.sigma import Sigma
+from repro.xst.builders import xpair, xset, xtuple
+from repro.xst.xset import EMPTY, XSet
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+
+#: Atom values usable as elements or scopes.
+atoms = st.one_of(
+    st.integers(min_value=-5, max_value=9),
+    st.sampled_from(["a", "b", "c", "x", "y", "z"]),
+    st.booleans(),
+    st.none(),
+)
+
+
+def xsets(max_depth: int = 2, max_size: int = 4) -> st.SearchStrategy:
+    """Arbitrary extended sets: nested, scoped, heterogeneous."""
+    base_scope = st.one_of(st.just(EMPTY), atoms)
+    base = st.builds(
+        lambda pairs: XSet(pairs),
+        st.lists(st.tuples(atoms, base_scope), max_size=max_size),
+    )
+
+    def extend(children):
+        values = st.one_of(atoms, children)
+        return st.builds(
+            lambda pairs: XSet(pairs),
+            st.lists(st.tuples(values, values), max_size=max_size),
+        )
+
+    return st.recursive(base, extend, max_leaves=max_depth * max_size)
+
+
+#: Classical sets of small tuples (relation-shaped).
+def tuple_relations(max_arity: int = 3, max_size: int = 5) -> st.SearchStrategy:
+    def build(rows):
+        return xset(xtuple(row) for row in rows)
+
+    row = st.lists(atoms, min_size=1, max_size=max_arity)
+    return st.builds(build, st.lists(row, max_size=max_size))
+
+
+#: Pair relations (sets of ordered pairs over a tiny alphabet), the
+#: shape most paper examples use.
+pair_alphabet = st.sampled_from(["a", "b", "c", 1, 2])
+
+
+def pair_relations(max_size: int = 6, min_size: int = 0) -> st.SearchStrategy:
+    pair = st.tuples(pair_alphabet, pair_alphabet)
+    return st.builds(
+        lambda pairs: xset(xpair(x, y) for x, y in pairs),
+        st.lists(pair, min_size=min_size, max_size=max_size),
+    )
+
+
+#: Column-style sigmas over small position ranges.
+def column_sigmas(max_width: int = 3) -> st.SearchStrategy:
+    columns = st.lists(
+        st.integers(min_value=1, max_value=3),
+        min_size=1,
+        max_size=max_width,
+        unique=True,
+    )
+    return st.builds(Sigma.columns, columns, columns)
+
+
+#: Raw sigma XSets (scope-mapping shape) for domain-law tests.
+def scope_maps(max_size: int = 3) -> st.SearchStrategy:
+    return st.builds(
+        lambda pairs: XSet(pairs),
+        st.lists(st.tuples(atoms, atoms), max_size=max_size),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fixtures: the paper's running examples
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def example_8_1_graph() -> XSet:
+    """``f = {<a,x>, <b,y>, <c,x>}`` from Example 8.1."""
+    return xset([xpair("a", "x"), xpair("b", "y"), xpair("c", "x")])
+
+
+@pytest.fixture
+def cst_sigma() -> Sigma:
+    """``sigma = <<1>, <2>>`` -- the classical function sigma."""
+    return Sigma.columns([1], [2])
+
+
+@pytest.fixture
+def appendix_b_graph() -> XSet:
+    """``f = {<a,a,a,b,b>, <b,b,a,a,b>}`` from Appendix B."""
+    return xset(
+        [xtuple(["a", "a", "a", "b", "b"]), xtuple(["b", "b", "a", "a", "b"])]
+    )

@@ -1,0 +1,160 @@
+"""Arrows (Defs 6.7/6.8): the category of pair processes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CompositionError, NotAProcessError
+from repro.core.arrows import arrow_from_pairs, identity_arrow
+from repro.xst.builders import xset, xtuple
+
+A_ATOMS = ["a", "b", "c"]
+B_ATOMS = ["x", "y"]
+C_ATOMS = [1, 2, 3]
+
+
+@pytest.fixture
+def f():
+    return arrow_from_pairs(
+        [("a", "x"), ("b", "y"), ("c", "x")], A_ATOMS, B_ATOMS
+    )
+
+
+@pytest.fixture
+def g():
+    return arrow_from_pairs([("x", 1), ("y", 2)], B_ATOMS, C_ATOMS)
+
+
+def total_functions(a_atoms, b_atoms):
+    """Hypothesis strategy over total functions A -> B as mappings."""
+    return st.fixed_dictionaries(
+        {atom: st.sampled_from(b_atoms) for atom in a_atoms}
+    )
+
+
+class TestConstruction:
+    def test_endpoints_validated(self):
+        with pytest.raises(NotAProcessError, match="escapes"):
+            arrow_from_pairs([("zzz", "x")], A_ATOMS, B_ATOMS)
+        with pytest.raises(NotAProcessError, match="escape"):
+            arrow_from_pairs([("a", "zzz")], A_ATOMS, B_ATOMS)
+
+    def test_partial_arrows_are_allowed(self):
+        partial = arrow_from_pairs([("a", "x")], A_ATOMS, B_ATOMS)
+        assert not partial.is_total()
+
+    def test_total_recognition(self, f):
+        assert f.is_total()
+
+    def test_application(self, f):
+        assert f(xset([xtuple(["a"])])) == xset([xtuple(["x"])])
+
+    def test_immutability(self, f):
+        with pytest.raises(AttributeError):
+            f.a = xset([])
+
+    def test_repr(self, f):
+        assert "3 pairs" in repr(f)
+
+
+class TestComposition:
+    def test_then(self, f, g):
+        h = f.then(g)
+        assert h(xset([xtuple(["a"])])) == xset([xtuple([1])])
+        assert h(xset([xtuple(["b"])])) == xset([xtuple([2])])
+
+    def test_rshift_operator(self, f, g):
+        assert (f >> g).behaves_like(f.then(g))
+
+    def test_endpoint_mismatch(self, f):
+        with pytest.raises(CompositionError, match="endpoint"):
+            f.then(f)
+
+    def test_composed_endpoints(self, f, g):
+        h = f >> g
+        assert h.a == f.a
+        assert h.b == g.b
+
+    def test_composition_agrees_with_staged_application(self, f, g):
+        h = f >> g
+        for atom in A_ATOMS:
+            x = xset([xtuple([atom])])
+            assert h(x) == g(f(x))
+
+    def test_partial_chains_compose_partially(self):
+        partial_f = arrow_from_pairs([("a", "x")], A_ATOMS, B_ATOMS)
+        partial_g = arrow_from_pairs([("y", 2)], B_ATOMS, C_ATOMS)
+        h = partial_f >> partial_g
+        assert h(xset([xtuple(["a"])])).is_empty
+
+
+class TestCategoryLaws:
+    def test_identity_laws(self, f):
+        left = identity_arrow(f.a) >> f
+        right = f >> identity_arrow(f.b)
+        assert left.behaves_like(f)
+        assert right.behaves_like(f)
+
+    def test_associativity(self, f, g):
+        k = arrow_from_pairs([(1, "p"), (2, "q"), (3, "p")],
+                             C_ATOMS, ["p", "q"])
+        assert ((f >> g) >> k).behaves_like(f >> (g >> k))
+
+    @given(
+        total_functions(A_ATOMS, B_ATOMS),
+        total_functions(B_ATOMS, C_ATOMS),
+    )
+    def test_composition_of_generated_functions(self, fm, gm):
+        f = arrow_from_pairs(fm.items(), A_ATOMS, B_ATOMS)
+        g = arrow_from_pairs(gm.items(), B_ATOMS, C_ATOMS)
+        h = f >> g
+        for atom in A_ATOMS:
+            x = xset([xtuple([atom])])
+            assert h(x) == xset([xtuple([gm[fm[atom]]])])
+
+    @given(
+        total_functions(A_ATOMS, B_ATOMS),
+        total_functions(B_ATOMS, C_ATOMS),
+        total_functions(C_ATOMS, ["p", "q"]),
+    )
+    def test_associativity_property(self, fm, gm, km):
+        f = arrow_from_pairs(fm.items(), A_ATOMS, B_ATOMS)
+        g = arrow_from_pairs(gm.items(), B_ATOMS, C_ATOMS)
+        k = arrow_from_pairs(km.items(), C_ATOMS, ["p", "q"])
+        assert ((f >> g) >> k).behaves_like(f >> (g >> k))
+
+
+class TestBehavesLike:
+    def test_different_endpoints_never_behave_alike(self, f):
+        narrower = arrow_from_pairs(
+            [("a", "x"), ("b", "y"), ("c", "x")], A_ATOMS, ["x", "y", "extra"]
+        )
+        assert not f.behaves_like(narrower)
+
+    def test_same_behavior_different_graphs(self):
+        # A graph with a junk column that sigma ignores... simplest:
+        # equal graphs built in different orders.
+        left = arrow_from_pairs([("a", "x"), ("b", "y")], ["a", "b"], B_ATOMS)
+        right = arrow_from_pairs([("b", "y"), ("a", "x")], ["a", "b"], B_ATOMS)
+        assert left.behaves_like(right)
+
+
+class TestIdentity:
+    def test_identity_maps_every_atom_to_itself(self):
+        a = xset([xtuple([atom]) for atom in A_ATOMS])
+        ident = identity_arrow(a)
+        for atom in A_ATOMS:
+            x = xset([xtuple([atom])])
+            assert ident(x) == x
+
+    def test_identity_is_total(self):
+        a = xset([xtuple([atom]) for atom in A_ATOMS])
+        assert identity_arrow(a).is_total()
+
+    def test_identity_of_empty_object(self):
+        with pytest.raises(NotAProcessError):
+            identity_arrow(xset([]))
+
+    def test_identity_needs_one_tuples(self):
+        with pytest.raises(NotAProcessError):
+            identity_arrow(xset(["bare-atom"]))

@@ -1,0 +1,137 @@
+"""Composition (Def 11.1) and Theorem 11.2 (experiment E13)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CompositionError
+from repro.core.composition import (
+    FINAL_SIGMA,
+    STAGE_SIGMA,
+    compose,
+    compose_chain,
+    staged_apply,
+    verify_composition,
+)
+from repro.core.process import Process
+from repro.core.spaces import in_function_space_on
+from repro.core.lattice import lift_domain
+from repro.workloads.generators import pipeline_stages
+from repro.xst.builders import xpair, xset, xtuple
+from repro.xst.xset import XSet
+
+
+def stage(graph):
+    return Process(graph, STAGE_SIGMA)
+
+
+def final(graph):
+    return Process(graph, FINAL_SIGMA)
+
+
+@pytest.fixture
+def two_stage():
+    f = xset([xpair(1, 10), xpair(2, 20), xpair(3, 30)])
+    g = xset([xpair(10, "x"), xpair(20, "y"), xpair(30, "z")])
+    return f, g
+
+
+class TestDef111:
+    def test_composed_graph_is_the_relative_product(self, two_stage):
+        f, g = two_stage
+        h = compose(final(g), stage(f))
+        assert h.graph == xset(
+            [
+                XSet([(1, 1), ("x", 2)]),
+                XSet([(2, 1), ("y", 2)]),
+                XSet([(3, 1), ("z", 2)]),
+            ]
+        )
+
+    def test_tau_takes_sigma1_and_omega2(self, two_stage):
+        f, g = two_stage
+        h = compose(final(g), stage(f))
+        assert h.sigma.sigma1 == STAGE_SIGMA.sigma1
+        assert h.sigma.sigma2 == FINAL_SIGMA.sigma2
+
+    def test_extensional_equality_with_staging(self, two_stage):
+        f, g = two_stage
+        h = compose(final(g), stage(f))
+        for key in (1, 2, 3):
+            x = xset([xtuple([key])])
+            assert h.apply(x) == final(g).apply(stage(f).apply(x))
+
+    def test_partial_overlap_composes_partially(self):
+        f = xset([xpair(1, 10), xpair(2, 99)])  # 99 has no g entry
+        g = xset([xpair(10, "x")])
+        h = compose(final(g), stage(f))
+        assert h.apply(xset([xtuple([1])])) == xset([XSet([("x", 2)])])
+        assert h.apply(xset([xtuple([2])])).is_empty
+
+    def test_verify_composition_helper(self, two_stage):
+        f, g = two_stage
+        assert verify_composition(final(g), stage(f))
+
+    def test_verify_composition_detects_misaligned_sigmas(self, two_stage):
+        f, g = two_stage
+        # Both stages in FINAL coordinates collide at scope mismatch:
+        # the composed process behaves differently from the staged run.
+        assert not verify_composition(final(g), final(f))
+
+
+class TestTheorem112:
+    def test_composite_lands_in_function_space_on_a(self, two_stage):
+        """h in F[A, C): on A, into C -- the theorem's conclusion."""
+        f, g = two_stage
+        a = lift_domain([1, 2, 3])
+        c = xset([XSet([(letter, 2)]) for letter in ("x", "y", "z")])
+        h = compose(final(g), stage(f))
+        assert in_function_space_on(h, a, c)
+
+    @given(st.integers(min_value=1, max_value=30))
+    def test_composition_is_constructible_for_generated_functions(self, size):
+        stages = pipeline_stages(2, size, seed=size)
+        h = compose(final(stages[1]), stage(stages[0]))
+        assert h.is_wellformed()
+        assert verify_composition(final(stages[1]), stage(stages[0]))
+
+
+class TestChains:
+    def test_chain_of_one(self):
+        f = xset([xpair(1, 10)])
+        process = compose_chain([f])
+        assert process.apply(xset([xtuple([1])])) == xset([XSet([(10, 2)])])
+
+    def test_chain_matches_staged_apply(self):
+        stages = pipeline_stages(4, 12, seed=3)
+        fused = compose_chain(stages)
+        for key in (0, 5, 11):
+            x = xset([xtuple([key])])
+            assert fused.apply(x) == staged_apply(stages, x)
+
+    def test_chain_applies_to_full_domains_too(self):
+        stages = pipeline_stages(3, 8, seed=1)
+        fused = compose_chain(stages)
+        x = xset([xtuple([key]) for key in range(8)])
+        assert fused.apply(x) == staged_apply(stages, x)
+
+    def test_deep_chains_stay_functional(self):
+        stages = pipeline_stages(8, 6, seed=9)
+        fused = compose_chain(stages)
+        assert fused.is_function()
+
+    def test_empty_chain_is_rejected(self):
+        with pytest.raises(CompositionError):
+            compose_chain([])
+        with pytest.raises(CompositionError):
+            staged_apply([], xset([xtuple([1])]))
+
+    def test_chain_composition_is_associative_behaviorally(self):
+        # (s2 o s1) o s0 == s2 o (s1 o s0): composed intermediates are
+        # ordered-pair relations again, so either grouping is expressible.
+        stages = pipeline_stages(3, 10, seed=5)
+        inner_right = compose(final(stages[2]), stage(stages[1])).graph
+        right_grouped = compose(final(inner_right), stage(stages[0]))
+        left_grouped = compose_chain(stages)  # left fold
+        family = [xset([xtuple([key])]) for key in range(10)]
+        assert left_grouped.equivalent_on(right_grouped, family)

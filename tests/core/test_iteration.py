@@ -1,0 +1,167 @@
+"""Iterated behavior: powers, orbits, fixed points, periods."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CompositionError
+from repro.core.composition import STAGE_SIGMA, staged_apply
+from repro.core.iteration import (
+    fixed_points,
+    is_idempotent,
+    iteration_period,
+    orbit,
+    power,
+)
+from repro.core.process import Process
+from repro.xst.builders import xpair, xset, xtuple
+
+ATOMS = ["a", "b", "c", "d"]
+
+
+def graph_of(mapping):
+    return xset(xpair(key, value) for key, value in mapping.items())
+
+
+def total_maps():
+    return st.fixed_dictionaries(
+        {atom: st.sampled_from(ATOMS) for atom in ATOMS}
+    )
+
+
+class TestPower:
+    def test_power_one_is_the_relation(self):
+        f = graph_of({"a": "b"})
+        assert power(f, 1).apply(xset([xtuple(["a"])])) == staged_apply(
+            [f], xset([xtuple(["a"])])
+        )
+
+    def test_power_matches_staged_iteration(self):
+        f = graph_of({"a": "b", "b": "c", "c": "a"})
+        x = xset([xtuple(["b"])])
+        for exponent in (2, 3, 4, 7):
+            assert power(f, exponent).apply(x) == staged_apply(
+                [f] * exponent, x
+            )
+
+    def test_cycle_power_equals_identity_behavior(self):
+        f = graph_of({"a": "b", "b": "c", "c": "a"})
+        cubed = power(f, 3)
+        for atom in ("a", "b", "c"):
+            x = xset([xtuple([atom])])
+            ((member, _),) = cubed.apply(x).pairs()
+            assert member.elements_at(2) == (atom,)
+
+    def test_invalid_exponent(self):
+        with pytest.raises(CompositionError):
+            power(graph_of({"a": "b"}), 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(total_maps(), st.integers(min_value=1, max_value=5))
+    def test_power_property(self, mapping, exponent):
+        f = graph_of(mapping)
+        x = xset([xtuple(["a"])])
+        assert power(f, exponent).apply(x) == staged_apply([f] * exponent, x)
+
+
+class TestOrbit:
+    def test_cycle_detection(self):
+        swap = Process(graph_of({"a": "b", "b": "a"}), STAGE_SIGMA)
+        states, cycle_start = orbit(swap, xset([xtuple(["a"])]))
+        assert cycle_start == 0
+        assert states == [xset([xtuple(["a"])]), xset([xtuple(["b"])])]
+
+    def test_terminating_orbit(self):
+        dead_end = Process(graph_of({"a": "b"}), STAGE_SIGMA)
+        states, cycle_start = orbit(dead_end, xset([xtuple(["a"])]))
+        assert cycle_start is None
+        assert states[-1].is_empty
+
+    def test_rho_shaped_orbit(self):
+        # a -> b -> c -> b : tail of length 1 into a 2-cycle.
+        process = Process(
+            graph_of({"a": "b", "b": "c", "c": "b"}), STAGE_SIGMA
+        )
+        states, cycle_start = orbit(process, xset([xtuple(["a"])]))
+        assert cycle_start == 1
+        assert len(states) == 3
+
+    def test_fixpoint_orbit(self):
+        process = Process(graph_of({"a": "a"}), STAGE_SIGMA)
+        states, cycle_start = orbit(process, xset([xtuple(["a"])]))
+        assert cycle_start == 0
+        assert len(states) == 1
+
+    def test_step_bound(self):
+        process = Process(graph_of({"a": "a"}), STAGE_SIGMA)
+        with pytest.raises(CompositionError):
+            # A graph whose states never repeat within the bound is hard
+            # to build on a finite alphabet; instead force max_steps=0.
+            orbit(process, xset([xtuple(["a"])]), max_steps=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(total_maps())
+    def test_total_function_orbits_always_cycle(self, mapping):
+        process = Process(graph_of(mapping), STAGE_SIGMA)
+        states, cycle_start = orbit(process, xset([xtuple(["a"])]))
+        assert cycle_start is not None
+        assert 0 <= cycle_start < len(states)
+
+
+class TestFixedPoints:
+    def test_identity_fixes_everything(self):
+        ident = graph_of({atom: atom for atom in ATOMS})
+        assert len(fixed_points(ident)) == len(ATOMS)
+
+    def test_cycle_fixes_nothing(self):
+        rotate = graph_of({"a": "b", "b": "c", "c": "a"})
+        assert fixed_points(rotate).is_empty
+
+    def test_partial_fixes(self):
+        mixed = graph_of({"a": "a", "b": "c", "c": "c"})
+        fixed = fixed_points(mixed)
+        atoms = {member.as_tuple()[0] for member, _ in fixed.pairs()}
+        assert atoms == {"a", "c"}
+
+    @given(total_maps())
+    def test_fixed_points_match_the_mapping(self, mapping):
+        fixed = fixed_points(graph_of(mapping))
+        atoms = {member.as_tuple()[0] for member, _ in fixed.pairs()}
+        assert atoms == {atom for atom, out in mapping.items() if atom == out}
+
+
+class TestIdempotenceAndPeriod:
+    def test_identity_is_idempotent(self):
+        assert is_idempotent(graph_of({atom: atom for atom in ATOMS}))
+
+    def test_projection_is_idempotent(self):
+        # Everything maps to a, a maps to a: f o f == f.
+        assert is_idempotent(graph_of({atom: "a" for atom in ATOMS}))
+
+    def test_rotation_is_not_idempotent(self):
+        assert not is_idempotent(graph_of({"a": "b", "b": "a"}))
+
+    def test_period_of_a_three_cycle(self):
+        rotate = graph_of({"a": "b", "b": "c", "c": "a"})
+        tail, period = iteration_period(rotate)
+        assert (tail, period) == (1, 3)
+
+    def test_period_of_identity(self):
+        ident = graph_of({"a": "a", "b": "b"})
+        assert iteration_period(ident) == (1, 1)
+
+    def test_period_of_a_rho(self):
+        rho = graph_of({"a": "b", "b": "c", "c": "b"})
+        tail, period = iteration_period(rho)
+        assert period == 2
+        assert tail >= 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(total_maps())
+    def test_every_total_map_is_eventually_periodic(self, mapping):
+        tail, period = iteration_period(graph_of(mapping))
+        assert tail >= 1 and period >= 1
+        # And the detected period really repeats behaviorally:
+        x = xset([xtuple(["a"])])
+        f = graph_of(mapping)
+        assert power(f, tail).apply(x) == power(f, tail + period).apply(x)

@@ -1,0 +1,110 @@
+"""Nested application (Def 4.1) and Appendix A's inequality (experiment E2)."""
+
+import pytest
+
+from repro.core.process import Process
+from repro.core.sigma import Sigma
+from repro.xst.builders import xtuple
+from repro.xst.xset import EMPTY, XSet
+
+
+def empty_scoped_tuple(*items) -> XSet:
+    """A tuple whose member scope is the all-empty tuple, as Appendix A
+    writes them (``<y, z>^<{}, {}>``)."""
+    element = xtuple(list(items))
+    scope = xtuple([EMPTY] * len(items))
+    return XSet([(element, scope)])
+
+
+@pytest.fixture
+def appendix_a():
+    """The f, g, h, sigma, omega of Example A.2."""
+    f = empty_scoped_tuple("y", "z") | empty_scoped_tuple("a", "x", "b", "k")
+    g = empty_scoped_tuple("x", "y") | empty_scoped_tuple("a", "b")
+    h = empty_scoped_tuple("x")
+    sigma = Sigma.columns([1, 3], [2, 4])
+    omega = Sigma.columns([1], [2])
+    return f, g, h, sigma, omega
+
+
+class TestExampleA2:
+    def test_stated_domains(self, appendix_a):
+        f, g, h, sigma, omega = appendix_a
+        pf = Process(f, sigma)
+        pg = Process(g, omega)
+        assert pf.domain() == (
+            empty_scoped_tuple("y") | empty_scoped_tuple("a", "b")
+        )
+        # The paper prints D_{sigma2}(f) with <x> as its first member,
+        # but sigma2 = <2,4> extracts position 2 of <y,z>, which is z
+        # -- consistent with the paper's own f_(sigma)({<y>}) = {<z>}.
+        # We assert the self-consistent value (<x> is a typo there).
+        assert pf.codomain() == (
+            empty_scoped_tuple("z") | empty_scoped_tuple("x", "k")
+        )
+        assert pg.domain() == (
+            empty_scoped_tuple("x") | empty_scoped_tuple("a")
+        )
+        assert pg.codomain() == (
+            empty_scoped_tuple("y") | empty_scoped_tuple("b")
+        )
+
+    def test_intermediate_applications(self, appendix_a):
+        f, g, h, sigma, omega = appendix_a
+        pf, pg = Process(f, sigma), Process(g, omega)
+        assert pf.apply(empty_scoped_tuple("y")) == empty_scoped_tuple("z")
+        assert pf.apply(g) == empty_scoped_tuple("x", "k")
+        assert pg.apply(h) == empty_scoped_tuple("y")
+
+    def test_reading_one_f_of_g_of_h(self, appendix_a):
+        f, g, h, sigma, omega = appendix_a
+        pf, pg = Process(f, sigma), Process(g, omega)
+        assert pf.apply(pg.apply(h)) == empty_scoped_tuple("z")
+
+    def test_reading_two_f_of_g_then_h(self, appendix_a):
+        f, g, h, sigma, omega = appendix_a
+        pf, pg = Process(f, sigma), Process(g, omega)
+        nested = pf.apply_to_process(pg)
+        # The intermediate process is p = {<x, k>} under omega.
+        assert nested.graph == empty_scoped_tuple("x", "k")
+        assert nested.sigma == omega
+        assert nested.apply(h) == empty_scoped_tuple("k")
+
+    def test_the_two_readings_are_nonempty_and_distinct(self, appendix_a):
+        f, g, h, sigma, omega = appendix_a
+        pf, pg = Process(f, sigma), Process(g, omega)
+        reading_one = pf.apply(pg.apply(h))
+        reading_two = pf.apply_to_process(pg).apply(h)
+        assert reading_one
+        assert reading_two
+        assert reading_one != reading_two
+
+
+class TestDef41Structure:
+    def test_nested_application_returns_a_process_not_a_set(self):
+        graph = empty_scoped_tuple("a", "b")
+        p = Process(graph, Sigma.columns([1], [2]))
+        q = Process(graph, Sigma.columns([2], [1]))
+        nested = p(q)
+        assert isinstance(nested, Process)
+
+    def test_result_process_carries_the_operands_sigma(self):
+        p = Process(empty_scoped_tuple("a", "b"), Sigma.columns([1], [2]))
+        q_sigma = Sigma.columns([2], [1])
+        q = Process(empty_scoped_tuple("x", "a"), q_sigma)
+        assert p(q).sigma == q_sigma
+
+    def test_result_graph_is_the_image_of_the_operands_graph(self):
+        p = Process(empty_scoped_tuple("a", "b"), Sigma.columns([1], [2]))
+        q = Process(empty_scoped_tuple("a", "ignored"), Sigma.columns([1], [2]))
+        assert p(q).graph == p.apply(q.graph)
+
+    def test_nested_application_may_be_nonsense_but_is_defined(self):
+        # Def 4.1 notes g_(omega) need not make sense as a behavior;
+        # the definition still produces a process.
+        p = Process(empty_scoped_tuple("a", "b"), Sigma.columns([1], [2]))
+        q = Process(EMPTY, Sigma.columns([9], [9]))
+        nested = p(q)
+        assert isinstance(nested, Process)
+        assert nested.graph.is_empty
+        assert not nested.is_wellformed()

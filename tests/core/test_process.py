@@ -1,0 +1,209 @@
+"""Processes: application (Def 8.1), well-formedness (Def 2.1),
+functionhood (Def 8.2), Example 8.1 end to end (experiments E1, E18).
+"""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import InvalidAtomError, NotAProcessError
+from repro.core.process import Process, identity_process
+from repro.core.sigma import Sigma
+from repro.xst.builders import xpair, xset, xtuple
+from repro.xst.xset import EMPTY, XSet
+
+from tests.conftest import pair_relations
+
+
+class TestExample81:
+    def test_forward_is_a_function(self, example_8_1_graph, cst_sigma):
+        process = Process(example_8_1_graph, cst_sigma)
+        assert process.apply(xset([xtuple(["a"])])) == xset([xtuple(["x"])])
+        assert process.apply(xset([xtuple(["b"])])) == xset([xtuple(["y"])])
+        assert process.apply(xset([xtuple(["c"])])) == xset([xtuple(["x"])])
+        assert process.is_function()
+
+    def test_inverse_behaves_but_is_not_a_function(
+        self, example_8_1_graph, cst_sigma
+    ):
+        inverse = Process(example_8_1_graph, cst_sigma).inverse()
+        assert inverse.apply(xset([xtuple(["x"])])) == xset(
+            [xtuple(["a"]), xtuple(["c"])]
+        )
+        assert inverse.apply(xset([xtuple(["y"])])) == xset([xtuple(["b"])])
+        assert not inverse.is_function()
+
+    def test_domains_match_the_paper(self, example_8_1_graph, cst_sigma):
+        process = Process(example_8_1_graph, cst_sigma)
+        assert process.domain() == xset(
+            [xtuple(["a"]), xtuple(["b"]), xtuple(["c"])]
+        )
+        assert process.codomain() == xset([xtuple(["x"]), xtuple(["y"])])
+
+    def test_sets_to_sets(self, example_8_1_graph, cst_sigma):
+        # XST functions take sets to sets: a two-key input produces a
+        # one-member output because both keys map to x.
+        process = Process(example_8_1_graph, cst_sigma)
+        keys = xset([xtuple(["a"]), xtuple(["c"])])
+        assert process.apply(keys) == xset([xtuple(["x"])])
+
+
+class TestCallDispatch:
+    def test_calling_with_a_set_returns_a_set(self, example_8_1_graph, cst_sigma):
+        process = Process(example_8_1_graph, cst_sigma)
+        result = process(xset([xtuple(["a"])]))
+        assert isinstance(result, XSet)
+
+    def test_calling_with_a_process_returns_a_process(
+        self, example_8_1_graph, cst_sigma
+    ):
+        process = Process(example_8_1_graph, cst_sigma)
+        nested = process(process)
+        assert isinstance(nested, Process)
+
+    def test_calling_with_anything_else_raises(
+        self, example_8_1_graph, cst_sigma
+    ):
+        process = Process(example_8_1_graph, cst_sigma)
+        with pytest.raises(TypeError):
+            process("a bare string")
+
+
+class TestWellFormedness:
+    def test_example_8_1_is_a_process(self, example_8_1_graph, cst_sigma):
+        assert Process(example_8_1_graph, cst_sigma).is_wellformed()
+
+    def test_empty_graph_is_not_a_process(self, cst_sigma):
+        assert not Process(EMPTY, cst_sigma).is_wellformed()
+
+    def test_member_with_no_sigma2_part_poisons(self):
+        # <a> has no position 2, so the singleton subset {<a>} can
+        # never produce output: Def 2.1's subset clause fails.
+        graph = xset([xpair("a", "x"), xtuple(["orphan"])])
+        process = Process(graph, Sigma.columns([1], [2]))
+        assert not process.is_wellformed()
+
+    def test_atom_members_poison(self):
+        graph = xset(["atom", xpair("a", "x")])
+        assert not Process(graph, Sigma.columns([1], [2])).is_wellformed()
+
+    def test_require_wellformed_raises_with_context(self, cst_sigma):
+        with pytest.raises(NotAProcessError, match="Def 2.1"):
+            Process(EMPTY, cst_sigma).require_wellformed()
+
+    def test_require_wellformed_returns_self(self, example_8_1_graph, cst_sigma):
+        process = Process(example_8_1_graph, cst_sigma)
+        assert process.require_wellformed() is process
+
+    @given(pair_relations(min_size=1))
+    def test_pair_relations_are_always_processes(self, graph):
+        assert Process(graph, Sigma.columns([1], [2])).is_wellformed()
+
+
+class TestFunctionPredicate:
+    def test_function_with_shared_outputs_is_still_a_function(self):
+        # many-to-one is allowed; one-to-many is not.
+        graph = xset([xpair("a", "x"), xpair("b", "x")])
+        assert Process(graph, Sigma.columns([1], [2])).is_function()
+
+    def test_one_to_many_is_not_a_function(self):
+        graph = xset([xpair("a", "x"), xpair("a", "y")])
+        assert not Process(graph, Sigma.columns([1], [2])).is_function()
+
+    def test_caller_supplied_inputs_override(self):
+        graph = xset([xpair("a", "x"), xpair("a", "y")])
+        process = Process(graph, Sigma.columns([1], [2]))
+        harmless = [xset([xtuple(["unrelated"])])]
+        assert process.is_function(inputs=harmless)
+
+    def test_non_singleton_inputs_are_skipped(self):
+        graph = xset([xpair("a", "x"), xpair("b", "y")])
+        process = Process(graph, Sigma.columns([1], [2]))
+        wide = [xset([xtuple(["a"]), xtuple(["b"])])]
+        assert process.is_function(inputs=wide)
+
+    def test_injectivity(self):
+        injective = Process(
+            xset([xpair("a", "x"), xpair("b", "y")]), Sigma.columns([1], [2])
+        )
+        merging = Process(
+            xset([xpair("a", "x"), xpair("b", "x")]), Sigma.columns([1], [2])
+        )
+        assert injective.is_injective()
+        assert not merging.is_injective()
+
+
+class TestBehavioralEquality:
+    def test_different_graphs_same_behavior(self, cst_sigma):
+        # Extra tuple width that sigma never touches does not change
+        # behavior on the canonical family.
+        small = Process(xset([xpair("a", "x")]), cst_sigma)
+        padded = Process(
+            xset([xtuple(["a", "x", "junk"])]), cst_sigma
+        )
+        assert small.extensionally_equal(padded)
+        assert small != padded  # structural identity differs
+
+    def test_equivalent_on_explicit_family(self, example_8_1_graph, cst_sigma):
+        process = Process(example_8_1_graph, cst_sigma)
+        same = Process(example_8_1_graph, Sigma.columns([1], [2]))
+        family = [xset([xtuple(["a"])]), xset([xtuple(["zzz"])])]
+        assert process.equivalent_on(same, family)
+
+    def test_consequence_b1_domains_agree(self, example_8_1_graph, cst_sigma):
+        from repro.core.laws import equivalence_law_b1
+
+        left = Process(example_8_1_graph, cst_sigma)
+        right = Process(example_8_1_graph, Sigma.columns([1], [2]))
+        assert equivalence_law_b1(left, right)
+
+
+class TestDenotationAndContainment:
+    def test_process_cannot_be_put_in_a_set(self, example_8_1_graph, cst_sigma):
+        process = Process(example_8_1_graph, cst_sigma)
+        with pytest.raises(InvalidAtomError):
+            xset([process])
+
+    def test_denotation_is_a_set(self, example_8_1_graph, cst_sigma):
+        process = Process(example_8_1_graph, cst_sigma)
+        denotation = process.denotation()
+        assert isinstance(denotation, XSet)
+        assert denotation.contains(example_8_1_graph, cst_sigma.to_xset())
+
+    def test_structural_equality_and_hash(self, example_8_1_graph, cst_sigma):
+        left = Process(example_8_1_graph, cst_sigma)
+        right = Process(example_8_1_graph, Sigma.columns([1], [2]))
+        assert left == right
+        assert hash(left) == hash(right)
+        assert left != Process(example_8_1_graph, cst_sigma.inverted())
+
+    def test_immutability(self, example_8_1_graph, cst_sigma):
+        process = Process(example_8_1_graph, cst_sigma)
+        with pytest.raises(AttributeError):
+            process.graph = EMPTY
+
+
+class TestIdentityProcess:
+    def test_identity_on_singletons(self):
+        a = xset([xtuple(["a"]), xtuple(["b"])])
+        identity = identity_process(a)
+        assert identity.apply(xset([xtuple(["a"])])) == xset([xtuple(["a"])])
+        assert identity.apply(a) == a
+
+    def test_identity_on_wider_tuples(self):
+        a = xset([xtuple(["a", 1]), xtuple(["b", 2])])
+        identity = identity_process(a)
+        assert identity.apply(xset([xtuple(["b", 2])])) == xset(
+            [xtuple(["b", 2])]
+        )
+
+    def test_identity_rejects_empty(self):
+        with pytest.raises(NotAProcessError):
+            identity_process(EMPTY)
+
+    def test_identity_rejects_mixed_arity(self):
+        with pytest.raises(NotAProcessError, match="uniform arity"):
+            identity_process(xset([xtuple(["a"]), xtuple(["b", "c"])]))
+
+    def test_identity_rejects_atom_members(self):
+        with pytest.raises(NotAProcessError):
+            identity_process(xset(["atom"]))

@@ -1,0 +1,149 @@
+"""Appendix B: self-application builds all four unary behaviors on a
+2-element set out of one graph (experiment E4).
+
+Every derivation step of the appendix is checked against the exact
+sets the paper prints.
+"""
+
+import pytest
+
+from repro.core.process import Process, identity_process
+from repro.core.sigma import Sigma
+from repro.xst.builders import xpair, xset, xtuple
+
+
+@pytest.fixture
+def sigma() -> Sigma:
+    return Sigma.columns([1], [2])
+
+
+@pytest.fixture
+def omega() -> Sigma:
+    return Sigma.columns([1], [1, 3, 4, 5, 2])
+
+
+@pytest.fixture
+def f(appendix_b_graph):
+    return appendix_b_graph
+
+
+def singleton(letter: str):
+    return xset([xtuple([letter])])
+
+
+def behaviors(sigma):
+    """g1..g4: the four functions from {<a>, <b>} to itself."""
+    return {
+        "g1": Process(xset([xpair("a", "a"), xpair("b", "b")]), sigma),
+        "g2": Process(xset([xpair("a", "a"), xpair("b", "a")]), sigma),
+        "g3": Process(xset([xpair("a", "b"), xpair("b", "a")]), sigma),
+        "g4": Process(xset([xpair("a", "b"), xpair("b", "b")]), sigma),
+    }
+
+
+class TestBaseApplications:
+    def test_f_sigma_on_a(self, f, sigma):
+        assert Process(f, sigma).apply(singleton("a")) == singleton("a")
+
+    def test_f_sigma_on_b(self, f, sigma):
+        assert Process(f, sigma).apply(singleton("b")) == singleton("b")
+
+    def test_f_omega_on_a(self, f, omega):
+        assert Process(f, omega).apply(singleton("a")) == xset(
+            [xtuple(["a", "a", "b", "b", "a"])]
+        )
+
+    def test_f_omega_on_b(self, f, omega):
+        assert Process(f, omega).apply(singleton("b")) == xset(
+            [xtuple(["b", "a", "a", "b", "b"])]
+        )
+
+
+class TestSelfApplicationLadder:
+    def test_a_f_sigma_is_g1(self, f, sigma):
+        target = behaviors(sigma)["g1"]
+        assert Process(f, sigma).equivalent_on(
+            target, [singleton("a"), singleton("b")]
+        )
+
+    def test_b_f_omega_of_f_sigma_is_g2(self, f, sigma, omega):
+        # f_(omega)(f_(sigma)) = (f[f]_omega)_(sigma) = g2_(sigma)
+        composite = Process(f, omega).apply_to_process(Process(f, sigma))
+        # The appendix prints the intermediate graph:
+        assert composite.graph == xset(
+            [
+                xtuple(["a", "a", "b", "b", "a"]),
+                xtuple(["b", "a", "a", "b", "b"]),
+            ]
+        )
+        target = behaviors(sigma)["g2"]
+        assert composite.equivalent_on(target, [singleton("a"), singleton("b")])
+
+    def test_c_twice_nested_is_g3(self, f, sigma, omega):
+        pw = Process(f, omega)
+        composite = pw.apply_to_process(pw).apply_to_process(Process(f, sigma))
+        assert composite.graph == xset(
+            [
+                xtuple(["a", "b", "b", "a", "a"]),
+                xtuple(["b", "a", "b", "b", "a"]),
+            ]
+        )
+        target = behaviors(sigma)["g3"]
+        assert composite.equivalent_on(target, [singleton("a"), singleton("b")])
+
+    def test_d_thrice_nested_is_g4(self, f, sigma, omega):
+        pw = Process(f, omega)
+        composite = (
+            pw.apply_to_process(pw)
+            .apply_to_process(pw)
+            .apply_to_process(Process(f, sigma))
+        )
+        assert composite.graph == xset(
+            [
+                xtuple(["a", "b", "a", "a", "b"]),
+                xtuple(["b", "b", "b", "a", "a"]),
+            ]
+        )
+        target = behaviors(sigma)["g4"]
+        assert composite.equivalent_on(target, [singleton("a"), singleton("b")])
+
+    def test_the_four_behaviors_are_pairwise_distinct(self, f, sigma, omega):
+        pw = Process(f, omega)
+        ladder = {
+            "g1": Process(f, sigma),
+            "g2": pw.apply_to_process(Process(f, sigma)),
+            "g3": pw.apply_to_process(pw).apply_to_process(Process(f, sigma)),
+            "g4": pw.apply_to_process(pw)
+            .apply_to_process(pw)
+            .apply_to_process(Process(f, sigma)),
+        }
+        family = [singleton("a"), singleton("b")]
+        names = sorted(ladder)
+        for i, left in enumerate(names):
+            for right in names[i + 1 :]:
+                assert not ladder[left].equivalent_on(ladder[right], family), (
+                    left,
+                    right,
+                )
+
+
+class TestClosingEqualities:
+    def test_f_sigma_is_the_identity_on_a(self, f, sigma):
+        a = xset([xtuple(["a"]), xtuple(["b"])])
+        identity = identity_process(a)
+        assert Process(f, sigma).equivalent_on(
+            identity, [singleton("a"), singleton("b"), a]
+        )
+
+    def test_self_image_is_nonempty(self, f, omega):
+        # f[f] != {}: the self-application the classical encoding
+        # struggles to express.
+        process = Process(f, omega)
+        assert not process.apply(f).is_empty
+
+    def test_functionhood_of_resultant_behavior_is_not_required(self, f):
+        # "nothing in the definition of a function requires the
+        # resultant behavior to be functional" -- Example 8.1's tau.
+        graph = xset([xpair("a", "x"), xpair("c", "x")])
+        tau = Sigma.columns([2], [1])
+        assert not Process(graph, tau).is_function()

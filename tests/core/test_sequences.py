@@ -1,0 +1,123 @@
+"""Application sequences (section 4): Catalan counts and evaluated
+bracketings (experiment E3).
+"""
+
+import pytest
+
+from repro.core.process import Process
+from repro.core.sequences import (
+    count_interpretations,
+    distinct_results,
+    interpretations,
+)
+from repro.core.sigma import Sigma
+from repro.xst.builders import xpair, xset, xtuple
+
+
+def permutation_process(mapping):
+    graph = xset(xpair(key, value) for key, value in mapping.items())
+    return Process(graph, Sigma.columns([1], [2]))
+
+
+@pytest.fixture
+def chain():
+    """Three distinct invertible processes over {a, b, c}."""
+    rotate = permutation_process({"a": "b", "b": "c", "c": "a"})
+    swap = permutation_process({"a": "b", "b": "a", "c": "c"})
+    drop = permutation_process({"a": "a", "b": "a", "c": "c"})
+    return [rotate, swap, drop]
+
+
+class TestCounts:
+    def test_paper_counts(self):
+        # "...with 14 for four and 42 for five."
+        assert count_interpretations(2) == 2
+        assert count_interpretations(3) == 5
+        assert count_interpretations(4) == 14
+        assert count_interpretations(5) == 42
+
+    def test_small_counts(self):
+        assert count_interpretations(0) == 1
+        assert count_interpretations(1) == 1
+
+    def test_negative_is_rejected(self):
+        with pytest.raises(ValueError):
+            count_interpretations(-1)
+
+    def test_enumeration_matches_the_formula(self, chain):
+        x = xset([xtuple(["a"])])
+        for width in (1, 2, 3):
+            readings = interpretations(chain[:width], x)
+            assert len(readings) == count_interpretations(width)
+
+
+class TestRenderings:
+    def test_two_process_notations(self, chain):
+        readings = interpretations(chain[:2], xset([xtuple(["a"])]))
+        notations = {reading.notation for reading in readings}
+        assert notations == {"f(g(x))", "(f(g))(x)"}
+
+    def test_three_process_notations_match_example_4_2(self, chain):
+        readings = interpretations(chain, xset([xtuple(["a"])]))
+        notations = {reading.notation for reading in readings}
+        assert notations == {
+            "f(g(h(x)))",        # (a)
+            "f((g(h))(x))",      # (b)
+            "(f(g(h)))(x)",      # (c)
+            "((f(g))(h))(x)",    # (d)
+            "(f(g))(h(x))",      # (e)
+        }
+
+    def test_custom_names(self, chain):
+        readings = interpretations(
+            chain[:2], xset([xtuple(["a"])]), names=["p", "q"]
+        )
+        assert {r.notation for r in readings} == {"p(q(x))", "(p(q))(x)"}
+
+
+class TestEvaluation:
+    def test_function_chain_reading_a_composes_normally(self, chain):
+        rotate, swap, _ = chain
+        x = xset([xtuple(["a"])])
+        readings = {
+            r.notation: r.result for r in interpretations([rotate, swap], x)
+        }
+        # swap(a) = b, rotate(b) = c.
+        assert readings["f(g(x))"] == xset([xtuple(["c"])])
+
+    def test_readings_can_differ(self, chain):
+        x = xset([xtuple(["a"])])
+        readings = interpretations(chain[:2], x)
+        assert len(distinct_results(readings)) == 2
+
+    def test_empty_input_flows_through(self, chain):
+        from repro.xst.xset import EMPTY
+
+        readings = interpretations(chain[:2], EMPTY)
+        # f(g({})) is empty; (f(g))({}) is also empty.
+        assert all(reading.result.is_empty for reading in readings)
+
+    def test_at_least_one_process_required(self):
+        with pytest.raises(ValueError):
+            interpretations([], xset([xtuple(["a"])]))
+
+    def test_all_42_readings_of_a_five_chain_evaluate(self, chain):
+        five = chain + [chain[0], chain[1]]
+        readings = interpretations(five, xset([xtuple(["a"])]))
+        assert len(readings) == 42
+        notations = {reading.notation for reading in readings}
+        assert len(notations) == 42  # all bracketings distinct as text
+
+
+class TestDistinctResults:
+    def test_deduplication(self, chain):
+        x = xset([xtuple(["c"])])
+        readings = interpretations(chain[:2], x)
+        distinct = distinct_results(readings)
+        assert 1 <= len(distinct) <= 2
+
+    def test_preserves_first_seen_order(self, chain):
+        x = xset([xtuple(["a"])])
+        readings = interpretations(chain[:2], x)
+        distinct = distinct_results(readings)
+        assert distinct[0] == readings[0].result

@@ -1,0 +1,98 @@
+"""Sigma carrier: builders, encoding, inversion, fusion."""
+
+import pytest
+
+from repro.core.sigma import Sigma
+from repro.xst.builders import xpair, xtuple
+from repro.xst.rescope import rescope_by_scope
+from repro.xst.xset import EMPTY, XSet
+
+
+class TestBuilders:
+    def test_columns(self):
+        sigma = Sigma.columns([1], [2])
+        assert sigma.sigma1 == xtuple([1])
+        assert sigma.sigma2 == xtuple([2])
+
+    def test_columns_wide(self):
+        sigma = Sigma.columns([1], [1, 3, 4, 5, 2])
+        assert sigma.sigma2 == XSet(
+            [(1, 1), (3, 2), (4, 3), (5, 4), (2, 5)]
+        )
+
+    def test_identity(self):
+        sigma = Sigma.identity(3)
+        assert sigma.sigma1 == sigma.sigma2 == xtuple([1, 2, 3])
+
+    def test_attributes_map_to_themselves(self):
+        sigma = Sigma.attributes(["dept"], ["name", "salary"])
+        assert sigma.sigma1 == XSet([("dept", "dept")])
+        assert sigma.sigma2 == XSet([("name", "name"), ("salary", "salary")])
+
+    def test_attributes_default_out(self):
+        sigma = Sigma.attributes(["k"])
+        assert sigma.sigma1 == sigma.sigma2
+
+    def test_renaming(self):
+        sigma = Sigma.renaming([("old", "new")], [("a", "b")])
+        assert sigma.sigma1 == XSet([("old", "new")])
+        assert sigma.sigma2 == XSet([("a", "b")])
+
+    def test_halves_must_be_xsets(self):
+        with pytest.raises(TypeError):
+            Sigma("not-a-set", EMPTY)
+
+
+class TestEncoding:
+    def test_to_xset_is_def_7_2_pair(self):
+        sigma = Sigma.columns([1], [2])
+        assert sigma.to_xset() == xpair(xtuple([1]), xtuple([2]))
+
+    def test_round_trip(self):
+        sigma = Sigma.columns([2, 1], [1])
+        assert Sigma.from_xset(sigma.to_xset()) == sigma
+
+    def test_from_xset_rejects_atom_halves(self):
+        with pytest.raises(TypeError):
+            Sigma.from_xset(xpair("atom", "atom"))
+
+
+class TestDerived:
+    def test_inverted_swaps_halves(self):
+        sigma = Sigma.columns([1], [2])
+        tau = sigma.inverted()
+        assert tau.sigma1 == sigma.sigma2
+        assert tau.sigma2 == sigma.sigma1
+        assert tau.inverted() == sigma
+
+    def test_fused_output_collapses_two_rescopes(self):
+        first = Sigma.attributes(["k"], ["a", "b"])
+        second = Sigma.renaming([("a", "a")], [("a", "z")])
+        fused = first.fused_output(second)
+        row = XSet([("va", "a"), ("vb", "b")])
+        two_step = rescope_by_scope(
+            rescope_by_scope(row, first.sigma2), second.sigma2
+        )
+        one_step = rescope_by_scope(row, fused.sigma2)
+        assert one_step == two_step == XSet([("va", "z")])
+
+
+class TestProtocol:
+    def test_equality_and_hash(self):
+        assert Sigma.columns([1], [2]) == Sigma.columns([1], [2])
+        assert Sigma.columns([1], [2]) != Sigma.columns([2], [1])
+        assert hash(Sigma.columns([1], [2])) == hash(Sigma.columns([1], [2]))
+
+    def test_iteration_unpacks_halves(self):
+        sigma1, sigma2 = Sigma.columns([1], [2])
+        assert sigma1 == xtuple([1])
+        assert sigma2 == xtuple([2])
+
+    def test_immutability(self):
+        sigma = Sigma.columns([1], [2])
+        with pytest.raises(AttributeError):
+            sigma.sigma1 = EMPTY
+
+    def test_repr_mentions_both_halves(self):
+        text = repr(Sigma.columns([1], [2]))
+        assert "<1>" in text and "<2>" in text

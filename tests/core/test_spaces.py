@@ -1,0 +1,218 @@
+"""Process/function spaces (Defs 5.1-6.8) and Consequence 6.1
+(experiment E17).
+"""
+
+import pytest
+
+from repro.core.lattice import lift_domain
+from repro.core.process import Process
+from repro.core.sigma import Sigma
+from repro.core.spaces import (
+    MANY_TO_ONE,
+    ONE_TO_MANY,
+    ONE_TO_ONE,
+    SpaceSpec,
+    basic_specs,
+    behavior_profile,
+    in_function_space,
+    in_function_space_on,
+    in_function_space_one_one,
+    in_function_space_onto,
+    in_process_space,
+    is_bijective_member,
+    is_injective_member,
+    is_surjective_member,
+    refined_specs,
+    satisfies,
+)
+from repro.cst.relations import (
+    is_function as cst_is_function,
+    is_injective as cst_is_injective,
+    is_onto as cst_is_onto,
+    is_total_on as cst_is_total,
+)
+from repro.xst.builders import xpair, xset
+
+
+A_ATOMS = ("a", "b")
+B_ATOMS = ("x", "y")
+
+
+def process_of(pairs):
+    return Process(
+        xset(xpair(first, second) for first, second in pairs),
+        Sigma.columns([1], [2]),
+    )
+
+
+def spaces_domain():
+    return lift_domain(A_ATOMS), lift_domain(B_ATOMS)
+
+
+class TestNamedSpaces:
+    def test_total_bijection(self):
+        a, b = spaces_domain()
+        process = process_of([("a", "x"), ("b", "y")])
+        assert in_process_space(process, a, b)
+        assert in_function_space(process, a, b)
+        assert in_function_space_on(process, a, b)
+        assert in_function_space_onto(process, a, b)
+        assert in_function_space_one_one(process, a, b)
+        assert is_injective_member(process, a, b)
+        assert is_surjective_member(process, a, b)
+        assert is_bijective_member(process, a, b)
+
+    def test_partial_function(self):
+        a, b = spaces_domain()
+        process = process_of([("a", "x")])
+        assert in_function_space(process, a, b)
+        assert not in_function_space_on(process, a, b)   # not defined at b
+        assert not in_function_space_onto(process, a, b)  # y unreached
+        assert in_function_space_one_one(process, a, b)
+
+    def test_constant_function_is_not_one_one(self):
+        a, b = spaces_domain()
+        process = process_of([("a", "x"), ("b", "x")])
+        assert in_function_space_on(process, a, b)
+        assert not in_function_space_one_one(process, a, b)
+        assert not is_injective_member(process, a, b)
+
+    def test_one_to_many_is_a_process_but_not_a_function(self):
+        a, b = spaces_domain()
+        process = process_of([("a", "x"), ("a", "y")])
+        assert in_process_space(process, a, b)
+        assert not in_function_space(process, a, b)
+
+    def test_wrong_codomain_is_not_in_the_space(self):
+        a, b = spaces_domain()
+        stranger = process_of([("a", "ELSEWHERE")])
+        assert not in_process_space(stranger, a, b)
+
+    def test_empty_process_is_not_in_any_space(self):
+        a, b = spaces_domain()
+        empty = Process(xset([]), Sigma.columns([1], [2]))
+        assert not in_process_space(empty, a, b)
+
+
+class TestAgainstCSTGroundTruth:
+    """Space membership must agree with the classical predicates."""
+
+    CASES = [
+        [("a", "x"), ("b", "y")],
+        [("a", "x"), ("b", "x")],
+        [("a", "x")],
+        [("a", "x"), ("a", "y")],
+        [("a", "y"), ("b", "x")],
+        [("a", "x"), ("a", "y"), ("b", "x")],
+    ]
+
+    @pytest.mark.parametrize("graph", CASES)
+    def test_function_predicate_agrees(self, graph):
+        a, b = spaces_domain()
+        assert in_function_space(process_of(graph), a, b) == cst_is_function(
+            graph
+        )
+
+    @pytest.mark.parametrize("graph", CASES)
+    def test_on_predicate_agrees(self, graph):
+        a, b = spaces_domain()
+        expected = cst_is_total(graph, set(A_ATOMS))
+        profile = behavior_profile(process_of(graph), a, b)
+        assert profile.on == expected
+
+    @pytest.mark.parametrize("graph", CASES)
+    def test_onto_predicate_agrees(self, graph):
+        a, b = spaces_domain()
+        expected = cst_is_onto(graph, set(B_ATOMS))
+        profile = behavior_profile(process_of(graph), a, b)
+        assert profile.onto == expected
+
+    @pytest.mark.parametrize("graph", CASES)
+    def test_injective_agrees_for_functions(self, graph):
+        if not cst_is_function(graph):
+            pytest.skip("injectivity compared on functions only")
+        a, b = spaces_domain()
+        assert in_function_space_one_one(
+            process_of(graph), a, b
+        ) == cst_is_injective(graph)
+
+
+class TestConsequence61:
+    def test_inclusion_chain(self):
+        a, b = spaces_domain()
+        every_graph = [
+            [("a", "x")],
+            [("a", "x"), ("b", "y")],
+            [("a", "x"), ("b", "x")],
+            [("a", "y"), ("b", "x")],
+        ]
+        for graph in every_graph:
+            process = process_of(graph)
+            # (a) F[A,B) <= F(A,B); (b) F(A,B] <= F(A,B)
+            if in_function_space_on(process, a, b):
+                assert in_function_space(process, a, b)
+            if in_function_space_onto(process, a, b):
+                assert in_function_space(process, a, b)
+            # (c)/(d) F[A,B] <= F(A,B] and <= F[A,B)
+            if is_surjective_member(process, a, b):
+                assert in_function_space_onto(process, a, b)
+                assert in_function_space_on(process, a, b)
+
+    def test_bijective_implies_injective_and_surjective(self):
+        a, b = spaces_domain()
+        bijection = process_of([("a", "y"), ("b", "x")])
+        assert is_bijective_member(bijection, a, b)
+        assert is_injective_member(bijection, a, b)
+        assert is_surjective_member(bijection, a, b)
+
+
+class TestSpaceSpecs:
+    def test_basic_family_size(self):
+        assert len(basic_specs()) == 16
+
+    def test_basic_function_space_count(self):
+        assert sum(spec.is_function_space for spec in basic_specs()) == 8
+
+    def test_refined_family_size(self):
+        assert len(refined_specs()) == 29
+
+    def test_refined_function_space_count(self):
+        assert sum(spec.is_function_space for spec in refined_specs()) == 12
+
+    def test_specs_are_distinct(self):
+        assert len(set(refined_specs())) == 29
+        assert len(set(basic_specs())) == 16
+
+    def test_labels_are_distinct(self):
+        labels = [spec.label() for spec in refined_specs()]
+        assert len(set(labels)) == 29
+
+    def test_refines_partial_order(self):
+        loosest = SpaceSpec(on=False, onto=False, allowed=">-<")
+        tight = SpaceSpec(on=True, onto=True, allowed="-")
+        assert tight.refines(loosest)
+        assert not loosest.refines(tight)
+        assert tight.refines(tight)
+
+    def test_unknown_marks_rejected(self):
+        with pytest.raises(ValueError):
+            SpaceSpec(on=False, onto=False, allowed="?")
+
+    def test_satisfies_respects_marks(self):
+        a, b = spaces_domain()
+        one_many = process_of([("a", "x"), ("a", "y")])
+        functional_spec = SpaceSpec(
+            on=False, onto=False, allowed={MANY_TO_ONE, ONE_TO_ONE}
+        )
+        loose_spec = SpaceSpec(
+            on=False, onto=False, allowed={MANY_TO_ONE, ONE_TO_ONE, ONE_TO_MANY}
+        )
+        assert not satisfies(one_many, a, b, functional_spec)
+        assert satisfies(one_many, a, b, loose_spec)
+
+    def test_profile_reports_association_kinds(self):
+        a, b = spaces_domain()
+        mixed = process_of([("a", "x"), ("a", "y"), ("b", "x")])
+        profile = behavior_profile(mixed, a, b)
+        assert ONE_TO_MANY in profile.associations
+        assert not profile.functional

@@ -1,0 +1,116 @@
+"""CSTFunction and the Theorem 9.10 bridge, both directions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import NotAFunctionError
+from repro.cst.functions import CSTFunction
+from repro.core.process import Process
+from repro.core.sigma import Sigma
+from repro.xst.builders import xpair, xset
+
+mappings = st.dictionaries(
+    st.integers(min_value=0, max_value=9),
+    st.sampled_from(["x", "y", "z"]),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestElementFunction:
+    def test_call(self):
+        f = CSTFunction([(1, "x"), (2, "y")])
+        assert f(1) == "x"
+        assert f(2) == "y"
+
+    def test_outside_domain_raises(self):
+        f = CSTFunction([(1, "x")])
+        with pytest.raises(NotAFunctionError, match="outside"):
+            f(99)
+
+    def test_non_functional_graph_rejected(self):
+        with pytest.raises(NotAFunctionError):
+            CSTFunction([(1, "x"), (1, "y")])
+
+    def test_image_def_3_1(self):
+        f = CSTFunction([(1, "x"), (2, "y"), (3, "x")])
+        assert f.image({1, 3}) == {"x"}
+
+    def test_domain_and_codomain(self):
+        f = CSTFunction([(1, "x"), (2, "x")])
+        assert f.domain() == {1, 2}
+        assert f.codomain() == {"x"}
+
+    def test_structural_identity(self):
+        assert CSTFunction([(1, "x")]) == CSTFunction([(1, "x")])
+        assert CSTFunction([(1, "x")]) != CSTFunction([(1, "y")])
+        assert hash(CSTFunction([(1, "x")])) == hash(CSTFunction([(1, "x")]))
+        assert len(CSTFunction([(1, "x"), (2, "y")])) == 2
+
+    def test_immutability(self):
+        f = CSTFunction([(1, "x")])
+        with pytest.raises(AttributeError):
+            f.extra = 1
+
+
+class TestClassicalComposition:
+    def test_compose(self):
+        f = CSTFunction([(1, 10), (2, 20)])
+        g = CSTFunction([(10, "x"), (20, "y")])
+        h = g.compose(f)
+        assert h(1) == "x"
+        assert h(2) == "y"
+
+    def test_compose_is_partial_where_the_chain_breaks(self):
+        f = CSTFunction([(1, 10), (2, 999)])
+        g = CSTFunction([(10, "x")])
+        h = g.compose(f)
+        assert h(1) == "x"
+        with pytest.raises(NotAFunctionError):
+            h(2)
+
+    @given(mappings, st.dictionaries(st.sampled_from(["x", "y", "z"]),
+                                     st.integers(), min_size=3, max_size=3))
+    def test_compose_agrees_with_python_composition(self, inner, outer):
+        f = CSTFunction(inner.items())
+        g = CSTFunction(outer.items())
+        h = g.compose(f)
+        for argument, middle in inner.items():
+            assert h(argument) == outer[middle]
+
+
+class TestTheorem910Bridge:
+    @given(mappings)
+    def test_call_via_xst_agrees(self, mapping):
+        f = CSTFunction(mapping.items())
+        for argument in mapping:
+            assert f.call_via_xst(argument) == f(argument)
+
+    def test_to_xst_produces_a_functional_process(self):
+        f = CSTFunction([(1, "x"), (2, "y")])
+        process = f.to_xst()
+        assert isinstance(process, Process)
+        assert process.is_function()
+        assert process.is_wellformed()
+
+    @given(mappings)
+    def test_round_trip(self, mapping):
+        f = CSTFunction(mapping.items())
+        assert CSTFunction.from_xst(f.to_xst()) == f
+
+    def test_from_xst_rejects_wide_tuples(self):
+        from repro.xst.builders import xtuple
+
+        process = Process(
+            xset([xtuple([1, 2, 3])]), Sigma.columns([1], [2])
+        )
+        with pytest.raises(NotAFunctionError):
+            CSTFunction.from_xst(process)
+
+    def test_from_xst_rejects_non_functions(self):
+        process = Process(
+            xset([xpair(1, "x"), xpair(1, "y")]), Sigma.columns([1], [2])
+        )
+        with pytest.raises(NotAFunctionError):
+            CSTFunction.from_xst(process)

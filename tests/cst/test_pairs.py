@@ -1,0 +1,82 @@
+"""Kuratowski pairs and the Skolem operand problems (reference [5])."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import NotATupleError
+from repro.cst.pairs import is_kpair, kfirst, kpair, ksecond, ktuple, kunpair
+
+small_atoms = st.one_of(
+    st.integers(min_value=-5, max_value=5), st.sampled_from(["a", "b", "c"])
+)
+
+
+class TestKuratowskiEncoding:
+    def test_shape(self):
+        pair = kpair("x", "y")
+        assert pair == frozenset({frozenset({"x"}), frozenset({"x", "y"})})
+
+    def test_unpair(self):
+        assert kunpair(kpair("x", "y")) == ("x", "y")
+        assert kfirst(kpair(1, 2)) == 1
+        assert ksecond(kpair(1, 2)) == 2
+
+    def test_degenerate_diagonal(self):
+        # <x, x> collapses to {{x}} -- the first classical wart.
+        pair = kpair("x", "x")
+        assert pair == frozenset({frozenset({"x"})})
+        assert kunpair(pair) == ("x", "x")
+
+    @given(small_atoms, small_atoms)
+    def test_round_trip(self, x, y):
+        assert kunpair(kpair(x, y)) == (x, y)
+
+    @given(small_atoms, small_atoms, small_atoms, small_atoms)
+    def test_pair_equality_is_component_equality(self, a, b, c, d):
+        assert (kpair(a, b) == kpair(c, d)) == ((a, b) == (c, d))
+
+    def test_recognition(self):
+        assert is_kpair(kpair(1, 2))
+        assert is_kpair(kpair("x", "x"))
+        assert not is_kpair(frozenset({1, 2}))
+        assert not is_kpair("not a set")
+        assert not is_kpair(frozenset({frozenset({1}), frozenset({2, 3})}))
+
+    def test_unpair_rejects_non_pairs(self):
+        with pytest.raises(NotATupleError):
+            kunpair(frozenset({1}))
+
+
+class TestSkolemsComplaints:
+    """The operand problems Def 9.1 removes, demonstrated classically."""
+
+    def test_components_are_buried_two_levels_down(self):
+        pair = kpair("x", "y")
+        # Membership at depth one gives auxiliary sets, not components.
+        assert "x" not in pair
+        assert frozenset({"x"}) in pair
+
+    def test_nested_tuples_are_not_associative(self):
+        left = ktuple((ktuple((1, 2)), 3))
+        flat = ktuple((1, 2, 3))
+        assert left != flat
+
+    def test_ktuple_of_one_is_the_bare_item(self):
+        assert ktuple((7,)) == 7
+
+    def test_ktuple_of_zero_is_rejected(self):
+        with pytest.raises(NotATupleError):
+            ktuple(())
+
+    def test_xst_tuples_fix_all_three(self):
+        from repro.xst.builders import xtuple
+        from repro.xst.tuples import concat
+
+        # flat: components are one membership away;
+        triple = xtuple([1, 2, 3])
+        assert 1 in triple
+        # associative: concatenation groups freely (Thm 9.4 territory);
+        assert concat(xtuple([1, 2]), xtuple([3])) == triple
+        # non-degenerate: <x, x> keeps both positions.
+        assert xtuple(["x", "x"]).tuple_length() == 2

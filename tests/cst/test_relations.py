@@ -1,0 +1,100 @@
+"""Classical relations (Defs 3.1-3.6): the baseline layer itself."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cst.relations import (
+    domain_1,
+    domain_2,
+    image,
+    image_constructive,
+    inverse,
+    is_function,
+    is_injective,
+    is_onto,
+    is_total_on,
+    relative_product,
+    restriction,
+)
+
+atoms = st.one_of(st.integers(min_value=0, max_value=9), st.sampled_from("abc"))
+relations = st.frozensets(st.tuples(atoms, atoms), max_size=8)
+key_sets = st.frozensets(atoms, max_size=5)
+
+
+class TestDefinitions:
+    def test_restriction_def_3_3(self):
+        r = {("a", "x"), ("b", "y"), ("c", "x")}
+        assert restriction(r, {"a", "c"}) == {("a", "x"), ("c", "x")}
+
+    def test_domains_defs_3_4_3_5(self):
+        r = {("a", "x"), ("b", "y")}
+        assert domain_1(r) == {"a", "b"}
+        assert domain_2(r) == {"x", "y"}
+
+    def test_image_def_3_1(self):
+        r = {("a", "x"), ("b", "y"), ("c", "x")}
+        assert image(r, {"a", "c"}) == {"x"}
+
+    @given(relations, key_sets)
+    def test_def_3_6_equals_def_3_1(self, r, keys):
+        """The constructive image (D_2 after restriction) is the image."""
+        assert image_constructive(r, keys) == image(r, keys)
+
+    def test_relative_product_section_10_example(self):
+        assert relative_product({("a", "b")}, {("b", "c")}) == {("a", "c")}
+
+    @given(relations, relations)
+    def test_relative_product_via_images(self, r, s):
+        expected = {
+            (a, c) for a, b in r for b2, c in s if b == b2
+        }
+        assert relative_product(r, s) == expected
+
+
+class TestPredicates:
+    def test_function_recognition(self):
+        assert is_function({("a", "x"), ("b", "x")})
+        assert not is_function({("a", "x"), ("a", "y")})
+        assert is_function(frozenset())
+
+    def test_injective_recognition(self):
+        assert is_injective({("a", "x"), ("b", "y")})
+        assert not is_injective({("a", "x"), ("b", "x")})
+        assert not is_injective({("a", "x"), ("a", "y")})
+
+    def test_totality_and_onto(self):
+        r = {("a", "x"), ("b", "y")}
+        assert is_total_on(r, {"a", "b"})
+        assert not is_total_on(r, {"a", "b", "c"})
+        assert is_onto(r, {"x", "y"})
+        assert not is_onto(r, {"x", "y", "z"})
+
+    @given(relations)
+    def test_inverse_is_involutive(self, r):
+        assert inverse(inverse(r)) == frozenset(r)
+
+    @given(relations)
+    def test_inverse_swaps_domains(self, r):
+        assert domain_1(inverse(r)) == domain_2(r)
+        assert domain_2(inverse(r)) == domain_1(r)
+
+
+class TestAlgebraicLaws:
+    """CST image laws -- the classical originals of Consequence C.1."""
+
+    @given(relations, key_sets, key_sets)
+    def test_image_distributes_over_key_union(self, r, a, b):
+        assert image(r, a | b) == image(r, a) | image(r, b)
+
+    @given(relations, key_sets, key_sets)
+    def test_image_intersection_inclusion(self, r, a, b):
+        assert image(r, a & b) <= image(r, a) & image(r, b)
+
+    @given(relations, relations, key_sets)
+    def test_image_distributes_over_relation_union(self, q, r, a):
+        assert image(q | r, a) == image(q, a) | image(r, a)
+
+    @given(relations, key_sets)
+    def test_image_of_domain_is_range_of_restriction(self, r, a):
+        assert image(r, a) == domain_2(restriction(r, a))

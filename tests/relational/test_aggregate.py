@@ -1,0 +1,123 @@
+"""Grouping and aggregation: grouping IS restriction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.relational.aggregate import AGGREGATES, aggregate, group_by
+from repro.relational.relation import Relation
+from repro.workloads.generators import employee_relation
+
+EMPLOYEES = Relation.from_dicts(
+    ["emp", "dept", "salary"],
+    [
+        {"emp": 1, "dept": 10, "salary": 100},
+        {"emp": 2, "dept": 10, "salary": 200},
+        {"emp": 3, "dept": 20, "salary": 300},
+        {"emp": 4, "dept": 20, "salary": 300},
+        {"emp": 5, "dept": 30, "salary": 50},
+    ],
+)
+
+
+class TestGroupBy:
+    def test_partitioning_is_exhaustive_and_disjoint(self):
+        groups = group_by(EMPLOYEES, ["dept"])
+        assert len(groups) == 3
+        total = sum(group.cardinality() for _, group in groups)
+        assert total == EMPLOYEES.cardinality()
+
+    def test_group_members_match_their_key(self):
+        for key, group in group_by(EMPLOYEES, ["dept"]):
+            assert all(
+                row["dept"] == key["dept"] for row in group.iter_dicts()
+            )
+
+    def test_groups_are_relations(self):
+        for _, group in group_by(EMPLOYEES, ["dept"]):
+            assert isinstance(group, Relation)
+            assert group.heading == EMPLOYEES.heading
+
+    def test_multi_attribute_grouping(self):
+        groups = group_by(EMPLOYEES, ["dept", "salary"])
+        assert len(groups) == 4  # (10,100), (10,200), (20,300), (30,50)
+
+    def test_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            group_by(EMPLOYEES, ["nope"])
+
+    def test_empty_relation_has_no_groups(self):
+        empty = Relation.from_dicts(["k"], [])
+        assert group_by(empty, ["k"]) == []
+
+
+class TestAggregate:
+    def test_count_sum_avg_min_max(self):
+        result = aggregate(
+            EMPLOYEES,
+            ["dept"],
+            {
+                "n": ("count", "emp"),
+                "total": ("sum", "salary"),
+                "mean": ("avg", "salary"),
+                "low": ("min", "salary"),
+                "high": ("max", "salary"),
+            },
+        )
+        by_dept = {row["dept"]: row for row in result.iter_dicts()}
+        assert by_dept[10] == {
+            "dept": 10, "n": 2, "total": 300, "mean": 150.0,
+            "low": 100, "high": 200,
+        }
+        assert by_dept[20]["n"] == 2
+        assert by_dept[30]["total"] == 50
+
+    def test_set_of_aggregate(self):
+        result = aggregate(
+            EMPLOYEES, ["dept"], {"salaries": ("set_of", "salary")}
+        )
+        by_dept = {row["dept"]: row for row in result.iter_dicts()}
+        assert by_dept[20]["salaries"] == frozenset({300})
+        assert by_dept[10]["salaries"] == frozenset({100, 200})
+
+    def test_heading(self):
+        result = aggregate(EMPLOYEES, ["dept"], {"n": ("count", "emp")})
+        assert result.heading.names == ("dept", "n")
+
+    def test_unknown_function(self):
+        with pytest.raises(SchemaError, match="unknown aggregate"):
+            aggregate(EMPLOYEES, ["dept"], {"x": ("median", "salary")})
+
+    def test_unknown_source(self):
+        with pytest.raises(SchemaError):
+            aggregate(EMPLOYEES, ["dept"], {"x": ("sum", "nope")})
+
+    def test_output_colliding_with_key(self):
+        with pytest.raises(SchemaError, match="collides"):
+            aggregate(EMPLOYEES, ["dept"], {"dept": ("count", "emp")})
+
+    def test_global_aggregate_via_empty_grouping(self):
+        result = aggregate(EMPLOYEES, [], {"n": ("count", "emp"),
+                                           "total": ("sum", "salary")})
+        rows = list(result.iter_dicts())
+        assert rows == [{"n": 5, "total": 950}]
+
+    @given(st.integers(min_value=1, max_value=60))
+    def test_counts_always_sum_to_cardinality(self, size):
+        relation = employee_relation(size, 5, seed=size)
+        result = aggregate(relation, ["dept"], {"n": ("count", "emp")})
+        assert sum(row["n"] for row in result.iter_dicts()) == size
+
+    def test_registry_is_complete(self):
+        assert set(AGGREGATES) == {
+            "count", "sum", "avg", "min", "max", "set_of",
+        }
+
+    def test_empty_group_guards(self):
+        with pytest.raises(SchemaError):
+            AGGREGATES["avg"]([])
+        with pytest.raises(SchemaError):
+            AGGREGATES["min"]([])
+        assert AGGREGATES["count"]([]) == 0
+        assert AGGREGATES["sum"]([]) == 0

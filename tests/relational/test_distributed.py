@@ -1,0 +1,209 @@
+"""The simulated distributed backend: correctness and shipping shape."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import algebra
+from repro.relational.aggregate import aggregate as local_aggregate
+from repro.relational.distributed import Cluster, NetworkStats
+from repro.workloads.generators import department_relation, employee_relation
+
+
+@pytest.fixture
+def employees():
+    return employee_relation(160, 8, seed=37)
+
+
+@pytest.fixture
+def departments():
+    return department_relation(8, seed=37)
+
+
+@pytest.fixture
+def cluster(employees, departments):
+    cluster = Cluster(4)
+    cluster.create_table("emp", employees, "dept")
+    cluster.create_table("dept", departments, "dept")
+    return cluster
+
+
+class TestPartitioning:
+    def test_partitions_cover_the_relation(self, cluster, employees):
+        total = sum(
+            node.partition("emp").cardinality() for node in cluster.nodes
+        )
+        assert total == employees.cardinality()
+
+    def test_partitions_are_disjoint(self, cluster):
+        seen = set()
+        for node in cluster.nodes:
+            for row in node.partition("emp").iter_dicts():
+                key = tuple(sorted(row.items()))
+                assert key not in seen
+                seen.add(key)
+
+    def test_placement_follows_the_partition_attribute(self, cluster):
+        for node_index, node in enumerate(cluster.nodes):
+            for row in node.partition("emp").iter_dicts():
+                assert row["dept"] % len(cluster.nodes) == node_index
+
+    def test_co_location(self, cluster):
+        # emp and dept are both partitioned on dept: every emp row's
+        # department lives on the same node.
+        for node in cluster.nodes:
+            local_depts = {
+                row["dept"] for row in node.partition("dept").iter_dicts()
+            }
+            for row in node.partition("emp").iter_dicts():
+                assert row["dept"] in local_depts
+
+    def test_unknown_table(self, cluster):
+        with pytest.raises(SchemaError):
+            cluster.scan("ghost")
+
+    def test_bad_partition_attribute(self, employees):
+        cluster = Cluster(2)
+        with pytest.raises(SchemaError):
+            cluster.create_table("emp", employees, "nope")
+
+    def test_cluster_size_validation(self):
+        with pytest.raises(ValueError):
+            Cluster(0)
+
+
+class TestDistributedReads:
+    def test_scan_equals_original(self, cluster, employees):
+        assert cluster.scan("emp") == employees
+
+    def test_routed_selection_is_single_message(self, cluster, employees):
+        cluster.network.reset()
+        result = cluster.select_eq("emp", {"dept": 5})
+        assert cluster.network.messages == 1
+        assert result == algebra.select_eq(employees, {"dept": 5})
+
+    def test_broadcast_selection_touches_every_node(self, cluster, employees):
+        cluster.network.reset()
+        result = cluster.select_eq("emp", {"salary": 50000})
+        assert cluster.network.messages == len(cluster.nodes)
+        assert result == algebra.select_eq(employees, {"salary": 50000})
+
+    def test_routed_ships_fewer_bytes_than_scan(self, cluster):
+        cluster.network.reset()
+        cluster.select_eq("emp", {"dept": 5})
+        routed_bytes = cluster.network.bytes_shipped
+        cluster.network.reset()
+        cluster.scan("emp")
+        assert routed_bytes < cluster.network.bytes_shipped
+
+
+class TestDistributedJoin:
+    def test_copartitioned_join_is_correct(self, cluster, employees,
+                                           departments):
+        assert cluster.join("emp", "dept") == algebra.join(
+            employees, departments
+        )
+
+    def test_copartitioned_join_ships_no_input_rows(self, cluster):
+        cluster.network.reset()
+        cluster.join("emp", "dept")
+        # Only result partials travel: one message per node.
+        assert cluster.network.messages == len(cluster.nodes)
+
+    def test_shuffled_join_is_correct(self, employees, departments):
+        cluster = Cluster(3)
+        cluster.create_table("emp", employees, "dept")
+        # Partition dept on dname: NOT co-partitioned with emp.
+        cluster.create_table("dept", departments, "dname")
+        assert cluster.join("emp", "dept") == algebra.join(
+            employees, departments
+        )
+
+    def test_shuffle_ships_more_than_copartitioned(self, employees,
+                                                   departments):
+        co = Cluster(3)
+        co.create_table("emp", employees, "dept")
+        co.create_table("dept", departments, "dept")
+        co.join("emp", "dept")
+
+        shuffled = Cluster(3)
+        shuffled.create_table("emp", employees, "dept")
+        shuffled.create_table("dept", departments, "dname")
+        shuffled.join("emp", "dept")
+
+        assert shuffled.network.messages > co.network.messages
+
+    def test_join_without_shared_attribute(self, cluster, departments):
+        other = algebra.rename(departments, {"dept": "zzz", "dname": "yyy",
+                                             "budget": "xxx"})
+        cluster.create_table("other", other, "zzz")
+        with pytest.raises(SchemaError, match="no shared attribute"):
+            cluster.join("emp", "other")
+
+    def test_unshufflable_join_is_rejected(self, employees, departments):
+        cluster = Cluster(2)
+        # emp partitioned on salary, which is not a join attribute.
+        cluster.create_table("emp", employees, "salary")
+        cluster.create_table("dept", departments, "dept")
+        with pytest.raises(SchemaError, match="cannot shuffle"):
+            cluster.join("emp", "dept")
+
+
+class TestDistributedAggregation:
+    def test_count_and_sum_match_local(self, cluster, employees):
+        distributed = cluster.aggregate(
+            "emp", ["dept"], {"n": ("count", "emp"), "pay": ("sum", "salary")}
+        )
+        local = local_aggregate(
+            employees, ["dept"],
+            {"n": ("count", "emp"), "pay": ("sum", "salary")},
+        )
+        assert distributed == local
+
+    def test_min_max_match_local(self, cluster, employees):
+        distributed = cluster.aggregate(
+            "emp", ["dept"],
+            {"low": ("min", "salary"), "high": ("max", "salary")},
+        )
+        local = local_aggregate(
+            employees, ["dept"],
+            {"low": ("min", "salary"), "high": ("max", "salary")},
+        )
+        assert distributed == local
+
+    def test_avg_is_rewritten_and_matches(self, cluster, employees):
+        distributed = cluster.aggregate(
+            "emp", ["dept"], {"mean": ("avg", "salary")}
+        )
+        local = local_aggregate(
+            employees, ["dept"], {"mean": ("avg", "salary")}
+        )
+        assert distributed == local
+
+    def test_aggregation_ships_summaries_not_rows(self, cluster):
+        cluster.network.reset()
+        cluster.aggregate("emp", ["dept"], {"n": ("count", "emp")})
+        summary_bytes = cluster.network.bytes_shipped
+        cluster.network.reset()
+        cluster.scan("emp")
+        assert summary_bytes < cluster.network.bytes_shipped
+
+    def test_non_distributable_aggregate(self, cluster):
+        with pytest.raises(SchemaError, match="not distributable"):
+            cluster.aggregate("emp", ["dept"], {"s": ("set_of", "salary")})
+
+
+class TestNetworkStats:
+    def test_counters(self):
+        from repro.xst.builders import xset
+
+        stats = NetworkStats()
+        stats.ship(xset([1, 2, 3]))
+        assert stats.messages == 1
+        assert stats.bytes_shipped > 0
+        stats.reset()
+        assert stats.messages == 0 and stats.bytes_shipped == 0
+
+    def test_repr(self, cluster):
+        assert "messages" in repr(cluster.network)
+        assert "node-0" in repr(cluster.nodes[0])
+        assert "Cluster" in repr(cluster)

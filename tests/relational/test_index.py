@@ -1,0 +1,123 @@
+"""Secondary indexes: equality, ranges, top-k, freshness."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.relational.index import IndexedRelation, SortedIndex
+from repro.relational.relation import Relation
+from repro.relational import algebra, select
+from repro.workloads.generators import employee_relation
+
+
+@pytest.fixture(scope="module")
+def employees():
+    return employee_relation(150, 8, seed=61)
+
+
+@pytest.fixture
+def indexed(employees):
+    return IndexedRelation(employees)
+
+
+class TestSortedIndex:
+    def test_equal(self, employees):
+        index = SortedIndex(employees, "dept")
+        rows = index.equal(3)
+        assert rows
+        assert all(row.contains(3, "dept") for row in rows)
+
+    def test_equal_missing_value(self, employees):
+        assert SortedIndex(employees, "dept").equal(999) == []
+
+    def test_range_default_half_open(self, employees):
+        index = SortedIndex(employees, "salary")
+        rows = index.range(40000, 50000)
+        assert rows
+        for row in rows:
+            (salary,) = row.elements_at("salary")
+            assert 40000 <= salary < 50000
+
+    def test_range_bounds_flags(self):
+        relation = Relation.from_tuples(["v"], [(1,), (2,), (3,)])
+        index = SortedIndex(relation, "v")
+        assert len(index.range(1, 3)) == 2
+        assert len(index.range(1, 3, include_high=True)) == 3
+        assert len(index.range(1, 3, include_low=False)) == 1
+        assert len(index.range()) == 3
+        assert len(index.range(high=2)) == 1
+
+    def test_smallest_and_largest(self):
+        relation = Relation.from_tuples(["v"], [(5,), (1,), (9,), (3,)])
+        index = SortedIndex(relation, "v")
+        assert [r.elements_at("v")[0] for r in index.smallest(2)] == [1, 3]
+        assert [r.elements_at("v")[0] for r in index.largest(2)] == [9, 5]
+        assert index.largest(0) == []
+        assert len(index.largest(99)) == 4
+
+    def test_unknown_attribute(self, employees):
+        with pytest.raises(SchemaError):
+            SortedIndex(employees, "nope")
+
+    def test_incomparable_values_rejected(self):
+        relation = Relation.from_tuples(["v"], [(1,), ("text",)])
+        with pytest.raises(SchemaError, match="incomparable"):
+            SortedIndex(relation, "v")
+
+    def test_length(self, employees):
+        assert len(SortedIndex(employees, "emp")) == 150
+
+
+class TestIndexedRelation:
+    def test_where_equal_matches_algebra(self, indexed, employees):
+        assert indexed.where_equal("dept", 2) == algebra.select_eq(
+            employees, {"dept": 2}
+        )
+
+    def test_where_between_matches_predicate_select(self, indexed, employees):
+        low, high = 35000, 70000
+        via_index = indexed.where_between("salary", low, high)
+        via_scan = select(
+            employees, lambda row: low <= row["salary"] < high
+        )
+        assert via_index == via_scan
+
+    @given(
+        low=st.integers(min_value=30000, max_value=100000),
+        width=st.integers(min_value=0, max_value=40000),
+    )
+    def test_range_property(self, employees, low, width):
+        indexed = IndexedRelation(employees)
+        via_index = indexed.where_between("salary", low, low + width)
+        via_scan = select(
+            employees, lambda row: low <= row["salary"] < low + width
+        )
+        assert via_index == via_scan
+
+    def test_top_k(self, indexed, employees):
+        top = indexed.top_k("salary", 10)
+        assert top.cardinality() == 10
+        cutoff = min(row["salary"] for row in top.iter_dicts())
+        others = select(
+            employees,
+            lambda row: row["salary"] > cutoff,
+        )
+        assert others.cardinality() < 10
+
+    def test_bottom_k(self, indexed):
+        bottom = indexed.top_k("salary", 3, largest=False)
+        assert bottom.cardinality() == 3
+
+    def test_indexes_are_cached(self, indexed):
+        first = indexed.sorted_index("salary")
+        assert indexed.sorted_index("salary") is first
+        assert "salary" in indexed.indexed_attrs()
+
+    def test_freshness(self, employees):
+        indexed = IndexedRelation(employees)
+        indexed.sorted_index("salary")
+        assert indexed.is_fresh()
+
+    def test_len(self, indexed):
+        assert len(indexed) == 150

@@ -1,0 +1,90 @@
+"""Instrumented execution: same results, meaningful measurements."""
+
+import pytest
+
+from repro.relational.profile import execute_profiled
+from repro.relational.query import (
+    Database,
+    Difference,
+    Join,
+    Project,
+    Rename,
+    Scan,
+    SelectEq,
+    SelectPred,
+    Union,
+)
+from repro.workloads.generators import department_relation, employee_relation
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database()
+    database.add("emp", employee_relation(50, 5, seed=17))
+    database.add("dept", department_relation(5, seed=17))
+    return database
+
+
+class TestAgreement:
+    PLANS = [
+        Scan("emp"),
+        SelectEq(Scan("emp"), {"dept": 1}),
+        SelectPred(Scan("emp"), lambda row: row["salary"] > 50000, "rich"),
+        Project(Scan("emp"), ["dept"]),
+        Rename(Scan("dept"), {"dname": "label"}),
+        Join(Scan("emp"), Scan("dept")),
+        Union(SelectEq(Scan("emp"), {"dept": 0}),
+              SelectEq(Scan("emp"), {"dept": 1})),
+        Difference(Scan("emp"), SelectEq(Scan("emp"), {"dept": 0})),
+        Project(SelectEq(Join(Scan("emp"), Scan("dept")), {"dept": 2}),
+                ["name", "dname"]),
+    ]
+
+    @pytest.mark.parametrize("plan", PLANS, ids=lambda plan: plan.describe())
+    def test_profiled_result_equals_plain_execution(self, db, plan):
+        result, profile = execute_profiled(db, plan)
+        assert result == db.execute(plan)
+        assert profile.rows == result.cardinality()
+
+
+class TestProfileTree:
+    def test_tree_mirrors_the_plan(self, db):
+        plan = Project(SelectEq(Scan("emp"), {"dept": 1}), ["name"])
+        _, profile = execute_profiled(db, plan)
+        assert profile.describe.startswith("Project")
+        (select_profile,) = profile.children
+        assert select_profile.describe.startswith("SelectEq")
+        (scan_profile,) = select_profile.children
+        assert scan_profile.describe == "Scan(emp)"
+        assert scan_profile.children == []
+
+    def test_cardinalities_shrink_through_selection(self, db):
+        plan = SelectEq(Scan("emp"), {"dept": 1})
+        _, profile = execute_profiled(db, plan)
+        (scan_profile,) = profile.children
+        assert profile.rows <= scan_profile.rows
+
+    def test_inclusive_timing(self, db):
+        plan = SelectEq(Scan("emp"), {"dept": 1})
+        _, profile = execute_profiled(db, plan)
+        (scan_profile,) = profile.children
+        assert profile.seconds >= scan_profile.seconds >= 0
+
+    def test_total_rows(self, db):
+        plan = SelectEq(Scan("emp"), {"dept": 1})
+        _, profile = execute_profiled(db, plan)
+        assert profile.total_rows() == profile.rows + profile.children[0].rows
+
+    def test_render(self, db):
+        plan = Join(Scan("emp"), Scan("dept"))
+        _, profile = execute_profiled(db, plan)
+        text = profile.render()
+        assert "Join" in text and "Scan(emp)" in text and "rows" in text
+        assert text.splitlines()[1].startswith("  ")
+
+    def test_unknown_node_rejected(self, db):
+        class Strange:
+            pass
+
+        with pytest.raises(TypeError):
+            execute_profiled(db, Strange())

@@ -1,0 +1,118 @@
+"""Relations: construction, validation, views, process reading."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import Heading
+from repro.xst.builders import xrecord, xset, xtuple
+from repro.xst.xset import XSet
+
+
+EMPLOYEES = [
+    {"emp": 1, "name": "ada", "dept": 10},
+    {"emp": 2, "name": "alan", "dept": 20},
+    {"emp": 3, "name": "grace", "dept": 10},
+]
+
+
+class TestConstruction:
+    def test_from_dicts(self):
+        rel = Relation.from_dicts(["emp", "name", "dept"], EMPLOYEES)
+        assert rel.cardinality() == 3
+        assert rel.heading == Heading(["emp", "name", "dept"])
+
+    def test_from_tuples(self):
+        rel = Relation.from_tuples(["k", "v"], [(1, "x"), (2, "y")])
+        assert rel.cardinality() == 2
+        assert {"k": 1, "v": "x"} in list(rel.iter_dicts())
+
+    def test_duplicate_rows_collapse(self):
+        rel = Relation.from_tuples(["k"], [(1,), (1,), (2,)])
+        assert rel.cardinality() == 2
+
+    def test_missing_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation.from_dicts(["a", "b"], [{"a": 1}])
+
+    def test_extra_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation.from_dicts(["a"], [{"a": 1, "b": 2}])
+
+    def test_wrong_tuple_width_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation.from_tuples(["a", "b"], [(1,)])
+
+    def test_raw_constructor_validates_rows(self):
+        heading = Heading(["a"])
+        with pytest.raises(SchemaError, match="record-shaped"):
+            Relation(heading, xset([xtuple([1])]))
+
+    def test_raw_constructor_validates_scopes(self):
+        heading = Heading(["a"])
+        bad = XSet([(xrecord({"a": 1}), "not-classical")])
+        with pytest.raises(SchemaError, match="classical"):
+            Relation(heading, bad)
+
+    def test_rows_must_match_heading(self):
+        heading = Heading(["a"])
+        with pytest.raises(SchemaError, match="do not match"):
+            Relation(heading, xset([xrecord({"b": 1})]))
+
+
+class TestViews:
+    def test_iter_dicts(self):
+        rel = Relation.from_dicts(["emp", "name", "dept"], EMPLOYEES)
+        names = sorted(row["name"] for row in rel.iter_dicts())
+        assert names == ["ada", "alan", "grace"]
+
+    def test_to_rows_heading_order(self):
+        rel = Relation.from_dicts(["emp", "name", "dept"], EMPLOYEES[:1])
+        assert rel.to_rows() == [(1, "ada", 10)]
+
+    def test_equality_ignores_row_order(self):
+        forward = Relation.from_dicts(["k"], [{"k": 1}, {"k": 2}])
+        backward = Relation.from_dicts(["k"], [{"k": 2}, {"k": 1}])
+        assert forward == backward
+        assert hash(forward) == hash(backward)
+
+    def test_bool_and_len(self):
+        empty = Relation.from_dicts(["k"], [])
+        assert not empty
+        assert len(empty) == 0
+        assert Relation.from_dicts(["k"], [{"k": 1}])
+
+    def test_repr(self):
+        rel = Relation.from_dicts(["k"], [{"k": 1}])
+        assert "1 rows" in repr(rel)
+
+    def test_immutability(self):
+        rel = Relation.from_dicts(["k"], [{"k": 1}])
+        with pytest.raises(AttributeError):
+            rel.heading = Heading(["z"])
+
+
+class TestProcessReading:
+    def test_relation_as_a_behavior(self):
+        rel = Relation.from_dicts(["emp", "name", "dept"], EMPLOYEES)
+        by_dept = rel.as_process(["dept"], ["name"])
+        key = xset([xrecord({"dept": 10})])
+        result = by_dept.apply(key)
+        names = {row.as_record()["name"] for row, _ in result.pairs()}
+        assert names == {"ada", "grace"}
+
+    def test_unknown_attributes_rejected(self):
+        rel = Relation.from_dicts(["k"], [{"k": 1}])
+        with pytest.raises(SchemaError):
+            rel.as_process(["nope"], ["k"])
+        with pytest.raises(SchemaError):
+            rel.as_process(["k"], ["nope"])
+
+    def test_process_is_wellformed(self):
+        rel = Relation.from_dicts(["emp", "name", "dept"], EMPLOYEES)
+        assert rel.as_process(["emp"], ["name"]).is_wellformed()
+
+    def test_key_function_is_functional_non_key_is_not(self):
+        rel = Relation.from_dicts(["emp", "name", "dept"], EMPLOYEES)
+        assert rel.as_process(["emp"], ["name"]).is_function()
+        assert not rel.as_process(["dept"], ["name"]).is_function()

@@ -1,0 +1,122 @@
+"""Physical representations share one mathematical identity (§12)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.relational import algebra
+from repro.relational.representations import (
+    ColumnRepresentation,
+    RowRepresentation,
+    same_identity,
+)
+from repro.workloads.generators import employee_relation
+
+NAMES = ("emp", "name", "dept", "salary")
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return employee_relation(60, 6, seed=67)
+
+
+@pytest.fixture
+def row_rep(relation):
+    return RowRepresentation.from_relation(relation)
+
+
+@pytest.fixture
+def column_rep(relation):
+    return ColumnRepresentation.from_relation(relation)
+
+
+class TestIdentity:
+    def test_layouts_share_a_canonical_form(self, row_rep, column_rep):
+        assert row_rep.canonical() == column_rep.canonical()
+        assert same_identity(row_rep, column_rep)
+
+    def test_round_trip_through_relation(self, relation, row_rep, column_rep):
+        assert row_rep.to_relation() == relation
+        assert column_rep.to_relation() == relation
+
+    def test_different_data_differ(self, row_rep):
+        other = RowRepresentation(NAMES, [(1, "x", 2, 3)])
+        assert not same_identity(row_rep, other)
+
+    def test_row_order_is_not_identity(self):
+        forward = RowRepresentation(["k"], [(1,), (2,)])
+        backward = RowRepresentation(["k"], [(2,), (1,)])
+        assert same_identity(forward, backward)
+
+    def test_column_order_is_not_identity(self):
+        one = ColumnRepresentation({"a": [1], "b": [2]})
+        other = ColumnRepresentation({"b": [2], "a": [1]})
+        assert same_identity(one, other)
+
+
+class TestNativeOperationsAgree:
+    def test_select_agrees_across_layouts(self, row_rep, column_rep,
+                                          relation):
+        via_rows = row_rep.select("dept", 3).canonical()
+        via_columns = column_rep.select("dept", 3).canonical()
+        via_kernel = algebra.select_eq(relation, {"dept": 3}).rows
+        assert via_rows == via_columns == via_kernel
+
+    def test_project_agrees_across_layouts(self, row_rep, column_rep,
+                                           relation):
+        via_rows = row_rep.project(["dept"]).canonical()
+        via_columns = column_rep.project(["dept"]).canonical()
+        via_kernel = algebra.project(relation, ["dept"]).rows
+        assert via_rows == via_columns == via_kernel
+
+    def test_multi_attribute_project(self, row_rep, column_rep):
+        assert same_identity(
+            row_rep.project(["dept", "salary"]),
+            column_rep.project(["dept", "salary"]),
+        )
+
+    @given(dept=st.integers(min_value=0, max_value=6))
+    def test_select_property(self, relation, dept):
+        row_rep = RowRepresentation.from_relation(relation)
+        column_rep = ColumnRepresentation.from_relation(relation)
+        assert same_identity(
+            row_rep.select("dept", dept), column_rep.select("dept", dept)
+        )
+
+    def test_chained_operations(self, row_rep, column_rep):
+        via_rows = row_rep.select("dept", 2).project(["name"])
+        via_columns = column_rep.select("dept", 2).project(["name"])
+        assert same_identity(via_rows, via_columns)
+
+
+class TestColumnNativeStrengths:
+    def test_column_access_without_row_assembly(self, column_rep, relation):
+        salaries = column_rep.column("salary")
+        assert sorted(salaries) == sorted(
+            row["salary"] for row in relation.iter_dicts()
+        )
+
+    def test_single_column_aggregate(self, column_rep, relation):
+        total = column_rep.aggregate_column("salary", sum)
+        assert total == sum(row["salary"] for row in relation.iter_dicts())
+
+    def test_unknown_column(self, column_rep):
+        with pytest.raises(SchemaError):
+            column_rep.column("nope")
+
+
+class TestValidation:
+    def test_row_width_checked(self):
+        with pytest.raises(SchemaError):
+            RowRepresentation(["a", "b"], [(1,)])
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(SchemaError, match="ragged"):
+            ColumnRepresentation({"a": [1, 2], "b": [3]})
+
+    def test_empty_representations(self):
+        rows = RowRepresentation(["a"], [])
+        columns = ColumnRepresentation({"a": []})
+        assert same_identity(rows, columns)
+        assert len(rows) == len(columns) == 0

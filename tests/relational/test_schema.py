@@ -1,0 +1,85 @@
+"""Headings: validation, derivation, set-style identity."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import Heading
+
+
+class TestConstruction:
+    def test_names_in_declaration_order(self):
+        heading = Heading(["emp", "name", "dept"])
+        assert heading.names == ("emp", "name", "dept")
+        assert len(heading) == 3
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Heading(["a", "a"])
+
+    def test_non_string_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Heading(["a", 3])
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Heading(["a", ""])
+
+    def test_empty_heading_is_allowed(self):
+        assert len(Heading([])) == 0
+
+    def test_immutability(self):
+        heading = Heading(["a"])
+        with pytest.raises(AttributeError):
+            heading.extra = 1
+
+
+class TestIdentity:
+    def test_order_insensitive_equality(self):
+        assert Heading(["a", "b"]) == Heading(["b", "a"])
+        assert hash(Heading(["a", "b"])) == hash(Heading(["b", "a"]))
+
+    def test_different_names_differ(self):
+        assert Heading(["a"]) != Heading(["b"])
+
+    def test_membership(self):
+        heading = Heading(["a", "b"])
+        assert "a" in heading
+        assert "z" not in heading
+
+    def test_iteration(self):
+        assert list(Heading(["x", "y"])) == ["x", "y"]
+
+
+class TestDerivations:
+    def test_require_passes_known_names(self):
+        heading = Heading(["a", "b", "c"])
+        assert heading.require(["c", "a"]) == ("c", "a")
+
+    def test_require_rejects_unknown_names(self):
+        with pytest.raises(SchemaError, match="unknown attributes"):
+            Heading(["a"]).require(["a", "zzz"])
+
+    def test_project(self):
+        assert Heading(["a", "b", "c"]).project(["c", "a"]).names == ("c", "a")
+
+    def test_remove(self):
+        assert Heading(["a", "b", "c"]).remove(["b"]).names == ("a", "c")
+
+    def test_rename(self):
+        renamed = Heading(["a", "b"]).rename({"a": "z"})
+        assert renamed.names == ("z", "b")
+
+    def test_rename_unknown_source_rejected(self):
+        with pytest.raises(SchemaError):
+            Heading(["a"]).rename({"zzz": "q"})
+
+    def test_union_keeps_shared_names_once(self):
+        joint = Heading(["a", "b"]).union(Heading(["b", "c"]))
+        assert joint.names == ("a", "b", "c")
+
+    def test_common(self):
+        assert Heading(["a", "b", "c"]).common(Heading(["c", "b"])) == ("b", "c")
+
+    def test_disjoint(self):
+        assert Heading(["a"]).disjoint_from(Heading(["b"]))
+        assert not Heading(["a"]).disjoint_from(Heading(["a", "b"]))

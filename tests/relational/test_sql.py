@@ -1,0 +1,232 @@
+"""XQL: parsing, compilation, execution, and agreement with the algebra."""
+
+import pytest
+
+from repro.errors import NotationError, SchemaError
+from repro.relational import algebra
+from repro.relational.query import Database
+from repro.relational.sql import compile_query, parse_query, run
+from repro.workloads.generators import department_relation, employee_relation
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database()
+    database.add("emp", employee_relation(80, 6, seed=23))
+    database.add("dept", department_relation(6, seed=23))
+    return database
+
+
+class TestParsing:
+    def test_star(self):
+        query = parse_query("SELECT * FROM emp")
+        assert query.star and query.sources == ["emp"]
+
+    def test_columns_and_aliases(self):
+        query = parse_query("SELECT name, dept AS division FROM emp")
+        assert query.columns == [("name", None), ("dept", "division")]
+
+    def test_joins(self):
+        query = parse_query("SELECT * FROM emp JOIN dept JOIN other")
+        assert query.sources == ["emp", "dept", "other"]
+
+    def test_conditions(self):
+        query = parse_query(
+            "SELECT * FROM emp WHERE dept = 3 AND salary >= 50000"
+        )
+        assert ("dept", "=", 3) in query.conditions
+        assert ("salary", ">=", 50000) in query.conditions
+
+    def test_string_literals(self):
+        query = parse_query("SELECT * FROM dept WHERE dname = 'dept-3'")
+        assert query.conditions == [("dname", "=", "dept-3")]
+
+    def test_aggregates(self):
+        query = parse_query(
+            "SELECT dept, COUNT(emp) AS n FROM emp GROUP BY dept"
+        )
+        assert query.aggregates == [("count", "emp", "n")]
+        assert query.group_by == ["dept"]
+
+    def test_keywords_are_case_insensitive(self):
+        assert parse_query("select * from emp").sources == ["emp"]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "SELECT",
+            "SELECT * FROM",
+            "SELECT FROM emp",
+            "SELECT * WHERE x = 1",
+            "SELECT * FROM emp WHERE",
+            "SELECT * FROM emp WHERE dept",
+            "SELECT * FROM emp WHERE dept = ",
+            "SELECT * FROM emp trailing",
+            "SELECT COUNT(emp) AS n FROM emp",     # aggregate without GROUP BY
+            "SELECT COUNT emp AS n FROM emp GROUP BY dept",
+            "SELECT * FROM emp WHERE dept ~ 3",
+        ],
+    )
+    def test_malformed_queries(self, bad):
+        with pytest.raises(NotationError):
+            parse_query(bad)
+
+
+class TestExecution:
+    def test_select_star(self, db):
+        result = run(db, "SELECT * FROM emp")
+        assert result == db.relation("emp")
+
+    def test_projection_matches_algebra(self, db):
+        result = run(db, "SELECT name, dept FROM emp")
+        assert result == algebra.project(db.relation("emp"), ["name", "dept"])
+
+    def test_alias_renames(self, db):
+        result = run(db, "SELECT dept AS division FROM emp")
+        assert result.heading.names == ("division",)
+
+    def test_equality_filter_matches_algebra(self, db):
+        result = run(db, "SELECT * FROM emp WHERE dept = 2")
+        assert result == algebra.select_eq(db.relation("emp"), {"dept": 2})
+
+    def test_inequality_filters(self, db):
+        result = run(db, "SELECT * FROM emp WHERE salary < 50000")
+        assert result.cardinality() > 0
+        assert all(row["salary"] < 50000 for row in result.iter_dicts())
+
+    def test_combined_filters(self, db):
+        result = run(
+            db, "SELECT * FROM emp WHERE dept = 1 AND salary >= 40000"
+        )
+        assert all(
+            row["dept"] == 1 and row["salary"] >= 40000
+            for row in result.iter_dicts()
+        )
+
+    def test_join_matches_algebra(self, db):
+        result = run(db, "SELECT * FROM emp JOIN dept")
+        assert result == algebra.join(db.relation("emp"), db.relation("dept"))
+
+    def test_join_with_filter_and_projection(self, db):
+        result = run(
+            db,
+            "SELECT name, dname FROM emp JOIN dept WHERE dname = 'dept-2'",
+        )
+        assert result.heading.names == ("name", "dname")
+        assert all(row["dname"] == "dept-2" for row in result.iter_dicts())
+
+    def test_group_by_aggregate(self, db):
+        result = run(
+            db,
+            "SELECT dept, COUNT(emp) AS n, SUM(salary) AS pay "
+            "FROM emp GROUP BY dept",
+        )
+        assert result.cardinality() == 6
+        assert sum(row["n"] for row in result.iter_dicts()) == 80
+
+    def test_group_by_without_aggregates_is_distinct(self, db):
+        result = run(db, "SELECT dept FROM emp GROUP BY dept")
+        assert result.cardinality() == 6
+
+    def test_min_max_avg(self, db):
+        result = run(
+            db,
+            "SELECT dept, MIN(salary) AS low, MAX(salary) AS high, "
+            "AVG(salary) AS mean FROM emp GROUP BY dept",
+        )
+        for row in result.iter_dicts():
+            assert row["low"] <= row["mean"] <= row["high"]
+
+    def test_unknown_relation_surfaces(self, db):
+        with pytest.raises(SchemaError):
+            run(db, "SELECT * FROM ghost")
+
+    def test_non_grouped_column_rejected(self, db):
+        with pytest.raises(SchemaError, match="non-grouped"):
+            run(db, "SELECT name, COUNT(emp) AS n FROM emp GROUP BY dept")
+
+
+class TestOrderAndLimit:
+    def test_order_by_parses(self):
+        query = parse_query("SELECT * FROM emp ORDER BY salary DESC")
+        assert query.order_by == ("salary", True)
+        query = parse_query("SELECT * FROM emp ORDER BY salary ASC")
+        assert query.order_by == ("salary", False)
+        query = parse_query("SELECT * FROM emp ORDER BY salary")
+        assert query.order_by == ("salary", False)
+
+    def test_limit_parses(self):
+        assert parse_query("SELECT * FROM emp LIMIT 5").limit == 5
+        assert parse_query("SELECT * FROM emp LIMIT 0").limit == 0
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(NotationError):
+            parse_query("SELECT * FROM emp LIMIT x")
+        with pytest.raises(NotationError):
+            parse_query("SELECT * FROM emp LIMIT 1.5")
+
+    def test_limit_truncates_the_relation(self, db):
+        result = run(db, "SELECT * FROM emp ORDER BY salary DESC LIMIT 5")
+        assert result.cardinality() == 5
+
+    def test_order_by_limit_picks_the_top(self, db):
+        from repro.relational.sql import run_rows
+
+        rows = run_rows(
+            db, "SELECT name, salary FROM emp ORDER BY salary DESC LIMIT 3"
+        )
+        assert len(rows) == 3
+        salaries = [row["salary"] for row in rows]
+        assert salaries == sorted(salaries, reverse=True)
+        ceiling = max(
+            row["salary"] for row in db.relation("emp").iter_dicts()
+        )
+        assert salaries[0] == ceiling
+
+    def test_run_rows_honors_ascending_order(self, db):
+        from repro.relational.sql import run_rows
+
+        rows = run_rows(db, "SELECT salary FROM emp ORDER BY salary")
+        salaries = [row["salary"] for row in rows]
+        assert salaries == sorted(salaries)
+
+    def test_limit_zero(self, db):
+        result = run(db, "SELECT * FROM emp LIMIT 0")
+        assert result.cardinality() == 0
+
+    def test_order_without_limit_leaves_the_relation_alone(self, db):
+        unordered = run(db, "SELECT * FROM emp")
+        ordered = run(db, "SELECT * FROM emp ORDER BY salary")
+        assert ordered == unordered
+
+    def test_order_by_with_group_by(self, db):
+        from repro.relational.sql import run_rows
+
+        rows = run_rows(
+            db,
+            "SELECT dept, SUM(salary) AS pay FROM emp GROUP BY dept "
+            "ORDER BY pay DESC LIMIT 2",
+        )
+        assert len(rows) == 2
+        assert rows[0]["pay"] >= rows[1]["pay"]
+
+
+class TestOptimizationTransparency:
+    QUERIES = [
+        "SELECT * FROM emp WHERE dept = 1",
+        "SELECT name FROM emp WHERE salary > 60000",
+        "SELECT name, dname FROM emp JOIN dept WHERE dept = 4",
+        "SELECT dept, COUNT(emp) AS n FROM emp GROUP BY dept",
+        "SELECT dept AS division FROM emp WHERE dept != 0",
+    ]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_optimized_equals_unoptimized(self, db, text):
+        assert run(db, text, optimized=True) == run(db, text, optimized=False)
+
+    def test_compiled_plan_runs_under_both_executors(self, db):
+        plan = compile_query(
+            parse_query("SELECT name, dname FROM emp JOIN dept WHERE dept = 4")
+        )
+        assert db.execute(plan) == db.execute_records(plan)

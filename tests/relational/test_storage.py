@@ -1,0 +1,146 @@
+"""Storage engines: both disciplines answer identically (ref [4])."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.relational.storage import RecordStore, SetStore
+from repro.workloads.generators import departments, employees
+
+HEADING = ["emp", "name", "dept", "salary"]
+DEPT_HEADING = ["dept", "dname", "budget"]
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return employees(120, 8, seed=3)
+
+
+@pytest.fixture(scope="module")
+def stores(rows):
+    return RecordStore(HEADING, rows), SetStore(HEADING, rows)
+
+
+def normalized(dicts):
+    return sorted(tuple(sorted(d.items())) for d in dicts)
+
+
+class TestConstruction:
+    def test_row_validation(self):
+        with pytest.raises(SchemaError):
+            RecordStore(["a"], [{"b": 1}])
+        with pytest.raises(SchemaError):
+            SetStore(["a"], [{"b": 1}])
+
+    def test_sizes(self, stores, rows):
+        record_store, set_store = stores
+        assert len(record_store) == len(rows)
+        # SetStore deduplicates identical rows; this workload has none.
+        assert len(set_store) == len(rows)
+
+    def test_headings_agree(self, stores):
+        record_store, set_store = stores
+        assert record_store.heading == set_store.heading
+
+
+class TestLookup:
+    def test_lookup_agrees(self, stores):
+        record_store, set_store = stores
+        for dept in range(8):
+            assert normalized(record_store.lookup("dept", dept)) == normalized(
+                set_store.lookup("dept", dept)
+            )
+
+    def test_lookup_missing_value(self, stores):
+        record_store, set_store = stores
+        assert record_store.lookup("dept", 999) == []
+        assert set_store.lookup("dept", 999) == []
+
+    def test_lookup_unknown_attribute(self, stores):
+        record_store, set_store = stores
+        with pytest.raises(SchemaError):
+            record_store.lookup("nope", 1)
+        with pytest.raises(SchemaError):
+            set_store.lookup("nope", 1)
+
+    def test_index_is_reused(self, rows):
+        set_store = SetStore(HEADING, rows)
+        first = set_store._index("dept")
+        second = set_store._index("dept")
+        assert first is second
+
+    def test_lookup_rows_returns_a_set(self, stores):
+        _, set_store = stores
+        row_set = set_store.lookup_rows("dept", 0)
+        assert len(row_set) == len(set_store.lookup("dept", 0))
+
+
+class TestProject:
+    def test_project_agrees(self, stores):
+        record_store, set_store = stores
+        assert sorted(record_store.project(["dept"])) == sorted(
+            set_store.project(["dept"])
+        )
+
+    def test_multi_attribute_project_agrees(self, stores):
+        record_store, set_store = stores
+        assert sorted(record_store.project(["dept", "salary"])) == sorted(
+            set_store.project(["dept", "salary"])
+        )
+
+    def test_projection_deduplicates(self, stores):
+        record_store, _ = stores
+        assert len(record_store.project(["dept"])) == 8
+
+
+class TestEquijoin:
+    def test_counts_agree(self, rows):
+        dept_rows = departments(8, seed=3)
+        record_left = RecordStore(HEADING, rows)
+        record_right = RecordStore(DEPT_HEADING, dept_rows)
+        set_left = SetStore(HEADING, rows)
+        set_right = SetStore(DEPT_HEADING, dept_rows)
+        expected = record_left.equijoin_count(record_right, "dept")
+        assert expected == set_left.equijoin_count(set_right, "dept")
+        assert expected == len(rows)  # dept is a foreign key
+
+    def test_join_with_no_matches(self):
+        left = RecordStore(["k"], [{"k": 1}])
+        right = RecordStore(["k"], [{"k": 2}])
+        assert left.equijoin_count(right, "k") == 0
+        set_left = SetStore(["k"], [{"k": 1}])
+        set_right = SetStore(["k"], [{"k": 2}])
+        assert set_left.equijoin_count(set_right, "k") == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        left_rows=st.lists(
+            st.fixed_dictionaries({"k": st.integers(0, 5)}), max_size=8
+        ),
+        right_rows=st.lists(
+            st.fixed_dictionaries({"k": st.integers(0, 5)}), max_size=8
+        ),
+    )
+    def test_counts_agree_on_generated_data(self, left_rows, right_rows):
+        # SetStore deduplicates; feed it pre-deduplicated rows so both
+        # engines see the same multiset.
+        unique_left = [dict(t) for t in {tuple(r.items()) for r in left_rows}]
+        unique_right = [dict(t) for t in {tuple(r.items()) for r in right_rows}]
+        record = RecordStore(["k"], unique_left).equijoin_count(
+            RecordStore(["k"], unique_right), "k"
+        )
+        set_count = SetStore(["k"], unique_left).equijoin_count(
+            SetStore(["k"], unique_right), "k"
+        )
+        assert record == set_count
+
+
+class TestScan:
+    def test_scan_yields_every_record(self, stores, rows):
+        record_store, _ = stores
+        assert normalized(record_store.scan()) == normalized(rows)
+
+    def test_set_store_relation_view(self, stores, rows):
+        _, set_store = stores
+        assert set_store.relation.cardinality() == len(rows)

@@ -1,0 +1,159 @@
+"""Stateful property testing: a Table can never be observed invalid.
+
+Hypothesis drives random interleavings of inserts, deletes, updates
+and failed mutations against a keyed, FK-guarded, check-constrained
+table pair; after *every* step the invariants are re-verified from
+scratch against a shadow model.  This is the strongest executable
+reading of the paper's "intrinsically reliable" claim: no reachable
+sequence of operations exposes a constraint-violating state.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.relational.constraints import (
+    CheckConstraint,
+    ForeignKeyConstraint,
+    IntegrityError,
+    KeyConstraint,
+    Table,
+)
+
+DEPT_IDS = list(range(4))
+EMP_IDS = list(range(12))
+
+
+class TableMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.departments = Table(
+            ["dept", "dname"],
+            [{"dept": dept, "dname": "d%d" % dept} for dept in DEPT_IDS],
+            [KeyConstraint(["dept"])],
+        )
+        self.employees = Table(
+            ["emp", "name", "dept", "salary"],
+            [],
+            [
+                KeyConstraint(["emp"]),
+                CheckConstraint(lambda row: row["salary"] > 0, "salary > 0"),
+            ],
+        )
+        self.employees.add_constraint(
+            ForeignKeyConstraint(["dept"], self.departments.snapshot)
+        )
+        # The shadow model: a plain dict keyed by emp id.
+        self.model = {}
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+
+    @rule(
+        emp=st.sampled_from(EMP_IDS),
+        dept=st.sampled_from(DEPT_IDS),
+        salary=st.integers(min_value=1, max_value=9999),
+    )
+    def insert_valid(self, emp, dept, salary):
+        row = {"emp": emp, "name": "n%d" % emp, "dept": dept,
+               "salary": salary}
+        if emp in self.model:
+            try:
+                self.employees.insert(row)
+                raise AssertionError("duplicate key accepted")
+            except IntegrityError:
+                pass
+        else:
+            try:
+                self.employees.insert(row)
+            except IntegrityError:
+                # Only possible duplicate-row rejection; with a fresh
+                # key and valid fields this must succeed.
+                raise
+            self.model[emp] = row
+
+    @rule(emp=st.sampled_from(EMP_IDS))
+    def insert_bad_fk(self, emp):
+        row = {"emp": emp, "name": "ghost", "dept": 404, "salary": 1}
+        try:
+            self.employees.insert(row)
+            raise AssertionError("dangling FK accepted")
+        except IntegrityError:
+            pass
+
+    @rule(emp=st.sampled_from(EMP_IDS))
+    def insert_bad_salary(self, emp):
+        row = {"emp": emp, "name": "neg", "dept": DEPT_IDS[0], "salary": -1}
+        try:
+            self.employees.insert(row)
+            raise AssertionError("negative salary accepted")
+        except IntegrityError:
+            pass
+
+    @rule(emp=st.sampled_from(EMP_IDS))
+    def delete_by_key(self, emp):
+        removed = self.employees.delete({"emp": emp})
+        if emp in self.model:
+            assert removed == 1
+            del self.model[emp]
+        else:
+            assert removed == 0
+
+    @rule(
+        emp=st.sampled_from(EMP_IDS),
+        dept=st.sampled_from(DEPT_IDS),
+    )
+    def update_dept(self, emp, dept):
+        changed = self.employees.update({"emp": emp}, {"dept": dept})
+        if emp in self.model:
+            assert changed == 1
+            self.model[emp]["dept"] = dept
+        else:
+            assert changed == 0
+
+    @rule(emp=st.sampled_from(EMP_IDS))
+    def update_to_bad_state_is_rejected(self, emp):
+        try:
+            self.employees.update({"emp": emp}, {"salary": -5})
+            assert emp not in self.model  # no match -> 0 rows -> fine
+        except IntegrityError:
+            assert emp in self.model  # a real row was protected
+
+    # ------------------------------------------------------------------
+    # Invariants, re-verified after every rule
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def table_matches_the_model(self):
+        rows = {row["emp"]: row for row in
+                self.employees.snapshot().iter_dicts()}
+        assert rows == self.model
+
+    @invariant()
+    def keys_are_unique(self):
+        snapshot = self.employees.snapshot()
+        emps = [row["emp"] for row in snapshot.iter_dicts()]
+        assert len(emps) == len(set(emps))
+
+    @invariant()
+    def every_fk_resolves(self):
+        valid = {row["dept"] for row in
+                 self.departments.snapshot().iter_dicts()}
+        for row in self.employees.snapshot().iter_dicts():
+            assert row["dept"] in valid
+
+    @invariant()
+    def salaries_are_positive(self):
+        for row in self.employees.snapshot().iter_dicts():
+            assert row["salary"] > 0
+
+
+TableMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestTableStateMachine = TableMachine.TestCase

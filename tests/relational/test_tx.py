@@ -1,0 +1,134 @@
+"""Transactions: multi-table atomicity, deferral, savepoint nesting."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.constraints import (
+    ForeignKeyConstraint,
+    IntegrityError,
+    KeyConstraint,
+    Table,
+)
+from repro.relational.tx import TransactionManager
+
+
+@pytest.fixture
+def schema():
+    departments = Table(
+        ["dept", "dname"],
+        [{"dept": 1, "dname": "research"}],
+        [KeyConstraint(["dept"])],
+    )
+    employees = Table(
+        ["emp", "name", "dept"],
+        [],
+        [KeyConstraint(["emp"])],
+    )
+    employees.add_constraint(
+        ForeignKeyConstraint(["dept"], departments.snapshot)
+    )
+    manager = TransactionManager(
+        {"emp": employees, "dept": departments}
+    )
+    return manager, employees, departments
+
+
+class TestAtomicity:
+    def test_commit_applies_everything(self, schema):
+        manager, employees, departments = schema
+        with manager.transaction():
+            departments.insert({"dept": 2, "dname": "ops"})
+            employees.insert({"emp": 1, "name": "ada", "dept": 2})
+        assert len(employees) == 1
+        assert len(departments) == 2
+
+    def test_exception_rolls_back_all_tables(self, schema):
+        manager, employees, departments = schema
+        with pytest.raises(RuntimeError):
+            with manager.transaction():
+                departments.insert({"dept": 2, "dname": "ops"})
+                employees.insert({"emp": 1, "name": "ada", "dept": 2})
+                raise RuntimeError("client aborts")
+        assert len(employees) == 0
+        assert len(departments) == 1
+
+    def test_integrity_failure_rolls_back_earlier_statements(self, schema):
+        manager, employees, departments = schema
+        with pytest.raises(IntegrityError):
+            with manager.transaction():
+                departments.insert({"dept": 2, "dname": "ops"})
+                employees.insert({"emp": 1, "name": "ada", "dept": 404})
+        assert len(departments) == 1  # the good insert is gone too
+
+    def test_state_outside_transactions_is_untouched(self, schema):
+        manager, employees, departments = schema
+        departments.insert({"dept": 5, "dname": "standalone"})
+        assert len(departments) == 2
+        assert not manager.in_transaction()
+
+
+class TestDeferredChecking:
+    def test_transiently_broken_fk_commits_when_consistent(self, schema):
+        manager, employees, departments = schema
+        with manager.transaction(deferred=True):
+            # Insert the employee BEFORE its department exists.
+            employees.insert({"emp": 1, "name": "ada", "dept": 9})
+            departments.insert({"dept": 9, "dname": "late"})
+        assert len(employees) == 1
+        assert len(departments) == 2
+
+    def test_deferred_commit_still_validates(self, schema):
+        manager, employees, departments = schema
+        with pytest.raises(IntegrityError):
+            with manager.transaction(deferred=True):
+                employees.insert({"emp": 1, "name": "ada", "dept": 404})
+        assert len(employees) == 0
+
+    def test_checking_resumes_after_the_scope(self, schema):
+        manager, employees, departments = schema
+        with manager.transaction(deferred=True):
+            departments.insert({"dept": 2, "dname": "ops"})
+        with pytest.raises(IntegrityError):
+            employees.insert({"emp": 9, "name": "ghost", "dept": 404})
+
+
+class TestNesting:
+    def test_inner_failure_preserves_outer_work(self, schema):
+        manager, employees, departments = schema
+        with manager.transaction():
+            departments.insert({"dept": 2, "dname": "ops"})
+            with pytest.raises(RuntimeError):
+                with manager.transaction():
+                    departments.insert({"dept": 3, "dname": "doomed"})
+                    raise RuntimeError("inner abort")
+            assert len(departments) == 2  # inner rolled back only
+            employees.insert({"emp": 1, "name": "ada", "dept": 2})
+        assert len(departments) == 2
+        assert len(employees) == 1
+
+    def test_depth_tracking(self, schema):
+        manager, employees, departments = schema
+        assert manager.depth == 0
+        with manager.transaction():
+            assert manager.depth == 1
+            with manager.transaction():
+                assert manager.depth == 2
+        assert manager.depth == 0
+
+
+class TestManagerPlumbing:
+    def test_table_access(self, schema):
+        manager, employees, departments = schema
+        assert manager.table("emp") is employees
+        with pytest.raises(SchemaError):
+            manager.table("ghost")
+
+    def test_requires_tables(self):
+        with pytest.raises(SchemaError):
+            TransactionManager({})
+
+    def test_tables_view_is_a_copy(self, schema):
+        manager, employees, _ = schema
+        view = manager.tables
+        view.clear()
+        assert manager.table("emp") is employees

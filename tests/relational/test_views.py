@@ -1,0 +1,149 @@
+"""Views: virtual, materialized, stacked, digest-based staleness."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import algebra
+from repro.relational.query import (
+    Database,
+    Join,
+    Project,
+    Scan,
+    SelectEq,
+)
+from repro.relational.views import ViewCatalog
+from repro.workloads.generators import department_relation, employee_relation
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.add("emp", employee_relation(70, 5, seed=81))
+    database.add("dept", department_relation(5, seed=81))
+    return database
+
+
+@pytest.fixture
+def catalog(db):
+    return ViewCatalog(db)
+
+
+class TestDefinition:
+    def test_define_and_list(self, catalog):
+        catalog.define("d1", SelectEq(Scan("emp"), {"dept": 1}))
+        catalog.define("d2", SelectEq(Scan("emp"), {"dept": 2}))
+        assert catalog.names() == ["d1", "d2"]
+
+    def test_duplicate_names_rejected(self, catalog):
+        catalog.define("v", Scan("emp"))
+        with pytest.raises(SchemaError, match="already defined"):
+            catalog.define("v", Scan("dept"))
+
+    def test_shadowing_base_relations_rejected(self, catalog):
+        with pytest.raises(SchemaError, match="shadow"):
+            catalog.define("emp", Scan("dept"))
+
+    def test_unknown_base_rejected(self, catalog):
+        with pytest.raises(SchemaError):
+            catalog.define("v", Scan("ghost"))
+
+    def test_repr(self, catalog):
+        view = catalog.define("v", Scan("emp"), materialized=True)
+        assert "materialized" in repr(view)
+
+
+class TestVirtualViews:
+    def test_read_matches_direct_execution(self, catalog, db):
+        catalog.define("d1", SelectEq(Scan("emp"), {"dept": 1}))
+        assert catalog.read("d1") == algebra.select_eq(
+            db.relation("emp"), {"dept": 1}
+        )
+
+    def test_virtual_views_track_base_changes_immediately(self, catalog, db):
+        catalog.define("all_emp", Scan("emp"))
+        before = catalog.read("all_emp")
+        db.add("emp", employee_relation(10, 5, seed=2))
+        after = catalog.read("all_emp")
+        assert before != after
+        assert after.cardinality() == 10
+
+    def test_virtual_views_are_never_stale(self, catalog):
+        catalog.define("v", Scan("emp"))
+        assert not catalog.is_stale("v")
+
+    def test_unknown_view(self, catalog):
+        with pytest.raises(SchemaError, match="unknown view"):
+            catalog.read("ghost")
+        with pytest.raises(SchemaError):
+            catalog.is_stale("ghost")
+        with pytest.raises(SchemaError):
+            catalog.refresh("ghost")
+
+
+class TestMaterializedViews:
+    def test_cache_returns_the_same_object_when_fresh(self, catalog):
+        catalog.define("m", SelectEq(Scan("emp"), {"dept": 3}),
+                       materialized=True)
+        first = catalog.read("m")
+        assert catalog.read("m") is first
+
+    def test_staleness_via_digests(self, catalog, db):
+        catalog.define("m", Scan("emp"), materialized=True)
+        catalog.read("m")
+        assert not catalog.is_stale("m")
+        db.add("emp", employee_relation(12, 5, seed=9))
+        assert catalog.is_stale("m")
+
+    def test_stale_reads_recompute(self, catalog, db):
+        catalog.define("m", Scan("emp"), materialized=True)
+        catalog.read("m")
+        db.add("emp", employee_relation(12, 5, seed=9))
+        result = catalog.read("m")
+        assert result.cardinality() == 12
+        assert not catalog.is_stale("m")
+
+    def test_unread_materialized_view_is_stale(self, catalog):
+        catalog.define("m", Scan("emp"), materialized=True)
+        assert catalog.is_stale("m")
+
+    def test_refresh_forces_recompute(self, catalog, db):
+        # SelectEq builds a fresh Relation each execution, so object
+        # identity distinguishes the cache from a recomputation.
+        catalog.define("m", SelectEq(Scan("emp"), {"dept": 1}),
+                       materialized=True)
+        first = catalog.read("m")
+        refreshed = catalog.refresh("m")
+        assert refreshed == first
+        assert refreshed is not first
+
+    def test_equal_but_rebuilt_base_is_not_stale(self, catalog, db):
+        # Digests are content addresses: replacing the base with an
+        # equal relation does not invalidate.
+        catalog.define("m", Scan("emp"), materialized=True)
+        catalog.read("m")
+        db.add("emp", employee_relation(70, 5, seed=81))  # same seed
+        assert not catalog.is_stale("m")
+
+
+class TestStackedViews:
+    def test_views_over_views(self, catalog, db):
+        catalog.define(
+            "staffed", Join(Scan("emp"), Scan("dept")), materialized=True
+        )
+        catalog.define("names", Project(Scan("staffed"), ["name", "dname"]))
+        result = catalog.read("names")
+        expected = algebra.project(
+            algebra.join(db.relation("emp"), db.relation("dept")),
+            ["name", "dname"],
+        )
+        assert result == expected
+
+    def test_stacked_staleness_propagates_through_reads(self, catalog, db):
+        catalog.define("level1", Scan("emp"), materialized=True)
+        catalog.define("level2", Project(Scan("level1"), ["dept"]),
+                       materialized=True)
+        catalog.read("level2")
+        db.add("emp", employee_relation(25, 5, seed=77))
+        assert catalog.is_stale("level1")
+        result = catalog.read("level2")
+        assert result == algebra.project(db.relation("emp"), ["dept"])

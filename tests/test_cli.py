@@ -1,0 +1,126 @@
+"""The command-line interface, end to end (in-process)."""
+
+import pytest
+
+from repro.cli import main
+from repro.relational.csvio import write_csv
+from repro.relational.relation import Relation
+from repro.workloads.generators import department_relation, employee_relation
+
+
+@pytest.fixture
+def csv_dir(tmp_path):
+    write_csv(employee_relation(25, 4, seed=3), str(tmp_path / "emp.csv"))
+    write_csv(department_relation(4, seed=3), str(tmp_path / "dept.csv"))
+    return str(tmp_path)
+
+
+class TestEval:
+    def test_canonicalizes(self, capsys):
+        assert main(["eval", "{b^2, a^1}"]) == 0
+        assert capsys.readouterr().out.strip() == "<a, b>"
+
+    def test_atoms_print_plainly(self, capsys):
+        assert main(["eval", "42"]) == 0
+        assert capsys.readouterr().out.strip() == "42"
+
+    def test_malformed_input_fails_cleanly(self, capsys):
+        assert main(["eval", "{{{"]) == 2
+        assert "repro:" in capsys.readouterr().err
+
+    def test_wrong_arity(self, capsys):
+        assert main(["eval"]) == 2
+
+
+class TestImage:
+    def test_example_8_1(self, capsys):
+        code = main(
+            ["image", "{<a, x>, <b, y>, <c, x>}", "{<a>, <c>}"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "{<x>}"
+
+    def test_non_set_operand(self, capsys):
+        assert main(["image", "42", "{<a>}"]) == 2
+
+
+class TestQuery:
+    def test_select_star(self, csv_dir, capsys):
+        assert main(["query", csv_dir, "SELECT * FROM emp"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].split(",")  # a CSV heading
+        assert len(out.splitlines()) == 26  # heading + 25 rows
+
+    def test_join_query(self, csv_dir, capsys):
+        code = main(
+            ["query", csv_dir,
+             "SELECT name, dname FROM emp JOIN dept WHERE dept = 1"]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0] == "name,dname"
+        assert all("dept-1" in line for line in lines[1:])
+
+    def test_aggregate_query(self, csv_dir, capsys):
+        code = main(
+            ["query", csv_dir,
+             "SELECT dept, COUNT(emp) AS n FROM emp GROUP BY dept"]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0] == "dept,n"
+        assert sum(int(line.split(",")[1]) for line in lines[1:]) == 25
+
+    def test_missing_directory(self, capsys):
+        assert main(["query", "/nonexistent", "SELECT * FROM emp"]) == 2
+
+    def test_empty_directory(self, tmp_path, capsys):
+        assert main(["query", str(tmp_path), "SELECT * FROM emp"]) == 2
+
+    def test_bad_xql_fails_cleanly(self, csv_dir, capsys):
+        assert main(["query", csv_dir, "SELEC * FROM emp"]) == 2
+
+
+class TestClosure:
+    def test_edge_list_closure(self, tmp_path, capsys):
+        edges = Relation.from_tuples(
+            ["src", "dst"], [(1, 2), (2, 3)]
+        )
+        path = str(tmp_path / "edges.csv")
+        write_csv(edges, path)
+        assert main(["closure", path, "src", "dst"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0] == "src,dst"
+        assert set(lines[1:]) == {"1,2", "1,3", "2,3"}
+
+    def test_unknown_columns(self, tmp_path, capsys):
+        edges = Relation.from_tuples(["a", "b"], [(1, 2)])
+        path = str(tmp_path / "edges.csv")
+        write_csv(edges, path)
+        assert main(["closure", path, "src", "dst"]) == 2
+
+    def test_missing_file(self, capsys):
+        assert main(["closure", "/nope.csv", "a", "b"]) == 2
+
+
+class TestDispatch:
+    def test_help(self, capsys):
+        assert main([]) == 0
+        assert "usage" in capsys.readouterr().out
+        assert main(["--help"]) == 0
+
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 2
+        assert "unknown command" in capsys.readouterr().err
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "eval", "<a, b>"],
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 0
+        assert completed.stdout.strip() == "<a, b>"

@@ -1,0 +1,22 @@
+"""Docstring examples must actually run (the docs are tested too)."""
+
+import doctest
+import importlib
+
+import pytest
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    ["repro", "repro.notation", "repro.xst.xset"],
+)
+def test_module_doctests(module_name):
+    # importlib.import_module returns the module itself even where a
+    # package re-export shadows the attribute (repro.xst.xset the
+    # module vs xset the builder function).
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, "%d doctest failures in %s" % (
+        results.failed, module_name
+    )
+    assert results.attempted > 0, "expected doctests in %s" % module_name

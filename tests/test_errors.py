@@ -1,0 +1,107 @@
+"""The exception hierarchy: one root, informative subclasses."""
+
+import pytest
+
+from repro.errors import (
+    AmbiguousValueError,
+    CompositionError,
+    InvalidAtomError,
+    NotAFunctionError,
+    NotAProcessError,
+    NotationError,
+    NotATupleError,
+    SchemaError,
+    XSTError,
+)
+
+
+ALL_ERRORS = [
+    InvalidAtomError,
+    NotATupleError,
+    NotAProcessError,
+    NotAFunctionError,
+    AmbiguousValueError,
+    CompositionError,
+    SchemaError,
+    NotationError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error_type", ALL_ERRORS)
+    def test_rooted_at_xst_error(self, error_type):
+        assert issubclass(error_type, XSTError)
+
+    def test_value_flavored_errors_are_value_errors(self):
+        for error_type in (
+            NotATupleError,
+            NotAProcessError,
+            NotAFunctionError,
+            AmbiguousValueError,
+            CompositionError,
+            SchemaError,
+            NotationError,
+        ):
+            assert issubclass(error_type, ValueError)
+
+    def test_atom_errors_are_type_errors(self):
+        assert issubclass(InvalidAtomError, TypeError)
+
+    def test_one_except_clause_guards_the_library(self):
+        from repro.xst.builders import xset
+        from repro.notation import parse
+
+        failures = 0
+        for trigger in (
+            lambda: xset([{}]),          # unhashable atom
+            lambda: parse("{{{"),        # malformed notation
+        ):
+            try:
+                trigger()
+            except XSTError:
+                failures += 1
+        assert failures == 2
+
+
+class TestMessages:
+    """Errors must say what went wrong in domain language."""
+
+    def test_invalid_atom_names_the_value(self):
+        from repro.xst.xset import XSet
+
+        with pytest.raises(InvalidAtomError, match="hashable"):
+            XSet([([1, 2], None)])
+
+    def test_tuple_error_cites_the_definition(self):
+        from repro.xst.tuples import tup
+        from repro.xst.xset import XSet
+
+        with pytest.raises(NotATupleError, match="9.1"):
+            tup(XSet([("a", "weird-scope")]))
+
+    def test_process_error_cites_the_definition(self):
+        from repro.core.process import Process
+        from repro.core.sigma import Sigma
+        from repro.xst.xset import XSet
+
+        with pytest.raises(NotAProcessError, match="2.1"):
+            Process(XSet(), Sigma.columns([1], [2])).require_wellformed()
+
+    def test_schema_error_lists_alternatives(self):
+        from repro.relational.schema import Heading
+
+        with pytest.raises(SchemaError, match="heading has"):
+            Heading(["a", "b"]).require(["zzz"])
+
+    def test_notation_error_reports_position(self):
+        from repro.notation import parse
+
+        with pytest.raises(NotationError, match="position"):
+            parse("{a ; b}")
+
+    def test_ambiguous_value_counts_candidates(self):
+        from repro.xst.builders import xset, xtuple
+        from repro.xst.values import value
+
+        with pytest.raises(AmbiguousValueError, match="2 distinct"):
+            value(xset([xtuple(["a"]), xtuple(["b"])]))

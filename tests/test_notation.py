@@ -1,0 +1,105 @@
+"""The paper-notation parser and its round trip with the renderer."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import NotationError
+from repro.notation import parse, render, tokens
+from repro.xst.builders import xpair, xset, xtuple
+from repro.xst.xset import EMPTY, XSet
+
+from tests.conftest import xsets
+
+
+class TestAtoms:
+    def test_integers(self):
+        assert parse("42") == 42
+        assert parse("-7") == -7
+
+    def test_floats(self):
+        assert parse("3.5") == 3.5
+        assert parse("-0.25") == -0.25
+
+    def test_identifiers_are_strings(self):
+        assert parse("abc") == "abc"
+        assert parse("x_1") == "x_1"
+
+    def test_quoted_strings(self):
+        assert parse("'two words'") == "two words"
+        assert parse('"double"') == "double"
+
+    def test_sign_marks(self):
+        # Example 9.1 uses +, -, i, -i as scope marks.
+        assert parse("+") == "+"
+        assert parse("-") == "-"
+
+
+class TestSets:
+    def test_empty(self):
+        assert parse("{}") == EMPTY
+
+    def test_classical(self):
+        assert parse("{a, b}") == xset(["a", "b"])
+
+    def test_scoped_members(self):
+        assert parse("{a^1, b^2}") == XSet([("a", 1), ("b", 2)])
+
+    def test_nested_sets(self):
+        assert parse("{{a}^1}") == XSet([(xset(["a"]), 1)])
+
+    def test_set_scopes(self):
+        assert parse("{a^{s}}") == XSet([("a", xset(["s"]))])
+
+    def test_whitespace_is_free(self):
+        assert parse("{ a ^ 1 ,\n b ^ 2 }") == parse("{a^1,b^2}")
+
+
+class TestTuples:
+    def test_tuples_expand_to_positions(self):
+        assert parse("<a, b, c>") == xtuple(["a", "b", "c"])
+
+    def test_empty_tuple_is_the_empty_set(self):
+        assert parse("<>") == EMPTY
+
+    def test_pairs(self):
+        assert parse("<a, x>") == xpair("a", "x")
+
+    def test_nested_tuples(self):
+        assert parse("<<a, b>, c>") == xtuple([xtuple(["a", "b"]), "c"])
+
+    def test_set_of_tuples(self):
+        assert parse("{<a, x>, <b, y>}") == xset(
+            [xpair("a", "x"), xpair("b", "y")]
+        )
+
+    def test_tuple_scoped_member(self):
+        assert parse("{<a>^<S>}") == XSet([(xtuple(["a"]), xtuple(["S"]))])
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        ["{", "}", "{a^}", "<a", "{a,}", "a b", "{a^1^2}", "", "{a;b}"],
+    )
+    def test_malformed_inputs_raise(self, bad):
+        with pytest.raises(NotationError):
+            parse(bad)
+
+    def test_error_reports_position_for_bad_characters(self):
+        with pytest.raises(NotationError, match="position"):
+            tokens("{a ; b}")
+
+
+class TestRoundTrip:
+    def test_example_8_1_round_trip(self):
+        f = xset([xpair("a", "x"), xpair("b", "y"), xpair("c", "x")])
+        assert parse(render(f)) == f
+
+    @given(xsets())
+    def test_render_parse_round_trip(self, value):
+        """Everything the library renders, the parser reads back."""
+        assert parse(render(value)) == value
+
+    def test_rendered_is_stable_text(self):
+        value = parse("{b^2, a^1}")
+        assert render(value) == render(parse(render(value)))

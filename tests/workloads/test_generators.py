@@ -1,0 +1,119 @@
+"""Workload generators: determinism, shape, and documented knobs."""
+
+from collections import Counter
+
+from repro.workloads.generators import (
+    department_relation,
+    departments,
+    employee_relation,
+    employees,
+    functional_pairs,
+    pair_relation,
+    pipeline_stages,
+    skewed_values,
+)
+
+
+class TestDeterminism:
+    def test_pair_relation_is_seed_deterministic(self):
+        assert pair_relation(50, seed=4) == pair_relation(50, seed=4)
+        assert pair_relation(50, seed=4) != pair_relation(50, seed=5)
+
+    def test_functional_pairs_deterministic(self):
+        assert functional_pairs(30, seed=1) == functional_pairs(30, seed=1)
+
+    def test_employees_deterministic(self):
+        assert employees(20, 4, seed=2) == employees(20, 4, seed=2)
+
+    def test_skewed_values_deterministic(self):
+        assert skewed_values(100, 10, seed=3) == skewed_values(100, 10, seed=3)
+
+
+class TestPairRelations:
+    def test_size(self):
+        assert len(pair_relation(100, seed=0)) == 100
+
+    def test_key_space_bound(self):
+        relation = pair_relation(60, seed=0, key_space=5, fanout=20)
+        keys = {member.as_tuple()[0] for member, _ in relation.pairs()}
+        assert keys <= set(range(5))
+
+    def test_members_are_pairs(self):
+        relation = pair_relation(10, seed=1)
+        assert all(
+            member.tuple_length() == 2 for member, _ in relation.pairs()
+        )
+
+    def test_functional_pairs_are_functional(self):
+        from repro.core.process import Process
+        from repro.core.composition import STAGE_SIGMA
+
+        graph = functional_pairs(25, seed=7)
+        assert Process(graph, STAGE_SIGMA).is_function()
+
+    def test_functional_pairs_cover_the_key_space(self):
+        graph = functional_pairs(25, seed=7)
+        keys = {member.as_tuple()[0] for member, _ in graph.pairs()}
+        assert keys == set(range(25))
+
+
+class TestPipelineStages:
+    def test_depth_and_size(self):
+        stages = pipeline_stages(4, 15, seed=0)
+        assert len(stages) == 4
+        assert all(len(stage) == 15 for stage in stages)
+
+    def test_stages_differ(self):
+        stages = pipeline_stages(3, 15, seed=0)
+        assert stages[0] != stages[1]
+
+    def test_stages_compose_totally(self):
+        from repro.core.composition import compose_chain
+        from repro.xst.builders import xset, xtuple
+
+        stages = pipeline_stages(3, 10, seed=2)
+        fused = compose_chain(stages)
+        for key in range(10):
+            assert not fused.apply(xset([xtuple([key])])).is_empty
+
+
+class TestRelationalWorkloads:
+    def test_employee_shape(self):
+        rows = employees(10, 3, seed=0)
+        assert len(rows) == 10
+        assert set(rows[0]) == {"emp", "name", "dept", "salary"}
+        assert all(0 <= row["dept"] < 3 for row in rows)
+
+    def test_department_shape(self):
+        rows = departments(4, seed=0)
+        assert [row["dept"] for row in rows] == [0, 1, 2, 3]
+
+    def test_relations_build(self):
+        emp = employee_relation(12, 3, seed=1)
+        dept = department_relation(3, seed=1)
+        assert emp.cardinality() == 12
+        assert dept.cardinality() == 3
+
+    def test_foreign_keys_always_resolve(self):
+        from repro.relational.algebra import join
+
+        emp = employee_relation(30, 5, seed=9)
+        dept = department_relation(5, seed=9)
+        assert join(emp, dept).cardinality() == 30
+
+
+class TestSkew:
+    def test_range(self):
+        values = skewed_values(500, 10, seed=0, skew=1.2)
+        assert all(0 <= value < 10 for value in values)
+
+    def test_low_keys_dominate_under_skew(self):
+        values = skewed_values(2000, 20, seed=1, skew=1.5)
+        counts = Counter(values)
+        assert counts[0] > counts.get(19, 0)
+        assert counts[0] > len(values) / 20  # above uniform share
+
+    def test_employees_accept_skew(self):
+        rows = employees(300, 10, seed=4, skew=1.5)
+        counts = Counter(row["dept"] for row in rows)
+        assert counts[0] > counts.get(9, 0)

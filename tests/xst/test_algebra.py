@@ -1,0 +1,179 @@
+"""Boolean algebra, powerset, separation and replacement over XSets."""
+
+import pytest
+from hypothesis import given
+
+from repro.xst.algebra import (
+    big_intersection,
+    big_union,
+    difference,
+    disjoint,
+    intersection,
+    iter_subsets,
+    map_pairs,
+    powerset,
+    select_pairs,
+    symmetric_difference,
+    union,
+)
+from repro.xst.builders import xset, xtuple
+from repro.xst.xset import EMPTY, XSet
+
+from tests.conftest import xsets
+
+
+class TestBooleanOperators:
+    def test_union_merges_pairs(self):
+        assert XSet([("a", 1)]) | XSet([("b", 2)]) == XSet([("a", 1), ("b", 2)])
+
+    def test_union_respects_scopes(self):
+        # a^1 and a^2 are distinct memberships, not duplicates.
+        assert len(XSet([("a", 1)]) | XSet([("a", 2)])) == 2
+
+    def test_intersection_needs_matching_scope(self):
+        assert (XSet([("a", 1)]) & XSet([("a", 2)])).is_empty
+        assert XSet([("a", 1)]) & XSet([("a", 1)]) == XSet([("a", 1)])
+
+    def test_difference(self):
+        left = XSet([("a", 1), ("b", 2)])
+        assert left - XSet([("a", 1)]) == XSet([("b", 2)])
+
+    def test_symmetric_difference(self):
+        left = XSet([("a", 1), ("b", 2)])
+        right = XSet([("b", 2), ("c", 3)])
+        assert left ^ right == XSet([("a", 1), ("c", 3)])
+
+    def test_variadic_forms(self):
+        parts = [XSet([(i, EMPTY)]) for i in range(4)]
+        assert union(*parts) == xset([0, 1, 2, 3])
+        assert union() == EMPTY
+        assert intersection(xset([1, 2]), xset([2, 3]), xset([2])) == xset([2])
+
+    def test_intersection_of_nothing_is_an_error(self):
+        with pytest.raises(ValueError):
+            intersection()
+
+    def test_operators_reject_non_xsets(self):
+        with pytest.raises(TypeError):
+            xset([1]) | {1}
+
+    @given(xsets(), xsets())
+    def test_union_commutes(self, left, right):
+        assert left | right == right | left
+
+    @given(xsets(), xsets())
+    def test_intersection_commutes(self, left, right):
+        assert left & right == right & left
+
+    @given(xsets(), xsets(), xsets())
+    def test_union_associates(self, a, b, c):
+        assert (a | b) | c == a | (b | c)
+
+    @given(xsets(), xsets())
+    def test_de_morgan_within_a_universe(self, a, b):
+        universe = a | b
+        assert universe - (a & b) == (universe - a) | (universe - b)
+
+    @given(xsets(), xsets())
+    def test_difference_disjoint_from_subtrahend(self, a, b):
+        assert disjoint(a - b, b & a)
+
+    @given(xsets())
+    def test_idempotence(self, a):
+        assert a | a == a
+        assert a & a == a
+        assert (a - a).is_empty
+
+
+class TestBigOperations:
+    def test_big_union_flattens_set_elements(self):
+        family = xset([xset([1, 2]), xset([2, 3])])
+        assert big_union(family) == xset([1, 2, 3])
+
+    def test_big_union_ignores_atom_elements(self):
+        family = xset(["atom", xset([1])])
+        assert big_union(family) == xset([1])
+
+    def test_big_union_of_empty_family(self):
+        assert big_union(EMPTY) == EMPTY
+
+    def test_big_intersection(self):
+        family = xset([xset([1, 2, 3]), xset([2, 3, 4]), xset([3])])
+        assert big_intersection(family) == xset([3])
+
+    def test_big_intersection_requires_a_set_member(self):
+        with pytest.raises(ValueError):
+            big_intersection(xset(["only-an-atom"]))
+
+
+class TestPowerset:
+    def test_powerset_counts(self):
+        base = XSet([("a", 1), ("b", 2)])
+        assert len(powerset(base)) == 4
+
+    def test_powerset_contains_empty_and_full(self):
+        base = XSet([("a", 1)])
+        subsets = powerset(base)
+        assert subsets.contains(EMPTY)
+        assert subsets.contains(base)
+
+    def test_powerset_refuses_large_inputs(self):
+        big = xset(range(17))
+        with pytest.raises(ValueError, match="refused"):
+            powerset(big)
+
+    def test_iter_subsets_is_lazy_and_complete(self):
+        base = XSet([("a", 1), ("b", 2), ("c", 3)])
+        subsets = list(iter_subsets(base))
+        assert len(subsets) == 8
+        assert all(sub.issubset(base) for sub in subsets)
+
+    @given(xsets(max_depth=1, max_size=3))
+    def test_every_subset_is_a_subset(self, base):
+        assert all(sub <= base for sub in iter_subsets(base))
+
+
+class TestSeparationAndReplacement:
+    def test_select_pairs(self):
+        base = XSet([(1, "odd"), (2, "even"), (3, "odd")])
+        odds = select_pairs(base, lambda element, scope: scope == "odd")
+        assert odds == XSet([(1, "odd"), (3, "odd")])
+
+    def test_map_pairs_can_multiply_memberships(self):
+        base = xset([1, 2])
+        doubled = map_pairs(
+            base, lambda element, scope: [(element, scope), (element * 10, scope)]
+        )
+        assert doubled == xset([1, 2, 10, 20])
+
+    def test_map_pairs_can_drop_memberships(self):
+        base = xset([1, 2, 3])
+        kept = map_pairs(
+            base,
+            lambda element, scope: [(element, scope)] if element > 1 else [],
+        )
+        assert kept == xset([2, 3])
+
+    @given(xsets())
+    def test_select_true_is_identity(self, base):
+        assert select_pairs(base, lambda element, scope: True) == base
+
+    @given(xsets())
+    def test_select_false_is_empty(self, base):
+        assert select_pairs(base, lambda element, scope: False) == EMPTY
+
+
+class TestFreeFunctions:
+    def test_difference_and_symmetric_difference_functions(self):
+        left, right = xset([1, 2]), xset([2, 3])
+        assert difference(left, right) == xset([1])
+        assert symmetric_difference(left, right) == xset([1, 3])
+
+    def test_disjoint(self):
+        assert disjoint(xset([1]), xset([2]))
+        assert not disjoint(xset([1]), xset([1, 2]))
+
+    def test_tuple_members_participate_structurally(self):
+        left = xset([xtuple([1, 2])])
+        right = xset([xtuple([1, 2]), xtuple([3, 4])])
+        assert left & right == left

@@ -1,0 +1,118 @@
+"""Builders: every constructor shape, and deep Python conversion."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidAtomError
+from repro.xst.builders import (
+    from_python,
+    relation,
+    scoped,
+    singleton,
+    xpair,
+    xrecord,
+    xset,
+    xtuple,
+)
+from repro.xst.xset import EMPTY, XSet
+
+
+class TestFromPython:
+    def test_sets_become_classical(self):
+        assert from_python({1, 2}) == xset([1, 2])
+        assert from_python(frozenset({"a"})) == xset(["a"])
+
+    def test_sequences_become_tuples(self):
+        assert from_python((1, 2)) == xtuple([1, 2])
+        assert from_python([1, 2, 3]) == xtuple([1, 2, 3])
+
+    def test_string_keyed_dicts_become_records(self):
+        assert from_python({"k": 1}) == xrecord({"k": 1})
+
+    def test_other_dicts_become_scoped_sets(self):
+        converted = from_python({1: "a", 2: "b"})
+        assert converted == XSet([("a", 1), ("b", 2)])
+
+    def test_nested_structures_convert_recursively(self):
+        value = from_python({("a", "x"), ("b", "y")})
+        assert value == xset([xpair("a", "x"), xpair("b", "y")])
+
+    def test_deep_nesting(self):
+        value = from_python([{1, 2}, {"k": (3, 4)}])
+        first, second = value.as_tuple()
+        assert first == xset([1, 2])
+        assert second == xrecord({"k": xtuple([3, 4])})
+
+    def test_atoms_pass_through(self):
+        assert from_python(42) == 42
+        assert from_python("text") == "text"
+        assert from_python(None) is None
+
+    def test_existing_xsets_pass_through(self):
+        value = xset([1])
+        assert from_python(value) is value
+
+    def test_unconvertible_values_rejected(self):
+        class Weird:
+            __hash__ = None
+
+        with pytest.raises(InvalidAtomError):
+            from_python(Weird())
+
+    @given(
+        # Hashable containers only: Python cannot nest dicts inside
+        # frozensets, so the recursive strategy sticks to tuples and
+        # frozensets (dict conversion is covered by the direct tests).
+        st.recursive(
+            st.one_of(st.integers(-5, 5), st.sampled_from("abc")),
+            lambda children: st.one_of(
+                st.frozensets(children, max_size=3),
+                st.tuples(children, children),
+            ),
+            max_leaves=8,
+        )
+    )
+    def test_conversion_round_trips_through_to_python(self, value):
+        converted = from_python(value)
+        if isinstance(converted, XSet):
+            back = converted.to_python()
+            assert from_python(back) == converted
+        else:
+            assert converted == value
+
+
+class TestRelationBuilder:
+    def test_rows_become_tuples(self):
+        rel = relation([(1, "a"), (2, "b")])
+        assert rel.contains(xpair(1, "a"))
+        assert len(rel) == 2
+
+    def test_mixed_arity_rows(self):
+        rel = relation([(1,), (2, 3)])
+        assert rel.contains(xtuple([1]))
+        assert rel.contains(xtuple([2, 3]))
+
+    def test_empty_relation(self):
+        assert relation([]) == EMPTY
+
+
+class TestScopedAndSingleton:
+    def test_scoped_is_the_raw_constructor(self):
+        assert scoped([("e", "s"), ("f", "t")]) == XSet(
+            [("e", "s"), ("f", "t")]
+        )
+
+    def test_singleton_shapes(self):
+        assert singleton("a") == xset(["a"])
+        assert singleton("a", "scope") == XSet([("a", "scope")])
+        assert singleton("a", EMPTY) == xset(["a"])
+
+
+class TestEmptyInputs:
+    def test_every_builder_accepts_emptiness(self):
+        assert xset([]) == EMPTY
+        assert xtuple([]) == EMPTY
+        assert xrecord({}) == EMPTY
+        assert scoped([]) == EMPTY
+        assert relation([]) == EMPTY

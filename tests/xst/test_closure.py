@@ -1,0 +1,153 @@
+"""Fixpoint operations, cross-validated against networkx."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xst.builders import xpair, xset
+from repro.xst.closure import (
+    compose_step,
+    node_set,
+    reachable_from,
+    reflexive_transitive_closure,
+    symmetric_closure,
+    transitive_closure,
+    transitive_closure_naive,
+)
+from repro.xst.xset import EMPTY, XSet
+
+networkx = pytest.importorskip("networkx")
+
+node = st.integers(min_value=0, max_value=7)
+edge_lists = st.lists(st.tuples(node, node), max_size=14)
+
+
+def relation_of(edges):
+    return xset(xpair(a, b) for a, b in edges)
+
+
+def pairs_of(relation: XSet):
+    return {member.as_tuple() for member, _ in relation.pairs()}
+
+
+class TestComposeStep:
+    def test_two_hop_paths(self):
+        r = relation_of([(1, 2), (2, 3), (3, 4)])
+        assert pairs_of(compose_step(r)) == {(1, 3), (2, 4)}
+
+    def test_heterogeneous_step(self):
+        r = relation_of([(1, 2)])
+        s = relation_of([(2, "end")])
+        assert pairs_of(compose_step(r, s)) == {(1, "end")}
+
+
+class TestTransitiveClosure:
+    def test_chain(self):
+        r = relation_of([(1, 2), (2, 3), (3, 4)])
+        assert pairs_of(transitive_closure(r)) == {
+            (1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4),
+        }
+
+    def test_cycle_includes_self_pairs(self):
+        r = relation_of([(1, 2), (2, 1)])
+        assert pairs_of(transitive_closure(r)) == {
+            (1, 2), (2, 1), (1, 1), (2, 2),
+        }
+
+    def test_empty(self):
+        assert transitive_closure(EMPTY) == EMPTY
+
+    def test_already_transitive_is_a_fixpoint(self):
+        r = relation_of([(1, 2), (2, 3), (1, 3)])
+        assert transitive_closure(r) == r
+
+    @settings(max_examples=40, deadline=None)
+    @given(edge_lists)
+    def test_matches_networkx(self, edges):
+        r = relation_of(edges)
+        expected = set(
+            networkx.transitive_closure(networkx.DiGraph(edges)).edges()
+        )
+        assert pairs_of(transitive_closure(r)) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(edge_lists)
+    def test_seminaive_equals_naive(self, edges):
+        r = relation_of(edges)
+        assert transitive_closure(r) == transitive_closure_naive(r)
+
+    @given(edge_lists)
+    def test_closure_is_transitive(self, edges):
+        closure = transitive_closure(relation_of(edges))
+        assert compose_step(closure, closure).issubset(closure)
+
+    @given(edge_lists)
+    def test_closure_is_idempotent(self, edges):
+        closure = transitive_closure(relation_of(edges))
+        assert transitive_closure(closure) == closure
+
+
+class TestReflexiveAndSymmetric:
+    def test_reflexive_adds_the_diagonal(self):
+        r = relation_of([(1, 2)])
+        assert pairs_of(reflexive_transitive_closure(r)) == {
+            (1, 2), (1, 1), (2, 2),
+        }
+
+    def test_symmetric(self):
+        r = relation_of([(1, 2), (3, 4)])
+        assert pairs_of(symmetric_closure(r)) == {
+            (1, 2), (2, 1), (3, 4), (4, 3),
+        }
+
+    @given(edge_lists)
+    def test_symmetric_is_involutive_upward(self, edges):
+        r = relation_of(edges)
+        once = symmetric_closure(r)
+        assert symmetric_closure(once) == once
+
+    @given(edge_lists)
+    def test_equivalence_closure_partitions(self, edges):
+        # reflexive + symmetric + transitive = an equivalence relation;
+        # verify symmetry and transitivity of the result.
+        closure = transitive_closure(
+            symmetric_closure(relation_of(edges))
+        )
+        flipped = symmetric_closure(closure)
+        assert flipped == closure or pairs_of(flipped) == pairs_of(closure)
+        assert compose_step(closure, closure).issubset(closure)
+
+
+class TestReachability:
+    def test_single_source(self):
+        r = relation_of([(1, 2), (2, 3), (4, 5)])
+        reached = reachable_from(r, node_set([1]))
+        assert {m.as_tuple()[0] for m, _ in reached.pairs()} == {2, 3}
+
+    def test_multiple_sources(self):
+        r = relation_of([(1, 2), (4, 5)])
+        reached = reachable_from(r, node_set([1, 4]))
+        assert {m.as_tuple()[0] for m, _ in reached.pairs()} == {2, 5}
+
+    def test_source_on_a_cycle_reaches_itself(self):
+        r = relation_of([(1, 2), (2, 1)])
+        reached = reachable_from(r, node_set([1]))
+        assert {m.as_tuple()[0] for m, _ in reached.pairs()} == {1, 2}
+
+    def test_unreachable(self):
+        r = relation_of([(1, 2)])
+        assert reachable_from(r, node_set(["nowhere"])) == EMPTY
+
+    @settings(max_examples=40, deadline=None)
+    @given(edge_lists, node)
+    def test_matches_networkx_descendants(self, edges, source):
+        graph = networkx.DiGraph(edges)
+        graph.add_node(source)
+        reached = reachable_from(relation_of(edges), node_set([source]))
+        atoms = {m.as_tuple()[0] for m, _ in reached.pairs()}
+        expected = set(networkx.descendants(graph, source))
+        if (source, source) in set(
+            networkx.transitive_closure(graph).edges()
+        ):
+            expected.add(source)
+        assert atoms == expected

@@ -1,0 +1,107 @@
+"""sigma-Domain (Def 7.4): the paper's three worked examples + shapes."""
+
+from hypothesis import given
+
+from repro.xst.builders import scoped, xset, xtuple
+from repro.xst.domain import component_domain, domain_1, domain_2, sigma_domain
+from repro.xst.builders import xpair
+from repro.xst.xset import EMPTY, XSet
+
+from tests.conftest import scope_maps, tuple_relations, xsets
+
+
+class TestPaperExamples:
+    def test_first_example_attribute_scopes(self):
+        # D_{A^1, C^2}({{a^A, b^B, c^C}}) = {{a^1, c^2}}
+        record = scoped([("a", "A"), ("b", "B"), ("c", "C")])
+        sigma = scoped([("A", 1), ("C", 2)])
+        assert sigma_domain(xset([record]), sigma) == xset(
+            [scoped([("a", 1), ("c", 2)])]
+        )
+
+    def test_second_example_member_scope_is_rescoped_too(self):
+        # D_{<3,1>}({{a,b,c}^{A,B,C}}) = {<c,a>^<C,A>}
+        member = xtuple(["a", "b", "c"])
+        member_scope = xtuple(["A", "B", "C"])
+        r = XSet([(member, member_scope)])
+        result = sigma_domain(r, xtuple([3, 1]))
+        assert result == XSet([(xtuple(["c", "a"]), xtuple(["C", "A"]))])
+
+    def test_third_example_mixed_scope_alphabet(self):
+        # D_{3^1, 1^2, y^9, v^5, v^7, R^A}({{a,b,c}^{x^y, w^v, z^R}})
+        #   = {<c, a>^{x^9, w^5, w^7, z^A}}
+        member = xtuple(["a", "b", "c"])
+        member_scope = scoped([("x", "y"), ("w", "v"), ("z", "R")])
+        r = XSet([(member, member_scope)])
+        sigma = scoped(
+            [(3, 1), (1, 2), ("y", 9), ("v", 5), ("v", 7), ("R", "A")]
+        )
+        expected_scope = scoped([("x", 9), ("w", 5), ("w", 7), ("z", "A")])
+        assert sigma_domain(r, sigma) == XSet(
+            [(xtuple(["c", "a"]), expected_scope)]
+        )
+
+
+class TestExample81Domains:
+    def test_domain_1_and_2_give_one_tuples(self):
+        f = xset([xpair("a", "x"), xpair("b", "y"), xpair("c", "x")])
+        assert domain_1(f) == xset([xtuple(["a"]), xtuple(["b"]), xtuple(["c"])])
+        assert domain_2(f) == xset([xtuple(["x"]), xtuple(["y"])])
+
+    def test_component_domain_gives_bare_elements(self):
+        f = xset([xpair("a", "x"), xpair("b", "y")])
+        assert component_domain(f, 1) == xset(["a", "b"])
+        assert component_domain(f, 2) == xset(["x", "y"])
+
+    def test_component_domain_skips_atom_members(self):
+        mixed = XSet([("atom", EMPTY), (xpair("a", "x"), EMPTY)])
+        assert component_domain(mixed, 1) == xset(["a"])
+
+
+class TestEdgeBehavior:
+    def test_atom_members_are_dropped(self):
+        r = xset(["just-an-atom"])
+        assert sigma_domain(r, xtuple([1])) == EMPTY
+
+    def test_members_with_empty_rescope_are_dropped(self):
+        # The x != {} guard of Def 7.4: position 9 does not exist in <a>.
+        r = xset([xtuple(["a"])])
+        assert sigma_domain(r, XSet([(9, 1)])) == EMPTY
+
+    def test_empty_sigma_gives_empty_domain(self):
+        r = xset([xtuple(["a", "b"])])
+        assert sigma_domain(r, EMPTY) == EMPTY
+
+    def test_atom_member_scope_rescopes_to_empty_scope(self):
+        r = XSet([(xtuple(["a"]), "atom-scope")])
+        result = sigma_domain(r, xtuple([1]))
+        assert result == XSet([(xtuple(["a"]), EMPTY)])
+
+    def test_two_members_can_collapse_to_one(self):
+        r = xset([xtuple(["k", "p"]), xtuple(["k", "q"])])
+        assert sigma_domain(r, xtuple([1])) == xset([xtuple(["k"])])
+
+
+class TestDomainProperties:
+    @given(tuple_relations(), scope_maps())
+    def test_result_never_contains_empty_elements(self, r, sigma):
+        assert all(
+            isinstance(element, XSet) and not element.is_empty
+            for element, _ in sigma_domain(r, sigma).pairs()
+        )
+
+    @given(xsets(), scope_maps())
+    def test_domain_size_bounded_by_member_count(self, r, sigma):
+        assert len(sigma_domain(r, sigma)) <= len(r)
+
+    @given(tuple_relations())
+    def test_identity_sigma_recovers_tuple_members(self, r):
+        widest = max(
+            [m.tuple_length() or 0 for m, _ in r.pairs()] or [0]
+        )
+        sigma = XSet((i, i) for i in range(1, widest + 1))
+        result = sigma_domain(r, sigma)
+        nonempty_members = xset(
+            m for m, _ in r.pairs() if isinstance(m, XSet) and not m.is_empty
+        )
+        assert result == nonempty_members

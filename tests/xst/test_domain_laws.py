@@ -1,0 +1,73 @@
+"""Consequence 7.1: the Domain laws, property-tested (experiment E7)."""
+
+from hypothesis import given
+
+from repro.core.laws import (
+    domain_law_7_1_a,
+    domain_law_7_1_b,
+    domain_law_7_1_c,
+    domain_law_7_1_d,
+    domain_law_7_1_e,
+)
+from repro.xst.builders import xset, xtuple
+from repro.xst.domain import sigma_domain
+
+from tests.conftest import scope_maps, tuple_relations, xsets
+
+
+class TestConsequence71OnPaperShapes:
+    def test_union_law_concrete(self):
+        r = xset([xtuple(["a", "x"])])
+        q = xset([xtuple(["b", "y"])])
+        assert domain_law_7_1_a(r, q, xtuple([1]))
+
+    def test_intersection_can_be_strict(self):
+        # Two different tuples with the same first column: the domains
+        # intersect even though the relations do not.
+        r = xset([xtuple(["k", "p"])])
+        q = xset([xtuple(["k", "q"])])
+        sigma = xtuple([1])
+        assert domain_law_7_1_b(r, q, sigma)
+        assert sigma_domain(r & q, sigma).is_empty
+        assert not (sigma_domain(r, sigma) & sigma_domain(q, sigma)).is_empty
+
+    def test_difference_can_be_strict(self):
+        r = xset([xtuple(["k", "p"]), xtuple(["k", "q"])])
+        q = xset([xtuple(["k", "p"])])
+        sigma = xtuple([1])
+        assert domain_law_7_1_c(r, q, sigma)
+        # D(R) ~ D(Q) is empty, D(R ~ Q) is {<k>}: strict inclusion.
+        assert (sigma_domain(r, sigma) - sigma_domain(q, sigma)).is_empty
+        assert not sigma_domain(r - q, sigma).is_empty
+
+
+class TestConsequence71Properties:
+    @given(xsets(), xsets(), scope_maps())
+    def test_a_union(self, r, q, sigma):
+        assert domain_law_7_1_a(r, q, sigma)
+
+    @given(xsets(), xsets(), scope_maps())
+    def test_b_intersection(self, r, q, sigma):
+        assert domain_law_7_1_b(r, q, sigma)
+
+    @given(xsets(), xsets(), scope_maps())
+    def test_c_difference(self, r, q, sigma):
+        assert domain_law_7_1_c(r, q, sigma)
+
+    @given(xsets(), xsets(), scope_maps())
+    def test_d_monotone(self, r, q, sigma):
+        assert domain_law_7_1_d(r, q, sigma)
+
+    @given(xsets(), xsets(), scope_maps())
+    def test_d_monotone_forced_subset(self, r, extra, sigma):
+        assert domain_law_7_1_d(r, r | extra, sigma)
+
+    @given(xsets())
+    def test_e_empty_sigma(self, r):
+        assert domain_law_7_1_e(r)
+
+    @given(tuple_relations(), scope_maps())
+    def test_laws_hold_on_relation_shapes_too(self, r, sigma):
+        assert domain_law_7_1_a(r, r, sigma)
+        assert domain_law_7_1_b(r, r, sigma)
+        assert domain_law_7_1_c(r, r, sigma)

@@ -1,0 +1,103 @@
+"""Image (Defs 3.10/7.1) and its CST collapse (Defs 3.1/3.6)."""
+
+from hypothesis import given
+
+from repro.core.sigma import Sigma
+from repro.cst.relations import image as cst_ground_truth
+from repro.xst.builders import xpair, xset, xtuple
+from repro.xst.domain import sigma_domain
+from repro.xst.image import cst_image, image
+from repro.xst.restrict import sigma_restrict
+from repro.xst.xset import EMPTY, XSet
+
+from tests.conftest import pair_relations
+
+
+class TestExample81:
+    def test_forward_application_shape(self, example_8_1_graph, cst_sigma):
+        result = image(example_8_1_graph, xset([xtuple(["a"])]), cst_sigma)
+        assert result == xset([xtuple(["x"])])
+
+    def test_inverse_application_shape(self, example_8_1_graph, cst_sigma):
+        tau = cst_sigma.inverted()
+        result = image(example_8_1_graph, xset([xtuple(["x"])]), tau)
+        assert result == xset([xtuple(["a"]), xtuple(["c"])])
+
+    def test_multi_key_image_unions(self, example_8_1_graph, cst_sigma):
+        keys = xset([xtuple(["a"]), xtuple(["b"])])
+        assert image(example_8_1_graph, keys, cst_sigma) == xset(
+            [xtuple(["x"]), xtuple(["y"])]
+        )
+
+
+class TestDefinitionStructure:
+    def test_image_is_domain_of_restriction(self, example_8_1_graph, cst_sigma):
+        keys = xset([xtuple(["a"]), xtuple(["c"])])
+        two_step = sigma_domain(
+            sigma_restrict(example_8_1_graph, keys, cst_sigma.sigma1),
+            cst_sigma.sigma2,
+        )
+        assert image(example_8_1_graph, keys, cst_sigma) == two_step
+
+    def test_sigma_accepts_plain_pairs(self, example_8_1_graph):
+        plain = (xtuple([1]), xtuple([2]))
+        structured = Sigma.columns([1], [2])
+        keys = xset([xtuple(["b"])])
+        assert image(example_8_1_graph, keys, plain) == image(
+            example_8_1_graph, keys, structured
+        )
+
+
+class TestCSTCollapse:
+    @given(pair_relations(), pair_relations())
+    def test_xst_image_matches_classical_image(self, r, keys):
+        """cst_image agrees with the frozenset ground truth everywhere."""
+        classical_r = frozenset(
+            member.as_tuple() for member, _ in r.pairs()
+        )
+        classical_keys = frozenset(
+            member.as_tuple()[0] for member, _ in keys.pairs()
+        )
+        expected = cst_ground_truth(classical_r, classical_keys)
+        result = cst_image(r, keys)
+        as_elements = frozenset(
+            member.as_tuple()[0] for member, _ in result.pairs()
+        )
+        assert as_elements == expected
+
+    def test_cst_image_example(self):
+        f = xset([xpair("a", "x"), xpair("b", "y"), xpair("c", "x")])
+        keys = xset([xtuple(["a"]), xtuple(["c"])])
+        assert cst_image(f, keys) == xset([xtuple(["x"])])
+
+
+class TestEmptyCases:
+    def test_empty_relation(self, cst_sigma):
+        assert image(EMPTY, xset([xtuple(["a"])]), cst_sigma).is_empty
+
+    def test_empty_keys(self, example_8_1_graph, cst_sigma):
+        assert image(example_8_1_graph, EMPTY, cst_sigma).is_empty
+
+    def test_empty_sigma(self, example_8_1_graph):
+        empty_sigma = Sigma(EMPTY, EMPTY)
+        keys = xset([xtuple(["a"])])
+        assert image(example_8_1_graph, keys, empty_sigma).is_empty
+
+    def test_disjoint_keys(self, example_8_1_graph, cst_sigma):
+        keys = xset([xtuple(["nope"])])
+        assert image(example_8_1_graph, keys, cst_sigma).is_empty
+
+
+class TestWideSigmas:
+    def test_project_through_image(self):
+        triples = xset([xtuple(["k", "p", "q"]), xtuple(["k2", "r", "s"])])
+        sigma = Sigma.columns([1], [3, 2])
+        keys = xset([xtuple(["k"])])
+        assert image(triples, keys, sigma) == xset([xtuple(["q", "p"])])
+
+    def test_image_can_widen_output(self):
+        # sigma2 may duplicate a position into several output slots.
+        pairs = xset([xpair("k", "v")])
+        sigma = Sigma(xtuple([1]), XSet([(2, 1), (2, 2)]))
+        keys = xset([xtuple(["k"])])
+        assert image(pairs, keys, sigma) == xset([xtuple(["v", "v"])])

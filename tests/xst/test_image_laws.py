@@ -1,0 +1,125 @@
+"""Consequence C.1: the Image laws, property-tested (experiment E8)."""
+
+from hypothesis import given
+
+from repro.core.laws import (
+    all_image_laws,
+    image_law_c1_a,
+    image_law_c1_b,
+    image_law_c1_c,
+    image_law_c1_d,
+    image_law_c1_e,
+    image_law_c1_f,
+    image_law_c1_g,
+    image_law_c1_h,
+    image_law_c1_i,
+    image_law_c1_j,
+    image_law_c1_k,
+)
+from repro.core.sigma import Sigma
+from repro.xst.builders import xpair, xset, xtuple
+from repro.xst.domain import sigma_domain
+from repro.xst.image import image
+
+from tests.conftest import pair_relations
+
+
+def cst_sigma() -> Sigma:
+    return Sigma.columns([1], [2])
+
+
+class TestC1OnPaperShapes:
+    def test_union_distribution_concrete(self):
+        q = xset([xpair("a", "x"), xpair("b", "y")])
+        a = xset([xtuple(["a"])])
+        b = xset([xtuple(["b"])])
+        assert image_law_c1_a(q, a, b, cst_sigma())
+        assert image(q, a | b, cst_sigma()) == xset(
+            [xtuple(["x"]), xtuple(["y"])]
+        )
+
+    def test_intersection_inclusion_is_strict_sometimes(self):
+        # One key reaching x via two relations... here: two keys, one
+        # shared output; A n B empty but images intersect.
+        q = xset([xpair("a", "x"), xpair("b", "x")])
+        a = xset([xtuple(["a"])])
+        b = xset([xtuple(["b"])])
+        sigma = cst_sigma()
+        assert image_law_c1_b(q, a, b, sigma)
+        assert image(q, a & b, sigma).is_empty
+        assert not (image(q, a, sigma) & image(q, b, sigma)).is_empty
+
+
+class TestC1Properties:
+    @given(pair_relations(), pair_relations(), pair_relations())
+    def test_a_union_over_keys(self, q, a, b):
+        assert image_law_c1_a(q, a, b, cst_sigma())
+
+    @given(pair_relations(), pair_relations(), pair_relations())
+    def test_b_intersection_over_keys(self, q, a, b):
+        assert image_law_c1_b(q, a, b, cst_sigma())
+
+    @given(pair_relations(), pair_relations(), pair_relations())
+    def test_c_difference_over_keys(self, q, a, b):
+        assert image_law_c1_c(q, a, b, cst_sigma())
+
+    @given(pair_relations(), pair_relations(), pair_relations())
+    def test_d_monotone_over_keys(self, q, a, extra):
+        assert image_law_c1_d(q, a, a | extra, cst_sigma())
+
+    @given(pair_relations(), pair_relations())
+    def test_e_domain_intersection_for_key_shaped_operands(self, q, a):
+        # Drive clause (e) with key sets drawn from the right shape:
+        # 1-tuples, as CST restriction uses.
+        keys = sigma_domain(a, xtuple([1]))
+        assert image_law_c1_e(q, keys, cst_sigma())
+
+    @given(pair_relations(), pair_relations())
+    def test_f_image_is_domain_of_restriction(self, q, a):
+        assert image_law_c1_f(q, a, cst_sigma())
+
+    @given(pair_relations(), pair_relations())
+    def test_g_empty_operands(self, q, a):
+        assert image_law_c1_g(q, a, cst_sigma())
+
+    @given(pair_relations())
+    def test_h_disjoint_domain_for_key_shaped_operands(self, q):
+        # Keys definitely outside the domain of q.
+        outside = xset([xtuple(["outside-key"])])
+        assert image_law_c1_h(q, outside, cst_sigma())
+
+    @given(pair_relations(), pair_relations(), pair_relations())
+    def test_i_union_over_relations(self, q, r, a):
+        assert image_law_c1_i(q, r, a, cst_sigma())
+
+    @given(pair_relations(), pair_relations(), pair_relations())
+    def test_j_intersection_over_relations(self, q, r, a):
+        assert image_law_c1_j(q, r, a, cst_sigma())
+
+    @given(pair_relations(), pair_relations(), pair_relations())
+    def test_k_difference_over_relations(self, q, r, a):
+        assert image_law_c1_k(q, r, a, cst_sigma())
+
+    @given(pair_relations(), pair_relations(), pair_relations(), pair_relations())
+    def test_conjunction_helper(self, q, r, a, b):
+        assert all_image_laws(q, r, a, b, cst_sigma())
+
+
+class TestC1WithWiderSigmas:
+    @given(pair_relations(), pair_relations(), pair_relations())
+    def test_union_laws_survive_inverted_sigma(self, q, a, b):
+        tau = cst_sigma().inverted()
+        assert image_law_c1_a(q, a, b, tau)
+        assert image_law_c1_i(q, a, b, tau)
+
+    @given(pair_relations(), pair_relations())
+    def test_f_structure_with_widening_sigma(self, q, a):
+        widening = Sigma(xtuple([1]), sigma_map())
+        assert image_law_c1_f(q, a, widening)
+
+
+def sigma_map():
+    """sigma2 that duplicates column 2 into two output positions."""
+    from repro.xst.xset import XSet
+
+    return XSet([(2, 1), (2, 2)])

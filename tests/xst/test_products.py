@@ -1,0 +1,165 @@
+"""Products (Defs 9.3-9.7): cross product, tag, Cartesian, Theorem 9.4."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import NotATupleError
+from repro.xst.builders import xset, xtuple
+from repro.xst.products import cartesian, cross, nfold_cartesian, tag
+from repro.xst.tuples import tup
+from repro.xst.xset import EMPTY, XSet
+
+from tests.conftest import atoms
+
+classical_sets = st.lists(atoms, max_size=3).map(xset)
+tuple_sets = st.lists(st.lists(atoms, max_size=2), max_size=3).map(
+    lambda rows: xset(xtuple(row) for row in rows)
+)
+uniform_tuple_sets = st.lists(
+    st.lists(atoms, min_size=2, max_size=2), max_size=3
+).map(lambda rows: xset(xtuple(row) for row in rows))
+
+
+class TestCross:
+    def test_members_concatenate(self):
+        left = xset([xtuple(["a", "b"])])
+        right = xset([xtuple(["x"])])
+        assert cross(left, right) == xset([xtuple(["a", "b", "x"])])
+
+    def test_all_combinations_appear(self):
+        left = xset([xtuple(["a"]), xtuple(["b"])])
+        right = xset([xtuple(["x"]), xtuple(["y"])])
+        assert len(cross(left, right)) == 4
+
+    def test_scopes_concatenate_too(self):
+        left = XSet([(xtuple(["a"]), xtuple(["S"]))])
+        right = XSet([(xtuple(["x"]), xtuple(["T"]))])
+        result = cross(left, right)
+        assert result == XSet(
+            [(xtuple(["a", "x"]), xtuple(["S", "T"]))]
+        )
+
+    def test_empty_operand_gives_empty_product(self):
+        assert cross(EMPTY, xset([xtuple(["x"])])).is_empty
+
+    def test_atom_members_are_rejected(self):
+        with pytest.raises(NotATupleError):
+            cross(xset(["atom"]), xset([xtuple(["x"])]))
+
+    def test_theorem_9_4_associativity_example(self):
+        a = xset([xtuple(["a"])])
+        b = xset([xtuple(["b1"]), xtuple(["b2"])])
+        c = xset([xtuple(["c"])])
+        assert cross(cross(a, b), c) == cross(a, cross(b, c))
+
+    @given(tuple_sets, tuple_sets, tuple_sets)
+    def test_theorem_9_4_associativity(self, a, b, c):
+        assert cross(cross(a, b), c) == cross(a, cross(b, c))
+
+    @given(uniform_tuple_sets, uniform_tuple_sets)
+    def test_cardinality_multiplies_for_uniform_arity(self, a, b):
+        # Distinct same-arity tuples concatenate to distinct results,
+        # so the product is exactly multiplicative.  (Mixed arities can
+        # collide: {} . <x> == <x> . {} -- hypothesis found that.)
+        assert len(cross(a, b)) == len(a) * len(b)
+
+    @given(tuple_sets, tuple_sets)
+    def test_cardinality_is_bounded_by_the_product(self, a, b):
+        assert len(cross(a, b)) <= len(a) * len(b)
+
+
+class TestTag:
+    def test_classical_members_use_def_9_6(self):
+        tagged = tag(xset(["v"]), "mark")
+        assert tagged == xset([XSet([("v", "mark")])])
+
+    def test_scoped_members_use_def_9_5(self):
+        source = XSet([("v", "s")])
+        tagged = tag(source, "mark")
+        expected = XSet(
+            [(XSet([("v", "mark")]), XSet([("s", "mark")]))]
+        )
+        assert tagged == expected
+
+    def test_integer_tags_build_positions(self):
+        assert tag(xset(["a"]), 1) == xset([xtuple(["a"])])
+
+    def test_tag_preserves_cardinality(self):
+        source = xset(["a", "b", "c"])
+        assert len(tag(source, 9)) == 3
+
+
+class TestCartesian:
+    def test_def_9_7_shape(self):
+        a, b = xset(["a"]), xset(["x", "y"])
+        result = cartesian(a, b)
+        assert result == xset(
+            [xtuple(["a", "x"]), xtuple(["a", "y"])]
+        )
+
+    def test_members_are_ordered_pairs(self):
+        result = cartesian(xset([1]), xset([2]))
+        ((member, _),) = result.pairs()
+        assert tup(member) == 2
+        assert member.as_tuple() == (1, 2)
+
+    def test_classical_cartesian_is_not_associative_unlike_cross(self):
+        a, b, c = xset([1]), xset([2]), xset([3])
+        nested_left = cartesian(cartesian(a, b), c)
+        # cartesian over a set of pairs nests those pairs as elements,
+        # exactly the classical wart Theorem 9.4 fixes for cross().
+        ((member, _),) = nested_left.pairs()
+        first, second = member.as_tuple()
+        assert isinstance(first, XSet) and first.as_tuple() == (1, 2)
+        assert second == 3
+
+    @given(classical_sets, classical_sets)
+    def test_cardinality_multiplies(self, a, b):
+        assert len(cartesian(a, b)) == len(a.elements()) * len(b.elements())
+
+    @given(classical_sets, classical_sets)
+    def test_matches_python_product(self, a, b):
+        expected = {
+            (x, y) for x in a.elements() for y in b.elements()
+        }
+        actual = {
+            member.as_tuple() for member, _ in cartesian(a, b).pairs()
+        }
+        assert actual == expected
+
+
+class TestNfoldCartesian:
+    def test_three_way_flat_product(self):
+        result = nfold_cartesian(xset([1]), xset([2]), xset([3]))
+        assert result == xset([xtuple([1, 2, 3])])
+
+    def test_matches_itertools_product(self):
+        from itertools import product as py_product
+
+        a, b, c = xset([1, 2]), xset(["p", "q"]), xset([True])
+        direct = nfold_cartesian(a, b, c)
+        expected = {
+            combo
+            for combo in py_product(a.elements(), b.elements(), c.elements())
+        }
+        assert {m.as_tuple() for m, _ in direct.pairs()} == expected
+
+    def test_grouping_is_irrelevant_for_the_flat_shape(self):
+        # cross() over lifted operands associates (Thm 9.4), so the
+        # n-fold product can be computed with any pairwise grouping.
+        a, b, c = xset([1, 2]), xset(["p"]), xset([True, False])
+        lifted = [
+            xset(xtuple([atom]) for atom in operand.elements())
+            for operand in (a, b, c)
+        ]
+        left_heavy = cross(cross(lifted[0], lifted[1]), lifted[2])
+        right_heavy = cross(lifted[0], cross(lifted[1], lifted[2]))
+        assert left_heavy == right_heavy == nfold_cartesian(a, b, c)
+
+    def test_no_operands_gives_empty(self):
+        assert nfold_cartesian() == EMPTY
+
+    def test_scoped_operands_are_rejected(self):
+        with pytest.raises(NotATupleError):
+            nfold_cartesian(XSet([("a", "s")]))

@@ -1,0 +1,185 @@
+"""Relative product (Def 10.1): the eight section-10 parameterizations.
+
+The paper lists eight sigma/omega settings showing how one operation
+yields differently-shaped joins.  Each case below uses operands chosen
+so the join succeeds and the expected member is computed by hand from
+Def 10.1; cases 7 and 8 are the wide-tuple settings printed in the
+paper verbatim.
+"""
+
+from hypothesis import given
+
+from repro.xst.builders import xpair, xset, xtuple
+from repro.xst.relative_product import (
+    cst_relative_product,
+    relative_product,
+    relative_product_nested_loop,
+)
+from repro.cst.relations import relative_product as cst_ground_truth
+from repro.xst.xset import EMPTY, XSet
+
+from tests.conftest import pair_relations
+
+
+def sigma_map(*pairs):
+    """Scope map ``{old^new, ...}`` from (old, new) pairs."""
+    return XSet(list(pairs))
+
+
+class TestSection10Cases:
+    def test_case_1_classical_compose(self):
+        # <a,b> / <b,c> = <a,c>
+        sigma = (sigma_map((1, 1)), sigma_map((2, 1)))
+        omega = (sigma_map((1, 1)), sigma_map((2, 2)))
+        f, g = xset([xpair("a", "b")]), xset([xpair("b", "c")])
+        assert relative_product(f, g, sigma, omega) == xset([xpair("a", "c")])
+
+    def test_case_2_keep_both_right_columns(self):
+        # <a,b> / <b,c> = <a,b,c>
+        sigma = (sigma_map((1, 1)), sigma_map((2, 1)))
+        omega = (sigma_map((1, 1)), sigma_map((1, 2), (2, 3)))
+        f, g = xset([xpair("a", "b")]), xset([xpair("b", "c")])
+        assert relative_product(f, g, sigma, omega) == xset(
+            [xtuple(["a", "b", "c"])]
+        )
+
+    def test_case_3_keep_left_whole_key_on_firsts(self):
+        # <a,b> / <a,c> = <a,b,c>
+        sigma = (sigma_map((1, 1), (2, 2)), sigma_map((1, 1)))
+        omega = (sigma_map((1, 1)), sigma_map((2, 3)))
+        f, g = xset([xpair("a", "b")]), xset([xpair("a", "c")])
+        assert relative_product(f, g, sigma, omega) == xset(
+            [xtuple(["a", "b", "c"])]
+        )
+
+    def test_case_4_swap_left_key_on_firsts(self):
+        # <b,a> / <b,c> = <a,c>
+        sigma = (sigma_map((2, 1)), sigma_map((1, 1)))
+        omega = (sigma_map((1, 1)), sigma_map((2, 2)))
+        f, g = xset([xpair("b", "a")]), xset([xpair("b", "c")])
+        assert relative_product(f, g, sigma, omega) == xset([xpair("a", "c")])
+
+    def test_case_5_key_on_right_second(self):
+        # <a,b> / <c,b> = <a,c,b>
+        sigma = (sigma_map((1, 1)), sigma_map((2, 1)))
+        omega = (sigma_map((2, 1)), sigma_map((1, 2), (2, 3)))
+        f, g = xset([xpair("a", "b")]), xset([xpair("c", "b")])
+        assert relative_product(f, g, sigma, omega) == xset(
+            [xtuple(["a", "c", "b"])]
+        )
+
+    def test_case_6_backwards_compose(self):
+        # <a,b> / <c,b> = <a,c>
+        sigma = (sigma_map((1, 1)), sigma_map((2, 1)))
+        omega = (sigma_map((2, 1)), sigma_map((1, 2)))
+        f, g = xset([xpair("a", "b")]), xset([xpair("c", "b")])
+        assert relative_product(f, g, sigma, omega) == xset([xpair("a", "c")])
+
+    def test_case_7_wide_reordering(self):
+        # sigma = <{2^1,3^2,1^3}, {2^1,3^2}>,
+        # omega = <{4^1,3^2}, {2^4,4^5,3^6,1^7,1^8}>
+        sigma = (
+            sigma_map((2, 1), (3, 2), (1, 3)),
+            sigma_map((2, 1), (3, 2)),
+        )
+        omega = (
+            sigma_map((4, 1), (3, 2)),
+            sigma_map((2, 4), (4, 5), (3, 6), (1, 7), (1, 8)),
+        )
+        f = xset([xtuple([10, 2, 3])])
+        g = xset([xtuple(["u", "v", 3, 2])])
+        expected = xset([xtuple([2, 3, 10, "v", 2, 3, "u", "u"])])
+        assert relative_product(f, g, sigma, omega) == expected
+
+    def test_case_8_wide_equi_join(self):
+        # Join 5-tuples and 6-tuples on their first three columns.
+        sigma = (
+            sigma_map((1, 1), (2, 2), (3, 3), (4, 4), (5, 5)),
+            sigma_map((1, 1), (2, 2), (3, 3)),
+        )
+        omega = (
+            sigma_map((1, 1), (2, 2), (3, 3)),
+            sigma_map((4, 6), (5, 7), (6, 8)),
+        )
+        f = xset([xtuple([1, 2, 3, 4, 5])])
+        g = xset([xtuple([1, 2, 3, "a", "b", "c"])])
+        expected = xset([xtuple([1, 2, 3, 4, 5, "a", "b", "c"])])
+        assert relative_product(f, g, sigma, omega) == expected
+
+    def test_case_8_mismatched_keys_produce_nothing(self):
+        sigma = (
+            sigma_map((1, 1), (2, 2), (3, 3), (4, 4), (5, 5)),
+            sigma_map((1, 1), (2, 2), (3, 3)),
+        )
+        omega = (
+            sigma_map((1, 1), (2, 2), (3, 3)),
+            sigma_map((4, 6), (5, 7), (6, 8)),
+        )
+        f = xset([xtuple([1, 2, 3, 4, 5])])
+        g = xset([xtuple([9, 9, 9, "a", "b", "c"])])
+        assert relative_product(f, g, sigma, omega).is_empty
+
+
+class TestCSTCompatibility:
+    def test_cst_alias(self):
+        f = xset([xpair("a", "b"), xpair("p", "q")])
+        g = xset([xpair("b", "c"), xpair("q", "r")])
+        assert cst_relative_product(f, g) == xset(
+            [xpair("a", "c"), xpair("p", "r")]
+        )
+
+    @given(pair_relations(), pair_relations())
+    def test_matches_classical_ground_truth(self, f, g):
+        classical_f = frozenset(m.as_tuple() for m, _ in f.pairs())
+        classical_g = frozenset(m.as_tuple() for m, _ in g.pairs())
+        expected = cst_ground_truth(classical_f, classical_g)
+        result = cst_relative_product(f, g)
+        assert {
+            m.as_tuple() for m, _ in result.pairs()
+        } == set(expected)
+
+
+class TestImplementationEquivalence:
+    @given(pair_relations(), pair_relations())
+    def test_hash_join_equals_nested_loop(self, f, g):
+        sigma = (sigma_map((1, 1)), sigma_map((2, 1)))
+        omega = (sigma_map((1, 1)), sigma_map((2, 2)))
+        assert relative_product(f, g, sigma, omega) == (
+            relative_product_nested_loop(f, g, sigma, omega)
+        )
+
+    @given(pair_relations(), pair_relations())
+    def test_hash_join_equals_nested_loop_wide_output(self, f, g):
+        sigma = (sigma_map((1, 1)), sigma_map((2, 1)))
+        omega = (sigma_map((1, 1)), sigma_map((1, 2), (2, 3)))
+        assert relative_product(f, g, sigma, omega) == (
+            relative_product_nested_loop(f, g, sigma, omega)
+        )
+
+
+class TestDegenerateKeys:
+    def test_empty_key_specs_cross_everything(self):
+        # With sigma2 = omega1 = {}, every pair of members matches.
+        sigma = (sigma_map((1, 1)), EMPTY)
+        omega = (EMPTY, sigma_map((1, 2)))
+        f = xset([xtuple(["a"]), xtuple(["b"])])
+        g = xset([xtuple(["x"]), xtuple(["y"])])
+        result = relative_product(f, g, sigma, omega)
+        assert len(result) == 4
+        assert result.contains(xtuple(["a", "x"]))
+
+    def test_empty_operands(self):
+        sigma = (sigma_map((1, 1)), sigma_map((2, 1)))
+        omega = (sigma_map((1, 1)), sigma_map((2, 2)))
+        assert relative_product(EMPTY, xset([xpair(1, 2)]), sigma, omega).is_empty
+        assert relative_product(xset([xpair(1, 2)]), EMPTY, sigma, omega).is_empty
+
+    def test_atom_members_join_via_empty_keys(self):
+        # Atoms re-scope to {}, so two atom members always share the
+        # empty join key; kept parts are also empty, so the result is
+        # one empty-member pair.
+        sigma = (EMPTY, EMPTY)
+        omega = (EMPTY, EMPTY)
+        f, g = xset(["p"]), xset(["q"])
+        result = relative_product(f, g, sigma, omega)
+        assert result == xset([EMPTY])

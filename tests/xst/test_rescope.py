@@ -1,0 +1,123 @@
+"""Re-scoping (Defs 7.3 / 7.5): the paper's examples plus properties."""
+
+from hypothesis import given
+
+from repro.xst.builders import scoped, xset, xtuple
+from repro.xst.rescope import (
+    identity_sigma_for,
+    rescope_by_element,
+    rescope_by_scope,
+    rescope_value_by_element,
+    rescope_value_by_scope,
+)
+from repro.xst.xset import EMPTY, XSet
+
+from tests.conftest import scope_maps, xsets
+
+
+class TestRescopeByScopePaperExample:
+    def test_def_7_3_worked_example(self):
+        # {a^x, b^y, c^z}^{/{x^1, y^2, z^3}/} = {a^1, b^2, c^3}
+        a = scoped([("a", "x"), ("b", "y"), ("c", "z")])
+        sigma = scoped([("x", 1), ("y", 2), ("z", 3)])
+        assert rescope_by_scope(a, sigma) == xtuple(["a", "b", "c"])
+
+    def test_unmapped_scopes_are_dropped(self):
+        a = scoped([("a", "x"), ("b", "y")])
+        sigma = scoped([("x", 1)])
+        assert rescope_by_scope(a, sigma) == XSet([("a", 1)])
+
+    def test_one_scope_to_many_duplicates(self):
+        a = scoped([("a", "x")])
+        sigma = scoped([("x", 1), ("x", 2)])
+        assert rescope_by_scope(a, sigma) == XSet([("a", 1), ("a", 2)])
+
+    def test_two_scopes_to_one_merges(self):
+        a = scoped([("a", "x"), ("b", "y")])
+        sigma = scoped([("x", 1), ("y", 1)])
+        assert rescope_by_scope(a, sigma) == XSet([("a", 1), ("b", 1)])
+
+    def test_empty_sigma_empties_everything(self):
+        a = scoped([("a", "x")])
+        assert rescope_by_scope(a, EMPTY) == EMPTY
+
+
+class TestRescopeByElementPaperExample:
+    def test_def_7_5_worked_example(self):
+        # {a^1, b^2, c^3}^{\{w^1, v^2, t^3}\} = {a^w, b^v, c^t}
+        a = xtuple(["a", "b", "c"])
+        sigma = scoped([("w", 1), ("v", 2), ("t", 3)])
+        assert rescope_by_element(a, sigma) == scoped(
+            [("a", "w"), ("b", "v"), ("c", "t")]
+        )
+
+    def test_by_element_reads_sigma_elements_as_new_scopes(self):
+        a = XSet([("value", "old")])
+        sigma = XSet([("new", "old")])
+        assert rescope_by_element(a, sigma) == XSet([("value", "new")])
+
+    def test_by_element_and_by_scope_are_transposes(self):
+        a = xtuple(["p", "q"])
+        by_scope_sigma = scoped([(1, "u"), (2, "v")])   # old -> new
+        by_element_sigma = scoped([("u", 1), ("v", 2)])  # new @ old
+        assert rescope_by_scope(a, by_scope_sigma) == rescope_by_element(
+            a, by_element_sigma
+        )
+
+
+class TestAtomHandling:
+    def test_atom_values_rescope_to_empty(self):
+        assert rescope_value_by_scope("atom", xtuple([1])) == EMPTY
+        assert rescope_value_by_element("atom", xtuple([1])) == EMPTY
+
+    def test_set_values_delegate(self):
+        a = xtuple(["a"])
+        sigma = scoped([(1, 9)])
+        assert rescope_value_by_scope(a, sigma) == XSet([("a", 9)])
+
+
+class TestIdentitySigma:
+    def test_identity_round_trips(self):
+        a = scoped([("a", "x"), ("b", 2), ("c", EMPTY)])
+        assert rescope_by_scope(a, identity_sigma_for(a)) == a
+
+    @given(xsets())
+    def test_identity_round_trips_everywhere(self, a):
+        assert rescope_by_scope(a, identity_sigma_for(a)) == a
+
+    def test_identity_of_empty(self):
+        assert identity_sigma_for(EMPTY) == EMPTY
+
+
+class TestRescopeProperties:
+    @given(xsets(), scope_maps())
+    def test_rescope_distributes_over_union(self, a, sigma):
+        b = xset(["extra"])
+        assert rescope_by_scope(a | b, sigma) == rescope_by_scope(
+            a, sigma
+        ) | rescope_by_scope(b, sigma)
+
+    @given(xsets(), xsets(), scope_maps())
+    def test_rescope_monotone(self, a, b, sigma):
+        merged = a | b
+        assert rescope_by_scope(a, sigma).issubset(rescope_by_scope(merged, sigma))
+
+    @given(xsets(), scope_maps())
+    def test_result_scopes_come_from_sigma(self, a, sigma):
+        result = rescope_by_scope(a, sigma)
+        allowed = set(sigma.scopes())
+        assert all(scope in allowed for _, scope in result.pairs())
+
+    @given(xsets(), scope_maps())
+    def test_by_element_scopes_come_from_sigma_elements(self, a, sigma):
+        result = rescope_by_element(a, sigma)
+        allowed = set(sigma.elements())
+        assert all(scope in allowed for _, scope in result.pairs())
+
+    @given(xsets(), scope_maps())
+    def test_rescope_never_invents_elements(self, a, sigma):
+        original = set(a.elements())
+        assert all(
+            element in original
+            for element in rescope_by_scope(a, sigma).elements()
+        )

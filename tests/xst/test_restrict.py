@@ -1,0 +1,144 @@
+"""sigma-Restriction (Def 7.6): CST compatibility, appendix usage, edges."""
+
+from hypothesis import given
+
+from repro.xst.builders import scoped, xpair, xset, xtuple
+from repro.xst.restrict import restrict_1, sigma_restrict
+from repro.xst.xset import EMPTY, XSet
+
+from tests.conftest import pair_relations, xsets
+
+
+def _sigma_1() -> XSet:
+    """The sigma ``<1>`` keying on position 1."""
+    return xtuple([1])
+
+
+class TestCSTShape:
+    def test_restriction_keeps_matching_first_components(self):
+        f = xset([xpair("a", "x"), xpair("b", "y"), xpair("c", "x")])
+        keys = xset([xtuple(["a"]), xtuple(["c"])])
+        assert sigma_restrict(f, keys, _sigma_1()) == xset(
+            [xpair("a", "x"), xpair("c", "x")]
+        )
+
+    def test_restrict_1_alias(self):
+        f = xset([xpair("a", "x"), xpair("b", "y")])
+        assert restrict_1(f, xset([xtuple(["b"])])) == xset([xpair("b", "y")])
+
+    def test_missing_key_keeps_nothing(self):
+        f = xset([xpair("a", "x")])
+        assert restrict_1(f, xset([xtuple(["zzz"])])).is_empty
+
+    def test_appendix_b_restriction_step(self):
+        # f |_{<1>} {<a>} keeps only the member starting with a.
+        f = xset(
+            [xtuple(["a", "a", "a", "b", "b"]), xtuple(["b", "b", "a", "a", "b"])]
+        )
+        kept = sigma_restrict(f, xset([xtuple(["a"])]), _sigma_1())
+        assert kept == xset([xtuple(["a", "a", "a", "b", "b"])])
+
+
+class TestKeyWidths:
+    def test_two_column_keys(self):
+        f = xset([xtuple(["a", "b", 1]), xtuple(["a", "c", 2])])
+        sigma = xtuple([1, 2])
+        keys = xset([xtuple(["a", "b"])])
+        assert sigma_restrict(f, keys, sigma) == xset([xtuple(["a", "b", 1])])
+
+    def test_key_on_second_position(self):
+        f = xset([xpair("a", "x"), xpair("b", "y")])
+        # By-element sigma {2^1}: key position 1 matches member position 2.
+        sigma = XSet([(2, 1)])
+        keys = xset([xtuple(["y"])])
+        assert sigma_restrict(f, keys, sigma) == xset([xpair("b", "y")])
+
+    def test_attribute_scoped_keys(self):
+        rows = xset(
+            [
+                scoped([("ada", "name"), (3, "dept")]),
+                scoped([("alan", "name"), (5, "dept")]),
+            ]
+        )
+        sigma = XSet([("dept", "dept")])
+        keys = xset([scoped([(3, "dept")])])
+        assert sigma_restrict(rows, keys, sigma) == xset(
+            [scoped([("ada", "name"), (3, "dept")])]
+        )
+
+
+class TestLiteralReadingConsequences:
+    def test_empty_fragment_keys_are_universal(self):
+        # An atom in A re-scopes to the empty fragment and keeps all of R.
+        f = xset([xpair("a", "x"), xpair("b", "y")])
+        assert sigma_restrict(f, xset(["atom-key"]), _sigma_1()) == f
+
+    def test_atom_members_of_r_survive_only_empty_fragments(self):
+        r = xset(["atom-member"])
+        tuple_key = xset([xtuple(["a"])])
+        assert sigma_restrict(r, tuple_key, _sigma_1()).is_empty
+        atom_key = xset(["whatever"])
+        assert sigma_restrict(r, atom_key, _sigma_1()) == r
+
+    def test_partial_keys_trigger_wider_members(self):
+        # With a two-column sigma, a key supplying only column 1 still
+        # matches: its re-scoped fragment is a subset of the member.
+        f = xset([xtuple(["a", "b"])])
+        sigma = xtuple([1, 2])
+        partial = xset([xtuple(["a"])])
+        assert sigma_restrict(f, partial, sigma) == f
+
+
+class TestScopeSideCondition:
+    def test_member_scope_condition_filters(self):
+        member = xtuple(["a"])
+        r = XSet([(member, xtuple(["S"])), (member, xtuple(["T"]))])
+        # Key whose own scope re-scopes into <S> only.
+        keys = XSet([(xtuple(["a"]), xtuple(["S"]))])
+        sigma = _sigma_1()
+        result = sigma_restrict(r, keys, sigma)
+        assert result == XSet([(member, xtuple(["S"]))])
+
+    def test_classical_key_scope_matches_any_member_scope(self):
+        member = xtuple(["a"])
+        r = XSet([(member, xtuple(["S"]))])
+        keys = xset([xtuple(["a"])])  # key scope {} re-scopes to {}
+        assert sigma_restrict(r, keys, _sigma_1()) == r
+
+
+class TestRestrictionProperties:
+    def test_empty_inputs(self):
+        f = xset([xpair("a", "x")])
+        assert sigma_restrict(EMPTY, xset([xtuple(["a"])]), _sigma_1()).is_empty
+        assert sigma_restrict(f, EMPTY, _sigma_1()).is_empty
+
+    @given(pair_relations(), pair_relations())
+    def test_result_is_always_a_subset_of_r(self, r, keys):
+        assert sigma_restrict(r, keys, _sigma_1()).issubset(r)
+
+    @given(pair_relations(), pair_relations(), pair_relations())
+    def test_monotone_in_the_key_set(self, r, small, extra):
+        big = small | extra
+        assert sigma_restrict(r, small, _sigma_1()).issubset(
+            sigma_restrict(r, big, _sigma_1())
+        )
+
+    @given(pair_relations(), pair_relations(), pair_relations())
+    def test_monotone_in_r(self, r_small, r_extra, keys):
+        r_big = r_small | r_extra
+        assert sigma_restrict(r_small, keys, _sigma_1()).issubset(
+            sigma_restrict(r_big, keys, _sigma_1())
+        )
+
+    @given(pair_relations())
+    def test_restriction_by_own_domain_is_identity(self, r):
+        from repro.xst.domain import sigma_domain
+
+        keys = sigma_domain(r, _sigma_1())
+        assert sigma_restrict(r, keys, _sigma_1()) == r
+
+    @given(xsets(), xsets())
+    def test_empty_sigma_makes_every_key_universal(self, r, keys):
+        result = sigma_restrict(r, keys, EMPTY)
+        expected = r if keys else EMPTY
+        assert result == expected

@@ -1,0 +1,148 @@
+"""Serialization: lossless, canonical, self-delimiting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidAtomError
+from repro.xst.builders import xpair, xrecord, xset, xtuple
+from repro.xst.serialization import (
+    digest,
+    dump_stream,
+    dumps,
+    load_stream,
+    loads,
+)
+from repro.xst.xset import EMPTY, XSet
+
+from tests.conftest import xsets
+
+#: Atoms whose Python equality matches their type (no 1 / 1.0 / True
+#: overlap), so digests are fully canonical -- see the module caveat.
+typed_atoms = st.one_of(
+    st.none(),
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.text(max_size=12),
+    st.binary(max_size=12),
+)
+
+
+def typed_xsets():
+    base = st.builds(
+        lambda pairs: XSet(pairs),
+        st.lists(st.tuples(typed_atoms, typed_atoms), max_size=4),
+    )
+    return st.recursive(
+        base,
+        lambda children: st.builds(
+            lambda pairs: XSet(pairs),
+            st.lists(
+                st.tuples(st.one_of(typed_atoms, children),
+                          st.one_of(typed_atoms, children)),
+                max_size=3,
+            ),
+        ),
+        max_leaves=6,
+    )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            2**80,
+            -(2**80),
+            1.5,
+            -0.0,
+            2 + 3j,
+            "",
+            "héllo",
+            b"",
+            b"\x00\xff",
+            EMPTY,
+        ],
+    )
+    def test_atoms_round_trip(self, value):
+        assert loads(dumps(value)) == value
+
+    def test_types_survive(self):
+        assert isinstance(loads(dumps(1)), int)
+        assert isinstance(loads(dumps(1.0)), float)
+        assert loads(dumps(True)) is True
+        assert loads(dumps(b"x")) == b"x"
+
+    def test_shapes_round_trip(self):
+        values = [
+            xset(["a", "b"]),
+            xtuple([1, 2, 3]),
+            xpair("x", xtuple(["nested"])),
+            xrecord({"name": "ada", "dept": 3}),
+            XSet([(xset([1]), xset([2]))]),
+        ]
+        for value in values:
+            assert loads(dumps(value)) == value
+
+    @given(xsets())
+    def test_arbitrary_xsets_round_trip(self, value):
+        assert loads(dumps(value)) == value
+
+    def test_unserializable_values_rejected(self):
+        with pytest.raises(InvalidAtomError):
+            dumps(object())
+
+
+class TestCanonicity:
+    def test_equal_sets_share_bytes(self):
+        forward = XSet([("a", 1), ("b", 2)])
+        backward = XSet([("b", 2), ("a", 1)])
+        assert dumps(forward) == dumps(backward)
+
+    @given(typed_xsets())
+    def test_digest_is_construction_order_independent(self, value):
+        shuffled = XSet(tuple(reversed(value.pairs())))
+        assert digest(value) == digest(shuffled)
+
+    def test_different_sets_differ(self):
+        assert digest(xset(["a"])) != digest(xset(["b"]))
+        assert digest(xtuple(["a", "b"])) != digest(xtuple(["b", "a"]))
+
+    def test_scope_changes_the_digest(self):
+        assert digest(XSet([("a", 1)])) != digest(XSet([("a", 2)]))
+
+
+class TestErrors:
+    def test_truncated_input(self):
+        payload = dumps(xtuple([1, 2, 3]))
+        with pytest.raises(InvalidAtomError, match="truncated"):
+            loads(payload[:-2])
+
+    def test_trailing_bytes(self):
+        with pytest.raises(InvalidAtomError, match="trailing"):
+            loads(dumps(1) + b"junk")
+
+    def test_unknown_tag(self):
+        with pytest.raises(InvalidAtomError, match="unknown"):
+            loads(b"?")
+
+
+class TestStreams:
+    def test_stream_round_trip(self):
+        values = [xtuple([1]), "atom", xset(["a", "b"]), 42, EMPTY]
+        assert list(load_stream(dump_stream(values))) == values
+
+    def test_empty_stream(self):
+        assert list(load_stream(b"")) == []
+
+    def test_streams_concatenate(self):
+        left = dump_stream([1, 2])
+        right = dump_stream(["x"])
+        assert list(load_stream(left + right)) == [1, 2, "x"]
+
+    @given(st.lists(typed_xsets(), max_size=5))
+    def test_stream_property(self, values):
+        assert list(load_stream(dump_stream(values))) == values

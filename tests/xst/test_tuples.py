@@ -1,0 +1,121 @@
+"""Tuples (Defs 9.1/9.2/7.2): arity, concatenation, slicing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import NotATupleError
+from repro.xst.builders import xpair, xtuple
+from repro.xst.tuples import (
+    concat,
+    ordered_pair,
+    reverse_tuple,
+    shift_positions,
+    tup,
+    tuple_slice,
+)
+from repro.xst.xset import EMPTY, XSet
+
+from tests.conftest import atoms
+
+small_tuples = st.lists(atoms, max_size=5).map(xtuple)
+
+
+class TestTup:
+    def test_tup_of_n_tuple(self):
+        assert tup(xtuple(["a", "b", "c"])) == 3
+
+    def test_tup_of_empty_is_zero(self):
+        assert tup(EMPTY) == 0
+
+    def test_tup_rejects_atoms(self):
+        with pytest.raises(NotATupleError, match="atom"):
+            tup("a")
+
+    def test_tup_rejects_non_tuple_sets(self):
+        with pytest.raises(NotATupleError):
+            tup(XSet([("a", "scope")]))
+
+
+class TestConcat:
+    def test_paper_example(self):
+        left = xtuple(["a", "b", "c", "d"])
+        right = xtuple(["w", "x", "y", "z"])
+        assert concat(left, right) == xtuple(
+            ["a", "b", "c", "d", "w", "x", "y", "z"]
+        )
+
+    def test_arities_add(self):
+        left, right = xtuple(["a"]), xtuple(["b", "c"])
+        assert tup(concat(left, right)) == tup(left) + tup(right)
+
+    def test_empty_is_the_identity(self):
+        t = xtuple(["a", "b"])
+        assert concat(t, EMPTY) == t
+        assert concat(EMPTY, t) == t
+
+    def test_concat_is_not_commutative(self):
+        left, right = xtuple(["a"]), xtuple(["b"])
+        assert concat(left, right) != concat(right, left)
+
+    @given(small_tuples, small_tuples, small_tuples)
+    def test_concat_is_associative(self, a, b, c):
+        assert concat(concat(a, b), c) == concat(a, concat(b, c))
+
+    @given(small_tuples, small_tuples)
+    def test_concat_matches_python_concatenation(self, a, b):
+        assert concat(a, b).as_tuple() == a.as_tuple() + b.as_tuple()
+
+    def test_concat_rejects_non_tuples(self):
+        with pytest.raises(NotATupleError):
+            concat(XSet([("a", "s")]), xtuple(["b"]))
+
+
+class TestShiftAndSlice:
+    def test_shift_positions(self):
+        assert shift_positions(xtuple(["a", "b"]), 3) == XSet(
+            [("a", 4), ("b", 5)]
+        )
+
+    def test_slice_middle(self):
+        t = xtuple(["a", "b", "c", "d"])
+        assert tuple_slice(t, 2, 4) == xtuple(["b", "c"])
+
+    def test_slice_full(self):
+        t = xtuple(["a", "b"])
+        assert tuple_slice(t, 1, 3) == t
+
+    def test_slice_empty_range(self):
+        assert tuple_slice(xtuple(["a"]), 1, 1) == EMPTY
+
+    def test_slice_out_of_range(self):
+        with pytest.raises(NotATupleError):
+            tuple_slice(xtuple(["a"]), 1, 5)
+
+    def test_reverse(self):
+        assert reverse_tuple(xtuple(["a", "b", "c"])) == xtuple(["c", "b", "a"])
+
+    @given(small_tuples)
+    def test_reverse_is_involutive(self, t):
+        assert reverse_tuple(reverse_tuple(t)) == t
+
+
+class TestOrderedPair:
+    def test_def_7_2(self):
+        assert ordered_pair("x", "y") == XSet([("x", 1), ("y", 2)])
+        assert ordered_pair("x", "y") == xpair("x", "y")
+
+    def test_pair_is_a_2_tuple(self):
+        assert tup(ordered_pair(1, 2)) == 2
+
+    def test_pair_of_equal_components_keeps_both_positions(self):
+        # Unlike the Kuratowski encoding, <x, x> does not degenerate.
+        pair = ordered_pair("x", "x")
+        assert tup(pair) == 2
+        assert pair.as_tuple() == ("x", "x")
+
+    def test_pairs_nest(self):
+        nested = ordered_pair(ordered_pair(1, 2), 3)
+        first, second = nested.as_tuple()
+        assert first.as_tuple() == (1, 2)
+        assert second == 3

@@ -1,0 +1,100 @@
+"""Value extraction (Defs 9.8/9.9), Example 9.1 and Theorem 9.10."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AmbiguousValueError
+from repro.xst.builders import relation, xset, xtuple
+from repro.xst.values import classical_call, sigma_value, value
+from repro.xst.xset import XSet
+
+
+def sqrt16() -> XSet:
+    """Example 9.1's four-valued square root of 16."""
+    return XSet(
+        [
+            (xtuple([2]), xtuple(["+"])),
+            (xtuple([-2]), xtuple(["-"])),
+            (xtuple([2j]), xtuple(["i"])),
+            (xtuple([-2j]), xtuple(["-i"])),
+        ]
+    )
+
+
+class TestExample91:
+    def test_positive_root(self):
+        assert sigma_value(sqrt16(), "+") == 2
+
+    def test_negative_root(self):
+        assert sigma_value(sqrt16(), "-") == -2
+
+    def test_imaginary_roots(self):
+        assert sigma_value(sqrt16(), "i") == 2j
+        assert sigma_value(sqrt16(), "-i") == -2j
+
+    def test_unknown_mark_has_no_value(self):
+        with pytest.raises(AmbiguousValueError, match="no"):
+            sigma_value(sqrt16(), "missing")
+
+
+class TestValue:
+    def test_unique_classical_one_tuple(self):
+        assert value(xset([xtuple(["only"])])) == "only"
+
+    def test_no_candidates_raises(self):
+        with pytest.raises(AmbiguousValueError, match="no"):
+            value(xset([]))
+
+    def test_two_candidates_raise(self):
+        with pytest.raises(AmbiguousValueError, match="2 distinct"):
+            value(xset([xtuple(["a"]), xtuple(["b"])]))
+
+    def test_equal_candidates_are_one_value(self):
+        # Two memberships of the same 1-tuple collapse structurally.
+        doubled = xset([xtuple(["a"])]) | xset([xtuple(["a"])])
+        assert value(doubled) == "a"
+
+    def test_scoped_members_are_ignored_by_classical_value(self):
+        mixed = XSet(
+            [(xtuple(["classical"]), XSet()), (xtuple(["scoped"]), "s")]
+        )
+        assert value(mixed) == "classical"
+
+    def test_wide_tuples_are_not_value_candidates(self):
+        with pytest.raises(AmbiguousValueError):
+            value(xset([xtuple(["a", "b"])]))
+
+    def test_atom_members_are_not_candidates(self):
+        with pytest.raises(AmbiguousValueError):
+            value(xset(["bare-atom"]))
+
+
+class TestTheorem910:
+    def test_classical_call_on_a_table(self):
+        f = relation([(1, 10), (2, 20), (3, 30)])
+        assert classical_call(f, 2) == 20
+
+    def test_classical_call_outside_domain(self):
+        f = relation([(1, 10)])
+        with pytest.raises(AmbiguousValueError):
+            classical_call(f, 99)
+
+    def test_classical_call_on_non_function(self):
+        f = relation([(1, 10), (1, 11)])
+        with pytest.raises(AmbiguousValueError, match="distinct"):
+            classical_call(f, 1)
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=20),
+            st.integers(min_value=-50, max_value=50),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_theorem_9_10_agrees_with_dict_lookup(self, mapping):
+        """Every CST element function is representable (Thm 9.10)."""
+        f = relation(mapping.items())
+        for argument, expected in mapping.items():
+            assert classical_call(f, argument) == expected
