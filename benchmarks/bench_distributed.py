@@ -15,15 +15,16 @@ from repro.workloads import department_relation, employee_relation
 
 EMP_COUNT = 600
 DEPT_COUNT = 24
+SEED = 71
 
 
-def co_partitioned_cluster(nodes: int) -> Cluster:
-    cluster = Cluster(nodes)
+def co_partitioned_cluster(nodes: int, factor: int = 1) -> Cluster:
+    cluster = Cluster(nodes, replication_factor=factor)
     cluster.create_table(
-        "emp", employee_relation(EMP_COUNT, DEPT_COUNT, seed=71), "dept"
+        "emp", employee_relation(EMP_COUNT, DEPT_COUNT, seed=SEED), "dept"
     )
     cluster.create_table(
-        "dept", department_relation(DEPT_COUNT, seed=71), "dept"
+        "dept", department_relation(DEPT_COUNT, seed=SEED), "dept"
     )
     return cluster
 
@@ -31,10 +32,10 @@ def co_partitioned_cluster(nodes: int) -> Cluster:
 def misaligned_cluster(nodes: int) -> Cluster:
     cluster = Cluster(nodes)
     cluster.create_table(
-        "emp", employee_relation(EMP_COUNT, DEPT_COUNT, seed=71), "dept"
+        "emp", employee_relation(EMP_COUNT, DEPT_COUNT, seed=SEED), "dept"
     )
     cluster.create_table(
-        "dept", department_relation(DEPT_COUNT, seed=71), "dname"
+        "dept", department_relation(DEPT_COUNT, seed=SEED), "dname"
     )
     return cluster
 
@@ -64,6 +65,17 @@ def test_shuffled_join(benchmark, nodes):
     cluster = misaligned_cluster(nodes)
     result = benchmark(cluster.join, "emp", "dept")
     assert result.cardinality() == EMP_COUNT
+
+
+@pytest.mark.parametrize("factor", (1, 2))
+def test_copartitioned_join_replicated(benchmark, factor):
+    # Replication must not change what a co-partitioned join ships:
+    # replicas are identical copies, so only result partials travel.
+    cluster = co_partitioned_cluster(4, factor=factor)
+    cluster.network.reset()
+    result = benchmark(cluster.join, "emp", "dept")
+    assert result.cardinality() == EMP_COUNT
+    assert cluster.network.failovers == 0
 
 
 def test_shuffle_ships_an_input_copartition_does_not():

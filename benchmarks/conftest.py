@@ -3,15 +3,32 @@
 Workloads are module-scoped and seeded so every run measures identical
 data; see DESIGN.md section 4 for the experiment each file regenerates
 and EXPERIMENTS.md for recorded results.
+
+Every generator call threads ``WORKLOAD_SEED`` explicitly (override
+with the ``REPRO_WORKLOAD_SEED`` environment variable) so two runs --
+or two machines -- compare the same rows, and the seed in use is
+printed in the report header.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+WORKLOAD_SEED = int(os.environ.get("REPRO_WORKLOAD_SEED", "101"))
 
 
 def pytest_report_header(config):
-    return "xst-repro benchmark harness (see DESIGN.md section 4)"
+    return (
+        "xst-repro benchmark harness (see DESIGN.md section 4), "
+        "workload seed %d" % WORKLOAD_SEED
+    )
+
+
+@pytest.fixture(scope="session")
+def workload_seed():
+    return WORKLOAD_SEED
 
 
 @pytest.fixture(scope="session")
@@ -19,7 +36,7 @@ def employee_rows():
     from repro.workloads import employees
 
     return {
-        size: employees(size, max(2, size // 20), seed=101)
+        size: employees(size, max(2, size // 20), seed=WORKLOAD_SEED)
         for size in (100, 400, 1600)
     }
 
@@ -29,6 +46,6 @@ def department_rows():
     from repro.workloads import departments
 
     return {
-        size: departments(max(2, size // 20), seed=101)
+        size: departments(max(2, size // 20), seed=WORKLOAD_SEED)
         for size in (100, 400, 1600)
     }

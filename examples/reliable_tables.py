@@ -139,6 +139,31 @@ def main() -> None:
         reloaded = store.load("emp")
         print("  disk round-trip equal:", reloaded == employees.snapshot())
 
+    banner("8. Replicate, kill a node, keep answering")
+    from repro.errors import ClusterUnavailableError
+    from repro.relational.distributed import Cluster
+
+    cluster = Cluster(3, replication_factor=2)
+    cluster.create_table("emp", employees.snapshot(), "dept")
+    print("  placement overhead:",
+          cluster.network.replica_bytes, "bytes of replica copies")
+    reference = cluster.scan("emp")
+
+    cluster.kill_node("node-1")
+    survived = cluster.scan("emp")
+    print("  node-1 killed; scan still equals the pre-failure answer:",
+          survived == reference)
+    print("  failovers taken:", cluster.network.failovers)
+
+    cluster.kill_node("node-2")  # bucket 1's whole ring is now dead
+    try:
+        cluster.scan("emp")
+    except ClusterUnavailableError as error:
+        print("  with the whole ring dead, the failure is typed:", error)
+    cluster.revive_node("node-1")
+    print("  revived node-1; service restored:",
+          cluster.scan("emp") == reference)
+
 
 if __name__ == "__main__":
     main()

@@ -41,6 +41,7 @@ from repro.core.process import Process, identity_process
 from repro.core.sigma import Sigma
 from repro.errors import (
     AmbiguousValueError,
+    ClusterUnavailableError,
     CompositionError,
     InvalidAtomError,
     NotAFunctionError,
@@ -110,4 +111,5 @@ __all__ = [
     "CompositionError",
     "SchemaError",
     "NotationError",
+    "ClusterUnavailableError",
 ]

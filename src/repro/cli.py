@@ -18,6 +18,12 @@ Four small commands that make the library usable from a shell:
     Read an edge list from a CSV with the given source/target columns
     and print its transitive closure as CSV.
 
+``cluster-status CSVDIR ATTR [NODES [FACTOR]]``
+    Load every ``*.csv`` whose heading contains ATTR into a simulated
+    cluster partitioned on ATTR (NODES nodes, FACTOR-way replication)
+    and print the placement map, per-node liveness and row counts, and
+    the replication byte overhead.
+
 Every command writes to stdout and exits non-zero with a message on
 stderr for malformed input, so the tool composes in pipelines.
 """
@@ -49,6 +55,9 @@ commands:
   image RELATION KEYS    CST-shaped image of KEYS under RELATION
   query CSVDIR XQL       run an XQL query over a directory of CSVs
   closure CSV FROM TO    transitive closure of an edge-list CSV
+  cluster-status CSVDIR ATTR [NODES [FACTOR]]
+                         place CSVs on a simulated replicated cluster
+                         and print its status
 """
 
 
@@ -118,11 +127,76 @@ def _command_closure(args: List[str]) -> int:
     return 0
 
 
+def _command_cluster_status(args: List[str]) -> int:
+    if not 2 <= len(args) <= 4:
+        return _fail("cluster-status takes CSVDIR, ATTR and optionally "
+                     "NODES and FACTOR")
+    directory, attr = args[0], args[1]
+    try:
+        node_count = int(args[2]) if len(args) > 2 else 4
+        factor = int(args[3]) if len(args) > 3 else 1
+    except ValueError:
+        return _fail("NODES and FACTOR must be integers")
+    if not os.path.isdir(directory):
+        return _fail("%r is not a directory" % directory)
+    from repro.relational.distributed import Cluster
+
+    try:
+        cluster = Cluster(node_count, replication_factor=factor)
+    except ValueError as error:
+        return _fail(str(error))
+    loaded = 0
+    for entry in sorted(os.listdir(directory)):
+        if not entry.endswith(".csv"):
+            continue
+        relation = read_csv(os.path.join(directory, entry))
+        if attr not in relation.heading:
+            continue
+        cluster.create_table(entry[: -len(".csv")], relation, attr)
+        loaded += 1
+    if not loaded:
+        return _fail(
+            "no .csv file in %r has a %r attribute" % (directory, attr)
+        )
+    status = cluster.status()
+    print("cluster: %d nodes, replication factor %d, partitioned on %r"
+          % (node_count, factor, attr))
+    for table, info in status["tables"].items():
+        placement = cluster.placement(table)
+        print("table %s (rf=%d):" % (table, info["replication_factor"]))
+        for bucket in range(node_count):
+            replicas = ", ".join(
+                cluster.nodes[index].name
+                for index in placement.replicas(bucket)
+            )
+            rows = cluster.nodes[placement.primary(bucket)].bucket(
+                table, bucket
+            ).cardinality()
+            print("  bucket %d -> %s  (%d rows)" % (bucket, replicas, rows))
+    for node_info in status["nodes"]:
+        held = ", ".join(
+            "%s%s (%d rows)" % (table, info["buckets"], info["rows"])
+            for table, info in node_info["tables"].items()
+        ) or "no tables"
+        print("%s: %s, %s" % (
+            node_info["name"],
+            "up" if node_info["alive"] else "DOWN",
+            held,
+        ))
+    network = status["network"]
+    print("network: %d messages, %d bytes shipped "
+          "(%d bytes replica placement overhead)"
+          % (network["messages"], network["bytes_shipped"],
+             network["replica_bytes"]))
+    return 0
+
+
 _COMMANDS = {
     "eval": _command_eval,
     "image": _command_image,
     "query": _command_query,
     "closure": _command_closure,
+    "cluster-status": _command_cluster_status,
 }
 
 

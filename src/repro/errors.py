@@ -20,9 +20,14 @@ subclasses mirror the layers of the system:
   declared heading, or an operation references unknown attributes.
 * :class:`NotationError` -- the paper-notation parser rejected its
   input.
+* :class:`ClusterUnavailableError` -- distributed layer: every replica
+  of a partition a query needs is unreachable (or the query's
+  simulated time budget ran out), so no correct answer can be given.
 """
 
 from __future__ import annotations
+
+from typing import Any, Optional, Sequence
 
 
 class XSTError(Exception):
@@ -59,3 +64,40 @@ class SchemaError(XSTError, ValueError):
 
 class NotationError(XSTError, ValueError):
     """Paper-notation source text could not be parsed."""
+
+
+class ClusterUnavailableError(XSTError, RuntimeError):
+    """A distributed query could not be answered correctly.
+
+    Raised only when *no* correct answer exists: every replica of a
+    partition the query needs is dead, or the query's simulated time
+    budget was exhausted by retries.  Wrong answers are never returned
+    in place of this error.
+
+    The offending partition is rendered in paper notation (the rows
+    live under attribute scopes, so the key fragment prints as e.g.
+    ``{5^'dept'}``), matching the library-wide rule that errors show
+    the set they choked on.
+    """
+
+    def __init__(
+        self,
+        table: str,
+        bucket: int,
+        replicas: Sequence[str] = (),
+        reason: str = "all replicas are dead",
+        key: Optional[Any] = None,
+    ):
+        self.table = table
+        self.bucket = bucket
+        self.replicas = tuple(replicas)
+        self.reason = reason
+        self.key = key
+        key_part = "" if key is None else " for key %r" % (key,)
+        tried = (
+            " (tried %s)" % ", ".join(self.replicas) if self.replicas else ""
+        )
+        super().__init__(
+            "partition %d of %r is unavailable%s: %s%s"
+            % (bucket, table, key_part, reason, tried)
+        )

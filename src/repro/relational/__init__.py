@@ -41,6 +41,14 @@ from repro.relational.index import IndexedRelation, SortedIndex
 from repro.relational.views import View, ViewCatalog
 from repro.relational.disk import DiskRelationStore, PageCache
 from repro.relational.distributed import Cluster, NetworkStats, Node
+from repro.relational.faults import (
+    FaultInjector,
+    FaultPlan,
+    NodeDownError,
+    ShipmentCorruptedError,
+    ShipmentLostError,
+)
+from repro.relational.replication import ReplicaPlacement, replica_indices
 from repro.relational.optimizer import estimate_rows, optimize
 from repro.relational.query import (
     Database,
@@ -54,7 +62,11 @@ from repro.relational.query import (
     SelectPred,
     Union,
 )
-from repro.relational.profile import NodeProfile, execute_profiled
+from repro.relational.profile import (
+    NodeProfile,
+    execute_profiled,
+    profile_cluster,
+)
 from repro.relational.relation import Relation
 from repro.relational.representations import (
     ColumnRepresentation,
@@ -120,6 +132,14 @@ __all__ = [
     "Cluster",
     "Node",
     "NetworkStats",
+    # replication & faults
+    "ReplicaPlacement",
+    "replica_indices",
+    "FaultPlan",
+    "FaultInjector",
+    "NodeDownError",
+    "ShipmentLostError",
+    "ShipmentCorruptedError",
     # csv
     "read_csv",
     "write_csv",
@@ -135,5 +155,6 @@ __all__ = [
     "ColumnRepresentation",
     "same_identity",
     "execute_profiled",
+    "profile_cluster",
     "NodeProfile",
 ]

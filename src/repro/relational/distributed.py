@@ -1,41 +1,77 @@
-"""A simulated distributed backend: partitioned XST relations.
+"""A simulated distributed backend: partitioned, replicated XST relations.
 
-The VLDB-1977 title promises "very large, distributed, backend
-information systems".  Real cluster hardware is out of scope for this
-reproduction (see DESIGN.md's substitution table), so this module
-simulates the distribution layer faithfully enough to measure its
-algebra: a :class:`Cluster` of in-process :class:`Node` objects, hash
-partitioning on a chosen attribute, and query execution that ships
-*sets* between nodes -- with every shipment priced in real serialized
-bytes via :func:`repro.xst.serialization.dumps`.
+The VLDB-1977 title promises "intrinsically reliable ... very large,
+distributed, backend information systems".  Real cluster hardware is
+out of scope for this reproduction (see DESIGN.md's substitution
+table), so this module simulates the distribution layer faithfully
+enough to measure its algebra: a :class:`Cluster` of in-process
+:class:`Node` objects, hash partitioning on a chosen attribute, N-way
+replica placement (:mod:`repro.relational.replication`), and query
+execution that ships *sets* between nodes -- with every shipment
+priced in real serialized bytes via
+:func:`repro.xst.serialization.dumps`.
 
 What the simulation preserves from the paper's programme:
 
 * relations partition *by scope value* -- the partitioning key is an
-  attribute scope, and each node holds an ordinary XST relation, so
+  attribute scope, and each node holds ordinary XST relations, so
   every local operation is the unmodified kernel;
+* every partition (*bucket*) lives on ``replication_factor`` nodes;
+  reads are served by the first live replica and fail over down the
+  ring, writes fan out to every replica;
 * distributed selection routes by key when the predicate covers the
-  partition attribute (one node touched) and broadcasts otherwise;
+  partition attribute (one bucket touched) and broadcasts otherwise;
 * distributed join is co-partitioned when both sides share a partition
-  attribute, and otherwise *re-shuffles* one side -- shipping costs
-  are visible in :class:`NetworkStats`, so the benchmark suite can
-  show the co-partitioned vs shuffled gap;
+  attribute (and placement), and otherwise *re-shuffles* one side --
+  shipping costs are visible in :class:`NetworkStats`;
 * distributed aggregation pushes partial aggregates (count/sum/min/
-  max) to the nodes and combines, shipping summaries instead of rows.
+  max) to the nodes and combines, shipping summaries instead of rows;
+* failures are injected deterministically through the hooks in
+  :mod:`repro.relational.faults`; reads retry with (simulated)
+  exponential backoff, fail over across replicas, and raise
+  :class:`repro.errors.ClusterUnavailableError` only when no correct
+  answer is obtainable -- never a wrong one.
+
+The failure model: a killed node is *unreachable*, not erased -- its
+stored buckets survive and serve again after a revive (crash with
+durable disks).  Writes are modeled as durable fan-out (they reach
+every replica's disk even while the node is unreachable), so a
+revived node is immediately consistent; the read path is where
+unreliability lives and is measured.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+import time
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from repro.errors import SchemaError
+from repro.errors import ClusterUnavailableError, SchemaError
 from repro.relational.aggregate import aggregate as local_aggregate
 from repro.relational.algebra import join as local_join
 from repro.relational.algebra import select_eq as local_select_eq
 from repro.relational.algebra import union as local_union
+from repro.relational.faults import (
+    NO_FAULTS,
+    FaultInjector,
+    FaultPlan,
+    NodeDownError,
+    ShipmentCorruptedError,
+    ShipmentLostError,
+)
 from repro.relational.relation import Relation
+from repro.relational.replication import ReplicaPlacement
 from repro.relational.schema import Heading
-from repro.xst.builders import xset
+from repro.xst.builders import xrecord, xset
 from repro.xst.serialization import dumps
 from repro.xst.xset import XSet
 
@@ -43,49 +79,132 @@ __all__ = ["NetworkStats", "Node", "Cluster"]
 
 
 class NetworkStats:
-    """Counters for simulated shipments between nodes."""
+    """Counters for simulated shipments, faults and recovery work."""
 
     def __init__(self):
         self.messages = 0
         self.bytes_shipped = 0
+        self.replica_messages = 0
+        self.replica_bytes = 0
+        self.retries = 0
+        self.failovers = 0
+        self.delay_s = 0.0
+        self.backoff_s = 0.0
 
-    def ship(self, payload: XSet) -> None:
+    def ship(self, payload: XSet, replica: bool = False) -> None:
+        self.ship_encoded(len(dumps(payload)), replica=replica)
+
+    def ship_encoded(self, byte_count: int, replica: bool = False) -> None:
         self.messages += 1
-        self.bytes_shipped += len(dumps(payload))
+        self.bytes_shipped += byte_count
+        if replica:
+            self.replica_messages += 1
+            self.replica_bytes += byte_count
+
+    def record_retry(self, backoff_s: float = 0.0) -> None:
+        self.retries += 1
+        self.backoff_s += backoff_s
+
+    def record_failover(self) -> None:
+        self.failovers += 1
+
+    def record_delay(self, seconds: float) -> None:
+        self.delay_s += seconds
+
+    def recovery_s(self) -> float:
+        """Total simulated time spent recovering (delays + backoff)."""
+        return self.delay_s + self.backoff_s
 
     def reset(self) -> None:
-        self.messages = 0
-        self.bytes_shipped = 0
+        self.__init__()
 
     def __repr__(self) -> str:
-        return "NetworkStats(messages=%d, bytes=%d)" % (
-            self.messages, self.bytes_shipped
+        return (
+            "NetworkStats(messages=%d, bytes=%d, replica_bytes=%d, "
+            "retries=%d, failovers=%d)"
+            % (self.messages, self.bytes_shipped, self.replica_bytes,
+               self.retries, self.failovers)
         )
 
 
 class Node:
-    """One backend node: a name and its local partitions."""
+    """One backend node: a name, liveness, and its local buckets.
 
-    def __init__(self, name: str):
+    ``alive`` and ``delay_s`` are the two knobs the fault harness
+    turns; the storage itself is durable (a killed node keeps its
+    buckets and serves them again after a revive).
+    """
+
+    def __init__(self, name: str, index: int = 0):
         self.name = name
-        self._partitions: Dict[str, Relation] = {}
+        self.index = index
+        self.alive = True
+        self.delay_s = 0.0
+        self._buckets: Dict[str, Dict[int, Relation]] = {}
 
-    def store(self, table: str, partition: Relation) -> None:
-        self._partitions[table] = partition
+    # -- storage (durable: works regardless of liveness) ---------------
+
+    def store(self, table: str, partition: Relation,
+              bucket: Optional[int] = None) -> None:
+        index = self.index if bucket is None else bucket
+        self._buckets.setdefault(table, {})[index] = partition
+
+    def merge(self, table: str, bucket: int, rows: Relation) -> None:
+        """Fold new rows into a stored bucket (the write fan-out path)."""
+        held = self._buckets.setdefault(table, {})
+        current = held.get(bucket)
+        held[bucket] = rows if current is None else local_union(current, rows)
+
+    # -- reads (the production path: needs a reachable node) -----------
+
+    def bucket(self, table: str, bucket: int) -> Relation:
+        if not self.alive:
+            raise NodeDownError("node %s is down" % self.name)
+        try:
+            return self._buckets[table][bucket]
+        except KeyError:
+            raise SchemaError(
+                "node %s holds no bucket %d of %r" % (self.name, bucket, table)
+            ) from None
 
     def partition(self, table: str) -> Relation:
+        """Every locally held row of ``table`` (union of its buckets).
+
+        A coordinator-side inspection view: it reads the durable
+        storage directly and so works on dead nodes too.
+        """
         try:
-            return self._partitions[table]
+            held = self._buckets[table]
         except KeyError:
             raise SchemaError(
                 "node %s holds no partition of %r" % (self.name, table)
             ) from None
+        merged: Optional[Relation] = None
+        for index in sorted(held):
+            part = held[index]
+            merged = part if merged is None else local_union(merged, part)
+        assert merged is not None
+        return merged
 
     def holds(self, table: str) -> bool:
-        return table in self._partitions
+        return table in self._buckets
+
+    def buckets_held(self, table: str) -> Tuple[int, ...]:
+        return tuple(sorted(self._buckets.get(table, ())))
+
+    # -- liveness ------------------------------------------------------
+
+    def fail(self) -> None:
+        self.alive = False
+
+    def recover(self) -> None:
+        self.alive = True
 
     def __repr__(self) -> str:
-        return "Node(%s, %d tables)" % (self.name, len(self._partitions))
+        status = "up" if self.alive else "DOWN"
+        return "Node(%s, %s, %d tables)" % (
+            self.name, status, len(self._buckets)
+        )
 
 
 def _partition_index(value: Any, node_count: int) -> int:
@@ -95,34 +214,179 @@ def _partition_index(value: Any, node_count: int) -> int:
     return sum(dumps(value)) % node_count
 
 
-class Cluster:
-    """A set of nodes plus the distributed execution strategies."""
+class _QueryContext:
+    """Per-query bookkeeping: simulated elapsed time and a trace.
 
-    def __init__(self, node_count: int = 4):
+    The trace records one entry per successful bucket read (and one
+    per terminal failure), which :mod:`repro.relational.profile`
+    renders as an EXPLAIN-style tree.
+    """
+
+    __slots__ = ("describe", "simulated_s", "events", "started")
+
+    def __init__(self, describe: str):
+        self.describe = describe
+        self.simulated_s = 0.0
+        self.events: List[Tuple[str, int, float]] = []
+        self.started = time.perf_counter()
+
+    def charge(self, seconds: float) -> None:
+        self.simulated_s += seconds
+
+    def record(self, describe: str, rows: int, seconds: float) -> None:
+        self.events.append((describe, rows, seconds))
+
+
+class Cluster:
+    """A set of nodes plus the distributed execution strategies.
+
+    ``replication_factor`` is the cluster-wide default copy count for
+    :meth:`create_table` (overridable per table).  ``max_attempts``
+    bounds per-replica retries of lost/corrupted shipments, with
+    simulated exponential backoff starting at ``backoff_base_s``.
+    ``query_timeout_s`` bounds each query's *simulated* time (node
+    delays plus backoff); an exhausted budget raises
+    :class:`ClusterUnavailableError` rather than hanging.
+    """
+
+    def __init__(
+        self,
+        node_count: int = 4,
+        replication_factor: int = 1,
+        max_attempts: int = 3,
+        backoff_base_s: float = 0.010,
+        query_timeout_s: Optional[float] = None,
+    ):
         if node_count < 1:
             raise ValueError("a cluster needs at least one node")
-        self.nodes = [Node("node-%d" % index) for index in range(node_count)]
+        if not 1 <= replication_factor <= node_count:
+            raise ValueError(
+                "replication factor %d needs 1..%d nodes"
+                % (replication_factor, node_count)
+            )
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.nodes = [
+            Node("node-%d" % index, index) for index in range(node_count)
+        ]
         self.network = NetworkStats()
+        self.replication_factor = replication_factor
+        self.max_attempts = max_attempts
+        self.backoff_base_s = backoff_base_s
+        self.query_timeout_s = query_timeout_s
+        self.faults: FaultInjector = NO_FAULTS
         self._partition_attrs: Dict[str, str] = {}
         self._headings: Dict[str, Heading] = {}
+        self._placements: Dict[str, ReplicaPlacement] = {}
+        self._last_context: Optional[_QueryContext] = None
 
     # ------------------------------------------------------------------
-    # Loading
+    # Faults and liveness
+    # ------------------------------------------------------------------
+
+    def install_faults(self, plan: FaultPlan) -> FaultInjector:
+        """Arm a deterministic fault schedule; returns the injector."""
+        self.faults = FaultInjector(plan)
+        return self.faults
+
+    def clear_faults(self) -> None:
+        self.faults = NO_FAULTS
+
+    def node_named(self, name: str) -> Node:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise SchemaError(
+            "no node named %r; cluster has %s"
+            % (name, [node.name for node in self.nodes])
+        )
+
+    def kill_node(self, name: str) -> None:
+        """Make a node unreachable (storage survives)."""
+        self.node_named(name).fail()
+
+    def revive_node(self, name: str) -> None:
+        self.node_named(name).recover()
+
+    def live_nodes(self) -> List[Node]:
+        return [node for node in self.nodes if node.alive]
+
+    # ------------------------------------------------------------------
+    # Loading and writing
     # ------------------------------------------------------------------
 
     def create_table(
-        self, name: str, relation: Relation, partition_attr: str
+        self,
+        name: str,
+        relation: Relation,
+        partition_attr: str,
+        replication_factor: Optional[int] = None,
     ) -> None:
-        """Hash-partition a relation across the nodes by one attribute."""
+        """Hash-partition a relation across the nodes by one attribute.
+
+        Each bucket is stored on ``replication_factor`` nodes (primary
+        plus ring successors).  The primary copy is free -- data
+        originates there -- while every extra copy ships over the
+        network and is priced in ``NetworkStats.replica_bytes``.
+        """
         relation.heading.require([partition_attr])
+        factor = (
+            self.replication_factor
+            if replication_factor is None
+            else replication_factor
+        )
+        placement = ReplicaPlacement(len(self.nodes), factor)
         buckets: List[List] = [[] for _ in self.nodes]
         for row, _ in relation.rows.pairs():
             (value,) = row.elements_at(partition_attr)
             buckets[_partition_index(value, len(self.nodes))].append(row)
-        for node, bucket in zip(self.nodes, buckets):
-            node.store(name, Relation(relation.heading, xset(bucket)))
+        for bucket_index, bucket in enumerate(buckets):
+            part = Relation(relation.heading, xset(bucket))
+            for position, node_index in enumerate(
+                placement.replicas(bucket_index)
+            ):
+                self.nodes[node_index].store(name, part, bucket=bucket_index)
+                if position:
+                    self.network.ship(part.rows, replica=True)
         self._partition_attrs[name] = partition_attr
         self._headings[name] = relation.heading
+        self._placements[name] = placement
+
+    def insert(self, name: str, rows: Iterable[Mapping[str, Any]]) -> int:
+        """Append rows, fanned out to every replica of each bucket.
+
+        Writes are durable: they reach a replica's storage even while
+        that node is unreachable, so revived nodes are consistent
+        without an anti-entropy pass.  Returns the row count written.
+        """
+        heading = self.heading(name)
+        attr = self.partition_attr(name)
+        placement = self._placements[name]
+        buckets: Dict[int, List] = {}
+        count = 0
+        for row in rows:
+            if frozenset(row) != frozenset(heading.names):
+                raise SchemaError(
+                    "row keys %s do not match heading %r"
+                    % (sorted(row), heading)
+                )
+            record = xrecord(row)
+            buckets.setdefault(
+                _partition_index(row[attr], len(self.nodes)), []
+            ).append(record)
+            count += 1
+        for bucket_index, records in buckets.items():
+            fresh = Relation(heading, xset(records))
+            for position, node_index in enumerate(
+                placement.replicas(bucket_index)
+            ):
+                self.nodes[node_index].merge(name, bucket_index, fresh)
+                self.network.ship(fresh.rows, replica=position > 0)
+        return count
+
+    # ------------------------------------------------------------------
+    # Catalog
+    # ------------------------------------------------------------------
 
     def partition_attr(self, name: str) -> str:
         try:
@@ -134,17 +398,178 @@ class Cluster:
         self.partition_attr(name)
         return self._headings[name]
 
+    def placement(self, name: str) -> ReplicaPlacement:
+        self.partition_attr(name)
+        return self._placements[name]
+
+    def status(self) -> Dict[str, Any]:
+        """A structured snapshot: nodes, tables, placement, network."""
+        return {
+            "nodes": [
+                {
+                    "name": node.name,
+                    "alive": node.alive,
+                    "delay_s": node.delay_s,
+                    "tables": {
+                        table: {
+                            "buckets": list(node.buckets_held(table)),
+                            "rows": node.partition(table).cardinality(),
+                        }
+                        for table in sorted(self._partition_attrs)
+                        if node.holds(table)
+                    },
+                }
+                for node in self.nodes
+            ],
+            "tables": {
+                table: {
+                    "partition_attr": self._partition_attrs[table],
+                    "replication_factor":
+                        self._placements[table].replication_factor,
+                }
+                for table in sorted(self._partition_attrs)
+            },
+            "network": {
+                "messages": self.network.messages,
+                "bytes_shipped": self.network.bytes_shipped,
+                "replica_bytes": self.network.replica_bytes,
+                "retries": self.network.retries,
+                "failovers": self.network.failovers,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # The fault-aware read core
+    # ------------------------------------------------------------------
+
+    def _ship(self, node: Node, payload: XSet, replica: bool = False) -> None:
+        """One shipment attempt; faults may lose or corrupt it."""
+        data = dumps(payload)
+        self.faults.tick(self)
+        received = self.faults.on_ship(node, data)
+        if received != data:
+            raise ShipmentCorruptedError(
+                "checksum mismatch on shipment from %s" % node.name
+            )
+        self.network.ship_encoded(len(data), replica=replica)
+
+    def _attempt_on_replicas(
+        self,
+        context: _QueryContext,
+        table: str,
+        bucket_index: int,
+        action: Callable[[Node], Optional[Relation]],
+        ring: Optional[Sequence[int]] = None,
+        key: Optional[Any] = None,
+    ) -> Optional[Relation]:
+        """Run ``action`` on the first replica that can serve it.
+
+        ``action`` reads buckets from the node it is handed (raising
+        :class:`NodeDownError` if the node is unreachable) and returns
+        the relation to ship back -- or ``None`` for "nothing to ship"
+        (empty aggregation partials).  Lost/corrupted shipments retry
+        on the same node with simulated backoff; a dead node fails
+        over to the next replica; an exhausted ring raises
+        :class:`ClusterUnavailableError`.
+        """
+        replicas = (
+            self._placements[table].replicas(bucket_index)
+            if ring is None
+            else tuple(ring)
+        )
+        for position, node_index in enumerate(replicas):
+            node = self.nodes[node_index]
+            if position:
+                self.network.record_failover()
+            for attempt in range(self.max_attempts):
+                if attempt:
+                    backoff = self.backoff_base_s * (2 ** (attempt - 1))
+                    self.network.record_retry(backoff)
+                    self._charge(context, backoff, table, bucket_index, key)
+                started = time.perf_counter()
+                try:
+                    self.faults.tick(self)
+                    if not node.alive:
+                        raise NodeDownError("node %s is down" % node.name)
+                    if node.delay_s:
+                        self.network.record_delay(node.delay_s)
+                        self._charge(
+                            context, node.delay_s, table, bucket_index, key
+                        )
+                    result = action(node)
+                    if result is not None:
+                        self._ship(node, result.rows)
+                    context.record(
+                        "%s[%d] @ %s" % (table, bucket_index, node.name),
+                        0 if result is None else result.cardinality(),
+                        time.perf_counter() - started,
+                    )
+                    return result
+                except NodeDownError:
+                    break  # no point retrying an unreachable node
+                except ShipmentLostError:
+                    continue  # includes corruption: retry with backoff
+        context.record(
+            "%s[%d] UNAVAILABLE" % (table, bucket_index), 0, 0.0
+        )
+        raise ClusterUnavailableError(
+            table,
+            bucket_index,
+            [self.nodes[index].name for index in replicas],
+            reason="all %d replicas dead or unreachable" % len(replicas),
+            key=key,
+        )
+
+    def _charge(
+        self,
+        context: _QueryContext,
+        seconds: float,
+        table: str,
+        bucket_index: int,
+        key: Optional[Any],
+    ) -> None:
+        context.charge(seconds)
+        if (
+            self.query_timeout_s is not None
+            and context.simulated_s > self.query_timeout_s
+        ):
+            raise ClusterUnavailableError(
+                table,
+                bucket_index,
+                reason="query timeout: %.3fs simulated > %.3fs budget"
+                % (context.simulated_s, self.query_timeout_s),
+                key=key,
+            )
+
+    def _begin(self, describe: str) -> _QueryContext:
+        context = _QueryContext(describe)
+        self._last_context = context
+        return context
+
+    @property
+    def last_query_events(self) -> List[Tuple[str, int, float]]:
+        """Per-bucket trace of the most recent query (for profiling)."""
+        return [] if self._last_context is None else self._last_context.events
+
+    @property
+    def last_query_describe(self) -> str:
+        return "" if self._last_context is None else self._last_context.describe
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
 
     def scan(self, name: str) -> Relation:
-        """Gather every partition to the coordinator (ships all rows)."""
+        """Gather every bucket to the coordinator (ships all rows)."""
         heading = self.heading(name)
+        context = self._begin("scan(%s)" % name)
         gathered = Relation(heading, xset([]))
-        for node in self.nodes:
-            part = node.partition(name)
-            self.network.ship(part.rows)
+        for bucket_index in range(len(self.nodes)):
+            part = self._attempt_on_replicas(
+                context, name, bucket_index,
+                lambda node, b=bucket_index: node.bucket(name, b),
+            )
+            assert part is not None
             gathered = local_union(gathered, part)
         return gathered
 
@@ -152,22 +577,36 @@ class Cluster:
         """Distributed selection: routed when the key is covered.
 
         If the partition attribute appears in the conditions, exactly
-        one node is consulted; otherwise the selection broadcasts and
-        each node ships only its matching rows.
+        one bucket is consulted (on its first live replica); otherwise
+        the selection broadcasts and each bucket ships only its
+        matching rows.
         """
         heading = self.heading(name)
         heading.require(conditions)
         attr = self.partition_attr(name)
+        context = self._begin(
+            "select_eq(%s, %s)" % (name, dict(conditions))
+        )
         if attr in conditions:
-            index = _partition_index(conditions[attr], len(self.nodes))
-            node = self.nodes[index]
-            result = local_select_eq(node.partition(name), conditions)
-            self.network.ship(result.rows)
+            bucket_index = _partition_index(conditions[attr], len(self.nodes))
+            result = self._attempt_on_replicas(
+                context, name, bucket_index,
+                lambda node: local_select_eq(
+                    node.bucket(name, bucket_index), conditions
+                ),
+                key=xrecord({attr: conditions[attr]}),
+            )
+            assert result is not None
             return result
         gathered = Relation(heading, xset([]))
-        for node in self.nodes:
-            local = local_select_eq(node.partition(name), conditions)
-            self.network.ship(local.rows)
+        for bucket_index in range(len(self.nodes)):
+            local = self._attempt_on_replicas(
+                context, name, bucket_index,
+                lambda node, b=bucket_index: local_select_eq(
+                    node.bucket(name, b), conditions
+                ),
+            )
+            assert local is not None
             gathered = local_union(gathered, local)
         return gathered
 
@@ -179,9 +618,10 @@ class Cluster:
         """Distributed natural join.
 
         Co-partitioned (both tables partitioned on a shared join
-        attribute): each node joins locally and ships only results.
-        Otherwise the right table is re-shuffled on the left's
-        partition attribute first -- every shipped row is priced.
+        attribute with identical placement): each bucket joins locally
+        on a shared replica and ships only results.  Otherwise the
+        right table is re-shuffled on the left's partition attribute
+        first -- every shipped row is priced.
         """
         left_heading = self.heading(left)
         right_heading = self.heading(right)
@@ -193,11 +633,23 @@ class Cluster:
             )
         left_attr = self.partition_attr(left)
         right_attr = self.partition_attr(right)
-        if left_attr == right_attr and left_attr in shared:
+        context = self._begin("join(%s, %s)" % (left, right))
+        co_partitioned = (
+            left_attr == right_attr
+            and left_attr in shared
+            and self._placements[left].replication_factor
+            == self._placements[right].replication_factor
+        )
+        if co_partitioned:
             partials = []
-            for node in self.nodes:
-                local = local_join(node.partition(left), node.partition(right))
-                self.network.ship(local.rows)
+            for bucket_index in range(len(self.nodes)):
+                local = self._attempt_on_replicas(
+                    context, left, bucket_index,
+                    lambda node, b=bucket_index: local_join(
+                        node.bucket(left, b), node.bucket(right, b)
+                    ),
+                )
+                assert local is not None
                 partials.append(local)
             return self._gathered(partials)
         if left_attr not in shared:
@@ -205,22 +657,33 @@ class Cluster:
                 "cannot shuffle: left partition attribute %r is not a join "
                 "attribute" % (left_attr,)
             )
-        shuffled = self._shuffle(right, left_attr)
+        shuffled = self._shuffle(context, right, left_attr)
         partials = []
-        for node, right_part in zip(self.nodes, shuffled):
-            local = local_join(node.partition(left), right_part)
-            self.network.ship(local.rows)
+        for bucket_index in range(len(self.nodes)):
+            right_part = shuffled[bucket_index]
+            local = self._attempt_on_replicas(
+                context, left, bucket_index,
+                lambda node, b=bucket_index, r=right_part: local_join(
+                    node.bucket(left, b), r
+                ),
+            )
+            assert local is not None
             partials.append(local)
         return self._gathered(partials)
 
-    def _shuffle(self, name: str, attr: str) -> List[Relation]:
+    def _shuffle(
+        self, context: _QueryContext, name: str, attr: str
+    ) -> List[Relation]:
         """Repartition a table by a new attribute, shipping every row."""
         heading = self.heading(name)
         heading.require([attr])
         buckets: List[List] = [[] for _ in self.nodes]
-        for node in self.nodes:
-            part = node.partition(name)
-            self.network.ship(part.rows)  # rows leave their home node
+        for bucket_index in range(len(self.nodes)):
+            part = self._attempt_on_replicas(
+                context, name, bucket_index,
+                lambda node, b=bucket_index: node.bucket(name, b),
+            )
+            assert part is not None  # rows left their home node (priced)
             for row, _ in part.rows.pairs():
                 (value,) = row.elements_at(attr)
                 buckets[_partition_index(value, len(self.nodes))].append(row)
@@ -247,9 +710,10 @@ class Cluster:
     ) -> Relation:
         """Distributed group-by with partial-aggregate pushdown.
 
-        Nodes compute local aggregates and ship the (small) summaries;
-        the coordinator combines: counts and sums add, mins and maxes
-        fold.  ``avg`` is rewritten as sum+count automatically.
+        Buckets compute local aggregates on their first live replica
+        and ship the (small) summaries; the coordinator combines:
+        counts and sums add, mins and maxes fold.  ``avg`` is
+        rewritten as sum+count automatically.
         """
         rewritten: Dict[str, Tuple[str, str]] = {}
         averages: Dict[str, Tuple[str, str]] = {}
@@ -264,13 +728,23 @@ class Cluster:
                 raise SchemaError(
                     "aggregate %r is not distributable" % (fn_name,)
                 )
+        context = self._begin(
+            "aggregate(%s, %s)" % (name, list(group_attrs))
+        )
         partial_rows: Dict[tuple, Dict[str, Any]] = {}
-        for node in self.nodes:
-            partition = node.partition(name)
-            if not partition:
+        for bucket_index in range(len(self.nodes)):
+
+            def partial(node, b=bucket_index):
+                partition = node.bucket(name, b)
+                if not partition:
+                    return None  # nothing to summarize, nothing ships
+                return local_aggregate(partition, group_attrs, rewritten)
+
+            local = self._attempt_on_replicas(
+                context, name, bucket_index, partial
+            )
+            if local is None:
                 continue
-            local = local_aggregate(partition, group_attrs, rewritten)
-            self.network.ship(local.rows)
             for row in local.iter_dicts():
                 key = tuple(row[attr] for attr in group_attrs)
                 merged = partial_rows.get(key)
@@ -298,6 +772,8 @@ class Cluster:
         return Relation.from_dicts(heading, final_rows)
 
     def __repr__(self) -> str:
-        return "Cluster(%d nodes, tables=%s)" % (
-            len(self.nodes), sorted(self._partition_attrs)
+        live = sum(1 for node in self.nodes if node.alive)
+        return "Cluster(%d nodes, %d live, rf=%d, tables=%s)" % (
+            len(self.nodes), live, self.replication_factor,
+            sorted(self._partition_attrs),
         )

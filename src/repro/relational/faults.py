@@ -1,0 +1,232 @@
+"""Deterministic fault injection for the simulated cluster.
+
+The reliability claims of the 1977 programme ("intrinsically reliable
+... very large, distributed, backend information systems") are only
+testable if failures can be *produced on demand and reproduced
+exactly*.  This module is that harness: a :class:`FaultPlan` is a
+seeded, inspectable schedule of fault events keyed by the cluster's
+operation counter, and a :class:`FaultInjector` applies it through two
+hooks that :class:`repro.relational.distributed.Cluster` calls on its
+ordinary execution path -- so the production code is exercised
+unmodified, with faults arriving at exact, replayable instants.
+
+Event kinds:
+
+* ``kill`` / ``revive`` -- a node becomes unreachable / reachable
+  (its storage survives, modeling a crash with durable disks);
+* ``delay`` -- a node answers, but every access charges simulated
+  latency (visible in ``NetworkStats`` and to query timeouts);
+* ``drop`` -- one shipment is lost in flight (the sender retries);
+* ``corrupt`` -- one shipment arrives bit-flipped; the receiver's
+  checksum comparison detects it and the sender retries.
+
+Determinism: the cluster ticks the injector once per bucket-access
+attempt and once per shipment, so for a fixed query sequence the
+operation numbering -- hence the entire failure history -- is
+bit-identical across runs.  :meth:`FaultPlan.chaos` derives a random
+plan from an explicit seed for fuzzing with the same guarantee.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import XSTError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.relational.distributed import Cluster, Node
+
+__all__ = [
+    "NodeDownError",
+    "ShipmentLostError",
+    "ShipmentCorruptedError",
+    "FaultPlan",
+    "FaultInjector",
+    "NO_FAULTS",
+]
+
+
+class NodeDownError(XSTError, ConnectionError):
+    """A node is unreachable.  Transient: callers fail over."""
+
+
+class ShipmentLostError(XSTError, ConnectionError):
+    """A shipment was dropped in flight.  Transient: callers retry."""
+
+
+class ShipmentCorruptedError(ShipmentLostError):
+    """A shipment failed its checksum on arrival.  Transient."""
+
+
+# Event kinds, in the order ties at one operation count are applied.
+_KILL, _REVIVE, _DELAY, _DROP, _CORRUPT = (
+    "kill", "revive", "delay", "drop", "corrupt"
+)
+
+
+class FaultPlan:
+    """A deterministic schedule of fault events.
+
+    Build one with the chainable methods, or :meth:`chaos` for a
+    seeded random plan.  Operation counts are the cluster's own tick
+    numbers (one tick per bucket access attempt, one per shipment);
+    an event ``at_op=k`` fires on the first tick where the counter
+    reaches ``k``.
+    """
+
+    def __init__(self):
+        # (at_op, sequence, kind, node_name, payload)
+        self._events: List[Tuple[int, int, str, Optional[str], float]] = []
+
+    # -- builders ------------------------------------------------------
+
+    def _add(self, at_op: int, kind: str, node: Optional[str],
+             payload: float = 0.0) -> "FaultPlan":
+        if at_op < 0:
+            raise ValueError("fault operation counts start at 0")
+        self._events.append((at_op, len(self._events), kind, node, payload))
+        return self
+
+    def kill(self, node: str, at_op: int = 0) -> "FaultPlan":
+        """Make ``node`` unreachable from operation ``at_op`` on."""
+        return self._add(at_op, _KILL, node)
+
+    def revive(self, node: str, at_op: int = 0) -> "FaultPlan":
+        """Bring ``node`` back (its stored partitions intact)."""
+        return self._add(at_op, _REVIVE, node)
+
+    def delay(self, node: str, seconds: float, at_op: int = 0) -> "FaultPlan":
+        """Charge ``seconds`` of simulated latency per access to ``node``.
+
+        A later ``delay(node, 0.0)`` clears it.
+        """
+        return self._add(at_op, _DELAY, node, seconds)
+
+    def drop_shipment(self, at_op: int) -> "FaultPlan":
+        """Lose the first shipment at or after operation ``at_op``."""
+        return self._add(at_op, _DROP, None)
+
+    def corrupt_shipment(self, at_op: int) -> "FaultPlan":
+        """Bit-flip the first shipment at or after operation ``at_op``."""
+        return self._add(at_op, _CORRUPT, None)
+
+    # -- seeded fuzzing ------------------------------------------------
+
+    @classmethod
+    def chaos(
+        cls,
+        seed: int,
+        node_names: Sequence[str],
+        horizon: int = 200,
+        kills: int = 1,
+        drops: int = 2,
+        corruptions: int = 1,
+        max_delay: float = 0.0,
+    ) -> "FaultPlan":
+        """A random-but-reproducible plan drawn from an explicit seed.
+
+        Every kill is paired with a later revive, so chaos plans never
+        permanently lose capacity -- availability tests control
+        permanent loss explicitly with :meth:`kill`.
+        """
+        rng = random.Random(seed)
+        plan = cls()
+        for _ in range(kills):
+            victim = rng.choice(list(node_names))
+            down = rng.randrange(horizon)
+            up = down + 1 + rng.randrange(max(1, horizon - down))
+            plan.kill(victim, at_op=down)
+            plan.revive(victim, at_op=up)
+        for _ in range(drops):
+            plan.drop_shipment(rng.randrange(horizon))
+        for _ in range(corruptions):
+            plan.corrupt_shipment(rng.randrange(horizon))
+        if max_delay > 0.0:
+            laggard = rng.choice(list(node_names))
+            plan.delay(laggard, rng.uniform(0.0, max_delay),
+                       at_op=rng.randrange(horizon))
+        return plan
+
+    # -- inspection ----------------------------------------------------
+
+    def events(self) -> List[Tuple[int, str, Optional[str], float]]:
+        """The schedule in firing order: (at_op, kind, node, payload)."""
+        return [
+            (at_op, kind, node, payload)
+            for at_op, _, kind, node, payload in sorted(self._events)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        return "FaultPlan(%d events)" % len(self._events)
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` through the cluster's two hooks.
+
+    The cluster calls :meth:`tick` once per operation (advancing the
+    clock and applying due kill/revive/delay events) and
+    :meth:`on_ship` once per shipment (which may consume a due drop or
+    corrupt event).  Everything else is ordinary execution.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None):
+        self.plan = plan
+        self.operations = 0
+        self._pending = sorted(plan._events) if plan is not None else []
+        self._oneshots: List[str] = []
+
+    # -- hooks called by Cluster ---------------------------------------
+
+    def tick(self, cluster: "Cluster") -> None:
+        """One operation happened: apply every event now due."""
+        self.operations += 1
+        while self._pending and self._pending[0][0] <= self.operations:
+            _, _, kind, node_name, payload = self._pending.pop(0)
+            if kind in (_DROP, _CORRUPT):
+                self._oneshots.append(kind)
+                continue
+            node = cluster.node_named(node_name)
+            if kind == _KILL:
+                node.alive = False
+            elif kind == _REVIVE:
+                node.alive = True
+            elif kind == _DELAY:
+                node.delay_s = payload
+
+    def on_ship(self, node: "Node", data: bytes) -> bytes:
+        """A shipment is leaving ``node``; lose or damage it if due."""
+        if self._oneshots:
+            kind = self._oneshots.pop(0)
+            if kind == _DROP:
+                raise ShipmentLostError(
+                    "shipment from %s lost in flight (injected)" % node.name
+                )
+            # Corrupt: flip a byte so the receiver's checksum fails.
+            if data:
+                data = data[:-1] + bytes([data[-1] ^ 0xFF])
+        return data
+
+    def __repr__(self) -> str:
+        return "FaultInjector(op=%d, pending=%d)" % (
+            self.operations, len(self._pending)
+        )
+
+
+class _NoFaults(FaultInjector):
+    """The default injector: pure pass-through, zero bookkeeping."""
+
+    def __init__(self):
+        super().__init__(None)
+
+    def tick(self, cluster: "Cluster") -> None:
+        pass
+
+    def on_ship(self, node: "Node", data: bytes) -> bytes:
+        return data
+
+
+NO_FAULTS = _NoFaults()

@@ -5,6 +5,12 @@
 tree mirroring the plan.  The optimizer benchmarks use it to attribute
 speedups to specific rewrites, and the examples print it as a
 poor-man's EXPLAIN ANALYZE.
+
+:func:`profile_cluster` does the same for distributed queries: it runs
+one :class:`~repro.relational.distributed.Cluster` query and renders
+the per-bucket read trace -- which replica served each bucket, how
+many rows it returned, and where failovers landed -- so the fault
+benchmarks can attribute recovery cost to specific buckets.
 """
 
 from __future__ import annotations
@@ -27,7 +33,7 @@ from repro.relational.query import (
 from repro.relational import algebra
 from repro.relational.relation import Relation
 
-__all__ = ["NodeProfile", "execute_profiled"]
+__all__ = ["NodeProfile", "execute_profiled", "profile_cluster"]
 
 
 class NodeProfile:
@@ -102,5 +108,31 @@ def execute_profiled(db: Database, plan: Plan) -> Tuple[Relation, NodeProfile]:
     elapsed = time.perf_counter() - started
     profile = NodeProfile(
         plan.describe(), result.cardinality(), elapsed, children
+    )
+    return result, profile
+
+
+def profile_cluster(cluster, query, *args, **kwargs):
+    """Run one distributed query and return ``(result, profile)``.
+
+    ``query`` is a :class:`~repro.relational.distributed.Cluster`
+    method name (``"scan"``, ``"select_eq"``, ``"join"``,
+    ``"aggregate"``) or a bound callable.  The profile's children are
+    the cluster's per-bucket read trace: one leaf per bucket access,
+    labeled ``table[bucket] @ node``, so a failover shows up as the
+    bucket served by a non-primary node.  The root's time is real wall
+    time; per-leaf times are each bucket's serve time.
+    """
+    bound = getattr(cluster, query) if isinstance(query, str) else query
+    started = time.perf_counter()
+    result = bound(*args, **kwargs)
+    elapsed = time.perf_counter() - started
+    children = [
+        NodeProfile(describe, rows, seconds, [])
+        for describe, rows, seconds in cluster.last_query_events
+    ]
+    rows = result.cardinality() if isinstance(result, Relation) else 0
+    profile = NodeProfile(
+        cluster.last_query_describe or "cluster query", rows, elapsed, children
     )
     return result, profile

@@ -1,0 +1,84 @@
+"""Replica placement for the simulated distributed backend.
+
+The VLDB-1977 programme promises *intrinsically reliable* backend
+systems (PAPER section 1, section 12).  This module supplies the
+placement half of that promise for :class:`repro.relational.distributed.Cluster`:
+every hash partition (*bucket*) of a table is stored on
+``replication_factor`` distinct nodes, so the loss of up to
+``replication_factor - 1`` nodes leaves every bucket readable.
+
+Placement is the classic successor scheme: bucket ``b``'s primary is
+node ``b`` and its replicas are the next ``k-1`` nodes around the
+ring.  The scheme is deterministic (no coordination state), spreads
+replicas evenly, and guarantees that two tables partitioned on the
+same attribute with the same factor are *co-replicated* -- each bucket
+of both tables shares one replica set, which is what keeps
+co-partitioned joins local even under failover.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import SchemaError
+
+__all__ = ["ReplicaPlacement", "replica_indices"]
+
+
+def replica_indices(
+    bucket: int, node_count: int, replication_factor: int
+) -> Tuple[int, ...]:
+    """The ring of node indices holding ``bucket``, primary first."""
+    if not 0 <= bucket < node_count:
+        raise SchemaError(
+            "bucket %d outside the cluster's 0..%d bucket range"
+            % (bucket, node_count - 1)
+        )
+    if not 1 <= replication_factor <= node_count:
+        raise SchemaError(
+            "replication factor %d needs 1..%d (cluster has %d nodes)"
+            % (replication_factor, node_count, node_count)
+        )
+    return tuple(
+        (bucket + offset) % node_count for offset in range(replication_factor)
+    )
+
+
+class ReplicaPlacement:
+    """The placement map of one table: buckets -> replica node rings."""
+
+    __slots__ = ("node_count", "replication_factor")
+
+    def __init__(self, node_count: int, replication_factor: int):
+        # Validate once up front so a bad factor fails at CREATE time,
+        # not at first read.
+        replica_indices(0, node_count, replication_factor)
+        self.node_count = node_count
+        self.replication_factor = replication_factor
+
+    def replicas(self, bucket: int) -> Tuple[int, ...]:
+        """Node indices holding ``bucket``, primary first."""
+        return replica_indices(bucket, self.node_count, self.replication_factor)
+
+    def primary(self, bucket: int) -> int:
+        return self.replicas(bucket)[0]
+
+    def buckets_on(self, node_index: int) -> List[int]:
+        """Every bucket the given node holds a copy of."""
+        return [
+            bucket
+            for bucket in range(self.node_count)
+            if node_index in self.replicas(bucket)
+        ]
+
+    def survives(self, dead: frozenset) -> bool:
+        """True if every bucket keeps at least one live replica."""
+        return all(
+            any(index not in dead for index in self.replicas(bucket))
+            for bucket in range(self.node_count)
+        )
+
+    def __repr__(self) -> str:
+        return "ReplicaPlacement(%d nodes, factor=%d)" % (
+            self.node_count, self.replication_factor
+        )

@@ -1,0 +1,113 @@
+"""Stateful property testing: the cluster tracks its oracle forever.
+
+Hypothesis drives random interleavings of inserts, node kills, node
+revivals and queries against a replicated :class:`Cluster`; after
+*every* step the single-node oracle invariant is re-checked: whenever
+each bucket keeps at least one live replica, every query class equals
+the same query on a shadow single-node relation -- and whenever a
+bucket's whole ring is dead, queries raise the typed
+:class:`ClusterUnavailableError` instead of answering wrongly.
+
+This is the distributed counterpart of ``test_table_stateful.py``'s
+"no reachable sequence of operations exposes an invalid state".
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.errors import ClusterUnavailableError
+from repro.relational import algebra
+from repro.relational.aggregate import aggregate as local_aggregate
+from repro.relational.distributed import Cluster
+from repro.relational.relation import Relation
+
+HEADING = ["emp", "name", "dept", "salary"]
+NODES = 3
+FACTOR = 2
+DEPT_SPACE = 6
+
+
+class ClusterMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.shadow = {
+            emp: {"emp": emp, "name": "e-%d" % emp,
+                  "dept": emp % DEPT_SPACE, "salary": 30000 + emp}
+            for emp in range(8)
+        }
+        self.next_id = 8
+        self.cluster = Cluster(NODES, replication_factor=FACTOR)
+        self.cluster.create_table(
+            "emp", self._oracle_relation(), "dept"
+        )
+
+    def _oracle_relation(self):
+        return Relation.from_dicts(HEADING, list(self.shadow.values()))
+
+    def _dead(self):
+        return frozenset(
+            node.index for node in self.cluster.nodes if not node.alive
+        )
+
+    def _available(self):
+        return self.cluster.placement("emp").survives(self._dead())
+
+    # -- rules ---------------------------------------------------------
+
+    @rule(count=st.integers(1, 3), dept=st.integers(0, DEPT_SPACE - 1))
+    def insert_rows(self, count, dept):
+        fresh = []
+        for _ in range(count):
+            emp = self.next_id
+            self.next_id += 1
+            row = {"emp": emp, "name": "e-%d" % emp,
+                   "dept": dept, "salary": 30000 + emp}
+            fresh.append(row)
+            self.shadow[emp] = row
+        self.cluster.insert("emp", fresh)
+
+    @rule(index=st.integers(0, NODES - 1))
+    def kill_node(self, index):
+        self.cluster.kill_node("node-%d" % index)
+
+    @rule(index=st.integers(0, NODES - 1))
+    def revive_node(self, index):
+        self.cluster.revive_node("node-%d" % index)
+
+    @rule(dept=st.integers(0, DEPT_SPACE - 1))
+    def routed_select(self, dept):
+        oracle = self._oracle_relation()
+        bucket = dept % NODES
+        ring = self.cluster.placement("emp").replicas(bucket)
+        if any(index not in self._dead() for index in ring):
+            assert self.cluster.select_eq("emp", {"dept": dept}) == \
+                algebra.select_eq(oracle, {"dept": dept})
+        else:
+            with pytest.raises(ClusterUnavailableError):
+                self.cluster.select_eq("emp", {"dept": dept})
+
+    @rule()
+    def aggregate(self):
+        if not self._available():
+            return
+        spec = {"n": ("count", "emp"), "pay": ("sum", "salary")}
+        assert self.cluster.aggregate("emp", ["dept"], spec) == \
+            local_aggregate(self._oracle_relation(), ["dept"], spec)
+
+    # -- the oracle invariant, after every step ------------------------
+
+    @invariant()
+    def scan_matches_oracle_or_raises_typed(self):
+        if self._available():
+            assert self.cluster.scan("emp") == self._oracle_relation()
+        else:
+            with pytest.raises(ClusterUnavailableError):
+                self.cluster.scan("emp")
+
+
+ClusterMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=30, deadline=None
+)
+TestClusterMachine = ClusterMachine.TestCase

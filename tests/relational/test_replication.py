@@ -1,0 +1,246 @@
+"""Replica placement and the replicated read/write paths."""
+
+import pytest
+
+from repro.errors import ClusterUnavailableError, SchemaError
+from repro.relational import algebra
+from repro.relational.distributed import Cluster
+from repro.relational.replication import ReplicaPlacement, replica_indices
+from repro.workloads.generators import department_relation, employee_relation
+
+
+class TestPlacementMath:
+    def test_primary_is_the_bucket_index(self):
+        placement = ReplicaPlacement(5, 3)
+        for bucket in range(5):
+            assert placement.primary(bucket) == bucket
+
+    def test_replicas_are_ring_successors(self):
+        assert replica_indices(3, 4, 2) == (3, 0)
+        assert replica_indices(0, 4, 3) == (0, 1, 2)
+
+    def test_replicas_are_distinct(self):
+        placement = ReplicaPlacement(7, 4)
+        for bucket in range(7):
+            ring = placement.replicas(bucket)
+            assert len(set(ring)) == len(ring) == 4
+
+    def test_every_node_holds_factor_buckets(self):
+        placement = ReplicaPlacement(6, 2)
+        for node in range(6):
+            assert len(placement.buckets_on(node)) == 2
+
+    def test_factor_must_fit_the_cluster(self):
+        with pytest.raises(SchemaError, match="replication factor"):
+            ReplicaPlacement(3, 4)
+        with pytest.raises(SchemaError, match="replication factor"):
+            ReplicaPlacement(3, 0)
+
+    def test_bucket_range_is_validated(self):
+        with pytest.raises(SchemaError, match="bucket"):
+            replica_indices(9, 4, 2)
+
+    def test_repr_names_the_shape(self):
+        assert repr(ReplicaPlacement(4, 2)) == \
+            "ReplicaPlacement(4 nodes, factor=2)"
+
+    def test_survives_counts_live_replicas(self):
+        placement = ReplicaPlacement(4, 2)
+        assert placement.survives(frozenset([1]))
+        # Adjacent nodes 1 and 2 are bucket 1's whole ring.
+        assert not placement.survives(frozenset([1, 2]))
+
+
+@pytest.fixture
+def employees():
+    return employee_relation(160, 8, seed=37)
+
+
+@pytest.fixture
+def departments():
+    return department_relation(8, seed=37)
+
+
+@pytest.fixture
+def replicated(employees, departments):
+    cluster = Cluster(4, replication_factor=2)
+    cluster.create_table("emp", employees, "dept")
+    cluster.create_table("dept", departments, "dept")
+    return cluster
+
+
+class TestReplicatedPlacement:
+    def test_each_bucket_lives_on_factor_nodes(self, replicated):
+        for bucket in range(4):
+            holders = [
+                node for node in replicated.nodes
+                if bucket in node.buckets_held("emp")
+            ]
+            assert len(holders) == 2
+
+    def test_replicas_are_identical_copies(self, replicated):
+        placement = replicated.placement("emp")
+        for bucket in range(4):
+            ring = placement.replicas(bucket)
+            copies = {
+                replicated.nodes[index].bucket("emp", bucket)
+                for index in ring
+            }
+            assert len(copies) == 1
+
+    def test_placement_overhead_is_priced(self, employees):
+        plain = Cluster(4)
+        plain.create_table("emp", employees, "dept")
+        assert plain.network.replica_bytes == 0
+        assert plain.network.bytes_shipped == 0
+
+        doubled = Cluster(4, replication_factor=2)
+        doubled.create_table("emp", employees, "dept")
+        assert doubled.network.replica_bytes > 0
+        assert doubled.network.replica_bytes == doubled.network.bytes_shipped
+
+    def test_factor_validation_at_cluster(self):
+        with pytest.raises(ValueError, match="replication factor"):
+            Cluster(2, replication_factor=3)
+
+    def test_per_table_factor_override(self, employees):
+        cluster = Cluster(4, replication_factor=1)
+        cluster.create_table("emp", employees, "dept", replication_factor=3)
+        assert cluster.placement("emp").replication_factor == 3
+
+
+class TestReadsUnderFailure:
+    def test_queries_survive_any_single_kill(self, replicated, employees,
+                                             departments):
+        for victim in [node.name for node in replicated.nodes]:
+            replicated.kill_node(victim)
+            assert replicated.scan("emp") == employees
+            assert replicated.select_eq("emp", {"dept": 5}) == \
+                algebra.select_eq(employees, {"dept": 5})
+            assert replicated.join("emp", "dept") == \
+                algebra.join(employees, departments)
+            replicated.revive_node(victim)
+
+    def test_failover_is_counted(self, replicated):
+        replicated.kill_node("node-1")
+        replicated.network.reset()
+        replicated.scan("emp")
+        assert replicated.network.failovers == 1  # bucket 1 -> node-2
+
+    def test_routed_select_fails_over_to_the_replica(self, replicated,
+                                                     employees):
+        # dept=5 hashes to bucket 1 (primary node-1, replica node-2).
+        replicated.kill_node("node-1")
+        replicated.network.reset()
+        result = replicated.select_eq("emp", {"dept": 5})
+        assert result == algebra.select_eq(employees, {"dept": 5})
+        assert replicated.network.failovers == 1
+        assert replicated.network.messages == 1
+
+    def test_losing_the_whole_ring_raises(self, replicated):
+        replicated.kill_node("node-1")
+        replicated.kill_node("node-2")
+        with pytest.raises(ClusterUnavailableError) as excinfo:
+            replicated.select_eq("emp", {"dept": 5})
+        error = excinfo.value
+        assert error.table == "emp"
+        assert error.bucket == 1
+        assert error.replicas == ("node-1", "node-2")
+
+    def test_unreplicated_cluster_has_no_failover(self, employees):
+        cluster = Cluster(4)
+        cluster.create_table("emp", employees, "dept")
+        cluster.kill_node("node-1")
+        with pytest.raises(ClusterUnavailableError):
+            cluster.scan("emp")
+
+    def test_revive_restores_service(self, replicated, employees):
+        replicated.kill_node("node-1")
+        replicated.kill_node("node-2")
+        with pytest.raises(ClusterUnavailableError):
+            replicated.scan("emp")
+        replicated.revive_node("node-2")
+        assert replicated.scan("emp") == employees
+
+    def test_aggregation_survives_a_kill(self, replicated, employees):
+        from repro.relational.aggregate import aggregate as local_aggregate
+
+        replicated.kill_node("node-3")
+        distributed = replicated.aggregate(
+            "emp", ["dept"], {"n": ("count", "emp"), "pay": ("sum", "salary")}
+        )
+        local = local_aggregate(
+            employees, ["dept"],
+            {"n": ("count", "emp"), "pay": ("sum", "salary")},
+        )
+        assert distributed == local
+
+
+class TestWrites:
+    def test_insert_fans_out_to_every_replica(self, replicated):
+        replicated.network.reset()
+        replicated.insert(
+            "emp",
+            [{"emp": 900, "name": "zz-900", "dept": 2, "salary": 40000}],
+        )
+        # One shipment per replica of the touched bucket.
+        assert replicated.network.messages == 2
+        assert replicated.network.replica_messages == 1
+        placement = replicated.placement("emp")
+        for index in placement.replicas(2):
+            rows = replicated.nodes[index].bucket("emp", 2)
+            assert any(r["emp"] == 900 for r in rows.iter_dicts())
+
+    def test_inserted_rows_are_queryable(self, replicated, employees):
+        replicated.insert(
+            "emp",
+            [{"emp": 901, "name": "zz-901", "dept": 5, "salary": 41000}],
+        )
+        result = replicated.select_eq("emp", {"emp": 901})
+        assert result.cardinality() == 1
+
+    def test_writes_reach_dead_nodes_durably(self, replicated):
+        # Durable fan-out: the unreachable replica's storage still gets
+        # the row, so a revive needs no anti-entropy pass.
+        replicated.kill_node("node-2")
+        replicated.insert(
+            "emp",
+            [{"emp": 902, "name": "zz-902", "dept": 5, "salary": 42000}],
+        )
+        replicated.revive_node("node-2")
+        replicated.kill_node("node-1")  # force reads onto node-2
+        result = replicated.select_eq("emp", {"emp": 902})
+        assert result.cardinality() == 1
+
+    def test_insert_validates_heading(self, replicated):
+        with pytest.raises(SchemaError, match="row keys"):
+            replicated.insert("emp", [{"emp": 1}])
+
+
+class TestReplicatedJoin:
+    def test_copartitioned_join_stays_local_under_replication(
+        self, replicated
+    ):
+        replicated.network.reset()
+        replicated.join("emp", "dept")
+        # Only result partials travel: one message per bucket.
+        assert replicated.network.messages == 4
+
+    def test_mismatched_factors_fall_back_to_shuffle(self, employees,
+                                                     departments):
+        cluster = Cluster(4, replication_factor=1)
+        cluster.create_table("emp", employees, "dept")
+        cluster.create_table("dept", departments, "dept",
+                             replication_factor=2)
+        assert cluster.join("emp", "dept") == algebra.join(
+            employees, departments
+        )
+
+    def test_shuffled_join_survives_a_kill(self, employees, departments):
+        cluster = Cluster(3, replication_factor=2)
+        cluster.create_table("emp", employees, "dept")
+        cluster.create_table("dept", departments, "dname")  # misaligned
+        cluster.kill_node("node-0")
+        assert cluster.join("emp", "dept") == algebra.join(
+            employees, departments
+        )

@@ -103,6 +103,48 @@ class TestClosure:
         assert main(["closure", "/nope.csv", "a", "b"]) == 2
 
 
+class TestClusterStatus:
+    def test_default_shape(self, csv_dir, capsys):
+        assert main(["cluster-status", csv_dir, "dept"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster: 4 nodes, replication factor 1" in out
+        assert "table dept (rf=1):" in out
+        assert "table emp (rf=1):" in out
+        assert "bucket 0 -> node-0" in out
+        assert "node-3: up" in out
+        assert "network:" in out
+
+    def test_replicated_shape_prices_the_overhead(self, csv_dir, capsys):
+        assert main(["cluster-status", csv_dir, "dept", "3", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster: 3 nodes, replication factor 2" in out
+        # Ring successors: bucket 0 on node-0 and node-1.
+        assert "bucket 0 -> node-0, node-1" in out
+        assert "(0 bytes replica placement overhead)" not in out
+
+    def test_unreplicated_overhead_is_zero(self, csv_dir, capsys):
+        assert main(["cluster-status", csv_dir, "dept", "4", "1"]) == 0
+        assert "(0 bytes replica placement overhead)" in \
+            capsys.readouterr().out
+
+    def test_factor_larger_than_cluster_fails_cleanly(self, csv_dir, capsys):
+        assert main(["cluster-status", csv_dir, "dept", "2", "3"]) == 2
+        assert "replication factor" in capsys.readouterr().err
+
+    def test_missing_attribute(self, csv_dir, capsys):
+        assert main(["cluster-status", csv_dir, "nope"]) == 2
+        assert "attribute" in capsys.readouterr().err
+
+    def test_non_integer_arguments(self, csv_dir, capsys):
+        assert main(["cluster-status", csv_dir, "dept", "four"]) == 2
+
+    def test_missing_directory(self, capsys):
+        assert main(["cluster-status", "/nonexistent", "dept"]) == 2
+
+    def test_wrong_arity(self, capsys):
+        assert main(["cluster-status"]) == 2
+
+
 class TestDispatch:
     def test_help(self, capsys):
         assert main([]) == 0

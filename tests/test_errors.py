@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import (
     AmbiguousValueError,
+    ClusterUnavailableError,
     CompositionError,
     InvalidAtomError,
     NotAFunctionError,
@@ -24,6 +25,7 @@ ALL_ERRORS = [
     CompositionError,
     SchemaError,
     NotationError,
+    ClusterUnavailableError,
 ]
 
 
@@ -46,6 +48,9 @@ class TestHierarchy:
 
     def test_atom_errors_are_type_errors(self):
         assert issubclass(InvalidAtomError, TypeError)
+
+    def test_cluster_errors_are_runtime_errors(self):
+        assert issubclass(ClusterUnavailableError, RuntimeError)
 
     def test_one_except_clause_guards_the_library(self):
         from repro.xst.builders import xset
@@ -105,3 +110,106 @@ class TestMessages:
 
         with pytest.raises(AmbiguousValueError, match="2 distinct"):
             value(xset([xtuple(["a"]), xtuple(["b"])]))
+
+
+class TestPaperNotation:
+    """Every exception shows the offending set in paper notation.
+
+    A bare type name or a Python-internal repr would force the reader
+    back into the implementation; the messages must instead speak the
+    notation of the paper (scoped sets ``{m^s}``, n-tuples ``<a, b>``)
+    so an error is legible next to the definitions it cites.
+    """
+
+    def test_invalid_atom_shows_the_offending_value(self):
+        from repro.xst.xset import XSet
+
+        with pytest.raises(InvalidAtomError, match=r"\[1, 2\]"):
+            XSet([([1, 2], None)])
+
+    def test_tuple_error_renders_the_scoped_set(self):
+        from repro.xst.tuples import tup
+        from repro.xst.xset import XSet
+
+        with pytest.raises(NotATupleError, match=r"\{a\^'weird-scope'\}"):
+            tup(XSet([("a", "weird-scope")]))
+
+    def test_process_error_renders_graph_and_sigmas(self):
+        from repro.core.process import Process
+        from repro.core.sigma import Sigma
+        from repro.xst.xset import XSet
+
+        with pytest.raises(
+            NotAProcessError, match=r"Process\(\{\}, Sigma\(<1>, <2>\)\)"
+        ):
+            Process(XSet(), Sigma.columns([1], [2])).require_wellformed()
+
+    def test_function_error_renders_the_non_pair_member(self):
+        from repro.core.process import Process
+        from repro.core.sigma import Sigma
+        from repro.cst.functions import CSTFunction
+        from repro.xst.builders import xset, xtuple
+
+        process = Process(
+            xset([xtuple(["a", "b", "c"])]), Sigma.columns([1], [2])
+        )
+        with pytest.raises(NotAFunctionError, match="<a, b, c>"):
+            CSTFunction.from_xst(process)
+
+    def test_ambiguous_value_lists_the_candidates(self):
+        from repro.xst.builders import xset, xtuple
+        from repro.xst.values import value
+
+        with pytest.raises(AmbiguousValueError, match=r"\['a', 'b'\]"):
+            value(xset([xtuple(["a"]), xtuple(["b"])]))
+
+    def test_composition_error_renders_both_arrows(self):
+        from repro.core.arrows import arrow_from_pairs
+
+        first = arrow_from_pairs([("x", "y")], ["x"], ["y"])
+        second = arrow_from_pairs([("q", "z")], ["q"], ["z"])
+        with pytest.raises(
+            CompositionError, match=r"Arrow\(1 pairs.*then Arrow\(1 pairs"
+        ):
+            first.then(second)
+
+    def test_schema_error_renders_the_row_as_a_tuple(self):
+        from repro.relational.relation import Relation
+        from repro.relational.schema import Heading
+        from repro.xst.builders import xset, xtuple
+
+        with pytest.raises(SchemaError, match="<q> is not record-shaped"):
+            Relation(Heading(["a"]), xset([xtuple(["q"])]))
+
+    def test_notation_error_reports_the_character_and_position(self):
+        from repro.notation import parse
+
+        with pytest.raises(NotationError, match="';' at position 3"):
+            parse("{a ; b}")
+
+    def test_cluster_error_renders_the_routing_key_as_a_record(self):
+        error = ClusterUnavailableError(
+            "emp", 1, ("node-1", "node-2"), key=None
+        )
+        assert "partition 1 of 'emp'" in str(error)
+        assert "tried node-1, node-2" in str(error)
+
+    def test_cluster_error_key_uses_scoped_membership(self):
+        from repro.xst.builders import xrecord
+
+        error = ClusterUnavailableError(
+            "emp", 1, ("node-1",), key=xrecord({"dept": 5})
+        )
+        assert "{5^dept}" in str(error)
+
+    def test_live_cluster_failure_carries_the_paper_notation_key(self):
+        from repro.relational.distributed import Cluster
+        from repro.workloads.generators import employee_relation
+
+        cluster = Cluster(4, replication_factor=1)
+        cluster.create_table(
+            "emp", employee_relation(40, 8, seed=13), "dept"
+        )
+        cluster.kill_node("node-1")
+        with pytest.raises(ClusterUnavailableError, match=r"\{5\^dept\}"):
+            cluster.select_eq("emp", {"dept": 5})

@@ -5,8 +5,14 @@ EXPERIMENTS.md records measured numbers; these tests pin the *shapes*
 generous margins so they stay green across machines while still
 failing if an implementation regression flips a comparison the
 reproduction depends on.
+
+Every workload-generator call threads an explicit seed derived from
+``WORKLOAD_SEED`` (override with the ``REPRO_WORKLOAD_SEED``
+environment variable; per-test offsets keep the datasets distinct) so
+a failure reproduces bit-identically on any machine.
 """
 
+import os
 import time
 
 from repro.core.composition import compose_chain, staged_apply
@@ -22,6 +28,8 @@ from repro.xst.xset import XSet
 HEADING = ["emp", "name", "dept", "salary"]
 DEPT_HEADING = ["dept", "dname", "budget"]
 
+WORKLOAD_SEED = int(os.environ.get("REPRO_WORKLOAD_SEED", "0"))
+
 
 def best_of(callable_, repeat: int = 5) -> float:
     best = float("inf")
@@ -34,8 +42,8 @@ def best_of(callable_, repeat: int = 5) -> float:
 
 class TestSetVsRecordShapes:
     def test_indexed_equijoin_beats_nested_loop_at_scale(self):
-        rows = employees(1200, 30, seed=5)
-        dept_rows = departments(30, seed=5)
+        rows = employees(1200, 30, seed=WORKLOAD_SEED + 5)
+        dept_rows = departments(30, seed=WORKLOAD_SEED + 5)
         record_left = RecordStore(HEADING, rows)
         record_right = RecordStore(DEPT_HEADING, dept_rows)
         set_left = SetStore(HEADING, rows)
@@ -54,8 +62,8 @@ class TestSetVsRecordShapes:
     def test_the_join_gap_grows_with_size(self):
         gaps = []
         for size in (200, 1600):
-            rows = employees(size, 20, seed=6)
-            dept_rows = departments(20, seed=6)
+            rows = employees(size, 20, seed=WORKLOAD_SEED + 6)
+            dept_rows = departments(20, seed=WORKLOAD_SEED + 6)
             record_time = best_of(
                 lambda: RecordStore(HEADING, rows).equijoin_count(
                     RecordStore(DEPT_HEADING, dept_rows), "dept"
@@ -77,7 +85,7 @@ class TestSetVsRecordShapes:
         # scans and returns row references; SetStore probes its index
         # and returns row references.  (The dict-materializing lookup()
         # wrappers cost the same on both sides and are excluded.)
-        rows = employees(1500, 25, seed=7)
+        rows = employees(1500, 25, seed=WORKLOAD_SEED + 7)
         record_store = RecordStore(HEADING, rows)
         set_store = SetStore(HEADING, rows)
         set_store.probe("dept", 0)  # restructure once
@@ -95,7 +103,7 @@ class TestSetVsRecordShapes:
 
 class TestFusionShapes:
     def test_fused_beats_staged_at_depth(self):
-        stages = pipeline_stages(8, 200, seed=8)
+        stages = pipeline_stages(8, 200, seed=WORKLOAD_SEED + 8)
         fused = compose_chain(stages)
         probe = xset([xtuple([7])])
         staged_time = best_of(lambda: staged_apply(stages, probe))
@@ -105,8 +113,8 @@ class TestFusionShapes:
 
     def test_staged_cost_grows_with_depth_fused_does_not(self):
         probe = xset([xtuple([3])])
-        shallow = pipeline_stages(2, 150, seed=9)
-        deep = pipeline_stages(8, 150, seed=9)
+        shallow = pipeline_stages(2, 150, seed=WORKLOAD_SEED + 9)
+        deep = pipeline_stages(8, 150, seed=WORKLOAD_SEED + 9)
         staged_growth = best_of(
             lambda: staged_apply(deep, probe)
         ) / best_of(lambda: staged_apply(shallow, probe))
@@ -144,8 +152,8 @@ class TestDistributionShapes:
         from repro.relational.distributed import Cluster
         from repro.workloads import department_relation, employee_relation
 
-        emp = employee_relation(500, 20, seed=10)
-        dept = department_relation(20, seed=10)
+        emp = employee_relation(500, 20, seed=WORKLOAD_SEED + 10)
+        dept = department_relation(20, seed=WORKLOAD_SEED + 10)
         co = Cluster(4)
         co.create_table("emp", emp, "dept")
         co.create_table("dept", dept, "dept")
