@@ -40,17 +40,30 @@ def misaligned_cluster(nodes: int) -> Cluster:
     return cluster
 
 
+def record_network(benchmark, cluster: Cluster) -> None:
+    """Attach the run's shipping accounting to the BENCH json."""
+    network = cluster.network
+    benchmark.extra_info["network"] = {
+        "messages": network.messages,
+        "bytes_shipped": network.bytes_shipped,
+        "retries": network.retries,
+        "failovers": network.failovers,
+    }
+
+
 @pytest.mark.parametrize("nodes", (2, 4, 8))
 def test_routed_selection(benchmark, nodes):
     cluster = co_partitioned_cluster(nodes)
     result = benchmark(cluster.select_eq, "emp", {"dept": 5})
     assert result.cardinality() > 0
+    record_network(benchmark, cluster)
 
 
 @pytest.mark.parametrize("nodes", (2, 4, 8))
 def test_broadcast_selection(benchmark, nodes):
     cluster = co_partitioned_cluster(nodes)
     benchmark(cluster.select_eq, "emp", {"name": "ada-0"})
+    record_network(benchmark, cluster)
 
 
 @pytest.mark.parametrize("nodes", (2, 4))
@@ -58,6 +71,7 @@ def test_copartitioned_join(benchmark, nodes):
     cluster = co_partitioned_cluster(nodes)
     result = benchmark(cluster.join, "emp", "dept")
     assert result.cardinality() == EMP_COUNT
+    record_network(benchmark, cluster)
 
 
 @pytest.mark.parametrize("nodes", (2, 4))
@@ -65,6 +79,7 @@ def test_shuffled_join(benchmark, nodes):
     cluster = misaligned_cluster(nodes)
     result = benchmark(cluster.join, "emp", "dept")
     assert result.cardinality() == EMP_COUNT
+    record_network(benchmark, cluster)
 
 
 @pytest.mark.parametrize("factor", (1, 2))
@@ -76,6 +91,7 @@ def test_copartitioned_join_replicated(benchmark, factor):
     result = benchmark(cluster.join, "emp", "dept")
     assert result.cardinality() == EMP_COUNT
     assert cluster.network.failovers == 0
+    record_network(benchmark, cluster)
 
 
 def test_shuffle_ships_an_input_copartition_does_not():
@@ -97,6 +113,7 @@ def test_distributed_aggregation(benchmark, nodes):
         {"n": ("count", "emp"), "pay": ("sum", "salary")},
     )
     assert result.cardinality() == DEPT_COUNT
+    record_network(benchmark, cluster)
 
 
 def test_aggregation_ships_less_than_scan():

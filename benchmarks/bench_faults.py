@@ -29,6 +29,19 @@ def replicated_cluster(nodes: int, factor: int, **kwargs) -> Cluster:
     return cluster
 
 
+def record_network(benchmark, cluster: Cluster) -> None:
+    """Attach the run's shipping/recovery accounting to the BENCH json."""
+    network = cluster.network
+    benchmark.extra_info["network"] = {
+        "messages": network.messages,
+        "bytes_shipped": network.bytes_shipped,
+        "retries": network.retries,
+        "failovers": network.failovers,
+        "backoff_s": round(network.backoff_s, 6),
+        "delay_s": round(network.delay_s, 6),
+    }
+
+
 @pytest.mark.parametrize("factor", (1, 2, 3))
 def test_replicated_placement(benchmark, factor):
     cluster = benchmark(replicated_cluster, 4, factor)
@@ -54,6 +67,7 @@ def test_failover_routed_read(benchmark, factor):
     cluster.kill_node("node-1")  # dept=5 hashes to bucket 1
     result = benchmark(cluster.select_eq, "emp", {"dept": 5})
     assert result.cardinality() > 0
+    record_network(benchmark, cluster)
 
 
 @pytest.mark.parametrize("factor", (2, 3))
@@ -62,6 +76,7 @@ def test_failover_scan(benchmark, factor):
     cluster.kill_node("node-0")
     result = benchmark(cluster.scan, "emp")
     assert result.cardinality() == EMP_COUNT
+    record_network(benchmark, cluster)
 
 
 def test_failover_ships_no_extra_bytes():
@@ -109,8 +124,11 @@ def test_recovery_latency_is_the_backoff_sum():
 
 
 def test_chaos_scan(benchmark):
+    clusters = []
+
     def faulty_scan():
         cluster = replicated_cluster(4, 2)
+        clusters.append(cluster)
         cluster.install_faults(
             FaultPlan.chaos(
                 SEED,
@@ -125,3 +143,4 @@ def test_chaos_scan(benchmark):
 
     result = benchmark(faulty_scan)
     assert result.cardinality() == EMP_COUNT
+    record_network(benchmark, clusters[-1])

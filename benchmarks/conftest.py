@@ -31,6 +31,43 @@ def workload_seed():
     return WORKLOAD_SEED
 
 
+@pytest.fixture
+def observed_registry():
+    """Force observability on for one benchmark; yields the registry."""
+    from repro.obs import instrument, metrics
+
+    previous = instrument.set_enabled(True)
+    try:
+        yield metrics.registry()
+    finally:
+        instrument.set_enabled(previous)
+
+
+@pytest.fixture(autouse=True)
+def bench_obs_delta(request):
+    """Snapshot the metrics registry across each benchmark.
+
+    Whatever the measured code recorded (kernel op counts, cluster
+    retries, shipped bytes) lands in the BENCH json as
+    ``extra_info["obs"]``, so a saved benchmark run carries its own
+    explanation.  Benchmarks that never touch an instrumented path
+    contribute an empty delta, which is omitted.
+    """
+    from repro.obs import metrics
+
+    if "benchmark" not in request.fixturenames:
+        yield
+        return
+    benchmark = request.getfixturevalue("benchmark")
+    before = metrics.registry().snapshot()
+    yield
+    delta = metrics.registry().delta(before)
+    if delta:
+        benchmark.extra_info["obs"] = {
+            name: value for name, value in sorted(delta.items())
+        }
+
+
 @pytest.fixture(scope="session")
 def employee_rows():
     from repro.workloads import employees

@@ -24,6 +24,22 @@ Four small commands that make the library usable from a shell:
     and print the placement map, per-node liveness and row counts, and
     the replication byte overhead.
 
+``obs-metrics CSVDIR XQL``
+    Run a query with observability enabled and print the Prometheus
+    text exposition of everything it recorded: kernel op counters and
+    latency histograms, plan node counts, cardinalities.
+
+``obs-trace CSVDIR XQL`` / ``obs-trace CSVDIR LEFT RIGHT ATTR``
+    Poor-man's distributed EXPLAIN ANALYZE.  The two-argument form
+    traces a local XQL query; the four-argument form builds a cluster
+    (``--nodes N --factor F``), optionally arms a deterministic chaos
+    schedule (``--chaos SEED``), joins LEFT with RIGHT partitioned on
+    ATTR, and renders the span tree -- per-bucket reads with retry and
+    failover attributes.  ``--out FILE`` also exports JSON lines.
+
+``query``/``closure`` additionally accept ``--trace-out FILE`` to
+export the execution trace as JSON lines alongside the normal output.
+
 Every command writes to stdout and exits non-zero with a message on
 stderr for malformed input, so the tool composes in pipelines.
 """
@@ -53,17 +69,57 @@ usage: python -m repro <command> [args]
 commands:
   eval EXPR              parse paper notation, print canonical form
   image RELATION KEYS    CST-shaped image of KEYS under RELATION
-  query CSVDIR XQL       run an XQL query over a directory of CSVs
-  closure CSV FROM TO    transitive closure of an edge-list CSV
+  query CSVDIR XQL [--trace-out FILE]
+                         run an XQL query over a directory of CSVs
+  closure CSV FROM TO [--trace-out FILE]
+                         transitive closure of an edge-list CSV
   cluster-status CSVDIR ATTR [NODES [FACTOR]]
                          place CSVs on a simulated replicated cluster
                          and print its status
+  obs-metrics CSVDIR XQL run a query observed; print Prometheus text
+  obs-trace CSVDIR XQL [--out FILE]
+                         trace a local query; render the span tree
+  obs-trace CSVDIR LEFT RIGHT ATTR [--nodes N] [--factor F]
+            [--chaos SEED] [--out FILE]
+                         trace a distributed join (optionally under a
+                         deterministic chaos fault schedule)
 """
 
 
 def _fail(message: str) -> int:
     print("repro: %s" % message, file=sys.stderr)
     return 2
+
+
+def _pop_option(args: List[str], name: str):
+    """Extract ``name VALUE`` from ``args`` (mutating); None if absent.
+
+    Raises ValueError when the flag is present without a value.
+    """
+    if name not in args:
+        return None
+    index = args.index(name)
+    if index + 1 >= len(args):
+        raise ValueError("%s needs a value" % name)
+    value = args[index + 1]
+    del args[index:index + 2]
+    return value
+
+
+def _load_db(directory: str) -> Database:
+    """Load every ``*.csv`` in a directory as a relation (by stem)."""
+    if not os.path.isdir(directory):
+        raise XSTError("%r is not a directory" % directory)
+    db = Database()
+    loaded = 0
+    for entry in sorted(os.listdir(directory)):
+        if entry.endswith(".csv"):
+            name = entry[: -len(".csv")]
+            db.add(name, read_csv(os.path.join(directory, entry)))
+            loaded += 1
+    if not loaded:
+        raise XSTError("no .csv files in %r" % directory)
+    return db
 
 
 def _command_eval(args: List[str]) -> int:
@@ -89,26 +145,34 @@ def _command_image(args: List[str]) -> int:
 
 
 def _command_query(args: List[str]) -> int:
+    args = list(args)
+    try:
+        trace_out = _pop_option(args, "--trace-out")
+    except ValueError as error:
+        return _fail(str(error))
     if len(args) != 2:
         return _fail("query takes CSVDIR and an XQL string")
     directory, text = args
-    if not os.path.isdir(directory):
-        return _fail("%r is not a directory" % directory)
-    db = Database()
-    loaded = 0
-    for entry in sorted(os.listdir(directory)):
-        if entry.endswith(".csv"):
-            name = entry[: -len(".csv")]
-            db.add(name, read_csv(os.path.join(directory, entry)))
-            loaded += 1
-    if not loaded:
-        return _fail("no .csv files in %r" % directory)
-    result = run_xql(db, text)
+    db = _load_db(directory)
+    if trace_out is None:
+        result = run_xql(db, text)
+    else:
+        from repro.obs import observed, tracer
+
+        with observed():
+            tracer().reset()
+            result = run_xql(db, text)
+            tracer().export_jsonl(trace_out)
     sys.stdout.write(dumps_csv(result))
     return 0
 
 
 def _command_closure(args: List[str]) -> int:
+    args = list(args)
+    try:
+        trace_out = _pop_option(args, "--trace-out")
+    except ValueError as error:
+        return _fail(str(error))
     if len(args) != 3:
         return _fail("closure takes CSVFILE, FROM column, TO column")
     path, source_column, target_column = args
@@ -118,7 +182,20 @@ def _command_closure(args: List[str]) -> int:
         xpair(row[source_column], row[target_column])
         for row in edges.iter_dicts()
     )
-    closed = transitive_closure(graph)
+    if trace_out is None:
+        closed = transitive_closure(graph)
+    else:
+        from repro.obs import observed, tracer
+
+        with observed():
+            tracer().reset()
+            with tracer().span(
+                "closure(%s, %s)" % (source_column, target_column),
+                edges=edges.cardinality(),
+            ) as span:
+                closed = transitive_closure(graph)
+                span.set("pairs", len(closed))
+            tracer().export_jsonl(trace_out)
     rows = sorted(
         (member.as_tuple() for member, _ in closed.pairs()), key=repr
     )
@@ -191,12 +268,109 @@ def _command_cluster_status(args: List[str]) -> int:
     return 0
 
 
+def _command_obs_metrics(args: List[str]) -> int:
+    if len(args) != 2:
+        return _fail("obs-metrics takes CSVDIR and an XQL string")
+    from repro.obs import observed
+
+    directory, text = args
+    db = _load_db(directory)
+    with observed() as reg:
+        reg.reset()
+        run_xql(db, text)
+        sys.stdout.write(reg.expose())
+    return 0
+
+
+def _trace_local_query(directory: str, text: str, out: Optional[str]) -> int:
+    from repro.obs import observed, tracer
+
+    db = _load_db(directory)
+    with observed():
+        tracer().reset()
+        result = run_xql(db, text)
+        root = tracer().last_root()
+        print(tracer().render(root))
+        print("-- %d result rows" % result.cardinality())
+        if out is not None:
+            count = tracer().export_jsonl(out)
+            print("-- %d spans -> %s" % (count, out))
+    return 0
+
+
+def _trace_cluster_join(args: List[str], options) -> int:
+    directory, left, right, attr = args
+    nodes, factor, chaos, out = options
+    from repro.obs import observed
+    from repro.relational.distributed import Cluster, ClusterUnavailableError
+    from repro.relational.faults import FaultPlan
+
+    try:
+        cluster = Cluster(nodes, replication_factor=factor)
+    except ValueError as error:
+        return _fail(str(error))
+    for name in (left, right):
+        path = os.path.join(directory, name + ".csv")
+        relation = read_csv(path)
+        if attr not in relation.heading:
+            return _fail("%r has no %r attribute" % (path, attr))
+        cluster.create_table(name, relation, attr)
+    if chaos is not None:
+        # One join ticks the injector only a few times per bucket, so
+        # squeeze the chaos horizon to the query's operation window --
+        # the default (200) would schedule every fault after the query.
+        cluster.install_faults(FaultPlan.chaos(
+            chaos, [node.name for node in cluster.nodes],
+            horizon=4 * len(cluster.nodes),
+        ))
+    with observed():
+        try:
+            result = cluster.join(left, right)
+        except ClusterUnavailableError as error:
+            print(cluster.tracer.render(cluster.last_query_span))
+            return _fail("join unavailable: %s" % error)
+        print(cluster.tracer.render(cluster.last_query_span))
+        network = cluster.network
+        print("-- %d result rows; %d retries, %d failovers, "
+              "%d bytes shipped"
+              % (result.cardinality(), network.retries,
+                 network.failovers, network.bytes_shipped))
+        if out is not None:
+            count = cluster.tracer.export_jsonl(out)
+            print("-- %d spans -> %s" % (count, out))
+    return 0
+
+
+def _command_obs_trace(args: List[str]) -> int:
+    args = list(args)
+    try:
+        out = _pop_option(args, "--out")
+        nodes = _pop_option(args, "--nodes")
+        factor = _pop_option(args, "--factor")
+        chaos = _pop_option(args, "--chaos")
+    except ValueError as error:
+        return _fail(str(error))
+    try:
+        nodes = 4 if nodes is None else int(nodes)
+        factor = 1 if factor is None else int(factor)
+        chaos = None if chaos is None else int(chaos)
+    except ValueError:
+        return _fail("--nodes, --factor and --chaos must be integers")
+    if len(args) == 2:
+        return _trace_local_query(args[0], args[1], out)
+    if len(args) == 4:
+        return _trace_cluster_join(args, (nodes, factor, chaos, out))
+    return _fail("obs-trace takes CSVDIR XQL, or CSVDIR LEFT RIGHT ATTR")
+
+
 _COMMANDS = {
     "eval": _command_eval,
     "image": _command_image,
     "query": _command_query,
     "closure": _command_closure,
     "cluster-status": _command_cluster_status,
+    "obs-metrics": _command_obs_metrics,
+    "obs-trace": _command_obs_trace,
 }
 
 

@@ -1,0 +1,61 @@
+"""Unified observability: tracing, metrics, and their exports.
+
+Every measurement path in the reproduction reports through this one
+zero-dependency subsystem:
+
+=================  ===================================================
+module             contents
+=================  ===================================================
+``trace``          :class:`Span` / :class:`Tracer` -- explicit-clock
+                   span trees, ring buffer, tree render, JSON lines
+``metrics``        :class:`Registry` of counters, gauges and
+                   fixed-bucket histograms; Prometheus exposition
+``instrument``     the ``REPRO_OBS`` gate and the kernel-op hook
+=================  ===================================================
+
+Who hangs off it: the XST kernel (op counts, cardinalities, latency
+histograms), the relational profiler (EXPLAIN-ANALYZE span trees),
+the simulated cluster (per-bucket read spans with retry/failover
+attributes; ``NetworkStats`` mirrored as counters), the CLI
+(``repro obs-metrics`` / ``repro obs-trace`` / ``--trace-out``) and
+the benchmark harness (registry deltas into the benchmark JSON).
+
+Default off: set ``REPRO_OBS=1`` (or call
+:func:`repro.obs.set_enabled`) to record.  See
+``docs/observability.md`` for the span model and naming scheme.
+"""
+
+from repro.obs import metrics, trace
+from repro.obs.instrument import enabled, kernel_op, observed, set_enabled
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    parse_exposition,
+    registry,
+)
+from repro.obs.trace import FakeClock, Span, Tracer, tracer
+
+__all__ = [
+    # switches
+    "enabled",
+    "set_enabled",
+    "observed",
+    "kernel_op",
+    # tracing
+    "Span",
+    "Tracer",
+    "FakeClock",
+    "tracer",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "registry",
+    "parse_exposition",
+    # submodules
+    "metrics",
+    "trace",
+]

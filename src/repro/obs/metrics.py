@@ -1,0 +1,489 @@
+"""Zero-dependency metrics: counters, gauges, histograms, exposition.
+
+A :class:`Registry` holds named metrics, each optionally split by a
+fixed tuple of label names.  The design follows the Prometheus data
+model closely enough that :meth:`Registry.expose` emits valid text
+exposition format, but everything is in-process and resettable -- the
+benchmark harness snapshots the registry around each benchmark and
+records the delta next to the timings.
+
+Metric naming scheme (see ``docs/observability.md``):
+
+* ``repro_<layer>_<what>_total`` -- counters (monotonic within a
+  reset epoch), e.g. ``repro_xst_op_total{op="restrict"}``;
+* ``repro_<layer>_<what>_seconds`` / ``..._rows`` -- histograms with
+  fixed buckets, e.g. ``repro_xst_op_seconds{op="image"}``;
+* ``repro_<layer>_<what>`` -- gauges for point-in-time values.
+
+Histograms use fixed bucket boundaries so two runs (or two machines)
+aggregate identically; :meth:`Histogram.percentile` answers p50/p95/
+p99 by linear interpolation inside the owning bucket, which is exact
+enough for trajectory tracking and costs O(buckets) memory.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "registry",
+    "parse_exposition",
+    "SECONDS_BUCKETS",
+    "ROWS_BUCKETS",
+]
+
+#: Fixed latency buckets: 10us .. 5s, then +Inf.
+SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.00001, 0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0
+)
+
+#: Fixed cardinality buckets: 1 .. 1e6 rows, then +Inf.
+ROWS_BUCKETS: Tuple[float, ...] = (
+    1, 2, 5, 10, 50, 100, 500, 1000, 5000, 10000, 100000, 1000000
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError("invalid metric name %r" % (name,))
+    return name
+
+
+def _escape(value: Any) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _label_suffix(label_names: Sequence[str], key: Tuple[Any, ...],
+                  extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = list(zip(label_names, key))
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    return "{%s}" % ",".join(
+        '%s="%s"' % (name, _escape(value)) for name, value in pairs
+    )
+
+
+class _Metric:
+    """Shared plumbing: name, help text, label handling."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str = "",
+                 label_names: Sequence[str] = ()):
+        self.name = _check_name(name)
+        self.help = help_text
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise ValueError("invalid label name %r" % (label,))
+        self.label_names: Tuple[str, ...] = tuple(label_names)
+
+    def _key(self, labels: Mapping[str, Any]) -> Tuple[Any, ...]:
+        if frozenset(labels) != frozenset(self.label_names):
+            raise ValueError(
+                "metric %s takes labels %s, got %s"
+                % (self.name, list(self.label_names), sorted(labels))
+            )
+        return tuple(labels[name] for name in self.label_names)
+
+    def samples(self) -> Iterator[Tuple[str, str, float]]:
+        """Yield ``(sample_name, label_suffix, value)`` rows."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing count (within a reset epoch)."""
+
+    kind = "counter"
+
+    def __init__(self, name, help_text="", label_names=()):
+        super().__init__(name, help_text, label_names)
+        self._values: Dict[Tuple[Any, ...], float] = {}
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def inc_key(self, key: Tuple[Any, ...], amount: float = 1) -> None:
+        """Hot-path increment with a pre-built label-value tuple.
+
+        ``key`` holds the label values in ``label_names`` order.
+        Instrumentation call sites build it once per operation and
+        skip the per-call label validation :meth:`inc` performs.
+        """
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(self._key(labels), 0)
+
+    def samples(self):
+        for key in sorted(self._values, key=repr):
+            yield (
+                self.name,
+                _label_suffix(self.label_names, key),
+                self._values[key],
+            )
+
+    def reset(self):
+        self._values.clear()
+
+
+class Gauge(_Metric):
+    """A point-in-time value that can move both ways."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help_text="", label_names=()):
+        super().__init__(name, help_text, label_names)
+        self._values: Dict[Tuple[Any, ...], float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._values[self._key(labels)] = value
+
+    def add(self, amount: float, **labels: Any) -> None:
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(self._key(labels), 0)
+
+    def samples(self):
+        for key in sorted(self._values, key=repr):
+            yield (
+                self.name,
+                _label_suffix(self.label_names, key),
+                self._values[key],
+            )
+
+    def reset(self):
+        self._values.clear()
+
+
+class _HistogramState:
+    __slots__ = ("bucket_counts", "count", "sum")
+
+    def __init__(self, bucket_count: int):
+        self.bucket_counts = [0] * bucket_count
+        self.count = 0
+        self.sum = 0.0
+
+
+class Histogram(_Metric):
+    """Fixed-bucket distribution: counts per bucket, total, sum.
+
+    ``buckets`` are the inclusive upper bounds; an implicit ``+Inf``
+    bucket catches the tail.  :meth:`percentile` interpolates within
+    the owning bucket, so answers are estimates bounded by bucket
+    width -- fine for p50/p95/p99 trajectory tracking.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name, help_text="", label_names=(),
+                 buckets: Sequence[float] = SECONDS_BUCKETS):
+        super().__init__(name, help_text, label_names)
+        bounds = tuple(sorted(float(bound) for bound in buckets))
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("duplicate bucket bounds")
+        self.buckets = bounds
+        self._states: Dict[Tuple[Any, ...], _HistogramState] = {}
+
+    def _state(self, labels: Mapping[str, Any]) -> _HistogramState:
+        key = self._key(labels)
+        state = self._states.get(key)
+        if state is None:
+            state = self._states[key] = _HistogramState(len(self.buckets))
+        return state
+
+    def observe(self, value: float, **labels: Any) -> None:
+        state = self._state(labels)
+        index = bisect_left(self.buckets, value)
+        if index < len(self.buckets):
+            state.bucket_counts[index] += 1
+        state.count += 1
+        state.sum += value
+
+    def observe_key(self, key: Tuple[Any, ...], value: float) -> None:
+        """Hot-path observation with a pre-built label-value tuple
+        (the histogram counterpart of :meth:`Counter.inc_key`)."""
+        state = self._states.get(key)
+        if state is None:
+            state = self._states[key] = _HistogramState(len(self.buckets))
+        index = bisect_left(self.buckets, value)
+        if index < len(self.buckets):
+            state.bucket_counts[index] += 1
+        state.count += 1
+        state.sum += value
+
+    def count(self, **labels: Any) -> int:
+        key = self._key(labels)
+        state = self._states.get(key)
+        return 0 if state is None else state.count
+
+    def sum(self, **labels: Any) -> float:
+        key = self._key(labels)
+        state = self._states.get(key)
+        return 0.0 if state is None else state.sum
+
+    def percentile(self, q: float, **labels: Any) -> float:
+        """Estimate the q-th percentile (0 < q <= 100) by interpolation.
+
+        Returns 0.0 for an empty histogram.  Observations beyond the
+        last finite bucket report that bucket's bound (the estimate is
+        clamped; fixed buckets cannot resolve the open tail).
+        """
+        if not 0 < q <= 100:
+            raise ValueError("percentile wants 0 < q <= 100")
+        key = self._key(labels)
+        state = self._states.get(key)
+        if state is None or state.count == 0:
+            return 0.0
+        target = q / 100.0 * state.count
+        cumulative = 0
+        lower = 0.0
+        for bound, bucket_count in zip(self.buckets, state.bucket_counts):
+            if cumulative + bucket_count >= target and bucket_count:
+                within = (target - cumulative) / bucket_count
+                return lower + (bound - lower) * within
+            cumulative += bucket_count
+            lower = bound
+        return self.buckets[-1]
+
+    def samples(self):
+        for key in sorted(self._states, key=repr):
+            state = self._states[key]
+            cumulative = 0
+            for bound, bucket_count in zip(self.buckets, state.bucket_counts):
+                cumulative += bucket_count
+                yield (
+                    self.name + "_bucket",
+                    _label_suffix(self.label_names, key,
+                                  extra=("le", "%g" % bound)),
+                    cumulative,
+                )
+            yield (
+                self.name + "_bucket",
+                _label_suffix(self.label_names, key, extra=("le", "+Inf")),
+                state.count,
+            )
+            yield (
+                self.name + "_sum",
+                _label_suffix(self.label_names, key),
+                state.sum,
+            )
+            yield (
+                self.name + "_count",
+                _label_suffix(self.label_names, key),
+                state.count,
+            )
+
+    def summary_samples(self):
+        """The compact rows used for snapshots: count and sum only."""
+        for key in sorted(self._states, key=repr):
+            state = self._states[key]
+            suffix = _label_suffix(self.label_names, key)
+            yield (self.name + "_count", suffix, state.count)
+            yield (self.name + "_sum", suffix, state.sum)
+
+    def reset(self):
+        self._states.clear()
+
+
+class Registry:
+    """A named collection of metrics with get-or-create access.
+
+    Re-requesting a name returns the existing metric; re-requesting it
+    with a different kind or label set is a programming error and
+    raises.  :meth:`reset` clears every recorded value but keeps the
+    registrations, so instrument-once-measure-many workflows (and the
+    test suite) can start each epoch clean.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(self, factory, name: str, help_text: str,
+                       label_names: Sequence[str], **kwargs) -> Any:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, factory) or \
+                    existing.label_names != tuple(label_names):
+                raise ValueError(
+                    "metric %r already registered as %s%s"
+                    % (name, existing.kind, list(existing.label_names))
+                )
+            return existing
+        metric = factory(name, help_text, label_names, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str = "",
+                label_names: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help_text, label_names)
+
+    def gauge(self, name: str, help_text: str = "",
+              label_names: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help_text, label_names)
+
+    def histogram(self, name: str, help_text: str = "",
+                  label_names: Sequence[str] = (),
+                  buckets: Sequence[float] = SECONDS_BUCKETS) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help_text, label_names, buckets=buckets
+        )
+
+    def collect(self) -> List[_Metric]:
+        """Every registered metric, sorted by name."""
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def expose(self) -> str:
+        """Prometheus text exposition of every metric with data."""
+        lines: List[str] = []
+        for metric in self.collect():
+            samples = list(metric.samples())
+            if not samples:
+                continue
+            if metric.help:
+                lines.append("# HELP %s %s" % (metric.name, metric.help))
+            lines.append("# TYPE %s %s" % (metric.name, metric.kind))
+            for sample_name, suffix, value in samples:
+                lines.append(
+                    "%s%s %s" % (sample_name, suffix, _format_value(value))
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> Dict[str, float]:
+        """A flat ``{sample_key: value}`` map for delta accounting.
+
+        Histograms contribute only their ``_count`` and ``_sum`` rows,
+        keeping benchmark-delta records compact.
+        """
+        flat: Dict[str, float] = {}
+        for metric in self.collect():
+            rows = (
+                metric.summary_samples()
+                if isinstance(metric, Histogram)
+                else metric.samples()
+            )
+            for sample_name, suffix, value in rows:
+                flat[sample_name + suffix] = value
+        return flat
+
+    def delta(self, before: Mapping[str, float]) -> Dict[str, float]:
+        """What changed since a :meth:`snapshot`, zero-changes omitted."""
+        changes: Dict[str, float] = {}
+        for key, value in self.snapshot().items():
+            moved = value - before.get(key, 0)
+            if moved:
+                changes[key] = moved
+        return changes
+
+    def reset(self) -> None:
+        """Clear every value; registrations survive."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __repr__(self) -> str:
+        return "Registry(%d metrics)" % len(self._metrics)
+
+
+#: The process-global registry the production hooks record into.
+_REGISTRY = Registry()
+
+
+def registry() -> Registry:
+    """The process-global default registry."""
+    return _REGISTRY
+
+
+_LABEL_VALUE = r"\"(?:[^\"\\]|\\.)*\""  # quoted, backslash escapes allowed
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"              # sample name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=" + _LABEL_VALUE
+    + r"(?:,[a-zA-Z_][a-zA-Z0-9_]*=" + _LABEL_VALUE + r")*\})?"
+    r" (-?(?:[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?|Inf)|NaN|\+Inf)$"
+)
+_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def parse_exposition(text: str) -> Dict[str, List[Tuple[str, float]]]:
+    """Parse (and so validate) Prometheus text exposition.
+
+    Returns ``{family_name: [(sample_line_key, value), ...]}``.
+    Raises :class:`ValueError` on a malformed line, a duplicate
+    ``# TYPE`` declaration (duplicate metric name), or a sample that
+    belongs to no declared family -- the checks the CI smoke step
+    relies on.
+    """
+    families: Dict[str, List[Tuple[str, float]]] = {}
+    declared_kind: Dict[str, str] = {}
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise ValueError("line %d: malformed TYPE" % line_number)
+            _, _, name, kind = parts
+            if name in declared_kind:
+                raise ValueError(
+                    "line %d: duplicate metric name %r" % (line_number, name)
+                )
+            declared_kind[name] = kind
+            families[name] = []
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(
+                "line %d: malformed sample %r" % (line_number, line)
+            )
+        sample_name = match.group(1)
+        family = sample_name
+        if declared_kind.get(family) is None:
+            for suffix in _SUFFIXES:
+                if sample_name.endswith(suffix):
+                    family = sample_name[: -len(suffix)]
+                    break
+        if family not in declared_kind:
+            raise ValueError(
+                "line %d: sample %r has no TYPE declaration"
+                % (line_number, sample_name)
+            )
+        value_text = match.group(3)
+        value = float(value_text.replace("Inf", "inf"))
+        key = sample_name + (match.group(2) or "")
+        families[family].append((key, value))
+    return families

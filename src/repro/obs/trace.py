@@ -1,0 +1,267 @@
+"""Explicit-clock tracing: spans, span trees, and their exports.
+
+A :class:`Span` is one timed region of execution with a name, a bag of
+attributes, and parent/child links; a :class:`Tracer` manages the
+stack of open spans, stamps them with an injectable clock, and keeps
+finished *root* spans in a bounded ring buffer.  The profiler
+(:mod:`repro.relational.profile`) and the distributed cluster
+(:mod:`repro.relational.distributed`) both hang their measurements off
+this one span model, so an EXPLAIN-ANALYZE tree and a per-bucket
+cluster trace render and export identically.
+
+The clock is any zero-argument callable returning seconds.  The
+default is :func:`time.perf_counter` (monotonic wall time); injecting
+a :class:`FakeClock` makes span durations *simulated* time instead --
+the fault harness charges its synthetic backoff and node delays
+through :meth:`Tracer.advance`, which is a no-op on a real clock and
+advances a fake one, so injected latency lands in traces without
+anyone actually sleeping.
+
+Exports: :meth:`Span.render` draws the indented tree with durations
+and attributes; :meth:`Tracer.export_jsonl` writes one JSON object per
+span (parents before children) for offline analysis.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from contextlib import contextmanager
+from itertools import count
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["FakeClock", "Span", "Tracer", "tracer"]
+
+
+class FakeClock:
+    """A clock that only moves when told to: simulated seconds.
+
+    Install one on a :class:`Tracer` (or a
+    :class:`~repro.relational.distributed.Cluster`) and every span
+    duration becomes the simulated time charged between its start and
+    end -- deterministic across runs, independent of machine speed.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("clocks only move forward")
+        self._now += seconds
+
+    def __repr__(self) -> str:
+        return "FakeClock(%.6f)" % self._now
+
+
+class Span:
+    """One timed region: name, attributes, timing, children.
+
+    Spans are created through :meth:`Tracer.start` /
+    :meth:`Tracer.span`, never directly.  ``attrs`` values should be
+    JSON-serializable (strings, numbers, booleans) so exports stay
+    portable.
+    """
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "start_s",
+                 "end_s", "children")
+
+    def __init__(self, name: str, attrs: Dict[str, Any], span_id: int,
+                 parent_id: Optional[int], start_s: float):
+        self.name = name
+        self.attrs = attrs
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_s = start_s
+        self.end_s: Optional[float] = None
+        self.children: List["Span"] = []
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach or overwrite one attribute."""
+        self.attrs[key] = value
+
+    def rename(self, name: str) -> None:
+        """Replace the span name (e.g. once the serving node is known)."""
+        self.name = name
+
+    @property
+    def duration_s(self) -> float:
+        """Seconds between start and end (0.0 while still open)."""
+        if self.end_s is None:
+            return 0.0
+        return max(0.0, self.end_s - self.start_s)
+
+    def tree(self) -> Iterator["Span"]:
+        """This span and every descendant, parents before children."""
+        yield self
+        for child in self.children:
+            yield from child.tree()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A flat JSON-ready record (children linked by ``parent_id``)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+        }
+
+    def render(self, indent: int = 0) -> str:
+        """The indented tree: name, duration, attributes."""
+        attrs = "  ".join(
+            "%s=%s" % (key, _render_value(self.attrs[key]))
+            for key in sorted(self.attrs)
+        )
+        line = "%s%-40s %10.3f ms" % (
+            "  " * indent, self.name, self.duration_s * 1000
+        )
+        lines = [line + ("  " + attrs if attrs else "")]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "Span(%s, %d children)" % (self.name, len(self.children))
+
+
+def _render_value(value: Any) -> str:
+    if isinstance(value, float):
+        return "%.4g" % value
+    return str(value)
+
+
+class Tracer:
+    """Builds span trees against an explicit clock.
+
+    ``clock`` is any zero-argument callable returning seconds
+    (default: :func:`time.perf_counter`).  Finished root spans land in
+    a ring buffer of ``capacity`` entries -- old traces age out, the
+    process never grows without bound.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("a tracer needs room for at least one trace")
+        self.clock = clock if clock is not None else time.perf_counter
+        self._stack: List[Span] = []
+        self._roots: deque = deque(maxlen=capacity)
+        self._ids = count(1)
+
+    # -- time ----------------------------------------------------------
+
+    def now(self) -> float:
+        return self.clock()
+
+    def advance(self, seconds: float) -> None:
+        """Charge simulated seconds: advances a fake clock, else no-op.
+
+        This is how the fault harness's synthetic backoff and node
+        delays reach span durations without real sleeping.
+        """
+        advance = getattr(self.clock, "advance", None)
+        if advance is not None:
+            advance(seconds)
+
+    # -- span lifecycle ------------------------------------------------
+
+    def start(self, name: str, **attrs: Any) -> Span:
+        """Open a span as a child of the currently open span (if any)."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            name, dict(attrs), next(self._ids),
+            parent.span_id if parent is not None else None, self.now()
+        )
+        if parent is not None:
+            parent.children.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span) -> None:
+        """Close a span; a closed root enters the ring buffer."""
+        span.end_s = self.now()
+        while self._stack:
+            if self._stack.pop() is span:
+                break
+        if span.parent_id is None:
+            self._roots.append(span)
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """``with tracer.span("name", k=v) as span: ...``
+
+        Exceptions are recorded as an ``error`` attribute (the
+        exception type name) and re-raised; the span always closes.
+        """
+        opened = self.start(name, **attrs)
+        try:
+            yield opened
+        except BaseException as error:
+            opened.set("error", type(error).__name__)
+            raise
+        finally:
+            self.end(opened)
+
+    # -- inspection and export -----------------------------------------
+
+    @property
+    def active(self) -> Optional[Span]:
+        """The innermost open span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def roots(self) -> Tuple[Span, ...]:
+        """Finished root spans, oldest first (bounded by capacity)."""
+        return tuple(self._roots)
+
+    def last_root(self) -> Optional[Span]:
+        """The most recently finished root span."""
+        return self._roots[-1] if self._roots else None
+
+    def render(self, span: Optional[Span] = None) -> str:
+        """Render one span tree (default: the last finished root)."""
+        target = span if span is not None else self.last_root()
+        return "" if target is None else target.render()
+
+    def export_jsonl(self, destination) -> int:
+        """Write every buffered trace as JSON lines; returns span count.
+
+        ``destination`` is a path or a writable file object.  One JSON
+        object per span, parents before children, so a streaming
+        reader can rebuild every tree from ``parent_id`` links.
+        """
+        spans = [
+            span.to_dict() for root in self._roots for span in root.tree()
+        ]
+        if hasattr(destination, "write"):
+            for record in spans:
+                destination.write(json.dumps(record, sort_keys=True) + "\n")
+        else:
+            with open(destination, "w") as handle:
+                for record in spans:
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return len(spans)
+
+    def reset(self) -> None:
+        """Drop every buffered trace and abandon open spans."""
+        self._stack.clear()
+        self._roots.clear()
+
+    def __repr__(self) -> str:
+        return "Tracer(%d buffered, %d open)" % (
+            len(self._roots), len(self._stack)
+        )
+
+
+#: The process-global tracer the production hooks record into.
+_TRACER = Tracer()
+
+
+def tracer() -> Tracer:
+    """The process-global default tracer."""
+    return _TRACER

@@ -43,11 +43,13 @@ unreliability lives and is measured.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from typing import (
     Any,
     Callable,
     Dict,
     Iterable,
+    Iterator,
     List,
     Mapping,
     Optional,
@@ -56,6 +58,9 @@ from typing import (
 )
 
 from repro.errors import ClusterUnavailableError, SchemaError
+from repro.obs import metrics as _metrics
+from repro.obs.instrument import enabled as _obs_enabled
+from repro.obs.trace import Span, Tracer
 from repro.relational.aggregate import aggregate as local_aggregate
 from repro.relational.algebra import join as local_join
 from repro.relational.algebra import select_eq as local_select_eq
@@ -79,7 +84,16 @@ __all__ = ["NetworkStats", "Node", "Cluster"]
 
 
 class NetworkStats:
-    """Counters for simulated shipments, faults and recovery work."""
+    """Counters for simulated shipments, faults and recovery work.
+
+    Since the observability layer landed these are *derived metrics*:
+    every mutation is mirrored into the global
+    :mod:`repro.obs.metrics` registry (``repro_cluster_*`` counters)
+    when ``REPRO_OBS`` is on, so benchmark harnesses and the
+    ``repro obs-metrics`` exposition see cluster traffic without
+    touching this object.  The plain attributes remain the
+    synchronous, always-on view the tests assert against.
+    """
 
     def __init__(self):
         self.messages = 0
@@ -100,16 +114,46 @@ class NetworkStats:
         if replica:
             self.replica_messages += 1
             self.replica_bytes += byte_count
+        if _obs_enabled():
+            registry = _metrics.registry()
+            registry.counter(
+                "repro_cluster_messages_total",
+                "Simulated shipments between nodes.",
+            ).inc()
+            registry.counter(
+                "repro_cluster_bytes_total",
+                "Serialized bytes shipped.", ("replica",),
+            ).inc(byte_count, replica="1" if replica else "0")
 
     def record_retry(self, backoff_s: float = 0.0) -> None:
         self.retries += 1
         self.backoff_s += backoff_s
+        if _obs_enabled():
+            registry = _metrics.registry()
+            registry.counter(
+                "repro_cluster_retries_total",
+                "Shipment retries after loss/corruption.",
+            ).inc()
+            registry.counter(
+                "repro_cluster_backoff_seconds_total",
+                "Simulated retry backoff charged.",
+            ).inc(backoff_s)
 
     def record_failover(self) -> None:
         self.failovers += 1
+        if _obs_enabled():
+            _metrics.registry().counter(
+                "repro_cluster_failovers_total",
+                "Reads served by a non-primary replica.",
+            ).inc()
 
     def record_delay(self, seconds: float) -> None:
         self.delay_s += seconds
+        if _obs_enabled():
+            _metrics.registry().counter(
+                "repro_cluster_delay_seconds_total",
+                "Simulated node latency charged.",
+            ).inc(seconds)
 
     def recovery_s(self) -> float:
         """Total simulated time spent recovering (delays + backoff)."""
@@ -215,26 +259,23 @@ def _partition_index(value: Any, node_count: int) -> int:
 
 
 class _QueryContext:
-    """Per-query bookkeeping: simulated elapsed time and a trace.
+    """Per-query bookkeeping: simulated elapsed time and the root span.
 
-    The trace records one entry per successful bucket read (and one
-    per terminal failure), which :mod:`repro.relational.profile`
-    renders as an EXPLAIN-style tree.
+    The span tree records one child per bucket access (successful or
+    terminally failed), which :mod:`repro.relational.profile` renders
+    as an EXPLAIN-style tree and ``repro obs-trace`` exports.
     """
 
-    __slots__ = ("describe", "simulated_s", "events", "started")
+    __slots__ = ("describe", "simulated_s", "span", "started")
 
-    def __init__(self, describe: str):
+    def __init__(self, describe: str, span: Span):
         self.describe = describe
         self.simulated_s = 0.0
-        self.events: List[Tuple[str, int, float]] = []
+        self.span = span
         self.started = time.perf_counter()
 
     def charge(self, seconds: float) -> None:
         self.simulated_s += seconds
-
-    def record(self, describe: str, rows: int, seconds: float) -> None:
-        self.events.append((describe, rows, seconds))
 
 
 class Cluster:
@@ -256,6 +297,7 @@ class Cluster:
         max_attempts: int = 3,
         backoff_base_s: float = 0.010,
         query_timeout_s: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
     ):
         if node_count < 1:
             raise ValueError("a cluster needs at least one node")
@@ -275,6 +317,12 @@ class Cluster:
         self.backoff_base_s = backoff_base_s
         self.query_timeout_s = query_timeout_s
         self.faults: FaultInjector = NO_FAULTS
+        # Trace state, initialized up front so a cluster that has
+        # never run a query still profiles/renders cleanly.  ``clock``
+        # injects the span clock: pass a repro.obs.trace.FakeClock and
+        # span durations become pure simulated time (backoff + node
+        # delays), deterministic across machines.
+        self.tracer = Tracer(clock=clock, capacity=64)
         self._partition_attrs: Dict[str, str] = {}
         self._headings: Dict[str, Heading] = {}
         self._placements: Dict[str, ReplicaPlacement] = {}
@@ -477,48 +525,62 @@ class Cluster:
             if ring is None
             else tuple(ring)
         )
-        for position, node_index in enumerate(replicas):
-            node = self.nodes[node_index]
-            if position:
-                self.network.record_failover()
-            for attempt in range(self.max_attempts):
-                if attempt:
-                    backoff = self.backoff_base_s * (2 ** (attempt - 1))
-                    self.network.record_retry(backoff)
-                    self._charge(context, backoff, table, bucket_index, key)
-                started = time.perf_counter()
-                try:
-                    self.faults.tick(self)
-                    if not node.alive:
-                        raise NodeDownError("node %s is down" % node.name)
-                    if node.delay_s:
-                        self.network.record_delay(node.delay_s)
-                        self._charge(
-                            context, node.delay_s, table, bucket_index, key
+        span = self.tracer.start(
+            "%s[%d]" % (table, bucket_index), table=table, bucket=bucket_index
+        )
+        retries = 0
+        try:
+            for position, node_index in enumerate(replicas):
+                node = self.nodes[node_index]
+                if position:
+                    self.network.record_failover()
+                    span.set("failovers", position)
+                for attempt in range(self.max_attempts):
+                    if attempt:
+                        backoff = self.backoff_base_s * (2 ** (attempt - 1))
+                        self.network.record_retry(backoff)
+                        retries += 1
+                        span.set("retries", retries)
+                        self._charge(context, backoff, table, bucket_index, key)
+                    started = time.perf_counter()
+                    try:
+                        self.faults.tick(self)
+                        if not node.alive:
+                            raise NodeDownError("node %s is down" % node.name)
+                        if node.delay_s:
+                            self.network.record_delay(node.delay_s)
+                            self._charge(
+                                context, node.delay_s, table, bucket_index, key
+                            )
+                        result = action(node)
+                        if result is not None:
+                            self._ship(node, result.rows)
+                        span.rename(
+                            "%s[%d] @ %s" % (table, bucket_index, node.name)
                         )
-                    result = action(node)
-                    if result is not None:
-                        self._ship(node, result.rows)
-                    context.record(
-                        "%s[%d] @ %s" % (table, bucket_index, node.name),
-                        0 if result is None else result.cardinality(),
-                        time.perf_counter() - started,
-                    )
-                    return result
-                except NodeDownError:
-                    break  # no point retrying an unreachable node
-                except ShipmentLostError:
-                    continue  # includes corruption: retry with backoff
-        context.record(
-            "%s[%d] UNAVAILABLE" % (table, bucket_index), 0, 0.0
-        )
-        raise ClusterUnavailableError(
-            table,
-            bucket_index,
-            [self.nodes[index].name for index in replicas],
-            reason="all %d replicas dead or unreachable" % len(replicas),
-            key=key,
-        )
+                        span.set("node", node.name)
+                        span.set(
+                            "rows", 0 if result is None else result.cardinality()
+                        )
+                        span.set("serve_s", time.perf_counter() - started)
+                        return result
+                    except NodeDownError:
+                        break  # no point retrying an unreachable node
+                    except ShipmentLostError:
+                        continue  # includes corruption: retry with backoff
+            span.rename("%s[%d] UNAVAILABLE" % (table, bucket_index))
+            span.set("rows", 0)
+            span.set("serve_s", 0.0)
+            span.set("unavailable", True)
+            raise ClusterUnavailableError(
+                table,
+                bucket_index,
+                [self.nodes[index].name for index in replicas],
+                reason="all %d replicas dead or unreachable" % len(replicas),
+                key=key,
+            )
+        finally:
+            self.tracer.end(span)
 
     def _charge(
         self,
@@ -529,6 +591,7 @@ class Cluster:
         key: Optional[Any],
     ) -> None:
         context.charge(seconds)
+        self.tracer.advance(seconds)
         if (
             self.query_timeout_s is not None
             and context.simulated_s > self.query_timeout_s
@@ -541,15 +604,44 @@ class Cluster:
                 key=key,
             )
 
-    def _begin(self, describe: str) -> _QueryContext:
-        context = _QueryContext(describe)
-        self._last_context = context
-        return context
+    @contextmanager
+    def _query(self, describe: str, kind: str) -> Iterator[_QueryContext]:
+        """One query's root span plus context; metrics on completion."""
+        started = time.perf_counter()
+        with self.tracer.span(describe, kind=kind) as span:
+            context = _QueryContext(describe, span)
+            self._last_context = context
+            yield context
+        if _obs_enabled():
+            _metrics.registry().histogram(
+                "repro_cluster_query_seconds",
+                "Distributed query wall time.", ("query",),
+            ).observe(time.perf_counter() - started, query=kind)
+
+    @property
+    def last_query_span(self) -> Optional[Span]:
+        """Root span of the most recent query (None before the first)."""
+        return None if self._last_context is None else self._last_context.span
 
     @property
     def last_query_events(self) -> List[Tuple[str, int, float]]:
-        """Per-bucket trace of the most recent query (for profiling)."""
-        return [] if self._last_context is None else self._last_context.events
+        """Per-bucket trace of the most recent query (for profiling).
+
+        A derived view over the query's span tree: one
+        ``(describe, rows, serve_seconds)`` tuple per bucket access.
+        Empty for a cluster that has never run a query.
+        """
+        span = self.last_query_span
+        if span is None:
+            return []
+        return [
+            (
+                child.name,
+                int(child.attrs.get("rows", 0)),
+                float(child.attrs.get("serve_s", child.duration_s)),
+            )
+            for child in span.children
+        ]
 
     @property
     def last_query_describe(self) -> str:
@@ -562,16 +654,16 @@ class Cluster:
     def scan(self, name: str) -> Relation:
         """Gather every bucket to the coordinator (ships all rows)."""
         heading = self.heading(name)
-        context = self._begin("scan(%s)" % name)
-        gathered = Relation(heading, xset([]))
-        for bucket_index in range(len(self.nodes)):
-            part = self._attempt_on_replicas(
-                context, name, bucket_index,
-                lambda node, b=bucket_index: node.bucket(name, b),
-            )
-            assert part is not None
-            gathered = local_union(gathered, part)
-        return gathered
+        with self._query("scan(%s)" % name, "scan") as context:
+            gathered = Relation(heading, xset([]))
+            for bucket_index in range(len(self.nodes)):
+                part = self._attempt_on_replicas(
+                    context, name, bucket_index,
+                    lambda node, b=bucket_index: node.bucket(name, b),
+                )
+                assert part is not None
+                gathered = local_union(gathered, part)
+            return gathered
 
     def select_eq(self, name: str, conditions: Mapping[str, Any]) -> Relation:
         """Distributed selection: routed when the key is covered.
@@ -584,31 +676,35 @@ class Cluster:
         heading = self.heading(name)
         heading.require(conditions)
         attr = self.partition_attr(name)
-        context = self._begin(
-            "select_eq(%s, %s)" % (name, dict(conditions))
-        )
-        if attr in conditions:
-            bucket_index = _partition_index(conditions[attr], len(self.nodes))
-            result = self._attempt_on_replicas(
-                context, name, bucket_index,
-                lambda node: local_select_eq(
-                    node.bucket(name, bucket_index), conditions
-                ),
-                key=xrecord({attr: conditions[attr]}),
-            )
-            assert result is not None
-            return result
-        gathered = Relation(heading, xset([]))
-        for bucket_index in range(len(self.nodes)):
-            local = self._attempt_on_replicas(
-                context, name, bucket_index,
-                lambda node, b=bucket_index: local_select_eq(
-                    node.bucket(name, b), conditions
-                ),
-            )
-            assert local is not None
-            gathered = local_union(gathered, local)
-        return gathered
+        with self._query(
+            "select_eq(%s, %s)" % (name, dict(conditions)), "select_eq"
+        ) as context:
+            if attr in conditions:
+                context.span.set("routing", "routed")
+                bucket_index = _partition_index(
+                    conditions[attr], len(self.nodes)
+                )
+                result = self._attempt_on_replicas(
+                    context, name, bucket_index,
+                    lambda node: local_select_eq(
+                        node.bucket(name, bucket_index), conditions
+                    ),
+                    key=xrecord({attr: conditions[attr]}),
+                )
+                assert result is not None
+                return result
+            context.span.set("routing", "broadcast")
+            gathered = Relation(heading, xset([]))
+            for bucket_index in range(len(self.nodes)):
+                local = self._attempt_on_replicas(
+                    context, name, bucket_index,
+                    lambda node, b=bucket_index: local_select_eq(
+                        node.bucket(name, b), conditions
+                    ),
+                )
+                assert local is not None
+                gathered = local_union(gathered, local)
+            return gathered
 
     # ------------------------------------------------------------------
     # Join
@@ -633,43 +729,48 @@ class Cluster:
             )
         left_attr = self.partition_attr(left)
         right_attr = self.partition_attr(right)
-        context = self._begin("join(%s, %s)" % (left, right))
         co_partitioned = (
             left_attr == right_attr
             and left_attr in shared
             and self._placements[left].replication_factor
             == self._placements[right].replication_factor
         )
-        if co_partitioned:
+        with self._query(
+            "join(%s, %s)" % (left, right), "join"
+        ) as context:
+            context.span.set(
+                "strategy", "co_partitioned" if co_partitioned else "shuffle"
+            )
+            if co_partitioned:
+                partials = []
+                for bucket_index in range(len(self.nodes)):
+                    local = self._attempt_on_replicas(
+                        context, left, bucket_index,
+                        lambda node, b=bucket_index: local_join(
+                            node.bucket(left, b), node.bucket(right, b)
+                        ),
+                    )
+                    assert local is not None
+                    partials.append(local)
+                return self._gathered(partials)
+            if left_attr not in shared:
+                raise SchemaError(
+                    "cannot shuffle: left partition attribute %r is not a "
+                    "join attribute" % (left_attr,)
+                )
+            shuffled = self._shuffle(context, right, left_attr)
             partials = []
             for bucket_index in range(len(self.nodes)):
+                right_part = shuffled[bucket_index]
                 local = self._attempt_on_replicas(
                     context, left, bucket_index,
-                    lambda node, b=bucket_index: local_join(
-                        node.bucket(left, b), node.bucket(right, b)
+                    lambda node, b=bucket_index, r=right_part: local_join(
+                        node.bucket(left, b), r
                     ),
                 )
                 assert local is not None
                 partials.append(local)
             return self._gathered(partials)
-        if left_attr not in shared:
-            raise SchemaError(
-                "cannot shuffle: left partition attribute %r is not a join "
-                "attribute" % (left_attr,)
-            )
-        shuffled = self._shuffle(context, right, left_attr)
-        partials = []
-        for bucket_index in range(len(self.nodes)):
-            right_part = shuffled[bucket_index]
-            local = self._attempt_on_replicas(
-                context, left, bucket_index,
-                lambda node, b=bucket_index, r=right_part: local_join(
-                    node.bucket(left, b), r
-                ),
-            )
-            assert local is not None
-            partials.append(local)
-        return self._gathered(partials)
 
     def _shuffle(
         self, context: _QueryContext, name: str, attr: str
@@ -728,36 +829,40 @@ class Cluster:
                 raise SchemaError(
                     "aggregate %r is not distributable" % (fn_name,)
                 )
-        context = self._begin(
-            "aggregate(%s, %s)" % (name, list(group_attrs))
-        )
-        partial_rows: Dict[tuple, Dict[str, Any]] = {}
-        for bucket_index in range(len(self.nodes)):
+        with self._query(
+            "aggregate(%s, %s)" % (name, list(group_attrs)), "aggregate"
+        ) as context:
+            partial_rows: Dict[tuple, Dict[str, Any]] = {}
+            for bucket_index in range(len(self.nodes)):
 
-            def partial(node, b=bucket_index):
-                partition = node.bucket(name, b)
-                if not partition:
-                    return None  # nothing to summarize, nothing ships
-                return local_aggregate(partition, group_attrs, rewritten)
+                def partial(node, b=bucket_index):
+                    partition = node.bucket(name, b)
+                    if not partition:
+                        return None  # nothing to summarize, nothing ships
+                    return local_aggregate(partition, group_attrs, rewritten)
 
-            local = self._attempt_on_replicas(
-                context, name, bucket_index, partial
-            )
-            if local is None:
-                continue
-            for row in local.iter_dicts():
-                key = tuple(row[attr] for attr in group_attrs)
-                merged = partial_rows.get(key)
-                if merged is None:
-                    partial_rows[key] = dict(row)
+                local = self._attempt_on_replicas(
+                    context, name, bucket_index, partial
+                )
+                if local is None:
                     continue
-                for out_name, (fn_name, _) in rewritten.items():
-                    if fn_name in ("count", "sum"):
-                        merged[out_name] += row[out_name]
-                    elif fn_name == "min":
-                        merged[out_name] = min(merged[out_name], row[out_name])
-                    elif fn_name == "max":
-                        merged[out_name] = max(merged[out_name], row[out_name])
+                for row in local.iter_dicts():
+                    key = tuple(row[attr] for attr in group_attrs)
+                    merged = partial_rows.get(key)
+                    if merged is None:
+                        partial_rows[key] = dict(row)
+                        continue
+                    for out_name, (fn_name, _) in rewritten.items():
+                        if fn_name in ("count", "sum"):
+                            merged[out_name] += row[out_name]
+                        elif fn_name == "min":
+                            merged[out_name] = min(
+                                merged[out_name], row[out_name]
+                            )
+                        elif fn_name == "max":
+                            merged[out_name] = max(
+                                merged[out_name], row[out_name]
+                            )
         final_rows = []
         for merged in partial_rows.values():
             row = {attr: merged[attr] for attr in group_attrs}

@@ -6,6 +6,13 @@ tree mirroring the plan.  The optimizer benchmarks use it to attribute
 speedups to specific rewrites, and the examples print it as a
 poor-man's EXPLAIN ANALYZE.
 
+Since the observability layer landed, profiling is span-based: the
+generic walker :func:`execute_spanned` wraps each
+:meth:`~repro.relational.query.Database.execute_node` call in a
+:class:`repro.obs.trace.Span`, and :class:`NodeProfile` is a *view*
+over the resulting span tree -- one measurement substrate for local
+plans, cluster queries, and the exported ``repro obs-trace`` output.
+
 :func:`profile_cluster` does the same for distributed queries: it runs
 one :class:`~repro.relational.distributed.Cluster` query and renders
 the per-bucket read trace -- which replica served each bucket, how
@@ -16,28 +23,35 @@ benchmarks can attribute recovery cost to specific buckets.
 from __future__ import annotations
 
 import time
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
-from repro.relational.query import (
-    Database,
-    Difference,
-    Join,
-    Plan,
-    Project,
-    Rename,
-    Scan,
-    SelectEq,
-    SelectPred,
-    Union,
-)
-from repro.relational import algebra
+from repro.obs import instrument, metrics
+from repro.obs.trace import Span, Tracer
+from repro.obs.trace import tracer as global_tracer
+from repro.relational.query import Database, Plan
 from repro.relational.relation import Relation
 
-__all__ = ["NodeProfile", "execute_profiled", "profile_cluster"]
+__all__ = [
+    "NodeProfile",
+    "execute_profiled",
+    "execute_spanned",
+    "profile_cluster",
+]
 
 
 class NodeProfile:
-    """One operator's measured execution."""
+    """One operator's measured execution (a view over one span).
+
+    Semantics worth reading twice:
+
+    * ``seconds`` is *inclusive* of children, matching how EXPLAIN
+      ANALYZE output is conventionally read; use
+      :meth:`exclusive_seconds` to attribute time to one operator.
+    * :meth:`total_rows` sums every operator's *output* cardinality,
+      so rows flowing through a deep plan are deliberately counted at
+      each materialization point -- it measures total set traffic, not
+      distinct rows.
+    """
 
     __slots__ = ("describe", "rows", "seconds", "children")
 
@@ -48,9 +62,38 @@ class NodeProfile:
         self.seconds = seconds
         self.children = children
 
+    @classmethod
+    def from_span(cls, span: Span) -> "NodeProfile":
+        """Build the profile view over a finished span tree."""
+        return cls(
+            span.name,
+            int(span.attrs.get("rows", 0)),
+            span.duration_s,
+            [cls.from_span(child) for child in span.children],
+        )
+
     def total_rows(self) -> int:
-        """Rows produced by this operator and everything under it."""
+        """Rows produced by this operator and everything under it.
+
+        Each operator's output is counted once, so a row surviving N
+        operators contributes N times -- the number measures set
+        traffic through the plan (the quantity set-at-a-time execution
+        economizes), not distinct rows.
+        """
         return self.rows + sum(child.total_rows() for child in self.children)
+
+    def exclusive_seconds(self) -> float:
+        """Time spent in this operator alone, children subtracted.
+
+        Clamped at 0.0: clock granularity can make a parent's
+        inclusive time read fractionally below its children's sum.
+        This is the number optimizer benchmarks should attribute
+        rewrites with; ``seconds`` stays inclusive.
+        """
+        return max(
+            0.0,
+            self.seconds - sum(child.seconds for child in self.children),
+        )
 
     def render(self, indent: int = 0) -> str:
         lines = [
@@ -65,51 +108,67 @@ class NodeProfile:
         return "NodeProfile(%s, %d rows)" % (self.describe, self.rows)
 
 
-def execute_profiled(db: Database, plan: Plan) -> Tuple[Relation, NodeProfile]:
+def execute_spanned(
+    db: Database, plan: Plan, tracer: Optional[Tracer] = None
+) -> Tuple[Relation, Span]:
+    """Execute a plan with one span per operator; returns the root span.
+
+    This is the generic walker behind both :func:`execute_profiled`
+    and the production hook in :meth:`Database.execute` under
+    ``REPRO_OBS=1``: it recurses over ``plan.children()`` and
+    evaluates each node through
+    :meth:`~repro.relational.query.Database.execute_node`, so there is
+    no per-node-type measurement code to fall out of sync with the
+    executor.  ``tracer`` defaults to the process-global tracer.
+    """
+    active_tracer = global_tracer() if tracer is None else tracer
+    recording = instrument.enabled()
+    registry = metrics.registry() if recording else None
+    root_holder: List[Span] = []
+
+    def walk(node: Plan) -> Relation:
+        if not isinstance(node, Plan):
+            raise TypeError("unknown plan node %r" % (node,))
+        with active_tracer.span(
+            node.describe(), node=type(node).__name__
+        ) as span:
+            if not root_holder:
+                root_holder.append(span)
+            inputs = [walk(child) for child in node.children()]
+            result = db.execute_node(node, inputs)
+            rows = result.cardinality()
+            span.set("rows", rows)
+            if registry is not None:
+                node_name = type(node).__name__
+                registry.counter(
+                    "repro_plan_node_total",
+                    "Plan operator executions.", ("node",),
+                ).inc(node=node_name)
+                registry.counter(
+                    "repro_plan_rows_total",
+                    "Plan operator output rows.", ("node",),
+                ).inc(rows, node=node_name)
+        return result
+
+    result = walk(plan)
+    return result, root_holder[0]
+
+
+def execute_profiled(
+    db: Database, plan: Plan, tracer: Optional[Tracer] = None
+) -> Tuple[Relation, NodeProfile]:
     """Set-at-a-time execution with per-operator measurement.
 
     The result relation is identical to ``db.execute(plan)``; the
     profile tree mirrors the plan tree.  Per-node time is *inclusive*
-    of children (subtract to attribute), matching how EXPLAIN ANALYZE
-    output is conventionally read.
+    of children (see :meth:`NodeProfile.exclusive_seconds` to
+    attribute), matching how EXPLAIN ANALYZE output is conventionally
+    read.  Profiling always measures, regardless of the ``REPRO_OBS``
+    switch -- the switch gates the zero-config production hooks, not
+    an explicit request to profile.
     """
-    started = time.perf_counter()
-    if isinstance(plan, Scan):
-        result = db.relation(plan.name)
-        children: List[NodeProfile] = []
-    elif isinstance(plan, SelectEq):
-        child_result, child_profile = execute_profiled(db, plan.child)
-        result = algebra.select_eq(child_result, plan.conditions)
-        children = [child_profile]
-    elif isinstance(plan, SelectPred):
-        child_result, child_profile = execute_profiled(db, plan.child)
-        result = algebra.select(child_result, plan.predicate)
-        children = [child_profile]
-    elif isinstance(plan, Project):
-        child_result, child_profile = execute_profiled(db, plan.child)
-        result = algebra.project(child_result, plan.attrs)
-        children = [child_profile]
-    elif isinstance(plan, Rename):
-        child_result, child_profile = execute_profiled(db, plan.child)
-        result = algebra.rename(child_result, plan.mapping)
-        children = [child_profile]
-    elif isinstance(plan, (Join, Union, Difference)):
-        left_result, left_profile = execute_profiled(db, plan.left)
-        right_result, right_profile = execute_profiled(db, plan.right)
-        if isinstance(plan, Join):
-            result = algebra.join(left_result, right_result)
-        elif isinstance(plan, Union):
-            result = algebra.union(left_result, right_result)
-        else:
-            result = algebra.difference(left_result, right_result)
-        children = [left_profile, right_profile]
-    else:
-        raise TypeError("unknown plan node %r" % (plan,))
-    elapsed = time.perf_counter() - started
-    profile = NodeProfile(
-        plan.describe(), result.cardinality(), elapsed, children
-    )
-    return result, profile
+    result, root = execute_spanned(db, plan, tracer)
+    return result, NodeProfile.from_span(root)
 
 
 def profile_cluster(cluster, query, *args, **kwargs):
@@ -118,21 +177,24 @@ def profile_cluster(cluster, query, *args, **kwargs):
     ``query`` is a :class:`~repro.relational.distributed.Cluster`
     method name (``"scan"``, ``"select_eq"``, ``"join"``,
     ``"aggregate"``) or a bound callable.  The profile's children are
-    the cluster's per-bucket read trace: one leaf per bucket access,
+    the cluster's per-bucket read spans: one leaf per bucket access,
     labeled ``table[bucket] @ node``, so a failover shows up as the
     bucket served by a non-primary node.  The root's time is real wall
     time; per-leaf times are each bucket's serve time.
+
+    A cluster that has never run a query (or a cluster-like object
+    without trace fields at all) profiles to an empty-children tree
+    rather than raising.
     """
     bound = getattr(cluster, query) if isinstance(query, str) else query
     started = time.perf_counter()
     result = bound(*args, **kwargs)
     elapsed = time.perf_counter() - started
+    events = getattr(cluster, "last_query_events", None) or []
+    describe = getattr(cluster, "last_query_describe", "") or "cluster query"
     children = [
-        NodeProfile(describe, rows, seconds, [])
-        for describe, rows, seconds in cluster.last_query_events
+        NodeProfile(event_describe, rows, seconds, [])
+        for event_describe, rows, seconds in events
     ]
     rows = result.cardinality() if isinstance(result, Relation) else 0
-    profile = NodeProfile(
-        cluster.last_query_describe or "cluster query", rows, elapsed, children
-    )
-    return result, profile
+    return result, NodeProfile(describe, rows, elapsed, children)

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import SchemaError
+from repro.obs.instrument import enabled as _obs_enabled
 from repro.relational import algebra
 from repro.relational.relation import Relation
 from repro.relational.schema import Heading
@@ -209,25 +210,50 @@ class Database:
     # ------------------------------------------------------------------
 
     def execute(self, plan: Plan) -> Relation:
-        """Evaluate bottom-up with one kernel call per node."""
+        """Evaluate bottom-up with one kernel call per node.
+
+        With observability enabled (``REPRO_OBS=1``) every plan node
+        additionally records a span on the global tracer -- the same
+        span tree :func:`repro.relational.profile.execute_profiled`
+        measures explicitly.
+        """
+        if _obs_enabled():
+            from repro.relational.profile import execute_spanned
+
+            result, _ = execute_spanned(self, plan)
+            return result
+        if not isinstance(plan, Plan):
+            raise TypeError("unknown plan node %r" % (plan,))
+        return self.execute_node(
+            plan, [self.execute(child) for child in plan.children()]
+        )
+
+    def execute_node(
+        self, plan: Plan, inputs: Sequence[Relation]
+    ) -> Relation:
+        """Evaluate ONE node over already-computed child results.
+
+        This is the single evaluation table both executors share:
+        :meth:`execute` recurses over it directly, and the profiler
+        walks the same table with a span around each call -- so the
+        measured execution *is* the production execution.
+        """
         if isinstance(plan, Scan):
             return self.relation(plan.name)
         if isinstance(plan, SelectEq):
-            return algebra.select_eq(self.execute(plan.child), plan.conditions)
+            return algebra.select_eq(inputs[0], plan.conditions)
         if isinstance(plan, SelectPred):
-            return algebra.select(self.execute(plan.child), plan.predicate)
+            return algebra.select(inputs[0], plan.predicate)
         if isinstance(plan, Project):
-            return algebra.project(self.execute(plan.child), plan.attrs)
+            return algebra.project(inputs[0], plan.attrs)
         if isinstance(plan, Rename):
-            return algebra.rename(self.execute(plan.child), plan.mapping)
+            return algebra.rename(inputs[0], plan.mapping)
         if isinstance(plan, Join):
-            return algebra.join(self.execute(plan.left), self.execute(plan.right))
+            return algebra.join(inputs[0], inputs[1])
         if isinstance(plan, Union):
-            return algebra.union(self.execute(plan.left), self.execute(plan.right))
+            return algebra.union(inputs[0], inputs[1])
         if isinstance(plan, Difference):
-            return algebra.difference(
-                self.execute(plan.left), self.execute(plan.right)
-            )
+            return algebra.difference(inputs[0], inputs[1])
         raise TypeError("unknown plan node %r" % (plan,))
 
     # ------------------------------------------------------------------

@@ -21,6 +21,8 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.errors import SchemaError
+from repro.obs import metrics as _metrics
+from repro.obs.instrument import enabled as _obs_enabled
 
 __all__ = ["ReplicaPlacement", "replica_indices"]
 
@@ -55,6 +57,19 @@ class ReplicaPlacement:
         replica_indices(0, node_count, replication_factor)
         self.node_count = node_count
         self.replication_factor = replication_factor
+        if _obs_enabled():
+            # Placement geometry as point-in-time gauges, so an
+            # exposition scrape shows what redundancy the running
+            # cluster was built with (the copies themselves are priced
+            # by the shipping counters in ``distributed.NetworkStats``).
+            registry = _metrics.registry()
+            registry.gauge(
+                "repro_cluster_nodes", "Nodes in the current placement.",
+            ).set(node_count)
+            registry.gauge(
+                "repro_cluster_replication_factor",
+                "Copies per bucket in the current placement.",
+            ).set(replication_factor)
 
     def replicas(self, bucket: int) -> Tuple[int, ...]:
         """Node indices holding ``bucket``, primary first."""

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs.instrument import kernel_op
 from repro.xst.builders import xpair, xset, xtuple
 from repro.xst.domain import component_domain
 from repro.xst.image import cst_image
@@ -44,6 +45,7 @@ def compose_step(r: XSet, s: Optional[XSet] = None) -> XSet:
     return cst_relative_product(r, s if s is not None else r)
 
 
+@kernel_op("closure")
 def transitive_closure(r: XSet) -> XSet:
     """The least transitive relation containing ``R`` (semi-naive)."""
     closure = r
@@ -56,6 +58,7 @@ def transitive_closure(r: XSet) -> XSet:
         delta = new_pairs
 
 
+@kernel_op("closure_naive")
 def transitive_closure_naive(r: XSet) -> XSet:
     """The textbook fixpoint ``T := T u T/T`` (kept as the baseline).
 
@@ -88,6 +91,7 @@ def symmetric_closure(r: XSet) -> XSet:
     return r | flipped
 
 
+@kernel_op("reachable")
 def reachable_from(r: XSet, sources: XSet) -> XSet:
     """Every node reachable from ``sources`` through ``R`` (1+ steps).
 

@@ -23,6 +23,7 @@ becomes the empty scope, i.e. a classical membership.
 
 from __future__ import annotations
 
+from repro.obs.instrument import kernel_op
 from repro.xst.builders import xset
 from repro.xst.xset import XSet
 from repro.xst.rescope import rescope_value_by_scope
@@ -30,6 +31,7 @@ from repro.xst.rescope import rescope_value_by_scope
 __all__ = ["sigma_domain", "domain_1", "domain_2", "component_domain"]
 
 
+@kernel_op("domain")
 def sigma_domain(r: XSet, sigma: XSet) -> XSet:
     """Def 7.4: ``D_sigma(R)``."""
     pairs = []

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Tuple, Union
 
+from repro.obs.instrument import kernel_op
 from repro.xst.domain import sigma_domain
 from repro.xst.restrict import sigma_restrict
 from repro.xst.xset import XSet
@@ -36,6 +37,7 @@ def _split_sigma(sigma: SigmaLike) -> Tuple[XSet, XSet]:
     return sigma1, sigma2
 
 
+@kernel_op("image")
 def image(r: XSet, a: XSet, sigma: SigmaLike) -> XSet:
     """Defs 3.10/7.1: ``R[A]_{<sigma1, sigma2>}``."""
     sigma1, sigma2 = _split_sigma(sigma)

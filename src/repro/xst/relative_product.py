@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro.obs.instrument import kernel_op
 from repro.xst.rescope import rescope_value_by_scope
 from repro.xst.xset import XSet
 
@@ -46,6 +47,7 @@ def _split(spec) -> SigmaPair:
     return first, second
 
 
+@kernel_op("relative_product")
 def relative_product(f: XSet, g: XSet, sigma: SigmaPair, omega: SigmaPair) -> XSet:
     """Def 10.1 via hash join (output identical to the nested loop)."""
     sigma1, sigma2 = _split(sigma)
@@ -77,6 +79,7 @@ def relative_product(f: XSet, g: XSet, sigma: SigmaPair, omega: SigmaPair) -> XS
     return XSet(pairs)
 
 
+@kernel_op("relative_product_nested_loop")
 def relative_product_nested_loop(
     f: XSet, g: XSet, sigma: SigmaPair, omega: SigmaPair
 ) -> XSet:

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.obs.instrument import kernel_op
 from repro.xst.xset import XSet
 from repro.xst.rescope import rescope_value_by_element
 
@@ -46,6 +47,7 @@ def _fragment_within(fragment: XSet, whole: Any) -> bool:
     return False
 
 
+@kernel_op("restrict")
 def sigma_restrict(r: XSet, a: XSet, sigma: XSet) -> XSet:
     """Def 7.6: ``R |_sigma A``.
 

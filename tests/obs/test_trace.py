@@ -1,0 +1,179 @@
+"""Spans and tracers: nesting, clocks, ring buffer, exports."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.trace import FakeClock, Span, Tracer
+
+
+class TestFakeClock:
+    def test_starts_where_told_and_only_moves_forward(self):
+        clock = FakeClock(5.0)
+        assert clock() == 5.0
+        clock.advance(2.5)
+        assert clock() == 7.5
+
+    def test_rejects_negative_advance(self):
+        with pytest.raises(ValueError):
+            FakeClock().advance(-1.0)
+
+
+class TestSpanNesting:
+    def test_children_attach_to_the_open_parent(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("root") as root:
+            with tracer.span("left"):
+                pass
+            with tracer.span("right") as right:
+                with tracer.span("leaf"):
+                    pass
+        assert [child.name for child in root.children] == ["left", "right"]
+        assert [child.name for child in right.children] == ["leaf"]
+        assert root.parent_id is None
+        assert right.parent_id == root.span_id
+
+    def test_tree_yields_parents_before_children(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        names = [span.name for span in tracer.last_root().tree()]
+        assert names == ["a", "b", "c"]
+
+    def test_active_tracks_the_innermost_open_span(self):
+        tracer = Tracer(clock=FakeClock())
+        assert tracer.active is None
+        with tracer.span("outer") as outer:
+            assert tracer.active is outer
+            with tracer.span("inner") as inner:
+                assert tracer.active is inner
+            assert tracer.active is outer
+        assert tracer.active is None
+
+
+class TestSimulatedTime:
+    def test_durations_are_the_simulated_seconds(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer") as outer:
+            tracer.advance(1.0)
+            with tracer.span("inner") as inner:
+                tracer.advance(0.25)
+        assert inner.duration_s == pytest.approx(0.25)
+        assert outer.duration_s == pytest.approx(1.25)
+
+    def test_advance_is_a_no_op_on_the_real_clock(self):
+        tracer = Tracer()
+        with tracer.span("quick") as span:
+            tracer.advance(3600.0)
+        assert span.duration_s < 60.0
+
+    def test_open_span_reports_zero_duration(self):
+        tracer = Tracer(clock=FakeClock())
+        span = tracer.start("open")
+        assert span.duration_s == 0.0
+        tracer.end(span)
+
+
+class TestRingBuffer:
+    def test_old_roots_age_out(self):
+        tracer = Tracer(clock=FakeClock(), capacity=3)
+        for index in range(5):
+            with tracer.span("t%d" % index):
+                pass
+        assert [root.name for root in tracer.roots()] == ["t2", "t3", "t4"]
+        assert tracer.last_root().name == "t4"
+
+    def test_children_do_not_enter_the_buffer(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert [root.name for root in tracer.roots()] == ["root"]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_reset_drops_traces_and_open_spans(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.start("abandoned")
+        with tracer.span("done"):
+            pass
+        tracer.reset()
+        assert tracer.roots() == ()
+        assert tracer.active is None
+
+
+class TestErrorRecording:
+    def test_exception_lands_as_error_attr_and_propagates(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(KeyError):
+            with tracer.span("doomed"):
+                raise KeyError("boom")
+        root = tracer.last_root()
+        assert root.attrs["error"] == "KeyError"
+
+
+class TestRender:
+    def test_render_shows_names_durations_and_sorted_attrs(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("query", kind="join") as span:
+            span.set("rows", 42)
+            tracer.advance(0.002)
+        text = tracer.render()
+        assert "query" in text
+        assert "2.000 ms" in text
+        assert "kind=join  rows=42" in text
+
+    def test_render_indents_children(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                pass
+        lines = tracer.render().splitlines()
+        assert lines[0].startswith("parent")
+        assert lines[1].startswith("  child")
+
+    def test_render_empty_tracer_is_empty(self):
+        assert Tracer(clock=FakeClock()).render() == ""
+
+
+class TestExport:
+    def test_jsonl_roundtrips_every_span(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("root", kind="demo") as root:
+            tracer.advance(0.5)
+            with tracer.span("child") as child:
+                child.set("rows", 7)
+        buffer = io.StringIO()
+        count = tracer.export_jsonl(buffer)
+        assert count == 2
+        records = [
+            json.loads(line) for line in buffer.getvalue().splitlines()
+        ]
+        assert records[0]["name"] == "root"
+        assert records[0]["parent_id"] is None
+        assert records[1]["parent_id"] == records[0]["span_id"]
+        assert records[1]["attrs"] == {"rows": 7}
+        assert records[0]["duration_s"] == pytest.approx(0.5)
+
+    def test_jsonl_accepts_a_path(self, tmp_path):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("only"):
+            pass
+        target = tmp_path / "trace.jsonl"
+        assert tracer.export_jsonl(str(target)) == 1
+        record = json.loads(target.read_text())
+        assert record["name"] == "only"
+
+    def test_rename_shows_up_everywhere(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("emp[0]") as span:
+            span.rename("emp[0] @ node-2")
+        assert tracer.last_root().name == "emp[0] @ node-2"
+        assert "emp[0] @ node-2" in tracer.render()

@@ -88,3 +88,114 @@ class TestProfileTree:
 
         with pytest.raises(TypeError):
             execute_profiled(db, Strange())
+
+
+class TestExclusiveSeconds:
+    def test_subtracts_children(self):
+        from repro.relational.profile import NodeProfile
+
+        child = NodeProfile("Scan(emp)", 10, 0.3, [])
+        parent = NodeProfile("SelectEq", 5, 1.0, [child])
+        assert parent.exclusive_seconds() == pytest.approx(0.7)
+        assert child.exclusive_seconds() == pytest.approx(0.3)
+
+    def test_clamped_at_zero_on_clock_granularity(self):
+        from repro.relational.profile import NodeProfile
+
+        child = NodeProfile("Scan(emp)", 10, 1.0001, [])
+        parent = NodeProfile("SelectEq", 5, 1.0, [child])
+        assert parent.exclusive_seconds() == 0.0
+
+    def test_exclusive_sums_back_to_inclusive_root(self, db):
+        plan = Project(SelectEq(Scan("emp"), {"dept": 1}), ["name"])
+        _, profile = execute_profiled(db, plan)
+
+        def walk(node):
+            yield node
+            for child in node.children:
+                yield from walk(child)
+
+        total = sum(node.exclusive_seconds() for node in walk(profile))
+        assert total <= profile.seconds + 1e-9
+
+
+class TestSpanBacked:
+    def test_execute_spanned_returns_the_span_tree(self, db):
+        from repro.obs.trace import FakeClock, Tracer
+        from repro.relational.profile import execute_spanned
+
+        tracer = Tracer(clock=FakeClock())
+        plan = SelectEq(Scan("emp"), {"dept": 1})
+        result, root = execute_spanned(db, plan, tracer)
+        assert result == db.execute(plan)
+        assert root.name == plan.describe()
+        assert root.attrs["rows"] == result.cardinality()
+        (child,) = root.children
+        assert child.name == "Scan(emp)"
+
+    def test_profile_is_a_view_over_the_span(self, db):
+        from repro.obs.trace import FakeClock, Tracer
+        from repro.relational.profile import NodeProfile, execute_spanned
+
+        tracer = Tracer(clock=FakeClock())
+        plan = Join(Scan("emp"), Scan("dept"))
+        _, root = execute_spanned(db, plan, tracer)
+        profile = NodeProfile.from_span(root)
+        assert profile.describe == root.name
+        assert profile.rows == root.attrs["rows"]
+        assert [child.describe for child in profile.children] == [
+            child.name for child in root.children
+        ]
+
+
+class TestProfileCluster:
+    def make_cluster(self):
+        from repro.relational.distributed import Cluster
+
+        cluster = Cluster(3, replication_factor=2)
+        cluster.create_table(
+            "emp", employee_relation(30, 5, seed=17), "dept"
+        )
+        return cluster
+
+    def test_scan_profile_has_one_leaf_per_bucket(self):
+        from repro.relational.profile import profile_cluster
+
+        cluster = self.make_cluster()
+        result, profile = profile_cluster(cluster, "scan", "emp")
+        assert result.cardinality() == 30
+        assert profile.describe == "scan(emp)"
+        assert len(profile.children) == 3
+        assert sum(child.rows for child in profile.children) == 30
+
+    def test_fresh_cluster_profiles_to_empty_children(self):
+        """Regression: a cluster that never ran a query must not raise."""
+        from repro.relational.profile import profile_cluster
+
+        cluster = self.make_cluster()
+        assert cluster.last_query_span is None
+        assert cluster.last_query_events == []
+
+        def noop():
+            from repro.relational.relation import Relation
+
+            return Relation.from_dicts(["x"], [])
+
+        result, profile = profile_cluster(cluster, noop)
+        assert profile.children == []
+        assert profile.describe == "cluster query"
+        assert profile.rows == 0
+
+    def test_cluster_like_object_without_trace_fields(self):
+        """Duck-typed executors (no tracer at all) still profile."""
+        from repro.relational.profile import profile_cluster
+        from repro.relational.relation import Relation
+
+        class Bare:
+            def run(self):
+                return Relation.from_dicts(["x"], [{"x": 1}])
+
+        result, profile = profile_cluster(Bare(), "run")
+        assert result.cardinality() == 1
+        assert profile.children == []
+        assert profile.rows == 1

@@ -145,6 +145,132 @@ class TestClusterStatus:
         assert main(["cluster-status"]) == 2
 
 
+class TestObsMetrics:
+    def test_exposition_parses_and_includes_kernel_ops(self, csv_dir, capsys):
+        from repro.obs.metrics import parse_exposition
+
+        code = main(
+            ["obs-metrics", csv_dir,
+             "SELECT name, dname FROM emp JOIN dept WHERE dept = 1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        families = parse_exposition(out)
+        assert "repro_xst_op_seconds" in families
+        assert "repro_xst_op_total" in families
+        assert "repro_plan_node_total" in families
+
+    def test_wrong_arity(self, capsys):
+        assert main(["obs-metrics"]) == 2
+
+    def test_leaves_the_switch_off(self, csv_dir, capsys):
+        from repro.obs import instrument
+
+        before = instrument.enabled()
+        main(["obs-metrics", csv_dir, "SELECT * FROM emp"])
+        assert instrument.enabled() == before
+
+
+class TestObsTrace:
+    def test_local_query_renders_the_plan_spans(self, csv_dir, capsys):
+        code = main(
+            ["obs-trace", csv_dir, "SELECT name FROM emp WHERE dept = 1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Scan(emp)" in out
+        assert "SelectEq(dept=1)" in out
+        assert "rows=" in out
+
+    def test_local_query_exports_jsonl(self, csv_dir, tmp_path, capsys):
+        import json
+
+        target = str(tmp_path / "trace.jsonl")
+        code = main(
+            ["obs-trace", csv_dir, "SELECT * FROM emp", "--out", target]
+        )
+        assert code == 0
+        records = [
+            json.loads(line)
+            for line in open(target).read().splitlines()
+        ]
+        assert any(record["name"] == "Scan(emp)" for record in records)
+
+    def test_cluster_join_shows_per_bucket_spans(self, csv_dir, capsys):
+        code = main(
+            ["obs-trace", csv_dir, "emp", "dept", "dept",
+             "--nodes", "3", "--factor", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "join(emp, dept)" in out
+        assert "emp[0] @ node-" in out
+        assert "strategy=co_partitioned" in out
+
+    def test_chaos_join_traces_retries_or_failovers(self, csv_dir, capsys):
+        # Seeded chaos within the query's horizon: some seed in this
+        # small set must produce visible recovery in the trace.
+        seen = ""
+        for seed in ("1", "2", "3", "5", "7"):
+            code = main(
+                ["obs-trace", csv_dir, "emp", "dept", "dept",
+                 "--nodes", "3", "--factor", "2", "--chaos", seed]
+            )
+            assert code == 0
+            seen += capsys.readouterr().out
+        assert "retries=" in seen or "failovers=" in seen
+
+    def test_trace_out_flag_on_query(self, csv_dir, tmp_path, capsys):
+        import json
+
+        target = str(tmp_path / "q.jsonl")
+        code = main(
+            ["query", csv_dir, "SELECT * FROM dept", "--trace-out", target]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].split(",")  # CSV still on stdout
+        records = [
+            json.loads(line)
+            for line in open(target).read().splitlines()
+        ]
+        assert any(record["name"] == "Scan(dept)" for record in records)
+
+    def test_trace_out_flag_on_closure(self, tmp_path, capsys):
+        import json
+
+        write_csv(
+            Relation.from_dicts(
+                ["src", "dst"],
+                [{"src": "a", "dst": "b"}, {"src": "b", "dst": "c"}],
+            ),
+            str(tmp_path / "edges.csv"),
+        )
+        target = str(tmp_path / "c.jsonl")
+        code = main(
+            ["closure", str(tmp_path / "edges.csv"), "src", "dst",
+             "--trace-out", target]
+        )
+        assert code == 0
+        record = json.loads(open(target).read().splitlines()[0])
+        assert record["name"] == "closure(src, dst)"
+        assert record["attrs"]["pairs"] == 3
+
+    def test_flag_without_value_fails_cleanly(self, csv_dir, capsys):
+        assert main(
+            ["obs-trace", csv_dir, "SELECT * FROM emp", "--out"]
+        ) == 2
+
+    def test_non_integer_options_fail_cleanly(self, csv_dir, capsys):
+        assert main(
+            ["obs-trace", csv_dir, "emp", "dept", "dept",
+             "--nodes", "three"]
+        ) == 2
+
+    def test_wrong_arity(self, csv_dir, capsys):
+        assert main(["obs-trace", csv_dir, "a", "b"]) == 2
+
+
 class TestDispatch:
     def test_help(self, capsys):
         assert main([]) == 0

@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.xst",
     "repro.core",
     "repro.cst",
+    "repro.obs",
     "repro.relational",
     "repro.workloads",
 ]
