@@ -24,6 +24,18 @@ Four small commands that make the library usable from a shell:
     and print the placement map, per-node liveness and row counts, and
     the replication byte overhead.
 
+``fsck STOREDIR [--log FILE]``
+    Offline integrity check of a durable store: verify every stored
+    relation's segment checksums and classify the write-ahead log
+    (valid records, last checkpoint, torn tail, corruption).  Exits 1
+    when anything is damaged, 0 when the store would recover cleanly.
+
+``recover STOREDIR [--log FILE] [--compact]``
+    Run crash recovery: truncate a torn WAL tail, replay the commit
+    suffix past the last checkpoint onto the stored snapshots, write
+    the recovered state back as a fresh checkpoint, and (with
+    ``--compact``) drop the now-redundant log prefix.
+
 ``obs-metrics CSVDIR XQL``
     Run a query with observability enabled and print the Prometheus
     text exposition of everything it recorded: kernel op counters and
@@ -76,6 +88,12 @@ commands:
   cluster-status CSVDIR ATTR [NODES [FACTOR]]
                          place CSVs on a simulated replicated cluster
                          and print its status
+  fsck STOREDIR [--log FILE]
+                         verify segment checksums and WAL integrity
+                         (exit 1 on damage)
+  recover STOREDIR [--log FILE] [--compact]
+                         replay the WAL onto the store and write a
+                         fresh checkpoint
   obs-metrics CSVDIR XQL run a query observed; print Prometheus text
   obs-trace CSVDIR XQL [--out FILE]
                          trace a local query; render the span tree
@@ -268,6 +286,102 @@ def _command_cluster_status(args: List[str]) -> int:
     return 0
 
 
+def _store_and_log(args: List[str], command: str):
+    """Common argument handling for ``fsck`` and ``recover``."""
+    log_path = _pop_option(args, "--log")
+    if len(args) != 1:
+        raise ValueError("%s takes one STOREDIR" % command)
+    directory = args[0]
+    if not os.path.isdir(directory):
+        raise ValueError("%r is not a directory" % directory)
+    if log_path is None:
+        log_path = os.path.join(directory, "wal.log")
+    return directory, log_path
+
+
+def _command_fsck(args: List[str]) -> int:
+    args = list(args)
+    try:
+        directory, log_path = _store_and_log(args, "fsck")
+    except ValueError as error:
+        return _fail(str(error))
+    from repro.relational.disk import DiskRelationStore
+    from repro.relational.wal import CorruptSegmentError, scan_bytes
+
+    store = DiskRelationStore(directory)
+    damage = 0
+    for name in store.names():
+        try:
+            rows = sum(1 for _ in store.scan(name))
+        except CorruptSegmentError as error:
+            damage += 1
+            print("relation %s: DAMAGED (%s)" % (name, error))
+        else:
+            print("relation %s: ok (%d rows, %d segments)"
+                  % (name, rows, store.segment_count(name)))
+    if os.path.exists(log_path):
+        with open(log_path, "rb") as fh:
+            data = fh.read()
+        try:
+            scan = scan_bytes(data, decode=True)
+        except XSTError as error:
+            print("log %s: DAMAGED (%s)" % (log_path, error))
+            damage += 1
+        else:
+            checkpoint_index, _ = scan.last_checkpoint()
+            print("log %s: %d records, %d bytes durable, last checkpoint %s"
+                  % (log_path, scan.lsn, scan.valid_bytes,
+                     "at lsn %d" % (checkpoint_index + 1)
+                     if checkpoint_index >= 0 else "none"))
+            if scan.torn_bytes:
+                print("log %s: torn tail of %d bytes (recoverable; "
+                      "run recover)" % (log_path, scan.torn_bytes))
+            if scan.corrupt_at is not None:
+                print("log %s: DAMAGED (corrupt frame at byte %d)"
+                      % (log_path, scan.corrupt_at))
+                damage += 1
+    else:
+        print("log %s: absent" % log_path)
+    if damage:
+        print("fsck: %d damaged item(s)" % damage)
+        return 1
+    print("fsck: clean")
+    return 0
+
+
+def _command_recover(args: List[str]) -> int:
+    args = list(args)
+    compact = "--compact" in args
+    if compact:
+        args.remove("--compact")
+    try:
+        directory, log_path = _store_and_log(args, "recover")
+    except ValueError as error:
+        return _fail(str(error))
+    from repro.relational.disk import DiskRelationStore
+    from repro.relational.wal import WriteAheadLog, scan_bytes
+
+    data = b""
+    if os.path.exists(log_path):
+        with open(log_path, "rb") as fh:
+            data = fh.read()
+    before = scan_bytes(data, decode=False)
+    store = DiskRelationStore(directory)
+    log = WriteAheadLog(log_path)  # truncates any torn tail
+    state = store.recover(log)
+    for name in sorted(state):
+        print("recovered %s: %d rows" % (name, state[name].cardinality()))
+    if state:
+        store.checkpoint(log, state)
+        print("checkpoint written at lsn %d" % log.lsn)
+    if compact:
+        dropped = log.compact()
+        print("compacted: dropped %d records" % dropped)
+    print("recover: %d durable records, %d torn bytes truncated"
+          % (before.lsn, before.torn_bytes))
+    return 0
+
+
 def _command_obs_metrics(args: List[str]) -> int:
     if len(args) != 2:
         return _fail("obs-metrics takes CSVDIR and an XQL string")
@@ -369,6 +483,8 @@ _COMMANDS = {
     "query": _command_query,
     "closure": _command_closure,
     "cluster-status": _command_cluster_status,
+    "fsck": _command_fsck,
+    "recover": _command_recover,
     "obs-metrics": _command_obs_metrics,
     "obs-trace": _command_obs_trace,
 }

@@ -32,7 +32,9 @@ from typing import Any, Callable, Iterator, Optional
 
 from repro.obs import metrics
 
-__all__ = ["enabled", "set_enabled", "observed", "kernel_op"]
+__all__ = [
+    "enabled", "set_enabled", "observed", "kernel_op", "record_recovery",
+]
 
 
 def _env_truthy(value: str) -> bool:
@@ -139,6 +141,38 @@ def _kernel_metrics():
             ),
         )
     return _KERNEL_METRICS
+
+
+def record_recovery(kind: str, seconds: float, records: int,
+                    byte_count: int) -> None:
+    """Record one recovery pass (WAL replay or replica rebuild).
+
+    ``kind`` labels the recovery flavor (``"wal"`` for log replay into
+    a :class:`~repro.relational.disk.DiskRelationStore`, ``"rebuild"``
+    for a revived cluster node catching up from the write log);
+    ``records`` is how many log entries were replayed and
+    ``byte_count`` how many durable bytes were read to do it.  A
+    no-op while observability is off, like every other hook here.
+    """
+    if not _ENABLED:
+        return
+    registry = metrics.registry()
+    key = (kind,)
+    registry.counter(
+        "repro_recovery_total", "Recovery passes completed.", ("kind",),
+    ).inc_key(key)
+    registry.counter(
+        "repro_recovery_records_total",
+        "Log records replayed during recovery.", ("kind",),
+    ).inc_key(key, records)
+    registry.counter(
+        "repro_recovery_bytes_total",
+        "Durable bytes read during recovery.", ("kind",),
+    ).inc_key(key, byte_count)
+    registry.histogram(
+        "repro_recovery_seconds", "Recovery pass duration.",
+        ("kind",), buckets=metrics.SECONDS_BUCKETS,
+    ).observe_key(key, seconds)
 
 
 def _record(op_name: str, args: tuple, result: Any, elapsed: float) -> None:

@@ -77,6 +77,13 @@ from repro.relational.schema import Heading
 from repro.relational.sql import compile_query, parse_query, run, run_rows
 from repro.relational.tx import TransactionManager
 from repro.relational.storage import RecordStore, SetStore
+from repro.relational.wal import (
+    CorruptLogError,
+    CorruptSegmentError,
+    CrashPoint,
+    SimulatedCrashError,
+    WriteAheadLog,
+)
 
 __all__ = [
     "Heading",
@@ -128,6 +135,12 @@ __all__ = [
     "compile_query",
     # transactions
     "TransactionManager",
+    # durability
+    "WriteAheadLog",
+    "CrashPoint",
+    "SimulatedCrashError",
+    "CorruptLogError",
+    "CorruptSegmentError",
     # distributed
     "Cluster",
     "Node",

@@ -33,11 +33,17 @@ What the simulation preserves from the paper's programme:
   answer is obtainable -- never a wrong one.
 
 The failure model: a killed node is *unreachable*, not erased -- its
-stored buckets survive and serve again after a revive (crash with
-durable disks).  Writes are modeled as durable fan-out (they reach
-every replica's disk even while the node is unreachable), so a
-revived node is immediately consistent; the read path is where
-unreliability lives and is measured.
+stored buckets survive a crash (durable disks) and serve again after
+a revive.  Writes, however, are *missed* while a node is down: the
+fan-out skips unreachable replicas, exactly as a real backend's would.
+Consistency is restored by **rebuild-from-log**: the cluster keeps an
+in-memory write log (one entry per bucket write, with a monotonically
+increasing LSN) and every node carries an ``applied_lsn`` high-water
+mark; a revive replays the log tail past the node's mark -- shipping
+real priced bytes -- before the node serves again, so any *readable*
+replica is always consistent.  The write fan-out also ticks the fault
+injector, so seeded ``crash`` events can kill a node halfway through
+a fan-out and the rebuild provably reconciles the torn write.
 """
 
 from __future__ import annotations
@@ -60,6 +66,7 @@ from typing import (
 from repro.errors import ClusterUnavailableError, SchemaError
 from repro.obs import metrics as _metrics
 from repro.obs.instrument import enabled as _obs_enabled
+from repro.obs.instrument import record_recovery as _record_recovery
 from repro.obs.trace import Span, Tracer
 from repro.relational.aggregate import aggregate as local_aggregate
 from repro.relational.algebra import join as local_join
@@ -176,7 +183,9 @@ class Node:
 
     ``alive`` and ``delay_s`` are the two knobs the fault harness
     turns; the storage itself is durable (a killed node keeps its
-    buckets and serves them again after a revive).
+    buckets, but misses writes until a revive-time rebuild --
+    ``applied_lsn`` is the write-log high-water mark the rebuild
+    replays from).
     """
 
     def __init__(self, name: str, index: int = 0):
@@ -184,6 +193,7 @@ class Node:
         self.index = index
         self.alive = True
         self.delay_s = 0.0
+        self.applied_lsn = 0
         self._buckets: Dict[str, Dict[int, Relation]] = {}
 
     # -- storage (durable: works regardless of liveness) ---------------
@@ -327,6 +337,11 @@ class Cluster:
         self._headings: Dict[str, Heading] = {}
         self._placements: Dict[str, ReplicaPlacement] = {}
         self._last_context: Optional[_QueryContext] = None
+        # The write log: (lsn, table, bucket, kind, rows) per bucket
+        # write, kind in {"store", "merge"}.  Replayed by
+        # :meth:`on_revive` to rebuild replicas that missed writes.
+        self._write_log: List[Tuple[int, str, int, str, Relation]] = []
+        self._log_lsn = 0
 
     # ------------------------------------------------------------------
     # Faults and liveness
@@ -354,7 +369,66 @@ class Cluster:
         self.node_named(name).fail()
 
     def revive_node(self, name: str) -> None:
-        self.node_named(name).recover()
+        """Bring a node back, rebuilding any writes it missed."""
+        self.on_revive(self.node_named(name))
+
+    def on_revive(self, node: Node) -> None:
+        """Revive ``node``: replay the write-log tail, then serve.
+
+        Idempotent (a live node is left alone).  The rebuild runs
+        *before* the node is marked reachable, so there is no window
+        where a stale replica serves reads.
+        """
+        if node.alive:
+            return
+        self._rebuild(node)
+        node.recover()
+
+    def _rebuild(self, node: Node) -> None:
+        """Replay write-log entries past the node's high-water mark.
+
+        Only entries for buckets this node replicates are applied; the
+        shipped bytes are priced as replica traffic and the pass is
+        reported as a ``rebuild`` recovery (span + metrics).  Replays
+        are safe to overlap with writes the node did see: ``store``
+        overwrites and ``merge`` is a union, so re-applying is
+        idempotent.
+        """
+        started = time.perf_counter()
+        span = self.tracer.start("rebuild(%s)" % node.name, node=node.name)
+        entries = 0
+        byte_count = 0
+        try:
+            for lsn, table, bucket, kind, rows in self._write_log:
+                if lsn <= node.applied_lsn:
+                    continue
+                placement = self._placements.get(table)
+                if placement is None or node.index not in placement.replicas(
+                    bucket
+                ):
+                    continue
+                if kind == "store":
+                    node.store(table, rows, bucket=bucket)
+                else:
+                    node.merge(table, bucket, rows)
+                size = len(dumps(rows.rows))
+                self.network.ship_encoded(size, replica=True)
+                entries += 1
+                byte_count += size
+            node.applied_lsn = self._log_lsn
+            span.set("entries", entries)
+            span.set("bytes", byte_count)
+        finally:
+            self.tracer.end(span)
+        _record_recovery(
+            "rebuild", time.perf_counter() - started, entries, byte_count
+        )
+
+    def _log_append(self, table: str, bucket: int, kind: str,
+                    rows: Relation) -> int:
+        self._log_lsn += 1
+        self._write_log.append((self._log_lsn, table, bucket, kind, rows))
+        return self._log_lsn
 
     def live_nodes(self) -> List[Node]:
         return [node for node in self.nodes if node.alive]
@@ -376,6 +450,10 @@ class Cluster:
         plus ring successors).  The primary copy is free -- data
         originates there -- while every extra copy ships over the
         network and is priced in ``NetworkStats.replica_bytes``.
+
+        Unreachable replicas *miss* the write (they catch up from the
+        write log on revive), and each per-replica step ticks the
+        fault injector, so a seeded crash can land mid-fan-out.
         """
         relation.heading.require([partition_attr])
         factor = (
@@ -384,28 +462,38 @@ class Cluster:
             else replication_factor
         )
         placement = ReplicaPlacement(len(self.nodes), factor)
+        # Catalog first: a revive fired by a mid-create tick must be
+        # able to see the placement to rebuild the partial table.
+        self._partition_attrs[name] = partition_attr
+        self._headings[name] = relation.heading
+        self._placements[name] = placement
         buckets: List[List] = [[] for _ in self.nodes]
         for row, _ in relation.rows.pairs():
             (value,) = row.elements_at(partition_attr)
             buckets[_partition_index(value, len(self.nodes))].append(row)
         for bucket_index, bucket in enumerate(buckets):
             part = Relation(relation.heading, xset(bucket))
+            lsn = self._log_append(name, bucket_index, "store", part)
             for position, node_index in enumerate(
                 placement.replicas(bucket_index)
             ):
-                self.nodes[node_index].store(name, part, bucket=bucket_index)
+                self.faults.tick(self, write=True)
+                node = self.nodes[node_index]
+                if not node.alive:
+                    continue  # missed write; rebuilt on revive
+                node.store(name, part, bucket=bucket_index)
+                node.applied_lsn = lsn
                 if position:
                     self.network.ship(part.rows, replica=True)
-        self._partition_attrs[name] = partition_attr
-        self._headings[name] = relation.heading
-        self._placements[name] = placement
 
     def insert(self, name: str, rows: Iterable[Mapping[str, Any]]) -> int:
-        """Append rows, fanned out to every replica of each bucket.
+        """Append rows, fanned out to every *reachable* replica.
 
-        Writes are durable: they reach a replica's storage even while
-        that node is unreachable, so revived nodes are consistent
-        without an anti-entropy pass.  Returns the row count written.
+        Each bucket write is logged (one LSN) before the fan-out, and
+        each per-replica step ticks the fault injector -- so a seeded
+        crash tears the fan-out at a deterministic point and the torn
+        replica misses the rows until its revive-time rebuild replays
+        the log tail.  Returns the row count written.
         """
         heading = self.heading(name)
         attr = self.partition_attr(name)
@@ -423,12 +511,18 @@ class Cluster:
                 _partition_index(row[attr], len(self.nodes)), []
             ).append(record)
             count += 1
-        for bucket_index, records in buckets.items():
-            fresh = Relation(heading, xset(records))
+        for bucket_index in sorted(buckets):
+            fresh = Relation(heading, xset(buckets[bucket_index]))
+            lsn = self._log_append(name, bucket_index, "merge", fresh)
             for position, node_index in enumerate(
                 placement.replicas(bucket_index)
             ):
-                self.nodes[node_index].merge(name, bucket_index, fresh)
+                self.faults.tick(self, write=True)
+                node = self.nodes[node_index]
+                if not node.alive:
+                    continue  # missed write; rebuilt on revive
+                node.merge(name, bucket_index, fresh)
+                node.applied_lsn = lsn
                 self.network.ship(fresh.rows, replica=position > 0)
         return count
 
@@ -458,6 +552,7 @@ class Cluster:
                     "name": node.name,
                     "alive": node.alive,
                     "delay_s": node.delay_s,
+                    "applied_lsn": node.applied_lsn,
                     "tables": {
                         table: {
                             "buckets": list(node.buckets_held(table)),
@@ -476,6 +571,10 @@ class Cluster:
                         self._placements[table].replication_factor,
                 }
                 for table in sorted(self._partition_attrs)
+            },
+            "write_log": {
+                "lsn": self._log_lsn,
+                "entries": len(self._write_log),
             },
             "network": {
                 "messages": self.network.messages,

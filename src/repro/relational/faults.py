@@ -60,8 +60,8 @@ class ShipmentCorruptedError(ShipmentLostError):
 
 
 # Event kinds, in the order ties at one operation count are applied.
-_KILL, _REVIVE, _DELAY, _DROP, _CORRUPT = (
-    "kill", "revive", "delay", "drop", "corrupt"
+_KILL, _REVIVE, _DELAY, _DROP, _CORRUPT, _CRASH = (
+    "kill", "revive", "delay", "drop", "corrupt", "crash"
 )
 
 
@@ -103,6 +103,62 @@ class FaultPlan:
         """
         return self._add(at_op, _DELAY, node, seconds)
 
+    def crash(self, node: Optional[str] = None, at_op: int = 0,
+              after_bytes: Optional[int] = None) -> "FaultPlan":
+        """Schedule a crash.
+
+        With ``node``, the node dies at operation ``at_op`` exactly
+        like :meth:`kill` -- but because the cluster also ticks the
+        injector on its *write* fan-out path, a crash scheduled inside
+        a write window kills the node mid-write: replicas before the
+        crash point have the rows, replicas after do not, and only a
+        revive-time rebuild from the cluster's write log reconciles
+        them.
+
+        With ``after_bytes``, the event instead describes a
+        storage-layer crash point (die after that many written bytes);
+        consume these with :meth:`crash_points` to build
+        :class:`~repro.relational.wal.CrashPoint` writer shims.
+        """
+        return self._add(at_op, _CRASH, node,
+                         0.0 if after_bytes is None else float(after_bytes))
+
+    def crash_points(self) -> List[object]:
+        """The plan's byte-budget crashes as WAL writer shims.
+
+        One :class:`~repro.relational.wal.CrashPoint` per
+        :meth:`crash` event that carried ``after_bytes``, in schedule
+        order -- the bridge between seeded fault plans and the
+        storage layer's deterministic crash harness.
+        """
+        from repro.relational.wal import CrashPoint
+
+        return [
+            CrashPoint(after_bytes=int(payload))
+            for _, _, kind, node, payload in sorted(self._events)
+            if kind == _CRASH and node is None
+        ]
+
+    @classmethod
+    def crash_sweep(cls, seed: int, total_bytes: int,
+                    points: int = 16) -> "FaultPlan":
+        """A seeded schedule of byte-budget crash points.
+
+        Draws ``points`` distinct crash offsets in ``[0, total_bytes]``
+        from an explicit seed -- the storage-layer analogue of
+        :meth:`chaos`, consumed via :meth:`crash_points`.
+        """
+        if total_bytes < 0:
+            raise ValueError("total_bytes must be non-negative")
+        rng = random.Random(seed)
+        plan = cls()
+        population = range(total_bytes + 1)
+        for offset in sorted(rng.sample(
+            population, min(points, len(population))
+        )):
+            plan.crash(after_bytes=offset)
+        return plan
+
     def drop_shipment(self, at_op: int) -> "FaultPlan":
         """Lose the first shipment at or after operation ``at_op``."""
         return self._add(at_op, _DROP, None)
@@ -122,13 +178,18 @@ class FaultPlan:
         kills: int = 1,
         drops: int = 2,
         corruptions: int = 1,
+        crashes: int = 0,
         max_delay: float = 0.0,
     ) -> "FaultPlan":
         """A random-but-reproducible plan drawn from an explicit seed.
 
         Every kill is paired with a later revive, so chaos plans never
         permanently lose capacity -- availability tests control
-        permanent loss explicitly with :meth:`kill`.
+        permanent loss explicitly with :meth:`kill`.  ``crashes`` adds
+        crash/revive pairs: unlike kills, crash events also fire on
+        the cluster's write fan-out ticks, so a chaos plan with
+        crashes exercises kill-*during*-write (a replica missing rows
+        until its revive-time rebuild), not just kill-between-ops.
         """
         rng = random.Random(seed)
         plan = cls()
@@ -142,6 +203,12 @@ class FaultPlan:
             plan.drop_shipment(rng.randrange(horizon))
         for _ in range(corruptions):
             plan.corrupt_shipment(rng.randrange(horizon))
+        for _ in range(crashes):
+            victim = rng.choice(list(node_names))
+            down = rng.randrange(horizon)
+            up = down + 1 + rng.randrange(max(1, horizon - down))
+            plan.crash(victim, at_op=down)
+            plan.revive(victim, at_op=up)
         if max_delay > 0.0:
             laggard = rng.choice(list(node_names))
             plan.delay(laggard, rng.uniform(0.0, max_delay),
@@ -181,21 +248,40 @@ class FaultInjector:
 
     # -- hooks called by Cluster ---------------------------------------
 
-    def tick(self, cluster: "Cluster") -> None:
-        """One operation happened: apply every event now due."""
+    def tick(self, cluster: "Cluster", write: bool = False) -> None:
+        """One operation happened: apply every event now due.
+
+        ``write=True`` marks a write fan-out tick: only *crash* events
+        fire there (a crash can land mid-write and tear the fan-out);
+        every other kind is held for the next read-path tick, so
+        PR 1 plans keep their exact kill/drop/delay timing.  Revives
+        route through :meth:`Cluster.on_revive
+        <repro.relational.distributed.Cluster.on_revive>` so a
+        returning node is rebuilt from the write log before it serves.
+        """
         self.operations += 1
-        while self._pending and self._pending[0][0] <= self.operations:
-            _, _, kind, node_name, payload = self._pending.pop(0)
+        if not self._pending:
+            return
+        remaining: List[Tuple[int, int, str, Optional[str], float]] = []
+        for index, event in enumerate(self._pending):
+            at_op, _, kind, node_name, payload = event
+            if at_op > self.operations:
+                remaining.extend(self._pending[index:])
+                break
+            if write and kind != _CRASH:
+                remaining.append(event)  # held for the next read tick
+                continue
             if kind in (_DROP, _CORRUPT):
                 self._oneshots.append(kind)
                 continue
             node = cluster.node_named(node_name)
-            if kind == _KILL:
+            if kind in (_KILL, _CRASH):
                 node.alive = False
             elif kind == _REVIVE:
-                node.alive = True
+                cluster.on_revive(node)
             elif kind == _DELAY:
                 node.delay_s = payload
+        self._pending = remaining
 
     def on_ship(self, node: "Node", data: bytes) -> bytes:
         """A shipment is leaving ``node``; lose or damage it if due."""
@@ -222,7 +308,7 @@ class _NoFaults(FaultInjector):
     def __init__(self):
         super().__init__(None)
 
-    def tick(self, cluster: "Cluster") -> None:
+    def tick(self, cluster: "Cluster", write: bool = False) -> None:
         pass
 
     def on_ship(self, node: "Node", data: bytes) -> bytes:

@@ -5,9 +5,10 @@ all-or-nothing; a :class:`TransactionManager` extends the guarantee to
 *groups* of statements across tables.  Immutability makes this almost
 free: beginning a transaction records each table's current relation
 value (a pointer copy), and rollback restores the pointers.  Deferred
-constraint checking re-validates every enrolled table at commit, so
-mutually-referential updates (insert the department and its employees
-in one transaction) order-independently succeed or fail as a unit.
+constraint checking re-validates every enrolled table at the
+*outermost* commit, so mutually-referential updates (insert the
+department and its employees in one transaction) order-independently
+succeed or fail as a unit.
 
 Usage::
 
@@ -19,32 +20,57 @@ Usage::
 
 Nested transactions are supported as savepoints: the inner context
 restores to its own begin-state on failure without disturbing the
-outer transaction.
+outer transaction, and commit-time validation runs exactly once, when
+the outermost scope commits.
+
+Durability: pass ``log=`` a
+:class:`~repro.relational.wal.WriteAheadLog` and every outermost
+commit appends **one atomic record** -- the per-table inserted and
+deleted row sets, diffed for free from the immutable begin/end
+relation values -- *before* the transaction is considered committed.
+A failed append rolls the tables back, so the in-memory state never
+runs ahead of the durable log; a crash mid-append leaves a torn tail
+that recovery truncates (the transaction never happened).
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Mapping
+from typing import Dict, Iterator, List, Mapping, Optional
 
 from repro.errors import SchemaError
 from repro.relational.constraints import Table
+from repro.relational.wal import WriteAheadLog
 
 __all__ = ["TransactionManager"]
 
 
 class TransactionManager:
-    """Groups mutations on several tables into atomic units."""
+    """Groups mutations on several tables into atomic, loggable units."""
 
-    def __init__(self, tables: Mapping[str, Table]):
+    def __init__(self, tables: Mapping[str, Table],
+                 log: Optional[WriteAheadLog] = None):
         if not tables:
             raise SchemaError("a transaction manager needs at least one table")
         self._tables: Dict[str, Table] = dict(tables)
         self._savepoints: List[Dict[str, object]] = []
+        self._deferred_depth = 0
+        self._log = log
+        self._commits = 0
 
     @property
     def tables(self) -> Dict[str, Table]:
         return dict(self._tables)
+
+    @property
+    def log(self) -> Optional[WriteAheadLog]:
+        return self._log
+
+    @property
+    def commits(self) -> int:
+        """Outermost commits that changed state (each one logged when
+        a log is attached)."""
+        return self._commits
 
     def table(self, name: str) -> Table:
         try:
@@ -82,31 +108,65 @@ class TransactionManager:
 
         With ``deferred=True``, per-statement constraint checking is
         suspended for the enrolled tables inside the scope and every
-        table is validated at commit instead -- so cross-table
-        invariants may be transiently broken (insert the employee
-        before its department) as long as the commit state is
-        consistent.  A failed commit restores the begin-state and
-        re-raises.
+        table is validated at the outermost commit instead -- so
+        cross-table invariants may be transiently broken (insert the
+        employee before its department) as long as the commit state is
+        consistent.  Deferral nests: an inner scope ending does not
+        resume per-statement checking while any enclosing deferred
+        scope is still open, and commit-time validation runs exactly
+        once, at the outermost commit.  A failed commit (validation or
+        log append) restores the begin-state and re-raises.
         """
         savepoint = self._capture()
         self._savepoints.append(savepoint)
         if deferred:
-            for table in self._tables.values():
-                table.defer_validation(True)
+            self._deferred_depth += 1
+            if self._deferred_depth == 1:
+                for table in self._tables.values():
+                    table.defer_validation(True)
         try:
             yield self
         except BaseException:
             self._restore(savepoint)
             raise
         else:
-            try:
-                for table in self._tables.values():
-                    table.check_now()
-            except Exception:
-                self._restore(savepoint)
-                raise
+            if len(self._savepoints) == 1:
+                try:
+                    for table in self._tables.values():
+                        table.check_now()
+                    self._log_commit(savepoint)
+                except BaseException:
+                    self._restore(savepoint)
+                    raise
         finally:
             if deferred:
-                for table in self._tables.values():
-                    table.defer_validation(False)
+                self._deferred_depth -= 1
+                if self._deferred_depth == 0:
+                    for table in self._tables.values():
+                        table.defer_validation(False)
             self._savepoints.pop()
+
+    def _log_commit(self, savepoint: Dict[str, object]) -> None:
+        """Append one atomic commit record for the outermost scope.
+
+        The record carries, per changed table, the inserted and
+        deleted row sets (immutable-value diffs) plus the heading, so
+        recovery can redo the transaction -- including re-creating
+        tables born after the last checkpoint.  No-op transactions log
+        nothing.
+        """
+        changes = {}
+        for name in sorted(self._tables):
+            before = savepoint[name]
+            after = self._tables[name].snapshot()
+            if after.rows != before.rows:
+                changes[name] = (
+                    tuple(after.heading.names),
+                    after.rows - before.rows,
+                    before.rows - after.rows,
+                )
+        if not changes:
+            return
+        if self._log is not None:
+            self._log.commit(self._commits + 1, changes)
+        self._commits += 1

@@ -68,6 +68,23 @@ class ClusterMachine(RuleBasedStateMachine):
             self.shadow[emp] = row
         self.cluster.insert("emp", fresh)
 
+    @rule(count=st.integers(1, 3), dept=st.integers(0, DEPT_SPACE - 1),
+          victim=st.integers(0, NODES - 1))
+    def crash_during_insert(self, count, dept, victim):
+        # Kill-during-write: the victim dies on the first write tick of
+        # the fan-out, so it misses this insert (and any replica steps
+        # after the crash point) until a revive-time rebuild.  The
+        # oracle invariant must keep holding throughout.
+        from repro.relational.faults import FaultPlan
+
+        self.cluster.install_faults(
+            FaultPlan().crash("node-%d" % victim, at_op=1)
+        )
+        try:
+            self.insert_rows(count, dept)
+        finally:
+            self.cluster.clear_faults()
+
     @rule(index=st.integers(0, NODES - 1))
     def kill_node(self, index):
         self.cluster.kill_node("node-%d" % index)

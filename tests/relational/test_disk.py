@@ -10,6 +10,15 @@ from repro.relational.relation import Relation
 from repro.workloads.generators import employee_relation
 
 
+def segment_file(tmp_path, name, index):
+    """The index-th segment file of a stored relation (any generation)."""
+    directory = os.path.join(str(tmp_path), name)
+    segments = sorted(
+        entry for entry in os.listdir(directory) if entry.startswith("seg-")
+    )
+    return os.path.join(directory, segments[index])
+
+
 @pytest.fixture
 def store(tmp_path):
     return DiskRelationStore(str(tmp_path), rows_per_segment=50,
@@ -138,7 +147,7 @@ class TestCorruptionAndFailure:
     def test_truncated_segment_is_detected(self, tmp_path, employees):
         store = DiskRelationStore(str(tmp_path), rows_per_segment=100)
         store.store("emp", employees)
-        segment = os.path.join(str(tmp_path), "emp", "seg-00000")
+        segment = segment_file(tmp_path, "emp", 0)
         with open(segment, "rb") as handle:
             payload = handle.read()
         with open(segment, "wb") as handle:
@@ -164,7 +173,7 @@ class TestCorruptionAndFailure:
     def test_foreign_bytes_in_a_segment(self, tmp_path, employees):
         store = DiskRelationStore(str(tmp_path), rows_per_segment=100)
         store.store("emp", employees)
-        segment = os.path.join(str(tmp_path), "emp", "seg-00001")
+        segment = segment_file(tmp_path, "emp", 1)
         with open(segment, "ab") as handle:
             handle.write(b"\xff\xfejunk")
         from repro.errors import XSTError
@@ -176,7 +185,7 @@ class TestCorruptionAndFailure:
     def test_missing_segment_file(self, tmp_path, employees):
         store = DiskRelationStore(str(tmp_path), rows_per_segment=100)
         store.store("emp", employees)
-        os.remove(os.path.join(str(tmp_path), "emp", "seg-00001"))
+        os.remove(segment_file(tmp_path, "emp", 1))
         fresh = DiskRelationStore(str(tmp_path))
         with pytest.raises(FileNotFoundError):
             fresh.load("emp")
@@ -193,6 +202,134 @@ class TestCorruptionAndFailure:
         assert fresh.load("good") == employees
 
 
+class TestCacheInvalidation:
+    """Regression: mutations must evict the relation's warm pages."""
+
+    def test_overwrite_through_a_warm_cache_serves_fresh_rows(
+        self, store, employees
+    ):
+        store.store("emp", employees)
+        list(store.scan("emp"))          # warm the cache
+        assert store.cache.hits + store.cache.misses > 0
+        smaller = employee_relation(10, 2, seed=1)
+        store.store("emp", smaller)
+        # Same store object, warm cache: must NOT serve stale pages.
+        assert store.load("emp") == smaller
+
+    def test_drop_evicts_cached_pages(self, store, employees):
+        store.store("emp", employees)
+        list(store.scan("emp"))
+        store.drop("emp")
+        assert store.cache.evict_relation("emp") == 0  # already gone
+
+    def test_eviction_is_per_relation(self, store, employees):
+        store.store("emp", employees)
+        store.store("other", employee_relation(40, 2, seed=3))
+        list(store.scan("other"))
+        hits_before = store.cache.hits
+        store.store("emp", employee_relation(5, 2, seed=4))
+        list(store.scan("other"))        # other's page survives
+        assert store.cache.hits > hits_before
+
+
+class TestAtomicWrites:
+    """Temp-file + os.replace: no torn segments or metas, ever."""
+
+    def test_no_temp_residue_after_store(self, tmp_path, employees):
+        store = DiskRelationStore(str(tmp_path), rows_per_segment=100)
+        store.store("emp", employees)
+        files = os.listdir(os.path.join(str(tmp_path), "emp"))
+        assert not [name for name in files if name.endswith(".tmp")]
+
+    def test_crash_mid_meta_write_preserves_the_old_relation(
+        self, tmp_path, employees
+    ):
+        from repro.relational.wal import CrashPoint, SimulatedCrashError
+
+        target = str(tmp_path / "target")
+        plain = DiskRelationStore(target, rows_per_segment=100)
+        plain.store("emp", employees)
+        old = plain.load("emp")
+        smaller = employee_relation(10, 2, seed=1)
+        # Size the overwrite's segment bytes on a scratch copy, then
+        # crash the real overwrite two bytes into the meta rewrite:
+        # the new generation's segments are all on disk, but the meta
+        # pointer never swung, so the OLD relation must still load.
+        scratch = DiskRelationStore(str(tmp_path / "scratch"),
+                                    rows_per_segment=100)
+        scratch.store("emp", smaller)
+        segment_bytes = os.path.getsize(
+            segment_file(tmp_path / "scratch", "emp", 0)
+        )
+        point = CrashPoint(after_bytes=segment_bytes + 2)
+        crashy = DiskRelationStore(target, rows_per_segment=100,
+                                   opener=point.open)
+        with pytest.raises(SimulatedCrashError):
+            crashy.store("emp", smaller)
+        fresh = DiskRelationStore(target)
+        assert fresh.load("emp") == old
+
+    def test_crash_between_segments_and_meta_preserves_the_old_relation(
+        self, tmp_path, employees
+    ):
+        from repro.relational.wal import CrashPoint, SimulatedCrashError
+
+        store = DiskRelationStore(str(tmp_path), rows_per_segment=100)
+        store.store("emp", employees)
+        old = store.load("emp")
+        smaller = employee_relation(10, 2, seed=1)
+        # One write call per segment; the next (the meta) crashes
+        # before a byte lands -- the classic torn-overwrite window.
+        point = CrashPoint(after_writes=1)
+        crashy = DiskRelationStore(str(tmp_path), rows_per_segment=100,
+                                   opener=point.open)
+        with pytest.raises(SimulatedCrashError):
+            crashy.store("emp", smaller)
+        assert DiskRelationStore(str(tmp_path)).load("emp") == old
+
+    def test_crash_before_any_write_leaves_old_state(self, tmp_path,
+                                                     employees):
+        from repro.relational.wal import CrashPoint, SimulatedCrashError
+
+        plain = DiskRelationStore(str(tmp_path), rows_per_segment=100)
+        plain.store("emp", employees)
+        point = CrashPoint(after_bytes=0)
+        crashy = DiskRelationStore(str(tmp_path), opener=point.open)
+        with pytest.raises(SimulatedCrashError):
+            crashy.store("emp", employee_relation(10, 2, seed=1))
+        assert DiskRelationStore(str(tmp_path)).load("emp") == employees
+
+
+class TestSegmentChecksums:
+    def test_bitflip_inside_a_segment_is_detected(self, tmp_path, employees):
+        from repro.relational.wal import CorruptSegmentError
+
+        store = DiskRelationStore(str(tmp_path), rows_per_segment=100)
+        store.store("emp", employees)
+        segment = segment_file(tmp_path, "emp", 0)
+        with open(segment, "r+b") as handle:
+            handle.seek(10)
+            byte = handle.read(1)
+            handle.seek(10)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        fresh = DiskRelationStore(str(tmp_path))
+        with pytest.raises(CorruptSegmentError, match="checksum"):
+            fresh.load("emp")
+
+    def test_missing_footer_is_detected(self, tmp_path, employees):
+        from repro.relational.wal import CorruptSegmentError
+
+        store = DiskRelationStore(str(tmp_path), rows_per_segment=100)
+        store.store("emp", employees)
+        segment = segment_file(tmp_path, "emp", 0)
+        size = os.path.getsize(segment)
+        with open(segment, "r+b") as handle:
+            handle.truncate(size - 4)    # chop into the magic trailer
+        fresh = DiskRelationStore(str(tmp_path))
+        with pytest.raises(CorruptSegmentError, match="footer"):
+            fresh.load("emp")
+
+
 class TestConfiguration:
     def test_rows_per_segment_validation(self, tmp_path):
         with pytest.raises(ValueError):
@@ -206,4 +343,6 @@ class TestConfiguration:
         store = DiskRelationStore(str(tmp_path), rows_per_segment=100)
         store.store("emp", employees)
         files = sorted(os.listdir(os.path.join(str(tmp_path), "emp")))
-        assert files == ["meta", "seg-00000", "seg-00001", "seg-00002"]
+        assert files == [
+            "meta", "seg-00001-00000", "seg-00001-00001", "seg-00001-00002"
+        ]

@@ -186,6 +186,87 @@ class TestQueryTimeout:
             assert result == algebra.select_eq(employees, {"dept": 0})
 
 
+class TestCrashDuringWrites:
+    """Crash events fire on *write* ticks; everything else is held."""
+
+    ROW = {"emp": 900, "name": "late", "dept": 0, "salary": 1}
+
+    def test_crash_fires_mid_write_fanout(self, employees):
+        cluster = replicated_cluster(employees)
+        cluster.install_faults(FaultPlan().crash("node-0", at_op=1))
+        assert cluster.nodes[0].alive
+        cluster.insert("emp", [self.ROW])  # write ticks only
+        assert not cluster.nodes[0].alive
+
+    def test_kill_is_held_until_a_read_tick(self, employees):
+        # Ordinary PR-1 events keep their read-path timing: a kill
+        # scheduled at op 1 must NOT fire during a write fan-out.
+        cluster = replicated_cluster(employees)
+        cluster.install_faults(FaultPlan().kill("node-0", at_op=1))
+        cluster.insert("emp", [self.ROW])
+        assert cluster.nodes[0].alive  # held through the write ticks
+        cluster.scan("emp")
+        assert not cluster.nodes[0].alive
+
+    def test_crashed_replica_lags_until_its_rebuild(self, employees):
+        cluster = replicated_cluster(employees)
+        cluster.install_faults(FaultPlan().crash("node-0", at_op=1))
+        cluster.insert("emp", [self.ROW])
+        cluster.clear_faults()
+        log_lsn = cluster.status()["write_log"]["lsn"]
+        assert cluster.nodes[0].applied_lsn < log_lsn
+        cluster.revive_node("node-0")
+        assert cluster.nodes[0].applied_lsn == log_lsn
+
+    def test_chaos_crash_run_still_matches_the_oracle(self, employees):
+        from repro.relational.relation import Relation
+
+        cluster = replicated_cluster(employees)
+        cluster.install_faults(FaultPlan.chaos(
+            21, [n.name for n in cluster.nodes], horizon=30,
+            kills=0, drops=0, corruptions=0, crashes=1,
+        ))
+        extra = [
+            {"emp": 900 + i, "name": "x%d" % i, "dept": i % 8, "salary": i}
+            for i in range(6)
+        ]
+        cluster.insert("emp", extra)
+        for _ in range(15):  # enough read ticks to exhaust the plan
+            cluster.scan("emp")
+        expected = Relation.from_dicts(
+            ["emp", "name", "dept", "salary"],
+            list(employees.iter_dicts()) + extra,
+        )
+        assert cluster.scan("emp") == expected
+
+
+class TestCrashPlanBuilders:
+    def test_chaos_crashes_extend_without_disturbing_the_base_stream(self):
+        from collections import Counter
+
+        names = ["node-0", "node-1"]
+        base = FaultPlan.chaos(5, names, horizon=40).events()
+        extended = FaultPlan.chaos(5, names, horizon=40, crashes=2).events()
+        # crashes=0 is the default: byte-identical schedule...
+        assert FaultPlan.chaos(5, names, horizon=40, crashes=0).events() == base
+        # ...and crash draws come after the base draws, so the base
+        # events all survive verbatim; the extras are 2 crash/revive
+        # pairs.
+        extra = Counter(extended) - Counter(base)
+        assert not Counter(base) - Counter(extended)
+        kinds = sorted(kind for _, kind, _, _ in extra.elements())
+        assert kinds == ["crash", "crash", "revive", "revive"]
+
+    def test_crash_sweep_is_deterministic_and_bounded(self):
+        one = [p.after_bytes
+               for p in FaultPlan.crash_sweep(9, 1000, points=6).crash_points()]
+        two = [p.after_bytes
+               for p in FaultPlan.crash_sweep(9, 1000, points=6).crash_points()]
+        assert one == two
+        assert len(one) == 6
+        assert all(0 <= budget <= 1000 for budget in one)
+
+
 class TestDeterminism:
     def run_history(self, employees, seed):
         cluster = replicated_cluster(employees)

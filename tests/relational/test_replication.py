@@ -199,18 +199,64 @@ class TestWrites:
         result = replicated.select_eq("emp", {"emp": 901})
         assert result.cardinality() == 1
 
-    def test_writes_reach_dead_nodes_durably(self, replicated):
-        # Durable fan-out: the unreachable replica's storage still gets
-        # the row, so a revive needs no anti-entropy pass.
+    def test_dead_replicas_miss_writes_until_rebuilt(self, replicated):
+        # A dead node genuinely misses the fan-out (no writing to
+        # unreachable storage); the revive-time rebuild replays the
+        # cluster's write log past the node's high-water mark, so the
+        # row is there by the time the node serves again.
         replicated.kill_node("node-2")
         replicated.insert(
             "emp",
             [{"emp": 902, "name": "zz-902", "dept": 5, "salary": 42000}],
         )
+        # dept=5 -> bucket 1, replicas node-1 (alive) and node-2 (dead):
+        # the copies have genuinely diverged.
+        live = replicated.nodes[1].bucket("emp", 1)
+        stale = replicated.nodes[2]._buckets["emp"][1]  # peek past the guard
+        assert any(r["emp"] == 902 for r in live.iter_dicts())
+        assert not any(r["emp"] == 902 for r in stale.iter_dicts())
         replicated.revive_node("node-2")
-        replicated.kill_node("node-1")  # force reads onto node-2
+        replicated.kill_node("node-1")  # force reads onto the rebuilt copy
         result = replicated.select_eq("emp", {"emp": 902})
         assert result.cardinality() == 1
+
+    def test_rebuilt_node_matches_a_never_crashed_cluster(
+        self, employees, departments
+    ):
+        # The differential oracle: one cluster loses a node across a
+        # batch of writes and rebuilds it on revive; a control cluster
+        # never fails.  With the same reads forced onto the rebuilt
+        # node, both clusters must give identical answers.
+        extra = [
+            {"emp": 950 + i, "name": "post-%d" % i, "dept": i % 8,
+             "salary": 50000 + i}
+            for i in range(12)
+        ]
+        control = Cluster(4, replication_factor=2)
+        control.create_table("emp", employees, "dept")
+        crashed = Cluster(4, replication_factor=2)
+        crashed.create_table("emp", employees, "dept")
+
+        control.insert("emp", extra)
+        crashed.kill_node("node-2")
+        crashed.insert("emp", extra)  # node-2 misses every bucket it holds
+        crashed.revive_node("node-2")
+
+        # Rebuilt copies are bit-identical to never-crashed ones.
+        for bucket in crashed.nodes[2].buckets_held("emp"):
+            assert crashed.nodes[2].bucket("emp", bucket) == \
+                control.nodes[2].bucket("emp", bucket)
+
+        # And the rebuilt node serves the same answers: kill its ring
+        # partners' primaries so reads must land on node-2.
+        for cluster in (control, crashed):
+            cluster.kill_node("node-1")
+        assert crashed.scan("emp") == control.scan("emp")
+        assert crashed.select_eq("emp", {"dept": 5}) == \
+            control.select_eq("emp", {"dept": 5})
+        assert crashed.aggregate(
+            "emp", ["dept"], {"n": ("count", "emp")}
+        ) == control.aggregate("emp", ["dept"], {"n": ("count", "emp")})
 
     def test_insert_validates_heading(self, replicated):
         with pytest.raises(SchemaError, match="row keys"):

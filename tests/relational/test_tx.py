@@ -116,6 +116,155 @@ class TestNesting:
         assert manager.depth == 0
 
 
+class TestNestedSavepointsUnderInjectedFailures:
+    """Satellite: inner failures never disturb outer begin-state."""
+
+    def test_failed_inner_statements_interleaved_with_outer_work(self, schema):
+        manager, employees, departments = schema
+        with manager.transaction():
+            departments.insert({"dept": 2, "dname": "ops"})
+            # Injected failure #1: a statement-level constraint
+            # violation inside a savepoint.
+            with pytest.raises(IntegrityError):
+                with manager.transaction():
+                    employees.insert({"emp": 1, "name": "a", "dept": 2})
+                    employees.insert({"emp": 1, "name": "dup", "dept": 2})
+            assert len(employees) == 0  # inner rolled back cleanly
+            employees.insert({"emp": 2, "name": "b", "dept": 2})
+            # Injected failure #2: a client abort in a later savepoint.
+            with pytest.raises(RuntimeError):
+                with manager.transaction():
+                    employees.insert({"emp": 3, "name": "c", "dept": 2})
+                    raise RuntimeError("injected abort")
+            assert len(employees) == 1  # emp 2 survived the rollback
+        assert len(employees) == 1
+        assert len(departments) == 2
+
+    def test_two_levels_of_nesting_restore_their_own_begin_states(
+        self, schema
+    ):
+        manager, employees, departments = schema
+        with manager.transaction():
+            departments.insert({"dept": 2, "dname": "l1"})
+            with manager.transaction():
+                departments.insert({"dept": 3, "dname": "l2"})
+                with pytest.raises(RuntimeError):
+                    with manager.transaction():
+                        departments.insert({"dept": 4, "dname": "l3"})
+                        raise RuntimeError("deepest scope dies")
+                assert len(departments) == 3  # l3 gone, l2 intact
+            assert len(departments) == 3
+        assert len(departments) == 3
+
+    def test_deferred_check_runs_once_at_outermost_commit(self, schema):
+        manager, employees, departments = schema
+        from repro.relational.constraints import CheckConstraint
+
+        calls = []
+        departments.add_constraint(CheckConstraint(
+            lambda row: calls.append(row) or True, "counting"
+        ))
+        calls.clear()  # add_constraint itself validates once
+        with manager.transaction(deferred=True):
+            departments.insert({"dept": 2, "dname": "x"})
+            with manager.transaction(deferred=True):
+                departments.insert({"dept": 3, "dname": "y"})
+            # The inner scope ended, but checking stays deferred while
+            # the outer deferred scope is open.
+            departments.insert({"dept": 4, "dname": "z"})
+        # Exactly one commit-time validation pass: each of the 4 rows
+        # checked once, not once per statement or per scope.
+        assert len(calls) == 4
+
+    def test_inner_failure_then_deferred_commit_still_validates(self, schema):
+        manager, employees, departments = schema
+        with pytest.raises(IntegrityError):
+            with manager.transaction(deferred=True):
+                with pytest.raises(RuntimeError):
+                    with manager.transaction(deferred=True):
+                        employees.insert(
+                            {"emp": 1, "name": "ghost", "dept": 404}
+                        )
+                        raise RuntimeError("inner injected failure")
+                # The bad row is rolled back; insert a different one
+                # that is *also* dangling -- the outermost commit must
+                # still catch it.
+                employees.insert({"emp": 2, "name": "dangle", "dept": 404})
+        assert len(employees) == 0
+
+
+class TestCommitLogging:
+    """The WAL hook: one atomic record per state-changing commit."""
+
+    @pytest.fixture
+    def logged(self, schema, tmp_path):
+        from repro.relational.wal import WriteAheadLog
+
+        manager, employees, departments = schema
+        log = WriteAheadLog(str(tmp_path / "wal.log"))
+        manager = TransactionManager(
+            {"emp": employees, "dept": departments}, log=log
+        )
+        return manager, employees, departments, log
+
+    def test_outermost_commit_appends_one_record(self, logged):
+        from repro.relational.wal import commit_changes
+
+        manager, employees, departments, log = logged
+        with manager.transaction():
+            departments.insert({"dept": 2, "dname": "ops"})
+            with manager.transaction():
+                employees.insert({"emp": 1, "name": "ada", "dept": 2})
+        assert log.lsn == 1  # nested commits do not log separately
+        (record,) = log.replay()
+        changed = {name for name, _, _, _ in commit_changes(record)}
+        assert changed == {"dept", "emp"}
+
+    def test_rollback_logs_nothing(self, logged):
+        manager, employees, departments, log = logged
+        with pytest.raises(RuntimeError):
+            with manager.transaction():
+                departments.insert({"dept": 2, "dname": "doomed"})
+                raise RuntimeError("abort")
+        assert log.lsn == 0
+
+    def test_noop_transaction_logs_nothing(self, logged):
+        manager, employees, departments, log = logged
+        with manager.transaction():
+            pass
+        assert log.lsn == 0
+
+    def test_deletes_are_logged_as_deltas(self, logged):
+        from repro.relational.wal import commit_changes
+
+        manager, employees, departments, log = logged
+        with manager.transaction():
+            departments.insert({"dept": 2, "dname": "ops"})
+        with manager.transaction():
+            departments.delete({"dept": 2})
+        _, record = log.replay()[1], log.replay()[1]
+        (name, _, inserted, deleted), = commit_changes(record)
+        assert name == "dept"
+        assert len(inserted) == 0 and len(deleted) == 1
+
+    def test_failed_log_append_rolls_the_commit_back(self, schema):
+        manager, employees, departments = schema
+
+        class ExplodingLog:
+            def commit(self, tx_id, changes):
+                raise OSError("disk full (injected)")
+
+        manager = TransactionManager(
+            {"emp": employees, "dept": departments}, log=ExplodingLog()
+        )
+        with pytest.raises(OSError):
+            with manager.transaction():
+                departments.insert({"dept": 2, "dname": "undurable"})
+        # The in-memory state never ran ahead of the durable log.
+        assert len(departments) == 1
+        assert manager.commits == 0
+
+
 class TestManagerPlumbing:
     def test_table_access(self, schema):
         manager, employees, departments = schema

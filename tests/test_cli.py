@@ -145,6 +145,124 @@ class TestClusterStatus:
         assert main(["cluster-status"]) == 2
 
 
+@pytest.fixture
+def durable_dir(tmp_path):
+    """A store + WAL with 5 committed txs, a checkpoint, and 1 more tx."""
+    import os
+
+    from repro.relational.constraints import KeyConstraint, Table
+    from repro.relational.disk import DiskRelationStore
+    from repro.relational.tx import TransactionManager
+    from repro.relational.wal import WriteAheadLog
+
+    directory = str(tmp_path / "store")
+    store = DiskRelationStore(directory)
+    log = WriteAheadLog(os.path.join(directory, "wal.log"))
+    table = Table(["id", "val"], [], [KeyConstraint(["id"])])
+    manager = TransactionManager({"items": table}, log=log)
+    for i in range(5):
+        with manager.transaction():
+            table.insert({"id": i, "val": "v%d" % i})
+    store.checkpoint(log, {"items": table.snapshot()})
+    with manager.transaction():
+        table.insert({"id": 99, "val": "tail"})
+    log.close()
+    return directory
+
+
+def _log_path(directory):
+    import os
+
+    return os.path.join(directory, "wal.log")
+
+
+class TestFsck:
+    def test_clean_store_passes(self, durable_dir, capsys):
+        assert main(["fsck", durable_dir]) == 0
+        out = capsys.readouterr().out
+        assert "relation items: ok" in out
+        assert "7 records" in out  # 5 commits + marker + 1 commit
+        assert "last checkpoint at lsn 6" in out
+        assert "fsck: clean" in out
+
+    def test_torn_tail_is_reported_but_recoverable(self, durable_dir, capsys):
+        with open(_log_path(durable_dir), "ab") as fh:
+            fh.write(b"\x00\x00\x01\x00partial")  # incomplete frame
+        assert main(["fsck", durable_dir]) == 0
+        out = capsys.readouterr().out
+        assert "torn tail of 11 bytes" in out
+        assert "fsck: clean" in out
+
+    def test_corrupt_log_fails(self, durable_dir, capsys):
+        path = _log_path(durable_dir)
+        with open(path, "r+b") as fh:
+            fh.seek(20)  # inside the first frame's payload
+            byte = fh.read(1)
+            fh.seek(20)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        assert main(["fsck", durable_dir]) == 1
+        out = capsys.readouterr().out
+        assert "DAMAGED (corrupt frame at byte" in out
+        assert "damaged item(s)" in out
+
+    def test_corrupt_segment_fails(self, durable_dir, capsys):
+        import os
+
+        relation_dir = os.path.join(durable_dir, "items")
+        (segment,) = [
+            entry for entry in sorted(os.listdir(relation_dir))
+            if entry.startswith("seg-")
+        ][:1]
+        path = os.path.join(relation_dir, segment)
+        with open(path, "r+b") as fh:
+            byte = fh.read(1)
+            fh.seek(0)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        assert main(["fsck", durable_dir]) == 1
+        assert "relation items: DAMAGED" in capsys.readouterr().out
+
+    def test_missing_directory(self, capsys):
+        assert main(["fsck", "/nonexistent"]) == 2
+
+    def test_wrong_arity(self, capsys):
+        assert main(["fsck"]) == 2
+
+
+class TestRecover:
+    def test_replays_and_truncates_the_torn_tail(self, durable_dir, capsys):
+        with open(_log_path(durable_dir), "ab") as fh:
+            fh.write(b"\x00\x00\x01\x00partial")
+        assert main(["recover", durable_dir]) == 0
+        out = capsys.readouterr().out
+        assert "recovered items: 6 rows" in out
+        assert "7 durable records, 11 torn bytes truncated" in out
+        assert "checkpoint written" in out
+        # A second pass finds nothing wrong.
+        assert main(["fsck", durable_dir]) == 0
+        assert "fsck: clean" in capsys.readouterr().out
+
+    def test_compact_drops_the_replayed_prefix(self, durable_dir, capsys):
+        import os
+
+        before = os.path.getsize(_log_path(durable_dir))
+        assert main(["recover", durable_dir, "--compact"]) == 0
+        assert "compacted: dropped" in capsys.readouterr().out
+        assert os.path.getsize(_log_path(durable_dir)) < before
+        assert main(["fsck", durable_dir]) == 0
+
+    def test_corrupt_log_fails_cleanly(self, durable_dir, capsys):
+        with open(_log_path(durable_dir), "r+b") as fh:
+            fh.seek(20)
+            byte = fh.read(1)
+            fh.seek(20)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        assert main(["recover", durable_dir]) == 2
+        assert "repro:" in capsys.readouterr().err
+
+    def test_missing_directory(self, capsys):
+        assert main(["recover", "/nonexistent"]) == 2
+
+
 class TestObsMetrics:
     def test_exposition_parses_and_includes_kernel_ops(self, csv_dir, capsys):
         from repro.obs.metrics import parse_exposition
