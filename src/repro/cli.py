@@ -51,9 +51,15 @@ Four small commands that make the library usable from a shell:
 
 ``query``/``closure`` additionally accept ``--trace-out FILE`` to
 export the execution trace as JSON lines alongside the normal output.
+``query`` also takes ``--timeout SECONDS`` and ``--budget ROWS`` to
+run under a resource governor (equivalent to the XQL TIMEOUT/BUDGET
+clauses).
 
 Every command writes to stdout and exits non-zero with a message on
 stderr for malformed input, so the tool composes in pipelines.
+Governance errors map to stable exit codes (see
+:mod:`repro.errors`): 12 deadline, 13 budget, 14 overloaded,
+15 circuit open, 11 cluster unavailable; other domain errors exit 2.
 """
 
 from __future__ import annotations
@@ -81,8 +87,9 @@ usage: python -m repro <command> [args]
 commands:
   eval EXPR              parse paper notation, print canonical form
   image RELATION KEYS    CST-shaped image of KEYS under RELATION
-  query CSVDIR XQL [--trace-out FILE]
-                         run an XQL query over a directory of CSVs
+  query CSVDIR XQL [--trace-out FILE] [--timeout S] [--budget ROWS]
+                         run an XQL query over a directory of CSVs,
+                         optionally under a deadline / row budget
   closure CSV FROM TO [--trace-out FILE]
                          transitive closure of an edge-list CSV
   cluster-status CSVDIR ATTR [NODES [FACTOR]]
@@ -166,21 +173,39 @@ def _command_query(args: List[str]) -> int:
     args = list(args)
     try:
         trace_out = _pop_option(args, "--trace-out")
+        timeout = _pop_option(args, "--timeout")
+        budget = _pop_option(args, "--budget")
     except ValueError as error:
         return _fail(str(error))
+    try:
+        timeout = None if timeout is None else float(timeout)
+        budget = None if budget is None else int(budget)
+    except ValueError:
+        return _fail("--timeout needs a number of seconds and "
+                     "--budget an integer row count")
     if len(args) != 2:
         return _fail("query takes CSVDIR and an XQL string")
     directory, text = args
     db = _load_db(directory)
-    if trace_out is None:
-        result = run_xql(db, text)
-    else:
-        from repro.obs import observed, tracer
+    from contextlib import nullcontext
 
-        with observed():
-            tracer().reset()
+    from repro.gov import governed
+
+    scope = (
+        governed(timeout_s=timeout, max_rows=budget)
+        if timeout is not None or budget is not None
+        else nullcontext()
+    )
+    with scope:
+        if trace_out is None:
             result = run_xql(db, text)
-            tracer().export_jsonl(trace_out)
+        else:
+            from repro.obs import observed, tracer
+
+            with observed():
+                tracer().reset()
+                result = run_xql(db, text)
+                tracer().export_jsonl(trace_out)
     sys.stdout.write(dumps_csv(result))
     return 0
 
@@ -503,6 +528,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return command(rest)
     except XSTError as error:
-        return _fail(str(error))
+        # Governance/availability errors carry a stable exit code
+        # (repro.errors) so shell callers can branch on *why* a query
+        # died: 12 deadline, 13 budget, 14 overloaded, 15 circuit
+        # open, 11 cluster unavailable.  Everything else stays 2.
+        _fail(str(error))
+        return getattr(error, "exit_code", 2)
     except FileNotFoundError as error:
         return _fail(str(error))

@@ -20,9 +20,15 @@ subclasses mirror the layers of the system:
   declared heading, or an operation references unknown attributes.
 * :class:`NotationError` -- the paper-notation parser rejected its
   input.
-* :class:`ClusterUnavailableError` -- distributed layer: every replica
-  of a partition a query needs is unreachable (or the query's
-  simulated time budget ran out), so no correct answer can be given.
+* :class:`UnavailableError` -- the shared base of every "no correct
+  answer can be given *right now*" failure: the resource-governance
+  family (:class:`DeadlineExceededError`, :class:`BudgetExceededError`,
+  :class:`OverloadedError`, :class:`CircuitOpenError`) and the
+  distributed layer's :class:`ClusterUnavailableError`.  Each carries
+  structured context (elapsed vs budget, node id, retry-after) and a
+  stable ``.code`` / ``.exit_code`` pair the CLI maps to distinct
+  process exit codes -- scripts can branch on the failure class
+  without parsing messages.
 """
 
 from __future__ import annotations
@@ -32,6 +38,26 @@ from typing import Any, Optional, Sequence
 
 class XSTError(Exception):
     """Base class for all errors raised by this library."""
+
+
+class UnavailableError(XSTError, RuntimeError):
+    """Base of transient "no correct answer right now" failures.
+
+    Subclasses never stand in for a *wrong* answer: they are raised in
+    place of data whenever deadlines, budgets, admission control, open
+    circuit breakers, or replica loss make a correct answer
+    unobtainable.  Every subclass pins:
+
+    * ``code`` -- a stable machine-readable failure class;
+    * ``exit_code`` -- the process exit code ``python -m repro`` uses
+      for this class (generic errors exit 2);
+    * ``retry_after_s`` -- a hint (possibly ``None``) for when a retry
+      could succeed.
+    """
+
+    code = "UNAVAILABLE"
+    exit_code = 10
+    retry_after_s: Optional[float] = None
 
 
 class InvalidAtomError(XSTError, TypeError):
@@ -66,7 +92,110 @@ class NotationError(XSTError, ValueError):
     """Paper-notation source text could not be parsed."""
 
 
-class ClusterUnavailableError(XSTError, RuntimeError):
+class DeadlineExceededError(UnavailableError):
+    """A governed execution ran past its deadline.
+
+    Raised *mid-operator* at the next cooperative cancellation
+    checkpoint (see :mod:`repro.gov`), never after completing the
+    work.  ``elapsed_s``/``timeout_s`` are the deadline ledger at the
+    moment of death and ``site`` names the checkpoint that fired
+    (e.g. ``"xst.cross"``), which also lands on the active span.
+    """
+
+    code = "DEADLINE_EXCEEDED"
+    exit_code = 12
+
+    def __init__(self, elapsed_s: float, timeout_s: float,
+                 site: str = "<unknown>"):
+        self.elapsed_s = elapsed_s
+        self.timeout_s = timeout_s
+        self.site = site
+        super().__init__(
+            "deadline exceeded at %s: %.6fs elapsed > %.6fs budget"
+            % (site, elapsed_s, timeout_s)
+        )
+
+
+class BudgetExceededError(UnavailableError):
+    """A governed execution exhausted a resource budget.
+
+    ``resource`` names the exhausted ledger (``"rows"``, ``"cells"``
+    or ``"bytes"``), ``spent``/``limit`` its state, and ``site`` the
+    cancellation checkpoint that noticed -- again mid-operator, so a
+    runaway cross product dies while materializing, not after.
+    """
+
+    code = "BUDGET_EXCEEDED"
+    exit_code = 13
+
+    def __init__(self, resource: str, spent: float, limit: float,
+                 site: str = "<unknown>"):
+        self.resource = resource
+        self.spent = spent
+        self.limit = limit
+        self.site = site
+        super().__init__(
+            "budget exceeded at %s: %s spent %s > limit %s"
+            % (site, resource, _trim(spent), _trim(limit))
+        )
+
+
+class OverloadedError(UnavailableError):
+    """Admission control shed this query: the system is at capacity.
+
+    Carries the in-flight occupancy that triggered the shed and a
+    deterministic ``retry_after_s`` hint.  Shedding happens *before*
+    any work runs, so a shed query consumes no budget and holds no
+    partial state.
+    """
+
+    code = "OVERLOADED"
+    exit_code = 14
+
+    def __init__(self, in_flight: int, capacity: int,
+                 retry_after_s: float, reason: str = "at capacity"):
+        self.in_flight = in_flight
+        self.capacity = capacity
+        self.retry_after_s = retry_after_s
+        self.reason = reason
+        super().__init__(
+            "overloaded (%s): %d in flight / capacity %d; retry after %.3fs"
+            % (reason, in_flight, capacity, retry_after_s)
+        )
+
+
+class CircuitOpenError(UnavailableError):
+    """Every replica that could serve a read sits behind an open breaker.
+
+    Distinct from :class:`ClusterUnavailableError` (replicas *dead*):
+    here the nodes may well be back, but their breakers have not yet
+    run a successful probe.  ``retry_after_ops`` says how many cluster
+    operations remain until the earliest half-open probe.
+    """
+
+    code = "CIRCUIT_OPEN"
+    exit_code = 15
+
+    def __init__(self, table: str, bucket: int, node: str,
+                 retry_after_ops: int = 0):
+        self.table = table
+        self.bucket = bucket
+        self.node = node
+        self.retry_after_ops = retry_after_ops
+        super().__init__(
+            "circuit open for partition %d of %r: breaker on %s probes in "
+            "%d ops" % (bucket, table, node, retry_after_ops)
+        )
+
+
+def _trim(value: float) -> str:
+    """Render budgets integer-ish when they are whole numbers."""
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return str(value)
+
+
+class ClusterUnavailableError(UnavailableError):
     """A distributed query could not be answered correctly.
 
     Raised only when *no* correct answer exists: every replica of a
@@ -79,6 +208,9 @@ class ClusterUnavailableError(XSTError, RuntimeError):
     ``{5^'dept'}``), matching the library-wide rule that errors show
     the set they choked on.
     """
+
+    code = "CLUSTER_UNAVAILABLE"
+    exit_code = 11
 
     def __init__(
         self,

@@ -1,0 +1,98 @@
+"""Explicitly-marked partial results for degraded reads.
+
+When a cluster is allowed to degrade (``allow_partial=True``) it
+returns a :class:`Result` instead of a bare relation.  The wrapper
+never hides degradation: ``partial`` is True whenever *any* partition
+is missing, ``missing`` is the manifest of unreachable buckets (table,
+bucket index, reason), and ``quorum_downgraded`` marks reads that were
+served below the requested replica quorum.  Correctness-sensitive
+callers call :meth:`require_complete`, which re-raises the typed
+unavailability error for the first missing bucket -- the degraded path
+is opt-in twice, once at the query and once at consumption.
+
+A complete Result proxies enough of the relation surface
+(``heading``, ``rows``, ``cardinality``, ``iter_dicts``) that code
+written against relations keeps working when handed one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.errors import ClusterUnavailableError
+
+__all__ = ["MissingBucket", "Result"]
+
+
+class MissingBucket(NamedTuple):
+    """One unreachable partition in a partial answer."""
+
+    table: str
+    bucket: int
+    reason: str
+
+
+class Result:
+    """A relation plus an honest account of what it is missing."""
+
+    __slots__ = ("relation", "missing", "quorum_downgraded")
+
+    def __init__(self, relation: Any,
+                 missing: Optional[List[MissingBucket]] = None,
+                 quorum_downgraded: bool = False):
+        self.relation = relation
+        self.missing: Tuple[MissingBucket, ...] = tuple(missing or ())
+        self.quorum_downgraded = quorum_downgraded
+
+    @property
+    def partial(self) -> bool:
+        """True when any partition's data is absent from ``relation``."""
+        return bool(self.missing)
+
+    @property
+    def degraded(self) -> bool:
+        """Partial *or* served below the requested quorum."""
+        return self.partial or self.quorum_downgraded
+
+    def require_complete(self) -> Any:
+        """The relation, or the typed error behind the first gap.
+
+        Quorum-downgraded-but-complete answers pass: every row is
+        present, only the read's redundancy was reduced.
+        """
+        if self.missing:
+            first = self.missing[0]
+            raise ClusterUnavailableError(
+                first.table, first.bucket, reason=first.reason
+            )
+        return self.relation
+
+    # -- relation proxy (complete or not, the rows we do have) ---------
+
+    def cardinality(self) -> int:
+        return self.relation.cardinality()
+
+    @property
+    def heading(self) -> Any:
+        return self.relation.heading
+
+    @property
+    def rows(self) -> Any:
+        return self.relation.rows
+
+    def iter_dicts(self) -> Iterator[Any]:
+        return self.relation.iter_dicts()
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    def __repr__(self) -> str:
+        marks = []
+        if self.partial:
+            marks.append("missing %d buckets" % len(self.missing))
+        if self.quorum_downgraded:
+            marks.append("quorum downgraded")
+        return "Result(%d rows%s)" % (
+            self.relation.cardinality(),
+            (", " + ", ".join(marks)) if marks else "",
+        )

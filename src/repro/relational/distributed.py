@@ -63,7 +63,17 @@ from typing import (
     Tuple,
 )
 
-from repro.errors import ClusterUnavailableError, SchemaError
+from repro.errors import (
+    CircuitOpenError,
+    ClusterUnavailableError,
+    OverloadedError,
+    SchemaError,
+)
+from repro.gov.admission import PRIORITY_NORMAL, AdmissionController
+from repro.gov.breaker import CLOSED, HALF_OPEN, OPEN, BreakerBoard
+from repro.gov.governor import Deadline
+from repro.gov.governor import active as _gov_active
+from repro.gov.result import MissingBucket, Result
 from repro.obs import metrics as _metrics
 from repro.obs.instrument import enabled as _obs_enabled
 from repro.obs.instrument import record_recovery as _record_recovery
@@ -88,6 +98,10 @@ from repro.xst.serialization import dumps
 from repro.xst.xset import XSet
 
 __all__ = ["NetworkStats", "Node", "Cluster"]
+
+#: Numeric breaker-state encoding for the ``repro_gov_breaker_state``
+#: gauge (a gauge must be a number; 0 is the healthy state).
+_BREAKER_STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
 
 
 class NetworkStats:
@@ -274,15 +288,25 @@ class _QueryContext:
     The span tree records one child per bucket access (successful or
     terminally failed), which :mod:`repro.relational.profile` renders
     as an EXPLAIN-style tree and ``repro obs-trace`` exports.
+
+    ``deadline`` is the query's *single* time budget: the ambient
+    governor's deadline when one is installed, else one built from the
+    cluster's ``query_timeout_s`` default.  Backoff sleeps and node
+    delays both draw it down (each simulated second charged exactly
+    once) -- previously backoff and delays were summed into a context
+    total that a surrounding governor could have charged a second
+    time.
     """
 
-    __slots__ = ("describe", "simulated_s", "span", "started")
+    __slots__ = ("describe", "simulated_s", "span", "started", "deadline")
 
-    def __init__(self, describe: str, span: Span):
+    def __init__(self, describe: str, span: Span,
+                 deadline: Optional[Deadline] = None):
         self.describe = describe
         self.simulated_s = 0.0
         self.span = span
         self.started = time.perf_counter()
+        self.deadline = deadline
 
     def charge(self, seconds: float) -> None:
         self.simulated_s += seconds
@@ -295,9 +319,24 @@ class Cluster:
     :meth:`create_table` (overridable per table).  ``max_attempts``
     bounds per-replica retries of lost/corrupted shipments, with
     simulated exponential backoff starting at ``backoff_base_s``.
-    ``query_timeout_s`` bounds each query's *simulated* time (node
-    delays plus backoff); an exhausted budget raises
-    :class:`ClusterUnavailableError` rather than hanging.
+    ``query_timeout_s`` is the *default* time budget: each query runs
+    under one :class:`repro.gov.Deadline` (the ambient governor's when
+    one is installed, else a simulated-clock deadline built from this
+    value) that node delays and backoff draw down together; an
+    exhausted deadline raises
+    :class:`~repro.errors.DeadlineExceededError` rather than hanging.
+
+    Governance knobs (all off by default, preserving the PR-1 fault
+    semantics exactly):
+
+    * ``breakers=True`` arms per-node circuit breakers on the
+      cluster's operation counter (``failure_threshold`` consecutive
+      failures open; ``breaker_cooldown_ops`` ops later a half-open
+      probe runs, with seeded per-node jitter).  An open breaker's
+      node is skipped without an attempt, a tick, or backoff.
+    * ``max_in_flight`` bounds concurrently admitted queries;
+      excess work is shed with :class:`~repro.errors.OverloadedError`
+      before any execution (see :mod:`repro.gov.admission`).
     """
 
     def __init__(
@@ -308,6 +347,13 @@ class Cluster:
         backoff_base_s: float = 0.010,
         query_timeout_s: Optional[float] = None,
         clock: Optional[Callable[[], float]] = None,
+        breakers: bool = False,
+        breaker_threshold: int = 3,
+        breaker_cooldown_ops: int = 8,
+        breaker_jitter_ops: int = 3,
+        breaker_seed: int = 0,
+        max_in_flight: Optional[int] = None,
+        admission_soft: Optional[int] = None,
     ):
         if node_count < 1:
             raise ValueError("a cluster needs at least one node")
@@ -327,6 +373,27 @@ class Cluster:
         self.backoff_base_s = backoff_base_s
         self.query_timeout_s = query_timeout_s
         self.faults: FaultInjector = NO_FAULTS
+        # Operation counter: the deterministic "clock" circuit
+        # breakers schedule probes against.  Incremented by _tick,
+        # which also drives the fault injector -- breaker transitions
+        # are a pure function of the operation sequence.
+        self.ops = 0
+        self.breakers: Optional[BreakerBoard] = (
+            BreakerBoard(
+                failure_threshold=breaker_threshold,
+                cooldown_ops=breaker_cooldown_ops,
+                jitter_ops=breaker_jitter_ops,
+                seed=breaker_seed,
+                on_transition=self._on_breaker_transition,
+            )
+            if breakers
+            else None
+        )
+        self.admission: Optional[AdmissionController] = (
+            AdmissionController(max_in_flight, soft_capacity=admission_soft)
+            if max_in_flight is not None
+            else None
+        )
         # Trace state, initialized up front so a cluster that has
         # never run a query still profiles/renders cleanly.  ``clock``
         # injects the span clock: pass a repro.obs.trace.FakeClock and
@@ -346,6 +413,43 @@ class Cluster:
     # ------------------------------------------------------------------
     # Faults and liveness
     # ------------------------------------------------------------------
+
+    def _tick(self, write: bool = False) -> None:
+        """One cluster operation: advance the op clock, run faults.
+
+        Breakers and fault injection share this counter, so a seeded
+        chaos run produces one reproducible interleaving of fault
+        events and breaker transitions.
+        """
+        self.ops += 1
+        self.faults.tick(self, write=write)
+
+    def _on_breaker_transition(self, node: str, old: str, new: str,
+                               op: int) -> None:
+        """BreakerBoard hook: span attribute always, metrics when on."""
+        span = self.tracer.active
+        if span is not None:
+            span.set("breaker_%s" % node, "%s->%s" % (old, new))
+        if _obs_enabled():
+            registry = _metrics.registry()
+            registry.counter(
+                "repro_gov_breaker_transitions_total",
+                "Circuit-breaker state transitions.", ("node", "to"),
+            ).inc(node=node, to=new)
+            registry.gauge(
+                "repro_gov_breaker_state",
+                "Breaker state per node (0 closed, 1 half-open, 2 open).",
+                ("node",),
+            ).set(_BREAKER_STATE_CODES[new], node=node)
+
+    @property
+    def breaker_log(self) -> List[Tuple[int, str, str, str]]:
+        """``(op, node, old, new)`` transitions, in order (or empty)."""
+        return [] if self.breakers is None else list(self.breakers.log)
+
+    def breaker_states(self) -> Dict[str, str]:
+        """Current breaker state per node (empty without breakers)."""
+        return {} if self.breakers is None else self.breakers.states()
 
     def install_faults(self, plan: FaultPlan) -> FaultInjector:
         """Arm a deterministic fault schedule; returns the injector."""
@@ -477,7 +581,7 @@ class Cluster:
             for position, node_index in enumerate(
                 placement.replicas(bucket_index)
             ):
-                self.faults.tick(self, write=True)
+                self._tick(write=True)
                 node = self.nodes[node_index]
                 if not node.alive:
                     continue  # missed write; rebuilt on revive
@@ -517,7 +621,7 @@ class Cluster:
             for position, node_index in enumerate(
                 placement.replicas(bucket_index)
             ):
-                self.faults.tick(self, write=True)
+                self._tick(write=True)
                 node = self.nodes[node_index]
                 if not node.alive:
                     continue  # missed write; rebuilt on revive
@@ -592,7 +696,7 @@ class Cluster:
     def _ship(self, node: Node, payload: XSet, replica: bool = False) -> None:
         """One shipment attempt; faults may lose or corrupt it."""
         data = dumps(payload)
-        self.faults.tick(self)
+        self._tick()
         received = self.faults.on_ship(node, data)
         if received != data:
             raise ShipmentCorruptedError(
@@ -618,6 +722,14 @@ class Cluster:
         on the same node with simulated backoff; a dead node fails
         over to the next replica; an exhausted ring raises
         :class:`ClusterUnavailableError`.
+
+        With breakers armed, a replica behind an open breaker is
+        skipped outright -- no attempt, no injector tick, no backoff
+        -- so a known-dead node stops absorbing retry budget.  If
+        *every* replica sits behind an open breaker the failure is
+        :class:`~repro.errors.CircuitOpenError` (the nodes may be
+        back; their breakers just have not probed yet), distinct from
+        the all-replicas-dead :class:`ClusterUnavailableError`.
         """
         replicas = (
             self._placements[table].replicas(bucket_index)
@@ -628,12 +740,27 @@ class Cluster:
             "%s[%d]" % (table, bucket_index), table=table, bucket=bucket_index
         )
         retries = 0
+        attempted = 0
+        skipped_open = 0
+        next_probe: Optional[Tuple[int, str]] = None
         try:
-            for position, node_index in enumerate(replicas):
+            for node_index in replicas:
                 node = self.nodes[node_index]
-                if position:
+                breaker = (
+                    self.breakers.breaker(node.name)
+                    if self.breakers is not None
+                    else None
+                )
+                if breaker is not None and not breaker.allows(self.ops):
+                    skipped_open += 1
+                    wait = breaker.retry_after_ops(self.ops)
+                    if next_probe is None or wait < next_probe[0]:
+                        next_probe = (wait, node.name)
+                    continue
+                if attempted:
                     self.network.record_failover()
-                    span.set("failovers", position)
+                    span.set("failovers", attempted)
+                attempted += 1
                 for attempt in range(self.max_attempts):
                     if attempt:
                         backoff = self.backoff_base_s * (2 ** (attempt - 1))
@@ -643,7 +770,7 @@ class Cluster:
                         self._charge(context, backoff, table, bucket_index, key)
                     started = time.perf_counter()
                     try:
-                        self.faults.tick(self)
+                        self._tick()
                         if not node.alive:
                             raise NodeDownError("node %s is down" % node.name)
                         if node.delay_s:
@@ -654,6 +781,8 @@ class Cluster:
                         result = action(node)
                         if result is not None:
                             self._ship(node, result.rows)
+                        if breaker is not None:
+                            breaker.record_success(self.ops)
                         span.rename(
                             "%s[%d] @ %s" % (table, bucket_index, node.name)
                         )
@@ -664,9 +793,25 @@ class Cluster:
                         span.set("serve_s", time.perf_counter() - started)
                         return result
                     except NodeDownError:
+                        if breaker is not None:
+                            breaker.record_failure(self.ops)
                         break  # no point retrying an unreachable node
                     except ShipmentLostError:
                         continue  # includes corruption: retry with backoff
+                else:
+                    # Retries exhausted on a reachable-but-flaky node:
+                    # that counts against its breaker too.
+                    if breaker is not None:
+                        breaker.record_failure(self.ops)
+            if skipped_open == len(replicas) and next_probe is not None:
+                span.rename("%s[%d] CIRCUIT_OPEN" % (table, bucket_index))
+                span.set("rows", 0)
+                span.set("serve_s", 0.0)
+                span.set("circuit_open", True)
+                raise CircuitOpenError(
+                    table, bucket_index, next_probe[1],
+                    retry_after_ops=next_probe[0],
+                )
             span.rename("%s[%d] UNAVAILABLE" % (table, bucket_index))
             span.set("rows", 0)
             span.set("serve_s", 0.0)
@@ -689,33 +834,88 @@ class Cluster:
         bucket_index: int,
         key: Optional[Any],
     ) -> None:
+        """Draw simulated seconds down the query's one deadline.
+
+        Backoff sleeps and node delays both land here, so each
+        simulated second is charged exactly once against the shared
+        :class:`Deadline` -- exhaustion raises
+        :class:`~repro.errors.DeadlineExceededError` naming the bucket
+        being served.
+        """
         context.charge(seconds)
         self.tracer.advance(seconds)
-        if (
-            self.query_timeout_s is not None
-            and context.simulated_s > self.query_timeout_s
-        ):
-            raise ClusterUnavailableError(
-                table,
-                bucket_index,
-                reason="query timeout: %.3fs simulated > %.3fs budget"
-                % (context.simulated_s, self.query_timeout_s),
-                key=key,
+        if context.deadline is not None:
+            context.deadline.charge(seconds)
+            context.deadline.check(
+                "cluster.%s[%d]" % (table, bucket_index)
             )
 
+    def _query_deadline(self) -> Optional[Deadline]:
+        """The deadline this query runs under: ambient, else default.
+
+        A surrounding ``governed(...)`` scope's deadline is *shared*
+        (the cluster draws down the same ledger as local kernel
+        checkpoints); only without one does ``query_timeout_s`` build
+        a fresh simulated-clock deadline.
+        """
+        governor = _gov_active()
+        if governor is not None and governor.deadline is not None:
+            return governor.deadline
+        if self.query_timeout_s is not None:
+            return Deadline.simulated(self.query_timeout_s)
+        return None
+
     @contextmanager
-    def _query(self, describe: str, kind: str) -> Iterator[_QueryContext]:
-        """One query's root span plus context; metrics on completion."""
+    def _query(self, describe: str, kind: str,
+               priority: int = PRIORITY_NORMAL) -> Iterator[_QueryContext]:
+        """One query's root span plus context; metrics on completion.
+
+        With admission control configured this is the cluster's front
+        door: the slot is taken before the span opens (a shed query
+        runs nothing and traces nothing) and released on the way out.
+        """
+        if self.admission is not None:
+            try:
+                self.admission.try_admit(priority)
+            except OverloadedError as error:
+                if _obs_enabled():
+                    _metrics.registry().counter(
+                        "repro_gov_shed_total",
+                        "Queries refused by admission control.",
+                        ("reason",),
+                    ).inc(reason=error.reason)
+                raise
+            if _obs_enabled():
+                registry = _metrics.registry()
+                registry.counter(
+                    "repro_gov_admitted_total",
+                    "Queries admitted past the front door.",
+                ).inc()
+                registry.gauge(
+                    "repro_gov_in_flight",
+                    "Admitted queries currently executing.",
+                ).set(self.admission.in_flight)
         started = time.perf_counter()
-        with self.tracer.span(describe, kind=kind) as span:
-            context = _QueryContext(describe, span)
-            self._last_context = context
-            yield context
-        if _obs_enabled():
-            _metrics.registry().histogram(
-                "repro_cluster_query_seconds",
-                "Distributed query wall time.", ("query",),
-            ).observe(time.perf_counter() - started, query=kind)
+        try:
+            with self.tracer.span(describe, kind=kind) as span:
+                context = _QueryContext(
+                    describe, span, deadline=self._query_deadline()
+                )
+                self._last_context = context
+                yield context
+            if _obs_enabled():
+                _metrics.registry().histogram(
+                    "repro_cluster_query_seconds",
+                    "Distributed query wall time.", ("query",),
+                ).observe(time.perf_counter() - started, query=kind)
+        finally:
+            if self.admission is not None:
+                self.admission.release()
+                if _obs_enabled():
+                    _metrics.registry().gauge(
+                        "repro_gov_in_flight",
+                        "Admitted queries currently executing.",
+                    ).set(self.admission.in_flight)
 
     @property
     def last_query_span(self) -> Optional[Span]:
@@ -750,66 +950,206 @@ class Cluster:
     # Reading
     # ------------------------------------------------------------------
 
-    def scan(self, name: str) -> Relation:
-        """Gather every bucket to the coordinator (ships all rows)."""
+    def _live_replica_count(self, name: str, bucket_index: int) -> int:
+        placement = self._placements[name]
+        return sum(
+            1
+            for index in placement.replicas(bucket_index)
+            if self.nodes[index].alive
+        )
+
+    def _check_quorum(
+        self,
+        name: str,
+        bucket_index: int,
+        read_quorum: Optional[int],
+        allow_partial: bool,
+    ) -> bool:
+        """True when this bucket read proceeds below its quorum.
+
+        Without ``allow_partial`` a missed quorum is a hard, typed
+        failure; with it the read degrades -- served by whatever live
+        replica remains -- and the *caller* marks the answer
+        ``quorum_downgraded`` so consumers can refuse it.
+        """
+        if read_quorum is None:
+            return False
+        live = self._live_replica_count(name, bucket_index)
+        if live >= read_quorum:
+            return False
+        if not allow_partial:
+            raise ClusterUnavailableError(
+                name,
+                bucket_index,
+                reason="read quorum not met: %d live replicas < %d required"
+                % (live, read_quorum),
+            )
+        if _obs_enabled():
+            _metrics.registry().counter(
+                "repro_gov_quorum_downgrade_total",
+                "Reads served below their requested quorum.",
+            ).inc()
+        return True
+
+    def _finish_partial(
+        self,
+        context: _QueryContext,
+        gathered: Relation,
+        missing: List[MissingBucket],
+        downgraded: bool,
+    ) -> Result:
+        """Wrap a degraded-mode answer, marking span and metrics."""
+        context.span.set("partial", bool(missing))
+        context.span.set("missing_buckets", len(missing))
+        context.span.set("quorum_downgraded", downgraded)
+        if missing and _obs_enabled():
+            _metrics.registry().counter(
+                "repro_gov_partial_total",
+                "Queries answered with explicitly-partial results.",
+            ).inc()
+        return Result(gathered, missing, quorum_downgraded=downgraded)
+
+    def scan(
+        self,
+        name: str,
+        allow_partial: bool = False,
+        read_quorum: Optional[int] = None,
+        priority: int = PRIORITY_NORMAL,
+    ) -> Any:
+        """Gather every bucket to the coordinator (ships all rows).
+
+        Default mode returns a bare :class:`Relation` and fails the
+        whole query on any unreachable bucket.  ``allow_partial=True``
+        degrades instead: unreachable buckets land in the answer's
+        missing-bucket manifest and the return type becomes
+        :class:`repro.gov.Result` (call ``require_complete()`` to get
+        the strict behavior back).  ``read_quorum`` demands that many
+        live replicas per bucket -- short of it, strict mode fails and
+        partial mode serves the read but marks it
+        ``quorum_downgraded``.
+        """
         heading = self.heading(name)
-        with self._query("scan(%s)" % name, "scan") as context:
+        with self._query(
+            "scan(%s)" % name, "scan", priority=priority
+        ) as context:
             gathered = Relation(heading, xset([]))
+            missing: List[MissingBucket] = []
+            downgraded = False
             for bucket_index in range(len(self.nodes)):
-                part = self._attempt_on_replicas(
-                    context, name, bucket_index,
-                    lambda node, b=bucket_index: node.bucket(name, b),
+                downgraded |= self._check_quorum(
+                    name, bucket_index, read_quorum, allow_partial
                 )
+                try:
+                    part = self._attempt_on_replicas(
+                        context, name, bucket_index,
+                        lambda node, b=bucket_index: node.bucket(name, b),
+                    )
+                except (ClusterUnavailableError, CircuitOpenError) as error:
+                    if not allow_partial:
+                        raise
+                    missing.append(MissingBucket(
+                        name, bucket_index,
+                        getattr(error, "reason", str(error)),
+                    ))
+                    continue
                 assert part is not None
                 gathered = local_union(gathered, part)
-            return gathered
+            if not allow_partial:
+                return gathered
+            return self._finish_partial(context, gathered, missing, downgraded)
 
-    def select_eq(self, name: str, conditions: Mapping[str, Any]) -> Relation:
+    def select_eq(
+        self,
+        name: str,
+        conditions: Mapping[str, Any],
+        allow_partial: bool = False,
+        read_quorum: Optional[int] = None,
+        priority: int = PRIORITY_NORMAL,
+    ) -> Any:
         """Distributed selection: routed when the key is covered.
 
         If the partition attribute appears in the conditions, exactly
         one bucket is consulted (on its first live replica); otherwise
         the selection broadcasts and each bucket ships only its
-        matching rows.
+        matching rows.  ``allow_partial``/``read_quorum`` degrade
+        exactly as on :meth:`scan` -- a routed read whose single
+        bucket is unreachable degrades to an empty, explicitly-partial
+        :class:`repro.gov.Result`.
         """
         heading = self.heading(name)
         heading.require(conditions)
         attr = self.partition_attr(name)
         with self._query(
-            "select_eq(%s, %s)" % (name, dict(conditions)), "select_eq"
+            "select_eq(%s, %s)" % (name, dict(conditions)), "select_eq",
+            priority=priority,
         ) as context:
             if attr in conditions:
                 context.span.set("routing", "routed")
                 bucket_index = _partition_index(
                     conditions[attr], len(self.nodes)
                 )
-                result = self._attempt_on_replicas(
-                    context, name, bucket_index,
-                    lambda node: local_select_eq(
-                        node.bucket(name, bucket_index), conditions
-                    ),
-                    key=xrecord({attr: conditions[attr]}),
+                downgraded = self._check_quorum(
+                    name, bucket_index, read_quorum, allow_partial
                 )
+                try:
+                    result = self._attempt_on_replicas(
+                        context, name, bucket_index,
+                        lambda node: local_select_eq(
+                            node.bucket(name, bucket_index), conditions
+                        ),
+                        key=xrecord({attr: conditions[attr]}),
+                    )
+                except (ClusterUnavailableError, CircuitOpenError) as error:
+                    if not allow_partial:
+                        raise
+                    return self._finish_partial(
+                        context,
+                        Relation(heading, xset([])),
+                        [MissingBucket(
+                            name, bucket_index,
+                            getattr(error, "reason", str(error)),
+                        )],
+                        downgraded,
+                    )
                 assert result is not None
-                return result
+                if not allow_partial:
+                    return result
+                return self._finish_partial(context, result, [], downgraded)
             context.span.set("routing", "broadcast")
             gathered = Relation(heading, xset([]))
+            missing: List[MissingBucket] = []
+            downgraded = False
             for bucket_index in range(len(self.nodes)):
-                local = self._attempt_on_replicas(
-                    context, name, bucket_index,
-                    lambda node, b=bucket_index: local_select_eq(
-                        node.bucket(name, b), conditions
-                    ),
+                downgraded |= self._check_quorum(
+                    name, bucket_index, read_quorum, allow_partial
                 )
+                try:
+                    local = self._attempt_on_replicas(
+                        context, name, bucket_index,
+                        lambda node, b=bucket_index: local_select_eq(
+                            node.bucket(name, b), conditions
+                        ),
+                    )
+                except (ClusterUnavailableError, CircuitOpenError) as error:
+                    if not allow_partial:
+                        raise
+                    missing.append(MissingBucket(
+                        name, bucket_index,
+                        getattr(error, "reason", str(error)),
+                    ))
+                    continue
                 assert local is not None
                 gathered = local_union(gathered, local)
-            return gathered
+            if not allow_partial:
+                return gathered
+            return self._finish_partial(context, gathered, missing, downgraded)
 
     # ------------------------------------------------------------------
     # Join
     # ------------------------------------------------------------------
 
-    def join(self, left: str, right: str) -> Relation:
+    def join(self, left: str, right: str,
+             priority: int = PRIORITY_NORMAL) -> Relation:
         """Distributed natural join.
 
         Co-partitioned (both tables partitioned on a shared join
@@ -835,7 +1175,7 @@ class Cluster:
             == self._placements[right].replication_factor
         )
         with self._query(
-            "join(%s, %s)" % (left, right), "join"
+            "join(%s, %s)" % (left, right), "join", priority=priority
         ) as context:
             context.span.set(
                 "strategy", "co_partitioned" if co_partitioned else "shuffle"
@@ -907,6 +1247,7 @@ class Cluster:
         name: str,
         group_attrs: Sequence[str],
         aggregations: Mapping[str, Tuple[str, str]],
+        priority: int = PRIORITY_NORMAL,
     ) -> Relation:
         """Distributed group-by with partial-aggregate pushdown.
 
@@ -929,7 +1270,8 @@ class Cluster:
                     "aggregate %r is not distributable" % (fn_name,)
                 )
         with self._query(
-            "aggregate(%s, %s)" % (name, list(group_attrs)), "aggregate"
+            "aggregate(%s, %s)" % (name, list(group_attrs)), "aggregate",
+            priority=priority,
         ) as context:
             partial_rows: Dict[tuple, Dict[str, Any]] = {}
             for bucket_index in range(len(self.nodes)):

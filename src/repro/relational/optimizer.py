@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, Mapping
 
+from repro.gov.governor import checkpoint as _gov_checkpoint
 from repro.relational.query import (
     Database,
     Difference,
@@ -50,6 +51,7 @@ def optimize(plan: Plan, db: Database) -> Plan:
     # passes reaches the fixed point on any realistic plan, and the
     # equality check guarantees termination regardless.
     while previous is None or current.explain() != previous.explain():
+        _gov_checkpoint("optimizer.pass")
         previous = current
         current = _rewrite(current, db)
     return current

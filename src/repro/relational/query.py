@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import SchemaError
+from repro.gov.governor import active as _gov_active
 from repro.obs.instrument import enabled as _obs_enabled
 from repro.relational import algebra
 from repro.relational.relation import Relation
@@ -236,8 +237,25 @@ class Database:
         This is the single evaluation table both executors share:
         :meth:`execute` recurses over it directly, and the profiler
         walks the same table with a span around each call -- so the
-        measured execution *is* the production execution.
+        measured execution *is* the production execution.  It is also
+        the per-node cancellation checkpoint of set mode: an ambient
+        :class:`repro.gov.Governor` is charged each node's output
+        cardinality, so a governed query dies between operators (and
+        *inside* the big ones, which checkpoint in their kernel loops).
         """
+        result = self._evaluate_node(plan, inputs)
+        gov = _gov_active()
+        if gov is not None:
+            gov.checkpoint(
+                "plan.%s" % type(plan).__name__.lower(),
+                result.cardinality(),
+                len(result.heading.names),
+            )
+        return result
+
+    def _evaluate_node(
+        self, plan: Plan, inputs: Sequence[Relation]
+    ) -> Relation:
         if isinstance(plan, Scan):
             return self.relation(plan.name)
         if isinstance(plan, SelectEq):
@@ -261,9 +279,30 @@ class Database:
     # ------------------------------------------------------------------
 
     def execute_records(self, plan: Plan) -> Relation:
-        """Pull rows one dict at a time through the plan, then re-relate."""
+        """Pull rows one dict at a time through the plan, then re-relate.
+
+        Record mode checkpoints an ambient governor every ``_RECORD_
+        CHECK_EVERY`` rows pulled from the plan root -- the per-row
+        discipline gets per-row cancellation.
+        """
         heading = self._heading_of(plan)
-        rows = list(self._iterate(plan))
+        gov = _gov_active()
+        if gov is None:
+            rows = list(self._iterate(plan))
+        else:
+            rows = []
+            width = len(heading.names)
+            for row in self._iterate(plan):
+                rows.append(row)
+                if not (len(rows) & (_RECORD_CHECK_EVERY - 1)):
+                    gov.checkpoint(
+                        "records.pull", _RECORD_CHECK_EVERY, width
+                    )
+            gov.checkpoint(
+                "records.pull",
+                len(rows) & (_RECORD_CHECK_EVERY - 1),
+                width,
+            )
         return Relation.from_dicts(heading, _dedup(rows))
 
     def _heading_of(self, plan: Plan) -> Heading:
@@ -328,6 +367,11 @@ class Database:
                     yield row
         else:
             raise TypeError("unknown plan node %r" % (plan,))
+
+
+#: Row stride between record-mode cancellation checkpoints (power of
+#: two, so the in-loop test is a mask).
+_RECORD_CHECK_EVERY = 128
 
 
 def _dedup(rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:

@@ -13,6 +13,8 @@ Grammar::
                 [GROUP BY names]
                 [ORDER BY name [ASC | DESC]]
                 [LIMIT number]
+                [TIMEOUT seconds]
+                [BUDGET rows]
     columns :=  '*' | column (',' column)*
     column  :=  name | name AS name | agg '(' name ')' AS name
     agg     :=  COUNT | SUM | AVG | MIN | MAX
@@ -22,6 +24,16 @@ Grammar::
 Restrictions (on purpose): joins are natural joins; aggregates require
 GROUP BY; literals are integers, floats and quoted strings.  Keywords
 are case-insensitive; names are case-sensitive.
+
+``TIMEOUT``/``BUDGET`` are the per-query resource-governance clauses:
+execution runs inside a :func:`repro.gov.governed` scope with the
+given deadline (seconds, fractional allowed) and/or materialized-row
+budget, so a runaway query raises a typed
+:class:`~repro.errors.DeadlineExceededError` /
+:class:`~repro.errors.BudgetExceededError` mid-operator instead of
+running unbounded.  Note the distinction from ``LIMIT``: LIMIT trims
+the finished answer, BUDGET bounds the rows *materialized while
+computing* it.
 
 Usage::
 
@@ -35,6 +47,7 @@ import re
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import NotationError, SchemaError
+from repro.gov.governor import governed
 from repro.relational.aggregate import aggregate
 from repro.relational.optimizer import optimize
 from repro.relational.query import (
@@ -67,6 +80,7 @@ _TOKEN = re.compile(
 _KEYWORDS = {
     "select", "from", "join", "where", "and", "group", "by", "as",
     "count", "sum", "avg", "min", "max", "order", "asc", "desc", "limit",
+    "timeout", "budget",
 }
 
 _AGGREGATES = {"count", "sum", "avg", "min", "max"}
@@ -102,6 +116,8 @@ class Query:
         self.group_by: List[str] = []
         self.order_by: Optional[Tuple[str, bool]] = None          # (attr, descending)
         self.limit: Optional[int] = None
+        self.timeout_s: Optional[float] = None
+        self.budget_rows: Optional[int] = None
 
     def __repr__(self) -> str:
         return "Query(sources=%s, columns=%s, aggregates=%s)" % (
@@ -183,6 +199,24 @@ class _Parser:
                     % (literal,)
                 )
             query.limit = int(literal)
+        if self._at_kw("timeout"):
+            self._next()
+            kind, literal = self._next()
+            if kind != "number" or float(literal) < 0:
+                raise NotationError(
+                    "XQL: TIMEOUT needs a non-negative number of seconds, "
+                    "found %r" % (literal,)
+                )
+            query.timeout_s = float(literal)
+        if self._at_kw("budget"):
+            self._next()
+            kind, literal = self._next()
+            if kind != "number" or "." in literal or int(literal) < 0:
+                raise NotationError(
+                    "XQL: BUDGET needs a non-negative integer row count, "
+                    "found %r" % (literal,)
+                )
+            query.budget_rows = int(literal)
         leftover = self._peek()
         if leftover is not None:
             raise NotationError("XQL: trailing input at %r" % (leftover[1],))
@@ -284,6 +318,15 @@ def compile_query(query: Query) -> Plan:
 def run(db: Database, text: str, optimized: bool = True) -> Relation:
     """Parse, compile, (optionally) optimize and execute an XQL query."""
     query = parse_query(text)
+    if query.timeout_s is not None or query.budget_rows is not None:
+        # TIMEOUT/BUDGET clauses execute the query under a governor so
+        # the kernel's cancellation checkpoints can stop it mid-operator.
+        with governed(timeout_s=query.timeout_s, max_rows=query.budget_rows):
+            return _run_parsed(db, query, optimized)
+    return _run_parsed(db, query, optimized)
+
+
+def _run_parsed(db: Database, query: Query, optimized: bool) -> Relation:
     plan = compile_query(query)
     if optimized:
         plan = optimize(plan, db)

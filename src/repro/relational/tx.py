@@ -39,6 +39,7 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, List, Mapping, Optional
 
 from repro.errors import SchemaError
+from repro.gov.governor import checkpoint as _gov_checkpoint
 from repro.relational.constraints import Table
 from repro.relational.wal import WriteAheadLog
 
@@ -132,6 +133,10 @@ class TransactionManager:
         else:
             if len(self._savepoints) == 1:
                 try:
+                    # Last cancellation point before the commit becomes
+                    # durable: a transaction past its deadline rolls
+                    # back here rather than logging a late commit.
+                    _gov_checkpoint("tx.commit")
                     for table in self._tables.values():
                         table.check_now()
                     self._log_commit(savepoint)

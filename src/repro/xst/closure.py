@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.gov.governor import active as _gov_active
 from repro.obs.instrument import kernel_op
 from repro.xst.builders import xpair, xset, xtuple
 from repro.xst.domain import component_domain
@@ -48,6 +49,7 @@ def compose_step(r: XSet, s: Optional[XSet] = None) -> XSet:
 @kernel_op("closure")
 def transitive_closure(r: XSet) -> XSet:
     """The least transitive relation containing ``R`` (semi-naive)."""
+    gov = _gov_active()
     closure = r
     delta = r
     while True:
@@ -56,6 +58,11 @@ def transitive_closure(r: XSet) -> XSet:
             return closure
         closure = closure | new_pairs
         delta = new_pairs
+        # One cancellation checkpoint per fixpoint round, charging the
+        # round's delta -- an unselective closure dies between rounds,
+        # not after converging.
+        if gov is not None:
+            gov.checkpoint("xst.closure", len(new_pairs))
 
 
 @kernel_op("closure_naive")
@@ -66,11 +73,14 @@ def transitive_closure_naive(r: XSet) -> XSet:
     extensionally equal to :func:`transitive_closure` and measured
     against it in ``benchmarks/bench_closure.py``.
     """
+    gov = _gov_active()
     closure = r
     while True:
         expanded = closure | compose_step(closure, closure)
         if expanded == closure:
             return closure
+        if gov is not None:
+            gov.checkpoint("xst.closure_naive", len(expanded) - len(closure))
         closure = expanded
 
 
@@ -99,6 +109,7 @@ def reachable_from(r: XSet, sources: XSet) -> XSet:
     the result has the same shape.  Pure frontier iteration: each
     round is one Def 7.1 image of the not-yet-visited frontier.
     """
+    gov = _gov_active()
     visited = XSet()
     frontier = sources
     while True:
@@ -106,6 +117,8 @@ def reachable_from(r: XSet, sources: XSet) -> XSet:
         if frontier.is_empty:
             return visited
         visited = visited | frontier
+        if gov is not None:
+            gov.checkpoint("xst.reachable", len(frontier))
 
 
 def node_set(atoms) -> XSet:

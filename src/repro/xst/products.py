@@ -27,10 +27,16 @@ from __future__ import annotations
 from typing import Any
 
 from repro.errors import NotATupleError
+from repro.gov.governor import active as _gov_active
 from repro.xst.tuples import concat, tup
 from repro.xst.xset import EMPTY, XSet
 
 __all__ = ["cross", "tag", "cartesian", "nfold_cartesian"]
+
+#: Cancellation-checkpoint stride for product inner loops: a power of
+#: two so the in-loop test is a mask, chosen so a governed runaway
+#: product dies within ~1k materialized pairs of its deadline.
+_CHECK_EVERY = 1024
 
 
 def _concat_scopes(s: Any, t: Any) -> Any:
@@ -51,6 +57,8 @@ def cross(a: XSet, b: XSet) -> XSet:
     Every member of both operands must be an n-tuple, and every member
     scope must be an n-tuple as well (the empty scope is the 0-tuple).
     """
+    gov = _gov_active()
+    charged = 0
     pairs = []
     for x, s in a.pairs():
         if not isinstance(x, XSet):
@@ -63,6 +71,12 @@ def cross(a: XSet, b: XSet) -> XSet:
                 )
             tup(y)
             pairs.append((concat(x, y), _concat_scopes(s, t)))
+            if gov is not None and not (len(pairs) & (_CHECK_EVERY - 1)):
+                gov.checkpoint("xst.cross", len(pairs) - charged)
+                charged = len(pairs)
+        if gov is not None:
+            gov.checkpoint("xst.cross", len(pairs) - charged)
+            charged = len(pairs)
     return XSet(pairs)
 
 
@@ -86,6 +100,8 @@ def cartesian(a: XSet, b: XSet) -> XSet:
     coincides with the Def 9.7 expansion ``A^(1) (x) B^(2)`` once the
     tag marks are read as positions.
     """
+    gov = _gov_active()
+    charged = 0
     pairs = []
     for x, s in a.pairs():
         left = XSet([(x, 1)])
@@ -100,6 +116,12 @@ def cartesian(a: XSet, b: XSet) -> XSet:
                 )
                 scope = left_scope.union(right_scope)
             pairs.append((element, scope))
+            if gov is not None and not (len(pairs) & (_CHECK_EVERY - 1)):
+                gov.checkpoint("xst.cartesian", len(pairs) - charged)
+                charged = len(pairs)
+        if gov is not None:
+            gov.checkpoint("xst.cartesian", len(pairs) - charged)
+            charged = len(pairs)
     return XSet(pairs)
 
 

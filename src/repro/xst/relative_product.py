@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro.gov.governor import active as _gov_active
 from repro.obs.instrument import kernel_op
 from repro.xst.rescope import rescope_value_by_scope
 from repro.xst.xset import XSet
@@ -38,6 +39,9 @@ from repro.xst.xset import XSet
 __all__ = ["relative_product", "relative_product_nested_loop", "cst_relative_product"]
 
 SigmaPair = Tuple[XSet, XSet]
+
+#: Cancellation-checkpoint stride for join output loops (power of two).
+_CHECK_EVERY = 1024
 
 
 def _split(spec) -> SigmaPair:
@@ -63,6 +67,8 @@ def relative_product(f: XSet, g: XSet, sigma: SigmaPair, omega: SigmaPair) -> XS
             rescope_value_by_scope(t, omega2),
         )
         buckets.setdefault(key, []).append(kept)
+    gov = _gov_active()
+    charged = 0
     pairs = []
     for x, s in f.pairs():
         key = (
@@ -76,6 +82,11 @@ def relative_product(f: XSet, g: XSet, sigma: SigmaPair, omega: SigmaPair) -> XS
         s_part = rescope_value_by_scope(s, sigma1)
         for y_part, t_part in matches:
             pairs.append((x_part.union(y_part), s_part.union(t_part)))
+            if gov is not None and not (len(pairs) & (_CHECK_EVERY - 1)):
+                gov.checkpoint("xst.relative_product", len(pairs) - charged)
+                charged = len(pairs)
+    if gov is not None:
+        gov.checkpoint("xst.relative_product", len(pairs) - charged)
     return XSet(pairs)
 
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.gov.governor import active as _gov_active
 from repro.obs.instrument import kernel_op
 from repro.xst.xset import XSet
 from repro.xst.rescope import rescope_value_by_element
@@ -63,14 +64,21 @@ def sigma_restrict(r: XSet, a: XSet, sigma: XSet) -> XSet:
     ]
     if not keys:
         return XSet()
+    gov = _gov_active()
+    charged = 0
     kept = []
-    for candidate, candidate_scope in r.pairs():
+    for scanned, (candidate, candidate_scope) in enumerate(r.pairs(), 1):
         for element_fragment, scope_fragment in keys:
             if _fragment_within(element_fragment, candidate) and _fragment_within(
                 scope_fragment, candidate_scope
             ):
                 kept.append((candidate, candidate_scope))
                 break
+        if gov is not None and not (scanned & 1023):
+            gov.checkpoint("xst.restrict", len(kept) - charged)
+            charged = len(kept)
+    if gov is not None:
+        gov.checkpoint("xst.restrict", len(kept) - charged)
     return XSet(kept)
 
 

@@ -1,0 +1,83 @@
+"""Admission control: bounded in-flight table, priority shedding."""
+
+import pytest
+
+from repro.errors import OverloadedError
+from repro.gov import (
+    PRIORITY_BACKGROUND,
+    PRIORITY_CRITICAL,
+    PRIORITY_NORMAL,
+    AdmissionController,
+)
+
+
+class TestAdmission:
+    def test_admits_until_hard_capacity(self):
+        controller = AdmissionController(2, soft_capacity=2)
+        controller.try_admit()
+        controller.try_admit()
+        with pytest.raises(OverloadedError) as info:
+            controller.try_admit(PRIORITY_CRITICAL)
+        assert info.value.reason == "at capacity"
+        assert info.value.in_flight == 2
+        assert info.value.capacity == 2
+
+    def test_sheds_background_work_past_the_soft_line(self):
+        controller = AdmissionController(4, soft_capacity=2)
+        controller.try_admit()
+        controller.try_admit()
+        # Between soft and hard: normal traffic in, background shed.
+        with pytest.raises(OverloadedError, match="shedding"):
+            controller.try_admit(PRIORITY_BACKGROUND)
+        controller.try_admit(PRIORITY_NORMAL)
+        assert controller.in_flight == 3
+        assert controller.shed_total == 1
+
+    def test_release_frees_the_slot(self):
+        controller = AdmissionController(1)
+        controller.try_admit()
+        controller.release()
+        controller.try_admit()  # slot reusable
+
+    def test_release_without_admit_is_a_bug(self):
+        with pytest.raises(ValueError):
+            AdmissionController(1).release()
+
+    def test_admitted_context_releases_on_error(self):
+        controller = AdmissionController(1)
+        with pytest.raises(RuntimeError):
+            with controller.admitted():
+                raise RuntimeError("query died")
+        assert controller.in_flight == 0
+
+    def test_hold_occupies_and_releases(self):
+        controller = AdmissionController(3, soft_capacity=3)
+        with controller.hold(3):
+            assert controller.in_flight == 3
+        assert controller.in_flight == 0
+
+    def test_retry_after_is_deterministic_and_grows(self):
+        controller = AdmissionController(8, soft_capacity=4,
+                                         retry_after_unit_s=0.01)
+        controller.in_flight = 5
+        first = controller.retry_after_s()
+        assert first == controller.retry_after_s()  # pure function
+        controller.in_flight = 7
+        assert controller.retry_after_s() > first
+
+    def test_default_soft_capacity_is_three_quarters(self):
+        assert AdmissionController(8).soft_capacity == 6
+        assert AdmissionController(1).soft_capacity == 1
+
+    def test_rejects_degenerate_shapes(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+        with pytest.raises(ValueError):
+            AdmissionController(2, soft_capacity=3)
+
+    def test_error_carries_the_retry_hint(self):
+        controller = AdmissionController(1, retry_after_unit_s=0.01)
+        controller.try_admit()
+        with pytest.raises(OverloadedError) as info:
+            controller.try_admit()
+        assert info.value.retry_after_s == pytest.approx(0.01)

@@ -1,0 +1,132 @@
+"""The circuit-breaker state machine on its op-count clock."""
+
+import pytest
+
+from repro.gov import CLOSED, HALF_OPEN, OPEN, BreakerBoard, CircuitBreaker
+
+
+def _breaker(**kwargs):
+    kwargs.setdefault("failure_threshold", 3)
+    kwargs.setdefault("cooldown_ops", 8)
+    kwargs.setdefault("jitter_ops", 0)  # exact cooldowns for state tests
+    return CircuitBreaker("node-0", **kwargs)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker = _breaker()
+        assert breaker.state == CLOSED
+        assert breaker.allows(0)
+
+    def test_opens_after_consecutive_failures(self):
+        breaker = _breaker()
+        breaker.record_failure(1)
+        breaker.record_failure(2)
+        assert breaker.state == CLOSED
+        breaker.record_failure(3)
+        assert breaker.state == OPEN
+        assert not breaker.allows(4)
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = _breaker()
+        breaker.record_failure(1)
+        breaker.record_failure(2)
+        breaker.record_success(3)
+        breaker.record_failure(4)
+        breaker.record_failure(5)
+        assert breaker.state == CLOSED  # streak restarted, not resumed
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker = _breaker()
+        for op in (1, 2, 3):
+            breaker.record_failure(op)
+        assert not breaker.allows(4)  # cooldown running
+        assert breaker.allows(3 + 8)  # cooldown elapsed: the probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allows(3 + 8)  # second caller refused
+
+    def test_probe_success_closes(self):
+        breaker = _breaker()
+        for op in (1, 2, 3):
+            breaker.record_failure(op)
+        assert breaker.allows(11)
+        breaker.record_success(11)
+        assert breaker.state == CLOSED
+        assert breaker.allows(12)
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        breaker = _breaker()
+        for op in (1, 2, 3):
+            breaker.record_failure(op)
+        assert breaker.allows(11)
+        breaker.record_failure(11)
+        assert breaker.state == OPEN
+        assert not breaker.allows(12)
+        assert breaker.retry_after_ops(12) == 8 - 1
+
+    def test_retry_after_counts_down(self):
+        breaker = _breaker()
+        for op in (1, 2, 3):
+            breaker.record_failure(op)
+        assert breaker.retry_after_ops(3) == 8
+        assert breaker.retry_after_ops(7) == 4
+        assert breaker.retry_after_ops(20) == 0
+
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(ValueError):
+            _breaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            _breaker(cooldown_ops=0)
+
+
+class TestSeededJitter:
+    def test_jitter_is_deterministic_per_seed_and_node(self):
+        first = CircuitBreaker("node-1", cooldown_ops=8, jitter_ops=3, seed=42)
+        second = CircuitBreaker("node-1", cooldown_ops=8, jitter_ops=3, seed=42)
+        assert first.cooldown_ops == second.cooldown_ops
+
+    def test_jitter_stays_within_its_bound(self):
+        for seed in range(20):
+            breaker = CircuitBreaker(
+                "node-1", cooldown_ops=8, jitter_ops=3, seed=seed
+            )
+            assert 8 <= breaker.cooldown_ops <= 11
+
+    def test_jitter_varies_across_nodes(self):
+        cooldowns = {
+            CircuitBreaker(
+                "node-%d" % index, cooldown_ops=8, jitter_ops=3, seed=0
+            ).cooldown_ops
+            for index in range(16)
+        }
+        assert len(cooldowns) > 1  # not all probes land on the same op
+
+
+class TestBreakerBoard:
+    def test_get_or_create_is_stable(self):
+        board = BreakerBoard()
+        assert board.breaker("node-0") is board.breaker("node-0")
+
+    def test_log_records_transitions_in_order(self):
+        board = BreakerBoard(failure_threshold=2, cooldown_ops=4,
+                             jitter_ops=0)
+        breaker = board.breaker("node-0")
+        breaker.record_failure(1)
+        breaker.record_failure(2)   # closed -> open at op 2
+        breaker.allows(6)           # open -> half_open at op 6
+        breaker.record_success(6)   # half_open -> closed at op 6
+        assert board.log == [
+            (2, "node-0", "closed", "open"),
+            (6, "node-0", "open", "half_open"),
+            (6, "node-0", "half_open", "closed"),
+        ]
+        assert board.states() == {"node-0": CLOSED}
+
+    def test_external_hook_sees_every_transition(self):
+        seen = []
+        board = BreakerBoard(
+            failure_threshold=1, jitter_ops=0,
+            on_transition=lambda node, old, new, op: seen.append((node, new)),
+        )
+        board.breaker("node-3").record_failure(5)
+        assert seen == [("node-3", "open")]

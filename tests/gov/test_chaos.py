@@ -1,0 +1,288 @@
+"""Seeded chaos: breakers, shedding and degradation are deterministic.
+
+Everything here runs on the cluster's operation-count clock and seeded
+jitter, so each scenario is a pure function of its seeds: the breaker
+transition log, the set of shed queries and the partial-result
+manifests must come out byte-for-byte identical when a scenario is
+replayed.  That determinism is the whole point -- a chaos failure that
+cannot be replayed cannot be debugged.
+
+``REPRO_GOV_SEED`` reseeds the sweep scenarios (CI runs several).
+"""
+
+import os
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    ClusterUnavailableError,
+    OverloadedError,
+)
+from repro.gov import CLOSED, OPEN, PRIORITY_BACKGROUND, PRIORITY_NORMAL
+from repro.relational.distributed import Cluster
+from repro.workloads.generators import employee_relation
+
+GOV_SEED = int(os.environ.get("REPRO_GOV_SEED", "7"))
+
+
+def _cluster(**kwargs):
+    kwargs.setdefault("replication_factor", 2)
+    cluster = Cluster(3, **kwargs)
+    cluster.create_table("emp", employee_relation(30, 6, seed=5), "dept")
+    return cluster
+
+
+def _breaker_scenario(seed):
+    """Kill a node, query through the outage, revive, keep querying.
+
+    Returns the cluster plus the per-query breaker state of the dead
+    node, so tests can assert on the full lifecycle.
+    """
+    cluster = _cluster(breakers=True, breaker_seed=seed,
+                       query_timeout_s=60.0)
+    cluster.kill_node("node-0")
+    states = []
+    for _ in range(10):
+        cluster.scan("emp")
+        states.append(cluster.breaker_states().get("node-0", CLOSED))
+    cluster.revive_node("node-0")
+    for _ in range(10):
+        cluster.scan("emp")
+        states.append(cluster.breaker_states().get("node-0", CLOSED))
+    return cluster, states
+
+
+class TestBreakerLifecycle:
+    def test_breaker_opens_during_outage_and_recloses_after_revival(self):
+        cluster, states = _breaker_scenario(seed=7)
+        dead_phase, revived_phase = states[:10], states[10:]
+        assert OPEN in dead_phase  # threshold reached mid-outage
+        assert revived_phase[-1] == CLOSED  # probe found it alive
+        transitions = [(old, new) for _, _, old, new in cluster.breaker_log]
+        assert ("closed", "open") in transitions
+        assert ("open", "half_open") in transitions
+        assert ("half_open", "closed") in transitions
+
+    def test_probe_against_a_still_dead_node_reopens(self):
+        cluster, states = _breaker_scenario(seed=7)
+        # During the outage at least one half-open probe ran and
+        # failed: open -> half_open followed by half_open -> open one
+        # tick later (the probe attempt advances the op clock before
+        # it discovers the node is still dead).
+        log = cluster.breaker_log
+        reopened = any(
+            log[i][3] == "half_open" and log[i + 1][3] == "open"
+            and log[i + 1][0] - log[i][0] <= 2
+            for i in range(len(log) - 1)
+        )
+        assert reopened
+
+    def test_transition_log_is_reproducible_byte_for_byte(self):
+        first, _ = _breaker_scenario(seed=11)
+        second, _ = _breaker_scenario(seed=11)
+        assert first.breaker_log == second.breaker_log
+        assert first.breaker_log  # and it is not trivially empty
+
+    def test_open_breakers_stop_burning_retry_budget(self):
+        governed_cluster = _cluster(breakers=True, query_timeout_s=60.0)
+        naive_cluster = _cluster(breakers=False, query_timeout_s=60.0)
+        for cluster in (governed_cluster, naive_cluster):
+            cluster.kill_node("node-0")
+            for _ in range(10):
+                cluster.scan("emp")
+        # Once open, the dead node is skipped without an attempt, so
+        # the breaker cluster performs strictly fewer operations for
+        # the identical workload.
+        assert governed_cluster.ops < naive_cluster.ops
+
+    def test_transitions_are_span_visible(self):
+        cluster = _cluster(breakers=True, query_timeout_s=60.0)
+        cluster.kill_node("node-0")
+        for _ in range(5):
+            cluster.scan("emp")
+        spans = [
+            span
+            for root in cluster.tracer.roots()
+            for span in root.tree()
+            if any(key.startswith("breaker_node-0") for key in span.attrs)
+        ]
+        assert spans, "no span carries the breaker transition"
+
+    def test_breaker_metrics_are_recorded(self):
+        from repro.obs import observed
+
+        with observed() as registry:
+            registry.reset()
+            cluster = _cluster(breakers=True, query_timeout_s=60.0)
+            cluster.kill_node("node-0")
+            for _ in range(5):
+                cluster.scan("emp")
+            opened = registry.counter(
+                "repro_gov_breaker_transitions_total", "", ("node", "to"),
+            ).value(node="node-0", to="open")
+            assert opened >= 1
+
+
+class TestCircuitOpenIsTyped:
+    def test_unreplicated_bucket_behind_open_breaker(self):
+        # replication_factor=1: the dead node's buckets have no
+        # fallback, so queries fail -- first as dead-replica errors,
+        # then (breaker open) as CircuitOpenError without an attempt.
+        cluster = Cluster(2, replication_factor=1, breakers=True,
+                          breaker_jitter_ops=0, query_timeout_s=60.0)
+        cluster.create_table("emp", employee_relation(30, 6, seed=5), "dept")
+        cluster.kill_node("node-0")
+        outcomes = []
+        for _ in range(8):
+            try:
+                cluster.scan("emp")
+                outcomes.append("ok")
+            except ClusterUnavailableError:
+                outcomes.append("unavailable")
+            except CircuitOpenError as error:
+                outcomes.append("circuit_open")
+                assert error.node == "node-0"
+                assert error.exit_code == 15
+        assert "circuit_open" in outcomes
+        assert "ok" not in outcomes  # never silently wrong
+
+    def test_partial_mode_degrades_instead(self):
+        cluster = Cluster(2, replication_factor=1, breakers=True,
+                          breaker_jitter_ops=0, query_timeout_s=60.0)
+        cluster.create_table("emp", employee_relation(30, 6, seed=5), "dept")
+        complete = cluster.scan("emp")
+        cluster.kill_node("node-0")
+        for _ in range(8):
+            result = cluster.scan("emp", allow_partial=True)
+            # Degradation is never silent: the answer is marked and
+            # the manifest names what is missing.
+            assert result.partial
+            assert {m.table for m in result.missing} == {"emp"}
+            assert result.cardinality() < complete.cardinality()
+            with pytest.raises(ClusterUnavailableError):
+                result.require_complete()
+
+
+class TestOverloadShedding:
+    def test_ramp_sheds_background_then_everything(self):
+        cluster = _cluster(max_in_flight=4, admission_soft=2)
+        # Below the soft line everything runs.
+        assert cluster.scan("emp").cardinality() > 0
+        with cluster.admission.hold(2):
+            # Soft line reached: background shed, normal admitted.
+            with pytest.raises(OverloadedError) as info:
+                cluster.scan("emp", priority=PRIORITY_BACKGROUND)
+            assert info.value.retry_after_s > 0
+            assert cluster.scan(
+                "emp", priority=PRIORITY_NORMAL
+            ).cardinality() > 0
+        with cluster.admission.hold(4):
+            # Hard capacity: even normal traffic is refused.
+            with pytest.raises(OverloadedError, match="at capacity"):
+                cluster.scan("emp", priority=PRIORITY_NORMAL)
+        # Slots released: the front door reopens.
+        assert cluster.scan("emp").cardinality() > 0
+
+    def test_shed_queries_run_nothing_and_trace_nothing(self):
+        cluster = _cluster(max_in_flight=2, admission_soft=2)
+        baseline_messages = cluster.network.messages
+
+        def span_count():
+            return sum(
+                1 for root in cluster.tracer.roots() for _ in root.tree()
+            )
+
+        spans_before = span_count()
+        with cluster.admission.hold(2):
+            with pytest.raises(OverloadedError):
+                cluster.scan("emp")
+        assert cluster.network.messages == baseline_messages
+        assert span_count() == spans_before
+
+    def test_overload_ramp_with_killed_node_is_reproducible(self):
+        """The acceptance scenario: overload + outage, twice, equal."""
+
+        def ramp():
+            cluster = _cluster(max_in_flight=3, admission_soft=2,
+                               breakers=True, breaker_seed=3,
+                               query_timeout_s=60.0)
+            cluster.kill_node("node-2")
+            outcomes = []
+            for step in range(12):
+                held = min(step % 4, 3)
+                priority = (
+                    PRIORITY_BACKGROUND if step % 3 == 0
+                    else PRIORITY_NORMAL
+                )
+                try:
+                    with cluster.admission.hold(held):
+                        result = cluster.scan(
+                            "emp", allow_partial=True, priority=priority
+                        )
+                    outcomes.append(
+                        ("ok", result.partial, len(result.missing),
+                         result.cardinality())
+                    )
+                except OverloadedError as error:
+                    outcomes.append(("shed", error.reason,
+                                     error.retry_after_s))
+            return outcomes, cluster.breaker_log
+
+        first = ramp()
+        second = ramp()
+        assert first == second
+        outcomes = first[0]
+        assert any(kind == "shed" for kind, *_ in outcomes)
+        assert any(kind == "ok" for kind, *_ in outcomes)
+        # Served answers are complete here (replication covers the
+        # dead node), and none is marked partial by mistake.
+        for outcome in outcomes:
+            if outcome[0] == "ok":
+                assert outcome[1] is False
+
+
+class TestQuorumReads:
+    def test_strict_quorum_fails_typed(self):
+        cluster = _cluster(query_timeout_s=60.0)
+        cluster.kill_node("node-0")
+        with pytest.raises(ClusterUnavailableError, match="quorum"):
+            cluster.scan("emp", read_quorum=2)
+
+    def test_partial_quorum_read_is_marked_downgraded(self):
+        cluster = _cluster(query_timeout_s=60.0)
+        complete = cluster.scan("emp")
+        cluster.kill_node("node-0")
+        result = cluster.scan("emp", allow_partial=True, read_quorum=2)
+        assert result.quorum_downgraded
+        assert result.degraded
+        assert not result.partial  # every row still present
+        assert result.cardinality() == complete.cardinality()
+        # Complete-but-downgraded answers pass require_complete.
+        assert result.require_complete().cardinality() \
+            == complete.cardinality()
+
+
+class TestSeedSweep:
+    """The full lifecycle holds under whatever seed CI picks.
+
+    These tests re-run the core breaker scenario under ``GOV_SEED``
+    (``REPRO_GOV_SEED`` in the environment) so the CI overload job can
+    sweep several seeds without any test edit.  The invariants are
+    seed-independent; only the jitter (and hence the exact transition
+    ops) moves.
+    """
+
+    def test_lifecycle_invariants_hold_for_the_environment_seed(self):
+        cluster, states = _breaker_scenario(seed=GOV_SEED)
+        assert OPEN in states[:10]
+        assert states[-1] == CLOSED
+        transitions = [(old, new) for _, _, old, new in cluster.breaker_log]
+        assert ("closed", "open") in transitions
+        assert ("half_open", "closed") in transitions
+
+    def test_environment_seed_is_still_deterministic(self):
+        first, _ = _breaker_scenario(seed=GOV_SEED)
+        second, _ = _breaker_scenario(seed=GOV_SEED)
+        assert first.breaker_log == second.breaker_log
+        assert first.breaker_log

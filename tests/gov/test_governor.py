@@ -1,0 +1,228 @@
+"""Deadlines, budgets and the cooperative checkpoint protocol."""
+
+import pytest
+
+from repro.errors import BudgetExceededError, DeadlineExceededError
+from repro.gov import (
+    CELL_BYTES,
+    Budget,
+    Deadline,
+    Governor,
+    active,
+    checkpoint,
+    governed,
+    install,
+)
+
+
+class _ManualClock:
+    """A clock the test advances by hand."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestDeadline:
+    def test_wall_clock_draws_down(self):
+        clock = _ManualClock()
+        deadline = Deadline(2.0, clock=clock)
+        assert not deadline.expired()
+        clock.now = 1.5
+        assert deadline.remaining_s() == pytest.approx(0.5)
+        clock.now = 2.5
+        assert deadline.expired()
+        with pytest.raises(DeadlineExceededError, match="deadline exceeded"):
+            deadline.check("somewhere")
+
+    def test_simulated_deadline_ignores_wall_time(self):
+        deadline = Deadline.simulated(1.0)
+        # No wall clock involved: only explicit charges count.
+        assert deadline.elapsed_s() == 0.0
+        deadline.charge(0.75)
+        assert deadline.remaining_s() == pytest.approx(0.25)
+        deadline.charge(0.75)
+        with pytest.raises(DeadlineExceededError) as info:
+            deadline.check("cluster.emp[2]")
+        assert info.value.site == "cluster.emp[2]"
+        assert info.value.elapsed_s == pytest.approx(1.5)
+        assert info.value.timeout_s == pytest.approx(1.0)
+
+    def test_charges_and_wall_time_share_one_ledger(self):
+        clock = _ManualClock()
+        deadline = Deadline(2.0, clock=clock)
+        clock.now = 1.0
+        deadline.charge(0.5)
+        assert deadline.elapsed_s() == pytest.approx(1.5)
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+        with pytest.raises(ValueError):
+            Deadline.simulated(5.0).charge(-0.1)
+
+
+class TestBudget:
+    def test_row_ledger(self):
+        budget = Budget(max_rows=10)
+        budget.charge("site", 10)
+        with pytest.raises(BudgetExceededError) as info:
+            budget.charge("plan.join", 1)
+        assert info.value.resource == "rows"
+        assert info.value.spent == 11
+        assert info.value.limit == 10
+        assert info.value.site == "plan.join"
+
+    def test_cell_ledger_is_rows_times_width(self):
+        budget = Budget(max_cells=100)
+        budget.charge("site", 20, width=5)  # exactly 100 cells
+        with pytest.raises(BudgetExceededError, match="cells"):
+            budget.charge("site", 1, width=5)
+
+    def test_byte_ledger_prices_cells(self):
+        budget = Budget(max_bytes=10 * CELL_BYTES)
+        budget.charge("site", 10)
+        assert budget.estimated_bytes() == 10 * CELL_BYTES
+        with pytest.raises(BudgetExceededError, match="bytes"):
+            budget.charge("site", 1)
+
+    def test_charge_records_before_check(self):
+        # The error reports the true overshoot, not the limit.
+        budget = Budget(max_rows=5)
+        with pytest.raises(BudgetExceededError) as info:
+            budget.charge("site", 1000)
+        assert info.value.spent == 1000
+
+    def test_rejects_negative_limits(self):
+        with pytest.raises(ValueError):
+            Budget(max_rows=-1)
+
+
+class TestGovernorAndCheckpoint:
+    def test_checkpoint_without_governor_is_a_noop(self):
+        assert active() is None
+        checkpoint("anywhere", rows=10**9)  # must not raise
+
+    def test_governor_counts_checkpoints_and_tracks_site(self):
+        governor = Governor(budget=Budget(max_rows=100))
+        governor.checkpoint("a", rows=10)
+        governor.checkpoint("b", rows=10)
+        assert governor.checkpoints == 2
+        assert governor.last_site == "b"
+
+    def test_governed_installs_and_restores(self):
+        assert active() is None
+        with governed(max_rows=10) as governor:
+            assert active() is governor
+        assert active() is None
+
+    def test_governed_restores_on_error(self):
+        with pytest.raises(BudgetExceededError):
+            with governed(max_rows=1):
+                checkpoint("site", rows=2)
+        assert active() is None
+
+    def test_governed_scopes_nest_by_replacement(self):
+        with governed(max_rows=100) as outer:
+            with governed(max_rows=5) as inner:
+                assert active() is inner
+                with pytest.raises(BudgetExceededError):
+                    checkpoint("site", rows=6)
+            assert active() is outer
+            checkpoint("site", rows=6)  # outer budget still has room
+
+    def test_governed_accepts_prebuilt_objects(self):
+        deadline = Deadline.simulated(1.0)
+        with governed(deadline=deadline) as governor:
+            assert governor.deadline is deadline
+            deadline.charge(2.0)
+            with pytest.raises(DeadlineExceededError):
+                checkpoint("site")
+
+    def test_install_returns_previous(self):
+        governor = Governor()
+        assert install(governor) is None
+        assert install(None) is governor
+        assert active() is None
+
+
+class TestKernelCancellation:
+    """A runaway kernel op dies within one checkpoint interval."""
+
+    def test_cross_product_cancelled_mid_operator(self):
+        from repro.xst.builders import xset, xtuple
+        from repro.xst.products import cross
+
+        left = xset(xtuple([i]) for i in range(100))
+        right = xset(xtuple([i]) for i in range(100))
+        with pytest.raises(BudgetExceededError) as info:
+            with governed(max_rows=2000):
+                cross(left, right)  # would materialize 10000 pairs
+        error = info.value
+        assert error.site == "xst.cross"
+        # Cancelled within one checkpoint interval (1024-pair batches
+        # plus the per-outer-row flush), not after finishing.
+        assert error.spent - error.limit <= 2048
+
+    def test_closure_cancelled_between_fixpoint_rounds(self):
+        from repro.xst.builders import xpair, xset
+        from repro.xst.closure import transitive_closure
+
+        chain = xset(xpair(i, i + 1) for i in range(60))
+        with pytest.raises(BudgetExceededError, match="xst.closure"):
+            with governed(max_rows=100):
+                transitive_closure(chain)
+
+    def test_generous_governor_changes_nothing(self):
+        from repro.xst.builders import xset, xtuple
+        from repro.xst.products import cross
+
+        left = xset(xtuple([i]) for i in range(20))
+        right = xset(xtuple([i]) for i in range(20))
+        ungoverned = cross(left, right)
+        with governed(timeout_s=60.0, max_rows=10**9):
+            governed_result = cross(left, right)
+        assert governed_result == ungoverned
+
+
+class TestObservability:
+    def test_cancellation_is_counted_and_span_visible(self):
+        from repro.obs import observed
+        from repro.obs.trace import tracer
+
+        with observed() as registry:
+            registry.reset()
+            tracer().reset()
+            with pytest.raises(BudgetExceededError):
+                with tracer().span("q") as span:
+                    with governed(max_rows=10):
+                        checkpoint("xst.cross", rows=100)
+            assert span.attrs["gov_died_at"] == "xst.cross"
+            assert span.attrs["gov_checkpoints"] == 1
+            assert registry.counter(
+                "repro_gov_cancelled_total", "", ("reason",)
+            ).value(reason="budget_rows") == 1
+
+    def test_deadline_slack_observed_on_success(self):
+        from repro.obs import observed
+
+        with observed() as registry:
+            registry.reset()
+            with governed(timeout_s=60.0):
+                pass
+            assert "repro_gov_deadline_slack_seconds" in registry.expose()
+
+    def test_silent_without_observability(self):
+        from repro.obs import metrics, observed
+
+        registry = metrics.registry()
+        registry.reset()
+        with observed(False):
+            with pytest.raises(BudgetExceededError):
+                with governed(max_rows=1):
+                    checkpoint("site", rows=2)
+        assert registry.counter(
+            "repro_gov_cancelled_total", "", ("reason",)
+        ).value(reason="budget_rows") == 0

@@ -1,0 +1,123 @@
+"""Governance must never change an answer -- only refuse to finish one.
+
+The property behind every test here: for a fixed database and query,
+adding a deadline or budget partitions the outcome space into
+{completed with the ungoverned answer} and {typed governance error}.
+There is no third region -- no silently truncated rows, no reordered
+results, no flipped aggregate.  Tightening a limit can only move
+executions from the first region to the second.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BudgetExceededError, DeadlineExceededError
+from repro.gov import governed
+from repro.relational.query import Database
+from repro.relational.relation import Relation
+from repro.relational.sql import run
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 5)),
+    min_size=0, max_size=25,
+)
+
+QUERIES = [
+    "SELECT * FROM t",
+    "SELECT a FROM t WHERE b = 2",
+    "SELECT * FROM t JOIN u",
+    "SELECT b, COUNT(a) AS n FROM t GROUP BY b",
+]
+
+
+def _database(rows):
+    db = Database()
+    db.add("t", Relation.from_tuples(["a", "b"], rows))
+    db.add("u", Relation.from_tuples(["b", "c"], [(b, a) for a, b in rows]))
+    return db
+
+
+class TestBudgetNeverChangesAnswers:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rows=rows_strategy,
+        max_rows=st.integers(min_value=0, max_value=3000),
+        query=st.sampled_from(QUERIES),
+    )
+    def test_completed_governed_answer_equals_ungoverned(
+        self, rows, max_rows, query
+    ):
+        db = _database(rows)
+        baseline = run(db, query)
+        try:
+            with governed(max_rows=max_rows):
+                answer = run(db, query)
+        except BudgetExceededError:
+            return  # refusal is the only other allowed outcome
+        assert answer.heading.names == baseline.heading.names
+        assert answer.rows == baseline.rows
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rows=rows_strategy,
+        tight=st.integers(min_value=0, max_value=500),
+        slack=st.integers(min_value=0, max_value=2500),
+        query=st.sampled_from(QUERIES),
+    )
+    def test_loosening_a_completing_budget_keeps_the_answer(
+        self, rows, tight, slack, query
+    ):
+        db = _database(rows)
+        try:
+            with governed(max_rows=tight):
+                tight_answer = run(db, query)
+        except BudgetExceededError:
+            return  # nothing completed; nothing to compare
+        # Charges are deterministic, so any looser budget completes
+        # too, with the identical answer.
+        with governed(max_rows=tight + slack):
+            loose_answer = run(db, query)
+        assert loose_answer.rows == tight_answer.rows
+
+
+class TestDeadlineNeverChangesAnswers:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rows=rows_strategy,
+        timeout_ms=st.sampled_from([0.01, 0.1, 1.0, 10.0, 10_000.0]),
+        query=st.sampled_from(QUERIES),
+    )
+    def test_completed_deadline_answer_equals_ungoverned(
+        self, rows, timeout_ms, query
+    ):
+        db = _database(rows)
+        baseline = run(db, query)
+        try:
+            with governed(timeout_s=timeout_ms / 1000.0):
+                answer = run(db, query)
+        except DeadlineExceededError:
+            return
+        assert answer.rows == baseline.rows
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rows=rows_strategy,
+        charge=st.floats(min_value=0.0, max_value=2.0),
+        query=st.sampled_from(QUERIES),
+    )
+    def test_simulated_deadline_is_deterministic(self, rows, charge, query):
+        """The simulated clock makes the outcome a pure function."""
+        from repro.gov import Deadline
+
+        db = _database(rows)
+
+        def attempt():
+            deadline = Deadline.simulated(1.0)
+            deadline.charge(charge)
+            try:
+                with governed(deadline=deadline):
+                    return ("ok", run(db, query).rows)
+            except DeadlineExceededError as error:
+                return ("deadline", error.site)
+
+        assert attempt() == attempt()

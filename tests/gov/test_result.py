@@ -1,0 +1,54 @@
+"""Explicitly-marked partial results."""
+
+import pytest
+
+from repro.errors import ClusterUnavailableError
+from repro.gov import MissingBucket, Result
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def relation():
+    return Relation.from_tuples(["a", "b"], [(1, 2), (3, 4)])
+
+
+class TestResult:
+    def test_complete_result_is_not_partial(self, relation):
+        result = Result(relation)
+        assert not result.partial
+        assert not result.degraded
+        assert result.require_complete() is relation
+
+    def test_missing_buckets_mark_it_partial(self, relation):
+        result = Result(relation, [MissingBucket("emp", 2, "ring dead")])
+        assert result.partial
+        assert result.degraded
+        assert result.missing[0].bucket == 2
+
+    def test_require_complete_raises_the_typed_error(self, relation):
+        result = Result(relation, [MissingBucket("emp", 2, "ring dead")])
+        with pytest.raises(ClusterUnavailableError, match="ring dead"):
+            result.require_complete()
+
+    def test_quorum_downgrade_is_degraded_but_complete(self, relation):
+        result = Result(relation, quorum_downgraded=True)
+        assert not result.partial
+        assert result.degraded
+        # Every row is present; only redundancy was reduced.
+        assert result.require_complete() is relation
+
+    def test_proxies_the_relation_surface(self, relation):
+        result = Result(relation)
+        assert result.cardinality() == relation.cardinality()
+        assert result.rows == relation.rows
+        assert result.heading == relation.heading
+        assert len(result) == len(relation)
+        assert list(result.iter_dicts()) == list(relation.iter_dicts())
+
+    def test_repr_is_honest_about_degradation(self, relation):
+        result = Result(
+            relation, [MissingBucket("emp", 0, "x")], quorum_downgraded=True
+        )
+        text = repr(result)
+        assert "missing 1 buckets" in text
+        assert "quorum downgraded" in text

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.errors import ClusterUnavailableError, SchemaError
+from repro.errors import (
+    ClusterUnavailableError,
+    DeadlineExceededError,
+    SchemaError,
+)
 from repro.relational import algebra
 from repro.relational.distributed import Cluster
 from repro.relational.faults import (
@@ -167,9 +171,11 @@ class TestTransientFaults:
 
 class TestQueryTimeout:
     def test_slow_node_times_out(self, employees):
+        # query_timeout_s now feeds a repro.gov Deadline, so the typed
+        # failure is DeadlineExceededError (still an UnavailableError).
         cluster = replicated_cluster(employees, query_timeout_s=0.25)
         cluster.install_faults(FaultPlan().delay("node-0", 0.4, at_op=1))
-        with pytest.raises(ClusterUnavailableError, match="timeout"):
+        with pytest.raises(DeadlineExceededError, match="deadline exceeded"):
             cluster.scan("emp")
 
     def test_budget_under_the_limit_passes(self, employees):

@@ -230,3 +230,58 @@ class TestOptimizationTransparency:
             parse_query("SELECT name, dname FROM emp JOIN dept WHERE dept = 4")
         )
         assert db.execute(plan) == db.execute_records(plan)
+
+
+class TestTimeoutAndBudget:
+    """The TIMEOUT/BUDGET governance clauses."""
+
+    def test_clauses_parse_after_limit(self):
+        query = parse_query(
+            "SELECT * FROM emp LIMIT 5 TIMEOUT 2.5 BUDGET 1000"
+        )
+        assert query.limit == 5
+        assert query.timeout_s == 2.5
+        assert query.budget_rows == 1000
+
+    def test_clauses_parse_alone(self):
+        assert parse_query("SELECT * FROM emp TIMEOUT 10").timeout_s == 10.0
+        assert parse_query("SELECT * FROM emp BUDGET 50").budget_rows == 50
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT * FROM emp TIMEOUT -1",
+            "SELECT * FROM emp TIMEOUT abc",
+            "SELECT * FROM emp BUDGET -5",
+            "SELECT * FROM emp BUDGET 1.5",
+            "SELECT * FROM emp BUDGET",
+        ],
+    )
+    def test_bad_clauses_rejected(self, bad):
+        with pytest.raises(NotationError):
+            parse_query(bad)
+
+    def test_generous_limits_change_nothing(self, db):
+        text = "SELECT name, dname FROM emp JOIN dept WHERE dept = 4"
+        assert run(db, "%s TIMEOUT 60 BUDGET 1000000" % text) == run(db, text)
+
+    def test_budget_kills_a_runaway_join(self, db):
+        from repro.errors import BudgetExceededError
+
+        with pytest.raises(BudgetExceededError) as info:
+            run(db, "SELECT * FROM emp JOIN emp BUDGET 10")
+        assert info.value.resource == "rows"
+        assert info.value.exit_code == 13
+
+    def test_budget_is_not_limit(self, db):
+        # LIMIT trims the finished answer; BUDGET bounds what may be
+        # materialized computing it.  A generous budget with a tiny
+        # LIMIT must still return the limited answer.
+        result = run(db, "SELECT * FROM emp LIMIT 2 BUDGET 100000")
+        assert result.cardinality() == 2
+
+    def test_governor_uninstalled_after_run(self, db):
+        from repro.gov import active
+
+        run(db, "SELECT * FROM emp TIMEOUT 60")
+        assert active() is None

@@ -410,3 +410,38 @@ class TestDispatch:
         )
         assert completed.returncode == 0
         assert completed.stdout.strip() == "<a, b>"
+
+
+class TestGovernanceOptions:
+    """--timeout/--budget and the stable governance exit codes."""
+
+    def test_generous_limits_answer_normally(self, csv_dir, capsys):
+        code = main(
+            ["query", csv_dir, "SELECT * FROM emp",
+             "--timeout", "60", "--budget", "1000000"]
+        )
+        assert code == 0
+        assert len(capsys.readouterr().out.splitlines()) == 26
+
+    def test_budget_exhaustion_exits_13(self, csv_dir, capsys):
+        code = main(
+            ["query", csv_dir, "SELECT * FROM emp JOIN emp",
+             "--budget", "10"]
+        )
+        assert code == 13
+        assert "budget exceeded" in capsys.readouterr().err
+
+    def test_budget_clause_in_the_query_text(self, csv_dir, capsys):
+        code = main(
+            ["query", csv_dir, "SELECT * FROM emp JOIN emp BUDGET 10"]
+        )
+        assert code == 13
+
+    def test_malformed_governance_options(self, csv_dir, capsys):
+        code = main(
+            ["query", csv_dir, "SELECT * FROM emp", "--timeout", "soon"]
+        )
+        assert code == 2
+
+    def test_plain_domain_errors_still_exit_2(self, csv_dir, capsys):
+        assert main(["query", csv_dir, "SELECT * FROM nosuch"]) == 2

@@ -4,14 +4,19 @@ import pytest
 
 from repro.errors import (
     AmbiguousValueError,
+    BudgetExceededError,
+    CircuitOpenError,
     ClusterUnavailableError,
     CompositionError,
+    DeadlineExceededError,
     InvalidAtomError,
     NotAFunctionError,
     NotAProcessError,
     NotationError,
     NotATupleError,
+    OverloadedError,
     SchemaError,
+    UnavailableError,
     XSTError,
 )
 
@@ -26,6 +31,10 @@ ALL_ERRORS = [
     SchemaError,
     NotationError,
     ClusterUnavailableError,
+    DeadlineExceededError,
+    BudgetExceededError,
+    OverloadedError,
+    CircuitOpenError,
 ]
 
 
@@ -51,6 +60,48 @@ class TestHierarchy:
 
     def test_cluster_errors_are_runtime_errors(self):
         assert issubclass(ClusterUnavailableError, RuntimeError)
+
+    def test_governance_errors_share_the_unavailable_base(self):
+        # One except clause (UnavailableError) catches every "the
+        # system declined or failed to serve this" outcome, while the
+        # subtype says why.
+        for error_type in (
+            ClusterUnavailableError,
+            DeadlineExceededError,
+            BudgetExceededError,
+            OverloadedError,
+            CircuitOpenError,
+        ):
+            assert issubclass(error_type, UnavailableError)
+            assert issubclass(error_type, RuntimeError)
+
+    def test_stable_codes_and_exit_codes(self):
+        expected = {
+            UnavailableError: ("UNAVAILABLE", 10),
+            ClusterUnavailableError: ("CLUSTER_UNAVAILABLE", 11),
+            DeadlineExceededError: ("DEADLINE_EXCEEDED", 12),
+            BudgetExceededError: ("BUDGET_EXCEEDED", 13),
+            OverloadedError: ("OVERLOADED", 14),
+            CircuitOpenError: ("CIRCUIT_OPEN", 15),
+        }
+        for error_type, (code, exit_code) in expected.items():
+            assert error_type.code == code
+            assert error_type.exit_code == exit_code
+
+    def test_governance_errors_carry_structured_context(self):
+        deadline = DeadlineExceededError(1.5, 1.0, site="xst.cross")
+        assert deadline.elapsed_s == 1.5
+        assert deadline.timeout_s == 1.0
+        assert deadline.site == "xst.cross"
+        budget = BudgetExceededError("rows", 2000, 1000, site="plan.join")
+        assert budget.resource == "rows"
+        assert budget.spent == 2000 and budget.limit == 1000
+        overloaded = OverloadedError(9, 8, retry_after_s=0.02)
+        assert overloaded.in_flight == 9 and overloaded.capacity == 8
+        assert overloaded.retry_after_s == 0.02
+        breaker = CircuitOpenError("emp", 3, "node-2", retry_after_ops=5)
+        assert breaker.table == "emp" and breaker.bucket == 3
+        assert breaker.node == "node-2" and breaker.retry_after_ops == 5
 
     def test_one_except_clause_guards_the_library(self):
         from repro.xst.builders import xset
