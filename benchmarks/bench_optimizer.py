@@ -6,11 +6,24 @@ itself and XQL end-to-end.  Reproduced shape: selection pushdown and
 join reordering dominate (they shrink the relative-product inputs);
 unary fusion removes linear re-scans; rewriting costs microseconds
 against milliseconds saved.
+
+The multi-join series (3-6 relations) compares the heuristic planner
+against the cost-based one on the same written plan: the heuristic
+cannot reassociate nested joins, so an adversarial written order makes
+it materialize an exploding many-to-many intermediate that statistics
+let the DP search route around.  Each benchmark records the plan's
+q-error summary and intermediate row traffic in ``extra_info``, so a
+saved BENCH json carries the estimation accuracy next to the wall
+time.
 """
+
+import random
 
 import pytest
 
+from repro.relational.cost import explain_analyze, qerror
 from repro.relational.optimizer import optimize
+from repro.relational.profile import execute_profiled
 from repro.relational.query import (
     Database,
     Join,
@@ -19,8 +32,11 @@ from repro.relational.query import (
     Scan,
     SelectEq,
 )
+from repro.relational.relation import Relation
 from repro.relational.sql import run
 from repro.workloads import department_relation, employee_relation
+
+from conftest import WORKLOAD_SEED
 
 
 @pytest.fixture(scope="module")
@@ -29,6 +45,144 @@ def db():
     database.add("emp", employee_relation(1200, 30, seed=47))
     database.add("dept", department_relation(30, seed=47))
     return database
+
+
+# ----------------------------------------------------------------------
+# Multi-join workloads: heuristic vs cost-based planning
+# ----------------------------------------------------------------------
+
+
+def _link_relation(names, count, spaces, seed):
+    """``count`` rows with a serial key plus seeded foreign keys."""
+    rng = random.Random(seed)
+    key = names[0]
+    rows = []
+    for i in range(count):
+        row = {key: i}
+        for attr, space in zip(names[1:], spaces):
+            row[attr] = rng.randrange(space)
+        rows.append(row)
+    return Relation.from_dicts(names, rows)
+
+
+def _multi_join_database():
+    """Six relations: emp/dept plus assignment, audit, project, region.
+
+    ``assign`` and ``audit`` both fan out ~5x from ``emp``, so joining
+    them to each other first (the adversarial written order) explodes
+    to ~25 rows per employee before anything filters.
+    """
+    seed = WORKLOAD_SEED
+    db = Database()
+    db.add("emp", employee_relation(600, 40, seed=seed))
+    db.add("dept", department_relation(40, seed=seed))
+    db.add("assign",
+           _link_relation(["assign", "emp", "proj"], 3000, (600, 50), seed + 1))
+    db.add("audit",
+           _link_relation(["audit", "emp", "flag"], 3000, (600, 4), seed + 2))
+    db.add("proj",
+           _link_relation(["proj", "region"], 50, (8,), seed + 3))
+    db.add("region",
+           _link_relation(["region", "rcode"], 8, (100,), seed + 4))
+    return db
+
+
+def _multi_join_plans():
+    """Written orders that force the exploding join first."""
+    fanout = Join(Scan("assign"), Scan("audit"))  # ~25 rows per emp
+    return {
+        "join3": Join(fanout, SelectEq(Scan("emp"), {"dept": 7})),
+        "join4": Join(
+            Join(fanout, Scan("proj")),
+            SelectEq(Scan("emp"), {"dept": 7}),
+        ),
+        "join6": Join(
+            Join(
+                Join(Join(fanout, Scan("proj")), Scan("region")),
+                Scan("emp"),
+            ),
+            SelectEq(Scan("dept"), {"dept": 7}),
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def multi_db_heuristic():
+    return _multi_join_database()  # never analyzed: heuristic plans
+
+
+@pytest.fixture(scope="module")
+def multi_db_cost():
+    db = _multi_join_database()
+    db.analyze()
+    return db
+
+
+@pytest.mark.parametrize("query", sorted(_multi_join_plans()))
+@pytest.mark.parametrize("mode", ("heuristic", "cost"))
+def test_multi_join_planning(benchmark, multi_db_heuristic, multi_db_cost,
+                             mode, query):
+    db = multi_db_cost if mode == "cost" else multi_db_heuristic
+    plan = optimize(_multi_join_plans()[query], db)
+    result = benchmark(db.execute, plan)
+    assert result.cardinality() > 0
+    # The BENCH json carries the plan-quality evidence next to the
+    # wall time: estimation accuracy and materialized row traffic.
+    _, profile = execute_profiled(db, plan)
+    errors = _node_qerrors(db, plan)
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["relations"] = int(query[-1])
+    benchmark.extra_info["row_traffic"] = profile.total_rows()
+    benchmark.extra_info["qerror_max"] = round(max(errors), 3)
+    benchmark.extra_info["qerror_mean"] = round(
+        sum(errors) / len(errors), 3
+    )
+
+
+def _node_qerrors(db, plan):
+    from repro.relational.cost import CardinalityEstimator
+
+    est = CardinalityEstimator(db)
+    errors = []
+
+    def walk(node):
+        inputs = [walk(child) for child in node.children()]
+        result = db.execute_node(node, inputs)
+        errors.append(qerror(est.estimate(node), result.cardinality()))
+        return result
+
+    walk(plan)
+    return errors
+
+
+@pytest.mark.parametrize("query", sorted(_multi_join_plans()))
+def test_cost_plans_materialize_less(multi_db_heuristic, multi_db_cost,
+                                     query):
+    """Deterministic speed proxy: cost plans move strictly fewer rows.
+
+    Wall-time ratios wobble with the machine; intermediate row traffic
+    does not.  The cost-based plan must materialize no more rows than
+    the heuristic plan on every query, and strictly fewer on the
+    exploding-join shapes.
+    """
+    plan = _multi_join_plans()[query]
+    heuristic = optimize(plan, multi_db_heuristic)
+    cost_based = optimize(plan, multi_db_cost)
+    expected = multi_db_heuristic.execute(plan)
+    assert multi_db_heuristic.execute(heuristic) == expected
+    assert multi_db_cost.execute(cost_based) == expected
+    _, heuristic_profile = execute_profiled(multi_db_heuristic, heuristic)
+    _, cost_profile = execute_profiled(multi_db_cost, cost_based)
+    assert cost_profile.total_rows() < heuristic_profile.total_rows()
+
+
+def test_explain_analyze_reports_accurate_estimates(multi_db_cost):
+    """E23's regression gate: fresh stats keep q-error low."""
+    _, text = explain_analyze(multi_db_cost, _multi_join_plans()["join4"])
+    summary = text.splitlines()[-1]
+    assert summary.endswith("(stats)")
+    worst = float(summary.split("max=")[1].split()[0])
+    assert worst <= 5.0
 
 
 def sloppy_plan():

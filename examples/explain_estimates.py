@@ -1,0 +1,88 @@
+"""Cost-based planning: ANALYZE, estimates vs actuals, join reordering.
+
+The statistics catalog (`repro.relational.stats`) replaces the
+optimizer's magic constants with measurement: one ANALYZE pass per
+relation collects row counts, KMV distinct sketches, equi-depth
+histograms and most-common-value lists, and the cost-based planner
+(`repro.relational.cost`) reads them to estimate every plan node and
+to search join orders with bottom-up dynamic programming.  This
+example builds an adversarially-ordered three-way join, shows the
+heuristic plan (no statistics) and the reordered cost-based plan
+(after ANALYZE), and prints EXPLAIN ANALYZE output with per-node
+``est_rows`` vs ``actual_rows`` and q-error.
+
+Run:  python examples/explain_estimates.py
+"""
+
+import random
+
+from repro.relational import Database, Join, Relation, Scan, SelectEq
+from repro.relational.cost import CardinalityEstimator, explain_analyze
+from repro.relational.optimizer import optimize
+from repro.workloads import department_relation, employee_relation
+
+
+def banner(text: str) -> None:
+    print()
+    print("=" * 64)
+    print(text)
+    print("=" * 64)
+
+
+def assignments(count: int, emps: int, seed: int) -> Relation:
+    rng = random.Random(seed)
+    return Relation.from_dicts(
+        ["assign", "emp", "proj"],
+        [
+            {"assign": i, "emp": rng.randrange(emps),
+             "proj": rng.randrange(40)}
+            for i in range(count)
+        ],
+    )
+
+
+def main() -> None:
+    db = Database()
+    db.add("emp", employee_relation(400, 20, seed=7))
+    db.add("dept", department_relation(20, seed=7))
+    db.add("assign", assignments(1600, 400, seed=8))
+
+    # Written adversarially: the fan-out join first, the selective
+    # one-department filter last.
+    plan = Join(
+        Join(Scan("assign"), Scan("emp")),
+        SelectEq(Scan("dept"), {"dept": 3}),
+    )
+
+    banner("Heuristic plan (no statistics -- written order kept)")
+    print(optimize(plan, db).explain())
+
+    banner("ANALYZE emp, dept, assign")
+    for name in db.analyze():
+        entry = db.stats.get(name)
+        print("%-8s %5d rows, %d attributes analyzed"
+              % (name, entry.rows, len(entry.attributes)))
+    dept_stats = db.stats.get("emp").attribute("dept")
+    print("emp.dept: distinct=%d, top MCVs %s"
+          % (dept_stats.distinct, dept_stats.mcvs[:3]))
+
+    banner("Cost-based plan (DP join ordering from the catalog)")
+    optimized = optimize(plan, db)
+    print(optimized.explain())
+    est = CardinalityEstimator(db)
+    print()
+    print("estimated cost: written order %.0f, reordered %.0f"
+          % (est.cost(plan), est.cost(optimized)))
+
+    banner("EXPLAIN ANALYZE (est_rows vs actual_rows, q-error)")
+    result, text = explain_analyze(db, plan)
+    print(text)
+    print()
+    print("-- %d result rows" % result.cardinality())
+
+    banner("Answers agree in every mode")
+    print("identical results: %s" % (db.execute(optimized) == db.execute(plan)))
+
+
+if __name__ == "__main__":
+    main()

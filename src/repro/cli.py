@@ -27,8 +27,22 @@ Four small commands that make the library usable from a shell:
 ``fsck STOREDIR [--log FILE]``
     Offline integrity check of a durable store: verify every stored
     relation's segment checksums and classify the write-ahead log
-    (valid records, last checkpoint, torn tail, corruption).  Exits 1
-    when anything is damaged, 0 when the store would recover cleanly.
+    (valid records, last checkpoint, torn tail, corruption).  Also
+    audits the persisted statistics catalog, flagging stale entries
+    (mutated past their refresh threshold) and orphaned ones (stats
+    for relations no longer stored) as warnings.  Exits 1 when
+    anything is damaged, 0 when the store would recover cleanly.
+
+``analyze STOREDIR [RELATION] [--sample N] [--seed N]``
+    Collect planner statistics (row counts, distinct-value sketches,
+    histograms, MCVs -- see :mod:`repro.relational.stats`) for one or
+    all stored relations and persist them in the store's ``stats.cat``
+    so later sessions plan cost-based.
+
+``stats STOREDIR RELATION``
+    Print the persisted statistics catalog entry for one relation:
+    row count, staleness accounting, and per-attribute distinct
+    counts, null fractions, most-common values and histogram shape.
 
 ``recover STOREDIR [--log FILE] [--compact]``
     Run crash recovery: truncate a torn WAL tail, replay the commit
@@ -96,8 +110,13 @@ commands:
                          place CSVs on a simulated replicated cluster
                          and print its status
   fsck STOREDIR [--log FILE]
-                         verify segment checksums and WAL integrity
-                         (exit 1 on damage)
+                         verify segment checksums, WAL integrity and
+                         the stats catalog (exit 1 on damage)
+  analyze STOREDIR [RELATION] [--sample N] [--seed N]
+                         collect planner statistics for stored
+                         relations and persist them (stats.cat)
+  stats STOREDIR RELATION
+                         print the persisted statistics of a relation
   recover STOREDIR [--log FILE] [--compact]
                          replay the WAL onto the store and write a
                          fresh checkpoint
@@ -367,6 +386,24 @@ def _command_fsck(args: List[str]) -> int:
                 damage += 1
     else:
         print("log %s: absent" % log_path)
+    catalog = store.load_stats()
+    if catalog is not None:
+        stored = set(store.names())
+        for name in catalog.names():
+            if name not in stored:
+                print("stats %s: ORPHANED (no stored relation)" % name)
+            elif catalog.is_stale(name):
+                print(
+                    "stats %s: stale (%d mutations since analyze, "
+                    "threshold %d; re-run analyze)"
+                    % (name, catalog.mutations_since_analyze(name),
+                       catalog.stale_threshold(name))
+                )
+            else:
+                entry = catalog.get(name, allow_stale=True)
+                print("stats %s: ok (%d rows analyzed, %d mutations since)"
+                      % (name, entry.rows,
+                         catalog.mutations_since_analyze(name)))
     if damage:
         print("fsck: %d damaged item(s)" % damage)
         return 1
@@ -404,6 +441,77 @@ def _command_recover(args: List[str]) -> int:
         print("compacted: dropped %d records" % dropped)
     print("recover: %d durable records, %d torn bytes truncated"
           % (before.lsn, before.torn_bytes))
+    return 0
+
+
+def _command_analyze(args: List[str]) -> int:
+    args = list(args)
+    try:
+        sample = _pop_option(args, "--sample")
+        seed = _pop_option(args, "--seed")
+        sample = None if sample is None else int(sample)
+        seed = 0 if seed is None else int(seed)
+    except ValueError:
+        return _fail("--sample and --seed must be integers")
+    if not 1 <= len(args) <= 2:
+        return _fail("analyze takes STOREDIR and optionally one RELATION")
+    directory = args[0]
+    if not os.path.isdir(directory):
+        return _fail("%r is not a directory" % directory)
+    from repro.relational.disk import DiskRelationStore
+    from repro.relational.stats import StatsCatalog
+
+    store = DiskRelationStore(directory)
+    # Preserve entries (and mutation counters) for relations not being
+    # re-analyzed this run.
+    catalog = store.load_stats() or StatsCatalog()
+    targets = args[1:] if len(args) == 2 else list(store.names())
+    if not targets:
+        return _fail("no stored relations in %r" % directory)
+    for name in targets:
+        entry = catalog.analyze(
+            name, store.load(name), sample_rows=sample, seed=seed
+        )
+        print("analyzed %s: %d rows, %d attributes"
+              % (name, entry.rows, len(entry.attributes)))
+    store.store_stats(catalog)
+    print("stats catalog written: %d relation(s)" % len(catalog))
+    return 0
+
+
+def _command_stats(args: List[str]) -> int:
+    if len(args) != 2:
+        return _fail("stats takes STOREDIR and RELATION")
+    directory, name = args
+    if not os.path.isdir(directory):
+        return _fail("%r is not a directory" % directory)
+    from repro.relational.disk import DiskRelationStore
+
+    store = DiskRelationStore(directory)
+    catalog = store.load_stats()
+    if catalog is None:
+        return _fail("no stats catalog in %r (run analyze first)" % directory)
+    entry = catalog.get(name, allow_stale=True)
+    if entry is None:
+        return _fail("no statistics for %r (run analyze)" % name)
+    print("relation %s: %d rows analyzed" % (name, entry.rows))
+    print("mutations since analyze: %d (stale threshold %d%s)"
+          % (catalog.mutations_since_analyze(name),
+             catalog.stale_threshold(name),
+             ", STALE -- planner ignores these stats"
+             if catalog.is_stale(name) else ""))
+    for attr in sorted(entry.attributes):
+        stats = entry.attributes[attr]
+        print("  %s: distinct=%d null_fraction=%.3f buckets=%d"
+              % (attr, stats.distinct, stats.null_fraction,
+                 len(stats.histogram)))
+        if stats.mcvs:
+            shown = ", ".join(
+                "%r x%d" % (value, count)
+                for value, count in stats.mcvs[:4]
+            )
+            print("    mcvs: %s%s"
+                  % (shown, " ..." if len(stats.mcvs) > 4 else ""))
     return 0
 
 
@@ -510,6 +618,8 @@ _COMMANDS = {
     "cluster-status": _command_cluster_status,
     "fsck": _command_fsck,
     "recover": _command_recover,
+    "analyze": _command_analyze,
+    "stats": _command_stats,
     "obs-metrics": _command_obs_metrics,
     "obs-trace": _command_obs_trace,
 }

@@ -11,6 +11,10 @@ module                  contents
 ``query``               plan AST, :class:`Database`, set-at-a-time and
                         record-at-a-time executors
 ``optimizer``           composition-theorem plan rewrites
+``stats``               ANALYZE-built statistics catalog (KMV distinct
+                        sketches, equi-depth histograms, MCVs)
+``cost``                cardinality estimation, operator cost model,
+                        DP join-order enumeration
 ``storage``             :class:`SetStore` vs :class:`RecordStore`
                         (the ref [4] comparison)
 ======================  =============================================
@@ -50,6 +54,18 @@ from repro.relational.faults import (
 )
 from repro.relational.replication import ReplicaPlacement, replica_indices
 from repro.relational.optimizer import estimate_rows, optimize
+from repro.relational.cost import (
+    CardinalityEstimator,
+    explain_analyze,
+    qerror,
+    reorder_joins,
+)
+from repro.relational.stats import (
+    AttributeStats,
+    RelationStats,
+    StatsCatalog,
+    analyze_relation,
+)
 from repro.relational.query import (
     Database,
     Difference,
@@ -113,6 +129,15 @@ __all__ = [
     # optimizer
     "optimize",
     "estimate_rows",
+    # statistics & cost-based planning
+    "StatsCatalog",
+    "RelationStats",
+    "AttributeStats",
+    "analyze_relation",
+    "CardinalityEstimator",
+    "reorder_joins",
+    "explain_analyze",
+    "qerror",
     # storage
     "RecordStore",
     "SetStore",

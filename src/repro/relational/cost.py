@@ -1,0 +1,554 @@
+"""Cost-based planning: estimation, operator costs, join-order search.
+
+This is the consumer of :mod:`repro.relational.stats`: where the
+heuristic optimizer guesses with constants, the cost-based planner
+*reads the catalog*.
+
+Three layers, each usable alone:
+
+* :class:`CardinalityEstimator` -- estimated output rows for every
+  plan node.  Equality selectivity comes from MCV lists and distinct
+  counts, join selectivity from ``1 / max(distinct_left,
+  distinct_right)`` per shared attribute, and any relation without a
+  (fresh) catalog entry falls back to the exact heuristic constants in
+  :func:`repro.relational.optimizer.estimate_rows` -- so the planner
+  degrades attribute-by-attribute, never all-or-nothing.
+
+* **Operator cost formulas** (:meth:`CardinalityEstimator.cost`) --
+  one weighted-rows term per operator, calibrated against the shapes
+  the kernel benchmarks measure (``bench_join``: hash join builds
+  buckets over its *right* operand then probes with the left;
+  ``bench_kernel``: re-scoping and restriction are linear per row
+  with restriction cheaper than predicate evaluation).  The constants
+  are documented in ``docs/optimizer.md``; only their *ratios* steer
+  planning.
+
+* **Join-order enumeration** (:func:`reorder_joins`) -- bottom-up
+  dynamic programming over the join lattice (bushy trees), replacing
+  the single build-side swap.  Up to :data:`DP_MAX_RELATIONS` leaves
+  the search is exact over connected splits (cartesian splits are
+  admitted only when a lattice cell has no connected split); beyond
+  that, or when the enumeration exceeds its step budget, it degrades
+  gracefully to a greedy smallest-result-first order.  Every lattice
+  level passes a ``checkpoint("optimizer.dp")`` so an ambient
+  :class:`repro.gov.Governor` can cancel a pathological search
+  mid-enumeration.
+
+Determinism: estimates are pure functions of the catalog, ties break
+on the subset enumeration order, and nothing reads a clock -- the same
+plan and the same statistics give the same join order on every run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.gov.governor import checkpoint as _gov_checkpoint
+from repro.obs import metrics as _metrics
+from repro.obs.instrument import enabled as _obs_enabled
+from repro.relational.query import (
+    Database,
+    Difference,
+    Join,
+    Plan,
+    Project,
+    Rename,
+    Scan,
+    SelectEq,
+    SelectPred,
+    Union,
+)
+from repro.relational.stats import AttributeStats, StatsCatalog
+
+__all__ = [
+    "CardinalityEstimator",
+    "reorder_joins",
+    "explain_analyze",
+    "qerror",
+    "DP_MAX_RELATIONS",
+    "DP_STEP_BUDGET",
+]
+
+#: Largest join-leaf count searched exhaustively (bushy DP); beyond it
+#: ordering falls back to the greedy heuristic.
+DP_MAX_RELATIONS = 8
+
+#: Enumeration step budget: DP degrades to greedy past this many
+#: candidate splits, bounding planning time on adversarial lattices.
+DP_STEP_BUDGET = 4096
+
+#: Heuristic fallback selectivities (the pre-stats constants, kept
+#: bit-identical so a stats-less estimate matches
+#: :func:`repro.relational.optimizer.estimate_rows`).
+_FALLBACK_EQ_SELECTIVITY = 0.1
+_FALLBACK_PRED_SELECTIVITY = 1.0 / 3.0
+
+# ----------------------------------------------------------------------
+# Operator cost constants (weighted rows; ratios calibrated against
+# the kernel benchmark shapes -- see docs/optimizer.md).
+# ----------------------------------------------------------------------
+
+_COST_SCAN = 0.05        # a Scan returns the stored relation; near-free
+_COST_SELECT_EQ = 1.0    # kernel restriction, one pass
+_COST_SELECT_PRED = 1.6  # Python predicate per row beats restriction cost
+_COST_RESCOPE = 1.2      # project/rename rebuild every row
+_COST_JOIN_PROBE = 1.0   # per probe-side (left) row
+_COST_JOIN_BUILD = 1.5   # per build-side (right) row: bucketing costs more
+_COST_OUT_ROW = 1.0      # per produced row, any operator
+_COST_SET_MERGE = 0.6    # union/difference per input row
+
+
+def qerror(estimated: float, actual: float) -> float:
+    """The q-error ``max(est/act, act/est)``, floored at one row each.
+
+    1.0 is a perfect estimate; the factor is symmetric in over- and
+    under-estimation, which is what makes it the standard plan-quality
+    metric.
+    """
+    est = max(1.0, float(estimated))
+    act = max(1.0, float(actual))
+    return max(est / act, act / est)
+
+
+class CardinalityEstimator:
+    """Statistics-grounded row estimates (and costs) for plan nodes.
+
+    One instance memoizes per plan-node identity, so estimating a
+    whole tree is linear.  ``catalog`` defaults to the database's own
+    (:attr:`Database.stats`); pass an empty catalog to get the pure
+    heuristic numbers from the same code path.
+    """
+
+    def __init__(self, db: Database, catalog: Optional[StatsCatalog] = None):
+        self._db = db
+        self._catalog = db.stats if catalog is None else catalog
+        # Memo caches key on node identity; the node itself is stored
+        # alongside the value so the id cannot be recycled by the
+        # allocator while the cache entry lives.
+        self._rows: Dict[int, Tuple[Plan, float]] = {}
+        self._costs: Dict[int, Tuple[Plan, float]] = {}
+
+    # -- catalog access -------------------------------------------------
+
+    def has_stats(self, plan: Plan) -> bool:
+        """True when any base relation under ``plan`` has fresh stats."""
+        if isinstance(plan, Scan):
+            return self._catalog.get(plan.name) is not None
+        return any(self.has_stats(child) for child in plan.children())
+
+    def _attribute_stats(self, plan: Plan, attr: str) -> Optional[AttributeStats]:
+        """The base-relation statistics backing ``attr`` at this node."""
+        if isinstance(plan, Scan):
+            entry = self._catalog.get(plan.name)
+            return None if entry is None else entry.attribute(attr)
+        if isinstance(plan, Rename):
+            reverse = {new: old for old, new in plan.mapping.items()}
+            return self._attribute_stats(plan.child, reverse.get(attr, attr))
+        if isinstance(plan, (SelectEq, SelectPred, Project)):
+            return self._attribute_stats(plan.child, attr)
+        if isinstance(plan, (Join, Union, Difference)):
+            for side in (plan.left, plan.right):
+                if attr in self._db._heading_of(side):
+                    found = self._attribute_stats(side, attr)
+                    if found is not None:
+                        return found
+        return None
+
+    def distinct(self, plan: Plan, attr: str) -> Optional[float]:
+        """Estimated distinct values of ``attr`` in this node's output.
+
+        The base relation's distinct count, capped by the node's own
+        estimated cardinality (a 40-row intermediate cannot carry 500
+        distinct keys) and collapsed to one when an equality selection
+        below this node pins the attribute to a single literal.
+        """
+        stats = self._attribute_stats(plan, attr)
+        if stats is None or stats.distinct <= 0:
+            return None
+        if self._is_pinned(plan, attr):
+            return 1.0
+        return min(float(stats.distinct), max(1.0, self.estimate(plan)))
+
+    def _is_pinned(self, plan: Plan, attr: str) -> bool:
+        """True when a SelectEq under this node fixes ``attr``'s value."""
+        if isinstance(plan, SelectEq):
+            if attr in plan.conditions:
+                return True
+            return self._is_pinned(plan.child, attr)
+        if isinstance(plan, (SelectPred, Project)):
+            return self._is_pinned(plan.child, attr)
+        if isinstance(plan, Rename):
+            reverse = {new: old for old, new in plan.mapping.items()}
+            return self._is_pinned(plan.child, reverse.get(attr, attr))
+        if isinstance(plan, Join):
+            # The natural join equates shared attributes, so a pin on
+            # either side pins the joined column.
+            return any(
+                attr in self._db._heading_of(side)
+                and self._is_pinned(side, attr)
+                for side in (plan.left, plan.right)
+            )
+        return False
+
+    # -- cardinality ----------------------------------------------------
+
+    def estimate(self, plan: Plan) -> float:
+        key = id(plan)
+        cached = self._rows.get(key)
+        if cached is None or cached[0] is not plan:
+            cached = (plan, max(0.0, self._estimate(plan)))
+            self._rows[key] = cached
+        return cached[1]
+
+    def _estimate(self, plan: Plan) -> float:
+        if isinstance(plan, Scan):
+            entry = self._catalog.get(plan.name)
+            if entry is not None:
+                return float(entry.rows)
+            return float(self._db.relation(plan.name).cardinality())
+        if isinstance(plan, SelectEq):
+            child_rows = self.estimate(plan.child)
+            selectivity = 1.0
+            for attr, value in sorted(plan.conditions.items()):
+                stats = self._attribute_stats(plan.child, attr)
+                if stats is not None:
+                    selectivity *= stats.eq_selectivity(value)
+                else:
+                    selectivity *= _FALLBACK_EQ_SELECTIVITY
+            return max(1.0, child_rows * selectivity) if child_rows else 0.0
+        if isinstance(plan, SelectPred):
+            return max(1.0, self.estimate(plan.child) * _FALLBACK_PRED_SELECTIVITY)
+        if isinstance(plan, (Project, Rename)):
+            return self.estimate(plan.child)
+        if isinstance(plan, Join):
+            return self.join_rows(plan.left, plan.right)
+        if isinstance(plan, Union):
+            return self.estimate(plan.left) + self.estimate(plan.right)
+        if isinstance(plan, Difference):
+            return self.estimate(plan.left)
+        raise TypeError("unknown plan node %r" % (plan,))
+
+    def join_rows(self, left: Plan, right: Plan) -> float:
+        """Estimated natural-join output of two subplans.
+
+        ``|L| * |R| / prod(max(d_left(a), d_right(a)))`` over shared
+        attributes -- the containment-of-values assumption.  Any shared
+        attribute without statistics on either side drops the whole
+        estimate to the heuristic ``max(|L|, |R|)`` bound, so partial
+        catalogs never mix formulas silently.
+        """
+        left_rows = self.estimate(left)
+        right_rows = self.estimate(right)
+        shared = self._db._heading_of(left).common(self._db._heading_of(right))
+        if not shared:
+            return left_rows * right_rows  # cartesian
+        divisor = 1.0
+        for attr in shared:
+            left_distinct = self.distinct(left, attr)
+            right_distinct = self.distinct(right, attr)
+            if left_distinct is None or right_distinct is None:
+                return float(max(left_rows, right_rows))
+            divisor *= max(left_distinct, right_distinct, 1.0)
+        return max(1.0, left_rows * right_rows / divisor)
+
+    # -- cost -----------------------------------------------------------
+
+    def cost(self, plan: Plan) -> float:
+        """Total estimated cost (weighted rows) of executing ``plan``."""
+        key = id(plan)
+        cached = self._costs.get(key)
+        if cached is None or cached[0] is not plan:
+            cached = (plan, self._cost(plan))
+            self._costs[key] = cached
+        return cached[1]
+
+    def _cost(self, plan: Plan) -> float:
+        rows = self.estimate(plan)
+        if isinstance(plan, Scan):
+            return rows * _COST_SCAN
+        if isinstance(plan, SelectEq):
+            return (self.cost(plan.child)
+                    + self.estimate(plan.child) * _COST_SELECT_EQ
+                    + rows * _COST_OUT_ROW)
+        if isinstance(plan, SelectPred):
+            return (self.cost(plan.child)
+                    + self.estimate(plan.child) * _COST_SELECT_PRED
+                    + rows * _COST_OUT_ROW)
+        if isinstance(plan, (Project, Rename)):
+            return (self.cost(plan.child)
+                    + self.estimate(plan.child) * _COST_RESCOPE
+                    + rows * _COST_OUT_ROW)
+        if isinstance(plan, Join):
+            return (self.cost(plan.left) + self.cost(plan.right)
+                    + self.join_step_cost(
+                        self.estimate(plan.left),
+                        self.estimate(plan.right),
+                        rows,
+                    ))
+        if isinstance(plan, (Union, Difference)):
+            return (self.cost(plan.left) + self.cost(plan.right)
+                    + (self.estimate(plan.left) + self.estimate(plan.right))
+                    * _COST_SET_MERGE
+                    + rows * _COST_OUT_ROW)
+        raise TypeError("unknown plan node %r" % (plan,))
+
+    @staticmethod
+    def join_step_cost(left_rows: float, right_rows: float,
+                       out_rows: float) -> float:
+        """One hash join step: probe left, build right, emit out.
+
+        ``relative_product`` buckets its *second* operand, so build
+        cost lands on the right input -- which is why a cheaper plan
+        puts the smaller side right, recovering the old build-side
+        swap as a special case of cost comparison.
+        """
+        return (left_rows * _COST_JOIN_PROBE
+                + right_rows * _COST_JOIN_BUILD
+                + out_rows * _COST_OUT_ROW)
+
+
+# ----------------------------------------------------------------------
+# Join-order enumeration
+# ----------------------------------------------------------------------
+
+
+def reorder_joins(plan: Plan, db: Database,
+                  estimator: Optional[CardinalityEstimator] = None) -> Plan:
+    """Reorder every maximal join region of ``plan`` by estimated cost.
+
+    Walks the tree; each contiguous cluster of Join nodes is flattened
+    to its leaves (which are recursively reordered first) and rebuilt
+    bottom-up: exact bushy DP up to :data:`DP_MAX_RELATIONS` leaves,
+    greedy smallest-result-first beyond that or past the step budget.
+    Non-join operators are preserved in place, so selections already
+    pushed into join inputs stay exactly where the rewrite passes put
+    them.
+    """
+    if estimator is None:
+        estimator = CardinalityEstimator(db)
+    return _reorder(plan, db, estimator)
+
+
+def _reorder(plan: Plan, db: Database, est: CardinalityEstimator) -> Plan:
+    if isinstance(plan, Scan):
+        return plan
+    if isinstance(plan, Join):
+        leaves = []
+        _flatten(plan, leaves)
+        leaves = [_reorder(leaf, db, est) for leaf in leaves]
+        return _order_leaves(leaves, db, est)
+    if isinstance(plan, SelectEq):
+        return SelectEq(_reorder(plan.child, db, est), plan.conditions)
+    if isinstance(plan, SelectPred):
+        return SelectPred(
+            _reorder(plan.child, db, est), plan.predicate, plan.label
+        )
+    if isinstance(plan, Project):
+        return Project(_reorder(plan.child, db, est), plan.attrs)
+    if isinstance(plan, Rename):
+        return Rename(_reorder(plan.child, db, est), plan.mapping)
+    if isinstance(plan, Union):
+        return Union(_reorder(plan.left, db, est), _reorder(plan.right, db, est))
+    if isinstance(plan, Difference):
+        return Difference(
+            _reorder(plan.left, db, est), _reorder(plan.right, db, est)
+        )
+    raise TypeError("unknown plan node %r" % (plan,))
+
+
+def _flatten(plan: Plan, leaves: List[Plan]) -> None:
+    """Collect the non-Join leaves of a maximal Join subtree."""
+    if isinstance(plan, Join):
+        _flatten(plan.left, leaves)
+        _flatten(plan.right, leaves)
+    else:
+        leaves.append(plan)
+
+
+def _record_search(kind: str) -> None:
+    if _obs_enabled():
+        _metrics.registry().counter(
+            "repro_opt_join_search_total",
+            "Join-order searches by strategy.", ("strategy",),
+        ).inc(strategy=kind)
+
+
+def _order_leaves(leaves: List[Plan], db: Database,
+                  est: CardinalityEstimator) -> Plan:
+    if len(leaves) == 1:
+        return leaves[0]
+    if len(leaves) > DP_MAX_RELATIONS:
+        _record_search("greedy")
+        return _greedy(leaves, db, est)
+    ordered = _dp(leaves, db, est)
+    if ordered is None:
+        _record_search("greedy_budget")
+        return _greedy(leaves, db, est)
+    _record_search("dp")
+    return ordered
+
+
+def _connected(db: Database, left: Plan, right: Plan) -> bool:
+    return bool(
+        db._heading_of(left).common(db._heading_of(right))
+    )
+
+
+def _dp(leaves: List[Plan], db: Database,
+        est: CardinalityEstimator) -> Optional[Plan]:
+    """Bushy dynamic programming over the join lattice.
+
+    ``best[mask]`` holds ``(cost, plan)`` for the leaf subset encoded
+    by ``mask``.  Cells are filled level by level (subset cardinality
+    order); each level passes a governor checkpoint so a deadline or
+    budget can cancel the search mid-lattice, and the step counter
+    degrades to greedy (return ``None``) past
+    :data:`DP_STEP_BUDGET` candidate splits.
+    """
+    count = len(leaves)
+    best: Dict[int, Tuple[float, Plan]] = {}
+    for index, leaf in enumerate(leaves):
+        best[1 << index] = (est.cost(leaf), leaf)
+    steps = 0
+    # Group masks by popcount so the lattice fills strictly bottom-up.
+    by_level: Dict[int, List[int]] = {}
+    for mask in range(1, 1 << count):
+        by_level.setdefault(bin(mask).count("1"), []).append(mask)
+    for level in range(2, count + 1):
+        _gov_checkpoint("optimizer.dp")
+        for mask in by_level.get(level, ()):
+            candidates: List[Tuple[float, Plan]] = []
+            cartesian: List[Tuple[float, Plan]] = []
+            submask = (mask - 1) & mask
+            while submask:
+                rest = mask ^ submask
+                if rest and submask in best and rest in best:
+                    steps += 1
+                    if steps > DP_STEP_BUDGET:
+                        return None
+                    left_cost, left_plan = best[submask]
+                    right_cost, right_plan = best[rest]
+                    out_rows = est.join_rows(left_plan, right_plan)
+                    total = (left_cost + right_cost
+                             + est.join_step_cost(
+                                 est.estimate(left_plan),
+                                 est.estimate(right_plan),
+                                 out_rows,
+                             ))
+                    bucket = (
+                        candidates
+                        if _connected(db, left_plan, right_plan)
+                        else cartesian
+                    )
+                    bucket.append((total, Join(left_plan, right_plan)))
+                submask = (submask - 1) & mask
+            # Cartesian splits only when the cell has no connected one.
+            pool = candidates or cartesian
+            if pool:
+                best[mask] = min(pool, key=lambda item: item[0])
+    full = (1 << count) - 1
+    return best[full][1] if full in best else None
+
+
+def _greedy(leaves: List[Plan], db: Database,
+            est: CardinalityEstimator) -> Plan:
+    """Smallest-estimated-result-first pairing (connected preferred).
+
+    O(n^3) and deterministic: at each step join the pair with the
+    smallest estimated output (ties to the earliest pair in input
+    order), placing the smaller input on the build (right) side --
+    the old single-swap heuristic generalized to n relations.
+    """
+    working = list(leaves)
+    while len(working) > 1:
+        _gov_checkpoint("optimizer.dp")
+        best_pair: Optional[Tuple[int, int]] = None
+        best_rows = 0.0
+        best_connected = False
+        for i in range(len(working)):
+            for j in range(i + 1, len(working)):
+                connected = _connected(db, working[i], working[j])
+                rows = est.join_rows(working[i], working[j])
+                better = (
+                    best_pair is None
+                    or (connected and not best_connected)
+                    or (connected == best_connected and rows < best_rows)
+                )
+                if better:
+                    best_pair, best_rows = (i, j), rows
+                    best_connected = connected
+        i, j = best_pair  # type: ignore[misc]
+        left, right = working[i], working[j]
+        if est.estimate(left) < est.estimate(right):
+            left, right = right, left  # smaller side builds (right)
+        joined = Join(left, right)
+        working = [
+            node for k, node in enumerate(working) if k not in (i, j)
+        ] + [joined]
+    return working[0]
+
+
+# ----------------------------------------------------------------------
+# EXPLAIN ANALYZE
+# ----------------------------------------------------------------------
+
+
+def explain_analyze(db: Database, plan: Plan,
+                    optimized: bool = True) -> Tuple[Any, str]:
+    """Execute a plan and render per-node ``est_rows`` vs ``actual_rows``.
+
+    Returns ``(result_relation, text)``.  The text mirrors
+    ``Plan.explain()`` with one measurement suffix per line plus a
+    closing q-error summary -- the plan-quality report the E23
+    experiment records.  With ``optimized=True`` the plan goes through
+    :func:`repro.relational.optimizer.optimize` first (which consults
+    the catalog exactly as production execution would).
+    """
+    if optimized:
+        from repro.relational.optimizer import optimize
+
+        plan = optimize(plan, db)
+    est = CardinalityEstimator(db)
+    lines: List[str] = []
+    errors: List[float] = []
+    # Execute bottom-up but render top-down: collect actuals first.
+    actuals: Dict[int, int] = {}
+
+    def execute(node: Plan) -> Any:
+        inputs = [execute(child) for child in node.children()]
+        result = db.execute_node(node, inputs)
+        actuals[id(node)] = result.cardinality()
+        return result
+
+    result = execute(plan)
+
+    def render(node: Plan, indent: int) -> None:
+        estimated = est.estimate(node)
+        actual = actuals[id(node)]
+        error = qerror(estimated, actual)
+        errors.append(error)
+        lines.append(
+            "%s%-44s est_rows=%-8d actual_rows=%-8d q=%.2f"
+            % ("  " * indent, node.describe(), int(round(estimated)),
+               actual, error)
+        )
+        for child in node.children():
+            render(child, indent + 1)
+
+    render(plan, 0)
+    worst = max(errors)
+    mean = sum(errors) / len(errors)
+    lines.append(
+        "q-error: max=%.2f mean=%.2f over %d nodes (%s)"
+        % (worst, mean, len(errors),
+           "stats" if est.has_stats(plan) else "heuristic fallback")
+    )
+    if _obs_enabled():
+        registry = _metrics.registry()
+        for error in errors:
+            registry.histogram(
+                "repro_opt_qerror",
+                "Per-node q-error of executed plans.",
+                buckets=(1.0, 1.5, 2.0, 3.0, 5.0, 10.0, 100.0),
+            ).observe(error)
+    return result, "\n".join(lines)

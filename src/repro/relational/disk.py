@@ -310,11 +310,47 @@ class DiskRelationStore:
         self._cache.evict_relation(name)
 
     # ------------------------------------------------------------------
+    # Statistics catalog persistence
+    # ------------------------------------------------------------------
+
+    _STATS_FILE = "stats.cat"
+
+    def store_stats(self, catalog) -> None:
+        """Persist a :class:`~repro.relational.stats.StatsCatalog`.
+
+        One canonically-serialized file (``stats.cat``) beside the
+        relation directories, written with the same temp-file +
+        fsync + replace discipline as segments, so a crash can never
+        tear the catalog.
+        """
+        self._atomic_write(
+            os.path.join(self._directory, self._STATS_FILE),
+            dumps(catalog.to_xset()),
+        )
+
+    def load_stats(self):
+        """The persisted catalog, or ``None`` when never stored."""
+        from repro.relational.stats import StatsCatalog
+
+        path = os.path.join(self._directory, self._STATS_FILE)
+        try:
+            with open(path, "rb") as fh:
+                return StatsCatalog.from_xset(loads(fh.read()))
+        except FileNotFoundError:
+            return None
+
+    def drop_stats(self) -> None:
+        path = os.path.join(self._directory, self._STATS_FILE)
+        if os.path.exists(path):
+            os.remove(path)
+
+    # ------------------------------------------------------------------
     # Checkpoint / recovery (the WAL pairing)
     # ------------------------------------------------------------------
 
     def checkpoint(self, log: WriteAheadLog,
-                   tables: Mapping[str, Relation]) -> int:
+                   tables: Mapping[str, Relation],
+                   stats=None) -> int:
         """Snapshot every table, then append the checkpoint marker.
 
         The marker is appended only after every snapshot is atomically
@@ -322,10 +358,15 @@ class DiskRelationStore:
         store holds at least that state.  A crash mid-checkpoint
         leaves some tables at a newer snapshot than the last marker --
         which recovery's last-touch-wins replay absorbs (see
-        :mod:`repro.relational.wal`).  Returns the marker's LSN.
+        :mod:`repro.relational.wal`).  When a ``stats`` catalog is
+        given it is persisted with the snapshots (before the marker),
+        so recovered databases plan with the statistics they
+        checkpointed.  Returns the marker's LSN.
         """
         for name in sorted(tables):
             self.store(name, tables[name])
+        if stats is not None:
+            self.store_stats(stats)
         return log.checkpoint(sorted(tables))
 
     def recover(self, log: WriteAheadLog) -> Dict[str, Relation]:

@@ -337,6 +337,12 @@ class Cluster:
     * ``max_in_flight`` bounds concurrently admitted queries;
       excess work is shed with :class:`~repro.errors.OverloadedError`
       before any execution (see :mod:`repro.gov.admission`).
+    * ``stats_fanout=True`` lets gather-style reads (scan, broadcast
+      selection) visit buckets in descending per-bucket row-count
+      order -- the schedule a parallel gather would pick, so the
+      longest-running shipment starts first.  Off by default because
+      reordering changes the operation-tick sequence that the seeded
+      fault/chaos suites pin byte-for-byte.
     """
 
     def __init__(
@@ -354,6 +360,7 @@ class Cluster:
         breaker_seed: int = 0,
         max_in_flight: Optional[int] = None,
         admission_soft: Optional[int] = None,
+        stats_fanout: bool = False,
     ):
         if node_count < 1:
             raise ValueError("a cluster needs at least one node")
@@ -400,9 +407,14 @@ class Cluster:
         # span durations become pure simulated time (backoff + node
         # delays), deterministic across machines.
         self.tracer = Tracer(clock=clock, capacity=64)
+        self.stats_fanout = stats_fanout
         self._partition_attrs: Dict[str, str] = {}
         self._headings: Dict[str, Heading] = {}
         self._placements: Dict[str, ReplicaPlacement] = {}
+        # Per-table, per-bucket row counts maintained on every load and
+        # insert -- the distributed analog of the statistics catalog's
+        # row counts, feeding stats_fanout bucket ordering.
+        self._bucket_rows: Dict[str, Dict[int, int]] = {}
         self._last_context: Optional[_QueryContext] = None
         # The write log: (lsn, table, bucket, kind, rows) per bucket
         # write, kind in {"store", "merge"}.  Replayed by
@@ -575,6 +587,9 @@ class Cluster:
         for row, _ in relation.rows.pairs():
             (value,) = row.elements_at(partition_attr)
             buckets[_partition_index(value, len(self.nodes))].append(row)
+        self._bucket_rows[name] = {
+            index: len(bucket) for index, bucket in enumerate(buckets)
+        }
         for bucket_index, bucket in enumerate(buckets):
             part = Relation(relation.heading, xset(bucket))
             lsn = self._log_append(name, bucket_index, "store", part)
@@ -617,6 +632,10 @@ class Cluster:
             count += 1
         for bucket_index in sorted(buckets):
             fresh = Relation(heading, xset(buckets[bucket_index]))
+            counts = self._bucket_rows.setdefault(name, {})
+            counts[bucket_index] = (
+                counts.get(bucket_index, 0) + len(buckets[bucket_index])
+            )
             lsn = self._log_append(name, bucket_index, "merge", fresh)
             for position, node_index in enumerate(
                 placement.replicas(bucket_index)
@@ -647,6 +666,31 @@ class Cluster:
     def placement(self, name: str) -> ReplicaPlacement:
         self.partition_attr(name)
         return self._placements[name]
+
+    def bucket_stats(self, name: str) -> Dict[int, int]:
+        """Per-bucket row counts (insert-maintained upper bounds).
+
+        Loads count exactly; inserts count rows *offered* to a bucket,
+        so rows deduplicated by the merge-union make these upper
+        bounds -- good enough for ordering, never for answers.
+        """
+        self.partition_attr(name)
+        return dict(self._bucket_rows.get(name, {}))
+
+    def _bucket_order(self, name: str) -> List[int]:
+        """Gather order for this table's buckets.
+
+        Plain index order by default (the tick sequence the fault
+        suites pin); with ``stats_fanout`` enabled, descending row
+        count with index as the deterministic tie-break.
+        """
+        indices = list(range(len(self.nodes)))
+        if not self.stats_fanout:
+            return indices
+        counts = self._bucket_rows.get(name)
+        if not counts:
+            return indices
+        return sorted(indices, key=lambda index: (-counts.get(index, 0), index))
 
     def status(self) -> Dict[str, Any]:
         """A structured snapshot: nodes, tables, placement, network."""
@@ -1035,7 +1079,7 @@ class Cluster:
             gathered = Relation(heading, xset([]))
             missing: List[MissingBucket] = []
             downgraded = False
-            for bucket_index in range(len(self.nodes)):
+            for bucket_index in self._bucket_order(name):
                 downgraded |= self._check_quorum(
                     name, bucket_index, read_quorum, allow_partial
                 )
@@ -1119,7 +1163,7 @@ class Cluster:
             gathered = Relation(heading, xset([]))
             missing: List[MissingBucket] = []
             downgraded = False
-            for bucket_index in range(len(self.nodes)):
+            for bucket_index in self._bucket_order(name):
                 downgraded |= self._check_quorum(
                     name, bucket_index, read_quorum, allow_partial
                 )

@@ -18,6 +18,14 @@ to query plans with four rewrite families:
 4. **Join input ordering** -- the smaller estimated side becomes the
    build side of the hash-join relative product.
 
+When the database carries a populated statistics catalog
+(:attr:`Database.stats`, see :mod:`repro.relational.stats`), a fifth
+stage runs after the fixed point: cost-based join-order enumeration
+from :mod:`repro.relational.cost` replaces the single build-side swap
+with a dynamic-programming search over the whole join lattice.  With
+no (fresh) statistics the stage is skipped entirely and the output is
+byte-identical to the heuristic pipeline.
+
 Rewrites preserve results exactly (asserted in the tests: optimized
 and unoptimized plans agree on every generated workload).
 """
@@ -27,6 +35,8 @@ from __future__ import annotations
 from typing import Dict, Mapping
 
 from repro.gov.governor import checkpoint as _gov_checkpoint
+from repro.obs import metrics as _metrics
+from repro.obs.instrument import enabled as _obs_enabled
 from repro.relational.query import (
     Database,
     Difference,
@@ -54,7 +64,39 @@ def optimize(plan: Plan, db: Database) -> Plan:
         _gov_checkpoint("optimizer.pass")
         previous = current
         current = _rewrite(current, db)
-    return current
+    return _maybe_cost_reorder(current, db)
+
+
+def _maybe_cost_reorder(plan: Plan, db: Database) -> Plan:
+    """Cost-based join ordering, applied only when statistics exist.
+
+    The guard is deliberately strict: an empty or entirely-stale
+    catalog leaves the heuristic plan untouched (byte-identical), so
+    databases that never ran ANALYZE behave exactly as before.
+    """
+    catalog = getattr(db, "stats", None)
+    if catalog is None or not catalog.names():
+        _record_plan_mode("heuristic")
+        return plan
+    # Imported lazily: cost imports this module's sibling query types
+    # and would otherwise create an import cycle at load time.
+    from repro.relational.cost import CardinalityEstimator, reorder_joins
+
+    estimator = CardinalityEstimator(db)
+    if not estimator.has_stats(plan):
+        _record_plan_mode("heuristic")
+        return plan
+    reordered = reorder_joins(plan, db, estimator)
+    _record_plan_mode("cost")
+    return reordered
+
+
+def _record_plan_mode(mode: str) -> None:
+    if _obs_enabled():
+        _metrics.registry().counter(
+            "repro_opt_plans_total",
+            "Optimized plans by planning mode.", ("mode",),
+        ).inc(mode=mode)
 
 
 def estimate_rows(plan: Plan, db: Database) -> int:
@@ -95,7 +137,9 @@ def _rewrite(plan: Plan, db: Database) -> Plan:
     if isinstance(plan, SelectEq):
         return _rewrite_select(SelectEq(_rewrite(plan.child, db), plan.conditions), db)
     if isinstance(plan, SelectPred):
-        return SelectPred(_rewrite(plan.child, db), plan.predicate, plan.label)
+        return _rewrite_select_pred(
+            SelectPred(_rewrite(plan.child, db), plan.predicate, plan.label)
+        )
     if isinstance(plan, Project):
         return _rewrite_project(Project(_rewrite(plan.child, db), plan.attrs))
     if isinstance(plan, Rename):
@@ -142,21 +186,79 @@ def _rewrite_select(plan: SelectEq, db: Database) -> Plan:
             _rewrite_select(SelectEq(child.child, translated), db),
             child.mapping,
         )
-    # Push into the side of a join that owns all condition attributes.
+    # Push into every join side that owns condition attributes.  An
+    # attribute appearing in *both* headings filters both inputs: the
+    # natural join equates shared attributes, so the condition holds on
+    # each side independently and both relative-product inputs shrink.
     if isinstance(child, Join):
-        left_heading = _heading(child.left, db)
-        right_heading = _heading(child.right, db)
+        left_names = set(_heading(child.left, db).names)
+        right_names = set(_heading(child.right, db).names)
         attrs = set(plan.conditions)
-        if attrs <= set(left_heading.names):
-            return Join(
-                _rewrite_select(SelectEq(child.left, plan.conditions), db),
-                child.right,
+        if attrs <= left_names | right_names:
+            left_conditions = {
+                attr: value
+                for attr, value in plan.conditions.items()
+                if attr in left_names
+            }
+            right_conditions = {
+                attr: value
+                for attr, value in plan.conditions.items()
+                if attr in right_names
+            }
+            new_left = child.left
+            if left_conditions:
+                new_left = _rewrite_select(
+                    SelectEq(child.left, left_conditions), db
+                )
+            new_right = child.right
+            if right_conditions:
+                new_right = _rewrite_select(
+                    SelectEq(child.right, right_conditions), db
+                )
+            return Join(new_left, new_right)
+    return plan
+
+
+def _rewrite_select_pred(plan: SelectPred) -> Plan:
+    """Push an opaque-predicate selection below re-scoping stages.
+
+    The predicate sees exactly the row it would have seen above the
+    stage: below a Project the full row is narrowed back to the
+    projected attributes before the original predicate runs, and below
+    a Rename the pre-rename row is translated through the scope map.
+    Either way the predicate itself is never inspected -- only the row
+    it is handed changes shape -- so the rewrite is safe for arbitrary
+    Python callables.
+    """
+    child = plan.child
+    if isinstance(child, Project):
+        attrs = child.attrs
+        predicate = plan.predicate
+
+        def narrowed(row, _predicate=predicate, _attrs=attrs):
+            return _predicate({name: row[name] for name in _attrs})
+
+        return Project(
+            _rewrite_select_pred(
+                SelectPred(child.child, narrowed, plan.label)
+            ),
+            child.attrs,
+        )
+    if isinstance(child, Rename):
+        mapping = child.mapping
+        predicate = plan.predicate
+
+        def translated(row, _predicate=predicate, _mapping=mapping):
+            return _predicate(
+                {_mapping.get(name, name): value for name, value in row.items()}
             )
-        if attrs <= set(right_heading.names):
-            return Join(
-                child.left,
-                _rewrite_select(SelectEq(child.right, plan.conditions), db),
-            )
+
+        return Rename(
+            _rewrite_select_pred(
+                SelectPred(child.child, translated, plan.label)
+            ),
+            child.mapping,
+        )
     return plan
 
 

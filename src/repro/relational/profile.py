@@ -53,23 +53,29 @@ class NodeProfile:
       distinct rows.
     """
 
-    __slots__ = ("describe", "rows", "seconds", "children")
+    __slots__ = ("describe", "rows", "seconds", "children", "est_rows")
 
     def __init__(self, describe: str, rows: int, seconds: float,
-                 children: List["NodeProfile"]):
+                 children: List["NodeProfile"],
+                 est_rows: Optional[int] = None):
         self.describe = describe
         self.rows = rows
         self.seconds = seconds
         self.children = children
+        #: Planner estimate for this operator's output, when the span
+        #: was recorded against a database with statistics (else None).
+        self.est_rows = est_rows
 
     @classmethod
     def from_span(cls, span: Span) -> "NodeProfile":
         """Build the profile view over a finished span tree."""
+        est = span.attrs.get("est_rows")
         return cls(
             span.name,
             int(span.attrs.get("rows", 0)),
             span.duration_s,
             [cls.from_span(child) for child in span.children],
+            est_rows=int(est) if est is not None else None,
         )
 
     def total_rows(self) -> int:
@@ -96,9 +102,11 @@ class NodeProfile:
         )
 
     def render(self, indent: int = 0) -> str:
+        suffix = "" if self.est_rows is None else "  (est %d)" % self.est_rows
         lines = [
-            "%s%-40s %6d rows  %8.3f ms"
-            % ("  " * indent, self.describe, self.rows, self.seconds * 1000)
+            "%s%-40s %6d rows  %8.3f ms%s"
+            % ("  " * indent, self.describe, self.rows,
+               self.seconds * 1000, suffix)
         ]
         for child in self.children:
             lines.append(child.render(indent + 1))
@@ -124,6 +132,19 @@ def execute_spanned(
     active_tracer = global_tracer() if tracer is None else tracer
     recording = instrument.enabled()
     registry = metrics.registry() if recording else None
+    # When the database carries a populated statistics catalog, every
+    # span additionally records the planner's estimate next to the
+    # measured cardinality (``est_rows`` / ``q_error`` attributes, plus
+    # the ``repro_opt_qerror`` histogram) -- EXPLAIN ANALYZE data on
+    # the production path.  ``_stats`` is read without triggering the
+    # lazy catalog creation, so stats-less databases pay nothing.
+    estimator = None
+    catalog = getattr(db, "_stats", None)
+    if catalog is not None and len(catalog):
+        from repro.relational.cost import CardinalityEstimator
+
+        estimator = CardinalityEstimator(db)
+
     root_holder: List[Span] = []
 
     def walk(node: Plan) -> Relation:
@@ -138,6 +159,19 @@ def execute_spanned(
             result = db.execute_node(node, inputs)
             rows = result.cardinality()
             span.set("rows", rows)
+            if estimator is not None:
+                from repro.relational.cost import qerror
+
+                estimated = estimator.estimate(node)
+                error = qerror(estimated, rows)
+                span.set("est_rows", int(round(estimated)))
+                span.set("q_error", round(error, 4))
+                if registry is not None:
+                    registry.histogram(
+                        "repro_opt_qerror",
+                        "Per-node q-error of executed plans.",
+                        buckets=(1.0, 1.5, 2.0, 3.0, 5.0, 10.0, 100.0),
+                    ).observe(error)
             if registry is not None:
                 node_name = type(node).__name__
                 registry.counter(

@@ -193,6 +193,7 @@ class Database:
 
     def __init__(self, relations: Optional[Mapping[str, Relation]] = None):
         self._relations: Dict[str, Relation] = dict(relations or {})
+        self._stats = None
 
     def add(self, name: str, relation: Relation) -> None:
         self._relations[name] = relation
@@ -205,6 +206,43 @@ class Database:
 
     def names(self) -> List[str]:
         return sorted(self._relations)
+
+    # ------------------------------------------------------------------
+    # Statistics catalog
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self):
+        """The attached :class:`~repro.relational.stats.StatsCatalog`.
+
+        Created lazily on first access so plain databases pay nothing;
+        an empty catalog leaves the optimizer on its heuristic path.
+        """
+        if self._stats is None:
+            from repro.relational.stats import StatsCatalog
+
+            self._stats = StatsCatalog()
+        return self._stats
+
+    def analyze(
+        self,
+        names: Optional[Sequence[str]] = None,
+        sample_rows: Optional[int] = None,
+        seed: int = 0,
+    ):
+        """Collect statistics for ``names`` (default: every relation).
+
+        Returns the list of relation names analyzed, in catalog order.
+        Deterministic for a fixed ``seed``: no wall clock is read and
+        sampling (when ``sample_rows`` bounds the scan) uses a seeded
+        generator per the workload-seed convention.
+        """
+        targets = list(names) if names is not None else self.names()
+        for name in targets:
+            self.stats.analyze(
+                name, self.relation(name), sample_rows=sample_rows, seed=seed
+            )
+        return targets
 
     # ------------------------------------------------------------------
     # Set-at-a-time execution (Extended Set Processing)

@@ -8,13 +8,15 @@ runs under both executors and through the optimizer unchanged.
 
 Grammar::
 
-    query   :=  SELECT columns FROM source (JOIN source)*
+    query   :=  select | analyze
+    select  :=  SELECT columns FROM source (JOIN source)*
                 [WHERE condition (AND condition)*]
                 [GROUP BY names]
                 [ORDER BY name [ASC | DESC]]
                 [LIMIT number]
                 [TIMEOUT seconds]
                 [BUDGET rows]
+    analyze :=  ANALYZE [relation_name]
     columns :=  '*' | column (',' column)*
     column  :=  name | name AS name | agg '(' name ')' AS name
     agg     :=  COUNT | SUM | AVG | MIN | MAX
@@ -24,6 +26,11 @@ Grammar::
 Restrictions (on purpose): joins are natural joins; aggregates require
 GROUP BY; literals are integers, floats and quoted strings.  Keywords
 are case-insensitive; names are case-sensitive.
+
+``ANALYZE`` collects planner statistics (see
+:mod:`repro.relational.stats`) for one relation, or for every relation
+when no name is given, and returns a one-row-per-relation summary of
+the refreshed catalog.
 
 ``TIMEOUT``/``BUDGET`` are the per-query resource-governance clauses:
 execution runs inside a :func:`repro.gov.governed` scope with the
@@ -80,7 +87,7 @@ _TOKEN = re.compile(
 _KEYWORDS = {
     "select", "from", "join", "where", "and", "group", "by", "as",
     "count", "sum", "avg", "min", "max", "order", "asc", "desc", "limit",
-    "timeout", "budget",
+    "timeout", "budget", "analyze",
 }
 
 _AGGREGATES = {"count", "sum", "avg", "min", "max"}
@@ -315,8 +322,38 @@ def compile_query(query: Query) -> Plan:
     return plan
 
 
+def _maybe_run_analyze(db: Database, text: str) -> Optional[Relation]:
+    """Handle an ANALYZE statement; ``None`` when ``text`` is a SELECT."""
+    stream = _tokenize(text)
+    if not stream or stream[0] != ("kw", "analyze"):
+        return None
+    if len(stream) == 1:
+        targets = None
+    elif len(stream) == 2 and stream[1][0] == "name":
+        targets = [stream[1][1]]
+    else:
+        raise NotationError("XQL: ANALYZE takes at most one relation name")
+    analyzed = db.analyze(targets)
+    from repro.relational.schema import Heading
+
+    rows = []
+    for name in analyzed:
+        entry = db.stats.get(name, allow_stale=True)
+        rows.append({
+            "relation": name,
+            "rows": entry.rows,
+            "attributes": len(entry.attributes),
+        })
+    return Relation.from_dicts(
+        Heading(["relation", "rows", "attributes"]), rows
+    )
+
+
 def run(db: Database, text: str, optimized: bool = True) -> Relation:
     """Parse, compile, (optionally) optimize and execute an XQL query."""
+    analyzed = _maybe_run_analyze(db, text)
+    if analyzed is not None:
+        return analyzed
     query = parse_query(text)
     if query.timeout_s is not None or query.budget_rows is not None:
         # TIMEOUT/BUDGET clauses execute the query under a governor so
@@ -380,6 +417,9 @@ def run_rows(
     (including LIMIT).  Without ORDER BY the canonical row order is
     used, which is deterministic but not meaningful.
     """
+    analyzed = _maybe_run_analyze(db, text)
+    if analyzed is not None:
+        return list(analyzed.iter_dicts())
     query = parse_query(text)
     relation = run(db, text, optimized=optimized)
     rows = _ordered_rows(relation, query)

@@ -31,6 +31,13 @@ relation values -- *before* the transaction is considered committed.
 A failed append rolls the tables back, so the in-memory state never
 runs ahead of the durable log; a crash mid-append leaves a torn tail
 that recovery truncates (the transaction never happened).
+
+Statistics: pass ``stats=`` a
+:class:`~repro.relational.stats.StatsCatalog` and every committed
+insert/delete is counted against the affected relation's catalog
+entry -- the same diff that feeds the WAL record feeds staleness
+accounting, so a relation churned past its threshold silently drops
+off the cost-based planner until the next ANALYZE.
 """
 
 from __future__ import annotations
@@ -50,13 +57,15 @@ class TransactionManager:
     """Groups mutations on several tables into atomic, loggable units."""
 
     def __init__(self, tables: Mapping[str, Table],
-                 log: Optional[WriteAheadLog] = None):
+                 log: Optional[WriteAheadLog] = None,
+                 stats=None):
         if not tables:
             raise SchemaError("a transaction manager needs at least one table")
         self._tables: Dict[str, Table] = dict(tables)
         self._savepoints: List[Dict[str, object]] = []
         self._deferred_depth = 0
         self._log = log
+        self._stats = stats
         self._commits = 0
 
     @property
@@ -66,6 +75,11 @@ class TransactionManager:
     @property
     def log(self) -> Optional[WriteAheadLog]:
         return self._log
+
+    @property
+    def stats(self):
+        """The attached statistics catalog, if any."""
+        return self._stats
 
     @property
     def commits(self) -> int:
@@ -174,4 +188,12 @@ class TransactionManager:
             return
         if self._log is not None:
             self._log.commit(self._commits + 1, changes)
+        if self._stats is not None:
+            # The durable diff doubles as staleness accounting: each
+            # inserted or deleted row counts one mutation against the
+            # relation's catalog entry.
+            for name, (_, inserted, deleted) in changes.items():
+                self._stats.record_mutations(
+                    name, len(inserted) + len(deleted)
+                )
         self._commits += 1

@@ -61,7 +61,7 @@ from repro.xst.builders import (
 )
 from repro.xst.domain import component_domain, domain_1, domain_2, sigma_domain
 from repro.xst.image import cst_image, image
-from repro.xst.ordering import canonical_key
+from repro.xst.ordering import canonical_hash, canonical_key
 from repro.xst.products import cartesian, cross, nfold_cartesian, tag
 from repro.xst.relative_product import (
     cst_relative_product,
@@ -93,6 +93,7 @@ __all__ = [
     "EMPTY",
     "render",
     "canonical_key",
+    "canonical_hash",
     # builders
     "xset",
     "xtuple",

@@ -207,3 +207,43 @@ class TestNetworkStats:
         assert "messages" in repr(cluster.network)
         assert "node-0" in repr(cluster.nodes[0])
         assert "Cluster" in repr(cluster)
+
+
+class TestStatsFanout:
+    def test_bucket_stats_track_insert_upper_bounds(self, cluster):
+        counts = cluster.bucket_stats("emp")
+        assert sum(counts.values()) >= 160
+        assert set(counts) == set(range(4))
+
+    def test_fanout_disabled_by_default_preserves_order(self, cluster):
+        assert cluster._bucket_order("emp") == [0, 1, 2, 3]
+
+    def test_fanout_orders_largest_bucket_first(self, employees, departments):
+        cluster = Cluster(4, stats_fanout=True)
+        cluster.create_table("emp", employees, "dept")
+        order = cluster._bucket_order("emp")
+        counts = cluster.bucket_stats("emp")
+        assert sorted(order) == [0, 1, 2, 3]
+        assert [counts[i] for i in order] == sorted(
+            counts.values(), reverse=True
+        )
+
+    def test_fanout_scan_answers_identically(self, employees, departments):
+        plain = Cluster(4)
+        reordered = Cluster(4, stats_fanout=True)
+        for target in (plain, reordered):
+            target.create_table("emp", employees, "dept")
+        assert reordered.scan("emp") == plain.scan("emp")
+
+    def test_fanout_select_eq_answers_identically(self, employees):
+        plain = Cluster(4)
+        reordered = Cluster(4, stats_fanout=True)
+        for target in (plain, reordered):
+            target.create_table("emp", employees, "dept")
+        # dept routes to one bucket; salary broadcasts (the reordered
+        # path), and both must agree with the natural-order cluster.
+        assert reordered.select_eq("emp", {"dept": 3}) == plain.select_eq(
+            "emp", {"dept": 3}
+        )
+        assert reordered.select_eq("emp", {"salary": 50000}) == \
+            plain.select_eq("emp", {"salary": 50000})

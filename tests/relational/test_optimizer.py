@@ -85,13 +85,64 @@ class TestSelectionRewrites:
         lines = optimized.explain().splitlines()
         assert lines[0] == "Join"
 
-    def test_join_key_select_stays_above(self, db):
-        # 'dept' lives on both sides; pushing to one side only would be
-        # wrong... it is pushed to whichever side owns it fully (left
-        # heading includes dept), which is still correct for natural
-        # join because the key is equated anyway.
+    def test_join_key_select_pushes_into_both_sides(self, db):
+        # 'dept' lives on both sides of the join; the natural join
+        # equates it, so the condition filters BOTH inputs before the
+        # relative product runs.
         plan = SelectEq(Join(Scan("emp"), Scan("dept")), {"dept": 2})
         optimized = optimize(plan, db)
+        text = optimized.explain()
+        assert text.splitlines()[0] == "Join"
+        assert text.count("SelectEq(dept=2)") == 2
+        assert db.execute(optimized) == db.execute(plan)
+
+    def test_mixed_side_conditions_split_across_join(self, db):
+        # salary is emp-only, budget is dept-only: each side gets its
+        # own selection and nothing remains above the join.
+        plan = SelectEq(
+            Join(Scan("emp"), Scan("dept")), {"salary": 50000, "budget": 100}
+        )
+        optimized = optimize(plan, db)
+        text = optimized.explain()
+        assert text.splitlines()[0] == "Join"
+        assert "salary=50000" in text and "budget=100" in text
+        assert db.execute(optimized) == db.execute(plan)
+
+    def test_select_pred_pushes_below_project(self, db):
+        plan = SelectPred(
+            Project(Scan("emp"), ["name", "dept"]),
+            lambda row: row["dept"] == 2,
+            label="dept is 2",
+        )
+        optimized = optimize(plan, db)
+        lines = optimized.explain().splitlines()
+        assert lines[0].startswith("Project")
+        assert lines[1].strip().startswith("SelectPred")
+        assert db.execute(optimized) == db.execute(plan)
+
+    def test_select_pred_below_project_sees_narrowed_rows_only(self, db):
+        # The predicate inspects the whole row dict it is handed; after
+        # pushdown it must still see exactly the projected attributes,
+        # not the wider pre-projection row.
+        plan = SelectPred(
+            Project(Scan("emp"), ["name", "dept"]),
+            lambda row: set(row) == {"name", "dept"} and row["dept"] == 1,
+            label="narrowed",
+        )
+        optimized = optimize(plan, db)
+        assert db.execute(optimized) == db.execute(plan)
+        assert db.execute(optimized).cardinality() > 0
+
+    def test_select_pred_pushes_below_rename_with_translation(self, db):
+        plan = SelectPred(
+            Rename(Scan("emp"), {"dept": "division"}),
+            lambda row: row["division"] == 3,
+            label="division is 3",
+        )
+        optimized = optimize(plan, db)
+        lines = optimized.explain().splitlines()
+        assert lines[0].startswith("Rename")
+        assert lines[1].strip().startswith("SelectPred")
         assert db.execute(optimized) == db.execute(plan)
 
 

@@ -199,3 +199,34 @@ class TestProfileCluster:
         assert result.cardinality() == 1
         assert profile.children == []
         assert profile.rows == 1
+
+
+class TestEstimateAnnotations:
+    @staticmethod
+    def _analyzed_db():
+        database = Database()
+        database.add("emp", employee_relation(50, 5, seed=17))
+        database.add("dept", department_relation(5, seed=17))
+        database.analyze()
+        return database
+
+    def test_stats_db_annotates_est_rows(self):
+        db = self._analyzed_db()
+        plan = SelectEq(Join(Scan("emp"), Scan("dept")), {"dept": 1})
+        result, profile = execute_profiled(db, plan)
+        assert result == db.execute(plan)
+        assert profile.est_rows is not None
+        assert "(est " in profile.render()
+
+    def test_spans_carry_q_error(self):
+        from repro.relational.profile import execute_spanned
+
+        db = self._analyzed_db()
+        _, root = execute_spanned(db, Join(Scan("emp"), Scan("dept")))
+        assert root.attrs.get("est_rows") is not None
+        assert root.attrs.get("q_error") >= 1.0
+
+    def test_stats_less_db_stays_unannotated(self, db):
+        _, profile = execute_profiled(db, Scan("emp"))
+        assert profile.est_rows is None
+        assert "(est " not in profile.render()

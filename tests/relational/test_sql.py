@@ -285,3 +285,45 @@ class TestTimeoutAndBudget:
 
         run(db, "SELECT * FROM emp TIMEOUT 60")
         assert active() is None
+
+
+class TestAnalyzeStatement:
+    @staticmethod
+    def _db():
+        database = Database()
+        database.add("emp", employee_relation(40, 6, seed=11))
+        database.add("dept", department_relation(6, seed=11))
+        return database
+
+    def test_analyze_all_returns_summary_relation(self):
+        from repro.relational.sql import run_rows
+
+        db = self._db()
+        result = run(db, "ANALYZE")
+        assert sorted(result.heading.names) == [
+            "attributes", "relation", "rows"
+        ]
+        summary = {
+            row["relation"]: row["rows"]
+            for row in run_rows(self._db(), "ANALYZE")
+        }
+        assert summary == {"emp": 40, "dept": 6}
+
+    def test_analyze_populates_the_planner_catalog(self):
+        db = self._db()
+        run(db, "ANALYZE emp")
+        assert db.stats.names() == ["emp"]
+        assert db.stats.get("emp").rows == 40
+
+    def test_analyze_is_case_insensitive(self):
+        db = self._db()
+        assert run(db, "analyze DEPT".replace("DEPT", "dept")) is not None
+        assert db.stats.names() == ["dept"]
+
+    def test_analyze_unknown_relation_fails(self):
+        with pytest.raises(SchemaError):
+            run(self._db(), "ANALYZE ghost")
+
+    def test_analyze_two_names_rejected(self):
+        with pytest.raises(NotationError):
+            run(self._db(), "ANALYZE emp dept")

@@ -1,0 +1,269 @@
+"""Statistics catalog: ANALYZE determinism, selectivity, staleness."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.constraints import Table
+from repro.relational.disk import DiskRelationStore
+from repro.relational.query import Database
+from repro.relational.relation import Relation
+from repro.relational.stats import (
+    KMV_SIZE,
+    MCV_SIZE,
+    STALE_MIN_MUTATIONS,
+    StatsCatalog,
+    analyze_relation,
+)
+from repro.relational.tx import TransactionManager
+from repro.relational.wal import WriteAheadLog
+from repro.workloads.generators import department_relation, employee_relation
+
+
+def int_relation(values, attr="v"):
+    # Relations are sets; the id column keeps duplicate values as
+    # distinct rows so frequencies survive.
+    return Relation.from_dicts(
+        ["id", attr],
+        [{"id": index, attr: value} for index, value in enumerate(values)],
+    )
+
+
+class TestAnalyzeRelation:
+    def test_row_count_is_exact(self):
+        stats = analyze_relation(employee_relation(60, 8, seed=5))
+        assert stats.rows == 60
+
+    def test_small_distinct_counts_are_exact(self):
+        # Below the sketch size the KMV synopsis sees every hash.
+        stats = analyze_relation(int_relation(range(40)))
+        assert stats.attribute("v").distinct == 40
+
+    def test_kmv_estimate_is_close_for_large_domains(self):
+        stats = analyze_relation(int_relation(range(5000)))
+        distinct = stats.attribute("v").distinct
+        assert distinct > KMV_SIZE  # estimated, not truncated at k
+        assert 0.6 * 5000 <= distinct <= 1.4 * 5000
+
+    def test_null_fraction(self):
+        stats = analyze_relation(int_relation([1, 2, None, None]))
+        assert stats.attribute("v").null_fraction == pytest.approx(0.5)
+
+    def test_mcvs_rank_most_frequent_first(self):
+        stats = analyze_relation(int_relation([7] * 10 + [3] * 5 + [1]))
+        mcvs = stats.attribute("v").mcvs
+        assert mcvs[0] == (7, 10)
+        assert mcvs[1] == (3, 5)
+        assert len(mcvs) <= MCV_SIZE
+
+    def test_histogram_buckets_cover_value_range(self):
+        stats = analyze_relation(int_relation(range(80)))
+        histogram = stats.attribute("v").histogram
+        assert histogram[0][0] == 0
+        assert histogram[-1][1] == 79
+        assert sum(count for _, _, count in histogram) == 80
+
+    def test_analyze_is_deterministic(self):
+        relation = employee_relation(200, 16, seed=9, skew=1.2)
+        first = analyze_relation(relation)
+        second = analyze_relation(relation)
+        assert first.to_xset() == second.to_xset()
+
+    def test_sampled_analyze_is_deterministic_for_fixed_seed(self):
+        relation = employee_relation(300, 16, seed=3)
+        first = analyze_relation(relation, sample_rows=50, seed=42)
+        second = analyze_relation(relation, sample_rows=50, seed=42)
+        assert first.to_xset() == second.to_xset()
+
+    def test_sampled_analyze_differs_across_seeds(self):
+        relation = employee_relation(300, 16, seed=3)
+        first = analyze_relation(relation, sample_rows=50, seed=1)
+        second = analyze_relation(relation, sample_rows=50, seed=2)
+        assert first.rows == second.rows == 300
+        assert first.to_xset() != second.to_xset()
+
+    def test_sampled_key_attribute_extrapolates(self):
+        # 'emp' is unique per row; a 50-row sample should scale its
+        # distinct estimate toward the full row count, not report 50.
+        relation = employee_relation(400, 8, seed=3)
+        stats = analyze_relation(relation, sample_rows=50, seed=0)
+        assert stats.attribute("emp").distinct >= 300
+
+    def test_sampled_label_attribute_does_not_extrapolate(self):
+        # 'dept' has 8 values; the sample has (almost) seen them all,
+        # so scaling by the sample ratio would be wildly wrong.
+        relation = employee_relation(400, 8, seed=3)
+        stats = analyze_relation(relation, sample_rows=50, seed=0)
+        assert stats.attribute("dept").distinct <= 16
+
+
+class TestSelectivity:
+    def test_eq_selectivity_mcv_hit_is_exact(self):
+        stats = analyze_relation(int_relation([7] * 30 + list(range(100, 170))))
+        attr = stats.attribute("v")
+        assert attr.eq_selectivity(7) == pytest.approx(30 / 100)
+
+    def test_eq_selectivity_miss_spreads_remaining_mass(self):
+        stats = analyze_relation(int_relation(range(100)))
+        attr = stats.attribute("v")
+        assert attr.eq_selectivity(55) == pytest.approx(1 / 100, rel=0.25)
+
+    def test_eq_selectivity_none_is_null_fraction(self):
+        stats = analyze_relation(int_relation([1, None, None, None]))
+        assert stats.attribute("v").eq_selectivity(None) == pytest.approx(0.75)
+
+    def test_eq_selectivity_never_zero(self):
+        stats = analyze_relation(int_relation([1, 2, 3]))
+        assert stats.attribute("v").eq_selectivity(999) > 0.0
+
+    def test_range_selectivity_full_range_is_one(self):
+        stats = analyze_relation(int_relation(range(64)))
+        assert stats.attribute("v").range_selectivity(0, 63) == pytest.approx(1.0)
+
+    def test_range_selectivity_narrow_range_is_small(self):
+        stats = analyze_relation(int_relation(range(64)))
+        assert stats.attribute("v").range_selectivity(0, 7) <= 0.3
+
+
+class TestStatsCatalog:
+    def test_get_returns_installed_entry(self):
+        catalog = StatsCatalog()
+        catalog.analyze("emp", employee_relation(60, 8, seed=5))
+        entry = catalog.get("emp")
+        assert entry is not None and entry.rows == 60
+        assert "emp" in catalog
+        assert catalog.names() == ["emp"]
+
+    def test_get_unknown_is_none(self):
+        assert StatsCatalog().get("ghost") is None
+
+    def test_entry_goes_stale_past_threshold(self):
+        catalog = StatsCatalog()
+        catalog.analyze("emp", employee_relation(60, 8, seed=5))
+        threshold = catalog.stale_threshold("emp")
+        assert threshold == STALE_MIN_MUTATIONS  # 20% of 60 < floor
+        catalog.record_mutations("emp", threshold)
+        assert catalog.get("emp") is not None  # at, not past
+        catalog.record_mutations("emp", 1)
+        assert catalog.get("emp") is None
+        assert catalog.get("emp", allow_stale=True) is not None
+        assert catalog.stale_names() == ["emp"]
+
+    def test_reanalyze_resets_mutation_counter(self):
+        catalog = StatsCatalog()
+        relation = employee_relation(60, 8, seed=5)
+        catalog.analyze("emp", relation)
+        catalog.record_mutations("emp", 100)
+        assert catalog.is_stale("emp")
+        catalog.analyze("emp", relation)
+        assert not catalog.is_stale("emp")
+        assert catalog.mutations_since_analyze("emp") == 0
+
+    def test_mutations_for_untracked_relation_are_ignored(self):
+        catalog = StatsCatalog()
+        catalog.record_mutations("ghost", 50)
+        assert catalog.mutations_since_analyze("ghost") == 0
+
+    def test_negative_mutations_rejected(self):
+        with pytest.raises(SchemaError):
+            StatsCatalog().record_mutations("emp", -1)
+
+    def test_xset_roundtrip_preserves_entries_and_counters(self):
+        catalog = StatsCatalog()
+        catalog.analyze("emp", employee_relation(60, 8, seed=5))
+        catalog.analyze("dept", department_relation(8, seed=5))
+        catalog.record_mutations("emp", 7)
+        restored = StatsCatalog.from_xset(catalog.to_xset())
+        assert restored.names() == ["dept", "emp"]
+        assert restored.mutations_since_analyze("emp") == 7
+        assert restored.to_xset() == catalog.to_xset()
+
+    def test_drop_removes_entry(self):
+        catalog = StatsCatalog()
+        catalog.analyze("emp", employee_relation(10, 2, seed=1))
+        catalog.drop("emp")
+        assert "emp" not in catalog
+        assert len(catalog) == 0
+
+
+class TestDatabaseAnalyze:
+    def test_analyze_populates_lazy_catalog(self):
+        db = Database()
+        db.add("emp", employee_relation(60, 8, seed=5))
+        db.add("dept", department_relation(8, seed=5))
+        analyzed = db.analyze()
+        assert sorted(analyzed) == ["dept", "emp"]
+        assert db.stats.get("emp").rows == 60
+
+    def test_analyze_named_subset(self):
+        db = Database()
+        db.add("emp", employee_relation(60, 8, seed=5))
+        db.add("dept", department_relation(8, seed=5))
+        db.analyze(["dept"])
+        assert db.stats.names() == ["dept"]
+
+
+class TestDiskPersistence:
+    def test_store_and_load_stats_roundtrip(self, tmp_path):
+        store = DiskRelationStore(str(tmp_path))
+        catalog = StatsCatalog()
+        catalog.analyze("emp", employee_relation(60, 8, seed=5))
+        catalog.record_mutations("emp", 3)
+        store.store_stats(catalog)
+        restored = store.load_stats()
+        assert restored.names() == ["emp"]
+        assert restored.mutations_since_analyze("emp") == 3
+        assert restored.to_xset() == catalog.to_xset()
+
+    def test_load_stats_missing_returns_none(self, tmp_path):
+        assert DiskRelationStore(str(tmp_path)).load_stats() is None
+
+    def test_drop_stats(self, tmp_path):
+        store = DiskRelationStore(str(tmp_path))
+        catalog = StatsCatalog()
+        catalog.analyze("emp", employee_relation(10, 2, seed=1))
+        store.store_stats(catalog)
+        store.drop_stats()
+        assert store.load_stats() is None
+
+    def test_checkpoint_persists_stats_alongside_tables(self, tmp_path):
+        store = DiskRelationStore(str(tmp_path / "store"))
+        log = WriteAheadLog(str(tmp_path / "wal"))
+        relation = employee_relation(30, 4, seed=2)
+        catalog = StatsCatalog()
+        catalog.analyze("emp", relation)
+        store.checkpoint(log, {"emp": relation}, stats=catalog)
+        assert store.load("emp") == relation
+        restored = store.load_stats()
+        assert restored is not None and restored.get("emp").rows == 30
+
+
+class TestTransactionMutationTracking:
+    @staticmethod
+    def _schema():
+        table = Table(["emp", "name"], [{"emp": 1, "name": "ada"}])
+        catalog = StatsCatalog()
+        catalog.analyze("emp", table.snapshot())
+        manager = TransactionManager({"emp": table}, stats=catalog)
+        return manager, table, catalog
+
+    def test_commit_feeds_mutation_counts(self):
+        manager, table, catalog = self._schema()
+        assert manager.stats is catalog
+        with manager.transaction():
+            table.insert({"emp": 2, "name": "grace"})
+            table.insert({"emp": 3, "name": "edsger"})
+        assert catalog.mutations_since_analyze("emp") == 2
+
+    def test_delete_counts_as_mutation_too(self):
+        manager, table, catalog = self._schema()
+        with manager.transaction():
+            table.delete({"emp": 1})
+        assert catalog.mutations_since_analyze("emp") == 1
+
+    def test_aborted_transaction_records_nothing(self):
+        manager, table, catalog = self._schema()
+        with pytest.raises(RuntimeError):
+            with manager.transaction():
+                table.insert({"emp": 2, "name": "grace"})
+                raise RuntimeError("abort")
+        assert catalog.mutations_since_analyze("emp") == 0

@@ -445,3 +445,108 @@ class TestGovernanceOptions:
 
     def test_plain_domain_errors_still_exit_2(self, csv_dir, capsys):
         assert main(["query", csv_dir, "SELECT * FROM nosuch"]) == 2
+
+
+@pytest.fixture
+def stats_store(tmp_path):
+    """A disk store holding the employee/department workload."""
+    from repro.relational.disk import DiskRelationStore
+
+    directory = str(tmp_path / "store")
+    store = DiskRelationStore(directory)
+    store.store("emp", employee_relation(25, 4, seed=3))
+    store.store("dept", department_relation(4, seed=3))
+    return directory
+
+
+class TestAnalyze:
+    def test_analyze_all_relations(self, stats_store, capsys):
+        assert main(["analyze", stats_store]) == 0
+        out = capsys.readouterr().out
+        assert "analyzed emp: 25 rows, 4 attributes" in out
+        assert "analyzed dept: 4 rows, 3 attributes" in out
+        assert "stats catalog written: 2 relation(s)" in out
+
+    def test_analyze_single_relation(self, stats_store, capsys):
+        assert main(["analyze", stats_store, "emp"]) == 0
+        out = capsys.readouterr().out
+        assert "analyzed emp" in out and "dept" not in out
+
+    def test_partial_analyze_preserves_other_entries(self, stats_store, capsys):
+        assert main(["analyze", stats_store, "emp"]) == 0
+        assert main(["analyze", stats_store, "dept"]) == 0
+        assert "written: 2 relation(s)" in capsys.readouterr().out
+
+    def test_sample_and_seed_options(self, stats_store, capsys):
+        code = main(
+            ["analyze", stats_store, "--sample", "10", "--seed", "7"]
+        )
+        assert code == 0
+
+    def test_non_integer_sample_fails_cleanly(self, stats_store, capsys):
+        assert main(["analyze", stats_store, "--sample", "few"]) == 2
+
+    def test_missing_directory(self, capsys):
+        assert main(["analyze", "/nonexistent"]) == 2
+
+    def test_empty_store_fails_cleanly(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path)]) == 2
+
+    def test_wrong_arity(self, capsys):
+        assert main(["analyze"]) == 2
+
+
+class TestStats:
+    def test_reports_per_attribute_statistics(self, stats_store, capsys):
+        main(["analyze", stats_store])
+        capsys.readouterr()
+        assert main(["stats", stats_store, "emp"]) == 0
+        out = capsys.readouterr().out
+        assert "relation emp: 25 rows analyzed" in out
+        assert "mutations since analyze: 0" in out
+        assert "dept: distinct=4" in out
+
+    def test_without_catalog_fails_cleanly(self, stats_store, capsys):
+        assert main(["stats", stats_store, "emp"]) == 2
+        assert "run analyze first" in capsys.readouterr().err
+
+    def test_unknown_relation_fails_cleanly(self, stats_store, capsys):
+        main(["analyze", stats_store])
+        capsys.readouterr()
+        assert main(["stats", stats_store, "ghost"]) == 2
+
+    def test_wrong_arity(self, capsys):
+        assert main(["stats"]) == 2
+
+
+class TestFsckStats:
+    def test_fresh_stats_report_ok(self, durable_dir, capsys):
+        main(["analyze", durable_dir])
+        capsys.readouterr()
+        assert main(["fsck", durable_dir]) == 0
+        out = capsys.readouterr().out
+        assert "stats items: ok (5 rows analyzed, 0 mutations since)" in out
+        assert "fsck: clean" in out
+
+    def test_orphaned_stats_flagged(self, durable_dir, capsys):
+        from repro.relational.disk import DiskRelationStore
+        from repro.relational.stats import StatsCatalog
+
+        store = DiskRelationStore(durable_dir)
+        catalog = store.load_stats() or StatsCatalog()
+        catalog.analyze("ghost", employee_relation(5, 2, seed=1))
+        store.store_stats(catalog)
+        assert main(["fsck", durable_dir]) == 0
+        assert "stats ghost: ORPHANED" in capsys.readouterr().out
+
+    def test_stale_stats_flagged(self, durable_dir, capsys):
+        from repro.relational.disk import DiskRelationStore
+
+        store = DiskRelationStore(durable_dir)
+        main(["analyze", durable_dir])
+        catalog = store.load_stats()
+        catalog.record_mutations("items", 100)
+        store.store_stats(catalog)
+        capsys.readouterr()
+        assert main(["fsck", durable_dir]) == 0
+        assert "stats items: stale" in capsys.readouterr().out
