@@ -69,6 +69,25 @@ def test_row_layout_aggregation(benchmark, size):
     benchmark(row_sum)
 
 
+@pytest.mark.parametrize("size", SIZES)
+def test_column_selection_steady_state(benchmark, size):
+    """Selection once the sorted run is built: binary search, not scan."""
+    _, columns = representations(size)
+    columns.select("dept", 3)  # warm: the run is built and cached
+    benchmark(columns.select, "dept", 3)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_column_run_build_cost(benchmark, size):
+    """Cold-start selection: hash + stable sort + probe, paid once."""
+    relation = employee_relation(size, max(4, size // 40), seed=83)
+
+    def cold_select():
+        return ColumnRepresentation.from_relation(relation).select("dept", 3)
+
+    benchmark(cold_select)
+
+
 @pytest.mark.parametrize("size", (400,))
 def test_canonicalization_cost(benchmark, size):
     rows, columns = representations(size)

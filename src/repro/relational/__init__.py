@@ -15,12 +15,20 @@ module                  contents
                         sketches, equi-depth histograms, MCVs)
 ``cost``                cardinality estimation, operator cost model,
                         DP join-order enumeration
+``columnar``            sorted-run columnar fast path: binary-search
+                        restriction, merge-intersection join
 ``storage``             :class:`SetStore` vs :class:`RecordStore`
                         (the ref [4] comparison)
 ======================  =============================================
 """
 
 from repro.relational.aggregate import AGGREGATES, aggregate, group_by
+from repro.relational.columnar import (
+    ColumnarRelation,
+    SortedRun,
+    encode,
+    materialize,
+)
 from repro.relational.algebra import (
     difference,
     intersection,
@@ -192,6 +200,11 @@ __all__ = [
     "RowRepresentation",
     "ColumnRepresentation",
     "same_identity",
+    # columnar fast path
+    "ColumnarRelation",
+    "SortedRun",
+    "encode",
+    "materialize",
     "execute_profiled",
     "profile_cluster",
     "NodeProfile",

@@ -46,6 +46,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.gov.governor import checkpoint as _gov_checkpoint
 from repro.obs import metrics as _metrics
 from repro.obs.instrument import enabled as _obs_enabled
+from repro.relational.columnar import materialize as _materialize
 from repro.relational.query import (
     Database,
     Difference,
@@ -97,6 +98,18 @@ _COST_JOIN_BUILD = 1.5   # per build-side (right) row: bucketing costs more
 _COST_OUT_ROW = 1.0      # per produced row, any operator
 _COST_SET_MERGE = 0.6    # union/difference per input row
 
+# Columnar (sorted-run) variants, applied only when every base relation
+# under a node carries a run encoding -- then the whole subtree runs on
+# the batch kernels of :mod:`repro.relational.columnar` and the row
+# constants above overstate it.  Ratios from bench_kernel's
+# columnar-vs-row cases: binary-search restriction touches candidates,
+# not the relation; merge-intersection replaces both the hash build and
+# the per-probe bucket lookups; rename is a column re-key.
+_COST_COLUMNAR_SELECT_EQ = 0.12  # log-search + verify candidates
+_COST_COLUMNAR_PROJECT = 0.6     # value-tuple dedup, no row rebuild
+_COST_COLUMNAR_RENAME = 0.05     # re-key columns; runs carry over
+_COST_MERGE_JOIN_INPUT = 0.4     # per input row of a merge walk, each side
+
 
 def qerror(estimated: float, actual: float) -> float:
     """The q-error ``max(est/act, act/est)``, floored at one row each.
@@ -127,6 +140,7 @@ class CardinalityEstimator:
         # allocator while the cache entry lives.
         self._rows: Dict[int, Tuple[Plan, float]] = {}
         self._costs: Dict[int, Tuple[Plan, float]] = {}
+        self._encoded: Dict[int, Tuple[Plan, bool]] = {}
 
     # -- catalog access -------------------------------------------------
 
@@ -135,6 +149,31 @@ class CardinalityEstimator:
         if isinstance(plan, Scan):
             return self._catalog.get(plan.name) is not None
         return any(self.has_stats(child) for child in plan.children())
+
+    def runs_encoded(self, plan: Plan) -> bool:
+        """True when this node will execute on the columnar backend.
+
+        Every plan operator has a columnar kernel, so the dispatch rule
+        in :meth:`Database._evaluate_node` reduces to: the subtree runs
+        columnar iff every base relation under it carries a run
+        encoding (mixed trees promote the row side, which is what the
+        ``any``-sticky dispatch does; costing that conservatively as
+        row keeps the model honest about the encode it would pay).
+        """
+        key = id(plan)
+        cached = self._encoded.get(key)
+        if cached is None or cached[0] is not plan:
+            if isinstance(plan, Scan):
+                has = getattr(self._db, "has_columnar", None)
+                value = bool(has is not None and has(plan.name))
+            else:
+                children = plan.children()
+                value = bool(children) and all(
+                    self.runs_encoded(child) for child in children
+                )
+            cached = (plan, value)
+            self._encoded[key] = cached
+        return cached[1]
 
     def _attribute_stats(self, plan: Plan, attr: str) -> Optional[AttributeStats]:
         """The base-relation statistics backing ``attr`` at this node."""
@@ -264,33 +303,54 @@ class CardinalityEstimator:
 
     def _cost(self, plan: Plan) -> float:
         rows = self.estimate(plan)
+        columnar = self.runs_encoded(plan)
         if isinstance(plan, Scan):
             return rows * _COST_SCAN
         if isinstance(plan, SelectEq):
+            per_row = _COST_COLUMNAR_SELECT_EQ if columnar else _COST_SELECT_EQ
             return (self.cost(plan.child)
-                    + self.estimate(plan.child) * _COST_SELECT_EQ
+                    + self.estimate(plan.child) * per_row
                     + rows * _COST_OUT_ROW)
         if isinstance(plan, SelectPred):
+            # An opaque predicate pays per-row Python on either backend.
             return (self.cost(plan.child)
                     + self.estimate(plan.child) * _COST_SELECT_PRED
                     + rows * _COST_OUT_ROW)
-        if isinstance(plan, (Project, Rename)):
+        if isinstance(plan, Project):
+            per_row = _COST_COLUMNAR_PROJECT if columnar else _COST_RESCOPE
             return (self.cost(plan.child)
-                    + self.estimate(plan.child) * _COST_RESCOPE
+                    + self.estimate(plan.child) * per_row
+                    + rows * _COST_OUT_ROW)
+        if isinstance(plan, Rename):
+            per_row = _COST_COLUMNAR_RENAME if columnar else _COST_RESCOPE
+            return (self.cost(plan.child)
+                    + self.estimate(plan.child) * per_row
                     + rows * _COST_OUT_ROW)
         if isinstance(plan, Join):
             return (self.cost(plan.left) + self.cost(plan.right)
-                    + self.join_step_cost(
-                        self.estimate(plan.left),
-                        self.estimate(plan.right),
-                        rows,
-                    ))
+                    + self._join_step(plan.left, plan.right, rows))
         if isinstance(plan, (Union, Difference)):
             return (self.cost(plan.left) + self.cost(plan.right)
                     + (self.estimate(plan.left) + self.estimate(plan.right))
                     * _COST_SET_MERGE
                     + rows * _COST_OUT_ROW)
         raise TypeError("unknown plan node %r" % (plan,))
+
+    def _join_step(self, left: Plan, right: Plan, out_rows: float) -> float:
+        """The join-step cost between two subplans, backend-aware.
+
+        Both sides columnar -> merge-intersection of sorted runs; any
+        row side -> the hash path (build right, probe left).  Used by
+        :meth:`_cost` and the DP enumeration, so a fully encoded
+        database steers the join search with merge economics.
+        """
+        if self.runs_encoded(left) and self.runs_encoded(right):
+            return self.merge_join_step_cost(
+                self.estimate(left), self.estimate(right), out_rows
+            )
+        return self.join_step_cost(
+            self.estimate(left), self.estimate(right), out_rows
+        )
 
     @staticmethod
     def join_step_cost(left_rows: float, right_rows: float,
@@ -304,6 +364,18 @@ class CardinalityEstimator:
         """
         return (left_rows * _COST_JOIN_PROBE
                 + right_rows * _COST_JOIN_BUILD
+                + out_rows * _COST_OUT_ROW)
+
+    @staticmethod
+    def merge_join_step_cost(left_rows: float, right_rows: float,
+                             out_rows: float) -> float:
+        """One merge join step over two sorted runs.
+
+        Symmetric in its inputs (both sides are walked once; neither
+        builds anything), which is exactly why it undercuts the hash
+        path: no build side, no per-probe bucket chasing.
+        """
+        return ((left_rows + right_rows) * _COST_MERGE_JOIN_INPUT
                 + out_rows * _COST_OUT_ROW)
 
 
@@ -430,11 +502,7 @@ def _dp(leaves: List[Plan], db: Database,
                     right_cost, right_plan = best[rest]
                     out_rows = est.join_rows(left_plan, right_plan)
                     total = (left_cost + right_cost
-                             + est.join_step_cost(
-                                 est.estimate(left_plan),
-                                 est.estimate(right_plan),
-                                 out_rows,
-                             ))
+                             + est._join_step(left_plan, right_plan, out_rows))
                     bucket = (
                         candidates
                         if _connected(db, left_plan, right_plan)
@@ -520,7 +588,7 @@ def explain_analyze(db: Database, plan: Plan,
         actuals[id(node)] = result.cardinality()
         return result
 
-    result = execute(plan)
+    result = _materialize(execute(plan))
 
     def render(node: Plan, indent: int) -> None:
         estimated = est.estimate(node)

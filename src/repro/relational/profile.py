@@ -28,6 +28,7 @@ from typing import List, Optional, Tuple
 from repro.obs import instrument, metrics
 from repro.obs.trace import Span, Tracer
 from repro.obs.trace import tracer as global_tracer
+from repro.relational.columnar import materialize
 from repro.relational.query import Database, Plan
 from repro.relational.relation import Relation
 
@@ -184,7 +185,10 @@ def execute_spanned(
                 ).inc(rows, node=node_name)
         return result
 
-    result = walk(plan)
+    # Intermediates stay in whatever backend produced them (columnar
+    # results are never canonicalized mid-plan); only the answer the
+    # caller sees is collapsed to the canonical row model.
+    result = materialize(walk(plan))
     return result, root_holder[0]
 
 

@@ -20,14 +20,24 @@ discipline -- which is exactly the experiment ref [4] describes.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union as TypingUnion
 
 from repro.errors import SchemaError
 from repro.gov.governor import active as _gov_active
 from repro.obs.instrument import enabled as _obs_enabled
 from repro.relational import algebra
+from repro.relational.columnar import (
+    ColumnarRelation,
+    materialize as _materialize,
+    _record_backend,
+)
 from repro.relational.relation import Relation
 from repro.relational.schema import Heading
+
+#: What flows between plan nodes in set mode: either the canonical row
+#: model or its sorted-run encoding.  Both expose ``heading`` and
+#: ``cardinality()``, which is all the executor shell needs.
+Operand = TypingUnion[Relation, ColumnarRelation]
 
 __all__ = [
     "Plan",
@@ -188,15 +198,32 @@ class Difference(_Binary):
         return "Difference"
 
 
+#: Plan-node -> kernel-op label for the ``repro_kernel_backend_total``
+#: metric (the columnar kernels record their own executions).
+_OP_NAMES = {
+    SelectEq: "restrict",
+    SelectPred: "select_pred",
+    Project: "project",
+    Rename: "rename",
+    Join: "join",
+    Union: "union",
+    Difference: "difference",
+}
+
+
 class Database:
     """A catalog of named relations plus the two executors."""
 
     def __init__(self, relations: Optional[Mapping[str, Relation]] = None):
         self._relations: Dict[str, Relation] = dict(relations or {})
+        self._columnar: Dict[str, ColumnarRelation] = {}
         self._stats = None
 
     def add(self, name: str, relation: Relation) -> None:
         self._relations[name] = relation
+        # A replaced relation invalidates its run encoding: stale runs
+        # would silently answer queries about data that is gone.
+        self._columnar.pop(name, None)
 
     def relation(self, name: str) -> Relation:
         try:
@@ -206,6 +233,46 @@ class Database:
 
     def names(self) -> List[str]:
         return sorted(self._relations)
+
+    # ------------------------------------------------------------------
+    # Columnar run encodings
+    # ------------------------------------------------------------------
+
+    def encode_columnar(self, names: Optional[Sequence[str]] = None) -> List[str]:
+        """Encode ``names`` (default: every relation) into sorted runs.
+
+        Scans of an encoded relation return its
+        :class:`~repro.relational.columnar.ColumnarRelation` and the
+        whole plan above them runs on the columnar batch kernels; the
+        final answer is canonically identical to the row path (the
+        differential oracle's contract), just faster.  Re-encoding is
+        idempotent; :meth:`add` drops a stale encoding automatically.
+        """
+        targets = list(names) if names is not None else self.names()
+        for name in targets:
+            self._columnar[name] = ColumnarRelation.from_relation(
+                self.relation(name)
+            )
+        return targets
+
+    def drop_columnar(self, names: Optional[Sequence[str]] = None) -> None:
+        """Forget run encodings (all of them by default)."""
+        if names is None:
+            self._columnar.clear()
+        else:
+            for name in names:
+                self._columnar.pop(name, None)
+
+    def has_columnar(self, name: str) -> bool:
+        return name in self._columnar
+
+    def columnar(self, name: str) -> ColumnarRelation:
+        try:
+            return self._columnar[name]
+        except KeyError:
+            raise SchemaError(
+                "relation %r has no columnar encoding" % (name,)
+            ) from None
 
     # ------------------------------------------------------------------
     # Statistics catalog
@@ -260,16 +327,25 @@ class Database:
             from repro.relational.profile import execute_spanned
 
             result, _ = execute_spanned(self, plan)
-            return result
+            return _materialize(result)
+        return _materialize(self._execute_raw(plan))
+
+    def _execute_raw(self, plan: Plan) -> Operand:
+        """Bottom-up evaluation *without* canonicalizing intermediates.
+
+        Results stay in whatever backend produced them; a columnar
+        pipeline only pays XSet construction once, at the boundary in
+        :meth:`execute`.
+        """
         if not isinstance(plan, Plan):
             raise TypeError("unknown plan node %r" % (plan,))
         return self.execute_node(
-            plan, [self.execute(child) for child in plan.children()]
+            plan, [self._execute_raw(child) for child in plan.children()]
         )
 
     def execute_node(
-        self, plan: Plan, inputs: Sequence[Relation]
-    ) -> Relation:
+        self, plan: Plan, inputs: Sequence[Operand]
+    ) -> Operand:
         """Evaluate ONE node over already-computed child results.
 
         This is the single evaluation table both executors share:
@@ -292,10 +368,30 @@ class Database:
         return result
 
     def _evaluate_node(
-        self, plan: Plan, inputs: Sequence[Relation]
-    ) -> Relation:
+        self, plan: Plan, inputs: Sequence[Operand]
+    ) -> Operand:
         if isinstance(plan, Scan):
+            encoded = self._columnar.get(plan.name)
+            if encoded is not None:
+                _record_backend("scan", "columnar")
+                return encoded
+            _record_backend("scan", "row")
             return self.relation(plan.name)
+        if any(isinstance(operand, ColumnarRelation) for operand in inputs):
+            # The fast path is sticky: once any child produced a run
+            # encoding, siblings are promoted (an O(n log n) encode,
+            # no worse than the hash-join build it replaces) and the
+            # node runs on the columnar batch kernels.
+            return self._evaluate_columnar(
+                plan,
+                [
+                    operand
+                    if isinstance(operand, ColumnarRelation)
+                    else ColumnarRelation.from_relation(operand)
+                    for operand in inputs
+                ],
+            )
+        _record_backend(_OP_NAMES.get(type(plan), "unknown"), "row")
         if isinstance(plan, SelectEq):
             return algebra.select_eq(inputs[0], plan.conditions)
         if isinstance(plan, SelectPred):
@@ -310,6 +406,26 @@ class Database:
             return algebra.union(inputs[0], inputs[1])
         if isinstance(plan, Difference):
             return algebra.difference(inputs[0], inputs[1])
+        raise TypeError("unknown plan node %r" % (plan,))
+
+    def _evaluate_columnar(
+        self, plan: Plan, inputs: Sequence[ColumnarRelation]
+    ) -> ColumnarRelation:
+        """One node on the sorted-run backend (same answers, by oracle)."""
+        if isinstance(plan, SelectEq):
+            return inputs[0].select_eq(plan.conditions)
+        if isinstance(plan, SelectPred):
+            return inputs[0].select_pred(plan.predicate, plan.label)
+        if isinstance(plan, Project):
+            return inputs[0].project(plan.attrs)
+        if isinstance(plan, Rename):
+            return inputs[0].rename(plan.mapping)
+        if isinstance(plan, Join):
+            return inputs[0].join(inputs[1])
+        if isinstance(plan, Union):
+            return inputs[0].union(inputs[1])
+        if isinstance(plan, Difference):
+            return inputs[0].difference(inputs[1])
         raise TypeError("unknown plan node %r" % (plan,))
 
     # ------------------------------------------------------------------

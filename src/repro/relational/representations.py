@@ -26,9 +26,10 @@ operation result, canonicalized, is identical across layouts.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SchemaError
+from repro.relational.columnar import ColumnarRelation
 from repro.relational.relation import Relation
 from repro.relational.schema import Heading
 from repro.xst.builders import xrecord, xset
@@ -103,64 +104,65 @@ class RowRepresentation:
 
 
 class ColumnRepresentation:
-    """Column-major physical layout: one parallel array per attribute."""
+    """Column-major physical layout, backed by the sorted-run kernel.
 
-    def __init__(self, columns: Dict[str, Sequence[Any]]):
-        self._heading = Heading(columns)
-        lengths = {name: len(values) for name, values in columns.items()}
-        if len(set(lengths.values())) > 1:
-            raise SchemaError(
-                "ragged columns: %s" % sorted(lengths.items())
-            )
-        self._columns: Dict[str, List[Any]] = {
-            name: list(values) for name, values in columns.items()
-        }
-        self._length = next(iter(lengths.values())) if lengths else 0
+    Storage and the native operations live in
+    :class:`~repro.relational.columnar.ColumnarRelation` -- the same
+    encoding the query executor dispatches to -- so a
+    ``ColumnRepresentation`` *is* the fast path: ``select`` is a
+    binary search over a cached sorted run, ``project`` a batch
+    dedup.  The class keeps its original demo surface (dict-of-columns
+    construction, ``select``/``project``/``aggregate_column``).
+
+    Two behaviors the differential oracle pinned down:
+
+    * ``project`` collapses duplicate rows by raw value tuples, which
+      coincides with XSet set semantics for every admissible value
+      (Python ``==`` is XST member equality), including the
+      ``1 == 1.0 == True`` twins;
+    * ``project([])`` of a non-empty representation is the single
+      empty row (canonical form ``{{}}``), matching
+      :meth:`RowRepresentation.project` -- previously the column
+      layout silently dropped its row count and canonicalized to the
+      empty set.  A zero-attribute representation carries an explicit
+      ``length`` for exactly this case.  Note ``to_relation`` cannot
+      express the zero-attribute result (rows must be attribute-scoped
+      records); compare with ``canonical()`` instead.
+    """
+
+    def __init__(self, columns: Dict[str, Sequence[Any]],
+                 length: Optional[int] = None):
+        self._backing = ColumnarRelation(
+            Heading(columns), columns, length=length
+        )
+
+    @classmethod
+    def _wrap(cls, backing: ColumnarRelation) -> "ColumnRepresentation":
+        wrapped = cls.__new__(cls)
+        wrapped._backing = backing
+        return wrapped
 
     @property
     def heading(self) -> Heading:
-        return self._heading
+        return self._backing.heading
 
     def __len__(self) -> int:
-        return self._length
+        return len(self._backing)
 
     def column(self, attr: str) -> List[Any]:
-        self._heading.require([attr])
-        return list(self._columns[attr])
+        return self._backing.column(attr)
 
-    # -- native operations (array-at-a-time over the column layout) ------
+    # -- native operations (run-at-a-time over the column layout) --------
 
     def select(self, attr: str, value: Any) -> "ColumnRepresentation":
-        self._heading.require([attr])
-        keep = [
-            index
-            for index, cell in enumerate(self._columns[attr])
-            if cell == value
-        ]
-        return ColumnRepresentation(
-            {
-                name: [values[index] for index in keep]
-                for name, values in self._columns.items()
-            }
+        """Equality selection: binary search over the attribute's run."""
+        return ColumnRepresentation._wrap(
+            self._backing.select_eq({attr: value})
         )
 
     def project(self, attrs: Sequence[str]) -> "ColumnRepresentation":
         """Column projection: slice the arrays, then deduplicate."""
-        wanted = self._heading.require(attrs)
-        seen = set()
-        keep = []
-        arrays = [self._columns[attr] for attr in wanted]
-        for index in range(self._length):
-            key = tuple(array[index] for array in arrays)
-            if key not in seen:
-                seen.add(key)
-                keep.append(index)
-        return ColumnRepresentation(
-            {
-                attr: [self._columns[attr][index] for index in keep]
-                for attr in wanted
-            }
-        )
+        return ColumnRepresentation._wrap(self._backing.project(attrs))
 
     def aggregate_column(self, attr: str, fn: Callable[[List[Any]], Any]) -> Any:
         """Single-column aggregation without touching other columns."""
@@ -168,26 +170,19 @@ class ColumnRepresentation:
 
     # -- identity -----------------------------------------------------------
 
+    def as_columnar(self) -> ColumnarRelation:
+        """The backing run encoding (shared, immutable)."""
+        return self._backing
+
     def canonical(self) -> XSet:
-        names = self._heading.names
-        return xset(
-            xrecord(
-                {name: self._columns[name][index] for name in names}
-            )
-            for index in range(self._length)
-        )
+        return self._backing.canonical()
 
     def to_relation(self) -> Relation:
-        return Relation(self._heading, self.canonical())
+        return self._backing.to_relation()
 
     @classmethod
     def from_relation(cls, relation: Relation) -> "ColumnRepresentation":
-        names = relation.heading.names
-        columns: Dict[str, List[Any]] = {name: [] for name in names}
-        for record in relation.iter_dicts():
-            for name in names:
-                columns[name].append(record[name])
-        return cls(columns)
+        return cls._wrap(ColumnarRelation.from_relation(relation))
 
 
 def same_identity(*representations) -> bool:

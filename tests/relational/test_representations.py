@@ -12,6 +12,7 @@ from repro.relational.representations import (
     same_identity,
 )
 from repro.workloads.generators import employee_relation
+from repro.xst.builders import xrecord, xset
 
 NAMES = ("emp", "name", "dept", "salary")
 
@@ -104,6 +105,96 @@ class TestColumnNativeStrengths:
     def test_unknown_column(self, column_rep):
         with pytest.raises(SchemaError):
             column_rep.column("nope")
+
+
+class TestProjectionSetSemantics:
+    """The gaps the differential oracle surfaced, pinned as intended.
+
+    Projection must collapse duplicates exactly as an XSet would --
+    including cross-type equality twins -- and projecting onto *no*
+    attributes must agree across layouts: the result for a non-empty
+    input is the single empty row (canonical form ``{{}}``), not the
+    empty set the column layout used to produce when it dropped its
+    row count along with its last column.
+    """
+
+    def test_duplicate_rows_collapse_after_projection(self):
+        rows = [(1, "x"), (1, "y"), (2, "x")]
+        row_rep = RowRepresentation(["k", "v"], rows)
+        column_rep = ColumnRepresentation(
+            {"k": [1, 1, 2], "v": ["x", "y", "x"]}
+        )
+        assert len(row_rep.project(["k"])) == 2
+        assert len(column_rep.project(["k"])) == 2
+        assert same_identity(
+            row_rep.project(["k"]), column_rep.project(["k"])
+        )
+
+    def test_typed_twins_collapse_like_xsets(self):
+        """1, 1.0 and True are one member in XST; layouts must agree."""
+        row_rep = RowRepresentation(["a"], [(1,), (1.0,), (True,)])
+        column_rep = ColumnRepresentation({"a": [1, 1.0, True]})
+        assert len(row_rep.project(["a"])) == 1
+        assert len(column_rep.project(["a"])) == 1
+        assert same_identity(
+            row_rep.project(["a"]),
+            column_rep.project(["a"]),
+            row_rep,
+            column_rep,
+        )
+
+    def test_empty_projection_of_nonempty_is_the_empty_row(self):
+        row_rep = RowRepresentation(["a", "b"], [(1, 2), (3, 4)])
+        column_rep = ColumnRepresentation({"a": [1, 3], "b": [2, 4]})
+        dee = xset([xrecord({})])
+        assert row_rep.project([]).canonical() == dee
+        assert column_rep.project([]).canonical() == dee
+        assert len(column_rep.project([])) == 1
+        assert same_identity(row_rep.project([]), column_rep.project([]))
+
+    def test_empty_projection_of_empty_is_empty(self):
+        row_rep = RowRepresentation(["a"], [])
+        column_rep = ColumnRepresentation({"a": []})
+        assert row_rep.project([]).canonical() == xset()
+        assert column_rep.project([]).canonical() == xset()
+        assert len(column_rep.project([])) == 0
+
+    def test_zero_attribute_result_has_no_relation_form(self):
+        """``{{}}`` is a legal XSet but not a heading-scoped relation.
+
+        The canonical form is the identity; ``to_relation`` is a
+        *partial* map out of representation space, and the zero-
+        attribute non-empty result is exactly the point where it is
+        undefined (rows must be attribute-scoped records).
+        """
+        column_rep = ColumnRepresentation({"a": [1, 2]})
+        with pytest.raises(SchemaError):
+            column_rep.project([]).to_relation()
+
+    def test_select_then_project_matches_kernel(self):
+        relation = employee_relation(40, 4, seed=9)
+        column_rep = ColumnRepresentation.from_relation(relation)
+        via_columns = column_rep.select("dept", 2).project(["name"])
+        via_kernel = algebra.project(
+            algebra.select_eq(relation, {"dept": 2}), ["name"]
+        )
+        assert via_columns.canonical() == via_kernel.rows
+
+
+class TestColumnarBacking:
+    """ColumnRepresentation rides the sorted-run fast path."""
+
+    def test_backing_is_a_columnar_relation(self, column_rep):
+        from repro.relational.columnar import ColumnarRelation
+
+        assert isinstance(column_rep.as_columnar(), ColumnarRelation)
+
+    def test_select_uses_a_cached_run(self, column_rep):
+        backing = column_rep.as_columnar()
+        column_rep.select("dept", 1)
+        column_rep.select("dept", 2)
+        # One run serves every subsequent selection on the attribute.
+        assert backing.run("dept") is backing.run("dept")
 
 
 class TestValidation:
