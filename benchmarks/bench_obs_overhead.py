@@ -56,3 +56,44 @@ def test_relative_product_overhead(benchmark, obs_switch, size):
 def test_closure_overhead(benchmark, obs_switch, size):
     chain = xset(xpair(index, index + 1) for index in range(size))
     benchmark(transitive_closure, chain)
+
+
+# -- the PR 7 digest/recorder paths: free when off ---------------------
+
+
+def _query_db():
+    from repro.relational.query import Database, Scan, SelectEq
+    from repro.workloads import department_relation, employee_relation
+
+    db = Database()
+    db.add("emp", employee_relation(400, 8, seed=9))
+    db.add("dept", department_relation(8, seed=9))
+    db.analyze()
+    return db, SelectEq(Scan("emp"), {"dept": 1})
+
+
+def test_execute_digest_overhead(benchmark, obs_switch):
+    """Database.execute: off pays one boolean, on spans + digests."""
+    from repro.obs.slowlog import slowlog
+
+    db, plan = _query_db()
+    benchmark(db.execute, plan)
+    slowlog().reset()
+
+
+@pytest.fixture(params=(False, True), ids=("recorder_off", "recorder_on"))
+def recorder_switch(request):
+    from repro.obs.recorder import disable, enable, recorder
+
+    if request.param:
+        enable()
+    yield request.param
+    disable()
+    recorder().reset()
+
+
+def test_error_construction_overhead(benchmark, recorder_switch):
+    """Typed-error construction: the incident hook is one None check."""
+    from repro.errors import DeadlineExceededError
+
+    benchmark(DeadlineExceededError, 2.0, 1.0, "bench")

@@ -63,11 +63,24 @@ Four small commands that make the library usable from a shell:
     ATTR, and renders the span tree -- per-bucket reads with retry and
     failover attributes.  ``--out FILE`` also exports JSON lines.
 
+``obs-report FILE [--top N] [--by latency|qerror] [--format json|text]``
+    Rank a slow-query log (JSONL of query digests, written by
+    ``REPRO_SLOWLOG=<path>`` or ``SlowQueryLog.export_jsonl``) by
+    latency or by worst per-node q-error and print the top N.
+
+``obs-incidents FILE [--format json|text]``
+    Print the incident records a flight recorder captured (JSONL from
+    ``REPRO_INCIDENTS=<path>`` or ``FlightRecorder.export_jsonl``):
+    what failed, its structured context, and the event window that
+    led up to it.
+
 ``query``/``closure`` additionally accept ``--trace-out FILE`` to
 export the execution trace as JSON lines alongside the normal output.
 ``query`` also takes ``--timeout SECONDS`` and ``--budget ROWS`` to
 run under a resource governor (equivalent to the XQL TIMEOUT/BUDGET
-clauses).
+clauses).  ``obs-trace`` takes ``--format json|text`` (default text);
+JSON output is one span per line in deterministic order (start time,
+then span id).
 
 Every command writes to stdout and exits non-zero with a message on
 stderr for malformed input, so the tool composes in pipelines.
@@ -78,9 +91,10 @@ Governance errors map to stable exit codes (see
 
 from __future__ import annotations
 
+import json
 import os
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.errors import XSTError
 from repro.notation import parse, render
@@ -121,12 +135,16 @@ commands:
                          replay the WAL onto the store and write a
                          fresh checkpoint
   obs-metrics CSVDIR XQL run a query observed; print Prometheus text
-  obs-trace CSVDIR XQL [--out FILE]
+  obs-trace CSVDIR XQL [--out FILE] [--format json|text]
                          trace a local query; render the span tree
   obs-trace CSVDIR LEFT RIGHT ATTR [--nodes N] [--factor F]
-            [--chaos SEED] [--out FILE]
+            [--chaos SEED] [--out FILE] [--format json|text]
                          trace a distributed join (optionally under a
                          deterministic chaos fault schedule)
+  obs-report FILE [--top N] [--by latency|qerror] [--format json|text]
+                         rank a slow-query log (digest JSONL)
+  obs-incidents FILE [--format json|text]
+                         print flight-recorder incident records
 """
 
 
@@ -529,7 +547,22 @@ def _command_obs_metrics(args: List[str]) -> int:
     return 0
 
 
-def _trace_local_query(directory: str, text: str, out: Optional[str]) -> int:
+def _print_spans_json(roots) -> None:
+    """One JSON object per span, deterministically ordered.
+
+    Sort key is ``(start_s, span_id)`` -- start *tick* first (under a
+    fake clock these are simulated seconds), span id as the tie-break
+    -- so byte-identical executions print byte-identical output.
+    """
+    spans = [span.to_dict() for root in roots for span in root.tree()]
+    spans.sort(key=lambda record: (record["start_s"], record["span_id"]))
+    for record in spans:
+        print(json.dumps(record, sort_keys=True))
+
+
+def _trace_local_query(
+    directory: str, text: str, out: Optional[str], fmt: str = "text"
+) -> int:
     from repro.obs import observed, tracer
 
     db = _load_db(directory)
@@ -537,17 +570,21 @@ def _trace_local_query(directory: str, text: str, out: Optional[str]) -> int:
         tracer().reset()
         result = run_xql(db, text)
         root = tracer().last_root()
-        print(tracer().render(root))
-        print("-- %d result rows" % result.cardinality())
+        if fmt == "json":
+            _print_spans_json([] if root is None else [root])
+        else:
+            print(tracer().render(root))
+            print("-- %d result rows" % result.cardinality())
         if out is not None:
             count = tracer().export_jsonl(out)
-            print("-- %d spans -> %s" % (count, out))
+            if fmt != "json":
+                print("-- %d spans -> %s" % (count, out))
     return 0
 
 
 def _trace_cluster_join(args: List[str], options) -> int:
     directory, left, right, attr = args
-    nodes, factor, chaos, out = options
+    nodes, factor, chaos, out, fmt = options
     from repro.obs import observed
     from repro.relational.distributed import Cluster, ClusterUnavailableError
     from repro.relational.faults import FaultPlan
@@ -576,16 +613,29 @@ def _trace_cluster_join(args: List[str], options) -> int:
         except ClusterUnavailableError as error:
             print(cluster.tracer.render(cluster.last_query_span))
             return _fail("join unavailable: %s" % error)
-        print(cluster.tracer.render(cluster.last_query_span))
-        network = cluster.network
-        print("-- %d result rows; %d retries, %d failovers, "
-              "%d bytes shipped"
-              % (result.cardinality(), network.retries,
-                 network.failovers, network.bytes_shipped))
+        if fmt == "json":
+            root = cluster.last_query_span
+            _print_spans_json([] if root is None else [root])
+        else:
+            print(cluster.tracer.render(cluster.last_query_span))
+            network = cluster.network
+            print("-- %d result rows; %d retries, %d failovers, "
+                  "%d bytes shipped"
+                  % (result.cardinality(), network.retries,
+                     network.failovers, network.bytes_shipped))
         if out is not None:
             count = cluster.tracer.export_jsonl(out)
-            print("-- %d spans -> %s" % (count, out))
+            if fmt != "json":
+                print("-- %d spans -> %s" % (count, out))
     return 0
+
+
+def _pop_format(args: List[str]) -> str:
+    fmt = _pop_option(args, "--format")
+    fmt = "text" if fmt is None else fmt
+    if fmt not in ("json", "text"):
+        raise ValueError("--format must be 'json' or 'text'")
+    return fmt
 
 
 def _command_obs_trace(args: List[str]) -> int:
@@ -595,6 +645,7 @@ def _command_obs_trace(args: List[str]) -> int:
         nodes = _pop_option(args, "--nodes")
         factor = _pop_option(args, "--factor")
         chaos = _pop_option(args, "--chaos")
+        fmt = _pop_format(args)
     except ValueError as error:
         return _fail(str(error))
     try:
@@ -604,10 +655,110 @@ def _command_obs_trace(args: List[str]) -> int:
     except ValueError:
         return _fail("--nodes, --factor and --chaos must be integers")
     if len(args) == 2:
-        return _trace_local_query(args[0], args[1], out)
+        return _trace_local_query(args[0], args[1], out, fmt)
     if len(args) == 4:
-        return _trace_cluster_join(args, (nodes, factor, chaos, out))
+        return _trace_cluster_join(args, (nodes, factor, chaos, out, fmt))
     return _fail("obs-trace takes CSVDIR XQL, or CSVDIR LEFT RIGHT ATTR")
+
+
+def _read_jsonl(path: str) -> List[Dict[str, Any]]:
+    if not os.path.isfile(path):
+        raise XSTError("%r is not a file" % path)
+    records = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                raise XSTError(
+                    "%s line %d is not valid JSON" % (path, line_number)
+                ) from None
+    return records
+
+
+def _command_obs_report(args: List[str]) -> int:
+    args = list(args)
+    try:
+        top = _pop_option(args, "--top")
+        by = _pop_option(args, "--by")
+        fmt = _pop_format(args)
+        top = 10 if top is None else int(top)
+    except ValueError as error:
+        return _fail(str(error))
+    by = "latency" if by is None else by
+    if by not in ("latency", "qerror"):
+        return _fail("--by must be 'latency' or 'qerror'")
+    if len(args) != 1:
+        return _fail("obs-report takes one slow-query log FILE")
+    from repro.obs.digest import QueryDigest
+
+    digests = [QueryDigest.from_dict(r) for r in _read_jsonl(args[0])]
+    if by == "latency":
+        digests.sort(key=lambda d: (-d.wall_s, d.plan_hash))
+    else:
+        digests.sort(key=lambda d: (-d.max_q_error(), d.plan_hash))
+    ranked = digests[:top]
+    if fmt == "json":
+        for digest in ranked:
+            print(json.dumps(digest.to_dict(), sort_keys=True))
+        return 0
+    print("%d digest(s), top %d by %s:" % (len(digests), len(ranked), by))
+    for rank, digest in enumerate(ranked, 1):
+        print(
+            "%2d. [%s] %-40s %10.3f ms  q<=%-8.2f %-8s rows=%d%s"
+            % (
+                rank,
+                digest.plan_hash,
+                digest.describe[:40],
+                digest.wall_s * 1000,
+                digest.max_q_error(),
+                digest.backend,
+                digest.rows,
+                "" if digest.status == "ok" else "  " + digest.status,
+            )
+        )
+    return 0
+
+
+def _command_obs_incidents(args: List[str]) -> int:
+    args = list(args)
+    try:
+        fmt = _pop_format(args)
+    except ValueError as error:
+        return _fail(str(error))
+    if len(args) != 1:
+        return _fail("obs-incidents takes one incident FILE")
+    incidents = _read_jsonl(args[0])
+    incidents.sort(key=lambda record: record.get("seq", 0))
+    if fmt == "json":
+        for incident in incidents:
+            print(json.dumps(incident, sort_keys=True))
+        return 0
+    print("%d incident(s):" % len(incidents))
+    for incident in incidents:
+        error = incident.get("error", {})
+        print(
+            "#%d %s (%s)%s -- %d event(s) in window"
+            % (
+                incident.get("seq", 0),
+                error.get("type", "?"),
+                error.get("code", "?"),
+                ""
+                if incident.get("trace_id") is None
+                else "  trace=%s" % incident["trace_id"],
+                len(incident.get("window", ())),
+            )
+        )
+        print("    %s" % error.get("message", ""))
+        context = error.get("context", {})
+        if context:
+            print("    context: %s" % ", ".join(
+                "%s=%r" % (key, context[key]) for key in sorted(context)
+            ))
+    return 0
 
 
 _COMMANDS = {
@@ -622,6 +773,8 @@ _COMMANDS = {
     "stats": _command_stats,
     "obs-metrics": _command_obs_metrics,
     "obs-trace": _command_obs_trace,
+    "obs-report": _command_obs_report,
+    "obs-incidents": _command_obs_incidents,
 }
 
 

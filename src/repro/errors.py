@@ -33,7 +33,37 @@ subclasses mirror the layers of the system:
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
+
+#: Optional hook fired when a *typed availability* error is
+#: constructed (any :class:`UnavailableError` subclass, plus the WAL's
+#: ``CorruptLogError``, which calls :func:`notify_error` itself).  The
+#: flight recorder (:mod:`repro.obs.recorder`) installs itself here to
+#: snapshot diagnostic context at the moment of failure; ``None``
+#: keeps error construction at one extra global read.
+_ERROR_LISTENER: Optional[Callable[[Exception], None]] = None
+
+
+def set_error_listener(
+    listener: Optional[Callable[[Exception], None]],
+) -> Optional[Callable[[Exception], None]]:
+    """Install (or clear, with ``None``) the typed-error hook.
+
+    Returns the previous listener.  The listener must not raise and
+    must not construct typed errors of its own (no reentrancy guard
+    is taken on this hot-adjacent path).
+    """
+    global _ERROR_LISTENER
+    previous = _ERROR_LISTENER
+    _ERROR_LISTENER = listener
+    return previous
+
+
+def notify_error(error: Exception) -> None:
+    """Fire the typed-error hook (no-op when none is installed)."""
+    listener = _ERROR_LISTENER
+    if listener is not None:
+        listener(error)
 
 
 class XSTError(Exception):
@@ -53,11 +83,21 @@ class UnavailableError(XSTError, RuntimeError):
       for this class (generic errors exit 2);
     * ``retry_after_s`` -- a hint (possibly ``None``) for when a retry
       could succeed.
+
+    Construction notifies the flight-recorder hook (see
+    :func:`set_error_listener`); subclasses set their structured
+    context attributes *before* chaining to ``super().__init__``, so
+    the listener always sees a fully-populated error.
     """
 
     code = "UNAVAILABLE"
     exit_code = 10
     retry_after_s: Optional[float] = None
+
+    def __init__(self, *args: Any):
+        super().__init__(*args)
+        if _ERROR_LISTENER is not None:
+            _ERROR_LISTENER(self)
 
 
 class InvalidAtomError(XSTError, TypeError):

@@ -234,6 +234,12 @@ def _record_cancellation(error: Any, site: str, checkpoints: int) -> None:
     if span is not None:
         span.set("gov_died_at", site)
         span.set("gov_checkpoints", checkpoints)
+    from repro.obs.recorder import notify_gov_event
+
+    notify_gov_event(
+        "cancelled",
+        {"reason": reason, "site": site, "checkpoints": checkpoints},
+    )
 
 
 #: The ambient governor.  One per process by design: governance is a

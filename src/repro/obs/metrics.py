@@ -67,10 +67,28 @@ def _escape(value: Any) -> str:
     )
 
 
+def _escape_help(text: str) -> str:
+    """HELP-line escaping per the text format spec: ``\\`` and LF only.
+
+    Unlike label values, quotes stay literal on HELP lines; an
+    unescaped newline, though, would smuggle an arbitrary (likely
+    malformed) sample line into the exposition.
+    """
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_value(value: float) -> str:
-    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
-        return str(int(value))
-    return repr(value) if isinstance(value, float) else str(value)
+    if isinstance(value, float):
+        if value != value:
+            return "NaN"
+        if value == float("inf"):
+            return "+Inf"
+        if value == float("-inf"):
+            return "-Inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    return str(value)
 
 
 def _label_suffix(label_names: Sequence[str], key: Tuple[Any, ...],
@@ -215,6 +233,11 @@ class Histogram(_Metric):
             raise ValueError("duplicate bucket bounds")
         self.buckets = bounds
         self._states: Dict[Tuple[Any, ...], _HistogramState] = {}
+        # Last exemplar per (label key, bucket index); index
+        # ``len(buckets)`` is the +Inf tail.  Exemplars link a latency
+        # bucket to the trace id of the most recent observation that
+        # landed there -- the "which query made p99 slow" pointer.
+        self._exemplars: Dict[Tuple[Tuple[Any, ...], int], Any] = {}
 
     def _state(self, labels: Mapping[str, Any]) -> _HistogramState:
         key = self._key(labels)
@@ -223,15 +246,19 @@ class Histogram(_Metric):
             state = self._states[key] = _HistogramState(len(self.buckets))
         return state
 
-    def observe(self, value: float, **labels: Any) -> None:
+    def observe(self, value: float, exemplar: Any = None,
+                **labels: Any) -> None:
         state = self._state(labels)
         index = bisect_left(self.buckets, value)
         if index < len(self.buckets):
             state.bucket_counts[index] += 1
         state.count += 1
         state.sum += value
+        if exemplar is not None:
+            self._exemplars[(self._key(labels), index)] = exemplar
 
-    def observe_key(self, key: Tuple[Any, ...], value: float) -> None:
+    def observe_key(self, key: Tuple[Any, ...], value: float,
+                    exemplar: Any = None) -> None:
         """Hot-path observation with a pre-built label-value tuple
         (the histogram counterpart of :meth:`Counter.inc_key`)."""
         state = self._states.get(key)
@@ -242,6 +269,28 @@ class Histogram(_Metric):
             state.bucket_counts[index] += 1
         state.count += 1
         state.sum += value
+        if exemplar is not None:
+            self._exemplars[(key, index)] = exemplar
+
+    def exemplars(self, **labels: Any) -> Dict[str, Any]:
+        """Bucket-bound -> exemplar links for one label combination.
+
+        Keys are the bounds as rendered in exposition (``"%g"`` plus
+        ``"+Inf"`` for the tail); values are whatever the observer
+        attached -- by convention a trace id, so a slow histogram
+        bucket links back to a concrete trace to read.
+        """
+        key = self._key(labels)
+        found: Dict[str, Any] = {}
+        for (state_key, index), exemplar in self._exemplars.items():
+            if state_key != key:
+                continue
+            bound = (
+                "+Inf" if index >= len(self.buckets)
+                else "%g" % self.buckets[index]
+            )
+            found[bound] = exemplar
+        return found
 
     def count(self, **labels: Any) -> int:
         key = self._key(labels)
@@ -315,6 +364,7 @@ class Histogram(_Metric):
 
     def reset(self):
         self._states.clear()
+        self._exemplars.clear()
 
 
 class Registry:
@@ -372,7 +422,9 @@ class Registry:
             if not samples:
                 continue
             if metric.help:
-                lines.append("# HELP %s %s" % (metric.name, metric.help))
+                lines.append(
+                    "# HELP %s %s" % (metric.name, _escape_help(metric.help))
+                )
             lines.append("# TYPE %s %s" % (metric.name, metric.kind))
             for sample_name, suffix, value in samples:
                 lines.append(

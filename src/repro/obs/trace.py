@@ -31,7 +31,14 @@ from contextlib import contextmanager
 from itertools import count
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["FakeClock", "Span", "Tracer", "tracer"]
+__all__ = [
+    "FakeClock",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "tracer",
+    "set_span_listener",
+]
 
 
 class FakeClock:
@@ -56,6 +63,60 @@ class FakeClock:
 
     def __repr__(self) -> str:
         return "FakeClock(%.6f)" % self._now
+
+
+class TraceContext:
+    """Causal propagation state: trace id, parent span id, baggage.
+
+    A context names the *trace* an operation belongs to and the span
+    that caused it, independently of the structural parent/child links
+    a single :class:`Tracer` stack builds.  That distinction matters
+    exactly when causality crosses tracers or root spans: a cluster
+    query runs on the cluster's own tracer while the coordinating plan
+    executes on the global one, and a fault-triggered rebuild opens a
+    fresh root span mid-query -- the context carries the causal link
+    (``trace_id`` + ``link_parent`` attributes) across both seams.
+
+    ``baggage`` travels with the context (priority, deadline budget);
+    values must be JSON-serializable so incident records and trace
+    exports stay portable.  Contexts hold no clock and no randomness:
+    trace ids are allocated from deterministic counters by their
+    creators, which is what keeps chaos traces byte-reproducible.
+    """
+
+    __slots__ = ("trace_id", "span_id", "baggage")
+
+    def __init__(self, trace_id: str, span_id: Optional[int] = None,
+                 baggage: Optional[Dict[str, Any]] = None):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.baggage = dict(baggage or {})
+
+    def child_of(self, span: "Span") -> "TraceContext":
+        """The context a child operation of ``span`` should carry."""
+        return TraceContext(self.trace_id, span.span_id, self.baggage)
+
+    def annotate(self, span: "Span") -> None:
+        """Stamp causal attributes onto a span.
+
+        ``trace_id`` always; ``link_parent`` (the causal parent's span
+        id) only when it differs from the structural parent, so purely
+        nested spans stay unchanged and the attribute's presence marks
+        a genuine cross-tracer or cross-root link.
+        """
+        span.set("trace_id", self.trace_id)
+        if self.span_id is not None and self.span_id != span.parent_id:
+            span.set("link_parent", self.span_id)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "baggage": dict(self.baggage),
+        }
+
+    def __repr__(self) -> str:
+        return "TraceContext(%s, span=%s)" % (self.trace_id, self.span_id)
 
 
 class Span:
@@ -136,6 +197,26 @@ def _render_value(value: Any) -> str:
     return str(value)
 
 
+#: Optional hook fired with every finished span (any tracer).  The
+#: flight recorder installs itself here; ``None`` keeps span close at
+#: one global read -- the free-when-off contract.
+_SPAN_LISTENER: Optional[Callable[["Span"], None]] = None
+
+
+def set_span_listener(
+    listener: Optional[Callable[["Span"], None]],
+) -> Optional[Callable[["Span"], None]]:
+    """Install (or clear, with ``None``) the finished-span hook.
+
+    Returns the previous listener so callers can restore it.  The
+    listener must not raise and must not open spans of its own.
+    """
+    global _SPAN_LISTENER
+    previous = _SPAN_LISTENER
+    _SPAN_LISTENER = listener
+    return previous
+
+
 class Tracer:
     """Builds span trees against an explicit clock.
 
@@ -191,6 +272,8 @@ class Tracer:
                 break
         if span.parent_id is None:
             self._roots.append(span)
+        if _SPAN_LISTENER is not None:
+            _SPAN_LISTENER(span)
 
     @contextmanager
     def span(self, name: str, **attrs: Any) -> Iterator[Span]:
@@ -214,6 +297,23 @@ class Tracer:
     def active(self) -> Optional[Span]:
         """The innermost open span, or None outside any span."""
         return self._stack[-1] if self._stack else None
+
+    def current_context(self) -> Optional[TraceContext]:
+        """The :class:`TraceContext` of the innermost open span.
+
+        ``None`` outside any span.  The trace id is the active span's
+        own ``trace_id`` attribute when one was stamped (a cluster
+        query), else a deterministic id derived from the root span's
+        id -- so hand-off into another tracer (local plan -> cluster
+        fan-out) always carries *some* stable trace identity.
+        """
+        if not self._stack:
+            return None
+        span = self._stack[-1]
+        trace_id = self._stack[0].attrs.get("trace_id")
+        if trace_id is None:
+            trace_id = "span-%d" % self._stack[0].span_id
+        return TraceContext(str(trace_id), span.span_id)
 
     def roots(self) -> Tuple[Span, ...]:
         """Finished root spans, oldest first (bounded by capacity)."""

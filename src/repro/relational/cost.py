@@ -59,7 +59,7 @@ from repro.relational.query import (
     SelectPred,
     Union,
 )
-from repro.relational.stats import AttributeStats, StatsCatalog
+from repro.relational.stats import AttributeStats, StatsCatalog, feedback_key
 
 __all__ = [
     "CardinalityEstimator",
@@ -240,12 +240,27 @@ class CardinalityEstimator:
         return cached[1]
 
     def _estimate(self, plan: Plan) -> float:
+        # The execution-feedback overlay wins over every other source:
+        # an *observed* cardinality from a prior run of the same shape
+        # is strictly better evidence than any estimate derived from
+        # (possibly sampled) statistics.  With an empty overlay these
+        # lookups miss and the estimates below are byte-identical to
+        # the feedback-off planner.
         if isinstance(plan, Scan):
+            observed = self._catalog.feedback_rows(plan.name, None)
+            if observed is not None:
+                return float(observed)
             entry = self._catalog.get(plan.name)
             if entry is not None:
                 return float(entry.rows)
             return float(self._db.relation(plan.name).cardinality())
         if isinstance(plan, SelectEq):
+            if isinstance(plan.child, Scan):
+                observed = self._catalog.feedback_rows(
+                    plan.child.name, feedback_key(plan.conditions)
+                )
+                if observed is not None:
+                    return float(observed)
             child_rows = self.estimate(plan.child)
             selectivity = 1.0
             for attr, value in sorted(plan.conditions.items()):

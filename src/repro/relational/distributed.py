@@ -49,6 +49,7 @@ a fan-out and the rebuild provably reconciles the torn write.
 from __future__ import annotations
 
 import time
+from itertools import count
 from contextlib import contextmanager
 from typing import (
     Any,
@@ -77,7 +78,7 @@ from repro.gov.result import MissingBucket, Result
 from repro.obs import metrics as _metrics
 from repro.obs.instrument import enabled as _obs_enabled
 from repro.obs.instrument import record_recovery as _record_recovery
-from repro.obs.trace import Span, Tracer
+from repro.obs.trace import Span, TraceContext, Tracer
 from repro.relational.aggregate import aggregate as local_aggregate
 from repro.relational.algebra import join as local_join
 from repro.relational.algebra import select_eq as local_select_eq
@@ -298,15 +299,21 @@ class _QueryContext:
     time.
     """
 
-    __slots__ = ("describe", "simulated_s", "span", "started", "deadline")
+    __slots__ = ("describe", "simulated_s", "span", "started", "deadline",
+                 "trace")
 
     def __init__(self, describe: str, span: Span,
-                 deadline: Optional[Deadline] = None):
+                 deadline: Optional[Deadline] = None,
+                 trace: Optional[TraceContext] = None):
         self.describe = describe
         self.simulated_s = 0.0
         self.span = span
         self.started = time.perf_counter()
         self.deadline = deadline
+        #: The causal context child operations (per-bucket reads,
+        #: rebuilds) inherit: same trace id, this query's root span as
+        #: causal parent.
+        self.trace = trace
 
     def charge(self, seconds: float) -> None:
         self.simulated_s += seconds
@@ -407,6 +414,10 @@ class Cluster:
         # span durations become pure simulated time (backoff + node
         # delays), deterministic across machines.
         self.tracer = Tracer(clock=clock, capacity=64)
+        # Trace ids are allocated from this counter, never from clocks
+        # or randomness -- the byte-reproducibility of chaos traces
+        # depends on it.
+        self._trace_ids = count(1)
         self.stats_fanout = stats_fanout
         self._partition_attrs: Dict[str, str] = {}
         self._headings: Dict[str, Heading] = {}
@@ -511,7 +522,15 @@ class Cluster:
         idempotent.
         """
         started = time.perf_counter()
+        # A revive mid-query (the fault injector's doing) opens this
+        # span while the query's spans are still on the stack; capture
+        # the causal context *before* starting so the rebuild carries
+        # the triggering query's trace id.  A standalone revive (no
+        # open spans) has no cause and stays unannotated.
+        cause = self.tracer.current_context()
         span = self.tracer.start("rebuild(%s)" % node.name, node=node.name)
+        if cause is not None:
+            cause.annotate(span)
         entries = 0
         byte_count = 0
         try:
@@ -783,6 +802,14 @@ class Cluster:
         span = self.tracer.start(
             "%s[%d]" % (table, bucket_index), table=table, bucket=bucket_index
         )
+        if context.trace is not None:
+            context.trace.annotate(span)
+        span.set(
+            "ring",
+            self._placements[table].ring(bucket_index)
+            if ring is None
+            else ">".join(str(index) for index in replicas),
+        )
         retries = 0
         attempted = 0
         skipped_open = 0
@@ -911,12 +938,24 @@ class Cluster:
 
     @contextmanager
     def _query(self, describe: str, kind: str,
-               priority: int = PRIORITY_NORMAL) -> Iterator[_QueryContext]:
+               priority: int = PRIORITY_NORMAL,
+               trace: Optional[TraceContext] = None,
+               ) -> Iterator[_QueryContext]:
         """One query's root span plus context; metrics on completion.
 
         With admission control configured this is the cluster's front
         door: the slot is taken before the span opens (a shed query
         runs nothing and traces nothing) and released on the way out.
+
+        ``trace`` is an inbound :class:`TraceContext` from the caller
+        (a coordinating local plan, a parent service); without one the
+        query starts a fresh trace with a counter-allocated id and
+        ``priority`` in its baggage.  Either way the root span is
+        stamped with the trace id (and a ``link_parent`` back-link
+        when the causal parent lives on another tracer), child bucket
+        spans inherit the context, and the query-latency histogram
+        records the trace id as the bucket's exemplar -- the
+        histogram-to-trace link.
         """
         if self.admission is not None:
             try:
@@ -939,11 +978,20 @@ class Cluster:
                     "repro_gov_in_flight",
                     "Admitted queries currently executing.",
                 ).set(self.admission.in_flight)
+        if trace is None:
+            trace = TraceContext(
+                "t-%06d" % next(self._trace_ids),
+                baggage={"priority": priority},
+            )
         started = time.perf_counter()
         try:
             with self.tracer.span(describe, kind=kind) as span:
+                trace.annotate(span)
+                for bag_key in sorted(trace.baggage):
+                    span.set("bag_%s" % bag_key, trace.baggage[bag_key])
                 context = _QueryContext(
-                    describe, span, deadline=self._query_deadline()
+                    describe, span, deadline=self._query_deadline(),
+                    trace=trace.child_of(span),
                 )
                 self._last_context = context
                 yield context
@@ -951,7 +999,11 @@ class Cluster:
                 _metrics.registry().histogram(
                     "repro_cluster_query_seconds",
                     "Distributed query wall time.", ("query",),
-                ).observe(time.perf_counter() - started, query=kind)
+                ).observe(
+                    time.perf_counter() - started,
+                    exemplar=trace.trace_id,
+                    query=kind,
+                )
         finally:
             if self.admission is not None:
                 self.admission.release()
@@ -1059,6 +1111,7 @@ class Cluster:
         allow_partial: bool = False,
         read_quorum: Optional[int] = None,
         priority: int = PRIORITY_NORMAL,
+        trace: Optional[TraceContext] = None,
     ) -> Any:
         """Gather every bucket to the coordinator (ships all rows).
 
@@ -1074,7 +1127,7 @@ class Cluster:
         """
         heading = self.heading(name)
         with self._query(
-            "scan(%s)" % name, "scan", priority=priority
+            "scan(%s)" % name, "scan", priority=priority, trace=trace
         ) as context:
             gathered = Relation(heading, xset([]))
             missing: List[MissingBucket] = []
@@ -1109,6 +1162,7 @@ class Cluster:
         allow_partial: bool = False,
         read_quorum: Optional[int] = None,
         priority: int = PRIORITY_NORMAL,
+        trace: Optional[TraceContext] = None,
     ) -> Any:
         """Distributed selection: routed when the key is covered.
 
@@ -1125,7 +1179,7 @@ class Cluster:
         attr = self.partition_attr(name)
         with self._query(
             "select_eq(%s, %s)" % (name, dict(conditions)), "select_eq",
-            priority=priority,
+            priority=priority, trace=trace,
         ) as context:
             if attr in conditions:
                 context.span.set("routing", "routed")
@@ -1193,7 +1247,8 @@ class Cluster:
     # ------------------------------------------------------------------
 
     def join(self, left: str, right: str,
-             priority: int = PRIORITY_NORMAL) -> Relation:
+             priority: int = PRIORITY_NORMAL,
+             trace: Optional[TraceContext] = None) -> Relation:
         """Distributed natural join.
 
         Co-partitioned (both tables partitioned on a shared join
@@ -1219,7 +1274,8 @@ class Cluster:
             == self._placements[right].replication_factor
         )
         with self._query(
-            "join(%s, %s)" % (left, right), "join", priority=priority
+            "join(%s, %s)" % (left, right), "join", priority=priority,
+            trace=trace,
         ) as context:
             context.span.set(
                 "strategy", "co_partitioned" if co_partitioned else "shuffle"
@@ -1292,6 +1348,7 @@ class Cluster:
         group_attrs: Sequence[str],
         aggregations: Mapping[str, Tuple[str, str]],
         priority: int = PRIORITY_NORMAL,
+        trace: Optional[TraceContext] = None,
     ) -> Relation:
         """Distributed group-by with partial-aggregate pushdown.
 
@@ -1315,7 +1372,7 @@ class Cluster:
                 )
         with self._query(
             "aggregate(%s, %s)" % (name, list(group_attrs)), "aggregate",
-            priority=priority,
+            priority=priority, trace=trace,
         ) as context:
             partial_rows: Dict[tuple, Dict[str, Any]] = {}
             for bucket_index in range(len(self.nodes)):

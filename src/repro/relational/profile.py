@@ -28,9 +28,10 @@ from typing import List, Optional, Tuple
 from repro.obs import instrument, metrics
 from repro.obs.trace import Span, Tracer
 from repro.obs.trace import tracer as global_tracer
-from repro.relational.columnar import materialize
-from repro.relational.query import Database, Plan
+from repro.relational.columnar import ColumnarRelation, materialize
+from repro.relational.query import Database, Plan, Scan, SelectEq
 from repro.relational.relation import Relation
+from repro.relational.stats import feedback_key
 
 __all__ = [
     "NodeProfile",
@@ -160,6 +161,21 @@ def execute_spanned(
             result = db.execute_node(node, inputs)
             rows = result.cardinality()
             span.set("rows", rows)
+            # Structured anchors for digests and the feedback loop:
+            # which backend served this node, and -- for the shapes
+            # feedback can learn -- which base relation / predicate the
+            # measured cardinality belongs to.
+            span.set(
+                "backend",
+                "columnar"
+                if isinstance(result, ColumnarRelation) else "row",
+            )
+            if isinstance(node, Scan):
+                span.set("relation", node.name)
+            elif isinstance(node, SelectEq) and \
+                    isinstance(node.child, Scan):
+                span.set("relation", node.child.name)
+                span.set("conditions", feedback_key(node.conditions))
             if estimator is not None:
                 from repro.relational.cost import qerror
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union as TypingUnion
 
-from repro.errors import SchemaError
+from repro.errors import SchemaError, XSTError
 from repro.gov.governor import active as _gov_active
 from repro.obs.instrument import enabled as _obs_enabled
 from repro.relational import algebra
@@ -211,6 +211,28 @@ _OP_NAMES = {
 }
 
 
+def _gov_summary(root_span) -> Dict[str, Any]:
+    """Governance events for a digest: span annotations + live ledgers.
+
+    ``gov_died_at``/``gov_checkpoints`` come off the span tree (stamped
+    by the governor's cancellation path); checkpoint and budget totals
+    come from the ambient governor when one is installed.
+    """
+    gov: Dict[str, Any] = {}
+    for span in root_span.tree():
+        for key in ("gov_died_at", "gov_checkpoints"):
+            value = span.attrs.get(key)
+            if value is not None:
+                gov[key] = value
+    governor = _gov_active()
+    if governor is not None:
+        gov["checkpoints"] = governor.checkpoints
+        if governor.budget is not None:
+            gov["budget_rows"] = governor.budget.rows
+            gov["budget_cells"] = governor.budget.cells
+    return gov
+
+
 class Database:
     """A catalog of named relations plus the two executors."""
 
@@ -218,6 +240,7 @@ class Database:
         self._relations: Dict[str, Relation] = dict(relations or {})
         self._columnar: Dict[str, ColumnarRelation] = {}
         self._stats = None
+        self._feedback = None
 
     def add(self, name: str, relation: Relation) -> None:
         self._relations[name] = relation
@@ -324,11 +347,73 @@ class Database:
         measures explicitly.
         """
         if _obs_enabled():
-            from repro.relational.profile import execute_spanned
-
-            result, _ = execute_spanned(self, plan)
-            return _materialize(result)
+            return self._execute_observed(plan)
         return _materialize(self._execute_raw(plan))
+
+    def _execute_observed(self, plan: Plan) -> Relation:
+        """The ``REPRO_OBS=1`` path: spans, then a digest per query.
+
+        Every execution -- successful or dying on a typed error --
+        produces one :class:`~repro.obs.digest.QueryDigest` built from
+        the recorded span tree and fanned out to the digest sinks
+        (slow-query log, flight recorder).  When a
+        :class:`~repro.obs.feedback.FeedbackLoop` is enabled, its
+        corrections are applied before returning, so the *next* query
+        over the same shapes plans from observed cardinalities.
+        """
+        if not isinstance(plan, Plan):
+            raise TypeError("unknown plan node %r" % (plan,))
+        from repro.obs.digest import build_digest, plan_hash, record_digest
+        from repro.obs.trace import tracer as _tracer
+        from repro.relational.profile import execute_spanned
+
+        hash_value = plan_hash(plan.explain())
+        try:
+            result, root = execute_spanned(self, plan)
+        except XSTError as error:
+            root = _tracer().last_root()
+            if root is not None:
+                digest = build_digest(
+                    root,
+                    hash_value,
+                    describe=plan.describe(),
+                    status=getattr(error, "code", type(error).__name__),
+                    gov=_gov_summary(root),
+                    trace_id=root.attrs.get("trace_id"),
+                )
+                record_digest(digest)
+                if self._feedback is not None:
+                    self._feedback.consume(digest)
+            raise
+        digest = build_digest(
+            root,
+            hash_value,
+            describe=plan.describe(),
+            gov=_gov_summary(root),
+            trace_id=root.attrs.get("trace_id"),
+        )
+        record_digest(digest)
+        if self._feedback is not None:
+            self._feedback.consume(digest)
+        return _materialize(result)
+
+    def enable_feedback(self, **kwargs):
+        """Attach (and return) a planner feedback loop to this database.
+
+        Every observed execution's digest is then fed back into
+        :attr:`stats` as overlay corrections (see
+        :mod:`repro.obs.feedback`).  Idempotent: an existing loop is
+        returned unchanged unless keyword overrides are given.
+        """
+        if self._feedback is None or kwargs:
+            from repro.obs.feedback import FeedbackLoop
+
+            self._feedback = FeedbackLoop(self, **kwargs)
+        return self._feedback
+
+    def disable_feedback(self) -> None:
+        """Detach the feedback loop (overlay corrections remain)."""
+        self._feedback = None
 
     def _execute_raw(self, plan: Plan) -> Operand:
         """Bottom-up evaluation *without* canonicalizing intermediates.

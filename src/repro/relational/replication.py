@@ -78,6 +78,16 @@ class ReplicaPlacement:
     def primary(self, bucket: int) -> int:
         return self.replicas(bucket)[0]
 
+    def ring(self, bucket: int) -> str:
+        """The bucket's replica ring as a compact span attribute.
+
+        Primary-first node indices joined with ``>`` (failover order),
+        e.g. ``"2>3>0"`` -- stamped on per-bucket read spans so a
+        trace shows which failover chain a read walked without
+        consulting the placement separately.
+        """
+        return ">".join(str(index) for index in self.replicas(bucket))
+
     def buckets_on(self, node_index: int) -> List[int]:
         """Every bucket the given node holds a copy of."""
         return [

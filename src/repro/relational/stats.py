@@ -34,6 +34,17 @@ and the planner falls back to the heuristic constants until a fresh
 ANALYZE.  Catalogs serialize to/from canonical XSet values so
 :class:`~repro.relational.disk.DiskRelationStore` checkpoints persist
 them next to the data they describe.
+
+Execution feedback: the observability loop (:mod:`repro.obs.feedback`)
+can install *observed* cardinalities -- what a predicate actually
+returned at run time -- as a bounded **overlay** keyed by
+``(relation, feedback_key(conditions))``.  The overlay never touches
+the ANALYZE ground truth in ``_entries``: corrections live beside it,
+are consulted first by the cost model, are dropped the moment the
+relation is re-ANALYZEd, and are runtime-only (they do not serialize).
+Severe, repeated misestimates can additionally *force* an entry stale
+via :meth:`StatsCatalog.mark_stale`, steering the owner toward a
+fresh ANALYZE.
 """
 
 from __future__ import annotations
@@ -57,6 +68,8 @@ __all__ = [
     "MCV_SIZE",
     "STALE_FRACTION",
     "STALE_MIN_MUTATIONS",
+    "FEEDBACK_MAX_ENTRIES",
+    "feedback_key",
 ]
 
 #: KMV sketch size: the k smallest canonical hashes kept per attribute.
@@ -76,9 +89,26 @@ STALE_FRACTION = 0.2
 #: single insert.
 STALE_MIN_MUTATIONS = 16
 
+#: Upper bound on feedback-overlay entries per catalog; the oldest
+#: correction is evicted first (FIFO), so a long-running workload's
+#: overlay stays a cache, not a second catalog.
+FEEDBACK_MAX_ENTRIES = 128
+
 #: Hash range of :func:`canonical_hash` (32 bits), for the KMV
 #: estimator's unit-interval normalization.
 _HASH_SPACE = float(1 << 32)
+
+
+def feedback_key(conditions: Mapping[str, Any]) -> str:
+    """Canonical overlay key for an equality-predicate set.
+
+    Attribute-sorted ``repr`` pairs, so ``{"a": 1, "b": 2}`` and
+    ``{"b": 2, "a": 1}`` key identically and the key is a plain string
+    that survives JSONL round trips through digests.
+    """
+    return ",".join(
+        "%s=%r" % (name, conditions[name]) for name in sorted(conditions)
+    )
 
 
 def _kmv_estimate(hashes: Sequence[int], exact_distinct: int) -> int:
@@ -341,11 +371,19 @@ class StatsCatalog:
         self,
         stale_fraction: float = STALE_FRACTION,
         stale_min: int = STALE_MIN_MUTATIONS,
+        feedback_max: int = FEEDBACK_MAX_ENTRIES,
     ):
         self._entries: Dict[str, RelationStats] = {}
         self._mutations: Dict[str, int] = {}
         self._stale_fraction = stale_fraction
         self._stale_min = stale_min
+        # Runtime-only execution-feedback state: cardinality overlay
+        # keyed by (relation, feedback_key-or-None) in insertion order
+        # (FIFO eviction), plus the force-stale set.  Neither
+        # serializes -- restored catalogs start with a clean overlay.
+        self._feedback: Dict[Tuple[str, Optional[str]], int] = {}
+        self._feedback_max = feedback_max
+        self._force_stale: set = set()
 
     # -- population -----------------------------------------------------
 
@@ -360,15 +398,25 @@ class StatsCatalog:
         stats = analyze_relation(relation, sample_rows=sample_rows, seed=seed)
         self._entries[name] = stats
         self._mutations[name] = 0
+        # Fresh ground truth supersedes every runtime correction.
+        self._discard_feedback(name)
         return stats
 
     def install(self, name: str, stats: RelationStats) -> None:
         self._entries[name] = stats
         self._mutations.setdefault(name, 0)
+        self._discard_feedback(name)
 
     def drop(self, name: str) -> None:
         self._entries.pop(name, None)
         self._mutations.pop(name, None)
+        self._discard_feedback(name)
+
+    def _discard_feedback(self, name: str) -> None:
+        self._force_stale.discard(name)
+        stale_keys = [entry for entry in self._feedback if entry[0] == name]
+        for entry in stale_keys:
+            del self._feedback[entry]
 
     # -- reads ----------------------------------------------------------
 
@@ -410,10 +458,61 @@ class StatsCatalog:
     def is_stale(self, name: str) -> bool:
         if name not in self._entries:
             return False
+        if name in self._force_stale:
+            return True
         return self._mutations.get(name, 0) > self.stale_threshold(name)
+
+    def mark_stale(self, name: str) -> None:
+        """Force ``name`` stale regardless of its mutation ledger.
+
+        The feedback loop calls this after repeated *severe*
+        misestimates: the ANALYZE entry is evidently wrong about the
+        live data even though no mutations were recorded through the
+        transaction layer.  A fresh :meth:`analyze` clears the mark.
+        """
+        if name in self._entries:
+            self._force_stale.add(name)
 
     def stale_names(self) -> List[str]:
         return sorted(name for name in self._entries if self.is_stale(name))
+
+    # -- execution feedback overlay -------------------------------------
+
+    def record_feedback(
+        self, name: str, key: Optional[str], rows: int
+    ) -> None:
+        """Install one observed cardinality: ``rows`` for ``key``.
+
+        ``key`` is a :func:`feedback_key` string for an equality
+        predicate over ``name``, or ``None`` for the relation's own
+        observed row count (a Scan correction).  The overlay is FIFO
+        bounded at ``feedback_max`` entries and never touches the
+        ANALYZE ground truth.
+        """
+        if rows < 0:
+            raise SchemaError("observed cardinalities are non-negative")
+        entry = (name, key)
+        if entry not in self._feedback and \
+                len(self._feedback) >= self._feedback_max:
+            oldest = next(iter(self._feedback))
+            del self._feedback[oldest]
+        self._feedback[entry] = int(rows)
+
+    def feedback_rows(self, name: str, key: Optional[str]) -> Optional[int]:
+        """The overlay correction for ``(name, key)``, or ``None``."""
+        return self._feedback.get((name, key))
+
+    def feedback_entries(self) -> Dict[Tuple[str, Optional[str]], int]:
+        """A copy of the live overlay (insertion order preserved)."""
+        return dict(self._feedback)
+
+    def clear_feedback(self, name: Optional[str] = None) -> None:
+        """Drop the overlay (for one relation, or entirely)."""
+        if name is None:
+            self._feedback.clear()
+            self._force_stale.clear()
+        else:
+            self._discard_feedback(name)
 
     # -- serialization --------------------------------------------------
 

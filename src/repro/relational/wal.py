@@ -60,7 +60,7 @@ from typing import (
     Tuple,
 )
 
-from repro.errors import XSTError
+from repro.errors import XSTError, notify_error
 from repro.xst.builders import xrecord, xtuple
 from repro.xst.serialization import dumps, loads
 from repro.xst.xset import XSet
@@ -92,7 +92,16 @@ class CorruptLogError(XSTError, ValueError):
     silently truncates it.  Corruption means bytes inside the valid
     prefix changed, so no prefix of the log can be trusted blindly
     and recovery refuses to guess.
+
+    Construction notifies the flight-recorder hook (see
+    :func:`repro.errors.set_error_listener`), matching the
+    availability family: corrupt durable state is exactly the failure
+    an incident snapshot should capture context for.
     """
+
+    def __init__(self, *args):
+        super().__init__(*args)
+        notify_error(self)
 
 
 class CorruptSegmentError(XSTError, ValueError):

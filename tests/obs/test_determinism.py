@@ -107,3 +107,89 @@ def test_different_plans_diverge():
             span_shape(root) for root in cluster.tracer.roots()
         ))
     assert len(shapes) > 1
+
+
+def causal_shape(span):
+    """Just the causal attributes: trace id, cross-links, rings."""
+    keys = ("trace_id", "link_parent", "ring")
+    return (
+        span.name,
+        tuple((key, span.attrs.get(key)) for key in keys),
+        tuple(causal_shape(child) for child in span.children),
+    )
+
+
+@pytest.mark.parametrize("chaos_seed", (3, 17, 42))
+def test_causal_links_are_byte_reproducible(chaos_seed):
+    first = run_workload(build_cluster(chaos_seed))
+    second = run_workload(build_cluster(chaos_seed))
+    first_shapes = [causal_shape(root) for root in first.tracer.roots()]
+    second_shapes = [causal_shape(root) for root in second.tracer.roots()]
+    assert first_shapes == second_shapes
+
+
+def test_trace_ids_are_counter_allocated_per_query():
+    cluster = run_workload(build_cluster(3))
+    query_roots = [
+        root for root in cluster.tracer.roots() if "kind" in root.attrs
+    ]
+    assert [root.attrs["trace_id"] for root in query_roots] == [
+        "t-%06d" % index for index in range(1, len(query_roots) + 1)
+    ]
+    assert len(query_roots) == 3
+
+
+def incident_history():
+    """One successful query, then a dead-partition read: one incident."""
+    import json
+
+    from repro.errors import ClusterUnavailableError
+    from repro.obs.metrics import registry
+    from repro.obs.recorder import FlightRecorder
+    from repro.relational.faults import FaultPlan
+
+    registry().reset()
+    recorder = FlightRecorder(window=32)
+    recorder.install()
+    try:
+        cluster = Cluster(2, replication_factor=1, clock=FakeClock())
+        cluster.create_table(
+            "emp", employee_relation(EMP_COUNT, DEPT_COUNT, seed=SEED),
+            "dept",
+        )
+        cluster.scan("emp")
+        cluster.install_faults(FaultPlan().kill("node-0", at_op=0))
+        with pytest.raises(ClusterUnavailableError):
+            cluster.scan("emp")
+        incidents = recorder.incidents()
+        # Real wall-time measurements are the one non-deterministic
+        # dimension (the _TIMING_ATTRS convention above): strip the
+        # serve-time span attribute and the latency metric families.
+        for incident in incidents:
+            for event in incident["window"]:
+                if event["event"] == "span":
+                    for attr in _TIMING_ATTRS:
+                        event["attrs"].pop(attr, None)
+            incident["metrics"] = {
+                key: value
+                for key, value in incident["metrics"].items()
+                if "seconds" not in key
+            }
+        return json.dumps(incidents, sort_keys=True)
+    finally:
+        recorder.uninstall()
+        registry().reset()
+
+
+def test_incident_snapshots_are_byte_reproducible():
+    import json
+
+    first = incident_history()
+    second = incident_history()
+    assert first == second
+    (incident,) = json.loads(first)
+    assert incident["seq"] == 1
+    assert incident["error"]["code"] == "CLUSTER_UNAVAILABLE"
+    assert incident["error"]["context"]["table"] == "emp"
+    # The window's latest trace is the one the incident points at.
+    assert incident["trace_id"] == "t-000001"

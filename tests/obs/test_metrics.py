@@ -180,3 +180,103 @@ class TestExposition:
             tag='quo"te\nnewline'
         )
         parse_exposition(registry.expose())  # must stay parseable
+
+
+class TestExpositionEdgeCases:
+    def test_trailing_backslash_label_survives_round_trip(self):
+        registry = Registry()
+        registry.counter("repro_path_total", "", ("path",)).inc(
+            path="C:\\temp\\"
+        )
+        families = parse_exposition(registry.expose())
+        (name, _value), = families["repro_path_total"]
+        assert '\\\\' in name  # the backslashes are doubled on the wire
+
+    def test_inf_bucket_row_is_explicit(self):
+        registry = Registry()
+        registry.histogram(
+            "repro_lat_seconds", "Latency.", buckets=(0.1, 1.0)
+        ).observe(30.0)
+        text = registry.expose()
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 1' in text
+        families = parse_exposition(text)
+        rows = dict(families["repro_lat_seconds"])
+        assert rows['repro_lat_seconds_bucket{le="+Inf"}'] == 1
+        assert rows['repro_lat_seconds_bucket{le="1"}'] == 0
+
+    def test_infinite_gauge_values_render_per_spec(self):
+        registry = Registry()
+        registry.gauge("repro_limit", "Limit.").set(float("inf"))
+        text = registry.expose()
+        assert "repro_limit +Inf" in text
+        parse_exposition(text)
+
+    def test_negative_infinity_renders_per_spec(self):
+        registry = Registry()
+        registry.gauge("repro_floor", "Floor.").set(float("-inf"))
+        assert "repro_floor -Inf" in registry.expose()
+
+    def test_nan_gauge_values_render_per_spec(self):
+        registry = Registry()
+        registry.gauge("repro_odd", "Odd.").set(float("nan"))
+        text = registry.expose()
+        assert "repro_odd NaN" in text
+        parse_exposition(text)
+
+    def test_help_text_newlines_are_escaped(self):
+        registry = Registry()
+        registry.counter(
+            "repro_doc_total", "line one\nline two \\ backslash"
+        ).inc()
+        text = registry.expose()
+        assert "# HELP repro_doc_total line one\\nline two \\\\ backslash" \
+            in text
+        parse_exposition(text)  # no smuggled sample line
+
+
+class TestExemplars:
+    def build(self) -> Histogram:
+        histogram = Histogram(
+            "repro_lat_seconds", "Latency.", ("op",), buckets=(0.1, 1.0)
+        )
+        histogram.observe(0.05, exemplar="t-000001", op="a")
+        histogram.observe(0.5, exemplar="t-000002", op="a")
+        histogram.observe(30.0, exemplar="t-000003", op="a")
+        return histogram
+
+    def test_exemplars_link_buckets_to_trace_ids(self):
+        assert self.build().exemplars(op="a") == {
+            "0.1": "t-000001", "1": "t-000002", "+Inf": "t-000003"
+        }
+
+    def test_last_exemplar_per_bucket_wins(self):
+        histogram = self.build()
+        histogram.observe(0.06, exemplar="t-000009", op="a")
+        assert histogram.exemplars(op="a")["0.1"] == "t-000009"
+
+    def test_exemplars_are_per_label_combination(self):
+        histogram = self.build()
+        histogram.observe(0.05, exemplar="t-000042", op="b")
+        assert histogram.exemplars(op="b") == {"0.1": "t-000042"}
+        assert histogram.exemplars(op="a")["0.1"] == "t-000001"
+
+    def test_observations_without_exemplars_leave_no_link(self):
+        histogram = Histogram(
+            "repro_lat_seconds", "Latency.", buckets=(0.1, 1.0)
+        )
+        histogram.observe(0.05)
+        assert histogram.exemplars() == {}
+
+    def test_exposition_stays_exemplar_free_and_parseable(self):
+        registry = Registry()
+        registry.histogram(
+            "repro_lat_seconds", "Latency.", ("op",), buckets=(0.1, 1.0)
+        ).observe(0.05, exemplar="t-000001", op="a")
+        text = registry.expose()
+        assert "t-000001" not in text  # API-only: the text format 0.0.4
+        parse_exposition(text)        # has no exemplar syntax
+
+    def test_reset_drops_exemplars(self):
+        histogram = self.build()
+        histogram.reset()
+        assert histogram.exemplars(op="a") == {}

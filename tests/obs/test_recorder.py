@@ -1,0 +1,225 @@
+"""The flight recorder: bounded window, incident snapshots, free-when-off."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    OverloadedError,
+    set_error_listener,
+)
+from repro.obs.digest import record_digest
+from repro.obs.metrics import registry
+from repro.obs.recorder import FlightRecorder, notify_gov_event, recorder
+from repro.obs.trace import FakeClock, Tracer, set_span_listener
+from repro.relational.wal import CorruptLogError
+from tests.obs.test_digest import make_digest
+
+
+@pytest.fixture
+def rec():
+    """A small installed recorder, cleanly uninstalled afterwards."""
+    recorder = FlightRecorder(window=8, incident_capacity=4)
+    recorder.install()
+    yield recorder
+    recorder.uninstall()
+
+
+def run_span(name="bucket[3]", **attrs):
+    tracer = Tracer(clock=FakeClock())
+    span = tracer.start(name, **attrs)
+    tracer.advance(0.01)
+    tracer.end(span)
+    return span
+
+
+class TestEventIntake:
+    def test_finished_spans_enter_the_ring(self, rec):
+        run_span("scan emp", rows=12)
+        events = rec.window()
+        assert events[-1]["event"] == "span"
+        assert events[-1]["name"] == "scan emp"
+        assert events[-1]["attrs"]["rows"] == 12
+
+    def test_digests_enter_the_ring(self, rec):
+        record_digest(make_digest(hash_value="feed0001"))
+        assert rec.window()[-1] == {
+            "event": "digest",
+            "plan_hash": "feed0001",
+            "describe": "Scan(emp)",
+            "status": "ok",
+            "wall_s": 0.001,
+            "backend": "row",
+            "trace_id": None,
+        }
+
+    def test_gov_events_enter_the_ring(self, rec):
+        rec.on_gov_event("cancelled", {"reason": "deadline", "site": "xst"})
+        assert rec.window()[-1] == {
+            "event": "gov", "kind": "cancelled",
+            "reason": "deadline", "site": "xst",
+        }
+
+    def test_notify_routes_to_the_installed_global(self):
+        from repro.obs.recorder import disable, enable
+
+        global_rec = enable()
+        try:
+            notify_gov_event("cancelled", {"reason": "deadline"})
+            assert global_rec.window()[-1]["kind"] == "cancelled"
+        finally:
+            disable()
+            global_rec.reset()
+
+    def test_ring_is_bounded_oldest_first(self, rec):
+        for index in range(12):
+            run_span("span-%d" % index)
+        names = [event["name"] for event in rec.window()]
+        assert len(names) == 8
+        assert names[0] == "span-4"
+        assert names[-1] == "span-11"
+
+
+class TestIncidents:
+    def test_typed_error_construction_snapshots(self, rec):
+        run_span("bucket[3]", trace_id="t-000042")
+        DeadlineExceededError(1.5, 1.0, site="xst.cross")
+        assert len(rec.incidents()) == 1
+        incident = rec.incidents()[0]
+        assert incident["seq"] == 1
+        assert incident["error"]["type"] == "DeadlineExceededError"
+        assert incident["error"]["code"] == "DEADLINE_EXCEEDED"
+        assert incident["error"]["context"] == {
+            "elapsed_s": 1.5, "timeout_s": 1.0, "site": "xst.cross"
+        }
+
+    def test_trace_id_is_lifted_from_the_window(self, rec):
+        run_span("bucket[0]")  # no trace id
+        run_span("bucket[1]", trace_id="t-000009")
+        OverloadedError(4, 4, 0.25)
+        assert rec.incidents()[0]["trace_id"] == "t-000009"
+
+    def test_replica_tuples_render_as_lists(self, rec):
+        CircuitOpenError("emp", 3, "node-1", retry_after_ops=5)
+        context = rec.incidents()[0]["error"]["context"]
+        assert context["retry_after_ops"] == 5
+        json.dumps(rec.incidents()[0], sort_keys=True)  # wire-format clean
+
+    def test_corrupt_log_errors_snapshot_too(self, rec):
+        CorruptLogError("frame 3 failed its checksum")
+        assert rec.incidents()[0]["error"]["type"] == "CorruptLogError"
+
+    def test_window_travels_with_the_incident(self, rec):
+        run_span("before-the-fall")
+        DeadlineExceededError(2.0, 1.0)
+        window = rec.incidents()[0]["window"]
+        assert any(event.get("name") == "before-the-fall" for event in window)
+
+    def test_metrics_subset_only_cluster_and_gov(self, rec):
+        reg = registry()
+        reg.reset()
+        try:
+            reg.counter("repro_cluster_reads_total", "Reads.").inc()
+            reg.counter("repro_xst_op_total", "Ops.", ("op",)).inc(op="image")
+            DeadlineExceededError(2.0, 1.0)
+            metrics = rec.incidents()[0]["metrics"]
+            assert "repro_cluster_reads_total" in metrics
+            assert not any(key.startswith("repro_xst") for key in metrics)
+        finally:
+            reg.reset()
+
+    def test_incident_capacity_evicts_oldest(self, rec):
+        for index in range(6):
+            DeadlineExceededError(float(index + 2), 1.0)
+        seqs = [incident["seq"] for incident in rec.incidents()]
+        assert seqs == [3, 4, 5, 6]
+
+    def test_snapshot_is_reentrancy_guarded(self, rec):
+        rec._in_snapshot = True
+        try:
+            DeadlineExceededError(2.0, 1.0)
+            assert rec.incidents() == []
+        finally:
+            rec._in_snapshot = False
+
+    def test_incidents_stream_to_the_path(self, rec, tmp_path):
+        target = tmp_path / "incidents.jsonl"
+        rec.path = str(target)
+        DeadlineExceededError(2.0, 1.0)
+        OverloadedError(4, 4, 0.25)
+        lines = target.read_text().splitlines()
+        assert [json.loads(line)["seq"] for line in lines] == [1, 2]
+
+
+class TestLifecycle:
+    def test_uninstalled_recorder_sees_nothing(self):
+        recorder = FlightRecorder()
+        run_span("unseen")
+        DeadlineExceededError(2.0, 1.0)
+        assert recorder.window() == []
+        assert recorder.incidents() == []
+
+    def test_free_when_off_no_global_listeners(self):
+        # Nothing installed: both global hooks must be None so span
+        # close and error construction stay at one None check.
+        previous_span = set_span_listener(None)
+        previous_error = set_error_listener(None)
+        set_span_listener(previous_span)
+        set_error_listener(previous_error)
+        assert previous_span is None
+        assert previous_error is None
+
+    def test_install_is_idempotent_and_uninstall_restores(self, rec):
+        sentinel_calls = []
+        previous = set_span_listener(sentinel_calls.append)
+        recorder = FlightRecorder()
+        try:
+            recorder.install()
+            recorder.install()  # idempotent
+            assert recorder.installed
+            recorder.uninstall()
+            assert not recorder.installed
+            # The sentinel must be back in place after uninstall.
+            run_span("after-restore")
+            assert len(sentinel_calls) == 1
+        finally:
+            recorder.uninstall()
+            set_span_listener(previous)
+
+    def test_gov_notify_is_a_no_op_when_uninstalled(self):
+        from repro.obs.recorder import recorder as global_recorder
+
+        before = len(global_recorder().window())
+        notify_gov_event("cancelled", {"reason": "unwatched"})
+        assert len(global_recorder().window()) == before
+
+    def test_capacities_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(window=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(incident_capacity=0)
+
+    def test_global_recorder_exists_uninstalled(self):
+        assert isinstance(recorder(), FlightRecorder)
+
+
+class TestExportAndReset:
+    def test_export_jsonl_round_trips(self, rec):
+        run_span("bucket[2]", trace_id="t-000003")
+        DeadlineExceededError(2.0, 1.0)
+        buffer = io.StringIO()
+        assert rec.export_jsonl(buffer) == 1
+        record = json.loads(buffer.getvalue())
+        assert record["error"]["code"] == "DEADLINE_EXCEEDED"
+        assert record["trace_id"] == "t-000003"
+
+    def test_reset_restarts_sequence_numbers(self, rec):
+        DeadlineExceededError(2.0, 1.0)
+        rec.reset()
+        assert rec.window() == []
+        assert rec.incidents() == []
+        DeadlineExceededError(2.0, 1.0)
+        assert rec.incidents()[0]["seq"] == 1

@@ -177,3 +177,109 @@ class TestExport:
             span.rename("emp[0] @ node-2")
         assert tracer.last_root().name == "emp[0] @ node-2"
         assert "emp[0] @ node-2" in tracer.render()
+
+
+class TestTraceContext:
+    def make_tracer(self):
+        return Tracer(clock=FakeClock())
+
+    def test_child_of_carries_id_and_baggage(self):
+        from repro.obs.trace import TraceContext
+
+        tracer = self.make_tracer()
+        span = tracer.start("coordinator")
+        context = TraceContext("t-000001", baggage={"priority": "high"})
+        child = context.child_of(span)
+        assert child.trace_id == "t-000001"
+        assert child.span_id == span.span_id
+        assert child.baggage == {"priority": "high"}
+        tracer.end(span)
+
+    def test_annotate_always_stamps_the_trace_id(self):
+        from repro.obs.trace import TraceContext
+
+        tracer = self.make_tracer()
+        span = tracer.start("read")
+        TraceContext("t-000002").annotate(span)
+        tracer.end(span)
+        assert span.attrs["trace_id"] == "t-000002"
+        assert "link_parent" not in span.attrs
+
+    def test_link_parent_only_marks_cross_tracer_seams(self):
+        from repro.obs.trace import TraceContext
+
+        coordinator = self.make_tracer()
+        query = coordinator.start("query")
+        context = TraceContext("t-000003").child_of(query)
+
+        # Same-stack child: structural parent == causal parent, so the
+        # annotation adds no redundant link attribute.
+        nested = coordinator.start("bucket[0]")
+        context.annotate(nested)
+        assert "link_parent" not in nested.attrs
+        coordinator.end(nested)
+        coordinator.end(query)
+
+        # A span on another tracer has no structural parent at all --
+        # the causal link must be made explicit.
+        worker = self.make_tracer()
+        remote = worker.start("rebuild")
+        context.annotate(remote)
+        worker.end(remote)
+        assert remote.attrs["trace_id"] == "t-000003"
+        assert remote.attrs["link_parent"] == query.span_id
+
+    def test_to_dict_is_portable(self):
+        from repro.obs.trace import TraceContext
+
+        context = TraceContext("t-000004", span_id=9, baggage={"p": 1})
+        assert context.to_dict() == {
+            "trace_id": "t-000004", "span_id": 9, "baggage": {"p": 1}
+        }
+
+
+class TestCurrentContext:
+    def test_none_outside_any_span(self):
+        assert Tracer(clock=FakeClock()).current_context() is None
+
+    def test_derives_a_stable_id_from_the_root(self):
+        tracer = Tracer(clock=FakeClock())
+        root = tracer.start("query")
+        inner = tracer.start("operator")
+        context = tracer.current_context()
+        assert context.trace_id == "span-%d" % root.span_id
+        assert context.span_id == inner.span_id
+        tracer.end(inner)
+        tracer.end(root)
+
+    def test_prefers_a_stamped_trace_id(self):
+        tracer = Tracer(clock=FakeClock())
+        root = tracer.start("query", trace_id="t-000042")
+        assert tracer.current_context().trace_id == "t-000042"
+        tracer.end(root)
+
+
+class TestSpanListener:
+    def test_fires_once_per_finished_span(self):
+        from repro.obs.trace import set_span_listener
+
+        finished = []
+        previous = set_span_listener(finished.append)
+        try:
+            tracer = Tracer(clock=FakeClock())
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    pass
+            assert [span.name for span in finished] == ["inner", "outer"]
+        finally:
+            set_span_listener(previous)
+
+    def test_set_returns_the_previous_listener(self):
+        from repro.obs.trace import set_span_listener
+
+        sentinel = lambda span: None
+        original = set_span_listener(sentinel)
+        try:
+            assert set_span_listener(sentinel) is sentinel
+        finally:
+            set_span_listener(original)

@@ -247,3 +247,86 @@ class TestStatsFanout:
         )
         assert reordered.select_eq("emp", {"salary": 50000}) == \
             plain.select_eq("emp", {"salary": 50000})
+
+
+class TestTracePropagation:
+    def test_query_roots_get_sequential_trace_ids(self, cluster):
+        cluster.scan("emp")
+        cluster.select_eq("emp", {"dept": 3})
+        cluster.aggregate("emp", ["dept"], {"n": ("count", "emp")})
+        roots = [
+            root for root in cluster.tracer.roots() if "kind" in root.attrs
+        ]
+        assert [root.attrs["trace_id"] for root in roots] == [
+            "t-000001", "t-000002", "t-000003"
+        ]
+
+    def test_bucket_spans_inherit_the_coordinator_trace(self, cluster):
+        cluster.select_eq("emp", {"dept": 3})
+        root = cluster.last_query_span
+        buckets = [
+            span for span in root.tree() if "bucket" in span.attrs
+        ]
+        assert buckets
+        for span in buckets:
+            assert span.attrs["trace_id"] == root.attrs["trace_id"]
+            # Structural parent == causal parent: no redundant link.
+            assert "link_parent" not in span.attrs
+
+    def test_bucket_spans_record_the_failover_ring(self, cluster):
+        cluster.scan("emp")
+        for span in cluster.last_query_span.tree():
+            if "bucket" in span.attrs:
+                assert span.attrs["ring"] == str(span.attrs["bucket"])
+
+    def test_replicated_rings_list_failover_order(self):
+        cluster = Cluster(4, replication_factor=2)
+        cluster.create_table(
+            "emp", employee_relation(80, 4, seed=37), "dept"
+        )
+        cluster.scan("emp")
+        rings = {
+            span.attrs["bucket"]: span.attrs["ring"]
+            for span in cluster.last_query_span.tree()
+            if "bucket" in span.attrs
+        }
+        assert rings == {0: "0>1", 1: "1>2", 2: "2>3", 3: "3>0"}
+
+    def test_an_explicit_context_is_honoured(self, cluster):
+        from repro.obs.trace import TraceContext
+
+        context = TraceContext(
+            "t-caller-01", baggage={"priority": "batch"}
+        )
+        cluster.scan("emp", trace=context)
+        root = cluster.last_query_span
+        assert root.attrs["trace_id"] == "t-caller-01"
+        assert root.attrs["bag_priority"] == "batch"
+
+    def test_priority_baggage_rides_along_by_default(self, cluster):
+        cluster.scan("emp")
+        from repro.gov.admission import PRIORITY_NORMAL
+
+        assert cluster.last_query_span.attrs["bag_priority"] == \
+            PRIORITY_NORMAL
+
+    def test_latency_exemplars_link_buckets_to_traces(self, cluster):
+        from repro.obs import instrument
+        from repro.obs.metrics import registry
+
+        previous = instrument.set_enabled(True)
+        registry().reset()
+        try:
+            cluster.scan("emp")
+            cluster.select_eq("emp", {"dept": 3})
+            histogram = registry().histogram(
+                "repro_cluster_query_seconds",
+                "Distributed query wall time.", ("query",),
+            )
+            scans = histogram.exemplars(query="scan")
+            selects = histogram.exemplars(query="select_eq")
+            assert list(scans.values()) == ["t-000001"]
+            assert list(selects.values()) == ["t-000002"]
+        finally:
+            instrument.set_enabled(previous)
+            registry().reset()

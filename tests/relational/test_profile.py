@@ -230,3 +230,60 @@ class TestEstimateAnnotations:
         _, profile = execute_profiled(db, Scan("emp"))
         assert profile.est_rows is None
         assert "(est " not in profile.render()
+
+
+class TestColumnarExclusiveSeconds:
+    """The columnar materialize step must not skew time attribution."""
+
+    def columnar_db(self):
+        database = Database()
+        database.add("emp", employee_relation(50, 5, seed=17))
+        database.add("dept", department_relation(5, seed=17))
+        database.encode_columnar(["emp"])
+        return database
+
+    @staticmethod
+    def walk(node):
+        yield node
+        for child in node.children:
+            yield from TestColumnarExclusiveSeconds.walk(child)
+
+    def test_materialize_heavy_child_cannot_go_negative(self):
+        from repro.obs.trace import FakeClock, Tracer
+        from repro.relational.profile import NodeProfile
+
+        tracer = Tracer(clock=FakeClock())
+        parent = tracer.start("Join")
+        parent.set("rows", 5)
+        child = tracer.start("materialize(columnar)")
+        child.set("rows", 50)
+        tracer.advance(0.5)   # the encode cost lands in the child...
+        tracer.end(child)
+        tracer.end(parent)    # ...and the parent closes immediately
+        profile = NodeProfile.from_span(parent)
+        assert profile.seconds == pytest.approx(0.5)
+        assert profile.exclusive_seconds() == 0.0
+        assert profile.children[0].exclusive_seconds() == pytest.approx(0.5)
+
+    def test_mixed_backend_run_keeps_every_node_non_negative(self):
+        from repro.relational.profile import NodeProfile, execute_spanned
+
+        db = self.columnar_db()
+        plan = Join(SelectEq(Scan("emp"), {"dept": 1}), Scan("dept"))
+        _, root = execute_spanned(db, plan)
+        backends = {span.attrs["backend"] for span in root.tree()}
+        assert backends == {"columnar", "row"}  # genuinely mixed
+        for node in self.walk(NodeProfile.from_span(root)):
+            assert node.exclusive_seconds() >= 0.0
+
+    def test_encode_cost_is_not_double_counted(self):
+        from repro.relational.profile import NodeProfile, execute_spanned
+
+        db = self.columnar_db()
+        plan = Join(SelectEq(Scan("emp"), {"dept": 1}), Scan("dept"))
+        _, root = execute_spanned(db, plan)
+        profile = NodeProfile.from_span(root)
+        total = sum(
+            node.exclusive_seconds() for node in self.walk(profile)
+        )
+        assert total <= profile.seconds + 1e-9

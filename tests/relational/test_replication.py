@@ -290,3 +290,20 @@ class TestReplicatedJoin:
         assert cluster.join("emp", "dept") == algebra.join(
             employees, departments
         )
+
+
+class TestRingRendering:
+    def test_ring_is_primary_first_failover_order(self):
+        placement = ReplicaPlacement(4, 3)
+        assert placement.ring(2) == "2>3>0"
+
+    def test_singleton_ring_is_just_the_primary(self):
+        placement = ReplicaPlacement(4, 1)
+        assert placement.ring(3) == "3"
+
+    def test_ring_matches_replicas(self):
+        placement = ReplicaPlacement(5, 2)
+        for bucket in range(5):
+            assert placement.ring(bucket) == ">".join(
+                str(index) for index in placement.replicas(bucket)
+            )

@@ -550,3 +550,157 @@ class TestFsckStats:
         capsys.readouterr()
         assert main(["fsck", durable_dir]) == 0
         assert "stats items: stale" in capsys.readouterr().out
+
+
+class TestObsTraceFormat:
+    def test_json_format_prints_ordered_span_lines(self, csv_dir, capsys):
+        import json
+
+        code = main(
+            ["obs-trace", csv_dir, "SELECT name FROM emp WHERE dept = 1",
+             "--format", "json"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        records = [json.loads(line) for line in out.splitlines()]
+        assert any(record["name"] == "Scan(emp)" for record in records)
+        keys = [(r["start_s"], r["span_id"]) for r in records]
+        assert keys == sorted(keys)
+        assert not any(line.startswith("--") for line in out.splitlines())
+
+    def test_json_format_cluster_join_includes_trace_ids(
+        self, csv_dir, capsys
+    ):
+        import json
+
+        code = main(
+            ["obs-trace", csv_dir, "emp", "dept", "dept",
+             "--nodes", "3", "--factor", "2", "--format", "json"]
+        )
+        assert code == 0
+        records = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+        ]
+        assert all(
+            record["attrs"].get("trace_id") == "t-000001"
+            for record in records
+        )
+
+    def test_text_is_the_default_format(self, csv_dir, capsys):
+        code = main(["obs-trace", csv_dir, "SELECT * FROM emp"])
+        assert code == 0
+        assert "-- " in capsys.readouterr().out
+
+    def test_unknown_format_fails_cleanly(self, csv_dir, capsys):
+        code = main(
+            ["obs-trace", csv_dir, "SELECT * FROM emp", "--format", "yaml"]
+        )
+        assert code == 2
+        assert "repro:" in capsys.readouterr().err
+
+
+@pytest.fixture
+def slowlog_file(tmp_path):
+    from repro.obs.slowlog import SlowQueryLog
+    from tests.obs.test_digest import make_digest
+
+    log = SlowQueryLog(threshold_s=0.0)
+    log.record(make_digest(wall_s=0.30, hash_value="aaaaaaaa"))
+    log.record(make_digest(wall_s=0.10, hash_value="bbbbbbbb", q_error=9.0))
+    target = tmp_path / "slow.jsonl"
+    log.export_jsonl(str(target))
+    return str(target)
+
+
+class TestObsReport:
+    def test_ranks_by_latency_by_default(self, slowlog_file, capsys):
+        assert main(["obs-report", slowlog_file]) == 0
+        out = capsys.readouterr().out
+        assert "2 digest(s), top 2 by latency" in out
+        assert out.index("aaaaaaaa") < out.index("bbbbbbbb")
+
+    def test_ranks_by_qerror_on_request(self, slowlog_file, capsys):
+        assert main(["obs-report", slowlog_file, "--by", "qerror"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert "bbbbbbbb" in lines[1]
+
+    def test_top_limits_the_listing(self, slowlog_file, capsys):
+        assert main(["obs-report", slowlog_file, "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "top 1 by latency" in out
+        assert "bbbbbbbb" not in out
+
+    def test_json_format_round_trips(self, slowlog_file, capsys):
+        import json
+
+        assert main(["obs-report", slowlog_file, "--format", "json"]) == 0
+        records = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+        ]
+        assert [record["plan_hash"] for record in records] == [
+            "aaaaaaaa", "bbbbbbbb"
+        ]
+
+    def test_missing_file_fails_cleanly(self, capsys):
+        assert main(["obs-report", "/does/not/exist.jsonl"]) == 2
+        assert "repro:" in capsys.readouterr().err
+
+    def test_malformed_lines_fail_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"ok": 1}\nnot json\n')
+        assert main(["obs-report", str(bad)]) == 2
+        assert "line 2" in capsys.readouterr().err
+
+    def test_unknown_sort_key_fails_cleanly(self, slowlog_file, capsys):
+        assert main(["obs-report", slowlog_file, "--by", "vibes"]) == 2
+
+    def test_wrong_arity(self, capsys):
+        assert main(["obs-report"]) == 2
+
+
+@pytest.fixture
+def incidents_file(tmp_path):
+    from repro.errors import DeadlineExceededError, OverloadedError
+    from repro.obs.recorder import FlightRecorder
+
+    recorder = FlightRecorder()
+    recorder.install()
+    try:
+        DeadlineExceededError(2.0, 1.0, site="xst.cross")
+        OverloadedError(3, 3, 0.5)
+    finally:
+        recorder.uninstall()
+    target = tmp_path / "incidents.jsonl"
+    recorder.export_jsonl(str(target))
+    return str(target)
+
+
+class TestObsIncidents:
+    def test_text_listing_orders_by_sequence(self, incidents_file, capsys):
+        assert main(["obs-incidents", incidents_file]) == 0
+        out = capsys.readouterr().out
+        assert "2 incident(s):" in out
+        assert out.index("#1 DeadlineExceededError (DEADLINE_EXCEEDED)") \
+            < out.index("#2 OverloadedError (OVERLOADED)")
+        assert "site='xst.cross'" in out
+
+    def test_json_format_round_trips(self, incidents_file, capsys):
+        import json
+
+        assert main(
+            ["obs-incidents", incidents_file, "--format", "json"]
+        ) == 0
+        records = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+        ]
+        assert [record["seq"] for record in records] == [1, 2]
+
+    def test_missing_file_fails_cleanly(self, capsys):
+        assert main(["obs-incidents", "/does/not/exist.jsonl"]) == 2
+        assert "repro:" in capsys.readouterr().err
+
+    def test_wrong_arity(self, capsys):
+        assert main(["obs-incidents"]) == 2
