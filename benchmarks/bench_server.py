@@ -1,0 +1,218 @@
+"""Experiment E25 harness: what serving over the wire costs.
+
+Three series against a real asyncio server on a loopback socket:
+
+1. **Round-trip latency.**  One query, one client, framing + CRC +
+   canonical JSON + session snapshot lookup on every call.  The gap
+   between this and embedded execution is the price of the front
+   door.
+
+2. **Open-loop latency profile.**  A seeded multi-client workload
+   (mixed queries, seeded arrival jitter) with capacity to spare;
+   p50/p99 land in ``extra_info`` so a saved run carries its tail,
+   not just its mean.
+
+3. **Shed rate under overload.**  The same workload with admission
+   slots held by a critical tenant: background-priority clients are
+   refused in O(1) at the front door while normal-priority clients
+   still get answers.  The recorded shed rate is deterministic for a
+   given seed because priorities, not timing, decide who sheds.
+"""
+
+import asyncio
+import random
+import time
+
+from repro.errors import OverloadedError, UnavailableError
+from repro.gov.admission import (
+    PRIORITY_BACKGROUND,
+    PRIORITY_CRITICAL,
+    PRIORITY_NORMAL,
+)
+from repro.relational.constraints import KeyConstraint, Table
+from repro.relational.tx import TransactionManager
+from repro.server import Server, connect
+from repro.workloads.generators import department_relation, employee_relation
+
+WORKLOAD = [
+    "select * from emp",
+    "select emp, name from emp where dept = 1",
+    "select * from emp join dept",
+    "select dept from dept",
+]
+
+
+def make_manager(seed, size=200):
+    emp = employee_relation(size, 8, seed=seed)
+    dept = department_relation(8, seed=seed)
+    return TransactionManager({
+        "emp": Table(emp.heading, emp.iter_dicts(),
+                     [KeyConstraint(["emp"])]),
+        "dept": Table(dept.heading, dept.iter_dicts()),
+    })
+
+
+async def _worker(server, seed, cid, priority, requests, results):
+    try:
+        client = await connect(
+            "127.0.0.1", server.port, client_id="c%d" % cid,
+            priority=priority, max_attempts=1, read_timeout_s=5.0,
+        )
+    except UnavailableError:
+        results.extend(("shed", 0.0) for _ in range(requests))
+        return
+    rng = random.Random(seed * 1000 + cid)
+    for _ in range(requests):
+        xql = WORKLOAD[rng.randrange(len(WORKLOAD))]
+        started = time.perf_counter()
+        try:
+            await client.query(xql)
+            results.append(("ok", time.perf_counter() - started))
+        except OverloadedError:
+            results.append(("shed", time.perf_counter() - started))
+        # Open-loop arrival jitter: the next request is scheduled by
+        # the seeded clock, not by this one's completion time.
+        await asyncio.sleep(rng.random() * 0.0005)
+    try:
+        await client.close()
+    except UnavailableError:
+        pass
+
+
+async def run_episode(seed, *, priorities, requests=15, capacity=8,
+                      soft_capacity=None, held=0):
+    """One seeded open-loop episode; returns [(status, latency_s)]."""
+    server = Server(make_manager(seed), capacity=capacity,
+                    soft_capacity=soft_capacity)
+    await server.start()
+    results = []
+    hold = None
+    try:
+        if held:
+            hold = server.admission.hold(held, PRIORITY_CRITICAL)
+            hold.__enter__()
+        await asyncio.gather(*(
+            _worker(server, seed, cid, priority, requests, results)
+            for cid, priority in enumerate(priorities)
+        ))
+    finally:
+        if hold is not None:
+            hold.__exit__(None, None, None)
+        await server.close()
+    return results
+
+
+def percentile(values, q):
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+# ----------------------------------------------------------------------
+# Series 1: single round trip
+# ----------------------------------------------------------------------
+
+
+def test_query_round_trip(benchmark, workload_seed):
+    loop = asyncio.new_event_loop()
+    server = Server(make_manager(workload_seed))
+    loop.run_until_complete(server.start())
+    client = loop.run_until_complete(
+        connect("127.0.0.1", server.port)
+    )
+    try:
+        benchmark(
+            lambda: loop.run_until_complete(
+                client.query("select emp, name from emp where dept = 1")
+            )
+        )
+    finally:
+        loop.run_until_complete(client.close())
+        loop.run_until_complete(server.close())
+        loop.close()
+
+
+def test_mutate_round_trip(benchmark, workload_seed):
+    loop = asyncio.new_event_loop()
+    server = Server(make_manager(workload_seed))
+    loop.run_until_complete(server.start())
+    client = loop.run_until_complete(
+        connect("127.0.0.1", server.port)
+    )
+    eids = iter(range(10 ** 6, 10 ** 7))
+
+    def one_insert():
+        eid = next(eids)
+        return loop.run_until_complete(client.mutate(
+            [["insert", "emp",
+              {"emp": eid, "name": "n%d" % eid, "dept": 1,
+               "salary": 1000}]]
+        ))
+
+    try:
+        benchmark(one_insert)
+    finally:
+        loop.run_until_complete(client.close())
+        loop.run_until_complete(server.close())
+        loop.close()
+
+
+# ----------------------------------------------------------------------
+# Series 2: open-loop latency profile (capacity to spare)
+# ----------------------------------------------------------------------
+
+
+def test_open_loop_latency_profile(benchmark, workload_seed):
+    def episode():
+        return asyncio.run(run_episode(
+            workload_seed,
+            priorities=[PRIORITY_NORMAL] * 4,
+        ))
+
+    results = benchmark(episode)
+    latencies = [dt for status, dt in results if status == "ok"]
+    shed = sum(1 for status, _ in results if status == "shed")
+    assert shed == 0 and latencies
+    benchmark.extra_info["requests"] = len(results)
+    benchmark.extra_info["p50_ms"] = round(
+        percentile(latencies, 0.50) * 1000, 4
+    )
+    benchmark.extra_info["p99_ms"] = round(
+        percentile(latencies, 0.99) * 1000, 4
+    )
+    benchmark.extra_info["shed_rate"] = 0.0
+
+
+# ----------------------------------------------------------------------
+# Series 3: shed rate under a held-capacity overload
+# ----------------------------------------------------------------------
+
+
+def test_open_loop_shed_rate_under_overload(benchmark, workload_seed):
+    priorities = [
+        PRIORITY_BACKGROUND, PRIORITY_BACKGROUND,
+        PRIORITY_NORMAL, PRIORITY_NORMAL,
+    ]
+
+    def episode():
+        return asyncio.run(run_episode(
+            workload_seed, priorities=priorities,
+            capacity=3, soft_capacity=1, held=1,
+        ))
+
+    results = benchmark(episode)
+    served = [dt for status, dt in results if status == "ok"]
+    shed = sum(1 for status, _ in results if status == "shed")
+    # Background-priority requests shed at the door; normal-priority
+    # requests still answer.  Half the workload is background.
+    assert shed > 0 and served
+    benchmark.extra_info["requests"] = len(results)
+    benchmark.extra_info["shed_rate"] = round(shed / len(results), 4)
+    benchmark.extra_info["p50_served_ms"] = round(
+        percentile(served, 0.50) * 1000, 4
+    )
+    benchmark.extra_info["p99_served_ms"] = round(
+        percentile(served, 0.99) * 1000, 4
+    )

@@ -145,6 +145,11 @@ commands:
                          rank a slow-query log (digest JSONL)
   obs-incidents FILE [--format json|text]
                          print flight-recorder incident records
+  serve CSVDIR [--host H] [--port P] [--port-file FILE] [--token T]
+        [--capacity N] [--max-sessions N] [--drain-timeout S]
+        [--incident-log FILE]
+                         serve the CSVs over TCP (MVCC snapshot
+                         sessions; SIGINT/SIGTERM drains gracefully)
 """
 
 
@@ -761,6 +766,76 @@ def _command_obs_incidents(args: List[str]) -> int:
     return 0
 
 
+def _command_serve(args: List[str]) -> int:
+    """Serve a directory of CSVs over TCP until SIGINT/SIGTERM."""
+    args = list(args)
+    try:
+        host = _pop_option(args, "--host") or "127.0.0.1"
+        port = _pop_option(args, "--port")
+        port_file = _pop_option(args, "--port-file")
+        token = _pop_option(args, "--token")
+        capacity = _pop_option(args, "--capacity")
+        max_sessions = _pop_option(args, "--max-sessions")
+        drain_timeout = _pop_option(args, "--drain-timeout")
+        incident_log = _pop_option(args, "--incident-log")
+    except ValueError as error:
+        return _fail(str(error))
+    try:
+        port = 0 if port is None else int(port)
+        capacity = 8 if capacity is None else int(capacity)
+        max_sessions = 32 if max_sessions is None else int(max_sessions)
+        drain_timeout = 1.0 if drain_timeout is None \
+            else float(drain_timeout)
+    except ValueError:
+        return _fail("serve's numeric options take numbers")
+    if len(args) != 1:
+        return _fail("serve takes CSVDIR")
+    db = _load_db(args[0])
+
+    import asyncio
+    import signal
+
+    from repro.relational.constraints import Table
+    from repro.relational.tx import TransactionManager
+    from repro.server import Server
+
+    tables = {
+        name: Table(db.relation(name).heading,
+                    db.relation(name).iter_dicts())
+        for name in db.names()
+    }
+    manager = TransactionManager(tables)
+
+    async def serve() -> None:
+        server = Server(
+            manager, token=token, capacity=capacity,
+            max_sessions=max_sessions, drain_timeout_s=drain_timeout,
+            incident_log=incident_log,
+        )
+        await server.start(host, port)
+        bound = server.port
+        if port_file is not None:
+            with open(port_file, "w") as handle:
+                handle.write("%d\n" % bound)
+        print("repro server listening on %s:%d (%d tables)"
+              % (host, bound, len(tables)), flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_event_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        await stop.wait()
+        print("repro server draining", flush=True)
+        result = await server.drain()
+        print("repro server stopped (shed=%d, aborted=%d)"
+              % (result["shed"], result["aborted"]), flush=True)
+
+    asyncio.run(serve())
+    return 0
+
+
 _COMMANDS = {
     "eval": _command_eval,
     "image": _command_image,
@@ -775,6 +850,7 @@ _COMMANDS = {
     "obs-trace": _command_obs_trace,
     "obs-report": _command_obs_report,
     "obs-incidents": _command_obs_incidents,
+    "serve": _command_serve,
 }
 
 
@@ -794,7 +870,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Governance/availability errors carry a stable exit code
         # (repro.errors) so shell callers can branch on *why* a query
         # died: 12 deadline, 13 budget, 14 overloaded, 15 circuit
-        # open, 11 cluster unavailable.  Everything else stays 2.
+        # open, 11 cluster unavailable, 16 network, 17 session,
+        # 18 write conflict.  Everything else stays 2.
         _fail(str(error))
         return getattr(error, "exit_code", 2)
     except FileNotFoundError as error:

@@ -23,12 +23,14 @@ subclasses mirror the layers of the system:
 * :class:`UnavailableError` -- the shared base of every "no correct
   answer can be given *right now*" failure: the resource-governance
   family (:class:`DeadlineExceededError`, :class:`BudgetExceededError`,
-  :class:`OverloadedError`, :class:`CircuitOpenError`) and the
-  distributed layer's :class:`ClusterUnavailableError`.  Each carries
-  structured context (elapsed vs budget, node id, retry-after) and a
-  stable ``.code`` / ``.exit_code`` pair the CLI maps to distinct
-  process exit codes -- scripts can branch on the failure class
-  without parsing messages.
+  :class:`OverloadedError`, :class:`CircuitOpenError`), the
+  distributed layer's :class:`ClusterUnavailableError`, and the
+  serving layer's :class:`NetworkError`, :class:`SessionError` and
+  :class:`WriteConflictError`.  Each carries structured context
+  (elapsed vs budget, node id, retry-after, frame offset, conflicting
+  tables) and a stable ``.code`` / ``.exit_code`` pair the CLI maps to
+  distinct process exit codes -- scripts can branch on the failure
+  class without parsing messages.
 """
 
 from __future__ import annotations
@@ -225,6 +227,78 @@ class CircuitOpenError(UnavailableError):
         super().__init__(
             "circuit open for partition %d of %r: breaker on %s probes in "
             "%d ops" % (bucket, table, node, retry_after_ops)
+        )
+
+
+class NetworkError(UnavailableError):
+    """A wire-level failure between client and server.
+
+    Raised wherever the transport, not the query, failed: a dropped
+    or reset connection, a torn or truncated frame, a checksum
+    mismatch, a protocol violation, or a stream that ended mid-result.
+    The answer may exist -- the bytes carrying it did not arrive
+    intact -- so the client's retry loop treats this as transient.
+    ``frame`` is the 0-based frame number (or byte offset for framing
+    damage) where the stream died, when known.
+    """
+
+    code = "NETWORK"
+    exit_code = 16
+
+    def __init__(self, reason: str, frame: Optional[int] = None,
+                 retry_after_s: Optional[float] = None):
+        self.reason = reason
+        self.frame = frame
+        self.retry_after_s = retry_after_s
+        where = "" if frame is None else " at frame %d" % frame
+        super().__init__("network failure%s: %s" % (where, reason))
+
+
+class SessionError(UnavailableError):
+    """A server session could not be established or has become invalid.
+
+    Covers authentication rejection, a handshake the server refuses
+    (wrong protocol version, malformed hello), references to unknown
+    prepared statements, and requests arriving on a session the server
+    already closed (e.g. after a drain).  ``session_id`` is the
+    server-assigned id when one was ever granted.
+    """
+
+    code = "SESSION"
+    exit_code = 17
+
+    def __init__(self, reason: str, session_id: Optional[str] = None,
+                 retry_after_s: Optional[float] = None):
+        self.reason = reason
+        self.session_id = session_id
+        self.retry_after_s = retry_after_s
+        where = "" if session_id is None else " (session %s)" % session_id
+        super().__init__("session failure%s: %s" % (where, reason))
+
+
+class WriteConflictError(UnavailableError):
+    """First-committer-wins: another transaction committed first.
+
+    A snapshot-isolation write transaction read at ``read_version``
+    but a table it wrote was committed past that version by someone
+    else before it could commit.  The losing transaction's buffered
+    writes are discarded untouched; retrying against a fresh snapshot
+    usually succeeds, which is what ``retry_after_s=0.0`` signals.
+    """
+
+    code = "WRITE_CONFLICT"
+    exit_code = 18
+    retry_after_s = 0.0
+
+    def __init__(self, tables: Sequence[str], read_version: int,
+                 committed_version: int):
+        self.tables = tuple(tables)
+        self.read_version = read_version
+        self.committed_version = committed_version
+        super().__init__(
+            "write conflict on %s: snapshot read at version %d but "
+            "version %d already committed"
+            % (", ".join(self.tables), read_version, committed_version)
         )
 
 

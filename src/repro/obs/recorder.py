@@ -61,6 +61,8 @@ _ERROR_CONTEXT_ATTRS = (
     "resource", "spent", "limit",
     "in_flight", "capacity", "retry_after_s", "reason",
     "table", "bucket", "node", "retry_after_ops", "replicas",
+    "frame", "session_id", "request_id",
+    "tables", "read_version", "committed_version",
 )
 
 #: Metric families included in incident snapshots.

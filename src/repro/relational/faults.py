@@ -43,7 +43,9 @@ __all__ = [
     "ShipmentCorruptedError",
     "FaultPlan",
     "FaultInjector",
+    "NetworkFaultInjector",
     "NO_FAULTS",
+    "NO_NETWORK_FAULTS",
 ]
 
 
@@ -63,6 +65,11 @@ class ShipmentCorruptedError(ShipmentLostError):
 _KILL, _REVIVE, _DELAY, _DROP, _CORRUPT, _CRASH = (
     "kill", "revive", "delay", "drop", "corrupt", "crash"
 )
+
+# Network (wire-level) event kinds, keyed by *frame* counts rather
+# than cluster operation counts and consumed by NetworkFaultInjector.
+_NET_DROP, _NET_TEAR, _NET_DELAY = ("net_drop", "net_tear", "net_delay")
+_NET_KINDS = frozenset((_NET_DROP, _NET_TEAR, _NET_DELAY))
 
 
 class FaultPlan:
@@ -167,6 +174,70 @@ class FaultPlan:
         """Bit-flip the first shipment at or after operation ``at_op``."""
         return self._add(at_op, _CORRUPT, None)
 
+    # -- network (wire) events -----------------------------------------
+
+    def drop_connection(self, at_frame: int) -> "FaultPlan":
+        """Abort the connection instead of sending frame ``at_frame``.
+
+        Frame counts number every frame the instrumented endpoint
+        sends, 0-based, across the whole injector lifetime -- so a
+        drop scheduled inside a result stream models
+        disconnect-mid-result, and one scheduled at frame 0 models a
+        connection that dies before the handshake answer.
+        """
+        return self._add(at_frame, _NET_DROP, None)
+
+    def tear_frame(self, at_frame: int, keep_fraction: float = 0.5
+                   ) -> "FaultPlan":
+        """Send only a prefix of frame ``at_frame``, then abort.
+
+        ``keep_fraction`` of the frame's bytes (at least 1, at most
+        len-1 for frames of 2+ bytes) go out before the cut -- the
+        receiver sees a torn frame: a length prefix promising bytes
+        that never arrive, the wire-level analogue of the WAL's torn
+        tail.
+        """
+        if not 0.0 <= keep_fraction <= 1.0:
+            raise ValueError("keep_fraction must be within [0, 1]")
+        return self._add(at_frame, _NET_TEAR, None, keep_fraction)
+
+    def delay_frame(self, at_frame: int, seconds: float) -> "FaultPlan":
+        """Stall ``seconds`` before sending frame ``at_frame``.
+
+        Models a slow link or a stalled sender: the receiver's read
+        blocks, exercising client timeouts and server drain deadlines.
+        """
+        if seconds < 0:
+            raise ValueError("delays are non-negative")
+        return self._add(at_frame, _NET_DELAY, None, seconds)
+
+    @classmethod
+    def net_chaos(
+        cls,
+        seed: int,
+        horizon: int = 40,
+        drops: int = 1,
+        tears: int = 1,
+        delays: int = 1,
+        max_delay: float = 0.002,
+    ) -> "FaultPlan":
+        """A seeded random schedule of wire faults over ``horizon`` frames.
+
+        The network analogue of :meth:`chaos`: deterministic for a
+        fixed seed, so a failing fault schedule replays exactly.
+        """
+        rng = random.Random(seed)
+        plan = cls()
+        for _ in range(drops):
+            plan.drop_connection(rng.randrange(horizon))
+        for _ in range(tears):
+            plan.tear_frame(rng.randrange(horizon),
+                            keep_fraction=rng.uniform(0.05, 0.95))
+        for _ in range(delays):
+            plan.delay_frame(rng.randrange(horizon),
+                             rng.uniform(0.0, max_delay))
+        return plan
+
     # -- seeded fuzzing ------------------------------------------------
 
     @classmethod
@@ -268,6 +339,12 @@ class FaultInjector:
             if at_op > self.operations:
                 remaining.extend(self._pending[index:])
                 break
+            if kind in _NET_KINDS:
+                # Wire-level events belong to a NetworkFaultInjector
+                # reading the same plan; the cluster injector never
+                # consumes them.
+                remaining.append(event)
+                continue
             if write and kind != _CRASH:
                 remaining.append(event)  # held for the next read tick
                 continue
@@ -302,6 +379,65 @@ class FaultInjector:
         )
 
 
+class NetworkFaultInjector:
+    """Applies a plan's wire-level events at frame-send granularity.
+
+    The server's connection layer asks :meth:`on_frame` before every
+    frame it writes; the answer is an action tuple:
+
+    * ``("send", data, delay_s)`` -- write ``data`` (possibly after a
+      ``delay_s`` stall);
+    * ``("tear", prefix, delay_s)`` -- write only ``prefix`` bytes,
+      then abort the connection;
+    * ``("drop", b"", delay_s)`` -- abort without writing.
+
+    Frames are numbered 0-based across the injector's lifetime (all
+    connections, in send order), so a fixed request sequence yields a
+    bit-identical fault history -- the same determinism contract as
+    :class:`FaultInjector`, moved to the wire.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None):
+        self.plan = plan
+        self.frames = 0
+        self._pending = sorted(
+            event for event in (plan._events if plan is not None else [])
+            if event[2] in _NET_KINDS
+        )
+
+    def on_frame(self, data: bytes) -> Tuple[str, bytes, float]:
+        """Decide the fate of the next outgoing frame."""
+        frame = self.frames
+        self.frames += 1
+        action, payload, delay_s = "send", data, 0.0
+        remaining: List[Tuple[int, int, str, Optional[str], float]] = []
+        for index, event in enumerate(self._pending):
+            at_frame, _, kind, _node, value = event
+            if at_frame > frame:
+                remaining.extend(self._pending[index:])
+                break
+            if kind == _NET_DELAY:
+                delay_s += value
+            elif kind == _NET_TEAR and action == "send":
+                keep = max(1, min(len(data) - 1, int(len(data) * value))) \
+                    if len(data) > 1 else 0
+                action, payload = "tear", data[:keep]
+            elif kind == _NET_DROP:
+                action, payload = "drop", b""
+        self._pending = remaining
+        return action, payload, delay_s
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every scheduled wire fault has fired."""
+        return not self._pending
+
+    def __repr__(self) -> str:
+        return "NetworkFaultInjector(frame=%d, pending=%d)" % (
+            self.frames, len(self._pending)
+        )
+
+
 class _NoFaults(FaultInjector):
     """The default injector: pure pass-through, zero bookkeeping."""
 
@@ -315,4 +451,15 @@ class _NoFaults(FaultInjector):
         return data
 
 
+class _NoNetworkFaults(NetworkFaultInjector):
+    """Pass-through wire injector: zero bookkeeping per frame."""
+
+    def __init__(self):
+        super().__init__(None)
+
+    def on_frame(self, data: bytes) -> Tuple[str, bytes, float]:
+        return ("send", data, 0.0)
+
+
 NO_FAULTS = _NoFaults()
+NO_NETWORK_FAULTS = _NoNetworkFaults()

@@ -38,19 +38,40 @@ insert/delete is counted against the affected relation's catalog
 entry -- the same diff that feeds the WAL record feeds staleness
 accounting, so a relation churned past its threshold silently drops
 off the cost-based planner until the next ANALYZE.
+
+MVCC: because relations are immutable values, snapshot isolation is
+pointer bookkeeping.  Every outermost state-changing commit is a
+*version* (``current_version``, equal to the WAL transaction id it
+logged, so the durable record and the MVCC history share one
+numbering).  :meth:`TransactionManager.snapshot` pins the latest
+*committed* state -- never in-progress transaction state, so a reader
+opened before a nested rollback cannot observe the rolled-back rows --
+and arbitrarily many snapshots overlap the writer without blocking
+it.  :meth:`TransactionManager.session` opens a read-write
+:class:`SnapshotSession` whose mutations are buffered against the
+pinned state (read-your-own-writes) and applied at :meth:`~
+SnapshotSession.commit` under **first-committer-wins** conflict
+detection: if any table the session wrote was committed past the
+session's read version, commit raises a typed
+:class:`~repro.errors.WriteConflictError` and the committed state is
+untouched.  The version horizon is bounded: the manager tracks which
+versions open snapshots pin (:meth:`retained_versions`) and a closing
+snapshot immediately releases its pin -- old relation values become
+garbage the moment the last snapshot reading them closes.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Mapping, Optional
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Set, Tuple
 
-from repro.errors import SchemaError
+from repro.errors import SchemaError, WriteConflictError
 from repro.gov.governor import checkpoint as _gov_checkpoint
 from repro.relational.constraints import Table
+from repro.relational.relation import Relation
 from repro.relational.wal import WriteAheadLog
 
-__all__ = ["TransactionManager"]
+__all__ = ["TransactionManager", "Snapshot", "SnapshotSession"]
 
 
 class TransactionManager:
@@ -67,6 +88,12 @@ class TransactionManager:
         self._log = log
         self._stats = stats
         self._commits = 0
+        # MVCC bookkeeping: the version at which each table last
+        # changed (first-committer-wins reads this) and the versions
+        # currently pinned by open snapshots (the version horizon).
+        self._table_versions: Dict[str, int] = {}
+        self._open_snapshots: Dict[int, int] = {}
+        self._snapshot_ids = 0
 
     @property
     def tables(self) -> Dict[str, Table]:
@@ -197,3 +224,261 @@ class TransactionManager:
                     name, len(inserted) + len(deleted)
                 )
         self._commits += 1
+        # The WAL record above carries tx id == self._commits: the
+        # durable numbering and the MVCC version are the same number.
+        for name in changes:
+            self._table_versions[name] = self._commits
+
+    # ------------------------------------------------------------------
+    # MVCC: snapshots, sessions, and the version horizon
+    # ------------------------------------------------------------------
+
+    @property
+    def current_version(self) -> int:
+        """The version of the latest committed state (0 = initial)."""
+        return self._commits
+
+    def table_version(self, name: str) -> int:
+        """The commit version at which ``name`` last changed (0: never
+        through this manager)."""
+        self.table(name)  # raise SchemaError on unknown names
+        return self._table_versions.get(name, 0)
+
+    def _committed_state(self) -> Dict[str, Relation]:
+        """Pointer copies of the latest *committed* relation values.
+
+        While a transaction is in progress the live table pointers
+        hold uncommitted work, so the committed state is the outermost
+        savepoint -- the begin-state of the open transaction.  With no
+        transaction open, the live pointers *are* the committed state
+        (statement autocommit).  This is what makes snapshot readers
+        immune to in-progress and rolled-back work.
+        """
+        if self._savepoints:
+            return dict(self._savepoints[0])  # type: ignore[arg-type]
+        return {name: table.snapshot()
+                for name, table in self._tables.items()}
+
+    def snapshot(self) -> "Snapshot":
+        """Pin the latest committed state for reading.
+
+        Returns a :class:`Snapshot` whose reads are stable against
+        every later commit, rollback, and in-progress transaction.
+        Close it (or use it as a context manager) to release its
+        version pin.
+        """
+        return Snapshot(self)
+
+    def session(self) -> "SnapshotSession":
+        """Open a read-write snapshot-isolation session.
+
+        Reads are pinned like :meth:`snapshot`; writes buffer against
+        the pinned state and apply on :meth:`SnapshotSession.commit`
+        under first-committer-wins conflict detection.
+        """
+        return SnapshotSession(self)
+
+    def _register_snapshot(self, version: int) -> int:
+        self._snapshot_ids += 1
+        self._open_snapshots[self._snapshot_ids] = version
+        return self._snapshot_ids
+
+    def _release_snapshot(self, token: int) -> None:
+        self._open_snapshots.pop(token, None)
+
+    @property
+    def open_snapshot_count(self) -> int:
+        return len(self._open_snapshots)
+
+    def retained_versions(self) -> List[int]:
+        """The distinct versions still pinned, oldest first.
+
+        The current version is always retained (it is the live state);
+        every other entry is pinned by at least one open snapshot, so
+        the horizon length is bounded by ``open_snapshot_count + 1``
+        and shrinks the moment old snapshots close.
+        """
+        versions = set(self._open_snapshots.values())
+        versions.add(self._commits)
+        return sorted(versions)
+
+    def version_horizon(self) -> int:
+        """How far back the oldest pinned version trails the current."""
+        retained = self.retained_versions()
+        return self._commits - retained[0]
+
+
+class Snapshot:
+    """A pinned, read-only view of one committed version.
+
+    Holds pointer copies of the committed relation values at open
+    time -- O(tables), no rows copied -- so reads cost nothing beyond
+    a dict lookup and are stable against every concurrent writer.
+    """
+
+    def __init__(self, manager: TransactionManager):
+        self._manager = manager
+        self.version = manager.current_version
+        self._state: Dict[str, Relation] = manager._committed_state()
+        self._token: Optional[int] = manager._register_snapshot(self.version)
+
+    @property
+    def closed(self) -> bool:
+        return self._token is None
+
+    def names(self) -> List[str]:
+        return sorted(self._state)
+
+    def relation(self, name: str) -> Relation:
+        """The pinned value of table ``name`` at :attr:`version`."""
+        self._require_open()
+        try:
+            return self._state[name]
+        except KeyError:
+            raise SchemaError("unknown table %r" % (name,)) from None
+
+    def _require_open(self) -> None:
+        if self._token is None:
+            raise SchemaError("snapshot is closed")
+
+    def close(self) -> None:
+        """Release the version pin; idempotent."""
+        if self._token is not None:
+            self._manager._release_snapshot(self._token)
+            self._token = None
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return "%s(version=%d%s)" % (
+            type(self).__name__, self.version,
+            ", closed" if self.closed else "",
+        )
+
+
+class SnapshotSession(Snapshot):
+    """A snapshot plus buffered writes and optimistic commit.
+
+    Mutations apply to a private scratch copy of the pinned state
+    (read-your-own-writes) and are recorded as an op list.  Nothing
+    touches the shared tables until :meth:`commit`, which first runs
+    first-committer-wins conflict detection and then replays the ops
+    inside one ordinary deferred transaction -- constraint validation,
+    WAL logging and stats accounting all ride the existing commit
+    path.  A conflicting or failing commit leaves the committed state
+    byte-identical to before.
+    """
+
+    def __init__(self, manager: TransactionManager):
+        super().__init__(manager)
+        self._ops: List[Tuple] = []
+        self._scratch: Dict[str, Table] = {}
+        self._written: Set[str] = set()
+
+    # -- reads ---------------------------------------------------------
+
+    def relation(self, name: str) -> Relation:
+        """Pinned state with this session's own writes applied."""
+        scratch = self._scratch.get(name)
+        if scratch is not None:
+            self._require_open()
+            return scratch.snapshot()
+        return super().relation(name)
+
+    # -- buffered writes ----------------------------------------------
+
+    def _scratch_table(self, name: str) -> Table:
+        """A constraint-free working copy seeded from the pinned state."""
+        self._require_open()
+        table = self._scratch.get(name)
+        if table is None:
+            pinned = super().relation(name)
+            table = Table(pinned.heading, pinned.iter_dicts())
+            self._scratch[name] = table
+        self._written.add(name)
+        return table
+
+    def insert(self, name: str, row: Mapping[str, Any]) -> None:
+        self._scratch_table(name).insert(row)
+        self._ops.append(("insert", name, dict(row)))
+
+    def delete(self, name: str, conditions: Mapping[str, Any]) -> int:
+        removed = self._scratch_table(name).delete(conditions)
+        self._ops.append(("delete", name, dict(conditions)))
+        return removed
+
+    def update(self, name: str, conditions: Mapping[str, Any],
+               changes: Mapping[str, Any]) -> int:
+        changed = self._scratch_table(name).update(conditions, changes)
+        self._ops.append(("update", name, dict(conditions), dict(changes)))
+        return changed
+
+    @property
+    def pending_ops(self) -> int:
+        return len(self._ops)
+
+    # -- resolution ----------------------------------------------------
+
+    def conflicts(self) -> List[str]:
+        """Tables this session wrote that committed past its version."""
+        manager = self._manager
+        return sorted(
+            name for name in self._written
+            if manager._table_versions.get(name, 0) > self.version
+        )
+
+    def commit(self) -> int:
+        """Apply the buffered writes; returns the new commit version.
+
+        Raises :class:`~repro.errors.WriteConflictError` when another
+        committer won on any written table (the buffered writes are
+        discarded, the committed state is untouched), or whatever the
+        replay raises (constraint violation, failed WAL append) --
+        in every failure case the ordinary transaction rollback
+        restores the pre-commit state.  The session is closed either
+        way; a retry opens a fresh session on the new version.
+        """
+        self._require_open()
+        try:
+            conflicting = self.conflicts()
+            if conflicting:
+                raise WriteConflictError(
+                    conflicting, self.version,
+                    max(self._manager._table_versions[name]
+                        for name in conflicting),
+                )
+            manager = self._manager
+            with manager.transaction(deferred=True):
+                for op in self._ops:
+                    kind, name = op[0], op[1]
+                    table = manager.table(name)
+                    if kind == "insert":
+                        table.insert(op[2])
+                    elif kind == "delete":
+                        table.delete(op[2])
+                    else:
+                        table.update(op[2], op[3])
+            return manager.current_version
+        finally:
+            self.close()
+
+    def rollback(self) -> None:
+        """Discard the buffered writes and close the session."""
+        self._ops.clear()
+        self._scratch.clear()
+        self._written.clear()
+        self.close()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        # Context-manager use commits on clean exit, rolls back on
+        # exception -- the same discipline as transaction().
+        if self.closed:
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()

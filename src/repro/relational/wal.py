@@ -285,6 +285,16 @@ def _field(record: XSet, name: str) -> Any:
     return values[0]
 
 
+def commit_tx_id(record: XSet) -> int:
+    """The transaction id a commit record carries.
+
+    With a :class:`~repro.relational.tx.TransactionManager` attached,
+    this number *is* the MVCC commit version: the durable log and the
+    snapshot-isolation history share one numbering.
+    """
+    return _field(record, "tx")
+
+
 def commit_record(tx_id: int,
                   changes: Mapping[str, Tuple[Sequence[str], XSet, XSet]]
                   ) -> XSet:

@@ -1,0 +1,48 @@
+"""Network front door: serve the extended-set algebra over TCP.
+
+The 1977 programme's target is a *backend information system*: many
+clients, one structured access surface, storage structure invisible
+behind it.  This package is that surface -- a small, versioned,
+length-prefixed and CRC-framed wire protocol (:mod:`.protocol`)
+spoken by an asyncio TCP server (:mod:`.service`) over per-connection
+sessions (:mod:`.session`) pinned to MVCC snapshots
+(:class:`repro.relational.tx.Snapshot`), and a retrying client
+(:mod:`.client`) with idempotent request ids and capped,
+deadline-ledgered exponential backoff.
+
+Robustness contract (pinned by ``tests/server/``): for every seeded
+network fault schedule, a client either receives the byte-identical
+answer the embedded :meth:`~repro.relational.query.Database.execute`
+produces, or a typed :class:`~repro.errors.UnavailableError`
+subclass -- never a hang, a partial page presented as complete, or an
+untyped exception.
+"""
+
+from repro.server.client import Client, connect
+from repro.server.protocol import (
+    FrameDecoder,
+    FrameType,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    decode_body,
+    encode_frame,
+    error_body,
+    error_from_body,
+)
+from repro.server.service import Server
+from repro.server.session import Session
+
+__all__ = [
+    "Client",
+    "connect",
+    "FrameDecoder",
+    "FrameType",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "decode_body",
+    "encode_frame",
+    "error_body",
+    "error_from_body",
+    "Server",
+    "Session",
+]

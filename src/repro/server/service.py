@@ -1,0 +1,517 @@
+"""The asyncio TCP server: admission-gated, fault-injectable, drainable.
+
+One event loop, one reader task per connection, sequential request
+dispatch per connection -- the concurrency model matches the rest of
+the repo (deterministic, no threads).  The pieces:
+
+* **Handshake**: the first frame must be HELLO (protocol version,
+  optional auth token, client id, priority class); the reply is
+  WELCOME with the server-assigned session id, the MVCC version the
+  session is pinned to, and the session's trace id -- the causal
+  thread every later span on either side of the wire carries.
+* **Front door**: every QUERY/EXECUTE/MUTATE asks the
+  :class:`~repro.gov.admission.AdmissionController` for a slot first,
+  so overload sheds work *before* it runs, with the controller's
+  deterministic ``retry_after_s`` hint riding the ERROR frame.
+* **Fault injection**: every outgoing frame passes through a
+  :class:`~repro.relational.faults.NetworkFaultInjector`, which may
+  delay it, tear it (send a prefix and abort), or drop the connection
+  -- the same seeded-schedule determinism the storage and cluster
+  layers already have, moved to the wire.
+* **Slow consumers**: a send that cannot drain within
+  ``send_timeout_s`` sheds the connection (typed
+  :class:`~repro.errors.NetworkError` recorded, transport aborted)
+  instead of letting one stalled reader pin server buffers.
+* **Idempotent writes**: MUTATE results are cached by
+  ``(client_id, request_id)`` *before* the ack is sent, so a client
+  that lost the ack can retry the same request id and get the original
+  commit version back -- an acknowledged write is never applied twice.
+* **Graceful drain**: :meth:`Server.drain` stops accepting, sheds
+  in-flight work below the admission controller's priority line with
+  a deterministic retry-after, lets higher-priority requests finish
+  within ``drain_timeout_s``, says GOODBYE to everyone, and flushes
+  the flight recorder's incidents to ``incident_log``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.errors import (
+    NetworkError,
+    OverloadedError,
+    SessionError,
+    XSTError,
+)
+from repro.gov.admission import AdmissionController, PRIORITY_CRITICAL
+from repro.obs.recorder import recorder
+from repro.obs.trace import TraceContext, tracer
+from repro.relational.faults import NO_NETWORK_FAULTS, NetworkFaultInjector
+from repro.relational.sql import run as run_xql
+from repro.relational.tx import TransactionManager
+from repro.server.protocol import (
+    FrameDecoder,
+    FrameType,
+    PROTOCOL_VERSION,
+    encode_frame,
+    error_body,
+)
+from repro.server.session import Session
+
+__all__ = ["Server"]
+
+_READ_CHUNK = 1 << 16
+
+
+class _Hangup(Exception):
+    """Internal: abort this connection immediately (injected fault,
+    slow consumer, or drain deadline) -- never leaves the server."""
+
+
+class _Connection:
+    """Book-keeping for one accepted socket."""
+
+    def __init__(self, conn_id: int,
+                 reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self.conn_id = conn_id
+        self.reader = reader
+        self.writer = writer
+        self.decoder = FrameDecoder()
+        self.frames: "asyncio.Queue[Tuple[str, Any]]" = asyncio.Queue()
+        self.cancelled: Set[str] = set()
+        self.session: Optional[Session] = None
+        self.trace: Optional[TraceContext] = None
+        self.client_id = "?"
+        self.current_rid: Optional[str] = None
+        self.busy = False
+        self.draining = False
+        self.shed = False
+
+
+class Server:
+    """Serve a :class:`~repro.relational.tx.TransactionManager` over TCP."""
+
+    def __init__(self, manager: TransactionManager, *,
+                 token: Optional[str] = None,
+                 capacity: int = 8,
+                 soft_capacity: Optional[int] = None,
+                 max_sessions: int = 32,
+                 page_rows: int = 64,
+                 send_timeout_s: float = 2.0,
+                 drain_timeout_s: float = 1.0,
+                 net_faults: NetworkFaultInjector = NO_NETWORK_FAULTS,
+                 admission: Optional[AdmissionController] = None,
+                 incident_log: Optional[str] = None):
+        self._manager = manager
+        self._token = token
+        self.admission = admission if admission is not None else \
+            AdmissionController(capacity, soft_capacity)
+        self.max_sessions = max_sessions
+        self.page_rows = max(1, page_rows)
+        self.send_timeout_s = send_timeout_s
+        self.drain_timeout_s = drain_timeout_s
+        self.net_faults = net_faults
+        self.incident_log = incident_log
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conns: Set[_Connection] = set()
+        self._conn_ids = 0
+        self._session_ids = 0
+        # (client_id, request_id) -> commit version, insertion-ordered
+        # so the cache stays bounded by evicting the oldest acks.
+        self._idempotent: "OrderedDict[Tuple[str, str], int]" = OrderedDict()
+        self.idempotent_capacity = 256
+        self.draining = False
+        self.sessions_served = 0
+        self.requests_served = 0
+        self.connections_aborted = 0
+        self.writes_replayed = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind and start accepting; ``port=0`` picks a free port."""
+        if self._server is not None:
+            raise SessionError("server is already started")
+        self._server = await asyncio.start_server(
+            self._handle, host=host, port=port
+        )
+
+    @property
+    def port(self) -> int:
+        if self._server is None or not self._server.sockets:
+            raise SessionError("server is not listening")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def open_connections(self) -> int:
+        return len(self._conns)
+
+    async def close(self) -> None:
+        """Hard stop: close the listener and abort every connection."""
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for conn in list(self._conns):
+            self._abort(conn)
+        await asyncio.sleep(0)
+
+    async def drain(self) -> Dict[str, int]:
+        """Graceful shutdown; returns ``{"finished": n, "shed": m}``.
+
+        Stops accepting, then walks the open connections: idle ones
+        get an orderly GOODBYE now; busy ones below the admission
+        controller's ``shed_below_priority`` line are shed (their
+        in-flight request dies with a typed
+        :class:`~repro.errors.OverloadedError` carrying the
+        controller's deterministic retry-after); busy ones at or above
+        the line may finish their current request, bounded by
+        ``drain_timeout_s``, after which stragglers are aborted.
+        Finally the flight recorder's incidents are flushed to
+        ``incident_log`` when one is configured.
+        """
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        shed = 0
+        for conn in list(self._conns):
+            conn.draining = True
+            if not conn.busy:
+                conn.frames.put_nowait(("drain", None))
+            elif conn.session is not None and \
+                    conn.session.priority < self.admission.shed_below_priority:
+                conn.shed = True
+                shed += 1
+        # Busy connections finish (or die shedding) at their next page
+        # boundary; poll until everyone is gone or the drain deadline
+        # passes, then abort the stragglers.
+        waited = 0.0
+        step = 0.005
+        while self._conns and waited < self.drain_timeout_s:
+            await asyncio.sleep(step)
+            waited += step
+        aborted = len(self._conns)
+        for conn in list(self._conns):
+            self._abort(conn)
+        if self.incident_log is not None and recorder().installed:
+            recorder().export_jsonl(self.incident_log)
+        return {"finished": 0, "shed": shed, "aborted": aborted}
+
+    # -- connection handling --------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        self._conn_ids += 1
+        conn = _Connection(self._conn_ids, reader, writer)
+        self._conns.add(conn)
+        pump = asyncio.ensure_future(self._pump(conn))
+        try:
+            await self._serve_conn(conn)
+        except _Hangup:
+            self.connections_aborted += 1
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            pump.cancel()
+            if conn.session is not None:
+                conn.session.close()
+            self._conns.discard(conn)
+            try:
+                if conn.writer.transport is not None:
+                    conn.writer.transport.abort()
+            except (RuntimeError, AttributeError):
+                pass
+
+    async def _pump(self, conn: _Connection) -> None:
+        """Reader task: bytes -> frames -> the connection's queue.
+
+        Runs concurrently with dispatch so CANCEL frames take effect
+        *while* a result stream is in flight -- the pump marks the
+        request id cancelled out-of-band, and the page loop notices at
+        the next page boundary.
+        """
+        try:
+            while True:
+                data = await conn.reader.read(_READ_CHUNK)
+                if not data:
+                    try:
+                        conn.decoder.finish()
+                    except NetworkError as err:
+                        conn.frames.put_nowait(("error", err))
+                        return
+                    conn.frames.put_nowait(("eof", None))
+                    return
+                try:
+                    frames = conn.decoder.feed(data)
+                except NetworkError as err:
+                    conn.frames.put_nowait(("error", err))
+                    return
+                for ftype, body in frames:
+                    if ftype == FrameType.CANCEL:
+                        rid = body.get("id")
+                        if isinstance(rid, str):
+                            conn.cancelled.add(rid)
+                    conn.frames.put_nowait(("frame", (ftype, body)))
+        except (ConnectionError, asyncio.CancelledError):
+            return
+
+    async def _serve_conn(self, conn: _Connection) -> None:
+        kind, payload = await conn.frames.get()
+        if kind != "frame":
+            if kind == "error":
+                await self._send_error(conn, payload, None)
+            return
+        ftype, body = payload
+        if ftype != FrameType.HELLO:
+            await self._send_error(
+                conn,
+                SessionError("expected HELLO, got frame type %d" % ftype),
+                body.get("id") if isinstance(body, dict) else None,
+            )
+            return
+        try:
+            session = self._open_session(body)
+        except XSTError as err:
+            await self._send_error(conn, err, body.get("id"))
+            return
+        conn.session = session
+        conn.client_id = str(body.get("client", "?"))
+        conn.trace = TraceContext(
+            "trace-%s" % session.session_id,
+            baggage={"session": session.session_id},
+        )
+        await self._send(conn, FrameType.WELCOME, {
+            "session": session.session_id,
+            "version": session.version,
+            "trace": conn.trace.trace_id,
+            "tables": session.snapshot.names(),
+        })
+        while True:
+            if conn.draining:
+                await self._goodbye(conn, "draining")
+                return
+            kind, payload = await conn.frames.get()
+            if kind == "error":
+                await self._send_error(conn, payload, None)
+                return
+            if kind == "eof":
+                return
+            if kind == "drain":
+                await self._goodbye(conn, "draining")
+                return
+            ftype, body = payload
+            if ftype == FrameType.GOODBYE:
+                await self._send(conn, FrameType.GOODBYE,
+                                 {"reason": "goodbye"})
+                return
+            await self._dispatch(conn, ftype, body)
+
+    def _open_session(self, body: Dict[str, Any]) -> Session:
+        if body.get("protocol") != PROTOCOL_VERSION:
+            raise SessionError(
+                "unsupported protocol %r (server speaks %d)"
+                % (body.get("protocol"), PROTOCOL_VERSION)
+            )
+        if self._token is not None and body.get("token") != self._token:
+            raise SessionError("authentication rejected")
+        if self.draining:
+            raise SessionError(
+                "server is draining",
+                retry_after_s=self.admission.retry_after_s(),
+            )
+        open_sessions = sum(1 for c in self._conns if c.session is not None)
+        if open_sessions >= self.max_sessions:
+            raise SessionError(
+                "session table is full (%d open)" % open_sessions,
+                retry_after_s=self.admission.retry_after_s(),
+            )
+        priority = body.get("priority", 1)
+        if not isinstance(priority, int) or \
+                not 0 <= priority <= PRIORITY_CRITICAL:
+            raise SessionError("priority must be an int in [0, %d]"
+                               % PRIORITY_CRITICAL)
+        self._session_ids += 1
+        self.sessions_served += 1
+        return Session(
+            "s%d" % self._session_ids, self._manager,
+            principal=str(body.get("client", "anonymous")),
+            priority=priority,
+        )
+
+    # -- request dispatch -----------------------------------------------
+
+    async def _dispatch(self, conn: _Connection, ftype: int,
+                        body: Dict[str, Any]) -> None:
+        rid = body.get("id")
+        if not isinstance(rid, str) or not rid:
+            await self._send_error(
+                conn, SessionError("requests need a string id"), None
+            )
+            return
+        if ftype == FrameType.CANCEL:
+            # The pump already marked it; this is just the ack for a
+            # cancel that raced past its target (or targeted nothing).
+            await self._send(conn, FrameType.CANCELLED, {"id": rid})
+            return
+        session = conn.session
+        conn.busy = True
+        conn.current_rid = rid
+        self.requests_served += 1
+        with tracer().span("server.request", kind=ftype, request=rid,
+                           session=session.session_id) as span:
+            conn.trace.annotate(span)
+            try:
+                if ftype == FrameType.QUERY:
+                    await self._run_query(conn, rid, body.get("xql", ""))
+                elif ftype == FrameType.EXECUTE:
+                    text = session.statement(
+                        body.get("name", ""), body.get("args", [])
+                    )
+                    await self._run_query(conn, rid, text)
+                elif ftype == FrameType.PREPARE:
+                    session.prepare(body.get("name", ""),
+                                    body.get("xql", ""))
+                    await self._send(conn, FrameType.PREPARED,
+                                     {"id": rid, "name": body.get("name")})
+                elif ftype == FrameType.MUTATE:
+                    await self._run_mutate(conn, rid, body)
+                elif ftype == FrameType.REFRESH:
+                    version = session.refresh()
+                    await self._send(conn, FrameType.REFRESHED,
+                                     {"id": rid, "version": version})
+                else:
+                    raise SessionError(
+                        "unexpected frame type %d" % ftype,
+                        session_id=session.session_id,
+                    )
+            except _Hangup:
+                raise
+            except Exception as err:  # typed or not, never kill the loop
+                span.set("error", getattr(err, "code", "ERROR"))
+                await self._send_error(conn, err, rid)
+            finally:
+                conn.busy = False
+                conn.current_rid = None
+
+    def _check_shed(self, conn: _Connection, rid: str) -> None:
+        if conn.shed:
+            raise OverloadedError(
+                self.admission.in_flight, self.admission.capacity,
+                self.admission.retry_after_s(), reason="draining",
+            )
+
+    async def _run_query(self, conn: _Connection, rid: str,
+                         xql: str) -> None:
+        session = conn.session
+        self._check_shed(conn, rid)
+        with self.admission.admitted(session.priority):
+            relation = run_xql(session.database(), xql)
+        heading = list(relation.heading.names)
+        rows = [list(row) for row in relation.to_rows()]
+        total, sent, seq = len(rows), 0, 0
+        while True:
+            if rid in conn.cancelled:
+                await self._send(conn, FrameType.CANCELLED, {"id": rid})
+                return
+            self._check_shed(conn, rid)
+            chunk = rows[sent:sent + self.page_rows]
+            last = sent + len(chunk) >= total
+            await self._send(conn, FrameType.PAGE, {
+                "id": rid, "seq": seq, "heading": heading,
+                "rows": chunk, "last": last,
+                "version": session.version,
+            })
+            sent += len(chunk)
+            seq += 1
+            if last:
+                return
+            # Yield so the pump can deliver a CANCEL between pages.
+            await asyncio.sleep(0)
+
+    async def _run_mutate(self, conn: _Connection, rid: str,
+                          body: Dict[str, Any]) -> None:
+        session = conn.session
+        key = (conn.client_id, rid)
+        cached = self._idempotent.get(key)
+        if cached is not None:
+            # A retry of an acknowledged write: replay the original
+            # ack, never the write.
+            self.writes_replayed += 1
+            await self._send(conn, FrameType.COMMITTED, {
+                "id": rid, "version": cached, "replayed": True,
+            })
+            return
+        self._check_shed(conn, rid)
+        with self.admission.admitted(session.priority):
+            version = session.mutate(body.get("ops", []))
+        # Remember the ack *before* sending it: if the send dies on
+        # the wire, the client's retry finds the cache and the write
+        # is not applied twice.
+        self._idempotent[key] = version
+        while len(self._idempotent) > self.idempotent_capacity:
+            self._idempotent.popitem(last=False)
+        await self._send(conn, FrameType.COMMITTED, {
+            "id": rid, "version": version, "replayed": False,
+        })
+
+    # -- the instrumented send path -------------------------------------
+
+    async def _send(self, conn: _Connection, ftype: int,
+                    body: Dict[str, Any]) -> None:
+        data = encode_frame(ftype, body)
+        action, payload, delay_s = self.net_faults.on_frame(data)
+        if delay_s > 0.0:
+            await asyncio.sleep(delay_s)
+        if action == "drop":
+            raise _Hangup("injected connection drop")
+        conn.writer.write(payload)
+        try:
+            await asyncio.wait_for(conn.writer.drain(), self.send_timeout_s)
+        except asyncio.TimeoutError:
+            # Constructing the typed error snapshots recorder context;
+            # the connection is then shed so one stalled reader cannot
+            # pin server buffers.
+            NetworkError(
+                "slow consumer: send stalled past %.3fs"
+                % self.send_timeout_s
+            )
+            raise _Hangup("slow consumer") from None
+        except ConnectionError:
+            raise _Hangup("peer went away") from None
+        if action == "tear":
+            raise _Hangup("injected torn frame")
+
+    async def _send_error(self, conn: _Connection, error: Exception,
+                          rid: Optional[str]) -> None:
+        await self._send(conn, FrameType.ERROR, error_body(error, rid))
+
+    async def _goodbye(self, conn: _Connection, reason: str) -> None:
+        try:
+            await self._send(conn, FrameType.GOODBYE, {
+                "reason": reason,
+                "retry_after_s": self.admission.retry_after_s(),
+            })
+        except _Hangup:
+            pass
+
+    def _abort(self, conn: _Connection) -> None:
+        try:
+            if conn.writer.transport is not None:
+                conn.writer.transport.abort()
+        except (RuntimeError, AttributeError):
+            pass
+        if conn.session is not None:
+            conn.session.close()
+        self._conns.discard(conn)
+
+    def __repr__(self) -> str:
+        return "Server(%d connections, %d sessions served%s)" % (
+            len(self._conns), self.sessions_served,
+            ", draining" if self.draining else "",
+        )

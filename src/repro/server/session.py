@@ -1,0 +1,221 @@
+"""Per-connection session state: snapshot pin, prepared statements.
+
+A session is the unit of isolation the server hands each connection:
+
+* an MVCC :class:`~repro.relational.tx.Snapshot` pinned at handshake
+  (and re-pinned on REFRESH or after the session's own commit), so
+  every query a session runs sees one consistent version no matter
+  how many writers commit meanwhile -- *snapshot sessions*;
+* a registry of prepared statements: named XQL templates with
+  ``$1..$n`` placeholders, substituted server-side with safely
+  rendered literals at EXECUTE time;
+* the bookkeeping the service layer needs to survive failure --
+  which request is in flight, which request ids were cancelled, and
+  the session's priority class for admission and drain shedding.
+
+Sessions never share mutable state: two sessions at the same version
+share relation *pointers* (immutability makes that free), nothing
+else.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SessionError, WriteConflictError
+from repro.gov.admission import PRIORITY_NORMAL
+from repro.relational.query import Database
+from repro.relational.tx import Snapshot, TransactionManager
+
+__all__ = ["Session", "render_statement"]
+
+
+def render_literal(value: Any) -> str:
+    """One argument as an XQL literal; reject what XQL cannot carry."""
+    if isinstance(value, bool):
+        # XQL has no boolean literals; 1/0 would silently change type.
+        raise SessionError("statement arguments cannot be booleans")
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, str):
+        if "'" in value:
+            raise SessionError(
+                "statement arguments cannot contain single quotes"
+            )
+        return "'%s'" % value
+    raise SessionError(
+        "statement arguments must be numbers or strings, got %r"
+        % type(value).__name__
+    )
+
+
+def render_statement(template: str, args: Sequence[Any]) -> str:
+    """Substitute ``$1..$n`` placeholders with rendered literals.
+
+    Placeholders are matched longest-first so ``$12`` never rewrites
+    as ``$1`` followed by a stray ``2``; every placeholder must be
+    bound and every argument used -- a mismatch is a typed
+    :class:`~repro.errors.SessionError`, not a silently wrong query.
+    """
+    text = template
+    for index in range(len(args), 0, -1):
+        placeholder = "$%d" % index
+        if placeholder not in text:
+            raise SessionError(
+                "statement has no placeholder %s for argument %d"
+                % (placeholder, index)
+            )
+        text = text.replace(placeholder, render_literal(args[index - 1]))
+    if "$" in text:
+        raise SessionError(
+            "statement placeholders left unbound: %s" % text
+        )
+    return text
+
+
+class Session:
+    """One connection's server-side state."""
+
+    def __init__(self, session_id: str, manager: TransactionManager,
+                 principal: str = "anonymous",
+                 priority: int = PRIORITY_NORMAL):
+        self.session_id = session_id
+        self.principal = principal
+        self.priority = priority
+        self._manager = manager
+        self._snapshot: Snapshot = manager.snapshot()
+        self._statements: Dict[str, str] = {}
+        self._db: Optional[Database] = None
+        self.cancelled: Set[str] = set()
+        self.in_flight: Optional[str] = None
+        self.closed = False
+
+    # -- snapshot pinning ----------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """The MVCC version this session's reads are pinned to."""
+        return self._snapshot.version
+
+    @property
+    def snapshot(self) -> Snapshot:
+        return self._snapshot
+
+    def refresh(self) -> int:
+        """Re-pin at the latest committed version; returns it."""
+        self._require_open()
+        self._snapshot.close()
+        self._snapshot = self._manager.snapshot()
+        self._db = None
+        return self._snapshot.version
+
+    def database(self) -> Database:
+        """A query catalog over the pinned snapshot (built lazily).
+
+        The database holds the snapshot's relation pointers, so
+        building it is O(tables) and queries against it are embedded
+        execution, byte-for-byte -- the differential oracle's anchor.
+        """
+        self._require_open()
+        if self._db is None:
+            db = Database()
+            for name in self._snapshot.names():
+                db.add(name, self._snapshot.relation(name))
+            self._db = db
+        return self._db
+
+    # -- prepared statements -------------------------------------------
+
+    def prepare(self, name: str, template: str) -> None:
+        self._require_open()
+        if not name or not isinstance(name, str):
+            raise SessionError("statement names must be non-empty strings",
+                               session_id=self.session_id)
+        self._statements[name] = template
+
+    def statement(self, name: str, args: Sequence[Any]) -> str:
+        self._require_open()
+        template = self._statements.get(name)
+        if template is None:
+            raise SessionError("unknown prepared statement %r" % (name,),
+                               session_id=self.session_id)
+        return render_statement(template, args)
+
+    def statements(self) -> List[str]:
+        return sorted(self._statements)
+
+    # -- writes ---------------------------------------------------------
+
+    def mutate(self, ops: Sequence[Sequence[Any]]) -> int:
+        """Apply one atomic batch of writes; returns the commit version.
+
+        Ops are wire-shaped lists: ``["insert", table, row]``,
+        ``["delete", table, where]`` and ``["update", table, where,
+        set]``.  The batch commits under first-committer-wins against
+        this session's pinned version: if any written table was
+        committed past :attr:`version` by someone else, the batch
+        raises :class:`~repro.errors.WriteConflictError` and nothing
+        is applied.  On success the session re-pins at the new version
+        so its own write is immediately readable.
+        """
+        self._require_open()
+        parsed: List[Tuple] = []
+        written: Set[str] = set()
+        for op in ops:
+            if not isinstance(op, (list, tuple)) or len(op) < 3:
+                raise SessionError("malformed mutation op %r" % (op,),
+                                   session_id=self.session_id)
+            kind, name = op[0], op[1]
+            if kind == "insert" and len(op) == 3:
+                parsed.append(("insert", name, dict(op[2])))
+            elif kind == "delete" and len(op) == 3:
+                parsed.append(("delete", name, dict(op[2])))
+            elif kind == "update" and len(op) == 4:
+                parsed.append(("update", name, dict(op[2]), dict(op[3])))
+            else:
+                raise SessionError("unknown mutation op %r" % (kind,),
+                                   session_id=self.session_id)
+            written.add(name)
+        manager = self._manager
+        conflicting = sorted(
+            name for name in written
+            if manager.table_version(name) > self.version
+        )
+        if conflicting:
+            raise WriteConflictError(
+                conflicting, self.version,
+                max(manager.table_version(name) for name in conflicting),
+            )
+        with manager.transaction(deferred=True):
+            for op in parsed:
+                table = manager.table(op[1])
+                if op[0] == "insert":
+                    table.insert(op[2])
+                elif op[0] == "delete":
+                    table.delete(op[2])
+                else:
+                    table.update(op[2], op[3])
+        self.refresh()
+        return manager.current_version
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise SessionError("session is closed",
+                               session_id=self.session_id)
+
+    def close(self) -> None:
+        """Release the snapshot pin; idempotent."""
+        if not self.closed:
+            self._snapshot.close()
+            self._db = None
+            self.closed = True
+
+    def __repr__(self) -> str:
+        return "Session(%s, version=%d%s)" % (
+            self.session_id, self.version,
+            ", closed" if self.closed else "",
+        )

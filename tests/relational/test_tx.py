@@ -281,3 +281,67 @@ class TestManagerPlumbing:
         view = manager.tables
         view.clear()
         assert manager.table("emp") is employees
+
+
+class TestSavepointSnapshotInteraction:
+    """Satellite fix: savepoint semantics under concurrent snapshot
+    readers, and the WAL/MVCC shared numbering."""
+
+    def test_reader_before_nested_rollback_never_sees_rolled_back_rows(
+        self, schema
+    ):
+        manager, employees, departments = schema
+        with manager.transaction():
+            departments.insert({"dept": 2, "dname": "ops"})
+            reader = manager.snapshot()
+            try:
+                with manager.transaction():
+                    employees.insert(
+                        {"emp": 7, "name": "ghost", "dept": 2}
+                    )
+                    # The reader must not see the inner insert even
+                    # while it is live...
+                    assert len(reader.relation("emp")) == 0
+                    raise RuntimeError("inner abort")
+            except RuntimeError:
+                pass
+            # ...nor after its rollback, nor the outer transaction's
+            # own in-progress insert.
+            assert len(reader.relation("emp")) == 0
+            assert len(reader.relation("dept")) == 1
+        reader.close()
+
+    def test_reader_across_savepoint_release_sees_begin_state(self, schema):
+        manager, employees, departments = schema
+        reader = manager.snapshot()
+        with manager.transaction():
+            departments.insert({"dept": 2, "dname": "ops"})
+            with manager.transaction():
+                employees.insert({"emp": 1, "name": "ada", "dept": 2})
+            # Inner savepoint released (committed into the outer scope):
+            # still invisible to the reader.
+            assert len(reader.relation("emp")) == 0
+        # Even after the outer commit, the pinned version is stable.
+        assert len(reader.relation("emp")) == 0
+        assert len(reader.relation("dept")) == 1
+        reader.close()
+        assert len(manager.snapshot().relation("emp")) == 1
+
+    def test_wal_tx_id_matches_mvcc_commit_version(self, schema, tmp_path):
+        from repro.relational.wal import WriteAheadLog, commit_tx_id
+
+        manager, employees, departments = schema
+        log = WriteAheadLog(str(tmp_path / "wal.log"))
+        manager = TransactionManager(
+            {"emp": employees, "dept": departments}, log=log
+        )
+        versions = []
+        for dept in (2, 3, 4):
+            with manager.transaction():
+                departments.insert({"dept": dept, "dname": "d%d" % dept})
+            versions.append(manager.current_version)
+        assert versions == [1, 2, 3]
+        assert [commit_tx_id(record) for record in log.replay()] == versions
+        # And the per-table change version agrees with the last record.
+        assert manager.table_version("dept") == 3
+        assert manager.table_version("emp") == 0

@@ -1,0 +1,494 @@
+"""Server behavior: handshake, sessions, streaming, drain, idempotence.
+
+Each test spins a real asyncio server on an ephemeral port and talks
+to it through the real client -- no mocks on the happy path, so the
+protocol, session and service layers are exercised exactly as
+production wires them.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import (
+    NetworkError,
+    OverloadedError,
+    SessionError,
+    UnavailableError,
+    WriteConflictError,
+    XSTError,
+)
+from repro.gov.admission import (
+    PRIORITY_BACKGROUND,
+    PRIORITY_CRITICAL,
+)
+from repro.relational.constraints import KeyConstraint, Table
+from repro.relational.csvio import dumps_csv
+from repro.relational.query import Database
+from repro.relational.sql import run as run_xql
+from repro.relational.tx import TransactionManager
+from repro.server import Client, Server, connect
+from repro.server.session import render_statement
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, 30))
+
+
+def make_manager():
+    emp = Table(
+        ["eid", "name", "dept"],
+        [
+            {"eid": 1, "name": "ada", "dept": "eng"},
+            {"eid": 2, "name": "bob", "dept": "ops"},
+            {"eid": 3, "name": "cyd", "dept": "eng"},
+        ],
+        [KeyConstraint(["eid"])],
+    )
+    dept = Table(
+        ["dept", "floor"],
+        [{"dept": "eng", "floor": 3}, {"dept": "ops", "floor": 1}],
+    )
+    return TransactionManager({"emp": emp, "dept": dept})
+
+
+async def served(test, **server_kw):
+    """Start a server, run ``test(server)``, tear everything down."""
+    server = Server(make_manager(), **server_kw)
+    await server.start()
+    try:
+        return await test(server)
+    finally:
+        await server.close()
+
+
+class TestHandshake:
+    def test_welcome_carries_session_version_trace(self):
+        async def body(server):
+            client = await connect("127.0.0.1", server.port)
+            assert client.session_id == "s1"
+            assert client.version == 0
+            assert client.trace_id == "trace-s1"
+            await client.close()
+
+        run(served(body))
+
+    def test_wrong_token_is_session_error(self):
+        async def body(server):
+            with pytest.raises(SessionError):
+                await connect("127.0.0.1", server.port, token="wrong")
+
+        run(served(body, token="sekrit"))
+
+    def test_right_token_admitted(self):
+        async def body(server):
+            client = await connect(
+                "127.0.0.1", server.port, token="sekrit"
+            )
+            assert client.session_id is not None
+            await client.close()
+
+        run(served(body, token="sekrit"))
+
+    def test_session_table_bounded(self):
+        async def body(server):
+            a = await connect("127.0.0.1", server.port)
+            with pytest.raises(SessionError) as exc:
+                await connect("127.0.0.1", server.port)
+            assert exc.value.retry_after_s is not None
+            await a.close()
+
+        run(served(body, max_sessions=1))
+
+    def test_bad_priority_rejected(self):
+        async def body(server):
+            with pytest.raises(SessionError):
+                await connect("127.0.0.1", server.port, priority=9)
+
+        run(served(body))
+
+
+class TestQueries:
+    def test_query_matches_embedded_execution(self):
+        async def body(server):
+            client = await connect("127.0.0.1", server.port)
+            over_wire = await client.query(
+                "select name from emp where dept = 'eng'"
+            )
+            db = Database({
+                name: table.snapshot()
+                for name, table in server._manager.tables.items()
+            })
+            embedded = run_xql(
+                db, "select name from emp where dept = 'eng'"
+            )
+            assert dumps_csv(over_wire) == dumps_csv(embedded)
+            await client.close()
+
+        run(served(body))
+
+    def test_results_stream_in_pages(self):
+        async def body(server):
+            client = await connect("127.0.0.1", server.port)
+            rid = "probe-1"
+            await client._write_frame(3, {"id": rid,
+                                          "xql": "select eid from emp"})
+            ftype, page = await client._read_response(rid)
+            assert page["pages"] == 3  # 3 rows, 1 row per page
+            assert sorted(r[0] for r in page["rows"]) == [1, 2, 3]
+            await client.close()
+
+        run(served(body, page_rows=1))
+
+    def test_empty_result_is_one_last_page(self):
+        async def body(server):
+            client = await connect("127.0.0.1", server.port)
+            rel = await client.query(
+                "select name from emp where dept = 'none'"
+            )
+            assert len(rel) == 0
+            await client.close()
+
+        run(served(body))
+
+    def test_bad_xql_is_typed_not_fatal(self):
+        async def body(server):
+            client = await connect("127.0.0.1", server.port)
+            with pytest.raises(XSTError):
+                await client.query("selekt nothing")
+            # The connection survives a failed request.
+            rel = await client.query("select dept from dept")
+            assert len(rel) == 2
+            await client.close()
+
+        run(served(body))
+
+    def test_join_queries_work_over_the_wire(self):
+        async def body(server):
+            client = await connect("127.0.0.1", server.port)
+            rel = await client.query(
+                "select name, floor from emp join dept"
+            )
+            rows = rel.to_rows()
+            assert ("ada", 3) in rows and ("bob", 1) in rows
+            await client.close()
+
+        run(served(body))
+
+
+class TestPreparedStatements:
+    def test_prepare_execute(self):
+        async def body(server):
+            client = await connect("127.0.0.1", server.port)
+            await client.prepare(
+                "by_dept", "select name from emp where dept = $1"
+            )
+            rel = await client.execute("by_dept", ["eng"])
+            assert sorted(r[0] for r in rel.to_rows()) == ["ada", "cyd"]
+            await client.close()
+
+        run(served(body))
+
+    def test_unknown_statement_is_session_error(self):
+        async def body(server):
+            client = await connect("127.0.0.1", server.port)
+            with pytest.raises(SessionError):
+                await client.execute("nope", [])
+            await client.close()
+
+        run(served(body))
+
+    def test_argument_rendering_rules(self):
+        assert render_statement("select a from t where b = $1", [7]) == \
+            "select a from t where b = 7"
+        assert render_statement("where a = $1 and b = $2", ["x", 1.5]) == \
+            "where a = 'x' and b = 1.5"
+        with pytest.raises(SessionError):
+            render_statement("where a = $1", ["it's"])  # quote smuggling
+        with pytest.raises(SessionError):
+            render_statement("where a = $1", [True])
+        with pytest.raises(SessionError):
+            render_statement("where a = $1", [7, 8])  # unused argument
+        with pytest.raises(SessionError):
+            render_statement("where a = $1 and b = $2", [7])  # unbound
+
+
+class TestSnapshotSessions:
+    def test_reads_pinned_until_refresh(self):
+        async def body(server):
+            reader = await connect("127.0.0.1", server.port,
+                                   client_id="r")
+            writer = await connect("127.0.0.1", server.port,
+                                   client_id="w")
+            await writer.mutate(
+                [["insert", "emp",
+                  {"eid": 9, "name": "eve", "dept": "eng"}]]
+            )
+            stale = await reader.query("select eid from emp")
+            assert len(stale) == 3  # still at version 0
+            version = await reader.refresh()
+            assert version == 1
+            fresh = await reader.query("select eid from emp")
+            assert len(fresh) == 4
+            await reader.close()
+            await writer.close()
+
+        run(served(body))
+
+    def test_write_conflict_surfaces_typed(self):
+        async def body(server):
+            a = await connect("127.0.0.1", server.port, client_id="a")
+            b = await connect("127.0.0.1", server.port, client_id="b")
+            await a.mutate(
+                [["update", "emp", {"eid": 1}, {"name": "early"}]]
+            )
+            with pytest.raises(WriteConflictError) as exc:
+                await b.mutate(
+                    [["update", "emp", {"eid": 1}, {"name": "late"}]]
+                )
+            assert exc.value.tables == ("emp",)
+            # After refreshing, b can commit.
+            await b.refresh()
+            await b.mutate(
+                [["update", "emp", {"eid": 1}, {"name": "later"}]]
+            )
+            await a.close()
+            await b.close()
+
+        run(served(body))
+
+    def test_mutate_own_write_visible(self):
+        async def body(server):
+            client = await connect("127.0.0.1", server.port)
+            await client.mutate(
+                [["insert", "emp",
+                  {"eid": 9, "name": "eve", "dept": "eng"}],
+                 ["delete", "emp", {"eid": 2}]]
+            )
+            rel = await client.query("select name from emp")
+            names = sorted(r[0] for r in rel.to_rows())
+            assert names == ["ada", "cyd", "eve"]
+            await client.close()
+
+        run(served(body))
+
+    def test_malformed_ops_are_session_errors(self):
+        async def body(server):
+            client = await connect("127.0.0.1", server.port)
+            with pytest.raises(SessionError):
+                await client.mutate([["upsert", "emp", {}]])
+            await client.close()
+
+        run(served(body))
+
+
+class TestIdempotentRetry:
+    def test_duplicate_mutate_replays_ack_not_write(self):
+        async def body(server):
+            client = await connect("127.0.0.1", server.port)
+            rid = client._next_request_id()
+            ops = [["insert", "emp",
+                    {"eid": 9, "name": "eve", "dept": "eng"}]]
+            await client._write_frame(8, {"id": rid, "ops": ops})
+            _, first = await client._read_response(rid)
+            # The "lost ack" retry: same id, same ops, again.
+            await client._write_frame(8, {"id": rid, "ops": ops})
+            _, second = await client._read_response(rid)
+            assert first["version"] == second["version"] == 1
+            assert second["replayed"] is True
+            assert server.writes_replayed == 1
+            rel = await client.query("select eid from emp where eid = 9")
+            assert len(rel) == 1  # applied exactly once
+            await client.close()
+
+        run(served(body))
+
+    def test_distinct_ids_apply_separately(self):
+        async def body(server):
+            client = await connect("127.0.0.1", server.port)
+            v1 = await client.mutate(
+                [["insert", "emp",
+                  {"eid": 8, "name": "gil", "dept": "ops"}]]
+            )
+            v2 = await client.mutate(
+                [["insert", "emp",
+                  {"eid": 9, "name": "eve", "dept": "eng"}]]
+            )
+            assert (v1, v2) == (1, 2)
+            await client.close()
+
+        run(served(body))
+
+
+class TestCancel:
+    def test_cancel_stops_a_result_stream_at_a_page_edge(self):
+        async def body(server):
+            client = await connect("127.0.0.1", server.port)
+            rid = client._next_request_id()
+            await client._write_frame(3, {"id": rid,
+                                          "xql": "select eid from emp"})
+            await client.cancel(rid)
+            # Collect until the stream terminates: it must end with
+            # CANCELLED, not trail pages forever.
+            saw_cancelled = False
+            for _ in range(10):
+                ftype, frame = await client._read_frame()
+                if ftype == 13:  # CANCELLED
+                    saw_cancelled = True
+                    break
+                assert ftype == 4  # pages already in flight are fine
+            assert saw_cancelled
+            await client.close()
+
+        run(served(body, page_rows=1))
+
+    def test_cancel_of_unknown_request_is_acked(self):
+        async def body(server):
+            client = await connect("127.0.0.1", server.port)
+            await client._write_frame(12, {"id": "ghost"})
+            ftype, frame = await client._read_frame()
+            assert ftype == 13 and frame["id"] == "ghost"
+            await client.close()
+
+        run(served(body))
+
+
+class TestAdmissionFrontDoor:
+    def test_at_capacity_sheds_with_deterministic_retry_after(self):
+        async def body(server):
+            client = await connect(
+                "127.0.0.1", server.port, max_attempts=1
+            )
+            with server.admission.hold(2, PRIORITY_CRITICAL):
+                with pytest.raises(OverloadedError) as exc:
+                    await client.query("select eid from emp")
+            assert exc.value.retry_after_s == \
+                server.admission.retry_after_unit_s * 2
+            await client.close()
+
+        run(served(body, capacity=2, soft_capacity=1))
+
+    def test_background_shed_before_normal(self):
+        async def body(server):
+            background = await connect(
+                "127.0.0.1", server.port,
+                priority=PRIORITY_BACKGROUND, max_attempts=1,
+                client_id="bg",
+            )
+            normal = await connect("127.0.0.1", server.port,
+                                   client_id="n")
+            with server.admission.hold(1, PRIORITY_CRITICAL):
+                with pytest.raises(OverloadedError):
+                    await background.query("select eid from emp")
+                rel = await normal.query("select eid from emp")
+                assert len(rel) == 3
+            await background.close()
+            await normal.close()
+
+        run(served(body, capacity=3, soft_capacity=1))
+
+    def test_overload_retries_then_succeeds(self):
+        async def body(server):
+            client = await connect("127.0.0.1", server.port,
+                                   sleep_backoff=True)
+            with server.admission.hold(2, PRIORITY_CRITICAL):
+                task = asyncio.ensure_future(
+                    client.query("select eid from emp")
+                )
+                await asyncio.sleep(0.05)  # first attempts shed
+            rel = await task
+            assert len(rel) == 3
+            assert client.retries >= 1
+            await client.close()
+
+        run(served(body, capacity=2, soft_capacity=1))
+
+
+class TestDrain:
+    def test_drain_sheds_background_and_finishes_normal(self):
+        async def body(server):
+            critical = await connect(
+                "127.0.0.1", server.port,
+                priority=PRIORITY_CRITICAL, client_id="crit",
+            )
+            background = await connect(
+                "127.0.0.1", server.port,
+                priority=PRIORITY_BACKGROUND, client_id="bg",
+                max_attempts=1,
+            )
+            result = await server.drain()
+            assert result["shed"] == 0  # both were idle: goodbyes
+            # New connections are refused...
+            with pytest.raises((UnavailableError, ConnectionError)):
+                await connect("127.0.0.1", server.port, max_attempts=1)
+            # ...and the drained clients' next requests die typed.
+            with pytest.raises(UnavailableError):
+                await background.query("select eid from emp")
+            with pytest.raises(UnavailableError):
+                await critical.query("select eid from emp")
+
+        run(served(body))
+
+    def test_drain_flushes_incidents(self, tmp_path):
+        from repro.obs.recorder import recorder
+
+        incident_log = str(tmp_path / "incidents.jsonl")
+
+        async def body(server):
+            client = await connect(
+                "127.0.0.1", server.port, max_attempts=1
+            )
+            recorder().install()
+            try:
+                with server.admission.hold(2, PRIORITY_CRITICAL):
+                    with pytest.raises(OverloadedError):
+                        await client.query("select eid from emp")
+                await server.drain()
+            finally:
+                recorder().uninstall()
+                recorder().reset()
+
+        run(served(body, capacity=2, soft_capacity=1,
+                   incident_log=incident_log))
+        with open(incident_log) as fh:
+            lines = fh.read().splitlines()
+        assert any('"OVERLOADED"' in line for line in lines)
+
+    def test_drain_is_deterministic_about_retry_hint(self):
+        async def body(server):
+            client = await connect("127.0.0.1", server.port)
+            rid = client._next_request_id()
+            await client._write_frame(3, {"id": rid, "xql":
+                                          "select eid from emp"})
+            _, page = await client._read_response(rid)
+            await server.drain()
+            ftype, frame = await client._read_frame()
+            assert ftype == 15  # GOODBYE
+            assert frame["retry_after_s"] == \
+                server.admission.retry_after_s()
+
+        run(served(body))
+
+
+class TestSlowConsumer:
+    def test_stalled_drain_sheds_the_connection(self):
+        async def body(server):
+            class StalledWriter:
+                def __init__(self):
+                    self.transport = None
+
+                def write(self, data):
+                    pass
+
+                async def drain(self):
+                    await asyncio.sleep(60)
+
+            class FakeConn:
+                writer = StalledWriter()
+
+            with pytest.raises(Exception) as exc:
+                await server._send(FakeConn(), 4, {"id": "x"})
+            assert "slow consumer" in str(exc.value)
+            assert server.net_faults.frames >= 0
+
+        run(served(body, send_timeout_s=0.01))

@@ -704,3 +704,61 @@ class TestObsIncidents:
 
     def test_wrong_arity(self, capsys):
         assert main(["obs-incidents"]) == 2
+
+
+class TestServe:
+    """The serve command: boot, serve real clients, drain on signal."""
+
+    def test_bad_numeric_option(self, csv_dir, capsys):
+        assert main(["serve", csv_dir, "--capacity", "lots"]) == 2
+        assert "numbers" in capsys.readouterr().err
+
+    def test_wrong_arity(self, capsys):
+        assert main(["serve"]) == 2
+
+    def test_missing_directory(self, capsys):
+        assert main(["serve", "/does/not/exist"]) == 2
+
+    def test_serves_and_drains_on_sigterm(self, csv_dir, tmp_path):
+        import asyncio
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        from repro.relational.csvio import dumps_csv
+        from repro.server import connect
+
+        port_file = str(tmp_path / "port")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", csv_dir,
+             "--port-file", port_file],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 15
+            while not os.path.exists(port_file):
+                assert time.monotonic() < deadline, proc.stderr.read()
+                time.sleep(0.05)
+            with open(port_file) as handle:
+                port = int(handle.read())
+
+            async def talk():
+                client = await connect("127.0.0.1", port)
+                served = await client.query("select * from emp")
+                await client.close()
+                return served
+
+            served = asyncio.run(asyncio.wait_for(talk(), 15))
+            assert len(served) == 25
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=15)
+        assert proc.returncode == 0, err
+        assert "listening" in out
+        assert "draining" in out
+        assert "stopped" in out

@@ -10,13 +10,16 @@ from repro.errors import (
     CompositionError,
     DeadlineExceededError,
     InvalidAtomError,
+    NetworkError,
     NotAFunctionError,
     NotAProcessError,
     NotationError,
     NotATupleError,
     OverloadedError,
     SchemaError,
+    SessionError,
     UnavailableError,
+    WriteConflictError,
     XSTError,
 )
 
@@ -35,6 +38,9 @@ ALL_ERRORS = [
     BudgetExceededError,
     OverloadedError,
     CircuitOpenError,
+    NetworkError,
+    SessionError,
+    WriteConflictError,
 ]
 
 
@@ -71,6 +77,9 @@ class TestHierarchy:
             BudgetExceededError,
             OverloadedError,
             CircuitOpenError,
+            NetworkError,
+            SessionError,
+            WriteConflictError,
         ):
             assert issubclass(error_type, UnavailableError)
             assert issubclass(error_type, RuntimeError)
@@ -83,6 +92,9 @@ class TestHierarchy:
             BudgetExceededError: ("BUDGET_EXCEEDED", 13),
             OverloadedError: ("OVERLOADED", 14),
             CircuitOpenError: ("CIRCUIT_OPEN", 15),
+            NetworkError: ("NETWORK", 16),
+            SessionError: ("SESSION", 17),
+            WriteConflictError: ("WRITE_CONFLICT", 18),
         }
         for error_type, (code, exit_code) in expected.items():
             assert error_type.code == code
@@ -103,6 +115,24 @@ class TestHierarchy:
         assert breaker.table == "emp" and breaker.bucket == 3
         assert breaker.node == "node-2" and breaker.retry_after_ops == 5
 
+    def test_network_errors_carry_structured_context(self):
+        torn = NetworkError("torn frame", frame=4, retry_after_s=0.1)
+        assert torn.reason == "torn frame"
+        assert torn.frame == 4 and torn.retry_after_s == 0.1
+        assert "at frame 4" in str(torn)
+        session = SessionError("auth rejected", session_id="s3")
+        assert session.session_id == "s3"
+        assert "(session s3)" in str(session)
+        conflict = WriteConflictError(["emp", "dept"], 3, 5)
+        assert conflict.tables == ("emp", "dept")
+        assert conflict.read_version == 3
+        assert conflict.committed_version == 5
+        # Retrying against a fresh snapshot usually succeeds: the
+        # class-level hint says "retry immediately".
+        assert conflict.retry_after_s == 0.0
+        assert "version 3" in str(conflict)
+        assert "version 5" in str(conflict)
+
     def test_one_except_clause_guards_the_library(self):
         from repro.xst.builders import xset
         from repro.notation import parse
@@ -117,6 +147,53 @@ class TestHierarchy:
             except XSTError:
                 failures += 1
         assert failures == 2
+
+
+class TestServingErrors:
+    """The serving failure classes: recorded, exit-coded, legible."""
+
+    def test_flight_recorder_snapshots_serving_errors(self):
+        from repro.obs.recorder import recorder
+
+        recorder().install()
+        try:
+            NetworkError("torn frame", frame=7)
+            SessionError("auth rejected", session_id="s2")
+            WriteConflictError(["emp"], 1, 4)
+        finally:
+            recorder().uninstall()
+        incidents = recorder().incidents()
+        recorder().reset()
+        codes = [inc["error"]["code"] for inc in incidents]
+        assert codes[-3:] == ["NETWORK", "SESSION", "WRITE_CONFLICT"]
+        by_code = {inc["error"]["code"]: inc["error"] for inc in incidents}
+        assert by_code["NETWORK"]["context"]["frame"] == 7
+        assert by_code["SESSION"]["context"]["session_id"] == "s2"
+        conflict = by_code["WRITE_CONFLICT"]["context"]
+        assert conflict["tables"] == ["emp"]
+        assert conflict["read_version"] == 1
+        assert conflict["committed_version"] == 4
+
+    @pytest.mark.parametrize(
+        "error, exit_code",
+        [
+            (NetworkError("connection reset"), 16),
+            (SessionError("drained"), 17),
+            (WriteConflictError(["emp"], 0, 1), 18),
+        ],
+        ids=["network", "session", "write-conflict"],
+    )
+    def test_cli_surfaces_serving_exit_codes(
+        self, error, exit_code, monkeypatch, capsys
+    ):
+        import repro.cli as cli
+
+        def explode(args):
+            raise error
+
+        monkeypatch.setitem(cli._COMMANDS, "explode", explode)
+        assert cli.main(["explode"]) == exit_code
+        assert "repro:" in capsys.readouterr().err
 
 
 class TestMessages:
