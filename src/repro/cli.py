@@ -427,11 +427,103 @@ def _command_fsck(args: List[str]) -> int:
                 print("stats %s: ok (%d rows analyzed, %d mutations since)"
                       % (name, entry.rows,
                          catalog.mutations_since_analyze(name)))
+    placement_damage = _fsck_shards(store)
+    if placement_damage:
+        from repro.errors import ShardPlacementError
+
+        print("fsck: %d placement inconsistenc%s"
+              % (placement_damage,
+                 "y" if placement_damage == 1 else "ies"))
+        return ShardPlacementError.exit_code
     if damage:
         print("fsck: %d damaged item(s)" % damage)
         return 1
     print("fsck: clean")
     return 0
+
+
+def _fsck_shards(store) -> int:
+    """Audit the shard catalog and move journal; count inconsistencies.
+
+    Two torn-rebalance residues are detectable from disk alone:
+
+    * **bucket owned by two epochs** -- the move journal and the
+      installed catalog disagree about who owns the moved bucket (a
+      crash landed between the epoch swing and the journal update, in
+      either order);
+    * **orphaned post-move source data** -- a swing committed (the
+      journal's ``target_epoch`` is installed) but the donor's frozen
+      copy was never garbage-collected.
+
+    Both exit with :attr:`~repro.errors.ShardPlacementError.exit_code`
+    so scripts can tell placement damage from ordinary segment rot.
+    """
+    from repro.errors import ShardPlacementError
+    from repro.relational.sharding import ShardCatalog, ShardMove
+
+    problems = 0
+    shards = None
+    try:
+        shards = store.load_shards()
+    except ShardPlacementError as error:
+        print("shards: DAMAGED catalog (%s)" % error)
+        problems += 1
+    if shards is not None:
+        for name in shards.names():
+            shard_map = shards.get(name)
+            try:
+                shard_map.validate()
+            except ShardPlacementError as error:
+                print("shards %s: DAMAGED (%s)" % (name, error))
+                problems += 1
+            else:
+                print("shards %s: ok (epoch %d, %d buckets, rf=%d)"
+                      % (name, shard_map.epoch, shard_map.bucket_count,
+                         shard_map.replication_factor))
+    move_value = store.load_move()
+    if move_value is None:
+        return problems
+    try:
+        move = ShardMove.from_xset(move_value)
+    except (ShardPlacementError, ValueError) as error:
+        print("move journal: DAMAGED (%s)" % error)
+        return problems + 1
+    installed = shards.get(move.table) if shards is not None else None
+    if move.target_epoch:
+        # The journal says the swing committed at target_epoch.
+        if installed is None or installed.epoch < move.target_epoch:
+            print("move %s[%d]: TORN SWING (journal swung to epoch %d "
+                  "but installed map is %s) -- bucket owned by two epochs"
+                  % (move.table, move.bucket, move.target_epoch,
+                     "absent" if installed is None
+                     else "at epoch %d" % installed.epoch))
+            problems += 1
+        else:
+            print("move %s[%d]: ORPHANED post-move source data on node "
+                  "%d (swing at epoch %d committed but gc never ran)"
+                  % (move.table, move.bucket, move.donor,
+                     move.target_epoch))
+            problems += 1
+    elif (
+        installed is not None
+        and installed.has_bucket(move.bucket)
+        and move.donor not in installed.replicas(move.bucket)
+        and move.recipient in installed.replicas(move.bucket)
+    ):
+        # The journal says pre-swing, yet the installed map already
+        # routes the bucket to the recipient: the swing committed but
+        # the journal write was lost.
+        print("move %s[%d]: TORN SWING (installed map routes to "
+              "recipient %d but journal is still '%s') -- bucket owned "
+              "by two epochs"
+              % (move.table, move.bucket, move.recipient, move.state))
+        problems += 1
+    else:
+        print("move %s[%d]: resumable (%s, %d rows copied, donor %d -> "
+              "recipient %d)"
+              % (move.table, move.bucket, move.state, move.copied_rows,
+                 move.donor, move.recipient))
+    return problems
 
 
 def _command_recover(args: List[str]) -> int:

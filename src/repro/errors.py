@@ -24,13 +24,20 @@ subclasses mirror the layers of the system:
   answer can be given *right now*" failure: the resource-governance
   family (:class:`DeadlineExceededError`, :class:`BudgetExceededError`,
   :class:`OverloadedError`, :class:`CircuitOpenError`), the
-  distributed layer's :class:`ClusterUnavailableError`, and the
-  serving layer's :class:`NetworkError`, :class:`SessionError` and
+  distributed layer's :class:`ClusterUnavailableError` and
+  :class:`ShardMovedError`, and the serving layer's
+  :class:`NetworkError`, :class:`SessionError` and
   :class:`WriteConflictError`.  Each carries structured context
   (elapsed vs budget, node id, retry-after, frame offset, conflicting
   tables) and a stable ``.code`` / ``.exit_code`` pair the CLI maps to
   distinct process exit codes -- scripts can branch on the failure
   class without parsing messages.
+* :class:`ShardPlacementError` -- the shard catalog is internally
+  inconsistent (a bucket owned by two epochs, a torn rebalance, an
+  anti-entropy digest mismatch).  Unlike the transient family this is
+  *damage*, not load: it shares the stable ``code``/``exit_code``
+  contract so ``repro fsck`` can report placement corruption
+  distinctly, and construction notifies the flight recorder.
 """
 
 from __future__ import annotations
@@ -347,3 +354,53 @@ class ClusterUnavailableError(UnavailableError):
             "partition %d of %r is unavailable%s: %s%s"
             % (bucket, table, key_part, reason, tried)
         )
+
+
+class ShardMovedError(UnavailableError):
+    """The caller routed with a stale shard-map epoch.
+
+    Online rebalancing swings a table's :class:`ShardMap` to a new
+    epoch atomically; any request stamped with an older epoch is
+    refused *before any bucket is read* -- the data may have moved,
+    and answering from the old placement could be wrong.  The error
+    carries both epochs so clients refresh their cached map and retry
+    immediately (``retry_after_s=0.0``: the new map is already
+    installed, nothing needs to drain).
+    """
+
+    code = "SHARD_MOVED"
+    exit_code = 19
+    retry_after_s = 0.0
+
+    def __init__(self, table: str, requested_epoch: int,
+                 current_epoch: int, bucket: Optional[int] = None):
+        self.table = table
+        self.requested_epoch = requested_epoch
+        self.current_epoch = current_epoch
+        self.bucket = bucket
+        where = "" if bucket is None else " (bucket %d)" % bucket
+        super().__init__(
+            "shard map for %r moved%s: request at epoch %d but cluster "
+            "is at epoch %d" % (table, where, requested_epoch, current_epoch)
+        )
+
+
+class ShardPlacementError(XSTError, ValueError):
+    """The shard catalog or a rebalance journal is inconsistent.
+
+    Raised when placement *invariants* are violated: a bucket with no
+    owner or two owners, a persisted move journal whose epoch
+    contradicts the installed map (a torn swing), or a post-move
+    anti-entropy digest mismatch between donor and recipient.  This is
+    corruption, not load -- there is no retry hint -- but it shares
+    the stable ``code``/``exit_code`` contract so ``repro fsck`` can
+    exit distinctly on placement damage, and construction notifies
+    the flight recorder like the availability family does.
+    """
+
+    code = "SHARD_PLACEMENT"
+    exit_code = 20
+
+    def __init__(self, *args: Any):
+        super().__init__(*args)
+        notify_error(self)

@@ -34,6 +34,7 @@ from repro.obs import metrics
 
 __all__ = [
     "enabled", "set_enabled", "observed", "kernel_op", "record_recovery",
+    "record_shard_event",
 ]
 
 
@@ -144,15 +145,20 @@ def _kernel_metrics():
 
 
 def record_recovery(kind: str, seconds: float, records: int,
-                    byte_count: int) -> None:
+                    byte_count: int, epoch: Optional[int] = None) -> None:
     """Record one recovery pass (WAL replay or replica rebuild).
 
     ``kind`` labels the recovery flavor (``"wal"`` for log replay into
     a :class:`~repro.relational.disk.DiskRelationStore`, ``"rebuild"``
     for a revived cluster node catching up from the write log);
     ``records`` is how many log entries were replayed and
-    ``byte_count`` how many durable bytes were read to do it.  A
-    no-op while observability is off, like every other hook here.
+    ``byte_count`` how many durable bytes were read to do it.  When
+    the recovering layer knows its shard-map generation it passes
+    ``epoch``, and the pass is additionally counted under
+    ``repro_recovery_epoch_total{kind,epoch}`` -- the tag that lets
+    FlightRecorder incidents correlate a revive with the rebalance it
+    rebuilt into.  A no-op while observability is off, like every
+    other hook here.
     """
     if not _ENABLED:
         return
@@ -173,6 +179,50 @@ def record_recovery(kind: str, seconds: float, records: int,
         "repro_recovery_seconds", "Recovery pass duration.",
         ("kind",), buckets=metrics.SECONDS_BUCKETS,
     ).observe_key(key, seconds)
+    if epoch is not None:
+        registry.counter(
+            "repro_recovery_epoch_total",
+            "Recovery passes by the shard-map epoch recovered into.",
+            ("kind", "epoch"),
+        ).inc_key((kind, str(epoch)))
+
+
+def record_shard_event(event: str, table: str, rows: int = 0,
+                       byte_count: int = 0,
+                       epoch: Optional[int] = None) -> None:
+    """Record one shard life-cycle event (move step, swing, split...).
+
+    ``event`` is the transition name (``copy``/``catch_up``/``swing``/
+    ``verify``/``gc`` for rebalance steps, ``split``/``merge`` for
+    topology changes, ``stale_epoch`` for refused requests); ``rows``
+    and ``byte_count`` size the data the event touched.  ``epoch``
+    additionally pins the table's current map generation on the
+    ``repro_shard_epoch`` gauge, which exposition scrapes join
+    against query traces.
+    """
+    if not _ENABLED:
+        return
+    registry = metrics.registry()
+    key = (event, table)
+    registry.counter(
+        "repro_shard_events_total", "Shard life-cycle events.",
+        ("event", "table"),
+    ).inc_key(key)
+    if rows:
+        registry.counter(
+            "repro_shard_rows_total",
+            "Rows touched by shard life-cycle events.", ("event", "table"),
+        ).inc_key(key, rows)
+    if byte_count:
+        registry.counter(
+            "repro_shard_bytes_total",
+            "Bytes shipped by shard life-cycle events.", ("event", "table"),
+        ).inc_key(key, byte_count)
+    if epoch is not None:
+        registry.gauge(
+            "repro_shard_epoch",
+            "Current shard-map epoch per table.", ("table",),
+        ).set(epoch, table=table)
 
 
 def _record(op_name: str, args: tuple, result: Any, elapsed: float) -> None:

@@ -59,7 +59,12 @@ from repro.relational.query import (
     SelectPred,
     Union,
 )
-from repro.relational.stats import AttributeStats, StatsCatalog, feedback_key
+from repro.relational.stats import (
+    AttributeStats,
+    RelationStats,
+    StatsCatalog,
+    feedback_key,
+)
 
 __all__ = [
     "CardinalityEstimator",
@@ -68,6 +73,9 @@ __all__ = [
     "qerror",
     "DP_MAX_RELATIONS",
     "DP_STEP_BUDGET",
+    "estimate_shard_rows",
+    "broadcast_join_cost",
+    "shuffle_join_cost",
 ]
 
 #: Largest join-leaf count searched exhaustively (bushy DP); beyond it
@@ -109,6 +117,43 @@ _COST_COLUMNAR_SELECT_EQ = 0.12  # log-search + verify candidates
 _COST_COLUMNAR_PROJECT = 0.6     # value-tuple dedup, no row rebuild
 _COST_COLUMNAR_RENAME = 0.05     # re-key columns; runs carry over
 _COST_MERGE_JOIN_INPUT = 0.4     # per input row of a merge walk, each side
+
+
+def estimate_shard_rows(
+    base_rows: float,
+    conditions: Dict[str, Any],
+    predicate_count: int,
+    stats: Optional["RelationStats"] = None,
+) -> float:
+    """Rows one shard-side pipeline ships, after its pushed filters.
+
+    The distributed coordinator's sizing primitive: ``base_rows`` is
+    the per-table total from the cluster's insert-maintained bucket
+    counts (an upper bound), shrunk by the selectivity of every
+    pushed equality (ANALYZE statistics when the table has them,
+    the heuristic fallback otherwise -- the *same* constants the
+    local planner uses, so distributed and local estimates agree)
+    and by the fallback factor per opaque predicate.
+    """
+    selectivity = 1.0
+    for attr, value in conditions.items():
+        attr_stats = stats.attribute(attr) if stats is not None else None
+        if attr_stats is not None:
+            selectivity *= attr_stats.eq_selectivity(value)
+        else:
+            selectivity *= _FALLBACK_EQ_SELECTIVITY
+    selectivity *= _FALLBACK_PRED_SELECTIVITY ** predicate_count
+    return max(1.0, base_rows * selectivity)
+
+
+def broadcast_join_cost(small_rows: float, bucket_count: int) -> float:
+    """Shipped rows for a broadcast join: the small side to every bucket."""
+    return small_rows * max(1, bucket_count)
+
+
+def shuffle_join_cost(moving_rows: float) -> float:
+    """Shipped rows for a shuffle join: the re-keyed side moves once."""
+    return moving_rows
 
 
 def qerror(estimated: float, actual: float) -> float:

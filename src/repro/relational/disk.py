@@ -345,12 +345,76 @@ class DiskRelationStore:
             os.remove(path)
 
     # ------------------------------------------------------------------
+    # Shard placement persistence
+    # ------------------------------------------------------------------
+
+    _SHARDS_FILE = "shards.map"
+    _MOVE_FILE = "shards.move"
+
+    def store_shards(self, catalog) -> None:
+        """Persist a :class:`~repro.relational.sharding.ShardCatalog`.
+
+        One canonically-serialized file (``shards.map``) holding every
+        table's epoch-stamped placement, rewritten atomically on each
+        epoch swing -- the same temp-file + fsync + replace discipline
+        as ``stats.cat``, so a crash leaves either the old epoch's
+        catalog or the new one, never a torn hybrid.
+        """
+        self._atomic_write(
+            os.path.join(self._directory, self._SHARDS_FILE),
+            dumps(catalog.to_xset()),
+        )
+
+    def load_shards(self):
+        """The persisted shard catalog, or ``None`` when never stored."""
+        from repro.relational.sharding import ShardCatalog
+
+        path = os.path.join(self._directory, self._SHARDS_FILE)
+        try:
+            with open(path, "rb") as fh:
+                return ShardCatalog.from_xset(loads(fh.read()))
+        except FileNotFoundError:
+            return None
+
+    def drop_shards(self) -> None:
+        path = os.path.join(self._directory, self._SHARDS_FILE)
+        if os.path.exists(path):
+            os.remove(path)
+
+    def store_move(self, move_value: XSet) -> None:
+        """Journal an in-flight shard move (``shards.move``).
+
+        Rewritten after every state-machine step; cleared by
+        :meth:`drop_move` once the move's garbage collection runs.  A
+        journal left behind is exactly what ``repro fsck`` inspects to
+        distinguish a resumable move from a torn swing.
+        """
+        self._atomic_write(
+            os.path.join(self._directory, self._MOVE_FILE),
+            dumps(move_value),
+        )
+
+    def load_move(self) -> Optional[XSet]:
+        """The journaled move value, or ``None`` when no move is open."""
+        path = os.path.join(self._directory, self._MOVE_FILE)
+        try:
+            with open(path, "rb") as fh:
+                return loads(fh.read())
+        except FileNotFoundError:
+            return None
+
+    def drop_move(self) -> None:
+        path = os.path.join(self._directory, self._MOVE_FILE)
+        if os.path.exists(path):
+            os.remove(path)
+
+    # ------------------------------------------------------------------
     # Checkpoint / recovery (the WAL pairing)
     # ------------------------------------------------------------------
 
     def checkpoint(self, log: WriteAheadLog,
                    tables: Mapping[str, Relation],
-                   stats=None) -> int:
+                   stats=None, shards=None) -> int:
         """Snapshot every table, then append the checkpoint marker.
 
         The marker is appended only after every snapshot is atomically
@@ -361,12 +425,16 @@ class DiskRelationStore:
         :mod:`repro.relational.wal`).  When a ``stats`` catalog is
         given it is persisted with the snapshots (before the marker),
         so recovered databases plan with the statistics they
-        checkpointed.  Returns the marker's LSN.
+        checkpointed; a ``shards`` catalog likewise rides along so a
+        recovered cluster resumes at the epoch it checkpointed.
+        Returns the marker's LSN.
         """
         for name in sorted(tables):
             self.store(name, tables[name])
         if stats is not None:
             self.store_stats(stats)
+        if shards is not None:
+            self.store_shards(shards)
         return log.checkpoint(sorted(tables))
 
     def recover(self, log: WriteAheadLog) -> Dict[str, Relation]:

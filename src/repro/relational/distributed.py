@@ -32,6 +32,22 @@ What the simulation preserves from the paper's programme:
   :class:`repro.errors.ClusterUnavailableError` only when no correct
   answer is obtainable -- never a wrong one.
 
+Placement is **explicit and versioned** (PR 9): every table carries a
+:class:`repro.relational.sharding.ShardMap` -- an epoch-numbered
+bucket->owner-ring map with a bucket count decoupled from the node
+count -- instead of the original implicit ``bucket b on node b``
+scheme.  Requests stamped with a stale epoch are refused with a typed
+:class:`~repro.errors.ShardMovedError` before any bucket is read, and
+online rebalancing (:meth:`Cluster.rebalance`, :meth:`Cluster.split_table`,
+:meth:`Cluster.merge_table`) moves buckets between nodes as a
+resumable, journaled state machine driven on the same deterministic
+tick clock as the fault injector -- so seeded kill/revive events land
+mid-copy, mid-catch-up and mid-swing, and the move provably completes
+afterwards.  A :meth:`Cluster.execute` coordinator pushes
+``SelectEq``/``SelectPred``/``Project`` chains below the shuffle and
+chooses broadcast-small vs shuffle-on-key join strategies from the
+statistics catalog and per-bucket row counts.
+
 The failure model: a killed node is *unreachable*, not erased -- its
 stored buckets survive a crash (durable disks) and serve again after
 a revive.  Writes, however, are *missed* while a node is down: the
@@ -69,15 +85,17 @@ from repro.errors import (
     ClusterUnavailableError,
     OverloadedError,
     SchemaError,
+    ShardMovedError,
 )
 from repro.gov.admission import PRIORITY_NORMAL, AdmissionController
 from repro.gov.breaker import CLOSED, HALF_OPEN, OPEN, BreakerBoard
-from repro.gov.governor import Deadline
+from repro.gov.governor import Budget, Deadline
 from repro.gov.governor import active as _gov_active
 from repro.gov.result import MissingBucket, Result
 from repro.obs import metrics as _metrics
 from repro.obs.instrument import enabled as _obs_enabled
 from repro.obs.instrument import record_recovery as _record_recovery
+from repro.obs.instrument import record_shard_event as _record_shard_event
 from repro.obs.trace import Span, TraceContext, Tracer
 from repro.relational.aggregate import aggregate as local_aggregate
 from repro.relational.algebra import join as local_join
@@ -91,8 +109,21 @@ from repro.relational.faults import (
     ShipmentCorruptedError,
     ShipmentLostError,
 )
+from repro.relational.cost import (
+    broadcast_join_cost,
+    estimate_shard_rows,
+    shuffle_join_cost,
+)
+from repro.relational.optimizer import ShardPipeline, shard_pipeline
+from repro.relational.query import Join as JoinPlan
+from repro.relational.query import Plan, Scan
 from repro.relational.relation import Relation
-from repro.relational.replication import ReplicaPlacement
+from repro.relational.sharding import (
+    ShardCatalog,
+    ShardMap,
+    ShardMove,
+    shard_index,
+)
 from repro.relational.schema import Heading
 from repro.xst.builders import xrecord, xset
 from repro.xst.serialization import dumps
@@ -210,6 +241,12 @@ class Node:
         self.delay_s = 0.0
         self.applied_lsn = 0
         self._buckets: Dict[str, Dict[int, Relation]] = {}
+        # Rebalance staging: an in-flight shard move copies into here
+        # so a half-received bucket is never visible to reads; the
+        # swing promotes it into ``_buckets`` atomically.  Durable,
+        # like the buckets -- a killed recipient resumes its staged
+        # copy on revive.
+        self._staged: Dict[Tuple[str, int], Relation] = {}
 
     # -- storage (durable: works regardless of liveness) ---------------
 
@@ -223,6 +260,45 @@ class Node:
         held = self._buckets.setdefault(table, {})
         current = held.get(bucket)
         held[bucket] = rows if current is None else local_union(current, rows)
+
+    def stored(self, table: str, bucket: int) -> Optional[Relation]:
+        """Durable read of one bucket copy (works on dead nodes).
+
+        The anti-entropy path: a donor's post-swing copy is audited
+        from durable storage whether or not the node is reachable.
+        """
+        return self._buckets.get(table, {}).get(bucket)
+
+    def drop_bucket(self, table: str, bucket: int) -> None:
+        """GC one bucket copy from durable storage (move source GC)."""
+        held = self._buckets.get(table)
+        if held is not None:
+            held.pop(bucket, None)
+            if not held:
+                del self._buckets[table]
+
+    # -- rebalance staging (durable, invisible to reads) ----------------
+
+    def stage_store(self, table: str, bucket: int, rows: Relation) -> None:
+        self._staged[(table, bucket)] = rows
+
+    def stage_merge(self, table: str, bucket: int, rows: Relation) -> None:
+        current = self._staged.get((table, bucket))
+        self._staged[(table, bucket)] = (
+            rows if current is None else local_union(current, rows)
+        )
+
+    def staged(self, table: str, bucket: int) -> Optional[Relation]:
+        return self._staged.get((table, bucket))
+
+    def promote_stage(self, table: str, bucket: int) -> None:
+        """Swing: staged rows become the live bucket copy, atomically."""
+        rows = self._staged.pop((table, bucket), None)
+        if rows is not None:
+            self.merge(table, bucket, rows)
+
+    def drop_stage(self, table: str, bucket: int) -> None:
+        self._staged.pop((table, bucket), None)
 
     # -- reads (the production path: needs a reachable node) -----------
 
@@ -277,10 +353,15 @@ class Node:
 
 
 def _partition_index(value: Any, node_count: int) -> int:
-    """Deterministic placement: hash of the canonical serialization."""
-    if isinstance(value, int) and not isinstance(value, bool):
-        return value % node_count
-    return sum(dumps(value)) % node_count
+    """Deterministic placement: hash of the canonical serialization.
+
+    Kept as the historical name for the differential oracles; the
+    algorithm now lives in :func:`repro.relational.sharding.shard_index`
+    (byte-identical routing) and the bucket count is a property of the
+    table's :class:`~repro.relational.sharding.ShardMap`, not of the
+    cluster.
+    """
+    return shard_index(value, node_count)
 
 
 class _QueryContext:
@@ -300,7 +381,7 @@ class _QueryContext:
     """
 
     __slots__ = ("describe", "simulated_s", "span", "started", "deadline",
-                 "trace")
+                 "trace", "shard_budgets")
 
     def __init__(self, describe: str, span: Span,
                  deadline: Optional[Deadline] = None,
@@ -314,9 +395,20 @@ class _QueryContext:
         #: rebuilds) inherit: same trace id, this query's root span as
         #: causal parent.
         self.trace = trace
+        #: Per-shard governor budgets, allocated lazily per bucket the
+        #: query touches (only when the cluster caps shard reads).
+        self.shard_budgets: Dict[Tuple[str, int], Budget] = {}
 
     def charge(self, seconds: float) -> None:
         self.simulated_s += seconds
+
+    def shard_budget(self, table: str, bucket: int, max_rows: int) -> Budget:
+        """The (lazily created) row budget for one shard of this query."""
+        key = (table, bucket)
+        budget = self.shard_budgets.get(key)
+        if budget is None:
+            budget = self.shard_budgets[key] = Budget(max_rows=max_rows)
+        return budget
 
 
 class Cluster:
@@ -368,6 +460,7 @@ class Cluster:
         max_in_flight: Optional[int] = None,
         admission_soft: Optional[int] = None,
         stats_fanout: bool = False,
+        shard_budget_rows: Optional[int] = None,
     ):
         if node_count < 1:
             raise ValueError("a cluster needs at least one node")
@@ -419,9 +512,27 @@ class Cluster:
         # depends on it.
         self._trace_ids = count(1)
         self.stats_fanout = stats_fanout
+        #: Per-query cap on rows any single shard may contribute; a
+        #: bucket read past the cap dies with
+        #: :class:`~repro.errors.BudgetExceededError` naming the shard
+        #: site.  ``None`` (default) disables the cap.
+        self.shard_budget_rows = shard_budget_rows
         self._partition_attrs: Dict[str, str] = {}
         self._headings: Dict[str, Heading] = {}
-        self._placements: Dict[str, ReplicaPlacement] = {}
+        self._placements: Dict[str, ShardMap] = {}
+        #: Durable catalog + journal sink (a DiskRelationStore), when
+        #: :meth:`attach_store` connected one: every epoch swing
+        #: persists the shard catalog, every move step its journal.
+        self._store: Optional[Any] = None
+        #: WAL for durable EPOCH markers, when :meth:`attach_wal`
+        #: connected one; swings are audit-logged, not replayed.
+        self._wal: Optional[Any] = None
+        #: ANALYZE statistics for join-strategy sizing, when
+        #: :meth:`attach_stats` supplied a catalog.
+        self._stats_catalog: Optional[Any] = None
+        #: In-flight shard moves, oldest first (FIFO-driven by
+        #: :meth:`step_rebalance`).
+        self._moves: List[ShardMove] = []
         # Per-table, per-bucket row counts maintained on every load and
         # insert -- the distributed analog of the statistics catalog's
         # row counts, feeding stats_fanout bucket ordering.
@@ -533,14 +644,18 @@ class Cluster:
             cause.annotate(span)
         entries = 0
         byte_count = 0
+        epoch = self._placement_epoch()
         try:
             for lsn, table, bucket, kind, rows in self._write_log:
                 if lsn <= node.applied_lsn:
                     continue
                 placement = self._placements.get(table)
-                if placement is None or node.index not in placement.replicas(
-                    bucket
-                ):
+                if placement is None or not placement.has_bucket(bucket):
+                    # Entries numbered under a retired bucket count (a
+                    # later merge shrank the map); the post-merge
+                    # snapshot entries supersede them.
+                    continue
+                if node.index not in placement.replicas(bucket):
                     continue
                 if kind == "store":
                     node.store(table, rows, bucket=bucket)
@@ -553,10 +668,25 @@ class Cluster:
             node.applied_lsn = self._log_lsn
             span.set("entries", entries)
             span.set("bytes", byte_count)
+            span.set("epoch", epoch)
         finally:
             self.tracer.end(span)
         _record_recovery(
-            "rebuild", time.perf_counter() - started, entries, byte_count
+            "rebuild", time.perf_counter() - started, entries, byte_count,
+            epoch=epoch,
+        )
+
+    def _placement_epoch(self) -> int:
+        """The cluster's placement generation: the newest table epoch.
+
+        Rebuilds happen against whatever maps are installed *now*, so
+        a revive that lands after a rebalance reports the post-swing
+        epoch -- the correlation tag FlightRecorder incidents need to
+        connect a revive with the topology change it rebuilt into.
+        """
+        return max(
+            (placement.epoch for placement in self._placements.values()),
+            default=0,
         )
 
     def _log_append(self, table: str, bucket: int, kind: str,
@@ -578,13 +708,16 @@ class Cluster:
         relation: Relation,
         partition_attr: str,
         replication_factor: Optional[int] = None,
+        buckets: Optional[int] = None,
     ) -> None:
         """Hash-partition a relation across the nodes by one attribute.
 
-        Each bucket is stored on ``replication_factor`` nodes (primary
-        plus ring successors).  The primary copy is free -- data
-        originates there -- while every extra copy ships over the
-        network and is priced in ``NetworkStats.replica_bytes``.
+        Placement is an explicit :class:`ShardMap` at epoch 1:
+        ``buckets`` hash partitions (default: one per node, the
+        historical scheme) each owned by a ``replication_factor``-node
+        ring (primary plus ring successors).  The primary copy is free
+        -- data originates there -- while every extra copy ships over
+        the network and is priced in ``NetworkStats.replica_bytes``.
 
         Unreachable replicas *miss* the write (they catch up from the
         write log on revive), and each per-replica step ticks the
@@ -596,20 +729,22 @@ class Cluster:
             if replication_factor is None
             else replication_factor
         )
-        placement = ReplicaPlacement(len(self.nodes), factor)
+        placement = ShardMap.successor_rings(
+            partition_attr, len(self.nodes), factor, bucket_count=buckets
+        )
         # Catalog first: a revive fired by a mid-create tick must be
         # able to see the placement to rebuild the partial table.
         self._partition_attrs[name] = partition_attr
         self._headings[name] = relation.heading
         self._placements[name] = placement
-        buckets: List[List] = [[] for _ in self.nodes]
+        parts: List[List] = [[] for _ in range(placement.bucket_count)]
         for row, _ in relation.rows.pairs():
             (value,) = row.elements_at(partition_attr)
-            buckets[_partition_index(value, len(self.nodes))].append(row)
+            parts[placement.bucket_for(value)].append(row)
         self._bucket_rows[name] = {
-            index: len(bucket) for index, bucket in enumerate(buckets)
+            index: len(bucket) for index, bucket in enumerate(parts)
         }
-        for bucket_index, bucket in enumerate(buckets):
+        for bucket_index, bucket in enumerate(parts):
             part = Relation(relation.heading, xset(bucket))
             lsn = self._log_append(name, bucket_index, "store", part)
             for position, node_index in enumerate(
@@ -623,6 +758,12 @@ class Cluster:
                 node.applied_lsn = lsn
                 if position:
                     self.network.ship(part.rows, replica=True)
+        self._persist_placements()
+        if _obs_enabled():
+            _record_shard_event(
+                "create", name, rows=relation.cardinality(),
+                epoch=placement.epoch,
+            )
 
     def insert(self, name: str, rows: Iterable[Mapping[str, Any]]) -> int:
         """Append rows, fanned out to every *reachable* replica.
@@ -646,7 +787,7 @@ class Cluster:
                 )
             record = xrecord(row)
             buckets.setdefault(
-                _partition_index(row[attr], len(self.nodes)), []
+                placement.bucket_for(row[attr]), []
             ).append(record)
             count += 1
         for bucket_index in sorted(buckets):
@@ -682,9 +823,80 @@ class Cluster:
         self.partition_attr(name)
         return self._headings[name]
 
-    def placement(self, name: str) -> ReplicaPlacement:
+    def placement(self, name: str) -> ShardMap:
         self.partition_attr(name)
         return self._placements[name]
+
+    def shard_map(self, name: str) -> ShardMap:
+        """The table's current (epoch-stamped) placement map."""
+        return self.placement(name)
+
+    def shard_catalog(self) -> ShardCatalog:
+        """Every table's map, as one serializable catalog."""
+        return ShardCatalog(dict(self._placements))
+
+    def attach_store(self, store: Any) -> None:
+        """Persist placement through a :class:`DiskRelationStore`.
+
+        From here on every epoch swing rewrites the store's
+        ``shards.map`` catalog atomically and every rebalance step
+        journals to ``shards.move`` -- the artifacts ``repro fsck``
+        audits for torn swings and orphaned source data.
+        """
+        self._store = store
+        self._persist_placements()
+
+    def attach_stats(self, catalog: Any) -> None:
+        """Supply ANALYZE statistics for distributed join sizing."""
+        self._stats_catalog = catalog
+
+    def attach_wal(self, log: Any) -> None:
+        """Log epoch swings as durable ``EPOCH`` markers.
+
+        Recovery replay skips them (only COMMIT records carry data),
+        but the log then dates every placement generation against the
+        commits around it -- the evidence fsck and post-mortems use.
+        """
+        self._wal = log
+
+    def _persist_placements(self) -> None:
+        if self._store is not None and self._placements:
+            self._store.store_shards(self.shard_catalog())
+
+    def _journal_move(self, move: ShardMove) -> None:
+        """Write (or, once done, clear) the move's durable journal."""
+        if self._store is None:
+            return
+        if move.done:
+            self._store.drop_move()
+        else:
+            self._store.store_move(move.to_xset())
+
+    def _check_epoch(self, name: str, epoch: Optional[Any],
+                     bucket: Optional[int] = None) -> None:
+        """Refuse a stale-epoch request before any work is admitted.
+
+        ``epoch`` is ``None`` (unversioned caller, always current),
+        an int, or a mapping of table name to the caller's cached
+        epoch -- the shape a client holding several tables' maps
+        sends.  A mismatch raises
+        :class:`~repro.errors.ShardMovedError` carrying both epochs
+        so the caller can refresh and retry immediately.
+        """
+        if epoch is None:
+            return
+        requested = epoch.get(name) if isinstance(epoch, dict) else epoch
+        if requested is None:
+            return
+        placement = self._placements[name]
+        if requested != placement.epoch:
+            if _obs_enabled():
+                _record_shard_event(
+                    "stale_epoch", name, epoch=placement.epoch
+                )
+            raise ShardMovedError(
+                name, requested, placement.epoch, bucket=bucket
+            )
 
     def bucket_stats(self, name: str) -> Dict[int, int]:
         """Per-bucket row counts (insert-maintained upper bounds).
@@ -703,7 +915,7 @@ class Cluster:
         suites pin); with ``stats_fanout`` enabled, descending row
         count with index as the deterministic tie-break.
         """
-        indices = list(range(len(self.nodes)))
+        indices = list(range(self._placements[name].bucket_count))
         if not self.stats_fanout:
             return indices
         counts = self._bucket_rows.get(name)
@@ -736,9 +948,12 @@ class Cluster:
                     "partition_attr": self._partition_attrs[table],
                     "replication_factor":
                         self._placements[table].replication_factor,
+                    "epoch": self._placements[table].epoch,
+                    "buckets": self._placements[table].bucket_count,
                 }
                 for table in sorted(self._partition_attrs)
             },
+            "moves": [repr(move) for move in self._moves if not move.done],
             "write_log": {
                 "lsn": self._log_lsn,
                 "entries": len(self._write_log),
@@ -852,6 +1067,20 @@ class Cluster:
                         result = action(node)
                         if result is not None:
                             self._ship(node, result.rows)
+                            if self.shard_budget_rows is not None:
+                                context.shard_budget(
+                                    table, bucket_index,
+                                    self.shard_budget_rows,
+                                ).charge(
+                                    "shard.%s[%d]" % (table, bucket_index),
+                                    result.cardinality(),
+                                )
+                            if _obs_enabled():
+                                _metrics.registry().counter(
+                                    "repro_shard_reads_total",
+                                    "Bucket reads served by shards.",
+                                    ("table",),
+                                ).inc_key((table,))
                         if breaker is not None:
                             breaker.record_success(self.ops)
                         span.rename(
@@ -1112,6 +1341,7 @@ class Cluster:
         read_quorum: Optional[int] = None,
         priority: int = PRIORITY_NORMAL,
         trace: Optional[TraceContext] = None,
+        epoch: Optional[Any] = None,
     ) -> Any:
         """Gather every bucket to the coordinator (ships all rows).
 
@@ -1126,6 +1356,7 @@ class Cluster:
         ``quorum_downgraded``.
         """
         heading = self.heading(name)
+        self._check_epoch(name, epoch)
         with self._query(
             "scan(%s)" % name, "scan", priority=priority, trace=trace
         ) as context:
@@ -1163,6 +1394,7 @@ class Cluster:
         read_quorum: Optional[int] = None,
         priority: int = PRIORITY_NORMAL,
         trace: Optional[TraceContext] = None,
+        epoch: Optional[Any] = None,
     ) -> Any:
         """Distributed selection: routed when the key is covered.
 
@@ -1177,14 +1409,15 @@ class Cluster:
         heading = self.heading(name)
         heading.require(conditions)
         attr = self.partition_attr(name)
+        self._check_epoch(name, epoch)
         with self._query(
             "select_eq(%s, %s)" % (name, dict(conditions)), "select_eq",
             priority=priority, trace=trace,
         ) as context:
             if attr in conditions:
                 context.span.set("routing", "routed")
-                bucket_index = _partition_index(
-                    conditions[attr], len(self.nodes)
+                bucket_index = self._placements[name].bucket_for(
+                    conditions[attr]
                 )
                 downgraded = self._check_quorum(
                     name, bucket_index, read_quorum, allow_partial
@@ -1248,14 +1481,19 @@ class Cluster:
 
     def join(self, left: str, right: str,
              priority: int = PRIORITY_NORMAL,
-             trace: Optional[TraceContext] = None) -> Relation:
+             trace: Optional[TraceContext] = None,
+             epoch: Optional[Any] = None) -> Relation:
         """Distributed natural join.
 
         Co-partitioned (both tables partitioned on a shared join
-        attribute with identical placement): each bucket joins locally
-        on a shared replica and ships only results.  Otherwise the
-        right table is re-shuffled on the left's partition attribute
-        first -- every shipped row is priced.
+        attribute with identical placement -- same bucket count *and*
+        same owner rings, so rebalanced tables requalify only once
+        their maps agree again): each bucket joins locally on a shared
+        replica and ships only results.  Otherwise the right table is
+        re-shuffled on the left's partition attribute first -- every
+        shipped row is priced.  (:meth:`execute` layers the
+        broadcast-vs-shuffle cost choice and filter pushdown on top of
+        this primitive.)
         """
         left_heading = self.heading(left)
         right_heading = self.heading(right)
@@ -1267,12 +1505,14 @@ class Cluster:
             )
         left_attr = self.partition_attr(left)
         right_attr = self.partition_attr(right)
+        left_map = self._placements[left]
         co_partitioned = (
             left_attr == right_attr
             and left_attr in shared
-            and self._placements[left].replication_factor
-            == self._placements[right].replication_factor
+            and left_map.same_placement(self._placements[right])
         )
+        self._check_epoch(left, epoch)
+        self._check_epoch(right, epoch)
         with self._query(
             "join(%s, %s)" % (left, right), "join", priority=priority,
             trace=trace,
@@ -1282,7 +1522,7 @@ class Cluster:
             )
             if co_partitioned:
                 partials = []
-                for bucket_index in range(len(self.nodes)):
+                for bucket_index in range(left_map.bucket_count):
                     local = self._attempt_on_replicas(
                         context, left, bucket_index,
                         lambda node, b=bucket_index: local_join(
@@ -1297,9 +1537,9 @@ class Cluster:
                     "cannot shuffle: left partition attribute %r is not a "
                     "join attribute" % (left_attr,)
                 )
-            shuffled = self._shuffle(context, right, left_attr)
+            shuffled = self._shuffle(context, right, left_attr, left_map)
             partials = []
-            for bucket_index in range(len(self.nodes)):
+            for bucket_index in range(left_map.bucket_count):
                 right_part = shuffled[bucket_index]
                 local = self._attempt_on_replicas(
                     context, left, bucket_index,
@@ -1312,22 +1552,40 @@ class Cluster:
             return self._gathered(partials)
 
     def _shuffle(
-        self, context: _QueryContext, name: str, attr: str
+        self,
+        context: _QueryContext,
+        name: str,
+        attr: str,
+        target_map: ShardMap,
+        pipeline: Optional[ShardPipeline] = None,
     ) -> List[Relation]:
-        """Repartition a table by a new attribute, shipping every row."""
+        """Repartition a table by a new attribute, shipping every row.
+
+        With a ``pipeline`` the pushed filters/projection run *inside*
+        each source bucket before its rows are shipped -- selection
+        and projection below the shuffle, so the wire carries only
+        surviving columns of surviving rows.
+        """
         heading = self.heading(name)
         heading.require([attr])
-        buckets: List[List] = [[] for _ in self.nodes]
-        for bucket_index in range(len(self.nodes)):
+        out_heading = (
+            heading if pipeline is None or pipeline.attrs is None
+            else Heading(pipeline.attrs)
+        )
+        buckets: List[List] = [[] for _ in range(target_map.bucket_count)]
+        for bucket_index in self._bucket_order(name):
             part = self._attempt_on_replicas(
                 context, name, bucket_index,
-                lambda node, b=bucket_index: node.bucket(name, b),
+                lambda node, b=bucket_index: (
+                    node.bucket(name, b) if pipeline is None
+                    else pipeline.apply(node.bucket(name, b))
+                ),
             )
             assert part is not None  # rows left their home node (priced)
             for row, _ in part.rows.pairs():
                 (value,) = row.elements_at(attr)
-                buckets[_partition_index(value, len(self.nodes))].append(row)
-        return [Relation(heading, xset(bucket)) for bucket in buckets]
+                buckets[target_map.bucket_for(value)].append(row)
+        return [Relation(out_heading, xset(bucket)) for bucket in buckets]
 
     def _gathered(self, partials: Sequence[Relation]) -> Relation:
         result: Optional[Relation] = None
@@ -1335,6 +1593,283 @@ class Cluster:
             result = partial if result is None else local_union(result, partial)
         assert result is not None
         return result
+
+    # ------------------------------------------------------------------
+    # The shard-local coordinator
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        plan: Plan,
+        priority: int = PRIORITY_NORMAL,
+        trace: Optional[TraceContext] = None,
+        epoch: Optional[Any] = None,
+    ) -> Relation:
+        """Execute a local plan tree shard-locally.
+
+        The plan's ``SelectEq``/``SelectPred``/``Project`` chains are
+        extracted into per-table :class:`ShardPipeline` pushdowns and
+        run *inside* each bucket before rows ship -- selection and
+        projection below the shuffle.  A join between two scans picks
+        its strategy by estimated shipped rows: co-partitioned when
+        the maps agree, else broadcast-small vs shuffle-on-key sized
+        from the insert-maintained per-bucket counts and (when
+        attached) the ANALYZE statistics catalog.
+
+        ``epoch`` carries the caller's cached map generation (an int,
+        or a ``{table: epoch}`` mapping); a stale value is refused
+        with :class:`~repro.errors.ShardMovedError` before any bucket
+        is read.
+        """
+        pipeline = shard_pipeline(plan)
+        if pipeline is None:
+            raise SchemaError(
+                "plan %s is not shard-executable (only SelectEq/"
+                "SelectPred/Project chains over Scan or Join push down)"
+                % plan.describe()
+            )
+        if isinstance(pipeline.source, JoinPlan):
+            return self._execute_join(pipeline, priority, trace, epoch)
+        return self._execute_scan(pipeline, priority, trace, epoch)
+
+    def _pipeline_heading(self, name: str,
+                          pipeline: ShardPipeline) -> Heading:
+        heading = self.heading(name)
+        heading.require(pipeline.conditions)
+        if pipeline.attrs is None:
+            return heading
+        heading.require(pipeline.attrs)
+        return Heading(pipeline.attrs)
+
+    def _execute_scan(
+        self,
+        pipeline: ShardPipeline,
+        priority: int,
+        trace: Optional[TraceContext],
+        epoch: Optional[Any],
+    ) -> Relation:
+        """One table's pipeline: routed when the key is pinned."""
+        name = pipeline.source.name
+        out_heading = self._pipeline_heading(name, pipeline)
+        placement = self._placements[name]
+        self._check_epoch(name, epoch)
+        with self._query(
+            "execute(%s %s)" % (name, pipeline.describe()), "execute",
+            priority=priority, trace=trace,
+        ) as context:
+            context.span.set("epoch", placement.epoch)
+            if placement.attr in pipeline.conditions:
+                context.span.set("routing", "routed")
+                bucket_index = placement.bucket_for(
+                    pipeline.conditions[placement.attr]
+                )
+                result = self._attempt_on_replicas(
+                    context, name, bucket_index,
+                    lambda node: pipeline.apply(
+                        node.bucket(name, bucket_index)
+                    ),
+                    key=xrecord({
+                        placement.attr: pipeline.conditions[placement.attr]
+                    }),
+                )
+                assert result is not None
+                return result
+            context.span.set("routing", "broadcast")
+            gathered = Relation(out_heading, xset([]))
+            for bucket_index in self._bucket_order(name):
+                part = self._attempt_on_replicas(
+                    context, name, bucket_index,
+                    lambda node, b=bucket_index: pipeline.apply(
+                        node.bucket(name, b)
+                    ),
+                )
+                assert part is not None
+                gathered = local_union(gathered, part)
+            return gathered
+
+    def _estimate_side(self, name: str, pipeline: ShardPipeline) -> float:
+        """Estimated post-pushdown rows one side ships."""
+        base = float(sum(self._bucket_rows.get(name, {}).values()))
+        stats = None
+        if self._stats_catalog is not None:
+            stats = self._stats_catalog.get(name, allow_stale=True)
+        return estimate_shard_rows(
+            base, pipeline.conditions, len(pipeline.predicates), stats
+        )
+
+    def _execute_join(
+        self,
+        outer: ShardPipeline,
+        priority: int,
+        trace: Optional[TraceContext],
+        epoch: Optional[Any],
+    ) -> Relation:
+        """Distributed join with pushdown and a costed strategy choice.
+
+        Strategies, cheapest-shipping first from the estimates:
+
+        * ``co_partitioned`` -- maps agree and the partition attribute
+          survives both pipelines: bucket-local joins, zero movement.
+        * ``broadcast`` -- the smaller (estimated) side gathers once,
+          then ships to every bucket of the larger side.
+        * ``shuffle`` -- the right side re-keys on the left's
+          partition attribute and moves once.
+
+        The chosen strategy lands on the root span and the
+        ``repro_shard_join_total`` counter, so plans are auditable
+        from traces alone.
+        """
+        source = outer.source
+        left_pipe = shard_pipeline(source.left)
+        right_pipe = shard_pipeline(source.right)
+        if (
+            left_pipe is None or right_pipe is None
+            or not isinstance(left_pipe.source, Scan)
+            or not isinstance(right_pipe.source, Scan)
+        ):
+            raise SchemaError(
+                "distributed execute supports joins of two pushdown "
+                "pipelines over scans; got %s" % source.describe()
+            )
+        left, right = left_pipe.source.name, right_pipe.source.name
+        left_heading = self._pipeline_heading(left, left_pipe)
+        right_heading = self._pipeline_heading(right, right_pipe)
+        shared = left_heading.common(right_heading)
+        if not shared:
+            raise SchemaError(
+                "distributed join of %r and %r has no shared attribute"
+                % (left, right)
+            )
+        self._check_epoch(left, epoch)
+        self._check_epoch(right, epoch)
+        left_map = self._placements[left]
+        right_map = self._placements[right]
+        co_partitioned = (
+            left_map.attr == right_map.attr
+            and left_map.attr in shared
+            and left_map.same_placement(right_map)
+        )
+        left_rows = self._estimate_side(left, left_pipe)
+        right_rows = self._estimate_side(right, right_pipe)
+        shuffle_possible = left_map.attr in shared
+        if co_partitioned:
+            strategy = "co_partitioned"
+        else:
+            small_rows = min(left_rows, right_rows)
+            big_buckets = (
+                right_map.bucket_count
+                if left_rows <= right_rows
+                else left_map.bucket_count
+            )
+            broadcast = broadcast_join_cost(small_rows, big_buckets)
+            shuffle = shuffle_join_cost(right_rows)
+            strategy = (
+                "shuffle"
+                if shuffle_possible and shuffle < broadcast
+                else "broadcast"
+            )
+        with self._query(
+            "execute(%s %s |x| %s %s)" % (
+                left, left_pipe.describe(), right, right_pipe.describe()
+            ),
+            "execute_join", priority=priority, trace=trace,
+        ) as context:
+            context.span.set("strategy", strategy)
+            context.span.set("est_left_rows", int(left_rows))
+            context.span.set("est_right_rows", int(right_rows))
+            if _obs_enabled():
+                _metrics.registry().counter(
+                    "repro_shard_join_total",
+                    "Distributed joins by chosen strategy.", ("strategy",),
+                ).inc_key((strategy,))
+            if strategy == "co_partitioned":
+                joined = self._join_co_partitioned(
+                    context, left, right, left_pipe, right_pipe, left_map
+                )
+            elif strategy == "shuffle":
+                joined = self._join_shuffle(
+                    context, left, right, left_pipe, right_pipe, left_map
+                )
+            else:
+                joined = self._join_broadcast(
+                    context, left, right, left_pipe, right_pipe,
+                    small_left=left_rows <= right_rows,
+                )
+            return outer.apply(joined)
+
+    def _join_co_partitioned(
+        self, context, left, right, left_pipe, right_pipe, left_map
+    ) -> Relation:
+        partials = []
+        for bucket_index in range(left_map.bucket_count):
+            local = self._attempt_on_replicas(
+                context, left, bucket_index,
+                lambda node, b=bucket_index: local_join(
+                    left_pipe.apply(node.bucket(left, b)),
+                    right_pipe.apply(node.bucket(right, b)),
+                ),
+            )
+            assert local is not None
+            partials.append(local)
+        return self._gathered(partials)
+
+    def _join_shuffle(
+        self, context, left, right, left_pipe, right_pipe, left_map
+    ) -> Relation:
+        shuffled = self._shuffle(
+            context, right, left_map.attr, left_map, pipeline=right_pipe
+        )
+        partials = []
+        for bucket_index in range(left_map.bucket_count):
+            right_part = shuffled[bucket_index]
+            local = self._attempt_on_replicas(
+                context, left, bucket_index,
+                lambda node, b=bucket_index, r=right_part: local_join(
+                    left_pipe.apply(node.bucket(left, b)), r
+                ),
+            )
+            assert local is not None
+            partials.append(local)
+        return self._gathered(partials)
+
+    def _join_broadcast(
+        self, context, left, right, left_pipe, right_pipe, small_left
+    ) -> Relation:
+        """Gather the small side once, ship it to every big bucket."""
+        if small_left:
+            small_name, small_pipe = left, left_pipe
+            big_name, big_pipe = right, right_pipe
+        else:
+            small_name, small_pipe = right, right_pipe
+            big_name, big_pipe = left, left_pipe
+        small = Relation(
+            self._pipeline_heading(small_name, small_pipe), xset([])
+        )
+        for bucket_index in self._bucket_order(small_name):
+            part = self._attempt_on_replicas(
+                context, small_name, bucket_index,
+                lambda node, b=bucket_index: small_pipe.apply(
+                    node.bucket(small_name, b)
+                ),
+            )
+            assert part is not None
+            small = local_union(small, part)
+        partials = []
+        big_map = self._placements[big_name]
+        for bucket_index in range(big_map.bucket_count):
+            # The small side ships out to the serving node (priced as
+            # an ordinary message), which joins against its local
+            # filtered bucket and ships only results back.
+            self.network.ship(small.rows)
+            local = self._attempt_on_replicas(
+                context, big_name, bucket_index,
+                lambda node, b=bucket_index: local_join(
+                    big_pipe.apply(node.bucket(big_name, b)), small
+                ),
+            )
+            assert local is not None
+            partials.append(local)
+        return self._gathered(partials)
 
     # ------------------------------------------------------------------
     # Aggregation
@@ -1349,6 +1884,7 @@ class Cluster:
         aggregations: Mapping[str, Tuple[str, str]],
         priority: int = PRIORITY_NORMAL,
         trace: Optional[TraceContext] = None,
+        epoch: Optional[Any] = None,
     ) -> Relation:
         """Distributed group-by with partial-aggregate pushdown.
 
@@ -1370,12 +1906,13 @@ class Cluster:
                 raise SchemaError(
                     "aggregate %r is not distributable" % (fn_name,)
                 )
+        self._check_epoch(name, epoch)
         with self._query(
             "aggregate(%s, %s)" % (name, list(group_attrs)), "aggregate",
             priority=priority, trace=trace,
         ) as context:
             partial_rows: Dict[tuple, Dict[str, Any]] = {}
-            for bucket_index in range(len(self.nodes)):
+            for bucket_index in range(self._placements[name].bucket_count):
 
                 def partial(node, b=bucket_index):
                     partition = node.bucket(name, b)
@@ -1417,6 +1954,201 @@ class Cluster:
             final_rows.append(row)
         heading = list(group_attrs) + list(aggregations)
         return Relation.from_dicts(heading, final_rows)
+
+    # ------------------------------------------------------------------
+    # Online rebalancing
+    # ------------------------------------------------------------------
+
+    @property
+    def moves(self) -> List[ShardMove]:
+        """Every move begun on this cluster, finished or not."""
+        return list(self._moves)
+
+    def _relation(self, table: str, rows: Iterable[Any]) -> Relation:
+        """Wrap raw row values back into the table's relation type."""
+        return Relation(self._headings[table], xset(list(rows)))
+
+    def _install_map(self, table: str, new_map: ShardMap,
+                     cause: str) -> None:
+        """Atomically swing ``table`` to ``new_map``.
+
+        Validation, the in-memory swap, and the durable catalog
+        rewrite happen with no tick in between: a crash before this
+        call leaves the old epoch fully in charge, a crash after
+        leaves the new one -- never both.
+        """
+        new_map.validate()
+        self._placements[table] = new_map
+        self._persist_placements()
+        if self._wal is not None:
+            self._wal.epoch(table, new_map.epoch)
+        if _obs_enabled():
+            _record_shard_event(cause, table, epoch=new_map.epoch)
+
+    def _replay_bucket(self, name: str, bucket: int,
+                       upto_lsn: int) -> Relation:
+        """Ground truth for one bucket: fold the write log to a LSN.
+
+        ``store`` entries replace, ``merge`` entries union -- the same
+        semantics replicas apply, minus any node having to be alive.
+        This is the arbiter the verify step consults when donor and
+        recipient disagree.
+        """
+        truth = Relation(self._headings[name], xset([]))
+        for lsn, table, entry_bucket, kind, rows in self._write_log:
+            if lsn > upto_lsn:
+                break
+            if table != name or entry_bucket != bucket:
+                continue
+            truth = rows if kind == "store" else local_union(truth, rows)
+        return truth
+
+    def begin_move(self, table: str, bucket: int, recipient: int,
+                   donor: Optional[int] = None,
+                   chunk_rows: int = 64) -> ShardMove:
+        """Start moving one bucket replica to ``recipient``.
+
+        ``donor`` defaults to the bucket's current primary.  The move
+        is a resumable state machine driven by :meth:`step_rebalance`
+        (or :meth:`rebalance` to run it to completion); beginning it
+        only records intent and journals it durably -- no data moves
+        until the first step.
+        """
+        placement = self.placement(table)
+        if not placement.has_bucket(bucket):
+            raise SchemaError(
+                "table %r has no bucket %d" % (table, bucket)
+            )
+        ring = placement.replicas(bucket)
+        if donor is None:
+            donor = ring[0]
+        if donor not in ring:
+            raise SchemaError(
+                "node %d does not hold %s[%d] (ring %s)"
+                % (donor, table, bucket, placement.ring(bucket))
+            )
+        if recipient in ring:
+            raise SchemaError(
+                "node %d already holds %s[%d] (ring %s)"
+                % (recipient, table, bucket, placement.ring(bucket))
+            )
+        if not 0 <= recipient < len(self.nodes):
+            raise SchemaError(
+                "no node %d in a %d-node cluster"
+                % (recipient, len(self.nodes))
+            )
+        move = ShardMove(table, bucket, donor, recipient,
+                         chunk_rows=chunk_rows)
+        self._moves.append(move)
+        self._journal_move(move)
+        return move
+
+    def step_rebalance(self) -> bool:
+        """Advance the oldest unfinished move by one step.
+
+        Each step ticks the shared fault clock exactly once, so a
+        :class:`FaultPlan` schedule lands crashes at deterministic
+        points *inside* the state machine.  Returns ``True`` when the
+        step made progress, ``False`` when there was nothing to do or
+        the move is stalled on a dead endpoint (the caller decides
+        whether to revive or wait).
+        """
+        for move in self._moves:
+            if not move.done:
+                return move.step(self)
+        return False
+
+    def rebalance(self, max_steps: int = 10000) -> None:
+        """Drive every pending move to completion.
+
+        Endpoints that die mid-move are revived (rebuild-then-serve)
+        and the move resumes where it stalled.  Raises
+        :class:`~repro.errors.ClusterUnavailableError` if the budget
+        of steps is exhausted -- the signal that a fault plan keeps
+        re-killing faster than recovery can make progress.
+        """
+        for _ in range(max_steps):
+            pending = [move for move in self._moves if not move.done]
+            if not pending:
+                return
+            if not self.step_rebalance():
+                move = pending[0]
+                for index in (move.donor, move.recipient):
+                    node = self.nodes[index]
+                    if not node.alive:
+                        self.on_revive(node)
+        if any(not move.done for move in self._moves):
+            raise ClusterUnavailableError(
+                "rebalance did not converge in %d steps" % max_steps
+            )
+
+    def split_table(self, name: str) -> ShardMap:
+        """Double ``name``'s bucket count in place (one epoch swing).
+
+        Atomic from the fault clock's point of view: no tick happens
+        between reading the old buckets and installing the new map,
+        so a seeded crash lands either entirely before (old epoch,
+        old buckets) or entirely after (new epoch, new buckets).  Row
+        data is re-hashed locally on each ring node; the write log
+        gains full-bucket snapshot entries under the new numbering so
+        revive-time rebuilds and fsck replay agree with the split.
+        """
+        placement = self.placement(name)
+        new_map = placement.split()
+        return self._rehash_into(name, placement, new_map, "split")
+
+    def merge_table(self, name: str) -> ShardMap:
+        """Halve ``name``'s bucket count (inverse of a split)."""
+        placement = self.placement(name)
+        new_map = placement.merged()
+        return self._rehash_into(name, placement, new_map, "merge")
+
+    def _rehash_into(self, name: str, old_map: ShardMap,
+                     new_map: ShardMap, cause: str) -> ShardMap:
+        """Re-bucket a whole table under a new map, atomically.
+
+        The new map is installed *before* the snapshot log entries are
+        appended so that revive-time rebuilds (which consult the
+        installed map's ``has_bucket``) accept the new numbering;
+        entries logged under the old numbering are superseded and
+        skipped by the same guard.  Old high-numbered bucket copies
+        are dropped from their holders -- a crash between install and
+        the drops leaves orphans that ``repro fsck`` reports.
+        """
+        attr = self._partition_attrs[name]
+        heading = self._headings[name]
+        buckets: Dict[int, List[Any]] = {
+            index: [] for index in range(new_map.bucket_count)
+        }
+        rows_moved = 0
+        for old_bucket in range(old_map.bucket_count):
+            current = self._replay_bucket(name, old_bucket, self._log_lsn)
+            for row, _ in current.rows.pairs():
+                (value,) = row.elements_at(attr)
+                buckets[new_map.bucket_for(value)].append(row)
+                rows_moved += 1
+        self._install_map(name, new_map, cause)
+        counts: Dict[int, int] = {}
+        for bucket_index in range(new_map.bucket_count):
+            part = Relation(heading, xset(buckets[bucket_index]))
+            counts[bucket_index] = part.cardinality()
+            lsn = self._log_append(name, bucket_index, "store", part)
+            for node_index in new_map.replicas(bucket_index):
+                node = self.nodes[node_index]
+                if not node.alive:
+                    continue  # missed snapshot; rebuilt on revive
+                node.store(name, part, bucket=bucket_index)
+                node.applied_lsn = max(node.applied_lsn, lsn)
+        self._bucket_rows[name] = counts
+        for old_bucket in range(new_map.bucket_count,
+                                old_map.bucket_count):
+            for node_index in old_map.replicas(old_bucket):
+                self.nodes[node_index].drop_bucket(name, old_bucket)
+        if _obs_enabled():
+            _record_shard_event(
+                cause, name, rows=rows_moved, epoch=new_map.epoch
+            )
+        return new_map
 
     def __repr__(self) -> str:
         live = sum(1 for node in self.nodes if node.alive)

@@ -286,6 +286,35 @@ class FaultPlan:
                        at_op=rng.randrange(horizon))
         return plan
 
+    @classmethod
+    def move_chaos(
+        cls,
+        seed: int,
+        donor: str,
+        recipient: str,
+        horizon: int = 60,
+        kills: int = 2,
+    ) -> "FaultPlan":
+        """A rebalance-targeted plan: kill the endpoints that matter.
+
+        Generic :meth:`chaos` rarely hits a move's donor or recipient;
+        this draws every kill from exactly that pair, with revives
+        scheduled inside the horizon so the move can resume.  Because
+        rebalance steps tick the shared fault clock once per step, a
+        kill at op *k* lands at a deterministic point in the copy /
+        catch-up / swing state machine -- the sweep the crash-safety
+        contract is stated over.
+        """
+        rng = random.Random(seed)
+        plan = cls()
+        for _ in range(kills):
+            victim = rng.choice([donor, recipient])
+            down = rng.randrange(horizon)
+            up = down + 1 + rng.randrange(max(1, horizon - down))
+            plan.kill(victim, at_op=down)
+            plan.revive(victim, at_op=up)
+        return plan
+
     # -- inspection ----------------------------------------------------
 
     def events(self) -> List[Tuple[int, str, Optional[str], float]]:

@@ -14,6 +14,14 @@ replicas evenly, and guarantees that two tables partitioned on the
 same attribute with the same factor are *co-replicated* -- each bucket
 of both tables shares one replica set, which is what keeps
 co-partitioned joins local even under failover.
+
+Since the sharding rework the cluster routes through
+:class:`~repro.relational.sharding.ShardMap`, which stores owner
+rings as explicit, epoch-versioned *data* so they can change (moves,
+splits, merges).  This module remains the formula the default map is
+born from -- ``ShardMap.successor_rings`` produces exactly
+:func:`replica_indices` geometry -- and :meth:`ReplicaPlacement.to_shard_map`
+bridges a formulaic placement into the versioned world.
 """
 
 from __future__ import annotations
@@ -101,6 +109,21 @@ class ReplicaPlacement:
         return all(
             any(index not in dead for index in self.replicas(bucket))
             for bucket in range(self.node_count)
+        )
+
+    def to_shard_map(self, attr: str, epoch: int = 1):
+        """This formulaic placement as an explicit, versioned map.
+
+        The returned :class:`~repro.relational.sharding.ShardMap`
+        reproduces the successor geometry bucket for bucket (epoch 1
+        by default) -- the bridge a cluster crosses once, after which
+        placement changes are epoch swings on the map, not new
+        formulas.
+        """
+        from repro.relational.sharding import ShardMap
+
+        return ShardMap.successor_rings(
+            attr, self.node_count, self.replication_factor, epoch=epoch
         )
 
     def __repr__(self) -> str:

@@ -74,6 +74,7 @@ __all__ = [
     "WriteAheadLog",
     "COMMIT",
     "CHECKPOINT",
+    "EPOCH",
 ]
 
 MAGIC = b"XSTWAL1\n"
@@ -82,6 +83,10 @@ _FRAME = struct.Struct(">II")  # payload length, CRC32(payload)
 #: Record kinds understood by recovery.
 COMMIT = "commit"
 CHECKPOINT = "checkpoint"
+#: Shard-map epoch swings are logged for audit (``repro fsck``, the
+#: flight recorder) but carry no row data: recovery's replay loop only
+#: applies COMMIT records, so EPOCH markers are read and skipped.
+EPOCH = "epoch"
 
 
 class CorruptLogError(XSTError, ValueError):
@@ -343,6 +348,24 @@ def checkpoint_tables(record: XSet) -> Tuple[str, ...]:
     return tuple(_field(record, "tables").as_tuple())
 
 
+def epoch_record(table: str, epoch: int) -> XSet:
+    """Build a shard-epoch marker: ``table`` swung to ``epoch``.
+
+    Appended (and fsynced, like any record) when a rebalance, split,
+    or merge installs a new shard map, giving the log a durable,
+    ordered account of every placement generation.  Replay ignores
+    these markers -- placement itself recovers from the store's
+    ``shards.map`` catalog -- but fsck and post-mortem tooling read
+    them to date a torn swing against the commits around it.
+    """
+    return xrecord({"kind": EPOCH, "table": table, "epoch": epoch})
+
+
+def epoch_change(record: XSet) -> Tuple[str, int]:
+    """Decode an epoch marker into ``(table, epoch)``."""
+    return _field(record, "table"), _field(record, "epoch")
+
+
 def scan_bytes(data: bytes, decode: bool = True) -> LogScan:
     """Classify raw log bytes: valid prefix, torn tail, or corruption.
 
@@ -470,6 +493,10 @@ class WriteAheadLog:
     def checkpoint(self, table_names: Sequence[str]) -> int:
         """Append a checkpoint marker *after* the store is durable."""
         return self.append(checkpoint_record(table_names))
+
+    def epoch(self, table: str, epoch: int) -> int:
+        """Append a shard-epoch marker; see :func:`epoch_record`."""
+        return self.append(epoch_record(table, epoch))
 
     def close(self) -> None:
         if self._fh is not None:

@@ -36,7 +36,12 @@ import asyncio
 import random
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import NetworkError, OverloadedError, UnavailableError
+from repro.errors import (
+    NetworkError,
+    OverloadedError,
+    ShardMovedError,
+    UnavailableError,
+)
 from repro.gov.admission import PRIORITY_NORMAL
 from repro.gov.governor import Deadline
 from repro.relational.relation import Relation
@@ -92,6 +97,10 @@ class Client:
         self.trace_id: Optional[str] = None
         self.retries = 0
         self.backoff_charged_s = 0.0
+        #: The freshest shard-map epoch seen per table, learned from
+        #: SHARD_MOVED refusals; requests carrying an ``epoch`` field
+        #: are re-stamped from this cache before each retry.
+        self.shard_epochs: Dict[str, int] = {}
 
     # -- connection management ------------------------------------------
 
@@ -218,6 +227,12 @@ class Client:
         that is the idempotency contract.  Returns the first
         non-PAGE response frame, or the PAGE-collecting caller uses
         :meth:`_collect_pages` via ``collect=True`` paths below.
+
+        A SHARD_MOVED refusal is transient but *not* a transport
+        failure: the connection stays up, the refused table's fresh
+        epoch is cached in :attr:`shard_epochs`, and -- when the
+        request carries an ``epoch`` stamp -- the stamp is refreshed
+        so the retry runs against the map the server actually holds.
         """
         last: Optional[Exception] = None
         for attempt in range(self.max_attempts):
@@ -227,6 +242,18 @@ class Client:
                     await self._connect()
                 await self._write_frame(ftype, body)
                 return await self._read_response(body["id"])
+            except ShardMovedError as err:
+                last = err
+                self.retries += 1
+                self.shard_epochs[err.table] = err.current_epoch
+                if isinstance(body.get("epoch"), dict):
+                    body["epoch"][err.table] = err.current_epoch
+                elif "epoch" in body:
+                    body["epoch"] = err.current_epoch
+                if attempt + 1 < self.max_attempts:
+                    delay = self._backoff(attempt, err.retry_after_s)
+                    if self.sleep_backoff and delay > 0:
+                        await asyncio.sleep(delay)
             except (NetworkError, OverloadedError) as err:
                 last = err
                 self._drop()

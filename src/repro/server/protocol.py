@@ -43,6 +43,7 @@ from repro.errors import (
     NetworkError,
     OverloadedError,
     SessionError,
+    ShardMovedError,
     UnavailableError,
     WriteConflictError,
     XSTError,
@@ -218,6 +219,7 @@ _CONTEXT_ATTRS = (
     "table", "bucket", "node", "retry_after_ops", "replicas",
     "frame", "session_id", "request_id",
     "tables", "read_version", "committed_version",
+    "requested_epoch", "current_epoch",
 )
 
 
@@ -299,6 +301,13 @@ def error_from_body(body: Dict[str, Any]) -> Exception:
             context.get("table", "?"), context.get("bucket", 0),
             context.get("node", "?"),
             retry_after_ops=context.get("retry_after_ops", 0),
+        )
+    if code == "SHARD_MOVED":
+        return ShardMovedError(
+            context.get("table", "?"),
+            context.get("requested_epoch", 0),
+            context.get("current_epoch", 0),
+            bucket=context.get("bucket"),
         )
     if code == "CLUSTER_UNAVAILABLE":
         return ClusterUnavailableError(

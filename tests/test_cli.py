@@ -228,6 +228,92 @@ class TestFsck:
         assert main(["fsck"]) == 2
 
 
+class TestFsckShards:
+    """Placement residues exit with ShardPlacementError's code (20)."""
+
+    def _seed_catalog(self, directory, epoch=1):
+        from repro.relational.disk import DiskRelationStore
+        from repro.relational.sharding import ShardCatalog, ShardMap
+
+        store = DiskRelationStore(directory)
+        store.store_shards(ShardCatalog({
+            "items": ShardMap.successor_rings("id", 4, 2, epoch=epoch),
+        }))
+        return store
+
+    def _journal(self, store, state, target_epoch=0):
+        from repro.relational.sharding import ShardMove
+
+        move = ShardMove("items", 1, donor=1, recipient=3)
+        move.state = state
+        move.target_epoch = target_epoch
+        store.store_move(move.to_xset())
+        return move
+
+    def test_healthy_placement_is_clean(self, durable_dir, capsys):
+        self._seed_catalog(durable_dir)
+        assert main(["fsck", durable_dir]) == 0
+        out = capsys.readouterr().out
+        assert "shards items: ok (epoch 1, 4 buckets, rf=2)" in out
+        assert "fsck: clean" in out
+
+    def test_resumable_journal_is_clean(self, durable_dir, capsys):
+        store = self._seed_catalog(durable_dir)
+        self._journal(store, "copy")
+        assert main(["fsck", durable_dir]) == 0
+        out = capsys.readouterr().out
+        assert "move items[1]: resumable (copy" in out
+        assert "fsck: clean" in out
+
+    def test_torn_swing_owned_by_two_epochs(self, durable_dir, capsys):
+        # The journal swung to epoch 2 but the installed map never
+        # followed: the bucket is owned by two epochs at once.
+        store = self._seed_catalog(durable_dir, epoch=1)
+        self._journal(store, "verify", target_epoch=2)
+        assert main(["fsck", durable_dir]) == 20
+        out = capsys.readouterr().out
+        assert "TORN SWING" in out
+        assert "bucket owned by two epochs" in out
+        assert "fsck: 1 placement inconsistency" in out
+
+    def test_lost_journal_write_is_a_torn_swing(self, durable_dir, capsys):
+        # The installed map already routes bucket 1 to the recipient,
+        # yet the journal still says pre-swing: the swing committed
+        # but its journal write was lost.
+        from repro.relational.disk import DiskRelationStore
+        from repro.relational.sharding import ShardCatalog, ShardMap
+
+        store = DiskRelationStore(durable_dir)
+        swung = ShardMap.successor_rings("id", 4, 2).moved(
+            1, donor=1, recipient=3)
+        store.store_shards(ShardCatalog({"items": swung}))
+        self._journal(store, "copy")
+        assert main(["fsck", durable_dir]) == 20
+        out = capsys.readouterr().out
+        assert "TORN SWING" in out
+        assert "journal is still 'copy'" in out
+
+    def test_orphaned_post_move_source_data(self, durable_dir, capsys):
+        # The swing committed (target epoch is installed) but gc never
+        # dropped the donor's frozen copy.
+        store = self._seed_catalog(durable_dir, epoch=2)
+        self._journal(store, "gc", target_epoch=2)
+        assert main(["fsck", durable_dir]) == 20
+        out = capsys.readouterr().out
+        assert "ORPHANED post-move source data on node 1" in out
+        assert "fsck: 1 placement inconsistency" in out
+
+    def test_undecodable_journal_is_damage(self, durable_dir, capsys):
+        from repro.relational.sharding import ShardMove
+
+        store = self._seed_catalog(durable_dir)
+        move = ShardMove("items", 1, donor=1, recipient=3)
+        move.state = "teleporting"
+        store.store_move(move.to_xset())
+        assert main(["fsck", durable_dir]) == 20
+        assert "move journal: DAMAGED" in capsys.readouterr().out
+
+
 class TestRecover:
     def test_replays_and_truncates_the_torn_tail(self, durable_dir, capsys):
         with open(_log_path(durable_dir), "ab") as fh:
