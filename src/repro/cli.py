@@ -150,6 +150,13 @@ commands:
         [--incident-log FILE]
                          serve the CSVs over TCP (MVCC snapshot
                          sessions; SIGINT/SIGTERM drains gracefully)
+  views CSVDIR [XQL ...] [--verify]
+                         run view statements (CREATE [MATERIALIZED]
+                         VIEW / REFRESH VIEW / DROP VIEW / SELECT)
+                         over the CSVs, then list every view's
+                         staleness, last-refresh version and cache
+                         hit rate; --verify digest-checks each
+                         materialized cache against a recompute
 """
 
 
@@ -928,8 +935,58 @@ def _command_serve(args: List[str]) -> int:
     return 0
 
 
+def _command_views(args: List[str]) -> int:
+    verify = "--verify" in args
+    if verify:
+        args = [arg for arg in args if arg != "--verify"]
+    if not args:
+        return _fail("views needs a CSV directory")
+    directory, *statements = args
+    from repro.relational.constraints import Table
+    from repro.relational.tx import TransactionManager
+    from repro.relational.views import ViewCatalog
+
+    source = _load_db(directory)
+    tables = {
+        name: Table(source.relation(name).heading,
+                    source.relation(name).iter_dicts())
+        for name in source.names()
+    }
+    manager = TransactionManager(tables)
+    catalog = ViewCatalog(Database(), manager=manager)
+    for statement in statements:
+        result = run_xql(
+            catalog.database, statement, views=catalog
+        )
+        for row in result.iter_dicts():
+            print("  ".join(
+                "%s=%r" % item for item in sorted(row.items())
+            ))
+    header = ("view", "kind", "rows", "stale", "refresh_v",
+              "hit_rate", "applies", "recomputes")
+    print("\t".join(header))
+    failures = 0
+    for entry in catalog.status():
+        line = (
+            entry["name"], entry["kind"],
+            "-" if entry["rows"] is None else str(entry["rows"]),
+            "yes" if entry["stale"] else "no",
+            str(entry["refresh_version"]),
+            "%.2f" % entry["hit_rate"],
+            str(entry["delta_applies"]), str(entry["recomputes"]),
+        )
+        if verify:
+            ok = catalog.verify(entry["name"])
+            line = line + ("verified" if ok else "MISMATCH",)
+            if not ok:
+                failures += 1
+        print("\t".join(line))
+    return 1 if failures else 0
+
+
 _COMMANDS = {
     "eval": _command_eval,
+    "views": _command_views,
     "image": _command_image,
     "query": _command_query,
     "closure": _command_closure,

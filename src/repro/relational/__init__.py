@@ -50,6 +50,14 @@ from repro.relational.constraints import (
 )
 from repro.relational.csvio import dumps_csv, loads_csv, read_csv, write_csv
 from repro.relational.index import IndexedRelation, SortedIndex
+from repro.relational.ivm import (
+    Delta,
+    DeltaPropagator,
+    DeltaUnsupported,
+    QueryResultCache,
+    plan_cache_key,
+    scan_tables,
+)
 from repro.relational.views import View, ViewCatalog
 from repro.relational.disk import DiskRelationStore, PageCache
 from repro.relational.distributed import Cluster, NetworkStats, Node
@@ -196,6 +204,13 @@ __all__ = [
     "IndexedRelation",
     "View",
     "ViewCatalog",
+    # incremental view maintenance & result cache
+    "Delta",
+    "DeltaPropagator",
+    "DeltaUnsupported",
+    "QueryResultCache",
+    "plan_cache_key",
+    "scan_tables",
     # representations & profiling
     "RowRepresentation",
     "ColumnRepresentation",

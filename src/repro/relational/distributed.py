@@ -538,6 +538,11 @@ class Cluster:
         # row counts, feeding stats_fanout bucket ordering.
         self._bucket_rows: Dict[str, Dict[int, int]] = {}
         self._last_context: Optional[_QueryContext] = None
+        #: Coordinator-side result cache (``enable_result_cache``):
+        #: entries fingerprinted by per-table write generations, so a
+        #: post-insert reader can never see a pre-insert answer.
+        self.result_cache = None
+        self._table_generations: Dict[str, int] = {}
         # The write log: (lsn, table, bucket, kind, rows) per bucket
         # write, kind in {"store", "merge"}.  Replayed by
         # :meth:`on_revive` to rebuild replicas that missed writes.
@@ -759,6 +764,7 @@ class Cluster:
                 if position:
                     self.network.ship(part.rows, replica=True)
         self._persist_placements()
+        self._bump_generation(name)
         if _obs_enabled():
             _record_shard_event(
                 "create", name, rows=relation.cardinality(),
@@ -807,6 +813,8 @@ class Cluster:
                 node.merge(name, bucket_index, fresh)
                 node.applied_lsn = lsn
                 self.network.ship(fresh.rows, replica=position > 0)
+        if count:
+            self._bump_generation(name)
         return count
 
     # ------------------------------------------------------------------
@@ -1598,6 +1606,37 @@ class Cluster:
     # The shard-local coordinator
     # ------------------------------------------------------------------
 
+    def enable_result_cache(self, cache=None, capacity: int = 256):
+        """Attach (and return) a coordinator-side result cache.
+
+        Entries are keyed by per-table *write generations* (bumped on
+        every load and insert), so results can never leak across a
+        data change.  Epoch swings (bucket moves, splits, merges)
+        invalidate the moved table's entries *without* bumping its
+        generation -- the rows are placement-stable across a move, so
+        this is targeted reclamation, never a flush of other tables.
+        """
+        if cache is None:
+            from repro.relational.ivm.cache import QueryResultCache
+
+            cache = QueryResultCache(capacity=capacity, name="cluster")
+        self.result_cache = cache
+        return cache
+
+    def disable_result_cache(self) -> None:
+        self.result_cache = None
+
+    def table_generation(self, name: str) -> int:
+        """How many write batches ``name`` has absorbed (0: none)."""
+        return self._table_generations.get(name, 0)
+
+    def _bump_generation(self, name: str) -> None:
+        self._table_generations[name] = (
+            self._table_generations.get(name, 0) + 1
+        )
+        if self.result_cache is not None:
+            self.result_cache.invalidate_tables((name,))
+
     def execute(
         self,
         plan: Plan,
@@ -1628,6 +1667,44 @@ class Cluster:
                 "SelectPred/Project chains over Scan or Join push down)"
                 % plan.describe()
             )
+        if self.result_cache is not None:
+            from repro.relational.ivm.cache import (
+                plan_cache_key,
+                scan_tables,
+            )
+
+            plan_key = plan_cache_key(plan)
+            if plan_key is not None:
+                tables = scan_tables(plan)
+                # Epoch fencing comes before the cache: a caller
+                # holding a stale map must get ShardMovedError even
+                # when the bytes it asked for are sitting in memory.
+                for table in tables:
+                    if table in self._placements:
+                        self._check_epoch(table, epoch)
+                fingerprint = tuple(
+                    (table, self._table_generations.get(table, 0))
+                    for table in tables
+                )
+                hit = self.result_cache.lookup(plan_key, fingerprint)
+                if hit is not None:
+                    return hit
+                result = self._execute_pipeline(
+                    pipeline, priority, trace, epoch
+                )
+                self.result_cache.store(
+                    plan_key, fingerprint, tables, result
+                )
+                return result
+        return self._execute_pipeline(pipeline, priority, trace, epoch)
+
+    def _execute_pipeline(
+        self,
+        pipeline: ShardPipeline,
+        priority: int,
+        trace: Optional[TraceContext],
+        epoch: Optional[Any],
+    ) -> Relation:
         if isinstance(pipeline.source, JoinPlan):
             return self._execute_join(pipeline, priority, trace, epoch)
         return self._execute_scan(pipeline, priority, trace, epoch)
@@ -1982,6 +2059,11 @@ class Cluster:
         self._persist_placements()
         if self._wal is not None:
             self._wal.epoch(table, new_map.epoch)
+        if self.result_cache is not None:
+            # Targeted, not a flush: a moved bucket leaves the rows
+            # untouched, but re-caching under the new epoch keeps the
+            # cache honest about what it would recompute today.
+            self.result_cache.invalidate_tables((table,))
         if _obs_enabled():
             _record_shard_event(cause, table, epoch=new_map.epoch)
 

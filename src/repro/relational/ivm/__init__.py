@@ -1,0 +1,34 @@
+"""Incremental view maintenance and MVCC-keyed result caching.
+
+Two halves, both fed by the same per-table commit-diff stream the
+:class:`~repro.relational.tx.TransactionManager` emits:
+
+* :mod:`~repro.relational.ivm.delta` -- exact set-valued delta
+  propagation through query plans, so a materialized view absorbs a
+  commit by applying ``(cache - deleted) | inserted`` instead of
+  recomputing.
+* :mod:`~repro.relational.ivm.cache` -- a bounded LRU of query results
+  keyed on (canonical plan key, per-table MVCC versions), so a result
+  cached at version V can never be served to a reader whose tables
+  moved past V.
+
+Everything rides XST member equality: the diffs are XSets, so the
+typed twins 1 / 1.0 / True collapse in deltas exactly as they do in
+the base relations.
+"""
+
+from repro.relational.ivm.cache import (
+    QueryResultCache,
+    plan_cache_key,
+    scan_tables,
+)
+from repro.relational.ivm.delta import Delta, DeltaPropagator, DeltaUnsupported
+
+__all__ = [
+    "Delta",
+    "DeltaPropagator",
+    "DeltaUnsupported",
+    "QueryResultCache",
+    "plan_cache_key",
+    "scan_tables",
+]

@@ -1,0 +1,250 @@
+"""Bounded query-result cache keyed on plan identity + MVCC versions.
+
+A cache entry's key is the pair ``(plan key, fingerprint)``:
+
+* the **plan key** is the canonical rendering of the plan tree --
+  ``repro.obs.digest.plan_hash`` over a canonical text in which every
+  ``SelectPred`` contributes its explicit ``cache_key`` (plans whose
+  predicates carry no cache key are *uncacheable*: two different
+  lambdas can share a label, and a label is not a semantics), with the
+  full canonical text appended so a CRC collision can never alias two
+  distinct plans;
+* the **fingerprint** is the sorted tuple of ``(table, version)`` for
+  every base relation the plan scans, versions being MVCC per-table
+  commit versions (or whatever counter the owner wires in).
+
+Because the versions are *part of the key*, correctness never depends
+on invalidation: a result computed when ``emp`` was at version 3 is
+unreachable by a reader whose ``emp`` is at version 5.  The per-table
+diff-stream invalidation (:meth:`QueryResultCache.invalidate_tables`)
+exists to reclaim memory promptly and to keep the LRU full of entries
+that can still hit.
+
+Metrics: every event increments
+``repro_cache_events_total{event,cache}`` when observability is
+enabled (``hit`` / ``miss`` / ``stale`` / ``store`` / ``evict`` /
+``invalidate``).  A *stale* is a miss for a plan key the cache has
+seen before at a different fingerprint -- the signature of data having
+moved on underneath a repeated query.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.obs.instrument import enabled as _obs_enabled
+from repro.relational.query import Plan, Scan, SelectPred
+from repro.relational.relation import Relation
+
+__all__ = ["QueryResultCache", "plan_cache_key", "scan_tables"]
+
+#: (table, version) per scanned base relation, sorted by table name.
+Fingerprint = Tuple[Tuple[str, int], ...]
+
+
+class _Uncacheable(Exception):
+    pass
+
+
+def _canonical(plan: Plan) -> str:
+    if isinstance(plan, SelectPred):
+        if plan.cache_key is None:
+            raise _Uncacheable
+        head = "SelectPred{%s}" % plan.cache_key
+    else:
+        head = plan.describe()
+    children = plan.children()
+    if not children:
+        return head
+    return "%s(%s)" % (head, ",".join(_canonical(child) for child in children))
+
+
+def plan_cache_key(plan: Plan) -> Optional[str]:
+    """The canonical cache key for a plan, or ``None`` if uncacheable.
+
+    Uncacheable means some ``SelectPred`` carries no ``cache_key`` --
+    an opaque Python callable whose semantics the cache cannot name.
+    """
+    from repro.obs.digest import plan_hash
+
+    try:
+        text = _canonical(plan)
+    except _Uncacheable:
+        return None
+    return "%s:%s" % (plan_hash(text), text)
+
+
+def scan_tables(plan: Plan) -> Tuple[str, ...]:
+    """The base relations a plan scans, sorted and deduplicated."""
+    names: Set[str] = set()
+
+    def walk(node: Plan) -> None:
+        if isinstance(node, Scan):
+            names.add(node.name)
+            return
+        for child in node.children():
+            walk(child)
+
+    walk(plan)
+    return tuple(sorted(names))
+
+
+def _record_event(cache: str, event: str, amount: int = 1) -> None:
+    if not amount or not _obs_enabled():
+        return
+    from repro.obs.metrics import registry
+
+    registry().counter(
+        "repro_cache_events_total",
+        "Result cache events by type.",
+        ("event", "cache"),
+    ).inc_key((event, cache), amount)
+
+
+class QueryResultCache:
+    """LRU of immutable query results; never serves across versions.
+
+    Results are :class:`~repro.relational.relation.Relation` values --
+    immutable, so entries are shared by reference and a hit is a dict
+    lookup.  ``capacity`` bounds the entry count; eviction is LRU.
+    One cache instance may back many readers (all server sessions
+    share one), because sessions pinned at the same versions produce
+    identical fingerprints and therefore share entries.
+    """
+
+    def __init__(self, capacity: int = 256, name: str = "db"):
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self._capacity = capacity
+        self._name = name
+        self._entries: "OrderedDict[Tuple[str, Fingerprint], Tuple[Relation, Tuple[str, ...]]]" = OrderedDict()
+        self._by_table: Dict[str, Set[Tuple[str, Fingerprint]]] = {}
+        # Plan keys ever stored (bounded), for classifying misses as
+        # cold vs stale.  Metrics only -- correctness never reads it.
+        self._known_plans: "OrderedDict[str, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.stale = 0
+        self.stores = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- read/write ----------------------------------------------------
+
+    def lookup(
+        self, plan_key: str, fingerprint: Fingerprint
+    ) -> Optional[Relation]:
+        entry = self._entries.get((plan_key, fingerprint))
+        if entry is not None:
+            self._entries.move_to_end((plan_key, fingerprint))
+            self.hits += 1
+            _record_event(self._name, "hit")
+            return entry[0]
+        if plan_key in self._known_plans:
+            self.stale += 1
+            _record_event(self._name, "stale")
+        else:
+            self.misses += 1
+            _record_event(self._name, "miss")
+        return None
+
+    def store(
+        self,
+        plan_key: str,
+        fingerprint: Fingerprint,
+        tables: Iterable[str],
+        result: Relation,
+    ) -> None:
+        key = (plan_key, fingerprint)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = (result, tuple(tables))
+        for table in self._entries[key][1]:
+            self._by_table.setdefault(table, set()).add(key)
+        self._known_plans[plan_key] = None
+        self._known_plans.move_to_end(plan_key)
+        while len(self._known_plans) > 4 * self._capacity:
+            self._known_plans.popitem(last=False)
+        self.stores += 1
+        _record_event(self._name, "store")
+        while len(self._entries) > self._capacity:
+            victim, (_, victim_tables) = self._entries.popitem(last=False)
+            self._unindex(victim, victim_tables)
+            self.evictions += 1
+            _record_event(self._name, "evict")
+
+    def _unindex(
+        self, key: Tuple[str, Fingerprint], tables: Tuple[str, ...]
+    ) -> None:
+        for table in tables:
+            keys = self._by_table.get(table)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._by_table[table]
+
+    # -- invalidation --------------------------------------------------
+
+    def invalidate_tables(self, tables: Iterable[str]) -> int:
+        """Drop every entry whose plan scans any of ``tables``.
+
+        This is memory hygiene, not correctness: entries are keyed by
+        version, so a post-commit reader could never hit them anyway.
+        Returns the number of entries dropped.
+        """
+        dropped = 0
+        for table in tables:
+            for key in list(self._by_table.get(table, ())):
+                entry = self._entries.pop(key, None)
+                if entry is not None:
+                    self._unindex(key, entry[1])
+                    dropped += 1
+        self.invalidations += dropped
+        _record_event(self._name, "invalidate", dropped)
+        return dropped
+
+    def clear(self) -> int:
+        dropped = len(self._entries)
+        self._entries.clear()
+        self._by_table.clear()
+        self.invalidations += dropped
+        _record_event(self._name, "invalidate", dropped)
+        return dropped
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses + self.stale
+        return self.hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "name": self._name,
+            "size": len(self._entries),
+            "capacity": self._capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stale": self.stale,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self) -> str:
+        return "QueryResultCache(%s, %d/%d, hit_rate=%.2f)" % (
+            self._name, len(self._entries), self._capacity, self.hit_rate
+        )

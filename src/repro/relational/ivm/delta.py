@@ -1,0 +1,324 @@
+"""Exact delta propagation through query plans.
+
+A :class:`Delta` is the set-valued diff of one relation: the rows that
+appeared and the rows that vanished.  The invariant throughout is the
+*exact-diff* law::
+
+    inserted = new \\ old        deleted = old \\ new
+
+so ``inserted`` and ``deleted`` are disjoint, ``inserted`` is a subset
+of the new value and ``deleted`` is disjoint from it.  Two
+consequences carry the whole module:
+
+1. Applying a delta is exact: ``new == (old - deleted) | inserted``.
+2. Inverting one is too: ``old == (new - inserted) | deleted`` -- so
+   the propagator never needs a pre-commit database; the old value of
+   any subtree is derived from its new value and its own delta.
+
+Per-node rules (all proved exact by the law above; ``C`` is the child,
+``L``/``R`` the binary inputs, ``d`` a child delta):
+
+``Scan``
+    The base table's commit diff, or empty.
+``SelectEq`` / ``SelectPred`` / ``Rename``
+    Pointwise operators distribute over set difference: apply the
+    operator to ``d.inserted`` and ``d.deleted`` separately.
+``Project(attrs)``
+    A projected key is inserted iff some inserted row produces it and
+    no old row did; deleted iff some deleted row produced it and no
+    new row still does.  Both membership tests are one semijoin
+    (Def 7.6 restriction) against the candidate keys.
+``Union`` / ``Difference``
+    Only rows touched by either side's delta can change, so the
+    candidate set is the union of both deltas; old and new membership
+    of each candidate is decided by set algebra against the (derived)
+    old and new input values, and the node delta is the candidate
+    membership diff.
+``Join``
+    A joined row decomposes uniquely into its L- and R-parts, so the
+    candidates are ``d_L.ins x R_new``, ``L_new x d_R.ins``,
+    ``d_L.del x R_old`` and ``L_old x d_R.del``; membership before and
+    after is the join of each side semijoined down to the candidates
+    -- never the full join.
+
+Everything runs on XSets, so XST member equality (the typed twins
+``1`` / ``1.0`` / ``True`` collapse) is preserved end to end.  New
+values come from ``Database.execute``, which means subtrees over
+columnar-encoded relations evaluate on the sorted-run kernels for
+free.
+
+Any node type without a rule raises :class:`DeltaUnsupported`; callers
+(the view catalog) fall back to full recomputation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import SchemaError
+from repro.gov.governor import checkpoint as _gov_checkpoint
+from repro.relational import algebra
+from repro.relational.query import (
+    Database,
+    Difference,
+    Join,
+    Plan,
+    Project,
+    Rename,
+    Scan,
+    SelectEq,
+    SelectPred,
+    Union,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Heading
+from repro.xst.xset import XSet
+
+__all__ = ["Delta", "DeltaPropagator", "DeltaUnsupported"]
+
+
+class DeltaUnsupported(Exception):
+    """No delta rule for this plan node; recompute instead."""
+
+
+class Delta:
+    """An exact relation diff: disjoint inserted and deleted row sets."""
+
+    __slots__ = ("inserted", "deleted")
+
+    def __init__(self, inserted: Relation, deleted: Relation):
+        if inserted.heading != deleted.heading:
+            raise SchemaError(
+                "delta halves disagree: %r vs %r"
+                % (inserted.heading, deleted.heading)
+            )
+        self.inserted = inserted
+        self.deleted = deleted
+
+    @classmethod
+    def empty(cls, heading: Heading) -> "Delta":
+        blank = Relation(heading, XSet())
+        return cls(blank, blank)
+
+    @property
+    def heading(self) -> Heading:
+        return self.inserted.heading
+
+    def is_empty(self) -> bool:
+        return (
+            self.inserted.cardinality() == 0
+            and self.deleted.cardinality() == 0
+        )
+
+    def size(self) -> int:
+        return self.inserted.cardinality() + self.deleted.cardinality()
+
+    def apply_to(self, relation: Relation) -> Relation:
+        """``(relation - deleted) | inserted`` -- exact by the diff law."""
+        if relation.heading != self.heading:
+            raise SchemaError(
+                "cannot apply %r delta to %r relation"
+                % (self.heading, relation.heading)
+            )
+        rows = (relation.rows - self.deleted.rows) | self.inserted.rows
+        return Relation(relation.heading, rows)
+
+    def invert_from(self, relation: Relation) -> Relation:
+        """Recover the old value from the new: ``(new - ins) | del``."""
+        rows = (relation.rows - self.inserted.rows) | self.deleted.rows
+        return Relation(relation.heading, rows)
+
+    def __repr__(self) -> str:
+        return "Delta(+%d, -%d)" % (
+            self.inserted.cardinality(), self.deleted.cardinality()
+        )
+
+
+#: Base deltas as handed to the propagator: table name -> Delta.
+BaseDeltas = Mapping[str, Delta]
+
+
+class DeltaPropagator:
+    """Push base-table deltas up through one plan.
+
+    ``db`` holds the *post-commit* relation values; ``base_deltas``
+    maps changed table names to their exact commit diffs.  Old values
+    are derived, never stored: ``old = (new - inserted) | deleted``.
+    Node deltas, new values and derived old values are all memoized by
+    plan-node identity, so shared subtrees propagate once.
+
+    Every computed node delta passes a governor checkpoint
+    (``ivm.delta``) charged with the delta's row count, so a governed
+    maintenance pass dies between nodes like any other query.
+    """
+
+    def __init__(self, db: Database, base_deltas: BaseDeltas):
+        self._db = db
+        self._base: Dict[str, Delta] = dict(base_deltas)
+        self._deltas: Dict[int, Delta] = {}
+        self._new_vals: Dict[int, Relation] = {}
+        self._old_vals: Dict[int, Relation] = {}
+
+    # -- values --------------------------------------------------------
+
+    def new_value(self, plan: Plan) -> Relation:
+        key = id(plan)
+        value = self._new_vals.get(key)
+        if value is None:
+            value = self._db.execute(plan)
+            self._new_vals[key] = value
+        return value
+
+    def old_value(self, plan: Plan) -> Relation:
+        key = id(plan)
+        value = self._old_vals.get(key)
+        if value is None:
+            delta = self.delta(plan)
+            new = self.new_value(plan)
+            value = new if delta.is_empty() else delta.invert_from(new)
+            self._old_vals[key] = value
+        return value
+
+    def _heading(self, plan: Plan) -> Heading:
+        return self._db._heading_of(plan)
+
+    # -- propagation ---------------------------------------------------
+
+    def delta(self, plan: Plan) -> Delta:
+        key = id(plan)
+        result = self._deltas.get(key)
+        if result is None:
+            result = self._compute(plan)
+            self._deltas[key] = result
+            _gov_checkpoint(
+                "ivm.delta", result.size(), len(result.heading.names)
+            )
+        return result
+
+    def _compute(self, plan: Plan) -> Delta:
+        if isinstance(plan, Scan):
+            base = self._base.get(plan.name)
+            if base is not None:
+                return base
+            return Delta.empty(self._db.relation(plan.name).heading)
+        if isinstance(plan, SelectEq):
+            return self._pointwise(
+                plan, lambda rel: algebra.select_eq(rel, plan.conditions)
+            )
+        if isinstance(plan, SelectPred):
+            return self._pointwise(
+                plan, lambda rel: algebra.select(rel, plan.predicate)
+            )
+        if isinstance(plan, Rename):
+            return self._pointwise(
+                plan, lambda rel: algebra.rename(rel, plan.mapping)
+            )
+        if isinstance(plan, Project):
+            return self._project(plan)
+        if isinstance(plan, (Union, Difference)):
+            return self._combine(plan)
+        if isinstance(plan, Join):
+            return self._join(plan)
+        raise DeltaUnsupported(
+            "no delta rule for plan node %s" % type(plan).__name__
+        )
+
+    def _pointwise(self, plan: Plan, op) -> Delta:
+        child = self.delta(plan.child)
+        if child.is_empty():
+            return Delta.empty(self._heading(plan))
+        return Delta(op(child.inserted), op(child.deleted))
+
+    def _project(self, plan: Project) -> Delta:
+        child = self.delta(plan.child)
+        heading = self._heading(plan)
+        if child.is_empty():
+            return Delta.empty(heading)
+        attrs = plan.attrs
+        if not attrs:
+            # Zero-attribute projection is DEE/DUM territory: the
+            # result flips between the empty row and nothing, so diff
+            # the (at most one-row) projections directly.
+            old = algebra.project(self.old_value(plan.child), attrs)
+            new = algebra.project(self.new_value(plan.child), attrs)
+            return Delta(
+                Relation(heading, new.rows - old.rows),
+                Relation(heading, old.rows - new.rows),
+            )
+        cand_ins = algebra.project(child.inserted, attrs)
+        if cand_ins.cardinality():
+            seen_before = algebra.project(
+                algebra.semijoin(self.old_value(plan.child), cand_ins), attrs
+            )
+            inserted = algebra.difference(cand_ins, seen_before)
+        else:
+            inserted = cand_ins
+        cand_del = algebra.project(child.deleted, attrs)
+        if cand_del.cardinality():
+            still_supported = algebra.project(
+                algebra.semijoin(self.new_value(plan.child), cand_del), attrs
+            )
+            deleted = algebra.difference(cand_del, still_supported)
+        else:
+            deleted = cand_del
+        return Delta(inserted, deleted)
+
+    def _combine(self, plan: Plan) -> Delta:
+        left, right = self.delta(plan.left), self.delta(plan.right)
+        heading = self._heading(plan)
+        if left.is_empty() and right.is_empty():
+            return Delta.empty(heading)
+        cand = (
+            left.inserted.rows | left.deleted.rows
+            | right.inserted.rows | right.deleted.rows
+        )
+        l_new, r_new = self.new_value(plan.left), self.new_value(plan.right)
+        l_old, r_old = self.old_value(plan.left), self.old_value(plan.right)
+        if isinstance(plan, Union):
+            before = (cand & l_old.rows) | (cand & r_old.rows)
+            after = (cand & l_new.rows) | (cand & r_new.rows)
+        else:
+            before = (cand & l_old.rows) - r_old.rows
+            after = (cand & l_new.rows) - r_new.rows
+        return Delta(
+            Relation(heading, after - before),
+            Relation(heading, before - after),
+        )
+
+    def _join(self, plan: Join) -> Delta:
+        left, right = self.delta(plan.left), self.delta(plan.right)
+        heading = self._heading(plan)
+        if left.is_empty() and right.is_empty():
+            return Delta.empty(heading)
+        if not self._heading(plan.left).names or not self._heading(
+            plan.right
+        ).names:
+            # A zero-attribute join input (DEE/DUM) has no key to
+            # semijoin on; punt to recomputation.
+            raise DeltaUnsupported("join over a zero-attribute input")
+        l_new, r_new = self.new_value(plan.left), self.new_value(plan.right)
+        l_old, r_old = self.old_value(plan.left), self.old_value(plan.right)
+        cand = XSet()
+        if left.inserted.cardinality():
+            cand = cand | algebra.join(left.inserted, r_new).rows
+        if right.inserted.cardinality():
+            cand = cand | algebra.join(l_new, right.inserted).rows
+        if left.deleted.cardinality():
+            cand = cand | algebra.join(left.deleted, r_old).rows
+        if right.deleted.cardinality():
+            cand = cand | algebra.join(l_old, right.deleted).rows
+        if not len(cand):
+            return Delta.empty(heading)
+        cand_rel = Relation(heading, cand)
+        before = cand & algebra.join(
+            algebra.semijoin(l_old, cand_rel),
+            algebra.semijoin(r_old, cand_rel),
+        ).rows
+        after = cand & algebra.join(
+            algebra.semijoin(l_new, cand_rel),
+            algebra.semijoin(r_new, cand_rel),
+        ).rows
+        return Delta(
+            Relation(heading, after - before),
+            Relation(heading, before - after),
+        )

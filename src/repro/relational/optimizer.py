@@ -138,7 +138,10 @@ def _rewrite(plan: Plan, db: Database) -> Plan:
         return _rewrite_select(SelectEq(_rewrite(plan.child, db), plan.conditions), db)
     if isinstance(plan, SelectPred):
         return _rewrite_select_pred(
-            SelectPred(_rewrite(plan.child, db), plan.predicate, plan.label)
+            SelectPred(
+                _rewrite(plan.child, db), plan.predicate, plan.label,
+                cache_key=plan.cache_key,
+            )
         )
     if isinstance(plan, Project):
         return _rewrite_project(Project(_rewrite(plan.child, db), plan.attrs))
@@ -238,9 +241,17 @@ def _rewrite_select_pred(plan: SelectPred) -> Plan:
         def narrowed(row, _predicate=predicate, _attrs=attrs):
             return _predicate({name: row[name] for name in _attrs})
 
+        # The wrapper changed which row shape the predicate sees, so
+        # the cache key must say so -- otherwise a directly-built
+        # predicate with the same key below this Project would alias.
+        cache_key = plan.cache_key
+        if cache_key is not None:
+            cache_key = "narrow{%s}:%s" % (",".join(attrs), cache_key)
         return Project(
             _rewrite_select_pred(
-                SelectPred(child.child, narrowed, plan.label)
+                SelectPred(
+                    child.child, narrowed, plan.label, cache_key=cache_key
+                )
             ),
             child.attrs,
         )
@@ -253,9 +264,19 @@ def _rewrite_select_pred(plan: SelectPred) -> Plan:
                 {_mapping.get(name, name): value for name, value in row.items()}
             )
 
+        cache_key = plan.cache_key
+        if cache_key is not None:
+            cache_key = "viarename{%s}:%s" % (
+                ",".join(
+                    "%s->%s" % item for item in sorted(mapping.items())
+                ),
+                cache_key,
+            )
         return Rename(
             _rewrite_select_pred(
-                SelectPred(child.child, translated, plan.label)
+                SelectPred(
+                    child.child, translated, plan.label, cache_key=cache_key
+                )
             ),
             child.mapping,
         )

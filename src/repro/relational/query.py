@@ -124,19 +124,28 @@ class SelectEq(_Unary):
 
 
 class SelectPred(_Unary):
-    """General predicate selection (record-level in both modes)."""
+    """General predicate selection (record-level in both modes).
 
-    __slots__ = ("predicate", "label")
+    ``cache_key`` is an optional canonical string naming the
+    predicate's *semantics* (the XQL compiler sets it to the condition
+    text).  Only predicates with a cache key participate in result
+    caching -- labels are display strings, not identities, and two
+    different callables may share one.
+    """
+
+    __slots__ = ("predicate", "label", "cache_key")
 
     def __init__(
         self,
         child: Plan,
         predicate: Callable[[Dict[str, Any]], bool],
         label: str = "<predicate>",
+        cache_key: Optional[str] = None,
     ):
         super().__init__(child)
         object.__setattr__(self, "predicate", predicate)
         object.__setattr__(self, "label", label)
+        object.__setattr__(self, "cache_key", cache_key)
 
     def describe(self) -> str:
         return "SelectPred(%s)" % self.label
@@ -241,12 +250,35 @@ class Database:
         self._columnar: Dict[str, ColumnarRelation] = {}
         self._stats = None
         self._feedback = None
+        # Per-relation change counters: bumped on every add(), so an
+        # embedded database can fingerprint result-cache entries even
+        # without a TransactionManager's MVCC versions.
+        self._versions: Dict[str, int] = {}
+        self._result_cache = None
+        self._version_of: Optional[Callable[[str], int]] = None
 
     def add(self, name: str, relation: Relation) -> None:
         self._relations[name] = relation
+        self._versions[name] = self._versions.get(name, 0) + 1
         # A replaced relation invalidates its run encoding: stale runs
         # would silently answer queries about data that is gone.
         self._columnar.pop(name, None)
+
+    def remove(self, name: str) -> bool:
+        """Forget a relation (and its encoding); False if unknown.
+
+        The version counter still bumps, so cached results keyed at
+        the old version cannot alias a later reincarnation.
+        """
+        existed = self._relations.pop(name, None) is not None
+        self._columnar.pop(name, None)
+        if existed:
+            self._versions[name] = self._versions.get(name, 0) + 1
+        return existed
+
+    def table_version(self, name: str) -> int:
+        """How many times ``name`` has been (re)installed (0: never)."""
+        return self._versions.get(name, 0)
 
     def relation(self, name: str) -> Relation:
         try:
@@ -345,10 +377,85 @@ class Database:
         additionally records a span on the global tracer -- the same
         span tree :func:`repro.relational.profile.execute_profiled`
         measures explicitly.
+
+        With a result cache enabled (:meth:`enable_result_cache`),
+        cacheable plans are answered from the cache when the
+        per-table version fingerprint matches; misses execute normally
+        and populate it.
         """
+        if self._result_cache is not None:
+            return self._execute_cached(plan)
+        return self._execute_uncached(plan)
+
+    def _execute_uncached(self, plan: Plan) -> Relation:
         if _obs_enabled():
             return self._execute_observed(plan)
         return _materialize(self._execute_raw(plan))
+
+    # ------------------------------------------------------------------
+    # Result cache
+    # ------------------------------------------------------------------
+
+    def enable_result_cache(
+        self,
+        cache=None,
+        version_of: Optional[Callable[[str], int]] = None,
+        capacity: int = 256,
+    ):
+        """Attach (and return) a bounded query-result cache.
+
+        ``cache`` may be a shared
+        :class:`~repro.relational.ivm.cache.QueryResultCache` (server
+        sessions pass one instance across sessions); by default a
+        private one is created.  ``version_of`` maps a relation name
+        to its current version for fingerprinting -- defaults to this
+        database's own :meth:`table_version` counters; sessions pass
+        their snapshot's MVCC ``table_version`` so entries are shared
+        exactly between readers pinned at the same versions.
+        """
+        if cache is None:
+            from repro.relational.ivm.cache import QueryResultCache
+
+            cache = QueryResultCache(capacity=capacity)
+        self._result_cache = cache
+        self._version_of = version_of
+        return cache
+
+    def disable_result_cache(self) -> None:
+        """Detach the result cache (entries survive in the instance)."""
+        self._result_cache = None
+        self._version_of = None
+
+    @property
+    def result_cache(self):
+        return self._result_cache
+
+    def _execute_cached(self, plan: Plan) -> Relation:
+        from repro.relational.ivm.cache import plan_cache_key, scan_tables
+
+        plan_key = plan_cache_key(plan)
+        if plan_key is None:
+            return self._execute_uncached(plan)
+        version_of = self._version_of or self.table_version
+        # Fingerprint before executing: single-threaded execution
+        # cannot race a version bump, so the fingerprint names exactly
+        # the data the execution reads.
+        try:
+            fingerprint = tuple(
+                (name, version_of(name)) for name in scan_tables(plan)
+            )
+        except SchemaError:
+            # Unknown relation: let the normal path raise its
+            # canonical error.
+            return self._execute_uncached(plan)
+        hit = self._result_cache.lookup(plan_key, fingerprint)
+        if hit is not None:
+            return hit
+        result = self._execute_uncached(plan)
+        self._result_cache.store(
+            plan_key, fingerprint, (name for name, _ in fingerprint), result
+        )
+        return result
 
     def _execute_observed(self, plan: Plan) -> Relation:
         """The ``REPRO_OBS=1`` path: spans, then a digest per query.

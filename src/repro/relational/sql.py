@@ -88,6 +88,7 @@ _KEYWORDS = {
     "select", "from", "join", "where", "and", "group", "by", "as",
     "count", "sum", "avg", "min", "max", "order", "asc", "desc", "limit",
     "timeout", "budget", "analyze",
+    "create", "materialized", "view", "refresh", "drop",
 }
 
 _AGGREGATES = {"count", "sum", "avg", "min", "max"}
@@ -133,8 +134,8 @@ class Query:
 
 
 class _Parser:
-    def __init__(self, text: str):
-        self._stream = _tokenize(text)
+    def __init__(self, text: str = "", tokens=None):
+        self._stream = _tokenize(text) if tokens is None else list(tokens)
         self._position = 0
 
     def _peek(self) -> Optional[Tuple[str, str]]:
@@ -303,10 +304,14 @@ def compile_query(query: Query) -> Plan:
             equalities[attr] = value
         else:
             test = _PREDICATES[operator]
+            condition = "%s %s %r" % (attr, operator, value)
             plan = SelectPred(
                 plan,
                 lambda row, a=attr, t=test, v=value: t(row[a], v),
-                label="%s %s %r" % (attr, operator, value),
+                label=condition,
+                # The condition text IS the predicate's semantics, so
+                # compiled queries are result-cacheable.
+                cache_key=condition,
             )
     if equalities:
         plan = SelectEq(plan, equalities)
@@ -349,22 +354,125 @@ def _maybe_run_analyze(db: Database, text: str) -> Optional[Relation]:
     )
 
 
-def run(db: Database, text: str, optimized: bool = True) -> Relation:
-    """Parse, compile, (optionally) optimize and execute an XQL query."""
+def _maybe_run_view_statement(text: str, views) -> Optional[Relation]:
+    """Handle CREATE/REFRESH/DROP VIEW; ``None`` for anything else.
+
+    Grammar::
+
+        CREATE [MATERIALIZED] VIEW name AS select
+        REFRESH VIEW name
+        DROP VIEW name
+
+    View bodies are plain SELECTs (no GROUP BY / ORDER BY / LIMIT /
+    TIMEOUT / BUDGET -- a view is a relation-valued plan, and those
+    clauses describe result presentation or one execution).  A
+    materialized view is computed immediately, so it is fresh -- and
+    incrementally maintained, when the catalog has a manager -- from
+    the moment the statement returns.
+    """
+    from repro.relational.schema import Heading
+
+    stream = _tokenize(text)
+    if not stream:
+        return None
+    head = stream[0]
+    if head == ("kw", "create"):
+        index = 1
+        materialized = False
+        if index < len(stream) and stream[index] == ("kw", "materialized"):
+            materialized = True
+            index += 1
+        if index >= len(stream) or stream[index] != ("kw", "view"):
+            raise NotationError("XQL: expected VIEW after CREATE")
+        index += 1
+        if index >= len(stream) or stream[index][0] != "name":
+            raise NotationError("XQL: CREATE VIEW needs a view name")
+        name = stream[index][1]
+        index += 1
+        if index >= len(stream) or stream[index] != ("kw", "as"):
+            raise NotationError("XQL: expected AS in CREATE VIEW")
+        index += 1
+        _require_views(views, "CREATE VIEW")
+        body = _Parser(tokens=stream[index:]).parse()
+        if (
+            body.aggregates or body.group_by or body.limit is not None
+            or body.order_by is not None or body.timeout_s is not None
+            or body.budget_rows is not None
+        ):
+            raise NotationError(
+                "XQL: view bodies are plain SELECTs (no GROUP BY, ORDER "
+                "BY, LIMIT, TIMEOUT or BUDGET)"
+            )
+        views.define(name, compile_query(body), materialized=materialized)
+        return Relation.from_dicts(
+            Heading(["view", "kind", "rows"]),
+            [{
+                "view": name,
+                "kind": "materialized" if materialized else "virtual",
+                "rows": views.read(name).cardinality(),
+            }],
+        )
+    if head in (("kw", "refresh"), ("kw", "drop")):
+        if (
+            len(stream) != 3 or stream[1] != ("kw", "view")
+            or stream[2][0] != "name"
+        ):
+            raise NotationError(
+                "XQL: expected %s VIEW name" % head[1].upper()
+            )
+        name = stream[2][1]
+        _require_views(views, "%s VIEW" % head[1].upper())
+        if head[1] == "refresh":
+            refreshed = views.refresh(name)
+            return Relation.from_dicts(
+                Heading(["view", "rows"]),
+                [{"view": name, "rows": refreshed.cardinality()}],
+            )
+        views.drop(name)
+        return Relation.from_dicts(
+            Heading(["view", "dropped"]), [{"view": name, "dropped": 1}]
+        )
+    return None
+
+
+def _require_views(views, statement: str) -> None:
+    if views is None:
+        raise SchemaError(
+            "XQL: %s needs a view catalog (pass views=)" % statement
+        )
+
+
+def run(
+    db: Database, text: str, optimized: bool = True, views=None
+) -> Relation:
+    """Parse, compile, (optionally) optimize and execute an XQL query.
+
+    With ``views`` (a :class:`~repro.relational.views.ViewCatalog`)
+    the CREATE/REFRESH/DROP VIEW statements work and SELECT sources
+    may name views, which resolve through the catalog.
+    """
     analyzed = _maybe_run_analyze(db, text)
     if analyzed is not None:
         return analyzed
+    handled = _maybe_run_view_statement(text, views)
+    if handled is not None:
+        return handled
     query = parse_query(text)
     if query.timeout_s is not None or query.budget_rows is not None:
         # TIMEOUT/BUDGET clauses execute the query under a governor so
         # the kernel's cancellation checkpoints can stop it mid-operator.
         with governed(timeout_s=query.timeout_s, max_rows=query.budget_rows):
-            return _run_parsed(db, query, optimized)
-    return _run_parsed(db, query, optimized)
+            return _run_parsed(db, query, optimized, views)
+    return _run_parsed(db, query, optimized, views)
 
 
-def _run_parsed(db: Database, query: Query, optimized: bool) -> Relation:
+def _run_parsed(
+    db: Database, query: Query, optimized: bool, views=None
+) -> Relation:
     plan = compile_query(query)
+    if views is not None:
+        db = views.database
+        plan = views._resolve_plan(plan)
     if optimized:
         plan = optimize(plan, db)
     result = db.execute(plan)
@@ -408,7 +516,7 @@ def _ordered_rows(relation: Relation, query: Query) -> List[Dict[str, Any]]:
 
 
 def run_rows(
-    db: Database, text: str, optimized: bool = True
+    db: Database, text: str, optimized: bool = True, views=None
 ) -> List[Dict[str, Any]]:
     """Like :func:`run`, but returns an ordered list of row dicts.
 
@@ -420,8 +528,11 @@ def run_rows(
     analyzed = _maybe_run_analyze(db, text)
     if analyzed is not None:
         return list(analyzed.iter_dicts())
+    handled = _maybe_run_view_statement(text, views)
+    if handled is not None:
+        return list(handled.iter_dicts())
     query = parse_query(text)
-    relation = run(db, text, optimized=optimized)
+    relation = run(db, text, optimized=optimized, views=views)
     rows = _ordered_rows(relation, query)
     if query.limit is not None:
         rows = rows[: query.limit]

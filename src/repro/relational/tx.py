@@ -63,7 +63,9 @@ garbage the moment the last snapshot reading them closes.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Set, Tuple
+from typing import (
+    Any, Callable, Dict, Iterator, List, Mapping, Optional, Set, Tuple,
+)
 
 from repro.errors import SchemaError, WriteConflictError
 from repro.gov.governor import checkpoint as _gov_checkpoint
@@ -71,7 +73,14 @@ from repro.relational.constraints import Table
 from repro.relational.relation import Relation
 from repro.relational.wal import WriteAheadLog
 
-__all__ = ["TransactionManager", "Snapshot", "SnapshotSession"]
+__all__ = ["TransactionManager", "Snapshot", "SnapshotSession", "CommitDiff"]
+
+#: What a commit-diff listener receives, per changed table: the
+#: heading's attribute names plus the inserted and deleted row sets --
+#: the exact payload the WAL record carries, so subscribers (view
+#: maintenance, cache invalidation) see the same ground truth
+#: durability does.
+CommitDiff = Mapping[str, Tuple[Tuple[str, ...], Any, Any]]
 
 
 class TransactionManager:
@@ -94,6 +103,11 @@ class TransactionManager:
         self._table_versions: Dict[str, int] = {}
         self._open_snapshots: Dict[int, int] = {}
         self._snapshot_ids = 0
+        # Commit-diff subscribers, notified *after* a state-changing
+        # outermost commit is fully durable (post-WAL, post-version
+        # bump) -- never for rollbacks or no-op transactions.
+        self._listeners: List[Callable[[int, CommitDiff], None]] = []
+        self._pending_notice: Optional[Tuple[int, Dict]] = None
 
     @property
     def tables(self) -> Dict[str, Table]:
@@ -184,6 +198,10 @@ class TransactionManager:
                 except BaseException:
                     self._restore(savepoint)
                     raise
+                # The commit is durable and versioned; tell the
+                # subscribers.  A listener exception propagates to the
+                # caller but can no longer undo the commit.
+                self._notify_listeners()
         finally:
             if deferred:
                 self._deferred_depth -= 1
@@ -228,6 +246,46 @@ class TransactionManager:
         # durable numbering and the MVCC version are the same number.
         for name in changes:
             self._table_versions[name] = self._commits
+        if self._listeners:
+            # Stash the diff for transaction() to deliver *after* the
+            # commit can no longer be rolled back -- firing here would
+            # let a listener exception trigger _restore() on tables
+            # whose changes the WAL already recorded.
+            self._pending_notice = (self._commits, changes)
+
+    def _notify_listeners(self) -> None:
+        notice = self._pending_notice
+        if notice is None:
+            return
+        self._pending_notice = None
+        version, changes = notice
+        for listener in list(self._listeners):
+            listener(version, changes)
+
+    # ------------------------------------------------------------------
+    # Commit-diff subscriptions
+    # ------------------------------------------------------------------
+
+    def subscribe(self, listener: Callable[[int, CommitDiff], None]) -> None:
+        """Call ``listener(version, changes)`` after each state-changing
+        outermost commit.
+
+        ``changes`` maps each changed table to ``(heading_names,
+        inserted, deleted)`` -- the same immutable-diff payload the WAL
+        record carries.  Listeners fire after the commit is durable and
+        versioned; an exception from a listener propagates to the
+        committer but never rolls the commit back.  Rollbacks and no-op
+        transactions notify nothing.
+        """
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[int, CommitDiff], None]) -> None:
+        """Stop notifying ``listener``; unknown listeners are ignored."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     # MVCC: snapshots, sessions, and the version horizon
@@ -320,6 +378,10 @@ class Snapshot:
         self._manager = manager
         self.version = manager.current_version
         self._state: Dict[str, Relation] = manager._committed_state()
+        # Per-table versions at pin time: O(tables) pointer reads that
+        # let result caches fingerprint this snapshot's reads without
+        # touching row data.
+        self._table_versions: Dict[str, int] = dict(manager._table_versions)
         self._token: Optional[int] = manager._register_snapshot(self.version)
 
     @property
@@ -336,6 +398,13 @@ class Snapshot:
             return self._state[name]
         except KeyError:
             raise SchemaError("unknown table %r" % (name,)) from None
+
+    def table_version(self, name: str) -> int:
+        """The commit version at which ``name`` had last changed when
+        this snapshot was pinned (0: never)."""
+        if name not in self._state:
+            raise SchemaError("unknown table %r" % (name,))
+        return self._table_versions.get(name, 0)
 
     def _require_open(self) -> None:
         if self._token is None:

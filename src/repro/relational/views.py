@@ -1,27 +1,45 @@
-"""Views: named queries, optionally materialized with digest tracking.
+"""Views: named queries, optionally materialized and delta-maintained.
 
 A view is a plan over base relations.  A *virtual* view re-executes on
-every read; a *materialized* view caches its result together with the
-content digests of the base relations it read, so staleness is a pure
-set-level comparison -- no invalidation hooks, no dirty flags, just
-"do the inputs still hash to what I saw?"  (Canonical serialization
-makes the digest order-insensitive; see
-:mod:`repro.xst.serialization`.)
+every read; a *materialized* view caches its result.  Staleness
+tracking comes in two flavors:
+
+* **Version mode** (a :class:`~repro.relational.tx.TransactionManager`
+  is attached): the view records the MVCC per-table version of every
+  dependency at refresh time, so ``is_stale`` is O(tables) pointer
+  comparisons -- no row is touched.  Better: the catalog subscribes to
+  the manager's commit-diff stream and *maintains* materialized views
+  incrementally, propagating each commit's exact insert/delete sets
+  through the view plan (:mod:`repro.relational.ivm.delta`) and
+  applying ``(cache - deleted) | inserted`` instead of recomputing.
+  Plans containing a node with no delta rule fall back to marking the
+  view stale; the next read recomputes.
+* **Digest mode** (no manager): staleness is a pure set-level
+  comparison -- "do the inputs still hash to what I saw?" -- exactly
+  the canonical-serialization story of the original design.  The
+  digest path also survives in version mode as
+  :meth:`ViewCatalog.verify`, the ``repro fsck``-style cross-check
+  that a maintained cache is byte-identical to a fresh recomputation.
 
 :class:`ViewCatalog` extends a :class:`~repro.relational.query.
 Database` with view definitions; views can reference earlier views,
-and reads resolve through the chain.
+and reads resolve through the chain.  Stacked materialized views
+maintain in definition order, each view's delta feeding its
+dependents' propagation as if it were a base-table diff.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import SchemaError
+from repro.gov.governor import checkpoint as _gov_checkpoint
 from repro.relational.optimizer import optimize
 from repro.relational.query import Database, Plan, Scan
 from repro.relational.relation import Relation
+from repro.relational.schema import Heading
 from repro.xst.serialization import digest
+from repro.xst.xset import XSet
 
 __all__ = ["View", "ViewCatalog"]
 
@@ -51,6 +69,24 @@ class View:
         self.materialized = materialized
         self._cache: Optional[Relation] = None
         self._input_digests: Optional[Dict[str, str]] = None
+        # Version-mode staleness fingerprint: dependency -> version at
+        # last refresh (base tables by MVCC version, materialized view
+        # dependencies by their change counter).  None = stale.
+        self._base_versions: Optional[Dict[str, int]] = None
+        #: Manager commit version at the last refresh or delta apply.
+        self.refresh_version = 0
+        #: Bumps whenever the materialized contents change -- the
+        #: "version" dependents fingerprint this view by.
+        self.change_count = 0
+        self.reads = 0
+        self.cache_hits = 0
+        self.delta_applies = 0
+        self.recomputes = 0
+        self.fallbacks = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.reads if self.reads else 0.0
 
     def __repr__(self) -> str:
         kind = "materialized" if self.materialized else "virtual"
@@ -58,15 +94,40 @@ class View:
 
 
 class ViewCatalog:
-    """A database plus named views (virtual or materialized)."""
+    """A database plus named views (virtual or materialized).
 
-    def __init__(self, db: Database):
+    With ``manager`` attached the catalog keeps ``db`` synchronized
+    with the manager's committed state (applying each commit's diff)
+    and incrementally maintains every materialized view after every
+    commit.  All mutations must then flow through the manager --
+    out-of-band ``db.add`` calls are invisible to version-mode
+    staleness.
+    """
+
+    def __init__(self, db: Database, manager=None):
         self._db = db
         self._views: Dict[str, View] = {}
+        self._manager = manager
+        if manager is not None:
+            # Seed the database from the committed state so the first
+            # diff applies to the right base values.
+            for name, relation in manager._committed_state().items():
+                db.add(name, relation)
+            manager.subscribe(self._on_commit)
 
     @property
     def database(self) -> Database:
         return self._db
+
+    @property
+    def manager(self):
+        return self._manager
+
+    def close(self) -> None:
+        """Detach from the manager's commit stream; idempotent."""
+        if self._manager is not None:
+            self._manager.unsubscribe(self._on_commit)
+            self._manager = None
 
     # ------------------------------------------------------------------
     # Definition
@@ -91,8 +152,31 @@ class ViewCatalog:
         self._views[name] = view
         return view
 
+    def drop(self, name: str) -> View:
+        """Remove a view; refuses while another view references it."""
+        view = self._views.get(name)
+        if view is None:
+            raise SchemaError("unknown view %r" % (name,))
+        for other in self._views.values():
+            if other.name != name and name in _base_relations(other.plan):
+                raise SchemaError(
+                    "view %r is referenced by view %r" % (name, other.name)
+                )
+        del self._views[name]
+        self._db.remove("__view__" + name)
+        if self._db._stats is not None:
+            self._db.stats.drop(name)
+            self._db.stats.drop("__view__" + name)
+        return view
+
     def names(self) -> List[str]:
         return sorted(self._views)
+
+    def view(self, name: str) -> View:
+        view = self._views.get(name)
+        if view is None:
+            raise SchemaError("unknown view %r" % (name,))
+        return view
 
     # ------------------------------------------------------------------
     # Reading
@@ -119,16 +203,26 @@ class ViewCatalog:
         view = self._views.get(name)
         if view is None:
             raise SchemaError("unknown view %r" % (name,))
+        view.reads += 1
         if view.materialized and view._cache is not None and not self.is_stale(
             name
         ):
+            view.cache_hits += 1
             return view._cache
         plan = optimize(self._resolve_plan(view.plan), self._db)
         result = self._db.execute(plan)
         if view.materialized:
+            if view._cache is None or result != view._cache:
+                view.change_count += 1
             view._cache = result
-            view._input_digests = self._current_digests(view)
+            view.recomputes += 1
+            self._record_refresh(view)
         return result
+
+    def execute(self, plan: Plan) -> Relation:
+        """Run an ad-hoc plan that may scan views as if they were
+        relations (each view reference resolves through :meth:`read`)."""
+        return self._db.execute(optimize(self._resolve_plan(plan), self._db))
 
     # ------------------------------------------------------------------
     # Staleness
@@ -143,17 +237,62 @@ class ViewCatalog:
                 digests[base] = digest(self._db.relation(base).rows)
         return digests
 
+    def _table_version(self, name: str) -> int:
+        if self._manager is not None:
+            try:
+                return self._manager.table_version(name)
+            except SchemaError:
+                pass  # known to the db only (e.g. loaded out-of-band)
+        return self._db.table_version(name)
+
+    def _dependency_versions(self, view: View) -> Dict[str, int]:
+        """Current versions of every dependency, views chased down.
+
+        Virtual view references expand to their base tables;
+        materialized references contribute their change counter --
+        which is exactly what moves when *their* contents move.
+        """
+        versions: Dict[str, int] = {}
+
+        def visit(name: str) -> None:
+            dep = self._views.get(name)
+            if dep is None:
+                versions[name] = self._table_version(name)
+            elif dep.materialized:
+                versions["view:" + name] = dep.change_count
+            else:
+                for base in _base_relations(dep.plan):
+                    visit(base)
+
+        for base in _base_relations(view.plan):
+            visit(base)
+        return versions
+
     def is_stale(self, name: str) -> bool:
         """True when a materialized view's inputs have changed.
 
         Virtual views are never stale (they always recompute); an
         unmaterialized-yet materialized view is considered stale.
+        With a manager attached this is O(dependencies) version
+        comparisons; without one it digests the base relations.
         """
         view = self._views.get(name)
         if view is None:
             raise SchemaError("unknown view %r" % (name,))
         if not view.materialized:
             return False
+        if self._manager is not None:
+            if view._base_versions is None:
+                return True
+            if view._base_versions != self._dependency_versions(view):
+                return True
+            # A fresh-looking fingerprint over a stale dependency is
+            # still stale (the dependency's counter only moves when it
+            # actually re-materializes).
+            return any(
+                self.is_stale(base) for base in _base_relations(view.plan)
+                if base in self._views and self._views[base].materialized
+            )
         if view._input_digests is None:
             return True
         return self._current_digests(view) != view._input_digests
@@ -165,11 +304,173 @@ class ViewCatalog:
             raise SchemaError("unknown view %r" % (name,))
         view._cache = None
         view._input_digests = None
+        view._base_versions = None
         return self.read(name)
 
+    def verify(self, name: str) -> bool:
+        """Digest cross-check: does the cache match a fresh compute?
 
-def _rewrite_scans(plan: Plan, mapping: Dict[str, str]) -> Plan:
-    """Rebuild a plan with Scan names substituted."""
+        The O(data) integrity pass version-mode staleness replaced --
+        kept for ``repro views --verify`` / fsck-style audits.  Views
+        without a cache (virtual, or not yet materialized) verify
+        trivially.
+        """
+        view = self.view(name)
+        if not view.materialized or view._cache is None:
+            return True
+        plan = optimize(self._resolve_plan(view.plan), self._db)
+        fresh = self._db.execute(plan)
+        return digest(view._cache.rows) == digest(fresh.rows)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (version mode)
+    # ------------------------------------------------------------------
+
+    def _record_refresh(self, view: View) -> None:
+        if self._manager is not None:
+            view._base_versions = self._dependency_versions(view)
+            view.refresh_version = self._manager.current_version
+            self._install_stats(view)
+        else:
+            view._input_digests = self._current_digests(view)
+
+    def _install_stats(self, view: View) -> None:
+        """Teach the stats catalog this view's cardinality.
+
+        Row counts alone (no per-attribute structure): enough for the
+        planner's join ordering over view shadows, and O(1) to keep
+        current on every delta apply.
+        """
+        if view._cache is None:
+            return
+        from repro.relational.stats import RelationStats
+
+        stats = RelationStats(view._cache.cardinality(), {})
+        self._db.stats.install(view.name, stats)
+        self._db.stats.install("__view__" + view.name, stats)
+
+    def _on_commit(self, version: int, changes) -> None:
+        """Manager commit hook: sync base tables, maintain every view."""
+        from repro.relational.ivm.delta import Delta
+
+        base_deltas: Dict[str, Delta] = {}
+        for name in sorted(changes):
+            heading_names, inserted, deleted = changes[name]
+            heading = Heading(heading_names)
+            delta = Delta(
+                Relation(heading, inserted), Relation(heading, deleted)
+            )
+            old = self._db._relations.get(name)
+            if old is None:
+                old = Relation(heading, XSet())
+            self._db.add(name, delta.apply_to(old))
+            base_deltas[name] = delta
+        if self._db.result_cache is not None:
+            self._db.result_cache.invalidate_tables(sorted(changes))
+        failed: set = set()
+        for name, view in list(self._views.items()):
+            if view.materialized:
+                self._maintain(view, base_deltas, version, failed)
+
+    def _maintain(
+        self, view: View, base_deltas: Dict[str, "Delta"], version: int,
+        failed: set,
+    ) -> None:
+        from repro.relational.ivm.delta import (
+            DeltaPropagator,
+            DeltaUnsupported,
+        )
+
+        if view._cache is None or view._base_versions is None:
+            # Not materialized yet (or already stale): nothing to
+            # maintain; the next read computes from current state.
+            failed.add(view.name)
+            return
+        current = self._dependency_versions(view)
+        if current == view._base_versions:
+            return  # untouched by this commit
+        try:
+            expanded = self._expand_for_delta(view.plan, failed)
+            propagator = DeltaPropagator(self._db, base_deltas)
+            delta = propagator.delta(expanded)
+        except DeltaUnsupported:
+            view.fallbacks += 1
+            view._base_versions = None  # honest: next read recomputes
+            failed.add(view.name)
+            return
+        if not delta.is_empty():
+            view._cache = delta.apply_to(view._cache)
+            view.change_count += 1
+            view.delta_applies += 1
+            _gov_checkpoint(
+                "ivm.apply", delta.size(), len(delta.heading.names)
+            )
+            shadow = "__view__" + view.name
+            self._db.add(shadow, view._cache)
+            base_deltas[shadow] = delta
+        view._base_versions = self._dependency_versions(view)
+        view.refresh_version = version
+        self._install_stats(view)
+
+    def _expand_for_delta(self, plan: Plan, failed: set) -> Plan:
+        """Rewrite a view plan so the propagator sees only relations.
+
+        Virtual view references inline their (expanded) plans;
+        materialized references become scans of their ``__view__``
+        shadow relation -- whose delta this round is already in the
+        propagator's base set.  References to unmaintainable views
+        (no cache yet, or fell back this round) are unmaintainable
+        themselves.
+        """
+        from repro.relational.ivm.delta import DeltaUnsupported
+
+        def transform(scan: Scan) -> Plan:
+            view = self._views.get(scan.name)
+            if view is None:
+                return scan
+            if not view.materialized:
+                return self._expand_for_delta(view.plan, failed)
+            if scan.name in failed or view._cache is None:
+                raise DeltaUnsupported(
+                    "view %r depends on unmaintained view %r"
+                    % (scan.name, scan.name)
+                )
+            shadow = "__view__" + scan.name
+            if shadow not in self._db._relations:
+                self._db.add(shadow, view._cache)
+            return Scan(shadow)
+
+        return _transform_scans(plan, transform)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def status(self) -> List[Dict[str, object]]:
+        """One summary row per view (for ``repro views`` and tests)."""
+        rows = []
+        for name in self.names():
+            view = self._views[name]
+            rows.append({
+                "name": name,
+                "kind": "materialized" if view.materialized else "virtual",
+                "stale": self.is_stale(name),
+                "rows": (
+                    view._cache.cardinality()
+                    if view._cache is not None else None
+                ),
+                "refresh_version": view.refresh_version,
+                "reads": view.reads,
+                "hit_rate": view.hit_rate,
+                "delta_applies": view.delta_applies,
+                "recomputes": view.recomputes,
+                "fallbacks": view.fallbacks,
+            })
+        return rows
+
+
+def _transform_scans(plan: Plan, transform: Callable[[Scan], Plan]) -> Plan:
+    """Rebuild a plan with every Scan passed through ``transform``."""
     from repro.relational.query import (
         Difference,
         Join,
@@ -181,30 +482,40 @@ def _rewrite_scans(plan: Plan, mapping: Dict[str, str]) -> Plan:
     )
 
     if isinstance(plan, Scan):
-        return Scan(mapping.get(plan.name, plan.name))
+        return transform(plan)
     if isinstance(plan, SelectEq):
-        return SelectEq(_rewrite_scans(plan.child, mapping), plan.conditions)
+        return SelectEq(
+            _transform_scans(plan.child, transform), plan.conditions
+        )
     if isinstance(plan, SelectPred):
         return SelectPred(
-            _rewrite_scans(plan.child, mapping), plan.predicate, plan.label
+            _transform_scans(plan.child, transform), plan.predicate,
+            plan.label, cache_key=plan.cache_key,
         )
     if isinstance(plan, Project):
-        return Project(_rewrite_scans(plan.child, mapping), plan.attrs)
+        return Project(_transform_scans(plan.child, transform), plan.attrs)
     if isinstance(plan, Rename):
-        return Rename(_rewrite_scans(plan.child, mapping), plan.mapping)
+        return Rename(_transform_scans(plan.child, transform), plan.mapping)
     if isinstance(plan, Join):
         return Join(
-            _rewrite_scans(plan.left, mapping),
-            _rewrite_scans(plan.right, mapping),
+            _transform_scans(plan.left, transform),
+            _transform_scans(plan.right, transform),
         )
     if isinstance(plan, Union):
         return Union(
-            _rewrite_scans(plan.left, mapping),
-            _rewrite_scans(plan.right, mapping),
+            _transform_scans(plan.left, transform),
+            _transform_scans(plan.right, transform),
         )
     if isinstance(plan, Difference):
         return Difference(
-            _rewrite_scans(plan.left, mapping),
-            _rewrite_scans(plan.right, mapping),
+            _transform_scans(plan.left, transform),
+            _transform_scans(plan.right, transform),
         )
     raise TypeError("unknown plan node %r" % (plan,))
+
+
+def _rewrite_scans(plan: Plan, mapping: Dict[str, str]) -> Plan:
+    """Rebuild a plan with Scan names substituted."""
+    return _transform_scans(
+        plan, lambda scan: Scan(mapping.get(scan.name, scan.name))
+    )

@@ -104,9 +104,22 @@ class Server:
                  drain_timeout_s: float = 1.0,
                  net_faults: NetworkFaultInjector = NO_NETWORK_FAULTS,
                  admission: Optional[AdmissionController] = None,
-                 incident_log: Optional[str] = None):
+                 incident_log: Optional[str] = None,
+                 result_cache_capacity: int = 0):
         self._manager = manager
         self._token = token
+        # One result cache shared by every session (0 = disabled):
+        # entries are keyed by per-table MVCC versions, so sessions
+        # pinned at the same versions share hits and the commit-diff
+        # stream below reclaims entries the moment a table moves on.
+        self.result_cache = None
+        if result_cache_capacity > 0:
+            from repro.relational.ivm.cache import QueryResultCache
+
+            self.result_cache = QueryResultCache(
+                capacity=result_cache_capacity, name="server"
+            )
+            manager.subscribe(self._on_commit_diff)
         self.admission = admission if admission is not None else \
             AdmissionController(capacity, soft_capacity)
         self.max_sessions = max_sessions
@@ -342,7 +355,13 @@ class Server:
             "s%d" % self._session_ids, self._manager,
             principal=str(body.get("client", "anonymous")),
             priority=priority,
+            result_cache=self.result_cache,
         )
+
+    def _on_commit_diff(self, version: int, changes) -> None:
+        """Commit hook: reclaim cache entries over the changed tables."""
+        if self.result_cache is not None:
+            self.result_cache.invalidate_tables(sorted(changes))
 
     # -- request dispatch -----------------------------------------------
 

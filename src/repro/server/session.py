@@ -80,7 +80,8 @@ class Session:
 
     def __init__(self, session_id: str, manager: TransactionManager,
                  principal: str = "anonymous",
-                 priority: int = PRIORITY_NORMAL):
+                 priority: int = PRIORITY_NORMAL,
+                 result_cache=None):
         self.session_id = session_id
         self.principal = principal
         self.priority = priority
@@ -88,6 +89,11 @@ class Session:
         self._snapshot: Snapshot = manager.snapshot()
         self._statements: Dict[str, str] = {}
         self._db: Optional[Database] = None
+        # Shared across sessions: entries are fingerprinted by the
+        # snapshot's per-table MVCC versions, so two sessions pinned
+        # at the same versions share results and a session pinned
+        # past a commit can never be served the pre-commit answer.
+        self._result_cache = result_cache
         self.cancelled: Set[str] = set()
         self.in_flight: Optional[str] = None
         self.closed = False
@@ -123,6 +129,11 @@ class Session:
             db = Database()
             for name in self._snapshot.names():
                 db.add(name, self._snapshot.relation(name))
+            if self._result_cache is not None:
+                db.enable_result_cache(
+                    cache=self._result_cache,
+                    version_of=self._snapshot.table_version,
+                )
             self._db = db
         return self._db
 

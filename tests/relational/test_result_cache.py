@@ -1,0 +1,486 @@
+"""Result cache: version-keyed lookups can never serve stale data.
+
+The contract under test: a cache entry's key includes the MVCC version
+of every table the plan scans, so a reader pinned past a commit can
+never receive the pre-commit answer -- *regardless* of invalidation
+timing.  The sweep classes exercise every interleaving of commits,
+session opens and reads (embedded, server-session and sharded-cluster
+flavors, including across a bucket move) against a model oracle.
+"""
+
+import itertools
+
+import pytest
+
+from repro.errors import SchemaError, ShardMovedError
+from repro.obs import instrument, metrics
+from repro.relational.constraints import KeyConstraint, Table
+from repro.relational.distributed import Cluster
+from repro.relational.ivm import (
+    QueryResultCache,
+    plan_cache_key,
+    scan_tables,
+)
+from repro.relational.optimizer import optimize
+from repro.relational.query import (
+    Database,
+    Join,
+    Project,
+    Rename,
+    Scan,
+    SelectEq,
+    SelectPred,
+    Union,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Heading
+from repro.relational.tx import TransactionManager
+from repro.server import Server
+from repro.server.session import Session
+
+
+def rel(names, rows):
+    return Relation.from_tuples(list(names), rows)
+
+
+# ----------------------------------------------------------------------
+# Plan keys
+# ----------------------------------------------------------------------
+
+
+class TestPlanCacheKey:
+    def test_stable_and_distinct(self):
+        a = plan_cache_key(SelectEq(Scan("emp"), {"dept": 1}))
+        b = plan_cache_key(SelectEq(Scan("emp"), {"dept": 1}))
+        c = plan_cache_key(SelectEq(Scan("emp"), {"dept": 2}))
+        assert a == b
+        assert a != c
+        assert a is not None
+
+    def test_structure_matters(self):
+        assert plan_cache_key(
+            Join(Scan("a"), Scan("b"))
+        ) != plan_cache_key(Join(Scan("b"), Scan("a")))
+        assert plan_cache_key(
+            Union(Scan("a"), Scan("b"))
+        ) != plan_cache_key(Join(Scan("a"), Scan("b")))
+
+    def test_keyless_predicate_is_uncacheable(self):
+        plan = SelectPred(Scan("emp"), lambda row: True, "anything")
+        assert plan_cache_key(plan) is None
+        assert plan_cache_key(Project(plan, ("a",))) is None
+
+    def test_keyed_predicate_is_cacheable(self):
+        plan = SelectPred(
+            Scan("emp"), lambda row: row["x"] > 1, "gt", cache_key="x > 1"
+        )
+        key = plan_cache_key(plan)
+        assert key is not None
+        assert "x > 1" in key
+
+    def test_same_label_different_key_do_not_alias(self):
+        a = SelectPred(Scan("emp"), lambda r: r["x"] > 1, "f", cache_key="k1")
+        b = SelectPred(Scan("emp"), lambda r: r["x"] > 2, "f", cache_key="k2")
+        assert plan_cache_key(a) != plan_cache_key(b)
+
+    def test_pushdown_below_project_rewrites_the_key(self):
+        db = Database()
+        db.add("emp", rel(["eid", "dept"], [(1, 2)]))
+        plan = SelectPred(
+            Project(Scan("emp"), ("eid",)),
+            lambda row: row["eid"] > 0, "pos", cache_key="eid > 0",
+        )
+        rewritten = optimize(plan, db)
+        direct = SelectPred(
+            Scan("emp"), lambda row: row["eid"] > 0, "pos",
+            cache_key="eid > 0",
+        )
+        # The pushed-down predicate runs below the Project against a
+        # differently-shaped row; its key must not alias the direct one.
+        inner = rewritten.child
+        assert inner.cache_key.startswith("narrow{eid}:")
+        assert plan_cache_key(inner) != plan_cache_key(direct)
+
+    def test_pushdown_below_rename_rewrites_the_key(self):
+        db = Database()
+        db.add("emp", rel(["eid", "dept"], [(1, 2)]))
+        plan = SelectPred(
+            Rename(Scan("emp"), {"eid": "id"}),
+            lambda row: row["id"] > 0, "pos", cache_key="id > 0",
+        )
+        rewritten = optimize(plan, db)
+        assert rewritten.child.cache_key.startswith("viarename{eid->id}:")
+
+    def test_scan_tables(self):
+        plan = Union(
+            Join(Scan("a"), Scan("b")), SelectEq(Scan("a"), {"x": 1})
+        )
+        assert scan_tables(plan) == ("a", "b")
+
+
+# ----------------------------------------------------------------------
+# Cache mechanics
+# ----------------------------------------------------------------------
+
+
+class TestCacheMechanics:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            QueryResultCache(capacity=0)
+
+    def test_hit_miss_stale_classification(self):
+        cache = QueryResultCache(capacity=4)
+        result = rel(["a"], [(1,)])
+        fp_v1 = (("t", 1),)
+        fp_v2 = (("t", 2),)
+        assert cache.lookup("plan", fp_v1) is None  # cold miss
+        cache.store("plan", fp_v1, ("t",), result)
+        assert cache.lookup("plan", fp_v1) is result
+        # Same plan at a newer version: a *stale* miss, not a cold one.
+        assert cache.lookup("plan", fp_v2) is None
+        assert (cache.hits, cache.misses, cache.stale) == (1, 1, 1)
+        assert 0 < cache.hit_rate < 1
+
+    def test_lru_eviction_keeps_recently_used(self):
+        cache = QueryResultCache(capacity=2)
+        fp = (("t", 1),)
+        for name in ("p1", "p2"):
+            cache.store(name, fp, ("t",), rel(["a"], []))
+        cache.lookup("p1", fp)  # p1 is now most recent
+        cache.store("p3", fp, ("t",), rel(["a"], []))
+        assert cache.evictions == 1
+        assert cache.lookup("p1", fp) is not None
+        assert cache.lookup("p2", fp) is None  # the victim
+        assert len(cache) == 2
+
+    def test_invalidate_tables_is_targeted(self):
+        cache = QueryResultCache(capacity=8)
+        cache.store("pa", (("a", 1),), ("a",), rel(["x"], []))
+        cache.store("pb", (("b", 1),), ("b",), rel(["x"], []))
+        cache.store("pab", (("a", 1), ("b", 1)), ("a", "b"), rel(["x"], []))
+        assert cache.invalidate_tables(("a",)) == 2
+        assert cache.lookup("pb", (("b", 1),)) is not None
+        assert cache.lookup("pa", (("a", 1),)) is None
+        assert cache.invalidations == 2
+
+    def test_clear(self):
+        cache = QueryResultCache(capacity=4)
+        cache.store("p", (("t", 1),), ("t",), rel(["a"], []))
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_snapshot_shape(self):
+        cache = QueryResultCache(capacity=4, name="test")
+        snap = cache.snapshot()
+        assert snap["name"] == "test"
+        assert set(snap) >= {
+            "size", "capacity", "hits", "misses", "stale", "stores",
+            "evictions", "invalidations", "hit_rate",
+        }
+
+    def test_events_metered_when_obs_enabled(self):
+        previous = instrument.set_enabled(True)
+        try:
+            metrics.registry().reset()
+            cache = QueryResultCache(capacity=1, name="metered")
+            fp = (("t", 1),)
+            cache.lookup("p", fp)
+            cache.store("p", fp, ("t",), rel(["a"], []))
+            cache.lookup("p", fp)
+            cache.lookup("p", (("t", 2),))
+            cache.store("q", fp, ("t",), rel(["a"], []))  # evicts p
+            cache.invalidate_tables(("t",))
+            text = metrics.registry().expose()
+            for event in (
+                "miss", "store", "hit", "stale", "evict", "invalidate"
+            ):
+                assert (
+                    'repro_cache_events_total{event="%s",cache="metered"}'
+                    % event in text
+                ), event
+        finally:
+            instrument.set_enabled(previous)
+            metrics.registry().reset()
+
+
+# ----------------------------------------------------------------------
+# Database integration
+# ----------------------------------------------------------------------
+
+
+class TestDatabaseCache:
+    @pytest.fixture
+    def db(self):
+        database = Database()
+        database.add("emp", rel(["eid", "dept"], [(1, "eng"), (2, "ops")]))
+        database.add("dept", rel(["dept", "floor"], [("eng", 3)]))
+        database.enable_result_cache(capacity=8)
+        return database
+
+    def test_repeat_execution_hits(self, db):
+        plan = SelectEq(Scan("emp"), {"dept": "eng"})
+        first = db.execute(plan)
+        assert db.execute(plan) is first
+        assert db.result_cache.hits == 1
+
+    def test_add_bumps_version_and_recomputes(self, db):
+        plan = Scan("emp")
+        stale_view = db.execute(plan)
+        db.add("emp", rel(["eid", "dept"], [(9, "eng")]))
+        fresh = db.execute(plan)
+        assert fresh is not stale_view
+        assert fresh.cardinality() == 1
+        assert db.result_cache.stale == 1
+
+    def test_remove_bumps_version(self, db):
+        db.execute(Scan("dept"))
+        assert db.remove("dept")
+        assert not db.remove("dept")
+        db.add("dept", rel(["dept", "floor"], [("lab", 9)]))
+        assert db.execute(Scan("dept")).cardinality() == 1
+
+    def test_uncacheable_plans_bypass(self, db):
+        plan = SelectPred(Scan("emp"), lambda row: True, "opaque")
+        db.execute(plan)
+        db.execute(plan)
+        assert len(db.result_cache) == 0
+        assert db.result_cache.hits == 0
+
+    def test_unknown_relation_raises_schema_error(self, db):
+        with pytest.raises(SchemaError, match="unknown relation"):
+            db.execute(Scan("ghost"))
+
+    def test_disable(self, db):
+        plan = Scan("emp")
+        db.execute(plan)
+        db.disable_result_cache()
+        assert db.result_cache is None
+        db.execute(plan)  # plain path, no error
+
+
+# ----------------------------------------------------------------------
+# The never-stale sweeps
+# ----------------------------------------------------------------------
+
+
+def make_manager():
+    emp = Table(["eid", "grp"], [{"eid": 0, "grp": 0}],
+                [KeyConstraint(["eid"])])
+    aux = Table(["k"], [{"k": 1}])
+    return TransactionManager({"emp": emp, "aux": aux})
+
+
+class TestNeverStaleSweep:
+    """Every interleaving of commits, opens and reads stays correct.
+
+    One shared cache across all sessions (the server arrangement).
+    The model records each session's pinned contents at open time; a
+    read through the cache must always return exactly the pinned
+    contents -- a result computed at version V must never surface in a
+    session pinned at V' != V.
+    """
+
+    PLAN = SelectEq(Scan("emp"), {"grp": 0})
+
+    def run_schedule(self, schedule, cache):
+        manager = make_manager()
+        sessions = []  # (session, expected frozenset of (eid, grp))
+        next_id = 1
+        live = {0: 0}
+
+        def expected_rows(model):
+            return frozenset(
+                (eid, grp) for eid, grp in model.items() if grp == 0
+            )
+
+        def read_all():
+            for session, pinned in sessions:
+                result = session.database().execute(self.PLAN)
+                got = {
+                    (row["eid"], row["grp"]) for row in result.iter_dicts()
+                }
+                assert got == set(pinned), (
+                    "session pinned at v%d saw %r, expected %r"
+                    % (session.version, got, set(pinned))
+                )
+
+        for step in schedule:
+            if step == "commit":
+                with manager.transaction():
+                    manager.table("emp").insert(
+                        {"eid": next_id, "grp": next_id % 2}
+                    )
+                live[next_id] = next_id % 2
+                next_id += 1
+            elif step == "open":
+                session = Session(
+                    "s%d" % len(sessions), manager, result_cache=cache
+                )
+                sessions.append((session, expected_rows(live)))
+            read_all()
+        read_all()  # every session re-reads at the end (cache hits)
+        for session, _ in sessions:
+            session.close()
+
+    def test_all_interleavings(self):
+        cache = QueryResultCache(capacity=64, name="sweep")
+        schedules = set(
+            itertools.permutations(["commit"] * 3 + ["open"] * 3)
+        )
+        for schedule in sorted(schedules):
+            self.run_schedule(schedule, cache)
+        # The sweep must actually have exercised the cache, not just
+        # computed everything fresh.
+        assert cache.hits > 0
+        assert cache.stores > 0
+
+    def test_sessions_at_same_version_share_entries(self):
+        cache = QueryResultCache(capacity=8, name="shared")
+        manager = make_manager()
+        a = Session("a", manager, result_cache=cache)
+        b = Session("b", manager, result_cache=cache)
+        first = a.database().execute(self.PLAN)
+        assert b.database().execute(self.PLAN) is first
+        assert cache.hits == 1
+        a.close()
+        b.close()
+
+    def test_pinned_session_keeps_its_version_after_commit(self):
+        cache = QueryResultCache(capacity=8, name="pinned")
+        manager = make_manager()
+        old = Session("old", manager, result_cache=cache)
+        before = old.database().execute(self.PLAN)
+        with manager.transaction():
+            manager.table("emp").insert({"eid": 7, "grp": 0})
+        new = Session("new", manager, result_cache=cache)
+        after = new.database().execute(self.PLAN)
+        assert after.cardinality() == before.cardinality() + 1
+        # The pinned session still reads its own version -- and still
+        # hits the cache, because its fingerprint never moved.
+        hits = cache.hits
+        assert old.database().execute(self.PLAN) is before
+        assert cache.hits == hits + 1
+        old.close()
+        new.close()
+
+    def test_server_commit_stream_reclaims_entries(self):
+        server = Server(make_manager(), result_cache_capacity=8)
+        cache = server.result_cache
+        manager = server._manager
+        session = Session("s", manager, result_cache=cache)
+        session.database().execute(self.PLAN)
+        session.database().execute(Scan("aux"))
+        assert len(cache) == 2
+        with manager.transaction():
+            manager.table("emp").insert({"eid": 5, "grp": 1})
+        # Targeted: the emp entry is reclaimed, the aux entry survives.
+        assert len(cache) == 1
+        assert (
+            cache.lookup(
+                plan_cache_key(Scan("aux")), (("aux", 0),)
+            ) is not None
+        )
+        session.close()
+
+
+# ----------------------------------------------------------------------
+# Sharded clusters: generations, epoch fencing, targeted moves
+# ----------------------------------------------------------------------
+
+
+def people(count, start=0):
+    return [
+        {"id": start + i, "city": "c%d" % ((start + i) % 3)}
+        for i in range(count)
+    ]
+
+
+def build_cluster(rows=24):
+    cluster = Cluster(4, replication_factor=2)
+    cluster.create_table(
+        "users", Relation.from_dicts(["id", "city"], people(rows)), "id"
+    )
+    cluster.create_table(
+        "cities",
+        Relation.from_dicts(
+            ["city", "zone"], [{"city": "c%d" % i, "zone": i} for i in range(3)]
+        ),
+        "city",
+    )
+    return cluster
+
+
+def off_ring_node(shard_map, bucket, node_count):
+    return next(
+        index for index in range(node_count)
+        if index not in shard_map.replicas(bucket)
+    )
+
+
+class TestClusterCache:
+    def test_repeat_scan_hits(self):
+        cluster = build_cluster()
+        cache = cluster.enable_result_cache(capacity=8)
+        plan = SelectEq(Scan("users"), {"city": "c1"})
+        first = cluster.execute(plan)
+        assert cluster.execute(plan) is first
+        assert cache.hits == 1
+
+    def test_insert_bumps_generation(self):
+        cluster = build_cluster()
+        cache = cluster.enable_result_cache(capacity=8)
+        plan = Scan("users")
+        before = cluster.execute(plan)
+        generation = cluster.table_generation("users")
+        cluster.insert("users", people(4, start=100))
+        assert cluster.table_generation("users") == generation + 1
+        after = cluster.execute(plan)
+        assert after.cardinality() == before.cardinality() + 4
+        assert cache.stale == 1
+
+    def test_shard_move_invalidates_only_the_moved_table(self):
+        cluster = build_cluster()
+        cache = cluster.enable_result_cache(capacity=8)
+        users_plan = SelectEq(Scan("users"), {"city": "c0"})
+        cities_plan = Scan("cities")
+        before = cluster.execute(users_plan)
+        cities_before = cluster.execute(cities_plan)
+        shard_map = cluster.shard_map("users")
+        cluster.begin_move(
+            "users", 0, recipient=off_ring_node(shard_map, 0, 4)
+        )
+        cluster.rebalance()
+        # Targeted invalidation: users entries dropped, cities entries
+        # survive the epoch swing untouched.
+        assert cache.invalidations >= 1
+        assert cluster.execute(cities_plan) is cities_before
+        # Rows are placement-stable across a move: the recomputed (and
+        # re-cached) answer is equal, entry keyed at the same
+        # generation.
+        after = cluster.execute(users_plan)
+        assert after == before
+        assert cluster.execute(users_plan) is after
+
+    def test_stale_epoch_refused_even_when_cached(self):
+        cluster = build_cluster()
+        cluster.enable_result_cache(capacity=8)
+        plan = SelectEq(Scan("users"), {"city": "c1"})
+        epoch_before = cluster.shard_map("users").epoch
+        cluster.execute(plan, epoch=epoch_before)
+        shard_map = cluster.shard_map("users")
+        cluster.begin_move(
+            "users", 1, recipient=off_ring_node(shard_map, 1, 4)
+        )
+        cluster.rebalance()
+        # The bytes are sitting in memory; the fence still comes first.
+        with pytest.raises(ShardMovedError):
+            cluster.execute(plan, epoch=epoch_before)
+        fresh_epoch = cluster.shard_map("users").epoch
+        assert cluster.execute(plan, epoch=fresh_epoch).cardinality() > 0
+
+    def test_disable(self):
+        cluster = build_cluster()
+        cluster.enable_result_cache(capacity=4)
+        cluster.disable_result_cache()
+        assert cluster.result_cache is None
+        assert cluster.execute(Scan("users")).cardinality() == 24
